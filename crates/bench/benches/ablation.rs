@@ -1,0 +1,91 @@
+//! Design-choice ablations at the kernel level (DESIGN.md §4):
+//!
+//! * **memoize vs recompute across fanout** — sweeping the leaf-fiber
+//!   fanout moves the workload across the crossover the data-movement
+//!   model exists to find: at fanout ≈ 1 (freebase-like) memoization
+//!   reads as much as it saves; at high fanout (nell-2-like) recompute
+//!   re-traverses many leaves per fiber;
+//! * **boundary replication vs atomics** for the mode-0 output;
+//! * **nnz-balanced vs slice scheduling** under a starved root.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linalg::Mat;
+use sptensor::build_csf;
+use stef::kernels::{mode0_pass, modeu_pass, KernelCtx, ResolvedAccum};
+use stef::{init_factors, LoadBalance, PartialStore, Schedule};
+use workloads::{power_law_tensor, split_root_tensor};
+
+fn bench_memo_crossover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memo_crossover");
+    group.sample_size(10);
+    let rank = 32;
+    let nnz = 120_000;
+    // Shrinking the middle dimension shrinks the number of distinct
+    // (i, j) fibers, raising the average leaf fanout: the memoized
+    // P^(1) gets smaller while recompute still walks all the leaves.
+    for mid_dim in [2_000usize, 200, 20, 4] {
+        let t = power_law_tensor(&[500, mid_dim, 100_000], nnz, &[0.4, 0.3, 0.0], 5);
+        let csf = build_csf(&t, &[0, 1, 2]);
+        let fanout = csf.nnz() as f64 / csf.nfibers(1) as f64;
+        let nthreads = rayon::current_num_threads();
+        let sched = Schedule::build(&csf, nthreads, LoadBalance::NnzBalanced);
+        let factors = init_factors(t.dims(), rank, 7);
+        let refs: Vec<&Mat> = factors.iter().collect();
+
+        // Memoized path: mode-0 storing P^(1), then mode-1 from memo.
+        let mut saved = PartialStore::allocate(&csf, &[false, true, false], nthreads, rank);
+        {
+            let ctx = KernelCtx::new(&csf, &sched, refs.clone(), rank);
+            let mut out0 = Mat::zeros(t.dims()[0], rank);
+            mode0_pass(&ctx, &mut saved, &mut out0);
+        }
+        group.bench_with_input(
+            BenchmarkId::new(format!("memoized_fanout_{fanout:.1}"), mid_dim),
+            &mid_dim,
+            |b, _| {
+                let ctx = KernelCtx::new(&csf, &sched, refs.clone(), rank);
+                b.iter(|| modeu_pass(&ctx, &mut saved, 1, ResolvedAccum::Privatized, true));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("recompute_fanout_{fanout:.1}"), mid_dim),
+            &mid_dim,
+            |b, _| {
+                let ctx = KernelCtx::new(&csf, &sched, refs.clone(), rank);
+                b.iter(|| modeu_pass(&ctx, &mut saved, 1, ResolvedAccum::Privatized, false));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_scheduling_under_starved_root(c: &mut Criterion) {
+    let mut group = c.benchmark_group("starved_root_scheduling");
+    group.sample_size(10);
+    let rank = 32;
+    let t = split_root_tensor(&[2, 4_000, 4_000], 150_000, 0.85, &[0.0, 0.3, 0.3], 9);
+    let csf = build_csf(&t, &[0, 1, 2]);
+    let factors = init_factors(t.dims(), rank, 7);
+    let refs: Vec<&Mat> = factors.iter().collect();
+    let nthreads = rayon::current_num_threads().max(2);
+    for (label, kind) in [
+        ("nnz_balanced", LoadBalance::NnzBalanced),
+        ("slice_based", LoadBalance::SliceBased),
+    ] {
+        let sched = Schedule::build(&csf, nthreads, kind);
+        let mut partials = PartialStore::empty(3, nthreads, rank);
+        group.bench_function(label, |b| {
+            let ctx = KernelCtx::new(&csf, &sched, refs.clone(), rank);
+            let mut out0 = Mat::zeros(2, rank);
+            b.iter(|| mode0_pass(&ctx, &mut partials, &mut out0));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_memo_crossover,
+    bench_scheduling_under_starved_root
+);
+criterion_main!(benches);

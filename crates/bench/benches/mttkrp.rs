@@ -1,0 +1,75 @@
+//! Kernel-level benchmarks: mode-0 (with and without memo stores), an
+//! internal mode consuming a memoized partial vs recomputing, and the
+//! leaf mode — the per-kernel costs behind Figures 3/4.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_kernels(c: &mut Criterion) {
+    use linalg::Mat;
+    use sptensor::build_csf;
+    use stef::kernels::{mode0_pass, modeu_pass, KernelCtx, ResolvedAccum};
+    use stef::{init_factors, LoadBalance, PartialStore, Schedule};
+    use workloads::power_law_tensor;
+
+    let dims = [2_000usize, 5_000, 8_000];
+    let nnz = 200_000;
+    let rank = 32;
+    let t = power_law_tensor(&dims, nnz, &[0.8, 0.5, 0.3], 42);
+    let csf = build_csf(&t, &[0, 1, 2]);
+    let nthreads = rayon::current_num_threads();
+    let sched = Schedule::build(&csf, nthreads, LoadBalance::NnzBalanced);
+    let factors = init_factors(&dims, rank, 7);
+    let refs: Vec<&Mat> = factors.iter().collect();
+
+    let mut group = c.benchmark_group("mttkrp_kernels");
+    group.sample_size(10);
+
+    group.bench_function("mode0_no_memo", |b| {
+        let mut partials = PartialStore::empty(3, nthreads, rank);
+        let ctx = KernelCtx::new(&csf, &sched, refs.clone(), rank);
+        let mut out = Mat::zeros(dims[0], rank);
+        b.iter(|| mode0_pass(&ctx, &mut partials, &mut out));
+    });
+
+    group.bench_function("mode0_saving_p1", |b| {
+        let mut partials = PartialStore::allocate(&csf, &[false, true, false], nthreads, rank);
+        let ctx = KernelCtx::new(&csf, &sched, refs.clone(), rank);
+        let mut out = Mat::zeros(dims[0], rank);
+        b.iter(|| mode0_pass(&ctx, &mut partials, &mut out));
+    });
+
+    // Internal mode: memoized load vs full recompute.
+    let mut partials = PartialStore::allocate(&csf, &[false, true, false], nthreads, rank);
+    {
+        let ctx = KernelCtx::new(&csf, &sched, refs.clone(), rank);
+        let mut out = Mat::zeros(dims[0], rank);
+        mode0_pass(&ctx, &mut partials, &mut out);
+    }
+    group.bench_function("mode1_from_memo", |b| {
+        let ctx = KernelCtx::new(&csf, &sched, refs.clone(), rank);
+        b.iter(|| modeu_pass(&ctx, &mut partials, 1, ResolvedAccum::Privatized, true));
+    });
+    group.bench_function("mode1_recompute", |b| {
+        let ctx = KernelCtx::new(&csf, &sched, refs.clone(), rank);
+        b.iter(|| modeu_pass(&ctx, &mut partials, 1, ResolvedAccum::Privatized, false));
+    });
+    group.bench_function("leaf_mode_scatter", |b| {
+        let ctx = KernelCtx::new(&csf, &sched, refs.clone(), rank);
+        b.iter(|| modeu_pass(&ctx, &mut partials, 2, ResolvedAccum::Privatized, false));
+    });
+
+    // Accumulation strategies at the leaf (scatter-heavy) mode.
+    for (label, accum) in [
+        ("leaf_privatized", ResolvedAccum::Privatized),
+        ("leaf_atomic", ResolvedAccum::Atomic),
+    ] {
+        group.bench_with_input(BenchmarkId::new("accum", label), &accum, |b, &accum| {
+            let ctx = KernelCtx::new(&csf, &sched, refs.clone(), rank);
+            b.iter(|| modeu_pass(&ctx, &mut partials, 2, accum, false));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Scheduler benchmarks: cost of building the nnz-balanced schedule
+//! (Algorithm 3) vs the slice-based one, across thread counts — the
+//! setup-time side of the paper's load-balancing contribution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sptensor::build_csf;
+use stef::{LoadBalance, Schedule};
+use workloads::power_law_tensor;
+
+fn bench_schedule(c: &mut Criterion) {
+    let dims = [3_000usize, 6_000, 9_000];
+    let t = power_law_tensor(&dims, 300_000, &[0.7, 0.4, 0.2], 9);
+    let csf = build_csf(&t, &[0, 1, 2]);
+
+    let mut group = c.benchmark_group("schedule_build");
+    for nthreads in [4usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("nnz_balanced", nthreads),
+            &nthreads,
+            |b, &nt| b.iter(|| Schedule::build(&csf, nt, LoadBalance::NnzBalanced)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("slice_based", nthreads),
+            &nthreads,
+            |b, &nt| b.iter(|| Schedule::build(&csf, nt, LoadBalance::SliceBased)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Table I: properties of the tensor suite.
+//!
+//! Prints the dimension/nnz table of the paper plus the structural
+//! statistics the rest of the evaluation hinges on (root slice count,
+//! slice imbalance, per-level fiber counts at the CSF's length order).
+//!
+//! ```text
+//! cargo run -p stef-bench --release --bin table1
+//! ```
+
+use serde::Serialize;
+use sptensor::{build_csf, sort_modes_by_length, TensorStats};
+use stef_bench::{suite_selection, BenchConfig, Table};
+
+#[derive(Serialize)]
+struct Table1Row {
+    tensor: String,
+    dims: Vec<usize>,
+    dims_string: String,
+    nnz: usize,
+    root_slices: usize,
+    slice_imbalance: f64,
+    fiber_counts: Vec<usize>,
+    mode_order: Vec<usize>,
+}
+
+fn main() {
+    let config = BenchConfig::from_env();
+    println!(
+        "Table I analogue: tensor suite at scale {:?}\n",
+        config.scale
+    );
+    let mut table = Table::new(&[
+        "Tensor",
+        "Dimensions",
+        "NNZ",
+        "Root slices",
+        "Slice imbalance",
+        "Fibers per level",
+    ]);
+    let mut rows = Vec::new();
+    for spec in suite_selection() {
+        let t = spec.generate(config.scale);
+        let order = sort_modes_by_length(t.dims());
+        let csf = build_csf(&t, &order);
+        let stats = TensorStats::from_csf(&csf, t.dims());
+        table.row(vec![
+            spec.name.to_string(),
+            stats.dims_string(),
+            stats.nnz_string(),
+            format!("{}", stats.root_slices),
+            format!("{:.2}x", stats.slice_imbalance),
+            format!("{:?}", stats.fiber_counts),
+        ]);
+        rows.push(Table1Row {
+            tensor: spec.name.to_string(),
+            dims: t.dims().to_vec(),
+            dims_string: stats.dims_string(),
+            nnz: stats.nnz,
+            root_slices: stats.root_slices,
+            slice_imbalance: stats.slice_imbalance,
+            fiber_counts: stats.fiber_counts.clone(),
+            mode_order: order,
+        });
+    }
+    println!("{}", table.render());
+    if let Some(path) = stef_bench::write_json("table1", &rows) {
+        println!("JSON written to {}", path.display());
+    }
+    println!(
+        "\nNote: synthetic analogues of the FROSTT/HaTen2 suite (same mode\n\
+         counts and length ratios, scaled nnz); see DESIGN.md for the\n\
+         substitution rationale. Real .tns files can be loaded with\n\
+         sptensor::io::read_tns_file."
+    );
+}

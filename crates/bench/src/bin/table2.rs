@@ -1,0 +1,158 @@
+//! Table II: space requirement of the memoized partial MTTKRP results.
+//!
+//! For each tensor and R ∈ {32, 64}: bytes of the partials the
+//! data-movement model chose to store, bytes of the CSF structure plus
+//! factor matrices, and their ratio — plus the save-all ratio the paper
+//! quotes in the text (e.g. 5.43 for `chicago-crime-comm`).
+//!
+//! ```text
+//! cargo run -p stef-bench --release --bin table2
+//! ```
+
+use serde::Serialize;
+use stef::{MemoPolicy, Stef, StefOptions};
+use stef_bench::{suite_selection, BenchConfig, Table};
+
+#[derive(Serialize)]
+struct Table2Row {
+    tensor: String,
+    rank: usize,
+    partial_bytes: usize,
+    csf_and_factor_bytes: usize,
+    ratio: f64,
+    save_all_partial_bytes: usize,
+    save_all_ratio: f64,
+    saved_levels: Vec<bool>,
+}
+
+fn gb(bytes: usize) -> f64 {
+    bytes as f64 / 1e9
+}
+
+fn main() {
+    let config = BenchConfig::from_env();
+    println!(
+        "Table II analogue: space for stored partial MTTKRP results (scale {:?})\n",
+        config.scale
+    );
+    let mut rows = Vec::new();
+    let mut table = Table::new(&[
+        "Tensor",
+        "R",
+        "Partials (MB)",
+        "CSF+factors (MB)",
+        "Ratio",
+        "Save-all ratio",
+        "Saved levels",
+    ]);
+    for spec in suite_selection() {
+        let t = spec.generate(config.scale);
+        for rank in [32usize, 64] {
+            let mut opts = StefOptions::new(rank);
+            opts.num_threads = config.nthreads;
+            let model = Stef::prepare(&t, opts.clone());
+            let mut all_opts = opts.clone();
+            all_opts.memo = MemoPolicy::SaveAll;
+            let save_all = Stef::prepare(&t, all_opts);
+
+            let denom = model.csf_and_factor_bytes();
+            let ratio = model.partial_bytes() as f64 / denom as f64;
+            let all_ratio =
+                save_all.partial_bytes() as f64 / save_all.csf_and_factor_bytes() as f64;
+            table.row(vec![
+                spec.name.to_string(),
+                format!("{rank}"),
+                format!("{:.2}", model.partial_bytes() as f64 / 1e6),
+                format!("{:.2}", denom as f64 / 1e6),
+                format!("{ratio:.2}"),
+                format!("{all_ratio:.2}"),
+                format!(
+                    "{:?}",
+                    model
+                        .plan()
+                        .save
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &s)| s)
+                        .map(|(l, _)| l)
+                        .collect::<Vec<_>>()
+                ),
+            ]);
+            rows.push(Table2Row {
+                tensor: spec.name.to_string(),
+                rank,
+                partial_bytes: model.partial_bytes(),
+                csf_and_factor_bytes: denom,
+                ratio,
+                save_all_partial_bytes: save_all.partial_bytes(),
+                save_all_ratio: all_ratio,
+                saved_levels: model.plan().save.clone(),
+            });
+        }
+    }
+    println!("{}", table.render());
+
+    for rank in [32usize, 64] {
+        let rs: Vec<&Table2Row> = rows.iter().filter(|r| r.rank == rank).collect();
+        let avg_partial: f64 =
+            rs.iter().map(|r| gb(r.partial_bytes)).sum::<f64>() / rs.len() as f64;
+        let avg_denom: f64 =
+            rs.iter().map(|r| gb(r.csf_and_factor_bytes)).sum::<f64>() / rs.len() as f64;
+        let avg_ratio: f64 = rs.iter().map(|r| r.ratio).sum::<f64>() / rs.len() as f64;
+        let max_ratio: f64 = rs.iter().map(|r| r.ratio).fold(0.0, f64::max);
+        println!(
+            "R={rank}: average partials {:.4} GB, average CSF+factors {:.4} GB, \
+             average ratio {avg_ratio:.2}, max ratio {max_ratio:.2}",
+            avg_partial, avg_denom
+        );
+    }
+    println!(
+        "\nPaper shape check: averages ~0.35 (R=32) / ~0.45 (R=64), max ≤ ~2.3;\n\
+         freebase/vast-5d rows should be 0.00 (model declines to memoize)."
+    );
+
+    // §IV-A motivating example, on our analogues: raw read/write counts
+    // for save-all vs not saving the biggest partial (uber) and for
+    // save vs no-save (vast-2015-mc1-3d).
+    println!("\n§IV-A raw traffic comparison (R=32, elements):");
+    for name in ["uber", "vast-2015-mc1-3d"] {
+        let Some(spec) = workloads::paper_suite()
+            .into_iter()
+            .find(|s| s.name == name)
+        else {
+            continue;
+        };
+        let t = spec.generate(config.scale);
+        let order = sptensor::sort_modes_by_length(t.dims());
+        let csf = sptensor::build_csf(&t, &order);
+        let profile = stef::LevelProfile::from_csf(&csf, 32, 16 << 20);
+        let d = csf.ndim();
+        let mut save_all = vec![false; d];
+        if d >= 3 {
+            for flag in save_all.iter_mut().take(d - 1).skip(1) {
+                *flag = true;
+            }
+        }
+        // "Not saving the biggest partial": drop the deepest saved level.
+        let mut drop_biggest = save_all.clone();
+        if let Some(k) = (0..d).rev().find(|&l| drop_biggest[l]) {
+            drop_biggest[k] = false;
+        }
+        let none = vec![false; d];
+        for (label, save) in [
+            ("save-all", &save_all),
+            ("drop-biggest", &drop_biggest),
+            ("save-none", &none),
+        ] {
+            let rt = profile.raw_traffic(save);
+            println!(
+                "  {name:<18} {label:<13} {:>8.1}M reads {:>8.2}M writes",
+                rt.reads / 1e6,
+                rt.writes / 1e6
+            );
+        }
+    }
+    if let Some(path) = stef_bench::write_json("table2", &rows) {
+        println!("JSON written to {}", path.display());
+    }
+}

@@ -1,0 +1,30 @@
+//! # stef-bench — the harness that regenerates every table and figure
+//!
+//! One binary per artifact of the paper's evaluation (§VI):
+//!
+//! | binary    | regenerates |
+//! |-----------|-------------|
+//! | `table1`  | Table I — tensor suite properties |
+//! | `table2`  | Table II — memoized-partial space requirements |
+//! | `fig3_4`  | Figures 3/4 — per-tensor speedup of all 8 algorithms over `splatt-all`, R ∈ {32, 64} |
+//! | `fig5`    | Figure 5 — preprocessing overhead of the mode-switch decision (Algorithm 9) |
+//! | `fig6`    | Figure 6 — ablations: work distribution, memoization policy, mode-order choice |
+//!
+//! Each binary prints a human-readable table and writes machine-readable
+//! JSON under `target/stef-results/`. Scale and repetitions are
+//! controlled by environment variables:
+//!
+//! * `STEF_SCALE` — `tiny` (CI smoke), `small` (default), `full`
+//! * `STEF_REPS` — timed repetitions per measurement (default 3)
+//! * `STEF_TENSORS` — comma-separated subset of suite names
+//!
+//! Criterion micro-benchmarks (kernel-, scheduler-, model- and
+//! format-level) live under `benches/`.
+
+pub mod harness;
+pub mod report;
+
+pub use harness::{
+    geomean, parse_scale, suite_selection, time_mttkrp_sweep, BenchConfig, SweepTiming,
+};
+pub use report::{render_bar_chart, write_json, Table};

@@ -1,0 +1,148 @@
+//! Plain-text tables, ASCII bar charts and JSON dumps for the bench
+//! binaries.
+
+use serde::Serialize;
+use std::path::PathBuf;
+
+/// A simple aligned text table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with column alignment.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, (c, w)) in cells.iter().zip(widths).enumerate() {
+                if i == 0 {
+                    // First column left-aligned.
+                    line.push_str(&format!("{c:<w$}"));
+                } else {
+                    line.push_str(&format!("  {c:>w$}"));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders labelled horizontal bars scaled to `width` characters at the
+/// maximum value — a terminal stand-in for the paper's bar figures.
+pub fn render_bar_chart(items: &[(String, f64)], width: usize) -> String {
+    let max = items.iter().map(|&(_, v)| v).fold(0.0_f64, f64::max);
+    let label_w = items.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in items {
+        let bar_len = if max > 0.0 {
+            ((v / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_w$} | {}{} {v:.3}\n",
+            "#".repeat(bar_len),
+            " ".repeat(width.saturating_sub(bar_len)),
+        ));
+    }
+    out
+}
+
+/// Writes a serializable value to `target/stef-results/<name>.json`,
+/// returning the path. Errors are printed, not fatal — benchmarks should
+/// not die on a read-only filesystem.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> Option<PathBuf> {
+    let dir = PathBuf::from("target/stef-results");
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return None;
+    }
+    let path = dir.join(format!("{name}.json"));
+    match serde_json::to_string_pretty(value) {
+        Ok(body) => {
+            if let Err(e) = std::fs::write(&path, body) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+                return None;
+            }
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("warning: serialization failed: {e}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["tensor", "nnz"]);
+        t.row(vec!["uber".into(), "3M".into()]);
+        t.row(vec!["delicious-4d".into(), "140M".into()]);
+        let s = t.render();
+        assert!(s.contains("tensor"));
+        assert!(s.contains("delicious-4d"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows same width.
+        assert_eq!(lines[0].len(), lines[2].len().max(lines[0].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let s = render_bar_chart(&[("fast".to_string(), 2.0), ("slow".to_string(), 1.0)], 10);
+        let lines: Vec<&str> = s.lines().collect();
+        let hashes = |l: &str| l.chars().filter(|&c| c == '#').count();
+        assert_eq!(hashes(lines[0]), 10);
+        assert_eq!(hashes(lines[1]), 5);
+    }
+
+    #[test]
+    fn bar_chart_handles_zeroes() {
+        let s = render_bar_chart(&[("z".to_string(), 0.0)], 10);
+        assert!(s.contains("z"));
+    }
+}

@@ -1,0 +1,164 @@
+//! Minimal flag parsing: positional arguments plus `--key value` /
+//! `-k value` options. No external dependencies; strict about unknown
+//! flags so typos surface immediately.
+
+use std::collections::HashMap;
+
+/// Parsed arguments: positionals in order, flags by (long) name.
+#[derive(Debug, Default)]
+pub struct Parsed {
+    pub positionals: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+/// Specification of the flags a subcommand accepts: maps every accepted
+/// spelling (e.g. `-o` and `--output`) to the canonical name.
+pub struct FlagSpec {
+    aliases: Vec<(&'static str, &'static str)>,
+}
+
+impl FlagSpec {
+    /// Builds a spec from `(spelling, canonical)` pairs.
+    pub fn new(aliases: &[(&'static str, &'static str)]) -> Self {
+        FlagSpec {
+            aliases: aliases.to_vec(),
+        }
+    }
+
+    fn canonical(&self, spelling: &str) -> Option<&'static str> {
+        self.aliases
+            .iter()
+            .find(|(s, _)| *s == spelling)
+            .map(|&(_, c)| c)
+    }
+}
+
+/// Parses `argv` against `spec`. Every flag takes exactly one value.
+pub fn parse(argv: &[String], spec: &FlagSpec) -> Result<Parsed, String> {
+    let mut out = Parsed::default();
+    let mut i = 0;
+    while i < argv.len() {
+        let a = &argv[i];
+        if a.starts_with('-') && a.len() > 1 {
+            let canonical = spec
+                .canonical(a)
+                .ok_or_else(|| format!("unknown flag '{a}'"))?;
+            let value = argv
+                .get(i + 1)
+                .ok_or_else(|| format!("flag '{a}' needs a value"))?;
+            if out
+                .flags
+                .insert(canonical.to_string(), value.clone())
+                .is_some()
+            {
+                return Err(format!("flag '{a}' given twice"));
+            }
+            i += 2;
+        } else {
+            out.positionals.push(a.clone());
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+impl Parsed {
+    /// The single required positional argument.
+    pub fn one_positional(&self, what: &str) -> Result<&str, String> {
+        match self.positionals.as_slice() {
+            [p] => Ok(p),
+            [] => Err(format!("missing {what}")),
+            _ => Err(format!(
+                "expected exactly one {what}, got {:?}",
+                self.positionals
+            )),
+        }
+    }
+
+    /// String flag with a default.
+    pub fn str_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.flags.get(key).map(|s| s.as_str()).unwrap_or(default)
+    }
+
+    /// Optional string flag.
+    pub fn opt_str(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+
+    /// Parsed numeric flag with a default.
+    pub fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag '--{key}' has invalid value '{v}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn spec() -> FlagSpec {
+        FlagSpec::new(&[("-o", "output"), ("--output", "output"), ("--rank", "rank")])
+    }
+
+    #[test]
+    fn positionals_and_flags_mix() {
+        let p = parse(&argv(&["file.tns", "--rank", "32", "-o", "out"]), &spec()).unwrap();
+        assert_eq!(p.positionals, vec!["file.tns"]);
+        assert_eq!(p.str_or("output", "x"), "out");
+        assert_eq!(p.num_or("rank", 8usize).unwrap(), 32);
+    }
+
+    #[test]
+    fn alias_maps_to_canonical() {
+        let a = parse(&argv(&["--output", "a"]), &spec()).unwrap();
+        let b = parse(&argv(&["-o", "a"]), &spec()).unwrap();
+        assert_eq!(a.opt_str("output"), b.opt_str("output"));
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        assert!(parse(&argv(&["--bogus", "1"]), &spec()).is_err());
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse(&argv(&["--rank"]), &spec()).is_err());
+    }
+
+    #[test]
+    fn duplicate_flag_is_an_error() {
+        assert!(parse(&argv(&["--rank", "1", "--rank", "2"]), &spec()).is_err());
+    }
+
+    #[test]
+    fn bad_number_is_an_error() {
+        let p = parse(&argv(&["--rank", "abc"]), &spec()).unwrap();
+        assert!(p.num_or("rank", 1usize).is_err());
+    }
+
+    #[test]
+    fn one_positional_enforced() {
+        let p = parse(&argv(&[]), &spec()).unwrap();
+        assert!(p.one_positional("tensor").is_err());
+        let p2 = parse(&argv(&["a", "b"]), &spec()).unwrap();
+        assert!(p2.one_positional("tensor").is_err());
+        let p3 = parse(&argv(&["a"]), &spec()).unwrap();
+        assert_eq!(p3.one_positional("tensor").unwrap(), "a");
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let p = parse(&argv(&["x"]), &spec()).unwrap();
+        assert_eq!(p.num_or("rank", 16usize).unwrap(), 16);
+        assert_eq!(p.str_or("output", "default"), "default");
+        assert!(p.opt_str("output").is_none());
+    }
+}

@@ -1,0 +1,88 @@
+//! `stef bench` — compare every engine's MTTKRP sweep time on one
+//! tensor (a single-tensor slice of the paper's Figures 3/4).
+
+use crate::args::{parse, FlagSpec};
+use crate::tensor_source::load;
+use std::time::Instant;
+use stef::init_factors;
+use workloads::SuiteScale;
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let spec = FlagSpec::new(&[
+        ("--rank", "rank"),
+        ("-r", "rank"),
+        ("--reps", "reps"),
+        ("--threads", "threads"),
+    ]);
+    let p = parse(argv, &spec)?;
+    let tensor_spec = p.one_positional("tensor")?;
+    let rank: usize = p.num_or("rank", 32)?;
+    let reps: usize = p.num_or("reps", 3)?;
+    let threads: usize = p.num_or("threads", 0)?;
+
+    let (label, t) = load(tensor_spec, SuiteScale::Small)?;
+    println!(
+        "benchmarking {label}: {} nnz, rank {rank}, {reps} reps, {} rayon threads\n",
+        t.nnz(),
+        rayon::current_num_threads()
+    );
+
+    let factors = init_factors(t.dims(), rank, 7);
+    let mut results: Vec<(String, f64, f64)> = Vec::new();
+    for mut engine in baselines::all_engines(&t, rank, threads) {
+        let prep_start = Instant::now();
+        let sweep = engine.sweep_order();
+        // Warm-up (auto-tuners settle here).
+        for _ in 0..4 {
+            for &m in &sweep {
+                std::hint::black_box(engine.mttkrp(&factors, m));
+            }
+        }
+        let warm = prep_start.elapsed().as_secs_f64();
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            for &m in &sweep {
+                std::hint::black_box(engine.mttkrp(&factors, m));
+            }
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        results.push((engine.name(), best, warm));
+    }
+    let fastest = results
+        .iter()
+        .map(|&(_, s, _)| s)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "{:<12} {:>12} {:>10} {:>12}",
+        "engine", "sweep (ms)", "vs best", "warmup (ms)"
+    );
+    println!("{}", "-".repeat(50));
+    for (name, secs, warm) in &results {
+        println!(
+            "{:<12} {:>12.3} {:>9.2}x {:>12.1}",
+            name,
+            secs * 1e3,
+            secs / fastest,
+            warm * 1e3
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn bench_runs_on_tiny_tensor() {
+        super::run(&argv(&["suite:nips:tiny", "--rank", "2", "--reps", "1"])).unwrap();
+    }
+
+    #[test]
+    fn rejects_missing_tensor() {
+        assert!(super::run(&argv(&["--rank", "2"])).is_err());
+    }
+}

@@ -1,0 +1,185 @@
+//! `stef decompose` — run CPD-ALS and optionally write the factors.
+//!
+//! Factors are written as one whitespace-separated text matrix per mode
+//! (`mode0.mat`, `mode1.mat`, …) plus `lambda.txt`, a format trivially
+//! loadable from numpy/Julia/R.
+
+use crate::args::{parse, FlagSpec};
+use crate::commands::engine_by_name;
+use crate::tensor_source::load;
+use linalg::Mat;
+use std::io::Write;
+use std::path::Path;
+use stef::{cpd_als, CpdOptions};
+use workloads::SuiteScale;
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let spec = FlagSpec::new(&[
+        ("--rank", "rank"),
+        ("-r", "rank"),
+        ("--iters", "iters"),
+        ("--tol", "tol"),
+        ("--engine", "engine"),
+        ("--threads", "threads"),
+        ("--out", "out"),
+        ("--seed", "seed"),
+        ("--mode", "mode"),
+    ]);
+    let p = parse(argv, &spec)?;
+    let tensor_spec = p.one_positional("tensor")?;
+    let rank: usize = p.num_or("rank", 16)?;
+    let iters: usize = p.num_or("iters", 50)?;
+    let tol: f64 = p.num_or("tol", 1e-5)?;
+    let seed: u64 = p.num_or("seed", 42)?;
+    let threads: usize = p.num_or("threads", 0)?;
+    let engine_name = p.str_or("engine", "stef");
+    let update_mode = p.str_or("mode", "als");
+
+    let (label, t) = load(tensor_spec, SuiteScale::Small)?;
+    println!(
+        "decomposing {label} ({} nnz) with engine '{engine_name}', rank {rank}",
+        t.nnz()
+    );
+    let mut engine = engine_by_name(engine_name, &t, rank, threads)?;
+    let opts = CpdOptions {
+        rank,
+        max_iters: iters,
+        tol,
+        seed,
+    };
+    match update_mode {
+        "als" => {
+            let result = cpd_als(engine.as_mut(), &opts);
+            println!(
+                "fit {:.6} after {} iterations (converged: {}); {:?} total, {:?} in MTTKRP",
+                result.final_fit(),
+                result.iterations,
+                result.converged,
+                result.total_time,
+                result.mttkrp_time
+            );
+            if result.irregular_solves > 0 {
+                println!(
+                    "note: {} solves needed ridge/LU fallback",
+                    result.irregular_solves
+                );
+            }
+            if let Some(dir) = p.opt_str("out") {
+                write_factors(dir, &result.factors, &result.lambda)
+                    .map_err(|e| format!("cannot write factors to '{dir}': {e}"))?;
+                println!("factors written to {dir}/");
+            }
+        }
+        "nonneg" => {
+            let result = stef::cpd_mu_nonneg(engine.as_mut(), &opts);
+            println!(
+                "nonnegative fit {:.6} after {} iterations (converged: {}); {:?} total",
+                result.final_fit(),
+                result.iterations,
+                result.converged,
+                result.total_time
+            );
+            if let Some(dir) = p.opt_str("out") {
+                let lambda = vec![1.0; rank];
+                write_factors(dir, &result.factors, &lambda)
+                    .map_err(|e| format!("cannot write factors to '{dir}': {e}"))?;
+                println!("factors written to {dir}/");
+            }
+        }
+        other => return Err(format!("unknown --mode '{other}' (als|nonneg)")),
+    }
+    Ok(())
+}
+
+fn write_factors(dir: &str, factors: &[Mat], lambda: &[f64]) -> std::io::Result<()> {
+    let dir = Path::new(dir);
+    std::fs::create_dir_all(dir)?;
+    for (m, f) in factors.iter().enumerate() {
+        let mut w =
+            std::io::BufWriter::new(std::fs::File::create(dir.join(format!("mode{m}.mat")))?);
+        for i in 0..f.rows() {
+            let row: Vec<String> = f.row(i).iter().map(|v| format!("{v:.17e}")).collect();
+            writeln!(w, "{}", row.join(" "))?;
+        }
+    }
+    let mut w = std::io::BufWriter::new(std::fs::File::create(dir.join("lambda.txt"))?);
+    for l in lambda {
+        writeln!(w, "{l:.17e}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn decomposes_and_writes_factors() {
+        let dir = std::env::temp_dir().join("stef-cli-decomp");
+        let dir_str = dir.to_str().unwrap().to_string();
+        super::run(&argv(&[
+            "suite:uber:tiny",
+            "--rank",
+            "4",
+            "--iters",
+            "3",
+            "--out",
+            &dir_str,
+        ]))
+        .unwrap();
+        // uber has 4 modes.
+        for m in 0..4 {
+            let path = dir.join(format!("mode{m}.mat"));
+            let body = std::fs::read_to_string(&path).unwrap();
+            let rows = body.lines().count();
+            assert!(rows > 0, "mode{m}.mat empty");
+            let cols = body.lines().next().unwrap().split_whitespace().count();
+            assert_eq!(cols, 4);
+        }
+        let lambda = std::fs::read_to_string(dir.join("lambda.txt")).unwrap();
+        assert_eq!(lambda.lines().count(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn nonneg_mode_runs() {
+        super::run(&argv(&[
+            "suite:uber:tiny",
+            "--rank",
+            "3",
+            "--iters",
+            "3",
+            "--mode",
+            "nonneg",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_mode() {
+        assert!(super::run(&argv(&["suite:uber:tiny", "--mode", "magic"])).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_engine() {
+        assert!(super::run(&argv(&["suite:uber:tiny", "--engine", "hype"])).is_err());
+    }
+
+    #[test]
+    fn every_engine_decomposes_a_tiny_tensor() {
+        for engine in ["stef2", "splatt-all", "alto", "adatm"] {
+            super::run(&argv(&[
+                "suite:nips:tiny",
+                "--rank",
+                "3",
+                "--iters",
+                "2",
+                "--engine",
+                engine,
+            ]))
+            .unwrap();
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! `stef generate` — write a synthetic suite tensor to a `.tns` file.
+
+use crate::args::{parse, FlagSpec};
+use crate::tensor_source::parse_scale;
+use workloads::SuiteScale;
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let spec = FlagSpec::new(&[
+        ("-o", "output"),
+        ("--output", "output"),
+        ("--scale", "scale"),
+        ("--seed", "seed"),
+    ]);
+    let p = parse(argv, &spec)?;
+    let name = p.one_positional("suite tensor name")?;
+    let scale = match p.opt_str("scale") {
+        Some(s) => parse_scale(s)?,
+        None => SuiteScale::Small,
+    };
+    let mut suite_spec = workloads::paper_suite()
+        .into_iter()
+        .find(|s| s.name == name)
+        .ok_or_else(|| format!("unknown suite tensor '{name}' (try `stef list`)"))?;
+    if let Some(seed) = p.opt_str("seed") {
+        suite_spec.seed = seed.parse().map_err(|_| format!("invalid seed '{seed}'"))?;
+    }
+    let default_out = format!("{name}.tns");
+    let out = p.str_or("output", &default_out);
+    let t = suite_spec.generate(scale);
+    sptensor::io::write_tns_file(&t, out).map_err(|e| format!("cannot write '{out}': {e}"))?;
+    println!(
+        "wrote {} ({} nnz, dims {:?}, seed {})",
+        out,
+        t.nnz(),
+        t.dims(),
+        suite_spec.seed
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    fn argv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn generates_a_file_and_round_trips() {
+        let dir = std::env::temp_dir().join("stef-cli-gen");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("uber.tns");
+        let out_str = out.to_str().unwrap();
+        super::run(&argv(&["uber", "-o", out_str, "--scale", "tiny"])).unwrap();
+        let t = sptensor::io::read_tns_file(&out).unwrap();
+        assert!(t.nnz() >= 500);
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn unknown_tensor_errors() {
+        assert!(super::run(&argv(&["not-a-tensor"])).is_err());
+    }
+
+    #[test]
+    fn bad_scale_errors() {
+        assert!(super::run(&argv(&["uber", "--scale", "giant"])).is_err());
+    }
+
+    #[test]
+    fn custom_seed_changes_content() {
+        let dir = std::env::temp_dir().join("stef-cli-gen-seed");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.tns");
+        let b = dir.join("b.tns");
+        super::run(&argv(&[
+            "nips",
+            "-o",
+            a.to_str().unwrap(),
+            "--scale",
+            "tiny",
+        ]))
+        .unwrap();
+        super::run(&argv(&[
+            "nips",
+            "-o",
+            b.to_str().unwrap(),
+            "--scale",
+            "tiny",
+            "--seed",
+            "999",
+        ]))
+        .unwrap();
+        let ta = std::fs::read_to_string(&a).unwrap();
+        let tb = std::fs::read_to_string(&b).unwrap();
+        assert_ne!(ta, tb);
+        std::fs::remove_file(&a).ok();
+        std::fs::remove_file(&b).ok();
+    }
+}

@@ -1,0 +1,55 @@
+//! `stef list` — show the synthetic suite and available engines.
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    if !argv.is_empty() {
+        return Err("`stef list` takes no arguments".into());
+    }
+    println!("suite tensors (use as suite:<name>[:tiny|small|full]):");
+    for spec in workloads::paper_suite() {
+        let dims: Vec<String> = spec.dims.iter().map(|d| d.to_string()).collect();
+        println!(
+            "  {:<20} {:>9} nnz @small   dims {}",
+            spec.name,
+            spec.base_nnz,
+            dims.join("x")
+        );
+    }
+    println!("\nengines:");
+    for (name, blurb) in [
+        (
+            "stef",
+            "memoized MTTKRP, nnz-balanced, model-chosen config (the paper's system)",
+        ),
+        ("stef2", "stef + second CSF for the leaf mode"),
+        ("splatt-1", "single CSF, slice-parallel, no memoization"),
+        ("splatt-2", "two CSFs, slice-parallel"),
+        ("splatt-all", "one CSF per mode, slice-parallel"),
+        ("adatm", "op-count-model memoization, slice-parallel"),
+        (
+            "alto",
+            "bit-interleaved linearized format, recompute-always",
+        ),
+        ("taco", "per-mode CSF with chunk-size auto-tuning"),
+        (
+            "hicoo",
+            "block-compressed COO (extension; pairs well with Lexi-Order)",
+        ),
+        ("reference", "naive COO oracle (slow; for validation)"),
+    ] {
+        println!("  {name:<11} {blurb}");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn list_runs_cleanly() {
+        assert!(super::run(&[]).is_ok());
+    }
+
+    #[test]
+    fn list_rejects_arguments() {
+        assert!(super::run(&["extra".to_string()]).is_err());
+    }
+}

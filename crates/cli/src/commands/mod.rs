@@ -1,0 +1,85 @@
+//! Subcommand implementations.
+
+pub mod analyze;
+pub mod bench;
+pub mod decompose;
+pub mod generate;
+pub mod list;
+pub mod validate;
+
+use stef::MttkrpEngine;
+
+/// Builds an engine by CLI name.
+pub fn engine_by_name(
+    name: &str,
+    tensor: &sptensor::CooTensor,
+    rank: usize,
+    threads: usize,
+) -> Result<Box<dyn MttkrpEngine>, String> {
+    let mut opts = stef::StefOptions::new(rank);
+    opts.num_threads = threads;
+    Ok(match name {
+        "stef" => Box::new(stef::Stef::prepare(tensor, opts)),
+        "stef2" => Box::new(stef::Stef2::prepare(tensor, opts)),
+        "splatt-1" => Box::new(baselines::Splatt::prepare(
+            tensor,
+            baselines::SplattVariant::One,
+            rank,
+            threads,
+        )),
+        "splatt-2" => Box::new(baselines::Splatt::prepare(
+            tensor,
+            baselines::SplattVariant::Two,
+            rank,
+            threads,
+        )),
+        "splatt-all" => Box::new(baselines::Splatt::prepare(
+            tensor,
+            baselines::SplattVariant::All,
+            rank,
+            threads,
+        )),
+        "adatm" => Box::new(baselines::AdaTm::prepare(tensor, rank, threads)),
+        "alto" => Box::new(baselines::Alto::prepare(tensor, rank, threads)),
+        "taco" => Box::new(baselines::TacoLike::prepare(tensor, rank, threads)),
+        "hicoo" => Box::new(baselines::HiCoo::prepare(tensor, rank, threads)),
+        "reference" => Box::new(stef::ReferenceEngine::new(tensor.clone())),
+        other => {
+            return Err(format!(
+                "unknown engine '{other}' (stef stef2 splatt-1 splatt-2 splatt-all adatm alto taco hicoo reference)"
+            ))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::uniform_tensor;
+
+    #[test]
+    fn every_engine_name_resolves() {
+        let t = uniform_tensor(&[8, 8, 8], 100, 1);
+        for name in [
+            "stef",
+            "stef2",
+            "splatt-1",
+            "splatt-2",
+            "splatt-all",
+            "adatm",
+            "alto",
+            "taco",
+            "hicoo",
+            "reference",
+        ] {
+            let e = engine_by_name(name, &t, 2, 1).unwrap();
+            assert_eq!(e.dims(), t.dims());
+        }
+    }
+
+    #[test]
+    fn unknown_engine_errors() {
+        let t = uniform_tensor(&[4, 4], 10, 2);
+        assert!(engine_by_name("magic", &t, 2, 1).is_err());
+    }
+}

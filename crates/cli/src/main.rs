@@ -1,0 +1,73 @@
+//! `stef` — command-line front end for the STeF reproduction.
+//!
+//! ```text
+//! stef generate <suite-name> [-o out.tns] [--scale tiny|small|full]
+//! stef analyze  <tensor>     [--rank R] [--cache-mb N]
+//! stef decompose <tensor>    [--rank R] [--iters N] [--tol T]
+//!                            [--engine NAME] [--threads N] [--out DIR] [--seed S]
+//! stef bench    <tensor>     [--rank R] [--reps N] [--threads N]
+//! stef validate <tensor>    [--rank R] [--engine NAME] [--tol T]
+//! stef list
+//! ```
+//!
+//! `<tensor>` is either a FROSTT `.tns` path or `suite:<name>` for a
+//! synthetic analogue of the paper's tensor suite (see `stef list`).
+
+mod args;
+mod commands;
+mod tensor_source;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        print_usage();
+        return Err("missing subcommand".into());
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "generate" => commands::generate::run(rest),
+        "analyze" => commands::analyze::run(rest),
+        "decompose" => commands::decompose::run(rest),
+        "bench" => commands::bench::run(rest),
+        "list" => commands::list::run(rest),
+        "validate" => commands::validate::run(rest),
+        "help" | "--help" | "-h" => {
+            print_usage();
+            Ok(())
+        }
+        other => {
+            print_usage();
+            Err(format!("unknown subcommand '{other}'"))
+        }
+    }
+}
+
+fn print_usage() {
+    eprintln!(
+        "stef — sparsity-aware tensor decomposition (IPDPS 2022 reproduction)\n\
+         \n\
+         USAGE:\n\
+         \u{20}stef generate <suite-name> [-o out.tns] [--scale tiny|small|full]\n\
+         \u{20}stef analyze  <tensor> [--rank R] [--cache-mb N]\n\
+         \u{20}stef decompose <tensor> [--rank R] [--iters N] [--tol T]\n\
+         \u{20}                        [--engine NAME] [--threads N] [--out DIR] [--seed S]\n\
+         \u{20}stef bench    <tensor> [--rank R] [--reps N] [--threads N]\n\
+         \u{20}stef validate <tensor> [--rank R] [--engine NAME] [--tol T]\n\
+         \u{20}stef list\n\
+         \n\
+         <tensor> = path to a .tns file, or suite:<name> (see `stef list`).\n\
+         engines: stef stef2 splatt-1 splatt-2 splatt-all adatm alto taco reference"
+    );
+}

@@ -1,0 +1,78 @@
+//! Resolving a `<tensor>` CLI argument: either a FROSTT `.tns` path or
+//! `suite:<name>[:scale]` for a synthetic analogue of the paper suite.
+
+use sptensor::CooTensor;
+use workloads::{suite_tensor, SuiteScale};
+
+/// Loads a tensor from a CLI spec string.
+pub fn load(spec: &str, default_scale: SuiteScale) -> Result<(String, CooTensor), String> {
+    if let Some(rest) = spec.strip_prefix("suite:") {
+        let (name, scale) = match rest.split_once(':') {
+            Some((n, s)) => (n, parse_scale(s)?),
+            None => (rest, default_scale),
+        };
+        let t = suite_tensor(name, scale)
+            .ok_or_else(|| format!("unknown suite tensor '{name}' (try `stef list`)"))?;
+        Ok((format!("suite:{name}"), t))
+    } else {
+        let t =
+            sptensor::io::read_tns_file(spec).map_err(|e| format!("cannot read '{spec}': {e}"))?;
+        Ok((spec.to_string(), t))
+    }
+}
+
+/// Parses a scale name strictly (CLI errors should be loud).
+pub fn parse_scale(s: &str) -> Result<SuiteScale, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "tiny" => Ok(SuiteScale::Tiny),
+        "small" => Ok(SuiteScale::Small),
+        "full" => Ok(SuiteScale::Full),
+        other => Err(format!("unknown scale '{other}' (tiny|small|full)")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_spec_loads() {
+        let (name, t) = load("suite:uber:tiny", SuiteScale::Small).unwrap();
+        assert_eq!(name, "suite:uber");
+        assert_eq!(t.dims(), &[183, 24, 1000, 2000]);
+    }
+
+    #[test]
+    fn suite_spec_uses_default_scale() {
+        let (_, a) = load("suite:uber:tiny", SuiteScale::Tiny).unwrap();
+        let (_, b) = load("suite:uber", SuiteScale::Tiny).unwrap();
+        assert_eq!(a.nnz(), b.nnz());
+    }
+
+    #[test]
+    fn unknown_suite_name_errors() {
+        assert!(load("suite:nope", SuiteScale::Tiny).is_err());
+    }
+
+    #[test]
+    fn bad_scale_errors() {
+        assert!(load("suite:uber:huge", SuiteScale::Tiny).is_err());
+        assert!(parse_scale("medium").is_err());
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(load("/nonexistent/file.tns", SuiteScale::Tiny).is_err());
+    }
+
+    #[test]
+    fn tns_file_loads() {
+        let dir = std::env::temp_dir().join("stef-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.tns");
+        std::fs::write(&path, "1 1 1 2.5\n2 2 2 -1.0\n").unwrap();
+        let (_, t) = load(path.to_str().unwrap(), SuiteScale::Tiny).unwrap();
+        assert_eq!(t.nnz(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,166 @@
+//! Khatri–Rao products.
+//!
+//! The KRP `A ⊙ B` of `I×R` and `J×R` matrices is the `(I·J)×R` matrix of
+//! row-wise outer products (paper §II-A). The *explicit* KRP is only ever
+//! materialized by reference implementations and tests — the whole point
+//! of STeF is to never form it — but the row-wise helpers here
+//! ([`krp_row`], [`hadamard_row`]) are exactly the `k_i` vector updates
+//! the MTTKRP kernels perform in their inner loops (paper Algorithm 5,
+//! line 7).
+
+use crate::Mat;
+
+/// Explicit Khatri–Rao product `A ⊙ B` → `(I·J) × R`.
+///
+/// Row `i·J + j` equals the Hadamard product of `A`'s row `i` with `B`'s
+/// row `j`. Only for small inputs (tests, reference MTTKRP); panics if the
+/// output would exceed `2^31` elements as a guard against accidental use
+/// on real workloads.
+pub fn khatri_rao(a: &Mat, b: &Mat) -> Mat {
+    assert_eq!(a.cols(), b.cols(), "KRP operands need equal rank");
+    let r = a.cols();
+    let out_rows = a.rows().checked_mul(b.rows()).expect("KRP size overflow");
+    assert!(
+        out_rows.saturating_mul(r) < (1 << 31),
+        "explicit KRP of this size is surely a mistake"
+    );
+    let mut out = Mat::zeros(out_rows, r);
+    for i in 0..a.rows() {
+        let arow = a.row(i);
+        for j in 0..b.rows() {
+            let brow = b.row(j);
+            let orow = out.row_mut(i * b.rows() + j);
+            for ((o, &x), &y) in orow.iter_mut().zip(arow).zip(brow) {
+                *o = x * y;
+            }
+        }
+    }
+    out
+}
+
+/// Chained KRP `M₀ ⊙ M₁ ⊙ … ⊙ Mₖ` (left-assosciated, matching the paper's
+/// `K⁽ⁱ⁾ = K⁽ⁱ⁻¹⁾ ⊙ A⁽ⁱ⁾` recurrence).
+pub fn khatri_rao_chain(mats: &[&Mat]) -> Mat {
+    assert!(!mats.is_empty(), "KRP chain needs at least one matrix");
+    let mut acc = mats[0].clone();
+    for m in &mats[1..] {
+        acc = khatri_rao(&acc, m);
+    }
+    acc
+}
+
+/// `out = x ⊙ y` for single rows — the `k_i ← k_{i-1} ⊙ A⁽ⁱ⁾[idx,:]` step.
+#[inline]
+pub fn krp_row(out: &mut [f64], x: &[f64], y: &[f64]) {
+    debug_assert_eq!(out.len(), x.len());
+    debug_assert_eq!(out.len(), y.len());
+    for ((o, &a), &b) in out.iter_mut().zip(x).zip(y) {
+        *o = a * b;
+    }
+}
+
+/// `acc += x ⊙ y` for single rows — the `Ā[idx,:] += k ⊙ t` update
+/// (paper Algorithm 5, line 18).
+#[inline]
+pub fn hadamard_row(acc: &mut [f64], x: &[f64], y: &[f64]) {
+    debug_assert_eq!(acc.len(), x.len());
+    debug_assert_eq!(acc.len(), y.len());
+    for ((a, &b), &c) in acc.iter_mut().zip(x).zip(y) {
+        *a += b * c;
+    }
+}
+
+/// `acc += s · x` — the leaf-level `t += T[..] · A⁽ᵈ⁻¹⁾[l,:]` update
+/// (paper Algorithm 5, line 16) and the leaf-mode scatter (line 14).
+#[inline]
+pub fn axpy_row(acc: &mut [f64], s: f64, x: &[f64]) {
+    debug_assert_eq!(acc.len(), x.len());
+    for (a, &b) in acc.iter_mut().zip(x) {
+        *a += s * b;
+    }
+}
+
+/// `out = x` then `out ⊙= y`, fused; convenience for kernels that own a
+/// scratch row.
+#[inline]
+pub fn mul_rows_into(out: &mut [f64], x: &[f64], y: &[f64]) {
+    krp_row(out, x, y);
+}
+
+/// Dot product of two rows.
+#[inline]
+pub fn dot_row(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(&a, &b)| a * b).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn krp_shape_and_values() {
+        let a = Mat::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Mat::from_vec(3, 2, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0]);
+        let k = khatri_rao(&a, &b);
+        assert_eq!(k.rows(), 6);
+        assert_eq!(k.cols(), 2);
+        // Row (i=1, j=2) -> index 1*3+2 = 5 = [3*3, 4*3].
+        assert_eq!(k.row(5), &[9.0, 12.0]);
+        // Row (i=0, j=0) -> [1,2].
+        assert_eq!(k.row(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn krp_chain_associates_left() {
+        let a = Mat::from_vec(2, 1, vec![2.0, 3.0]);
+        let b = Mat::from_vec(2, 1, vec![5.0, 7.0]);
+        let c = Mat::from_vec(2, 1, vec![11.0, 13.0]);
+        let k = khatri_rao_chain(&[&a, &b, &c]);
+        assert_eq!(k.rows(), 8);
+        // Entry (i=1, j=0, k=1) -> ((1*2)+0)*2 + 1 = 5: 3*5*13 = 195.
+        assert_eq!(k.row(5), &[195.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal rank")]
+    fn krp_rejects_rank_mismatch() {
+        let a = Mat::zeros(2, 2);
+        let b = Mat::zeros(2, 3);
+        let _ = khatri_rao(&a, &b);
+    }
+
+    #[test]
+    fn row_helpers_match_definitions() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, 5.0, 6.0];
+        let mut out = [0.0; 3];
+        krp_row(&mut out, &x, &y);
+        assert_eq!(out, [4.0, 10.0, 18.0]);
+
+        let mut acc = [1.0, 1.0, 1.0];
+        hadamard_row(&mut acc, &x, &y);
+        assert_eq!(acc, [5.0, 11.0, 19.0]);
+
+        let mut acc2 = [0.5, 0.5, 0.5];
+        axpy_row(&mut acc2, 2.0, &x);
+        assert_eq!(acc2, [2.5, 4.5, 6.5]);
+
+        assert_eq!(dot_row(&x, &y), 32.0);
+    }
+
+    #[test]
+    fn krp_against_kron_structure() {
+        // KRP columns are Kronecker products of the corresponding columns.
+        let a = Mat::from_fn(3, 2, |i, j| (i + j + 1) as f64);
+        let b = Mat::from_fn(2, 2, |i, j| (2 * i + j + 1) as f64);
+        let k = khatri_rao(&a, &b);
+        for r in 0..2 {
+            for i in 0..3 {
+                for j in 0..2 {
+                    assert_eq!(k[(i * 2 + j, r)], a[(i, r)] * b[(j, r)]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Column normalization for CP-ALS.
+//!
+//! After each mode update the new factor's columns are normalized and the
+//! norms accumulated into the weight vector `λ` (paper Algorithm 2,
+//! lines 4/7/10/13). On the first ALS iteration the 2-norm is used; later
+//! iterations conventionally use the max-norm clamped at 1 so that factor
+//! magnitudes cannot drift — we expose both and let the driver choose,
+//! matching SPLATT's behaviour.
+
+use crate::Mat;
+
+/// Which norm [`normalize_columns`] applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnNorm {
+    /// Euclidean norm — used on the first ALS sweep.
+    Two,
+    /// `max(1, max_i |a_ij|)` — used on subsequent sweeps to avoid
+    /// shrinking columns that are already small.
+    MaxClamped,
+}
+
+/// Returns the 2-norm of each column of `a`.
+pub fn column_norms(a: &Mat) -> Vec<f64> {
+    let r = a.cols();
+    let mut sums = vec![0.0; r];
+    for row in a.as_slice().chunks_exact(r.max(1)) {
+        for (s, &v) in sums.iter_mut().zip(row) {
+            *s += v * v;
+        }
+    }
+    for s in &mut sums {
+        *s = s.sqrt();
+    }
+    sums
+}
+
+/// Returns the max-abs of each column of `a`.
+pub fn column_max_abs(a: &Mat) -> Vec<f64> {
+    let r = a.cols();
+    let mut maxs = vec![0.0_f64; r];
+    for row in a.as_slice().chunks_exact(r.max(1)) {
+        for (m, &v) in maxs.iter_mut().zip(row) {
+            *m = m.max(v.abs());
+        }
+    }
+    maxs
+}
+
+/// Normalizes the columns of `a` in place and writes each column's norm
+/// into `lambda`. Zero columns are left untouched with `λ = 1` so the
+/// model `Σ λ_r a_r ⊗ b_r ⊗ …` stays well-defined.
+///
+/// # Panics
+/// Panics if `lambda.len() != a.cols()`.
+pub fn normalize_columns(a: &mut Mat, lambda: &mut [f64], norm: ColumnNorm) {
+    assert_eq!(lambda.len(), a.cols(), "lambda length must equal rank");
+    let norms = match norm {
+        ColumnNorm::Two => column_norms(a),
+        ColumnNorm::MaxClamped => column_max_abs(a).into_iter().map(|m| m.max(1.0)).collect(),
+    };
+    let r = a.cols();
+    for (dst, &n) in lambda.iter_mut().zip(&norms) {
+        *dst = if n > 0.0 { n } else { 1.0 };
+    }
+    for row in a.as_mut_slice().chunks_exact_mut(r.max(1)) {
+        for (v, &n) in row.iter_mut().zip(&norms) {
+            if n > 0.0 {
+                *v /= n;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn column_norms_basic() {
+        let a = Mat::from_vec(2, 2, vec![3.0, 1.0, 4.0, 1.0]);
+        let n = column_norms(&a);
+        assert!((n[0] - 5.0).abs() < 1e-12);
+        assert!((n[1] - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_two_makes_unit_columns() {
+        let mut a = Mat::from_vec(2, 2, vec![3.0, 2.0, 4.0, 0.0]);
+        let mut lambda = vec![0.0; 2];
+        normalize_columns(&mut a, &mut lambda, ColumnNorm::Two);
+        assert!((lambda[0] - 5.0).abs() < 1e-12);
+        let n = column_norms(&a);
+        assert!((n[0] - 1.0).abs() < 1e-12);
+        assert!((n[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_zero_column_is_safe() {
+        let mut a = Mat::from_vec(2, 2, vec![1.0, 0.0, 1.0, 0.0]);
+        let mut lambda = vec![0.0; 2];
+        normalize_columns(&mut a, &mut lambda, ColumnNorm::Two);
+        assert_eq!(lambda[1], 1.0);
+        assert_eq!(a[(0, 1)], 0.0);
+        assert!(a.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn max_clamped_never_scales_up() {
+        let mut a = Mat::from_vec(2, 2, vec![0.5, 3.0, 0.25, -6.0]);
+        let mut lambda = vec![0.0; 2];
+        normalize_columns(&mut a, &mut lambda, ColumnNorm::MaxClamped);
+        // Column 0 max-abs 0.5 < 1 -> clamped to 1 -> untouched.
+        assert_eq!(lambda[0], 1.0);
+        assert_eq!(a[(0, 0)], 0.5);
+        // Column 1 max-abs 6 -> scaled down.
+        assert_eq!(lambda[1], 6.0);
+        assert_eq!(a[(1, 1)], -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda length")]
+    fn normalize_checks_lambda_len() {
+        let mut a = Mat::zeros(2, 3);
+        let mut lambda = vec![0.0; 2];
+        normalize_columns(&mut a, &mut lambda, ColumnNorm::Two);
+    }
+
+    #[test]
+    fn reconstruction_is_preserved() {
+        // λ_r * normalized column == original column.
+        let orig = Mat::from_fn(4, 3, |i, j| (i * 3 + j) as f64 - 4.0);
+        let mut a = orig.clone();
+        let mut lambda = vec![0.0; 3];
+        normalize_columns(&mut a, &mut lambda, ColumnNorm::Two);
+        for i in 0..4 {
+            for j in 0..3 {
+                assert!((a[(i, j)] * lambda[j] - orig[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Solving the CP-ALS normal equations.
+//!
+//! Each mode update is `A⁽ᵘ⁾ ← Ā⁽ᵘ⁾ V⁻¹` where `V` is the Hadamard
+//! product of the other factors' Gram matrices (paper Algorithm 2). `V` is
+//! symmetric positive semi-definite and tiny (`R × R`), so we:
+//!
+//! 1. attempt a Cholesky factorization `V = L Lᵀ`,
+//! 2. on failure, retry with a small ridge `V + εI` (standard CP-ALS
+//!    practice — SPLATT does the same), and
+//! 3. as a last resort fall back to partially pivoted LU, which handles
+//!    the exactly rank-deficient case.
+//!
+//! Solving is then `R` triangular substitutions applied row-by-row to the
+//! (possibly huge) right-hand-side matrix, parallelized over its rows.
+
+use crate::Mat;
+use rayon::prelude::*;
+
+/// Which factorization ended up being used by [`solve_gram_system`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveMethod {
+    /// Plain Cholesky succeeded.
+    Cholesky,
+    /// Cholesky needed a ridge `V + εI`.
+    RidgedCholesky,
+    /// LU with partial pivoting was used (rank-deficient `V`).
+    Lu,
+}
+
+/// Computes the lower-triangular Cholesky factor `L` with `V = L Lᵀ`.
+///
+/// Returns `None` if `v` is not (numerically) positive definite.
+pub fn cholesky_factor(v: &Mat) -> Option<Mat> {
+    assert_eq!(v.rows(), v.cols(), "cholesky needs a square matrix");
+    let n = v.rows();
+    let mut l = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = v[(i, j)];
+            for k in 0..j {
+                sum -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return None;
+                }
+                l[(i, j)] = sum.sqrt();
+            } else {
+                l[(i, j)] = sum / l[(j, j)];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solves `x Lᵀ = b` then implicitly `y L = x` — i.e. applies `(L Lᵀ)⁻¹`
+/// from the right to a single row `b`, in place.
+#[inline]
+fn solve_row_cholesky(l: &Mat, row: &mut [f64]) {
+    let n = l.rows();
+    // Row-vector solve: we want row ← row · V⁻¹ = row · (L Lᵀ)⁻¹.
+    // Let z solve z · Lᵀ = row  (forward substitution over columns of Lᵀ,
+    // i.e. rows of L), then row ← z · L⁻¹ (back substitution).
+    // z_j = (row_j - Σ_{k<j} z_k L[j][k]) / L[j][j]
+    for j in 0..n {
+        let mut s = row[j];
+        for k in 0..j {
+            s -= row[k] * l[(j, k)];
+        }
+        row[j] = s / l[(j, j)];
+    }
+    // y_j = (z_j - Σ_{k>j} y_k L[k][j]) / L[j][j]
+    for j in (0..n).rev() {
+        let mut s = row[j];
+        for k in j + 1..n {
+            s -= row[k] * l[(k, j)];
+        }
+        row[j] = s / l[(j, j)];
+    }
+}
+
+/// LU decomposition with partial pivoting. Returns `(lu, perm)` where the
+/// unit-lower and upper factors are packed into `lu` and `perm` records
+/// row swaps. Returns `None` for a singular matrix.
+fn lu_factor(v: &Mat) -> Option<(Mat, Vec<usize>)> {
+    let n = v.rows();
+    let mut lu = v.clone();
+    let mut perm: Vec<usize> = (0..n).collect();
+    for col in 0..n {
+        // Pivot search.
+        let mut piv = col;
+        let mut max = lu[(col, col)].abs();
+        for r in col + 1..n {
+            let a = lu[(r, col)].abs();
+            if a > max {
+                max = a;
+                piv = r;
+            }
+        }
+        if max < 1e-300 {
+            return None;
+        }
+        if piv != col {
+            perm.swap(col, piv);
+            for j in 0..n {
+                let tmp = lu[(col, j)];
+                lu[(col, j)] = lu[(piv, j)];
+                lu[(piv, j)] = tmp;
+            }
+        }
+        let d = lu[(col, col)];
+        for r in col + 1..n {
+            let f = lu[(r, col)] / d;
+            lu[(r, col)] = f;
+            for j in col + 1..n {
+                let sub = f * lu[(col, j)];
+                lu[(r, j)] -= sub;
+            }
+        }
+    }
+    Some((lu, perm))
+}
+
+/// Inverts `v` via LU; used as the rank-deficient fallback. The tiny ridge
+/// added first makes this robust even when `v` is exactly singular.
+fn lu_inverse(v: &Mat) -> Mat {
+    let n = v.rows();
+    let mut ridged = v.clone();
+    let scale = (0..n).map(|i| v[(i, i)].abs()).fold(0.0_f64, f64::max);
+    let eps = (scale * 1e-12).max(1e-300);
+    let (lu, perm) = loop {
+        if let Some(ok) = lu_factor(&ridged) {
+            break ok;
+        }
+        for i in 0..n {
+            ridged[(i, i)] += eps.max(1e-8 * scale.max(1.0));
+        }
+    };
+    let mut inv = Mat::zeros(n, n);
+    let mut col = vec![0.0; n];
+    for e in 0..n {
+        // Solve LU x = P e_e.
+        for (i, c) in col.iter_mut().enumerate() {
+            *c = if perm[i] == e { 1.0 } else { 0.0 };
+        }
+        for i in 0..n {
+            for k in 0..i {
+                col[i] -= lu[(i, k)] * col[k];
+            }
+        }
+        for i in (0..n).rev() {
+            for k in i + 1..n {
+                col[i] -= lu[(i, k)] * col[k];
+            }
+            col[i] /= lu[(i, i)];
+        }
+        for i in 0..n {
+            inv[(i, e)] = col[i];
+        }
+    }
+    inv
+}
+
+/// Solves `X V = B` for `X` (i.e. `X = B · V⁻¹`) where `V` is the
+/// symmetric positive semi-definite `R × R` Hadamard-of-Grams matrix and
+/// `B` is the `N × R` MTTKRP result. `B` is overwritten with the solution.
+///
+/// Returns the factorization that was actually used, which the CPD driver
+/// surfaces in its per-iteration diagnostics.
+pub fn solve_gram_system(v: &Mat, b: &mut Mat) -> SolveMethod {
+    assert_eq!(v.rows(), v.cols());
+    assert_eq!(b.cols(), v.rows(), "rhs width must match system size");
+    let n = v.rows();
+    if let Some(l) = cholesky_factor(v) {
+        apply_cholesky(&l, b);
+        return SolveMethod::Cholesky;
+    }
+    // Ridge: scale-aware epsilon on the diagonal.
+    let scale = (0..n).map(|i| v[(i, i)].abs()).fold(0.0_f64, f64::max);
+    let mut ridged = v.clone();
+    for i in 0..n {
+        ridged[(i, i)] += (scale * 1e-10).max(1e-12);
+    }
+    if let Some(l) = cholesky_factor(&ridged) {
+        apply_cholesky(&l, b);
+        return SolveMethod::RidgedCholesky;
+    }
+    let inv = lu_inverse(v);
+    let solved = crate::ops::matmul(b, &inv);
+    *b = solved;
+    SolveMethod::Lu
+}
+
+fn apply_cholesky(l: &Mat, b: &mut Mat) {
+    let r = b.cols();
+    if b.rows() >= 1024 {
+        b.as_mut_slice()
+            .par_chunks_mut(r)
+            .for_each(|row| solve_row_cholesky(l, row));
+    } else {
+        for row in b.as_mut_slice().chunks_exact_mut(r.max(1)) {
+            solve_row_cholesky(l, row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{gram_full, matmul};
+    use crate::{assert_mat_approx_eq, Mat};
+
+    fn spd(n: usize, seed: u64) -> Mat {
+        // Build an SPD matrix as GᵀG + I from a deterministic pseudo-random G.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f64 / 500.0 - 1.0
+        };
+        let g = Mat::from_fn(n + 2, n, |_, _| next());
+        let mut v = gram_full(&g);
+        for i in 0..n {
+            v[(i, i)] += 1.0;
+        }
+        v
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let v = spd(5, 42);
+        let l = cholesky_factor(&v).expect("SPD must factor");
+        let rebuilt = matmul(&l, &crate::ops::transpose(&l));
+        assert_mat_approx_eq(&rebuilt, &v, 1e-9);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let v = Mat::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]); // eigenvalues 3, -1
+        assert!(cholesky_factor(&v).is_none());
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let v = spd(4, 7);
+        let x_true = Mat::from_fn(6, 4, |i, j| (i as f64 - j as f64) * 0.5);
+        let mut b = matmul(&x_true, &v);
+        let method = solve_gram_system(&v, &mut b);
+        assert_eq!(method, SolveMethod::Cholesky);
+        assert_mat_approx_eq(&b, &x_true, 1e-8);
+    }
+
+    #[test]
+    fn solve_identity_is_noop() {
+        let v = Mat::identity(3);
+        let mut b = Mat::from_fn(5, 3, |i, j| (i * 3 + j) as f64);
+        let orig = b.clone();
+        solve_gram_system(&v, &mut b);
+        assert_mat_approx_eq(&b, &orig, 1e-12);
+    }
+
+    #[test]
+    fn solve_singular_falls_back() {
+        // Rank-1 V: Cholesky fails, ridge may fail, LU path must not panic
+        // and must produce a finite result.
+        let v = Mat::from_vec(2, 2, vec![1.0, 1.0, 1.0, 1.0]);
+        let mut b = Mat::from_fn(3, 2, |i, j| (i + j) as f64);
+        let method = solve_gram_system(&v, &mut b);
+        assert_ne!(method, SolveMethod::Cholesky);
+        assert!(b.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn solve_large_rhs_parallel_path() {
+        let v = spd(3, 99);
+        let x_true = Mat::from_fn(5000, 3, |i, j| ((i + j) % 13) as f64 * 0.1);
+        let mut b = matmul(&x_true, &v);
+        solve_gram_system(&v, &mut b);
+        assert_mat_approx_eq(&b, &x_true, 1e-7);
+    }
+
+    #[test]
+    fn lu_inverse_matches_identity() {
+        let v = spd(4, 3);
+        let inv = lu_inverse(&v);
+        let prod = matmul(&v, &inv);
+        assert_mat_approx_eq(&prod, &Mat::identity(4), 1e-8);
+    }
+
+    #[test]
+    fn lu_inverse_handles_permutation() {
+        // A matrix requiring pivoting (zero on the leading diagonal).
+        let v = Mat::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
+        let inv = lu_inverse(&v);
+        let prod = matmul(&v, &inv);
+        assert_mat_approx_eq(&prod, &Mat::identity(2), 1e-10);
+    }
+}

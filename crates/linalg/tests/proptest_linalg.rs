@@ -1,0 +1,157 @@
+//! Property-based tests for the dense algebra substrate.
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use stef_linalg::krp::{dot_row, khatri_rao, khatri_rao_chain};
+use stef_linalg::norms::{column_norms, normalize_columns, ColumnNorm};
+use stef_linalg::ops::{frob_inner, gram_full, matmul, transpose};
+use stef_linalg::solve::{cholesky_factor, solve_gram_system};
+use stef_linalg::{approx_eq, assert_mat_approx_eq, Mat};
+
+fn arb_mat(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Mat> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        pvec(-10.0f64..10.0, r * c).prop_map(move |data| Mat::from_vec(r, c, data))
+    })
+}
+
+/// A pair of matrices with compatible inner dimensions.
+fn arb_mul_pair() -> impl Strategy<Value = (Mat, Mat)> {
+    (1usize..=6, 1usize..=6, 1usize..=6).prop_flat_map(|(m, k, n)| {
+        (
+            pvec(-5.0f64..5.0, m * k).prop_map(move |d| Mat::from_vec(m, k, d)),
+            pvec(-5.0f64..5.0, k * n).prop_map(move |d| Mat::from_vec(k, n, d)),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gram_equals_at_a(a in arb_mat(20, 6)) {
+        let g = gram_full(&a);
+        let brute = matmul(&transpose(&a), &a);
+        assert_mat_approx_eq(&g, &brute, 1e-9);
+    }
+
+    #[test]
+    fn gram_is_positive_semidefinite(a in arb_mat(15, 5)) {
+        // xᵀGx = ‖Ax‖² ≥ 0 for a few deterministic x vectors.
+        let g = gram_full(&a);
+        let n = g.rows();
+        for probe in 0..3u64 {
+            let x: Vec<f64> = (0..n).map(|i| ((i as u64 + probe * 7) % 5) as f64 - 2.0).collect();
+            let mut quad = 0.0;
+            for i in 0..n {
+                for j in 0..n {
+                    quad += x[i] * g[(i, j)] * x[j];
+                }
+            }
+            prop_assert!(quad >= -1e-9, "xᵀGx = {quad}");
+        }
+    }
+
+    #[test]
+    fn matmul_is_associative((a, b) in arb_mul_pair(), cols in 1usize..=4) {
+        let k = b.cols();
+        let c = Mat::from_fn(k, cols, |i, j| ((i * 3 + j * 5) % 7) as f64 - 3.0);
+        let left = matmul(&matmul(&a, &b), &c);
+        let right = matmul(&a, &matmul(&b, &c));
+        assert_mat_approx_eq(&left, &right, 1e-8);
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in arb_mat(10, 10)) {
+        assert_mat_approx_eq(&transpose(&transpose(&a)), &a, 0.0);
+    }
+
+    #[test]
+    fn frob_inner_is_symmetric(a in arb_mat(8, 8)) {
+        let b = Mat::from_fn(a.rows(), a.cols(), |i, j| (i + 2 * j) as f64 * 0.5 - 1.0);
+        prop_assert!(approx_eq(frob_inner(&a, &b), frob_inner(&b, &a), 1e-12));
+    }
+
+    #[test]
+    fn cholesky_solve_recovers_solution(g in arb_mat(12, 4), rows in 1usize..=8) {
+        // Build a definite system V = GᵀG + I.
+        let mut v = gram_full(&g);
+        let n = v.rows();
+        for i in 0..n {
+            v[(i, i)] += 1.0;
+        }
+        let x_true = Mat::from_fn(rows, n, |i, j| ((i * 5 + j * 3) % 11) as f64 * 0.25 - 1.0);
+        let mut b = matmul(&x_true, &v);
+        solve_gram_system(&v, &mut b);
+        assert_mat_approx_eq(&b, &x_true, 1e-6);
+    }
+
+    #[test]
+    fn cholesky_factor_is_lower_triangular(g in arb_mat(10, 4)) {
+        let mut v = gram_full(&g);
+        for i in 0..v.rows() {
+            v[(i, i)] += 1.0;
+        }
+        let l = cholesky_factor(&v).expect("definite");
+        for i in 0..l.rows() {
+            for j in i + 1..l.cols() {
+                prop_assert_eq!(l[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn khatri_rao_column_structure(a in arb_mat(5, 3)) {
+        let b = Mat::from_fn(4, a.cols(), |i, j| (i * 2 + j) as f64 * 0.5);
+        let k = khatri_rao(&a, &b);
+        prop_assert_eq!(k.rows(), a.rows() * 4);
+        for r in 0..a.cols() {
+            for i in 0..a.rows() {
+                for j in 0..4 {
+                    prop_assert!(approx_eq(
+                        k[(i * 4 + j, r)],
+                        a[(i, r)] * b[(j, r)],
+                        1e-12
+                    ));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn krp_chain_rank_one_matches_outer_product(u in pvec(-3.0f64..3.0, 2..5), v in pvec(-3.0f64..3.0, 2..5)) {
+        let a = Mat::from_vec(u.len(), 1, u.clone());
+        let b = Mat::from_vec(v.len(), 1, v.clone());
+        let k = khatri_rao_chain(&[&a, &b]);
+        for (i, &x) in u.iter().enumerate() {
+            for (j, &y) in v.iter().enumerate() {
+                prop_assert!(approx_eq(k[(i * v.len() + j, 0)], x * y, 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn normalization_preserves_reconstruction(a in arb_mat(10, 4)) {
+        let orig = a.clone();
+        let mut m = a;
+        let mut lambda = vec![0.0; m.cols()];
+        normalize_columns(&mut m, &mut lambda, ColumnNorm::Two);
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                prop_assert!(approx_eq(m[(i, j)] * lambda[j], orig[(i, j)], 1e-9));
+            }
+        }
+        // Normalized non-zero columns are unit length.
+        for (j, n) in column_norms(&m).iter().enumerate() {
+            if lambda[j] > 1.0e-300 && column_norms(&orig)[j] > 0.0 {
+                prop_assert!(approx_eq(*n, 1.0, 1e-9), "column {j} norm {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_row_matches_manual(u in pvec(-5.0f64..5.0, 1..8)) {
+        let v: Vec<f64> = u.iter().map(|x| x * 2.0 + 1.0).collect();
+        let manual: f64 = u.iter().zip(&v).map(|(a, b)| a * b).sum();
+        prop_assert!(approx_eq(dot_row(&u, &v), manual, 1e-12));
+    }
+}

@@ -1,0 +1,211 @@
+//! FROSTT `.tns` text I/O.
+//!
+//! The FROSTT repository distributes tensors as whitespace-separated text:
+//! one non-zero per line, `d` 1-based coordinates followed by the value.
+//! Lines starting with `#` are comments. This loader lets the real
+//! benchmark tensors be dropped into the harness in place of the
+//! synthetic suite.
+
+use crate::CooTensor;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors from `.tns` parsing.
+#[derive(Debug)]
+pub enum TnsError {
+    /// I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number and a description.
+    Parse { line: usize, msg: String },
+    /// The file contained no non-zeros.
+    Empty,
+}
+
+impl std::fmt::Display for TnsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TnsError::Io(e) => write!(f, "I/O error: {e}"),
+            TnsError::Parse { line, msg } => write!(f, "parse error on line {line}: {msg}"),
+            TnsError::Empty => write!(f, "tensor file contains no non-zeros"),
+        }
+    }
+}
+
+impl std::error::Error for TnsError {}
+
+impl From<std::io::Error> for TnsError {
+    fn from(e: std::io::Error) -> Self {
+        TnsError::Io(e)
+    }
+}
+
+/// Reads a `.tns` tensor from any reader. Mode lengths are inferred as
+/// the maximum coordinate seen per mode (the FROSTT convention).
+pub fn read_tns<R: Read>(reader: R) -> Result<CooTensor, TnsError> {
+    let mut lines = BufReader::new(reader);
+    let mut buf = String::new();
+    let mut lineno = 0usize;
+
+    let mut nmodes: Option<usize> = None;
+    let mut coords: Vec<Vec<u32>> = Vec::new();
+    let mut vals: Vec<f64> = Vec::new();
+    let mut maxes: Vec<u32> = Vec::new();
+
+    loop {
+        buf.clear();
+        if lines.read_line(&mut buf)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let line = buf.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let toks: Vec<&str> = fields.by_ref().collect();
+        if toks.len() < 3 {
+            return Err(TnsError::Parse {
+                line: lineno,
+                msg: format!(
+                    "expected at least 2 coordinates and a value, got {} fields",
+                    toks.len()
+                ),
+            });
+        }
+        let d = toks.len() - 1;
+        match nmodes {
+            None => {
+                nmodes = Some(d);
+                coords = vec![Vec::new(); d];
+                maxes = vec![0; d];
+            }
+            Some(existing) if existing != d => {
+                return Err(TnsError::Parse {
+                    line: lineno,
+                    msg: format!("inconsistent arity: {d} coordinates after {existing}"),
+                });
+            }
+            Some(_) => {}
+        }
+        for (m, tok) in toks[..d].iter().enumerate() {
+            let c: u64 = tok.parse().map_err(|_| TnsError::Parse {
+                line: lineno,
+                msg: format!("bad coordinate '{tok}'"),
+            })?;
+            if c == 0 {
+                return Err(TnsError::Parse {
+                    line: lineno,
+                    msg: "coordinates are 1-based; found 0".into(),
+                });
+            }
+            let c0 = (c - 1) as u32;
+            coords[m].push(c0);
+            if c0 > maxes[m] {
+                maxes[m] = c0;
+            }
+        }
+        let v: f64 = toks[d].parse().map_err(|_| TnsError::Parse {
+            line: lineno,
+            msg: format!("bad value '{}'", toks[d]),
+        })?;
+        vals.push(v);
+    }
+
+    let d = nmodes.ok_or(TnsError::Empty)?;
+    let dims: Vec<usize> = maxes.iter().map(|&m| m as usize + 1).collect();
+    let mut t = CooTensor::new(dims);
+    let mut coord = vec![0u32; d];
+    for e in 0..vals.len() {
+        for m in 0..d {
+            coord[m] = coords[m][e];
+        }
+        t.push(&coord, vals[e]);
+    }
+    Ok(t)
+}
+
+/// Reads a `.tns` file from disk.
+pub fn read_tns_file(path: impl AsRef<Path>) -> Result<CooTensor, TnsError> {
+    read_tns(std::fs::File::open(path)?)
+}
+
+/// Writes a tensor in `.tns` format (1-based coordinates).
+pub fn write_tns<W: Write>(t: &CooTensor, writer: W) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    let d = t.ndim();
+    for e in 0..t.nnz() {
+        for m in 0..d {
+            write!(w, "{} ", t.indices()[m][e] + 1)?;
+        }
+        writeln!(w, "{}", t.values()[e])?;
+    }
+    w.flush()
+}
+
+/// Writes a `.tns` file to disk.
+pub fn write_tns_file(t: &CooTensor, path: impl AsRef<Path>) -> std::io::Result<()> {
+    write_tns(t, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_file() {
+        let data = "# a comment\n1 1 1 1.5\n2 3 1 -2.0\n\n3 3 3 0.25\n";
+        let t = read_tns(data.as_bytes()).unwrap();
+        assert_eq!(t.ndim(), 3);
+        assert_eq!(t.dims(), &[3, 3, 3]);
+        assert_eq!(t.nnz(), 3);
+        assert_eq!(t.get(&[1, 2, 0]), -2.0);
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let mut t = CooTensor::new(vec![4, 5, 6, 7]);
+        t.push(&[3, 4, 5, 6], 1.25);
+        t.push(&[0, 0, 0, 0], -0.5);
+        let mut buf = Vec::new();
+        write_tns(&t, &mut buf).unwrap();
+        let back = read_tns(buf.as_slice()).unwrap();
+        assert_eq!(back.nnz(), 2);
+        assert_eq!(back.get(&[3, 4, 5, 6]), 1.25);
+        assert_eq!(back.get(&[0, 0, 0, 0]), -0.5);
+        // Dims are inferred from max coordinates, so they shrink-wrap.
+        assert_eq!(back.dims(), &[4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn rejects_zero_based() {
+        let err = read_tns("0 1 2.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TnsError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_inconsistent_arity() {
+        let err = read_tns("1 1 1 2.0\n1 1 2.0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TnsError::Parse { line: 2, .. }));
+    }
+
+    #[test]
+    fn rejects_garbage_value() {
+        let err = read_tns("1 1 banana\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TnsError::Parse { .. }));
+    }
+
+    #[test]
+    fn empty_file_is_an_error() {
+        assert!(matches!(
+            read_tns("# nothing\n".as_bytes()),
+            Err(TnsError::Empty)
+        ));
+    }
+
+    #[test]
+    fn scientific_notation_values() {
+        let t = read_tns("1 1 1e-3\n2 2 2.5E2\n".as_bytes()).unwrap();
+        assert_eq!(t.get(&[0, 0]), 1e-3);
+        assert_eq!(t.get(&[1, 1]), 250.0);
+    }
+}

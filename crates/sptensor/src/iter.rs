@@ -1,0 +1,246 @@
+//! Typed traversal API over CSF trees.
+//!
+//! The kernels in `stef-core` walk the raw `fids`/`ptr` arrays for
+//! speed, but library users exploring a tensor want something safer:
+//! a [`NodeRef`] hands out a node's index, its fiber id, its children
+//! and its leaf range without any manual pointer arithmetic, and
+//! [`Csf::slices`] / [`NodeRef::children`] iterate them in order.
+//!
+//! ```
+//! use stef_sptensor::{build_csf, CooTensor};
+//!
+//! let mut t = CooTensor::new(vec![3, 4, 5]);
+//! t.push(&[0, 1, 2], 1.0);
+//! t.push(&[0, 3, 4], 2.0);
+//! t.push(&[2, 0, 0], 3.0);
+//! let csf = build_csf(&t, &[0, 1, 2]);
+//!
+//! // Total value per root slice via the typed API:
+//! for slice in csf.slices() {
+//!     let (lo, hi) = slice.leaf_range();
+//!     let total: f64 = csf.vals()[lo..hi].iter().sum();
+//!     println!("slice {} holds {} nnz summing to {total}", slice.fid(), hi - lo);
+//! }
+//! ```
+
+use crate::csf::Csf;
+
+/// A borrowed reference to one CSF node.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeRef<'a> {
+    csf: &'a Csf,
+    level: usize,
+    idx: usize,
+}
+
+impl<'a> NodeRef<'a> {
+    /// The node's tree level (0 = root slices).
+    #[inline]
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// The node's position among its level's fibers.
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.idx
+    }
+
+    /// The tensor coordinate this node represents at its level
+    /// (in the CSF's permuted mode order).
+    #[inline]
+    pub fn fid(&self) -> u32 {
+        self.csf.fids(self.level)[self.idx]
+    }
+
+    /// `true` for leaf-level nodes (which carry values).
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.level == self.csf.ndim() - 1
+    }
+
+    /// The node's value, if it is a leaf.
+    #[inline]
+    pub fn value(&self) -> Option<f64> {
+        self.is_leaf().then(|| self.csf.vals()[self.idx])
+    }
+
+    /// Iterates the node's children (empty for leaves).
+    pub fn children(&self) -> NodeIter<'a> {
+        if self.is_leaf() {
+            NodeIter {
+                csf: self.csf,
+                level: self.level,
+                cur: 0,
+                end: 0,
+            }
+        } else {
+            let (lo, hi) = (
+                self.csf.ptr(self.level)[self.idx],
+                self.csf.ptr(self.level)[self.idx + 1],
+            );
+            NodeIter {
+                csf: self.csf,
+                level: self.level + 1,
+                cur: lo,
+                end: hi,
+            }
+        }
+    }
+
+    /// Number of direct children.
+    pub fn num_children(&self) -> usize {
+        if self.is_leaf() {
+            0
+        } else {
+            self.csf.ptr(self.level)[self.idx + 1] - self.csf.ptr(self.level)[self.idx]
+        }
+    }
+
+    /// The contiguous range of non-zeros under this node's subtree.
+    pub fn leaf_range(&self) -> (usize, usize) {
+        self.csf.leaf_range(self.level, self.idx)
+    }
+
+    /// Number of non-zeros in the subtree.
+    pub fn nnz(&self) -> usize {
+        let (lo, hi) = self.leaf_range();
+        hi - lo
+    }
+}
+
+/// Iterator over a contiguous run of nodes at one level.
+pub struct NodeIter<'a> {
+    csf: &'a Csf,
+    level: usize,
+    cur: usize,
+    end: usize,
+}
+
+impl<'a> Iterator for NodeIter<'a> {
+    type Item = NodeRef<'a>;
+
+    fn next(&mut self) -> Option<NodeRef<'a>> {
+        if self.cur >= self.end {
+            return None;
+        }
+        let node = NodeRef {
+            csf: self.csf,
+            level: self.level,
+            idx: self.cur,
+        };
+        self.cur += 1;
+        Some(node)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.end - self.cur;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for NodeIter<'_> {}
+
+impl Csf {
+    /// Iterates the root slices as typed nodes.
+    pub fn slices(&self) -> NodeIter<'_> {
+        NodeIter {
+            csf: self,
+            level: 0,
+            cur: 0,
+            end: self.nfibers(0),
+        }
+    }
+
+    /// Typed reference to an arbitrary node.
+    ///
+    /// # Panics
+    /// Panics if `level` or `idx` is out of range.
+    pub fn node(&self, level: usize, idx: usize) -> NodeRef<'_> {
+        assert!(level < self.ndim(), "level out of range");
+        assert!(idx < self.nfibers(level), "node index out of range");
+        NodeRef {
+            csf: self,
+            level,
+            idx,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::build::build_csf;
+    use crate::CooTensor;
+
+    fn sample() -> crate::Csf {
+        let mut t = CooTensor::new(vec![3, 2, 3]);
+        for (c, v) in [
+            ([0u32, 0, 0], 1.0),
+            ([0, 0, 2], 2.0),
+            ([0, 1, 1], 3.0),
+            ([2, 0, 0], 4.0),
+            ([2, 1, 1], 5.0),
+        ] {
+            t.push(&c, v);
+        }
+        build_csf(&t, &[0, 1, 2])
+    }
+
+    #[test]
+    fn slices_iterate_in_order() {
+        let csf = sample();
+        let fids: Vec<u32> = csf.slices().map(|s| s.fid()).collect();
+        assert_eq!(fids, vec![0, 2]);
+        assert_eq!(csf.slices().len(), 2);
+    }
+
+    #[test]
+    fn children_walk_matches_raw_structure() {
+        let csf = sample();
+        let mut total_leaves = 0usize;
+        let mut total_value = 0.0;
+        for slice in csf.slices() {
+            for fiber in slice.children() {
+                assert_eq!(fiber.level(), 1);
+                for leaf in fiber.children() {
+                    assert!(leaf.is_leaf());
+                    total_leaves += 1;
+                    total_value += leaf.value().unwrap();
+                }
+            }
+        }
+        assert_eq!(total_leaves, csf.nnz());
+        let direct: f64 = csf.vals().iter().sum();
+        assert!((total_value - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leaf_range_and_nnz_agree() {
+        let csf = sample();
+        let s0 = csf.node(0, 0);
+        assert_eq!(s0.leaf_range(), (0, 3));
+        assert_eq!(s0.nnz(), 3);
+        assert_eq!(s0.num_children(), 2);
+        let s1 = csf.node(0, 1);
+        assert_eq!(s1.nnz(), 2);
+    }
+
+    #[test]
+    fn leaves_have_no_children_and_values() {
+        let csf = sample();
+        let leaf = csf.node(2, 4);
+        assert!(leaf.is_leaf());
+        assert_eq!(leaf.children().count(), 0);
+        assert_eq!(leaf.num_children(), 0);
+        assert_eq!(leaf.value(), Some(5.0));
+        let inner = csf.node(1, 0);
+        assert_eq!(inner.value(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn node_bounds_are_checked() {
+        let csf = sample();
+        let _ = csf.node(0, 99);
+    }
+}

@@ -1,0 +1,89 @@
+//! Mode-order utilities.
+//!
+//! A CSF "mode order" is a permutation `perm` where `perm[level]` is the
+//! original tensor mode stored at that tree level, root first. The paper's
+//! base heuristic (§II-B) sorts modes by increasing length — shortest mode
+//! at the root — and §II-E then considers swapping the last two levels.
+
+/// Returns the permutation that sorts modes by increasing length, ties
+/// broken by mode index (deterministic).
+pub fn sort_modes_by_length(dims: &[usize]) -> Vec<usize> {
+    let mut perm: Vec<usize> = (0..dims.len()).collect();
+    perm.sort_by_key(|&m| (dims[m], m));
+    perm
+}
+
+/// Inverse of a permutation: `inv[perm[i]] = i`.
+///
+/// # Panics
+/// Panics (in debug builds) if `perm` is not a permutation of `0..len`.
+pub fn inverse_permutation(perm: &[usize]) -> Vec<usize> {
+    let mut inv = vec![usize::MAX; perm.len()];
+    for (i, &p) in perm.iter().enumerate() {
+        debug_assert!(p < perm.len() && inv[p] == usize::MAX, "not a permutation");
+        inv[p] = i;
+    }
+    inv
+}
+
+/// Returns `perm` with its last two entries swapped (paper §II-E's
+/// alternative order). Identity for tensors with fewer than 2 modes.
+pub fn swap_last_two(perm: &[usize]) -> Vec<usize> {
+    let mut p = perm.to_vec();
+    let n = p.len();
+    if n >= 2 {
+        p.swap(n - 1, n - 2);
+    }
+    p
+}
+
+/// Checks that `perm` is a valid permutation of `0..n`.
+pub fn is_permutation(perm: &[usize], n: usize) -> bool {
+    if perm.len() != n {
+        return false;
+    }
+    let mut seen = vec![false; n];
+    for &p in perm {
+        if p >= n || seen[p] {
+            return false;
+        }
+        seen[p] = true;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sort_by_length_basic() {
+        assert_eq!(sort_modes_by_length(&[100, 5, 20]), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn sort_by_length_ties_are_stable_by_index() {
+        assert_eq!(sort_modes_by_length(&[7, 7, 3]), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let p = vec![2, 0, 3, 1];
+        let inv = inverse_permutation(&p);
+        assert_eq!(inv, vec![1, 3, 0, 2]);
+        assert_eq!(inverse_permutation(&inv), p);
+    }
+
+    #[test]
+    fn swap_last_two_swaps() {
+        assert_eq!(swap_last_two(&[0, 1, 2, 3]), vec![0, 1, 3, 2]);
+    }
+
+    #[test]
+    fn is_permutation_detects_problems() {
+        assert!(is_permutation(&[1, 0, 2], 3));
+        assert!(!is_permutation(&[1, 1, 2], 3));
+        assert!(!is_permutation(&[0, 1], 3));
+        assert!(!is_permutation(&[0, 3, 1], 3));
+    }
+}

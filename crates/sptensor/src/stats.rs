@@ -1,0 +1,172 @@
+//! Tensor statistics feeding the paper's models and tables.
+//!
+//! * Per-level fiber counts (`m_i`) are the inputs of the data-movement
+//!   model (§IV-C).
+//! * Average fiber lengths explain the §II-E observation that the longest
+//!   mode does not always compress best (e.g. `delicious-4d`).
+//! * Root-slice imbalance is the statistic behind the paper's motivating
+//!   example (the `vast-2015` tensors have 2 root slices and a 1674%
+//!   imbalance under slice-based work division).
+
+use crate::csf::Csf;
+use crate::CooTensor;
+
+/// Summary statistics of a tensor under a specific CSF mode order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TensorStats {
+    /// Original mode lengths.
+    pub dims: Vec<usize>,
+    /// Number of non-zeros (after duplicate merging).
+    pub nnz: usize,
+    /// CSF mode order these statistics were computed for.
+    pub mode_order: Vec<usize>,
+    /// Fiber counts `m_i` per level, root to leaf (`m_{d-1} = nnz`).
+    pub fiber_counts: Vec<usize>,
+    /// Average children per fiber at each level `l > 0`:
+    /// `m_l / m_{l-1}`. Index 0 holds `m_0` itself (root slice count).
+    pub avg_fanout: Vec<f64>,
+    /// Number of root slices.
+    pub root_slices: usize,
+    /// `max(slice nnz) / mean(slice nnz)` — 1.0 means perfectly balanced.
+    /// This is the load-imbalance a slice-scheduled algorithm suffers
+    /// with one thread per slice.
+    pub slice_imbalance: f64,
+}
+
+impl TensorStats {
+    /// Computes statistics from a built CSF.
+    pub fn from_csf(csf: &Csf, original_dims: &[usize]) -> Self {
+        let d = csf.ndim();
+        let fiber_counts = csf.fiber_counts();
+        let mut avg_fanout = Vec::with_capacity(d);
+        avg_fanout.push(fiber_counts[0] as f64);
+        for l in 1..d {
+            avg_fanout.push(fiber_counts[l] as f64 / fiber_counts[l - 1] as f64);
+        }
+        let per_slice = csf.nnz_per_root_slice();
+        let max = per_slice.iter().copied().max().unwrap_or(0) as f64;
+        let mean = if per_slice.is_empty() {
+            0.0
+        } else {
+            csf.nnz() as f64 / per_slice.len() as f64
+        };
+        TensorStats {
+            dims: original_dims.to_vec(),
+            nnz: csf.nnz(),
+            mode_order: csf.mode_order().to_vec(),
+            fiber_counts,
+            avg_fanout,
+            root_slices: per_slice.len(),
+            slice_imbalance: if mean > 0.0 { max / mean } else { 1.0 },
+        }
+    }
+
+    /// Convenience: build the default-order CSF and return its stats.
+    pub fn from_coo(coo: &CooTensor) -> Self {
+        let csf = crate::build::build_csf_default_order(coo);
+        Self::from_csf(&csf, coo.dims())
+    }
+
+    /// Human-readable dimension string, e.g. `"6Kx24x77x32"` in the style
+    /// of the paper's Table I.
+    pub fn dims_string(&self) -> String {
+        self.dims
+            .iter()
+            .map(|&d| abbreviate(d))
+            .collect::<Vec<_>>()
+            .join("x")
+    }
+
+    /// Abbreviated nnz, e.g. `"5M"`.
+    pub fn nnz_string(&self) -> String {
+        abbreviate(self.nnz)
+    }
+}
+
+/// Formats a count the way the paper's Table I does (5M, 533K, 183).
+pub fn abbreviate(n: usize) -> String {
+    if n >= 10_000_000 {
+        format!("{}M", (n as f64 / 1e6).round() as usize)
+    } else if n >= 1_000_000 {
+        let m = n as f64 / 1e6;
+        if (m - m.round()).abs() < 0.05 {
+            format!("{}M", m.round() as usize)
+        } else {
+            format!("{m:.1}M")
+        }
+    } else if n >= 1_000 {
+        format!("{}K", (n as f64 / 1e3).round() as usize)
+    } else {
+        format!("{n}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_csf;
+
+    fn skewed() -> CooTensor {
+        // 2 root slices: slice 0 has 6 nnz, slice 1 has 2 nnz.
+        let mut t = CooTensor::new(vec![2, 4, 4]);
+        for j in 0..3u32 {
+            for k in 0..2u32 {
+                t.push(&[0, j, k], 1.0);
+            }
+        }
+        t.push(&[1, 0, 0], 1.0);
+        t.push(&[1, 3, 3], 1.0);
+        t
+    }
+
+    #[test]
+    fn fiber_counts_and_fanout() {
+        let t = skewed();
+        let csf = build_csf(&t, &[0, 1, 2]);
+        let s = TensorStats::from_csf(&csf, t.dims());
+        assert_eq!(s.fiber_counts, vec![2, 5, 8]);
+        assert_eq!(s.nnz, 8);
+        assert!((s.avg_fanout[1] - 2.5).abs() < 1e-12);
+        assert!((s.avg_fanout[2] - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slice_imbalance_detects_skew() {
+        let t = skewed();
+        let csf = build_csf(&t, &[0, 1, 2]);
+        let s = TensorStats::from_csf(&csf, t.dims());
+        assert_eq!(s.root_slices, 2);
+        // max 6, mean 4 -> 1.5
+        assert!((s.slice_imbalance - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfectly_balanced_is_one() {
+        let mut t = CooTensor::new(vec![2, 2, 2]);
+        for i in 0..2u32 {
+            t.push(&[i, 0, 0], 1.0);
+            t.push(&[i, 1, 1], 1.0);
+        }
+        let csf = build_csf(&t, &[0, 1, 2]);
+        let s = TensorStats::from_csf(&csf, t.dims());
+        assert!((s.slice_imbalance - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn abbreviate_matches_paper_style() {
+        assert_eq!(abbreviate(183), "183");
+        assert_eq!(abbreviate(6_000), "6K");
+        assert_eq!(abbreviate(5_000_000), "5M");
+        assert_eq!(abbreviate(532_924), "533K");
+        assert_eq!(abbreviate(17_262_471), "17M");
+        assert_eq!(abbreviate(1_500_000), "1.5M");
+    }
+
+    #[test]
+    fn dims_string_formats() {
+        let t = skewed();
+        let s = TensorStats::from_coo(&t);
+        assert_eq!(s.dims_string(), "2x4x4");
+        assert_eq!(s.nnz_string(), "8");
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the sparse tensor substrate.
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use stef_sptensor::reorder::{lexi_order, mean_index_jump};
+use stef_sptensor::{
+    build_csf, count_fibers_if_last_two_swapped, inverse_permutation, sort_modes_by_length,
+    CooTensor, TensorStats,
+};
+
+fn arb_tensor() -> impl Strategy<Value = CooTensor> {
+    (2usize..=5)
+        .prop_flat_map(|d| (pvec(2usize..=10, d..=d), pvec(any::<u64>(), 1..=150)))
+        .prop_map(|(dims, seeds)| {
+            let mut t = CooTensor::new(dims.clone());
+            let mut coord = vec![0u32; dims.len()];
+            for (k, &s) in seeds.iter().enumerate() {
+                let mut x = s | 1;
+                for (c, &dim) in coord.iter_mut().zip(&dims) {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    *c = ((x >> 33) % dim as u64) as u32;
+                }
+                t.push(&coord, (k % 13) as f64 + 0.5);
+            }
+            t.sort_dedup();
+            t
+        })
+        .prop_filter("non-empty", |t| t.nnz() > 0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csf_preserves_value_sum_any_order(t in arb_tensor()) {
+        let order = sort_modes_by_length(t.dims());
+        let csf = build_csf(&t, &order);
+        let sum_coo: f64 = t.values().iter().sum();
+        let sum_csf: f64 = csf.vals().iter().sum();
+        prop_assert!((sum_coo - sum_csf).abs() < 1e-9);
+        prop_assert_eq!(csf.nnz(), t.nnz());
+    }
+
+    #[test]
+    fn fiber_counts_are_monotone_down_the_tree(t in arb_tensor()) {
+        let csf = build_csf(&t, &sort_modes_by_length(t.dims()));
+        let counts = csf.fiber_counts();
+        for w in counts.windows(2) {
+            prop_assert!(w[0] <= w[1], "fiber counts must not shrink: {counts:?}");
+        }
+        prop_assert_eq!(*counts.last().unwrap(), t.nnz());
+    }
+
+    #[test]
+    fn leaf_ranges_partition_the_leaves(t in arb_tensor()) {
+        let csf = build_csf(&t, &sort_modes_by_length(t.dims()));
+        for level in 0..csf.ndim() {
+            let mut covered = 0usize;
+            let mut prev_end = 0usize;
+            for i in 0..csf.nfibers(level) {
+                let (lo, hi) = csf.leaf_range(level, i);
+                prop_assert_eq!(lo, prev_end, "gap before node {} at level {}", i, level);
+                prop_assert!(hi > lo, "empty subtree");
+                covered += hi - lo;
+                prev_end = hi;
+            }
+            prop_assert_eq!(covered, csf.nnz());
+        }
+    }
+
+    #[test]
+    fn swapcount_bounded_by_structure(t in arb_tensor()) {
+        let csf = build_csf(&t, &sort_modes_by_length(t.dims()));
+        let d = csf.ndim();
+        let swapped = count_fibers_if_last_two_swapped(&csf);
+        // At least one fiber per level-(d-3) node (or 1 for d == 2),
+        // at most nnz.
+        prop_assert!(swapped <= csf.nnz());
+        if d >= 3 {
+            prop_assert!(swapped >= csf.nfibers(d - 3));
+        } else {
+            prop_assert!(swapped >= 1);
+        }
+    }
+
+    #[test]
+    fn permutation_inverse_composes_to_identity(t in arb_tensor(), seed in any::<u64>()) {
+        let d = t.ndim();
+        let mut perm: Vec<usize> = (0..d).collect();
+        let mut x = seed | 1;
+        for i in (1..d).rev() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            perm.swap(i, ((x >> 33) % (i as u64 + 1)) as usize);
+        }
+        let p = t.permute_modes(&perm);
+        let back = p.permute_modes(&inverse_permutation(&perm));
+        prop_assert_eq!(back.dims(), t.dims());
+        for e in 0..t.nnz() {
+            prop_assert_eq!(back.coord(e), t.coord(e));
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent(t in arb_tensor()) {
+        let stats = TensorStats::from_coo(&t);
+        prop_assert_eq!(stats.nnz, t.nnz());
+        prop_assert!(stats.root_slices >= 1);
+        prop_assert!(stats.slice_imbalance >= 1.0 - 1e-12);
+        prop_assert_eq!(stats.fiber_counts.len(), t.ndim());
+    }
+
+    #[test]
+    fn lexi_order_preserves_structure_constants(t in arb_tensor()) {
+        let (reordered, _) = lexi_order(&t, 1);
+        prop_assert_eq!(reordered.nnz(), t.nnz());
+        prop_assert!((reordered.norm_sq() - t.norm_sq()).abs() < 1e-9);
+        let order = sort_modes_by_length(t.dims());
+        let a = build_csf(&t, &order).fiber_counts();
+        let b = build_csf(&reordered, &order).fiber_counts();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tns_io_round_trips(t in arb_tensor()) {
+        let mut buf = Vec::new();
+        stef_sptensor::io::write_tns(&t, &mut buf).unwrap();
+        let mut back = stef_sptensor::io::read_tns(buf.as_slice()).unwrap();
+        back.sort_dedup();
+        let mut orig = t.clone();
+        orig.sort_dedup();
+        prop_assert_eq!(back.nnz(), orig.nnz());
+        for e in 0..orig.nnz() {
+            prop_assert_eq!(back.coord(e), orig.coord(e));
+            prop_assert!((back.values()[e] - orig.values()[e]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mean_index_jump_is_nonnegative_and_bounded(t in arb_tensor()) {
+        for (m, j) in mean_index_jump(&t).into_iter().enumerate() {
+            prop_assert!(j >= 0.0);
+            prop_assert!(j <= t.dims()[m] as f64);
+        }
+    }
+}

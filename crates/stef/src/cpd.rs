@@ -1,0 +1,344 @@
+//! CPD-ALS driver (paper Algorithm 2).
+//!
+//! One ALS iteration updates every factor in the engine's sweep order:
+//! `Ā⁽ᵘ⁾ ← MTTKRP(T, factors ≠ u)`, then `A⁽ᵘ⁾ ← Ā⁽ᵘ⁾ V⁻¹` where `V` is
+//! the Hadamard product of the other factors' Gram matrices, then column
+//! normalization into `λ`. The fit
+//! `1 − ‖T − [[λ; A⁰…]]‖ / ‖T‖` is computed with the standard trick that
+//! reuses the last mode's MTTKRP result, so convergence checking costs
+//! one Frobenius inner product instead of a pass over the tensor.
+
+use crate::engine::MttkrpEngine;
+use linalg::norms::{normalize_columns, ColumnNorm};
+use linalg::ops::{frob_inner, gram_full, hadamard_inplace};
+use linalg::solve::{solve_gram_system, SolveMethod};
+use linalg::Mat;
+use std::time::{Duration, Instant};
+
+/// CPD-ALS configuration.
+#[derive(Clone, Debug)]
+pub struct CpdOptions {
+    /// Decomposition rank `R`.
+    pub rank: usize,
+    /// Maximum ALS iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on the change in fit.
+    pub tol: f64,
+    /// Seed for the random factor initialization.
+    pub seed: u64,
+}
+
+impl CpdOptions {
+    /// Sensible defaults: 50 iterations, `1e-5` fit tolerance.
+    pub fn new(rank: usize) -> Self {
+        CpdOptions {
+            rank,
+            max_iters: 50,
+            tol: 1e-5,
+            seed: 42,
+        }
+    }
+}
+
+/// The outcome of a CPD-ALS run.
+#[derive(Debug)]
+pub struct CpdResult {
+    /// Factor matrices in original mode order, columns normalized.
+    pub factors: Vec<Mat>,
+    /// Component weights `λ`.
+    pub lambda: Vec<f64>,
+    /// Fit after each completed iteration.
+    pub fits: Vec<f64>,
+    /// Number of iterations executed.
+    pub iterations: usize,
+    /// Whether the tolerance was met before `max_iters`.
+    pub converged: bool,
+    /// Wall time spent inside MTTKRP calls.
+    pub mttkrp_time: Duration,
+    /// Wall time of the whole ALS loop.
+    pub total_time: Duration,
+    /// Count of solves that needed a ridge or LU fallback.
+    pub irregular_solves: usize,
+    /// Cumulative MTTKRP seconds per original mode index — shows where
+    /// the time goes (e.g. the slow leaf mode that motivates STeF2).
+    pub mode_seconds: Vec<f64>,
+}
+
+impl CpdResult {
+    /// Final fit (0 if no iteration ran).
+    pub fn final_fit(&self) -> f64 {
+        self.fits.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// Deterministic factor initialization: uniform values in `[0.1, 1.1)`
+/// from a splitmix-style generator (positive, well-conditioned, and
+/// independent of any external RNG crate).
+pub fn init_factors(dims: &[usize], rank: usize, seed: u64) -> Vec<Mat> {
+    let mut state = seed
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(0xD1B54A32D192ED03);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z = z ^ (z >> 31);
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    };
+    dims.iter()
+        .map(|&n| Mat::from_fn(n, rank, |_, _| 0.1 + next()))
+        .collect()
+}
+
+/// Runs CPD-ALS on `engine`.
+pub fn cpd_als<E: MttkrpEngine + ?Sized>(engine: &mut E, opts: &CpdOptions) -> CpdResult {
+    let dims = engine.dims().to_vec();
+    let d = dims.len();
+    let r = opts.rank;
+    let sweep = engine.sweep_order();
+    assert_eq!(sweep.len(), d, "sweep order must cover every mode");
+    let norm_t_sq = engine.norm_sq();
+    let norm_t = norm_t_sq.sqrt();
+
+    let mut factors = init_factors(&dims, r, opts.seed);
+    let mut lambda = vec![1.0; r];
+    let mut grams: Vec<Mat> = factors.iter().map(gram_full).collect();
+
+    let mut fits = Vec::new();
+    let mut converged = false;
+    let mut irregular_solves = 0usize;
+    let mut mttkrp_time = Duration::ZERO;
+    let mut mode_seconds = vec![0.0f64; d];
+    let start = Instant::now();
+    let mut iterations = 0usize;
+
+    for it in 0..opts.max_iters {
+        iterations = it + 1;
+        let mut last_mttkrp: Option<(usize, Mat)> = None;
+        for &mode in &sweep {
+            let t0 = Instant::now();
+            let ahat = engine.mttkrp(&factors, mode);
+            let dt = t0.elapsed();
+            mttkrp_time += dt;
+            mode_seconds[mode] += dt.as_secs_f64();
+
+            // V = Hadamard of all Grams except `mode`.
+            let mut v = Mat::from_fn(r, r, |_, _| 1.0);
+            for (m, g) in grams.iter().enumerate() {
+                if m != mode {
+                    hadamard_inplace(&mut v, g);
+                }
+            }
+            let mut newf = ahat.clone();
+            let method = solve_gram_system(&v, &mut newf);
+            if method != SolveMethod::Cholesky {
+                irregular_solves += 1;
+            }
+            let norm_kind = if it == 0 {
+                ColumnNorm::Two
+            } else {
+                ColumnNorm::MaxClamped
+            };
+            normalize_columns(&mut newf, &mut lambda, norm_kind);
+            grams[mode] = gram_full(&newf);
+            factors[mode] = newf;
+            last_mttkrp = Some((mode, ahat));
+        }
+
+        // Fit via the last mode's MTTKRP result.
+        let (last_mode, ahat) = last_mttkrp.expect("at least one mode");
+        let inner: f64 = {
+            // Σ_r λ_r Σ_i Ā[i,r]·A[i,r]
+            let mut per_col = vec![0.0; r];
+            let a = &factors[last_mode];
+            for i in 0..a.rows() {
+                let (arow, hrow) = (a.row(i), ahat.row(i));
+                for ((p, &x), &y) in per_col.iter_mut().zip(arow).zip(hrow) {
+                    *p += x * y;
+                }
+            }
+            per_col.iter().zip(&lambda).map(|(&p, &l)| p * l).sum()
+        };
+        let norm_model_sq: f64 = {
+            let mut had = Mat::from_fn(r, r, |_, _| 1.0);
+            for g in &grams {
+                hadamard_inplace(&mut had, g);
+            }
+            let ll = Mat::from_fn(r, r, |i, j| lambda[i] * lambda[j]);
+            frob_inner(&had, &ll)
+        };
+        let resid_sq = (norm_t_sq + norm_model_sq - 2.0 * inner).max(0.0);
+        let fit = 1.0 - resid_sq.sqrt() / norm_t;
+        let prev = fits.last().copied();
+        fits.push(fit);
+        if let Some(p) = prev {
+            if (fit - p).abs() < opts.tol {
+                converged = true;
+                break;
+            }
+        }
+    }
+
+    CpdResult {
+        factors,
+        lambda,
+        fits,
+        iterations,
+        converged,
+        mttkrp_time,
+        total_time: start.elapsed(),
+        irregular_solves,
+        mode_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{ReferenceEngine, Stef};
+    use crate::options::StefOptions;
+    use sptensor::CooTensor;
+
+    fn pseudo_tensor(dims: &[usize], nnz: usize, seed: u64) -> CooTensor {
+        let mut t = CooTensor::new(dims.to_vec());
+        let mut x = seed | 1;
+        let mut coord = vec![0u32; dims.len()];
+        for _ in 0..nnz {
+            for (c, &d) in coord.iter_mut().zip(dims) {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                *c = ((x >> 33) % d as u64) as u32;
+            }
+            t.push(&coord, ((x >> 40) % 9) as f64 * 0.3 + 0.4);
+        }
+        t.sort_dedup();
+        t
+    }
+
+    #[test]
+    fn init_factors_is_deterministic_and_positive() {
+        let a = init_factors(&[5, 6], 3, 7);
+        let b = init_factors(&[5, 6], 3, 7);
+        assert_eq!(a[0].as_slice(), b[0].as_slice());
+        assert!(a[1].as_slice().iter().all(|&v| (0.1..1.1).contains(&v)));
+        let c = init_factors(&[5, 6], 3, 8);
+        assert_ne!(a[0].as_slice(), c[0].as_slice());
+    }
+
+    #[test]
+    fn fit_improves_monotonically_on_reference_engine() {
+        let t = pseudo_tensor(&[10, 12, 8], 200, 1);
+        let mut engine = ReferenceEngine::new(t);
+        let result = cpd_als(&mut engine, &CpdOptions::new(4));
+        assert!(result.iterations >= 2);
+        // ALS fit is non-decreasing up to numerical noise.
+        for w in result.fits.windows(2) {
+            assert!(w[1] >= w[0] - 1e-8, "fit decreased: {:?}", result.fits);
+        }
+        assert!(result.final_fit() > 0.0, "fits {:?}", result.fits);
+    }
+
+    #[test]
+    fn stef_and_reference_agree_exactly() {
+        // Same init seed, same sweep order -> identical iterates (up to
+        // fp tolerance), a strong end-to-end correctness check.
+        let t = pseudo_tensor(&[10, 12, 8], 300, 2);
+        let mut stef = Stef::prepare(&t, StefOptions::new(4));
+        let sweep = stef.sweep_order();
+        let mut reference = SweepOrderedReference {
+            inner: ReferenceEngine::new(t),
+            sweep,
+        };
+        let opts = CpdOptions {
+            rank: 4,
+            max_iters: 5,
+            tol: 0.0,
+            seed: 11,
+        };
+        let rs = cpd_als(&mut stef, &opts);
+        let rr = cpd_als(&mut reference, &opts);
+        assert_eq!(rs.fits.len(), rr.fits.len());
+        for (a, b) in rs.fits.iter().zip(&rr.fits) {
+            assert!((a - b).abs() < 1e-8, "fits diverged: {a} vs {b}");
+        }
+    }
+
+    /// Reference engine forced to use a specific sweep order (so it can
+    /// be compared iterate-by-iterate against STeF).
+    struct SweepOrderedReference {
+        inner: ReferenceEngine,
+        sweep: Vec<usize>,
+    }
+
+    impl MttkrpEngine for SweepOrderedReference {
+        fn dims(&self) -> &[usize] {
+            self.inner.dims()
+        }
+        fn name(&self) -> String {
+            "reference-ordered".into()
+        }
+        fn sweep_order(&self) -> Vec<usize> {
+            self.sweep.clone()
+        }
+        fn norm_sq(&self) -> f64 {
+            self.inner.norm_sq()
+        }
+        fn mttkrp(&mut self, factors: &[Mat], mode: usize) -> Mat {
+            self.inner.mttkrp(factors, mode)
+        }
+    }
+
+    #[test]
+    fn converges_on_easy_tensor() {
+        // A tensor that is exactly rank-1 (all values equal on a block).
+        let mut t = CooTensor::new(vec![6, 6, 6]);
+        for i in 0..3u32 {
+            for j in 0..3u32 {
+                for k in 0..3u32 {
+                    t.push(&[i, j, k], 2.0);
+                }
+            }
+        }
+        let mut engine = ReferenceEngine::new(t);
+        let mut opts = CpdOptions::new(2);
+        opts.max_iters = 60;
+        let result = cpd_als(&mut engine, &opts);
+        assert!(
+            result.final_fit() > 0.999,
+            "rank-1 block should be recovered, fit {}",
+            result.final_fit()
+        );
+        assert!(result.converged);
+    }
+
+    #[test]
+    fn result_reports_timing_and_counts() {
+        let t = pseudo_tensor(&[8, 8, 8], 150, 3);
+        let mut engine = ReferenceEngine::new(t);
+        let result = cpd_als(&mut engine, &CpdOptions::new(3));
+        assert!(result.total_time >= result.mttkrp_time);
+        assert_eq!(result.fits.len(), result.iterations);
+    }
+
+    #[test]
+    fn mode_seconds_cover_all_modes() {
+        let t = pseudo_tensor(&[8, 8, 8], 150, 5);
+        let mut engine = ReferenceEngine::new(t);
+        let result = cpd_als(&mut engine, &CpdOptions::new(3));
+        assert_eq!(result.mode_seconds.len(), 3);
+        assert!(result.mode_seconds.iter().all(|&s| s >= 0.0));
+        let sum: f64 = result.mode_seconds.iter().sum();
+        assert!((sum - result.mttkrp_time.as_secs_f64()).abs() < 0.05 * sum.max(1e-6) + 1e-4);
+    }
+
+    #[test]
+    fn lambda_matches_rank() {
+        let t = pseudo_tensor(&[8, 8, 8], 150, 4);
+        let mut engine = ReferenceEngine::new(t);
+        let result = cpd_als(&mut engine, &CpdOptions::new(5));
+        assert_eq!(result.lambda.len(), 5);
+        assert!(result.lambda.iter().all(|&l| l > 0.0));
+    }
+}

@@ -1,0 +1,508 @@
+//! The STeF engine: model-driven preparation plus per-mode MTTKRP
+//! dispatch, and the [`MttkrpEngine`] trait every algorithm in this
+//! workspace (STeF, STeF2, all baselines, the COO reference) implements
+//! so that the CPD driver and the benchmark harness treat them uniformly.
+
+use crate::kernels::{mode0_pass, modeu_pass, KernelCtx, ResolvedAccum};
+use crate::model::{best_memo_set, choose_plan, op_count_memo_set, LevelProfile, MemoPlan};
+use crate::options::{AccumStrategy, MemoPolicy, ModeSwitchPolicy, StefOptions};
+use crate::partials::PartialStore;
+use crate::schedule::Schedule;
+use linalg::Mat;
+use sptensor::{build_csf, inverse_permutation, sort_modes_by_length, CooTensor, Csf};
+
+/// Anything that can compute MTTKRPs for every mode of a fixed tensor.
+///
+/// `mode` is always an *original* tensor mode index; implementations map
+/// it to whatever internal layout they use. `factors` are likewise in
+/// original mode order.
+pub trait MttkrpEngine {
+    /// Original mode lengths.
+    fn dims(&self) -> &[usize];
+
+    /// Human-readable algorithm name (used by the bench harness).
+    fn name(&self) -> String;
+
+    /// The order in which a CPD sweep must update the modes for this
+    /// engine's memoization (if any) to be valid. Engines without
+    /// memoization may return any order.
+    fn sweep_order(&self) -> Vec<usize>;
+
+    /// Squared Frobenius norm of the tensor (needed by the CPD fit).
+    fn norm_sq(&self) -> f64;
+
+    /// Computes `Ā⁽ᵐᵒᵈᵉ⁾` = MTTKRP of the tensor with all factors except
+    /// `factors[mode]`.
+    fn mttkrp(&mut self, factors: &[Mat], mode: usize) -> Mat;
+}
+
+/// The paper's STeF: one CSF in a model-chosen order, model-chosen
+/// memoization, nnz-balanced scheduling.
+pub struct Stef {
+    csf: Csf,
+    sched: Schedule,
+    partials: PartialStore,
+    plan: MemoPlan,
+    opts: StefOptions,
+    dims: Vec<usize>,
+    /// `level_of_mode[m]` = CSF level holding original mode `m`.
+    level_of_mode: Vec<usize>,
+    norm_sq: f64,
+    /// Set by a mode-0 (root level) call; consumed by deeper levels.
+    /// Guards against reading partials that predate a factor update.
+    partials_fresh: bool,
+}
+
+impl Stef {
+    /// Builds the engine: runs Algorithm 9 + the data-movement model to
+    /// pick the order and memoization set, builds the CSF in that order,
+    /// the schedule, and the partial store.
+    pub fn prepare(coo: &CooTensor, opts: StefOptions) -> Self {
+        assert!(opts.rank >= 1, "rank must be positive");
+        assert!(coo.nnz() > 0, "empty tensors are not supported");
+        let d = coo.ndim();
+        let nthreads = opts.threads();
+        let base_order = sort_modes_by_length(coo.dims());
+        let base_csf = build_csf(coo, &base_order);
+
+        // --- order decision (§II-E + §IV-B) ---
+        let base_profile = LevelProfile::from_csf(&base_csf, opts.rank, opts.cache_bytes);
+        let (swap, model_plan) = match opts.mode_switch {
+            ModeSwitchPolicy::Never => {
+                let (save, predicted) = best_memo_set(&base_profile);
+                (
+                    false,
+                    MemoPlan {
+                        swap_last_two: false,
+                        save,
+                        predicted,
+                        predicted_other_order: f64::NAN,
+                    },
+                )
+            }
+            ModeSwitchPolicy::Always => {
+                let swapped =
+                    LevelProfile::swapped_from_csf(&base_csf, opts.rank, opts.cache_bytes);
+                let (save, predicted) = best_memo_set(&swapped);
+                (
+                    true,
+                    MemoPlan {
+                        swap_last_two: true,
+                        save,
+                        predicted,
+                        predicted_other_order: f64::NAN,
+                    },
+                )
+            }
+            ModeSwitchPolicy::ModelChosen | ModeSwitchPolicy::OppositeOfModel => {
+                let swapped =
+                    LevelProfile::swapped_from_csf(&base_csf, opts.rank, opts.cache_bytes);
+                let plan = choose_plan(&base_profile, &swapped);
+                let mut swap = plan.swap_last_two;
+                if opts.mode_switch == ModeSwitchPolicy::OppositeOfModel {
+                    swap = !swap;
+                }
+                if swap == plan.swap_last_two {
+                    (swap, plan)
+                } else {
+                    // Re-derive the save set for the order we actually use.
+                    let profile = if swap { &swapped } else { &base_profile };
+                    let (save, predicted) = best_memo_set(profile);
+                    (
+                        swap,
+                        MemoPlan {
+                            swap_last_two: swap,
+                            save,
+                            predicted,
+                            predicted_other_order: plan.predicted,
+                        },
+                    )
+                }
+            }
+        };
+
+        // Rebuild in the swapped order if chosen.
+        let (csf, profile) = if swap {
+            let mut order = base_order.clone();
+            let n = order.len();
+            order.swap(n - 1, n - 2);
+            let csf = build_csf(coo, &order);
+            let profile = LevelProfile::from_csf(&csf, opts.rank, opts.cache_bytes);
+            (csf, profile)
+        } else {
+            (base_csf, base_profile)
+        };
+
+        // --- memoization decision (§IV-A) ---
+        let save = match &opts.memo {
+            MemoPolicy::DataMovementModel => model_plan.save.clone(),
+            MemoPolicy::SaveAll => {
+                let mut s = vec![false; d];
+                if d >= 3 {
+                    for l in 1..=d - 2 {
+                        s[l] = true;
+                    }
+                }
+                s
+            }
+            MemoPolicy::SaveNone => vec![false; d],
+            MemoPolicy::OpCountModel => op_count_memo_set(&profile),
+            MemoPolicy::Fixed(flags) => {
+                let mut s = vec![false; d];
+                if d >= 3 {
+                    for l in 1..=d - 2 {
+                        s[l] = flags.get(l).copied().unwrap_or(false);
+                    }
+                }
+                s
+            }
+        };
+
+        let plan = MemoPlan {
+            swap_last_two: swap,
+            save: save.clone(),
+            predicted: profile.total_traffic(&save),
+            predicted_other_order: model_plan.predicted_other_order,
+        };
+
+        let sched = Schedule::build(&csf, nthreads, opts.load_balance);
+        let partials = if save.iter().any(|&s| s) {
+            PartialStore::allocate(&csf, &save, nthreads, opts.rank)
+        } else {
+            PartialStore::empty(d, nthreads, opts.rank)
+        };
+        let level_of_mode = inverse_permutation(csf.mode_order());
+        Stef {
+            sched,
+            partials,
+            plan,
+            opts,
+            dims: coo.dims().to_vec(),
+            level_of_mode,
+            norm_sq: coo.norm_sq(),
+            partials_fresh: false,
+            csf,
+        }
+    }
+
+    /// The chosen configuration (order swap + save flags + predictions).
+    pub fn plan(&self) -> &MemoPlan {
+        &self.plan
+    }
+
+    /// The engine's CSF (in the chosen order).
+    pub fn csf(&self) -> &Csf {
+        &self.csf
+    }
+
+    /// The schedule in use.
+    pub fn schedule(&self) -> &Schedule {
+        &self.sched
+    }
+
+    /// Bytes held by memoized partial results (Table II).
+    pub fn partial_bytes(&self) -> usize {
+        self.partials.bytes()
+    }
+
+    /// Bytes of CSF structure + factor matrices at this rank (Table II's
+    /// denominator).
+    pub fn csf_and_factor_bytes(&self) -> usize {
+        let factor_bytes: usize = self
+            .dims
+            .iter()
+            .map(|&n| n * self.opts.rank * std::mem::size_of::<f64>())
+            .sum();
+        self.csf.memory_bytes() + factor_bytes
+    }
+
+    /// Engine options.
+    pub fn options(&self) -> &StefOptions {
+        &self.opts
+    }
+
+    fn resolved_accum(&self, level: usize) -> ResolvedAccum {
+        match self.opts.accum {
+            AccumStrategy::Privatized => ResolvedAccum::Privatized,
+            AccumStrategy::Atomic => ResolvedAccum::Atomic,
+            AccumStrategy::Auto => {
+                let bytes = self.sched.nthreads()
+                    * self.csf.level_dims()[level]
+                    * self.opts.rank
+                    * std::mem::size_of::<f64>();
+                if bytes <= self.opts.privatize_cap_bytes {
+                    ResolvedAccum::Privatized
+                } else {
+                    ResolvedAccum::Atomic
+                }
+            }
+        }
+    }
+
+    /// MTTKRP for a CSF *level* with factors given in level order.
+    /// Exposed for STeF2 and the benches; most callers want
+    /// [`MttkrpEngine::mttkrp`].
+    pub fn mttkrp_level(&mut self, level_factors: Vec<&Mat>, level: usize) -> Mat {
+        let ctx = KernelCtx::new(&self.csf, &self.sched, level_factors, self.opts.rank);
+        if level == 0 {
+            let mut out = Mat::zeros(self.csf.level_dims()[0], self.opts.rank);
+            mode0_pass(&ctx, &mut self.partials, &mut out);
+            self.partials_fresh = true;
+            out
+        } else {
+            let accum = self.resolved_accum(level);
+            let use_saved = self.partials_fresh;
+            modeu_pass(&ctx, &mut self.partials, level, accum, use_saved)
+        }
+    }
+
+    /// Marks memoized partials stale (e.g. after factors changed without
+    /// a mode-0 pass). The next non-root MTTKRPs recompute from scratch.
+    pub fn invalidate_partials(&mut self) {
+        self.partials_fresh = false;
+    }
+}
+
+impl MttkrpEngine for Stef {
+    fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    fn name(&self) -> String {
+        "stef".into()
+    }
+
+    fn sweep_order(&self) -> Vec<usize> {
+        self.csf.mode_order().to_vec()
+    }
+
+    fn norm_sq(&self) -> f64 {
+        self.norm_sq
+    }
+
+    fn mttkrp(&mut self, factors: &[Mat], mode: usize) -> Mat {
+        assert_eq!(factors.len(), self.dims.len());
+        let level = self.level_of_mode[mode];
+        let order = self.csf.mode_order().to_vec();
+        let level_factors: Vec<&Mat> = order.iter().map(|&m| &factors[m]).collect();
+        let out = self.mttkrp_level(level_factors, level);
+        // Updating any factor below the deepest saved level invalidates
+        // the memoized partials; the CPD sweep (root -> leaf) never
+        // trips this, but out-of-order callers must fall back.
+        let deepest_saved = (0..order.len()).rev().find(|&l| self.partials.is_saved(l));
+        if let Some(k) = deepest_saved {
+            if level > k {
+                self.partials_fresh = false;
+            }
+        }
+        out
+    }
+}
+
+/// Reference engine: the naive COO MTTKRP. O(nnz·d·R) per call with no
+/// parallelism or memoization — the oracle for tests and tiny examples.
+pub struct ReferenceEngine {
+    coo: CooTensor,
+    norm_sq: f64,
+}
+
+impl ReferenceEngine {
+    /// Wraps a COO tensor.
+    pub fn new(coo: CooTensor) -> Self {
+        let norm_sq = coo.norm_sq();
+        ReferenceEngine { coo, norm_sq }
+    }
+}
+
+impl MttkrpEngine for ReferenceEngine {
+    fn dims(&self) -> &[usize] {
+        self.coo.dims()
+    }
+
+    fn name(&self) -> String {
+        "reference".into()
+    }
+
+    fn sweep_order(&self) -> Vec<usize> {
+        (0..self.coo.ndim()).collect()
+    }
+
+    fn norm_sq(&self) -> f64 {
+        self.norm_sq
+    }
+
+    fn mttkrp(&mut self, factors: &[Mat], mode: usize) -> Mat {
+        self.coo.mttkrp_reference(factors, mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::LoadBalance;
+    use linalg::assert_mat_approx_eq;
+
+    fn pseudo_tensor(dims: &[usize], nnz: usize, seed: u64) -> CooTensor {
+        let mut t = CooTensor::new(dims.to_vec());
+        let mut x = seed | 1;
+        let mut coord = vec![0u32; dims.len()];
+        for _ in 0..nnz {
+            for (c, &d) in coord.iter_mut().zip(dims) {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                *c = ((x >> 33) % d as u64) as u32;
+            }
+            t.push(&coord, ((x >> 40) % 9) as f64 * 0.3 + 0.4);
+        }
+        t.sort_dedup();
+        t
+    }
+
+    fn rand_factors(dims: &[usize], r: usize, seed: u64) -> Vec<Mat> {
+        let mut x = seed | 1;
+        dims.iter()
+            .map(|&n| {
+                Mat::from_fn(n, r, |_, _| {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((x >> 35) % 1000) as f64 / 500.0 - 1.0
+                })
+            })
+            .collect()
+    }
+
+    fn check_engine_against_reference(mut engine: Stef, t: &CooTensor, rank: usize, seed: u64) {
+        let factors = rand_factors(t.dims(), rank, seed);
+        // Sweep in the engine's required order, exactly like CPD does.
+        for mode in engine.sweep_order() {
+            let got = engine.mttkrp(&factors, mode);
+            let expect = t.mttkrp_reference(&factors, mode);
+            assert_mat_approx_eq(&got, &expect, 1e-9);
+        }
+    }
+
+    #[test]
+    fn default_options_match_reference_3d() {
+        let t = pseudo_tensor(&[30, 14, 9], 600, 1);
+        let engine = Stef::prepare(&t, StefOptions::new(5));
+        check_engine_against_reference(engine, &t, 5, 2);
+    }
+
+    #[test]
+    fn default_options_match_reference_4d_5d() {
+        for dims in [vec![9usize, 6, 12, 7], vec![5, 6, 7, 4, 6]] {
+            let t = pseudo_tensor(&dims, 700, 3);
+            let engine = Stef::prepare(&t, StefOptions::new(4));
+            check_engine_against_reference(engine, &t, 4, 4);
+        }
+    }
+
+    #[test]
+    fn all_policies_match_reference() {
+        let t = pseudo_tensor(&[12, 10, 8, 6], 500, 5);
+        let policies = [
+            MemoPolicy::DataMovementModel,
+            MemoPolicy::SaveAll,
+            MemoPolicy::SaveNone,
+            MemoPolicy::OpCountModel,
+            MemoPolicy::Fixed(vec![false, true, false, false]),
+        ];
+        for memo in policies {
+            let mut opts = StefOptions::new(3);
+            opts.memo = memo.clone();
+            let engine = Stef::prepare(&t, opts);
+            check_engine_against_reference(engine, &t, 3, 6);
+        }
+    }
+
+    #[test]
+    fn all_switch_policies_match_reference() {
+        let t = pseudo_tensor(&[12, 10, 8], 500, 7);
+        for sw in [
+            ModeSwitchPolicy::ModelChosen,
+            ModeSwitchPolicy::Never,
+            ModeSwitchPolicy::Always,
+            ModeSwitchPolicy::OppositeOfModel,
+        ] {
+            let mut opts = StefOptions::new(3);
+            opts.mode_switch = sw;
+            let engine = Stef::prepare(&t, opts);
+            check_engine_against_reference(engine, &t, 3, 8);
+        }
+    }
+
+    #[test]
+    fn slice_based_ablation_matches_reference() {
+        let t = pseudo_tensor(&[12, 10, 8], 500, 9);
+        let mut opts = StefOptions::new(3);
+        opts.load_balance = LoadBalance::SliceBased;
+        let engine = Stef::prepare(&t, opts);
+        check_engine_against_reference(engine, &t, 3, 10);
+    }
+
+    #[test]
+    fn opposite_switch_inverts_model_choice() {
+        let t = pseudo_tensor(&[20, 15, 10], 800, 11);
+        let model = Stef::prepare(&t, StefOptions::new(4));
+        let mut opts = StefOptions::new(4);
+        opts.mode_switch = ModeSwitchPolicy::OppositeOfModel;
+        let opposite = Stef::prepare(&t, opts);
+        assert_ne!(model.plan().swap_last_two, opposite.plan().swap_last_two);
+    }
+
+    #[test]
+    fn sweep_order_has_root_first() {
+        let t = pseudo_tensor(&[40, 5, 12], 300, 12);
+        let engine = Stef::prepare(&t, StefOptions::new(2));
+        let sweep = engine.sweep_order();
+        // Root level must be the shortest mode (or its swap partner).
+        assert_eq!(sweep.len(), 3);
+        assert_eq!(sweep[0], engine.csf().mode_order()[0]);
+    }
+
+    #[test]
+    fn out_of_order_calls_fall_back_correctly() {
+        // Call a deep mode, then update factors, then call it again
+        // WITHOUT a fresh mode-0 pass: results must still match the
+        // reference because freshness tracking disables stale reads.
+        let t = pseudo_tensor(&[10, 9, 8], 400, 13);
+        let mut opts = StefOptions::new(3);
+        opts.memo = MemoPolicy::SaveAll;
+        let mut engine = Stef::prepare(&t, opts);
+        let f1 = rand_factors(t.dims(), 3, 21);
+        let sweep = engine.sweep_order();
+        let _ = engine.mttkrp(&f1, sweep[0]);
+        let _ = engine.mttkrp(&f1, sweep[1]);
+        // New factors, straight to a non-root mode.
+        let f2 = rand_factors(t.dims(), 3, 22);
+        engine.invalidate_partials();
+        let got = engine.mttkrp(&f2, sweep[1]);
+        assert_mat_approx_eq(&got, &t.mttkrp_reference(&f2, sweep[1]), 1e-9);
+    }
+
+    #[test]
+    fn reference_engine_is_consistent() {
+        let t = pseudo_tensor(&[6, 7, 8], 100, 14);
+        let mut engine = ReferenceEngine::new(t.clone());
+        let factors = rand_factors(t.dims(), 2, 23);
+        let got = engine.mttkrp(&factors, 1);
+        assert_mat_approx_eq(&got, &t.mttkrp_reference(&factors, 1), 0.0);
+        assert!((engine.norm_sq() - t.norm_sq()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan_reports_partial_bytes() {
+        let t = pseudo_tensor(&[10, 10, 10], 500, 15);
+        let mut opts = StefOptions::new(4);
+        opts.memo = MemoPolicy::SaveAll;
+        let engine = Stef::prepare(&t, opts);
+        assert!(engine.partial_bytes() > 0);
+        assert!(engine.csf_and_factor_bytes() > 0);
+        let mut opts2 = StefOptions::new(4);
+        opts2.memo = MemoPolicy::SaveNone;
+        let engine2 = Stef::prepare(&t, opts2);
+        assert_eq!(engine2.partial_bytes(), 0);
+    }
+}

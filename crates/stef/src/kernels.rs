@@ -1,0 +1,660 @@
+//! The memoized MTTKRP kernels (paper §III-B, Algorithms 4–8).
+//!
+//! Two passes cover all modes of the CSF:
+//!
+//! * [`mode0_pass`] — the downward/upward traversal that computes the
+//!   root-mode MTTKRP `Ā⁽⁰⁾` *and* stores every flagged partial result
+//!   `P^(i)` on the way (TTM followed by a chain of mTTV operations,
+//!   Fig. 1a). Output rows are owned per thread; the ≤ 2 boundary rows
+//!   per thread are updated atomically (Algorithm 4, lines 8–12).
+//! * [`modeu_pass`] — MTTKRP for a non-root level `u`. The traversal
+//!   builds the Khatri–Rao row `k_{u-1}` going down (Algorithm 5, line 7)
+//!   and at each level-`u` node obtains `t_u` either from the memoized
+//!   `P^(u)` (Fig. 1b / Algorithm 6), by recomputing from a deeper saved
+//!   level (Fig. 1c / Algorithm 7), or from scratch (Fig. 1d /
+//!   Algorithm 8) — whichever the save flags make possible. The leaf
+//!   level needs no `t`: it scatters `val · k_{d-2}` directly (the KRP
+//!   form of Algorithm 5, line 14).
+//!
+//! Both passes run one rayon task per *logical thread* of the
+//! [`Schedule`]; the schedule — not rayon — defines who owns what, so
+//! results are identical for any physical core count.
+
+use crate::partials::PartialStore;
+use crate::schedule::Schedule;
+use crate::sync::SharedRows;
+use linalg::krp::{axpy_row, hadamard_row, krp_row};
+use linalg::Mat;
+use rayon::prelude::*;
+use sptensor::Csf;
+
+/// Everything a kernel invocation needs, borrowed for its duration.
+pub struct KernelCtx<'a> {
+    /// The tensor.
+    pub csf: &'a Csf,
+    /// Work distribution (same object for producer and consumer passes).
+    pub sched: &'a Schedule,
+    /// Factor matrices in *level* order: `factors[l]` corresponds to
+    /// `csf.mode_order()[l]`.
+    pub factors: Vec<&'a Mat>,
+    /// Rank `R`.
+    pub rank: usize,
+}
+
+impl<'a> KernelCtx<'a> {
+    /// Builds a context, checking factor shapes against the CSF.
+    pub fn new(csf: &'a Csf, sched: &'a Schedule, factors: Vec<&'a Mat>, rank: usize) -> Self {
+        assert_eq!(factors.len(), csf.ndim(), "one factor per level");
+        for (l, f) in factors.iter().enumerate() {
+            assert_eq!(
+                f.rows(),
+                csf.level_dims()[l],
+                "factor at level {l} has wrong row count"
+            );
+            assert_eq!(f.cols(), rank, "factor at level {l} has wrong rank");
+        }
+        KernelCtx {
+            csf,
+            sched,
+            factors,
+            rank,
+        }
+    }
+}
+
+/// Resolved output-conflict strategy for non-root modes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResolvedAccum {
+    /// One output matrix per logical thread, reduced in thread order.
+    Privatized,
+    /// One shared output, every update an atomic add.
+    Atomic,
+}
+
+// ---------------------------------------------------------------------
+// Mode-0 pass
+// ---------------------------------------------------------------------
+
+/// Computes `Ā⁽⁰⁾` and stores all partials flagged in `partials`.
+///
+/// `out` must be `level_dims[0] × R`; it is zeroed here.
+pub fn mode0_pass(ctx: &KernelCtx<'_>, partials: &mut PartialStore, out: &mut Mat) {
+    let d = ctx.csf.ndim();
+    let r = ctx.rank;
+    assert_eq!(out.rows(), ctx.csf.level_dims()[0]);
+    assert_eq!(out.cols(), r);
+    assert_eq!(partials.nthreads(), ctx.sched.nthreads());
+    out.fill_zero();
+
+    let views = partials.shared_views();
+    let out_shared = SharedRows::new(out.as_mut_slice(), r);
+    let nthreads = ctx.sched.nthreads();
+
+    (0..nthreads).into_par_iter().for_each(|th| {
+        let mut scratch: Vec<Vec<f64>> = (0..d).map(|_| vec![0.0; r]).collect();
+        let (rlo, rhi) = ctx.sched.root_range(th);
+        for idx0 in rlo..rhi {
+            scratch[0].fill(0.0);
+            if d == 1 {
+                unreachable!("tensors have at least 2 modes");
+            }
+            walk_down(ctx, th, 1, idx0, &mut scratch, &views);
+            let fid = ctx.csf.fids(0)[idx0] as usize;
+            if ctx.sched.is_boundary(th, 0, idx0) {
+                // Possibly shared with a neighbour: atomic accumulate.
+                out_shared.atomic_add_row(fid, &scratch[0]);
+            } else {
+                // SAFETY: a non-boundary root node — and hence its output
+                // row, since root fids are unique — is owned by exactly
+                // this thread.
+                let row = unsafe { out_shared.row_mut(fid) };
+                row.copy_from_slice(&scratch[0]);
+            }
+        }
+    });
+}
+
+/// Recursive worker of the mode-0 pass: accumulates the subtree
+/// contribution of node `pindex`'s children into `scratch[level-1]`,
+/// storing `t_level` rows into memoized buffers on the way up.
+fn walk_down(
+    ctx: &KernelCtx<'_>,
+    th: usize,
+    level: usize,
+    pindex: usize,
+    scratch: &mut [Vec<f64>],
+    views: &[Option<SharedRows<'_>>],
+) {
+    let d = ctx.csf.ndim();
+    let (lo, hi) = child_range(ctx.csf, level, pindex);
+    let (clo, chi) = ctx.sched.clamp(th, level, lo, hi);
+    if level == d - 1 {
+        let fids = ctx.csf.fids(level);
+        let vals = ctx.csf.vals();
+        let t_prev = &mut scratch[level - 1];
+        let leaf_factor = ctx.factors[level];
+        for idx in clo..chi {
+            axpy_row(t_prev, vals[idx], leaf_factor.row(fids[idx] as usize));
+        }
+        return;
+    }
+    let fids = ctx.csf.fids(level);
+    for idx in clo..chi {
+        scratch[level].fill(0.0);
+        walk_down(ctx, th, level + 1, idx, scratch, views);
+        if let Some(view) = &views[level] {
+            // SAFETY: the shift-by-thread-id rule makes row `idx + th`
+            // exclusively this thread's (see partials.rs).
+            let dst = unsafe { view.row_mut(idx + th) };
+            dst.copy_from_slice(&scratch[level]);
+        }
+        let (head, tail) = scratch.split_at_mut(level);
+        hadamard_row(
+            &mut head[level - 1],
+            &tail[0],
+            ctx.factors[level].row(fids[idx] as usize),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mode-u pass (u > 0)
+// ---------------------------------------------------------------------
+
+/// Computes `Ā⁽ᵘ⁾` for a non-root level `u`, using memoized partials
+/// where available (`use_saved`), and returns it (`level_dims[u] × R`).
+pub fn modeu_pass(
+    ctx: &KernelCtx<'_>,
+    partials: &mut PartialStore,
+    u: usize,
+    accum: ResolvedAccum,
+    use_saved: bool,
+) -> Mat {
+    let d = ctx.csf.ndim();
+    assert!(u >= 1 && u < d, "mode0_pass handles the root level");
+    assert_eq!(partials.nthreads(), ctx.sched.nthreads());
+    let r = ctx.rank;
+    let n_u = ctx.csf.level_dims()[u];
+    let nthreads = ctx.sched.nthreads();
+    let saved: Vec<bool> = if use_saved {
+        partials.save_flags().to_vec()
+    } else {
+        vec![false; d]
+    };
+    let views = partials.shared_views();
+
+    match accum {
+        ResolvedAccum::Privatized => {
+            let mut locals: Vec<Mat> = (0..nthreads)
+                .into_par_iter()
+                .map(|th| {
+                    let mut local = Mat::zeros(n_u, r);
+                    run_thread(ctx, th, u, &saved, &views, &mut |fid, row| {
+                        hadd(local.row_mut(fid), row);
+                    });
+                    local
+                })
+                .collect();
+            // Reduce in thread order for determinism.
+            let mut out = locals.remove(0);
+            for l in locals {
+                out.add_assign(&l);
+            }
+            out
+        }
+        ResolvedAccum::Atomic => {
+            let mut out = Mat::zeros(n_u, r);
+            {
+                let shared = SharedRows::new(out.as_mut_slice(), r);
+                (0..nthreads).into_par_iter().for_each(|th| {
+                    run_thread(ctx, th, u, &saved, &views, &mut |fid, row| {
+                        shared.atomic_add_row(fid, row);
+                    });
+                });
+            }
+            out
+        }
+    }
+}
+
+/// One logical thread's traversal for mode `u`; `emit(fid, row)` receives
+/// each `Ā⁽ᵘ⁾` contribution.
+fn run_thread(
+    ctx: &KernelCtx<'_>,
+    th: usize,
+    u: usize,
+    saved: &[bool],
+    views: &[Option<SharedRows<'_>>],
+    emit: &mut dyn FnMut(usize, &[f64]),
+) {
+    let d = ctx.csf.ndim();
+    let r = ctx.rank;
+    let mut k_scratch: Vec<Vec<f64>> = (0..u.max(1)).map(|_| vec![0.0; r]).collect();
+    let mut t_scratch: Vec<Vec<f64>> = (0..d).map(|_| vec![0.0; r]).collect();
+    let mut upd = vec![0.0; r];
+    let (rlo, rhi) = ctx.sched.root_range(th);
+    for idx0 in rlo..rhi {
+        let fid0 = ctx.csf.fids(0)[idx0] as usize;
+        k_scratch[0].copy_from_slice(ctx.factors[0].row(fid0));
+        walk_u(
+            ctx,
+            th,
+            1,
+            idx0,
+            u,
+            saved,
+            views,
+            &mut k_scratch,
+            &mut t_scratch,
+            &mut upd,
+            emit,
+        );
+    }
+}
+
+/// Recursive descent for mode `u`: precondition — `k_scratch[level-1]`
+/// holds the KRP row of levels `0..level-1` on the current path.
+#[allow(clippy::too_many_arguments)]
+fn walk_u(
+    ctx: &KernelCtx<'_>,
+    th: usize,
+    level: usize,
+    pindex: usize,
+    u: usize,
+    saved: &[bool],
+    views: &[Option<SharedRows<'_>>],
+    k_scratch: &mut [Vec<f64>],
+    t_scratch: &mut [Vec<f64>],
+    upd: &mut [f64],
+    emit: &mut dyn FnMut(usize, &[f64]),
+) {
+    let d = ctx.csf.ndim();
+    let (lo, hi) = child_range(ctx.csf, level, pindex);
+    let (clo, chi) = ctx.sched.clamp(th, level, lo, hi);
+    let fids = ctx.csf.fids(level);
+    if level == u {
+        if u == d - 1 {
+            // Leaf mode: Ā⁽ᵈ⁻¹⁾[fid] += val · k_{d-2}  (KRP scatter).
+            let vals = ctx.csf.vals();
+            let k_prev = &k_scratch[u - 1];
+            for idx in clo..chi {
+                for (o, &kv) in upd.iter_mut().zip(k_prev.iter()) {
+                    *o = vals[idx] * kv;
+                }
+                emit(fids[idx] as usize, upd);
+            }
+        } else {
+            for idx in clo..chi {
+                if saved[u] {
+                    // Fig. 1b: load the memoized partial.
+                    // SAFETY: row `idx + th` was written by this thread
+                    // during the mode-0 pass under the same schedule, and
+                    // no pass writes it concurrently with this read.
+                    let t_u = unsafe { views[u].as_ref().unwrap().row(idx + th) };
+                    krp_row(upd, &k_scratch[u - 1], t_u);
+                } else {
+                    // Fig. 1c/1d: recompute t_u from the deepest usable
+                    // saved level (or the leaves).
+                    compute_t(ctx, th, u, idx, saved, views, t_scratch);
+                    krp_row(upd, &k_scratch[u - 1], &t_scratch[u]);
+                }
+                emit(fids[idx] as usize, upd);
+            }
+        }
+        return;
+    }
+    // level < u: extend the KRP row and descend.
+    for idx in clo..chi {
+        {
+            let (head, tail) = k_scratch.split_at_mut(level);
+            krp_row(
+                &mut tail[0],
+                &head[level - 1],
+                ctx.factors[level].row(fids[idx] as usize),
+            );
+        }
+        walk_u(
+            ctx,
+            th,
+            level + 1,
+            idx,
+            u,
+            saved,
+            views,
+            k_scratch,
+            t_scratch,
+            upd,
+            emit,
+        );
+    }
+}
+
+/// Fills `t_scratch[level]` with `t_level` for node `idx`: the partial
+/// MTTKRP of the node's (thread-clamped) subtree with factors
+/// `level+1..d-1` contracted — recursing only until a memoized level or
+/// the leaves (Algorithms 7/8).
+fn compute_t(
+    ctx: &KernelCtx<'_>,
+    th: usize,
+    level: usize,
+    idx: usize,
+    saved: &[bool],
+    views: &[Option<SharedRows<'_>>],
+    t_scratch: &mut [Vec<f64>],
+) {
+    let d = ctx.csf.ndim();
+    t_scratch[level].fill(0.0);
+    let (lo, hi) = child_range(ctx.csf, level + 1, idx);
+    let (clo, chi) = ctx.sched.clamp(th, level + 1, lo, hi);
+    if level + 1 == d - 1 {
+        let fids = ctx.csf.fids(d - 1);
+        let vals = ctx.csf.vals();
+        let leaf_factor = ctx.factors[d - 1];
+        let dst = &mut t_scratch[level];
+        for c in clo..chi {
+            axpy_row(dst, vals[c], leaf_factor.row(fids[c] as usize));
+        }
+        return;
+    }
+    let fids = ctx.csf.fids(level + 1);
+    for c in clo..chi {
+        let frow = ctx.factors[level + 1].row(fids[c] as usize);
+        if saved[level + 1] {
+            // SAFETY: same ownership argument as in walk_u.
+            let t_child = unsafe { views[level + 1].as_ref().unwrap().row(c + th) };
+            let (head, _) = t_scratch.split_at_mut(level + 1);
+            hadamard_row(&mut head[level], t_child, frow);
+        } else {
+            compute_t(ctx, th, level + 1, c, saved, views, t_scratch);
+            let (head, tail) = t_scratch.split_at_mut(level + 1);
+            hadamard_row(&mut head[level], &tail[0], frow);
+        }
+    }
+}
+
+/// `acc += row`, element-wise.
+#[inline]
+fn hadd(acc: &mut [f64], row: &[f64]) {
+    for (a, &b) in acc.iter_mut().zip(row) {
+        *a += b;
+    }
+}
+
+/// Children of node `(level-1, pindex)` — the root "parent" is virtual.
+#[inline]
+fn child_range(csf: &Csf, level: usize, pindex: usize) -> (usize, usize) {
+    let p = csf.ptr(level - 1);
+    (p[pindex], p[pindex + 1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::LoadBalance;
+    use linalg::assert_mat_approx_eq;
+    use sptensor::{build_csf, CooTensor};
+
+    fn pseudo_tensor(dims: &[usize], nnz: usize, seed: u64) -> CooTensor {
+        let mut t = CooTensor::new(dims.to_vec());
+        let mut x = seed | 1;
+        let mut coord = vec![0u32; dims.len()];
+        for _ in 0..nnz {
+            for (c, &d) in coord.iter_mut().zip(dims) {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                *c = ((x >> 33) % d as u64) as u32;
+            }
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            t.push(&coord, ((x >> 40) % 7) as f64 * 0.25 + 0.5);
+        }
+        t.sort_dedup();
+        t
+    }
+
+    fn rand_factors(dims: &[usize], r: usize, seed: u64) -> Vec<Mat> {
+        let mut x = seed | 1;
+        dims.iter()
+            .map(|&n| {
+                Mat::from_fn(n, r, |_, _| {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((x >> 35) % 1000) as f64 / 500.0 - 1.0
+                })
+            })
+            .collect()
+    }
+
+    /// Runs every mode's MTTKRP with the given config and compares each
+    /// against the COO reference.
+    #[allow(clippy::too_many_arguments)]
+    fn check_all_modes(
+        dims: &[usize],
+        nnz: usize,
+        rank: usize,
+        nthreads: usize,
+        save: Vec<bool>,
+        accum: ResolvedAccum,
+        balance: LoadBalance,
+        seed: u64,
+    ) {
+        let t = pseudo_tensor(dims, nnz, seed);
+        let order: Vec<usize> = (0..dims.len()).collect();
+        let csf = build_csf(&t, &order);
+        let sched = Schedule::build(&csf, nthreads, balance);
+        let mut partials = if save.iter().any(|&s| s) {
+            PartialStore::allocate(&csf, &save, nthreads, rank)
+        } else {
+            PartialStore::empty(dims.len(), nthreads, rank)
+        };
+        let factors = rand_factors(dims, rank, seed.wrapping_add(1));
+        let refs: Vec<&Mat> = factors.iter().collect();
+        let ctx = KernelCtx::new(&csf, &sched, refs, rank);
+
+        let mut out0 = Mat::zeros(dims[0], rank);
+        mode0_pass(&ctx, &mut partials, &mut out0);
+        let expect0 = t.mttkrp_reference(&factors, 0);
+        assert_mat_approx_eq(&out0, &expect0, 1e-9);
+
+        for u in 1..dims.len() {
+            let got = modeu_pass(&ctx, &mut partials, u, accum, true);
+            let expect = t.mttkrp_reference(&factors, u);
+            assert_mat_approx_eq(&got, &expect, 1e-9);
+        }
+    }
+
+    #[test]
+    fn three_d_no_memo_single_thread() {
+        check_all_modes(
+            &[8, 9, 10],
+            300,
+            4,
+            1,
+            vec![false; 3],
+            ResolvedAccum::Privatized,
+            LoadBalance::NnzBalanced,
+            1,
+        );
+    }
+
+    #[test]
+    fn three_d_memo_multi_thread() {
+        check_all_modes(
+            &[8, 9, 10],
+            300,
+            4,
+            5,
+            vec![false, true, false],
+            ResolvedAccum::Privatized,
+            LoadBalance::NnzBalanced,
+            2,
+        );
+    }
+
+    #[test]
+    fn four_d_all_memo_configs() {
+        for mask in 0..4u32 {
+            let save = vec![false, mask & 1 != 0, mask & 2 != 0, false];
+            check_all_modes(
+                &[6, 7, 8, 5],
+                400,
+                3,
+                4,
+                save,
+                ResolvedAccum::Privatized,
+                LoadBalance::NnzBalanced,
+                3,
+            );
+        }
+    }
+
+    #[test]
+    fn five_d_with_memo() {
+        check_all_modes(
+            &[4, 5, 6, 4, 5],
+            500,
+            3,
+            6,
+            vec![false, true, false, true, false],
+            ResolvedAccum::Privatized,
+            LoadBalance::NnzBalanced,
+            4,
+        );
+    }
+
+    #[test]
+    fn atomic_accumulation_matches() {
+        check_all_modes(
+            &[8, 9, 10],
+            300,
+            4,
+            5,
+            vec![false, true, false],
+            ResolvedAccum::Atomic,
+            LoadBalance::NnzBalanced,
+            5,
+        );
+    }
+
+    #[test]
+    fn slice_schedule_matches() {
+        check_all_modes(
+            &[8, 9, 10],
+            300,
+            4,
+            3,
+            vec![false, true, false],
+            ResolvedAccum::Privatized,
+            LoadBalance::SliceBased,
+            6,
+        );
+    }
+
+    #[test]
+    fn many_threads_tiny_tensor() {
+        check_all_modes(
+            &[3, 3, 3],
+            10,
+            2,
+            16,
+            vec![false, true, false],
+            ResolvedAccum::Privatized,
+            LoadBalance::NnzBalanced,
+            7,
+        );
+    }
+
+    #[test]
+    fn two_d_matrix_case() {
+        check_all_modes(
+            &[12, 15],
+            100,
+            4,
+            3,
+            vec![false, false],
+            ResolvedAccum::Privatized,
+            LoadBalance::NnzBalanced,
+            8,
+        );
+    }
+
+    #[test]
+    fn skewed_tensor_with_heavy_boundaries() {
+        // Two root slices, most mass in one: thread boundaries fall
+        // mid-slice, exercising replication + atomics heavily.
+        let mut t = CooTensor::new(vec![2, 20, 20]);
+        let mut x = 11u64;
+        let mut coord = [0u32; 3];
+        for _ in 0..600 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            coord[0] = if (x >> 20).is_multiple_of(10) { 1 } else { 0 };
+            coord[1] = ((x >> 30) % 20) as u32;
+            coord[2] = ((x >> 40) % 20) as u32;
+            t.push(&coord, 1.0 + ((x >> 50) % 3) as f64);
+        }
+        t.sort_dedup();
+        let csf = build_csf(&t, &[0, 1, 2]);
+        let rank = 4;
+        for nthreads in [2, 4, 8] {
+            let sched = Schedule::nnz_balanced(&csf, nthreads);
+            let save = vec![false, true, false];
+            let mut partials = PartialStore::allocate(&csf, &save, nthreads, rank);
+            let factors = rand_factors(t.dims(), rank, 99);
+            let refs: Vec<&Mat> = factors.iter().collect();
+            let ctx = KernelCtx::new(&csf, &sched, refs, rank);
+            let mut out0 = Mat::zeros(2, rank);
+            mode0_pass(&ctx, &mut partials, &mut out0);
+            assert_mat_approx_eq(&out0, &t.mttkrp_reference(&factors, 0), 1e-9);
+            for u in 1..3 {
+                let got = modeu_pass(&ctx, &mut partials, u, ResolvedAccum::Privatized, true);
+                assert_mat_approx_eq(&got, &t.mttkrp_reference(&factors, u), 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn stale_partials_can_be_bypassed() {
+        // Consume with use_saved = false: saved buffers must be ignored.
+        let t = pseudo_tensor(&[8, 9, 10], 250, 12);
+        let csf = build_csf(&t, &[0, 1, 2]);
+        let rank = 4;
+        let nthreads = 4;
+        let sched = Schedule::nnz_balanced(&csf, nthreads);
+        let save = vec![false, true, false];
+        let mut partials = PartialStore::allocate(&csf, &save, nthreads, rank);
+        // Poison the memo buffer (as if factors had changed since mode 0).
+        let factors = rand_factors(t.dims(), rank, 13);
+        let refs: Vec<&Mat> = factors.iter().collect();
+        let ctx = KernelCtx::new(&csf, &sched, refs, rank);
+        let got = modeu_pass(&ctx, &mut partials, 1, ResolvedAccum::Privatized, false);
+        assert_mat_approx_eq(&got, &t.mttkrp_reference(&factors, 1), 1e-9);
+    }
+
+    #[test]
+    fn permuted_level_order_still_correct() {
+        // CSF in a non-identity order: kernels work in level space, the
+        // reference in mode space — map factors and outputs accordingly.
+        let t = pseudo_tensor(&[7, 11, 5], 300, 14);
+        let order = vec![2usize, 0, 1];
+        let csf = build_csf(&t, &order);
+        let rank = 3;
+        let nthreads = 3;
+        let sched = Schedule::nnz_balanced(&csf, nthreads);
+        let save = vec![false, true, false];
+        let mut partials = PartialStore::allocate(&csf, &save, nthreads, rank);
+        let factors = rand_factors(t.dims(), rank, 15);
+        let level_refs: Vec<&Mat> = order.iter().map(|&m| &factors[m]).collect();
+        let ctx = KernelCtx::new(&csf, &sched, level_refs, rank);
+
+        let mut out0 = Mat::zeros(t.dims()[order[0]], rank);
+        mode0_pass(&ctx, &mut partials, &mut out0);
+        assert_mat_approx_eq(&out0, &t.mttkrp_reference(&factors, order[0]), 1e-9);
+        for u in 1..3 {
+            let got = modeu_pass(&ctx, &mut partials, u, ResolvedAccum::Privatized, true);
+            assert_mat_approx_eq(&got, &t.mttkrp_reference(&factors, order[u]), 1e-9);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! # stef-core — Sparsity-Aware Tensor Factorization
+//!
+//! A from-scratch Rust implementation of **STeF** from *"Sparsity-Aware
+//! Tensor Decomposition"* (Kurt, Raje, Sukumaran-Rajam, Sadayappan —
+//! IPDPS 2022): memoized sparse MTTKRP for CP decomposition with
+//!
+//! * a **data-movement model** ([`model`]) that picks which partially
+//!   contracted tensors `P^(i)` to memoize and whether to swap the CSF's
+//!   last two modes, by exhaustively scoring every configuration;
+//! * **nnz-balanced parallel scheduling** ([`schedule`]) where every
+//!   thread processes the same number of non-zeros and write conflicts
+//!   are confined to replicated boundary rows and a handful of atomic
+//!   updates;
+//! * **memoized MTTKRP kernels** ([`kernels`]) covering the saved /
+//!   recompute-from-saved / from-scratch paths of the paper's Fig. 1;
+//! * a **CPD-ALS driver** ([`cpd`]) generic over [`engine::MttkrpEngine`]
+//!   so baselines (SPLATT, AdaTM-like, ALTO-like, TACO-like — in the
+//!   `stef-baselines` crate) run under identical conditions;
+//! * **STeF2** ([`stef2`]), the two-CSF variant that replaces the slow
+//!   leaf-mode kernel with a root-mode pass on a second representation.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use stef_core::{cpd_als, CpdOptions, Stef, StefOptions};
+//! use sptensor::CooTensor;
+//!
+//! // A tiny 3-way tensor.
+//! let mut t = CooTensor::new(vec![4, 5, 6]);
+//! t.push(&[0, 1, 2], 1.0);
+//! t.push(&[3, 4, 5], 2.0);
+//! t.push(&[0, 4, 2], 3.0);
+//!
+//! let mut engine = Stef::prepare(&t, StefOptions::new(2));
+//! let result = cpd_als(&mut engine, &CpdOptions::new(2));
+//! assert_eq!(result.factors.len(), 3);
+//! assert!(result.final_fit() <= 1.0);
+//! ```
+
+#![allow(clippy::needless_range_loop)] // index loops over parallel arrays are the clearest form in these kernels
+
+pub mod counters;
+pub mod cpd;
+pub mod engine;
+pub mod kernels;
+pub mod model;
+pub mod nonneg;
+pub mod options;
+pub mod paper_kernels;
+pub mod partials;
+pub mod schedule;
+pub mod stef2;
+pub mod sync;
+pub mod validate;
+
+pub use counters::{count_sweep, CountedTraffic};
+pub use cpd::{cpd_als, init_factors, CpdOptions, CpdResult};
+pub use engine::{MttkrpEngine, ReferenceEngine, Stef};
+pub use model::{stef2_leaf_gain, LevelProfile, MemoPlan, RawTraffic};
+pub use nonneg::{cpd_mu_nonneg, NonnegCpdResult};
+pub use options::{AccumStrategy, LoadBalance, MemoPolicy, ModeSwitchPolicy, StefOptions};
+pub use partials::PartialStore;
+pub use schedule::Schedule;
+pub use stef2::Stef2;
+pub use validate::{validate_engine, ValidationReport};

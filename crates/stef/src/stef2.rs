@@ -1,0 +1,187 @@
+//! STeF2: STeF plus a second CSF rooted at the base CSF's leaf mode
+//! (paper §VI-B).
+//!
+//! The base CSF's leaf-mode MTTKRP is an MTTV-style scatter — the kernel
+//! the paper identifies as STeF's weak spot (e.g. on `nell-2`). STeF2
+//! spends one extra tensor copy to hold a second CSF whose *root* is that
+//! mode, so the leaf-mode MTTKRP becomes a cheap root-mode (TTM + mTTV)
+//! traversal with per-slice output ownership. All other modes still go
+//! through the memoized base engine.
+
+use crate::engine::{MttkrpEngine, Stef};
+use crate::kernels::{mode0_pass, KernelCtx};
+use crate::options::StefOptions;
+use crate::partials::PartialStore;
+use crate::schedule::Schedule;
+use linalg::Mat;
+use sptensor::{build_csf, CooTensor, Csf};
+
+/// STeF with a second CSF for the leaf mode.
+pub struct Stef2 {
+    base: Stef,
+    /// Second CSF: root = base leaf mode, remaining levels by length.
+    csf2: Csf,
+    sched2: Schedule,
+    /// Empty store — the second CSF never memoizes.
+    partials2: PartialStore,
+    /// The original mode served by the second CSF.
+    leaf_mode: usize,
+}
+
+impl Stef2 {
+    /// Prepares the base STeF engine and the auxiliary CSF.
+    pub fn prepare(coo: &CooTensor, opts: StefOptions) -> Self {
+        let base = Stef::prepare(coo, opts.clone());
+        let d = coo.ndim();
+        let base_order = base.csf().mode_order().to_vec();
+        let leaf_mode = base_order[d - 1];
+        // Root the second CSF at the base leaf mode; keep the rest in the
+        // base's relative order (already length-sorted).
+        let mut order2 = vec![leaf_mode];
+        order2.extend(base_order[..d - 1].iter().copied());
+        let csf2 = build_csf(coo, &order2);
+        let nthreads = base.schedule().nthreads();
+        let sched2 = Schedule::build(&csf2, nthreads, opts.load_balance);
+        let partials2 = PartialStore::empty(d, nthreads, opts.rank);
+        Stef2 {
+            base,
+            csf2,
+            sched2,
+            partials2,
+            leaf_mode,
+        }
+    }
+
+    /// The underlying base engine.
+    pub fn base(&self) -> &Stef {
+        &self.base
+    }
+
+    /// Bytes of the *additional* CSF copy STeF2 carries.
+    pub fn second_csf_bytes(&self) -> usize {
+        self.csf2.memory_bytes()
+    }
+
+    /// Model-predicted traffic saved per CPD iteration by routing the
+    /// leaf mode through the second CSF (positive = STeF2 should win;
+    /// see [`crate::model::stef2_leaf_gain`]).
+    pub fn predicted_leaf_gain(&self) -> f64 {
+        let opts = self.base.options();
+        let base_profile =
+            crate::model::LevelProfile::from_csf(self.base.csf(), opts.rank, opts.cache_bytes);
+        let second_profile =
+            crate::model::LevelProfile::from_csf(&self.csf2, opts.rank, opts.cache_bytes);
+        crate::model::stef2_leaf_gain(&base_profile, &second_profile)
+    }
+}
+
+impl MttkrpEngine for Stef2 {
+    fn dims(&self) -> &[usize] {
+        self.base.dims()
+    }
+
+    fn name(&self) -> String {
+        "stef2".into()
+    }
+
+    fn sweep_order(&self) -> Vec<usize> {
+        self.base.sweep_order()
+    }
+
+    fn norm_sq(&self) -> f64 {
+        self.base.norm_sq()
+    }
+
+    fn mttkrp(&mut self, factors: &[Mat], mode: usize) -> Mat {
+        if mode != self.leaf_mode {
+            return self.base.mttkrp(factors, mode);
+        }
+        // Root-mode pass on the second CSF (no memoization).
+        let rank = self.base.options().rank;
+        let order2 = self.csf2.mode_order().to_vec();
+        let level_factors: Vec<&Mat> = order2.iter().map(|&m| &factors[m]).collect();
+        let ctx = KernelCtx::new(&self.csf2, &self.sched2, level_factors, rank);
+        let mut out = Mat::zeros(self.csf2.level_dims()[0], rank);
+        mode0_pass(&ctx, &mut self.partials2, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpd::{cpd_als, CpdOptions};
+    use linalg::assert_mat_approx_eq;
+
+    fn pseudo_tensor(dims: &[usize], nnz: usize, seed: u64) -> CooTensor {
+        let mut t = CooTensor::new(dims.to_vec());
+        let mut x = seed | 1;
+        let mut coord = vec![0u32; dims.len()];
+        for _ in 0..nnz {
+            for (c, &d) in coord.iter_mut().zip(dims) {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                *c = ((x >> 33) % d as u64) as u32;
+            }
+            t.push(&coord, ((x >> 40) % 9) as f64 * 0.3 + 0.4);
+        }
+        t.sort_dedup();
+        t
+    }
+
+    fn rand_factors(dims: &[usize], r: usize, seed: u64) -> Vec<Mat> {
+        let mut x = seed | 1;
+        dims.iter()
+            .map(|&n| {
+                Mat::from_fn(n, r, |_, _| {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    ((x >> 35) % 1000) as f64 / 500.0 - 1.0
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_mode_matches_reference() {
+        for dims in [vec![15usize, 8, 11], vec![7, 9, 6, 8]] {
+            let t = pseudo_tensor(&dims, 500, 1);
+            let mut engine = Stef2::prepare(&t, StefOptions::new(4));
+            let factors = rand_factors(&dims, 4, 2);
+            for mode in engine.sweep_order() {
+                let got = engine.mttkrp(&factors, mode);
+                assert_mat_approx_eq(&got, &t.mttkrp_reference(&factors, mode), 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_mode_goes_through_second_csf() {
+        let t = pseudo_tensor(&[15, 8, 11], 400, 3);
+        let engine = Stef2::prepare(&t, StefOptions::new(3));
+        let base_order = engine.base().csf().mode_order();
+        assert_eq!(engine.leaf_mode, base_order[2]);
+        assert_eq!(engine.csf2.mode_order()[0], engine.leaf_mode);
+        assert!(engine.second_csf_bytes() > 0);
+    }
+
+    #[test]
+    fn cpd_matches_stef_iterates() {
+        let t = pseudo_tensor(&[12, 9, 10], 400, 4);
+        let opts = CpdOptions {
+            rank: 3,
+            max_iters: 4,
+            tol: 0.0,
+            seed: 5,
+        };
+        let mut s1 = Stef::prepare(&t, StefOptions::new(3));
+        let mut s2 = Stef2::prepare(&t, StefOptions::new(3));
+        let r1 = cpd_als(&mut s1, &opts);
+        let r2 = cpd_als(&mut s2, &opts);
+        for (a, b) in r1.fits.iter().zip(&r2.fits) {
+            assert!((a - b).abs() < 1e-8, "fits diverged: {a} vs {b}");
+        }
+    }
+}

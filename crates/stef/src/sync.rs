@@ -1,0 +1,194 @@
+//! Shared mutable row buffers for the parallel kernels.
+//!
+//! The STeF kernels intentionally share one output/partial buffer between
+//! worker tasks: the nnz-balanced schedule guarantees that *rows* are
+//! owned by exactly one logical thread, except for replicated boundary
+//! rows (shifted by thread id) and the root-mode output rows at thread
+//! boundaries (updated atomically). Rust's `&mut` aliasing rules cannot
+//! express "disjoint dynamic row ownership", so this module provides a
+//! minimal, heavily documented escape hatch:
+//!
+//! * [`SharedRows`] wraps a `&mut [f64]` and hands out per-row `&mut`
+//!   slices through a shared reference. Callers must uphold the
+//!   row-disjointness invariant; debug builds cannot check it (ownership
+//!   is a property of the schedule), so every call site documents why its
+//!   rows are disjoint.
+//! * [`atomic_add_row`] performs element-wise `+=` with relaxed
+//!   compare-exchange loops on `f64` bits — the paper's "atomic updates
+//!   at thread boundaries" (Algorithm 4, line 11). Relaxed ordering is
+//!   sufficient because the only cross-thread communication is the value
+//!   itself and the parallel region ends with a full join barrier.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A row-major buffer whose rows may be written concurrently by multiple
+/// tasks, provided each plain-access row has exactly one writer.
+pub struct SharedRows<'a> {
+    data: &'a [UnsafeCell<f64>],
+    row_len: usize,
+}
+
+// SAFETY: `SharedRows` only adds row-granular access on top of a buffer
+// the caller owns for the duration of the parallel region. All plain
+// (non-atomic) accesses go through `row_mut`, whose contract requires the
+// caller to guarantee single-writer rows; atomic accesses use `AtomicU64`
+// views. The join at the end of the parallel region provides the
+// happens-before edge that makes subsequent sequential reads race-free.
+unsafe impl Sync for SharedRows<'_> {}
+unsafe impl Send for SharedRows<'_> {}
+
+impl<'a> SharedRows<'a> {
+    /// Wraps a mutable buffer of `rows × row_len` elements.
+    ///
+    /// # Panics
+    /// Panics if the buffer length is not a multiple of `row_len`.
+    pub fn new(buf: &'a mut [f64], row_len: usize) -> Self {
+        assert!(row_len > 0);
+        assert_eq!(buf.len() % row_len, 0, "buffer must be whole rows");
+        // SAFETY: `UnsafeCell<f64>` has the same layout as `f64`, and we
+        // hold the unique `&mut` to the buffer, so reinterpreting it as a
+        // shared slice of cells is sound.
+        let data = unsafe {
+            std::slice::from_raw_parts(buf.as_ptr() as *const UnsafeCell<f64>, buf.len())
+        };
+        SharedRows { data, row_len }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.data.len() / self.row_len
+    }
+
+    /// Row length.
+    #[inline]
+    pub fn row_len(&self) -> usize {
+        self.row_len
+    }
+
+    /// Returns a mutable view of row `r`.
+    ///
+    /// # Safety
+    /// The caller must guarantee that no other task accesses row `r`
+    /// (mutably or otherwise, including atomically) while the returned
+    /// slice is alive. In the kernels this follows from the schedule's
+    /// row-ownership argument (see `schedule.rs`).
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn row_mut(&self, r: usize) -> &mut [f64] {
+        debug_assert!(r < self.rows());
+        let base = r * self.row_len;
+        // SAFETY: in-bounds by the assert; exclusivity is the caller's
+        // contract.
+        unsafe { std::slice::from_raw_parts_mut(self.data[base].get(), self.row_len) }
+    }
+
+    /// Returns a read-only view of row `r`.
+    ///
+    /// # Safety
+    /// No task may be writing row `r` concurrently.
+    #[inline]
+    pub unsafe fn row(&self, r: usize) -> &[f64] {
+        debug_assert!(r < self.rows());
+        let base = r * self.row_len;
+        // SAFETY: see above.
+        unsafe { std::slice::from_raw_parts(self.data[base].get(), self.row_len) }
+    }
+
+    /// Atomically adds `vals` element-wise into row `r`. Safe to call
+    /// concurrently with other `atomic_add_row` calls on any row, but
+    /// must not overlap a plain `row_mut` access to the same row.
+    pub fn atomic_add_row(&self, r: usize, vals: &[f64]) {
+        debug_assert!(r < self.rows());
+        debug_assert_eq!(vals.len(), self.row_len);
+        let base = r * self.row_len;
+        for (k, &v) in vals.iter().enumerate() {
+            if v == 0.0 {
+                continue;
+            }
+            // SAFETY: AtomicU64 has the same size/alignment as f64 and the
+            // cell is never accessed non-atomically during this phase
+            // (caller contract).
+            let cell = unsafe { &*(self.data[base + k].get() as *const AtomicU64) };
+            let mut cur = cell.load(Ordering::Relaxed);
+            loop {
+                let new = f64::from_bits(cur) + v;
+                match cell.compare_exchange_weak(
+                    cur,
+                    new.to_bits(),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(actual) => cur = actual,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn disjoint_rows_written_in_parallel() {
+        let mut buf = vec![0.0; 64 * 8];
+        {
+            let shared = SharedRows::new(&mut buf, 8);
+            (0..64usize).into_par_iter().for_each(|r| {
+                // SAFETY: each task touches exactly its own row.
+                let row = unsafe { shared.row_mut(r) };
+                for (k, x) in row.iter_mut().enumerate() {
+                    *x = (r * 8 + k) as f64;
+                }
+            });
+        }
+        for (i, &v) in buf.iter().enumerate() {
+            assert_eq!(v, i as f64);
+        }
+    }
+
+    #[test]
+    fn atomic_add_accumulates_from_many_tasks() {
+        let mut buf = vec![0.0; 4];
+        {
+            let shared = SharedRows::new(&mut buf, 4);
+            (0..1000usize).into_par_iter().for_each(|_| {
+                shared.atomic_add_row(0, &[1.0, 2.0, 0.0, -1.0]);
+            });
+        }
+        assert_eq!(buf, vec![1000.0, 2000.0, 0.0, -1000.0]);
+    }
+
+    #[test]
+    fn atomic_add_skips_zero_contributions() {
+        let mut buf = vec![5.0; 2];
+        {
+            let shared = SharedRows::new(&mut buf, 2);
+            shared.atomic_add_row(0, &[0.0, 0.0]);
+        }
+        assert_eq!(buf, vec![5.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole rows")]
+    fn rejects_ragged_buffer() {
+        let mut buf = vec![0.0; 7];
+        let _ = SharedRows::new(&mut buf, 2);
+    }
+
+    #[test]
+    fn row_read_back() {
+        let mut buf = vec![1.0, 2.0, 3.0, 4.0];
+        let shared = SharedRows::new(&mut buf, 2);
+        // SAFETY: no concurrent writers in this test.
+        unsafe {
+            assert_eq!(shared.row(1), &[3.0, 4.0]);
+            shared.row_mut(0)[1] = 9.0;
+            assert_eq!(shared.row(0), &[1.0, 9.0]);
+        }
+    }
+}

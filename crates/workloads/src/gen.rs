@@ -1,0 +1,263 @@
+//! Core synthetic tensor generators.
+//!
+//! Every generator draws *candidate* coordinates until the requested
+//! number of **distinct** non-zeros is reached (duplicates are merged by
+//! `sort_dedup`, so the returned tensor has exactly `min(nnz, reachable)`
+//! entries unless the index space is too small). Values are uniform in
+//! `[0.5, 1.5)` so that MTTKRP results are well-conditioned and no
+//! cancellation hides kernel bugs.
+
+use crate::powerlaw::PowerLaw;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sptensor::CooTensor;
+
+/// Maximum oversampling rounds before giving up on reaching the target
+/// distinct count (prevents livelock when a skewed distribution keeps
+/// hitting the same cells).
+const MAX_ROUNDS: usize = 12;
+
+fn draw_value<R: Rng>(rng: &mut R) -> f64 {
+    0.5 + rng.gen::<f64>()
+}
+
+/// Generates a tensor with independently power-law-distributed
+/// coordinates; `skews[m]` is the exponent for mode `m` (0 = uniform).
+///
+/// # Panics
+/// Panics if `skews.len() != dims.len()` or `nnz == 0`.
+pub fn power_law_tensor(dims: &[usize], nnz: usize, skews: &[f64], seed: u64) -> CooTensor {
+    assert_eq!(dims.len(), skews.len(), "one skew per mode");
+    assert!(nnz > 0, "nnz must be positive");
+    let samplers: Vec<PowerLaw> = dims
+        .iter()
+        .zip(skews)
+        .map(|(&d, &a)| PowerLaw::new(d, a))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = CooTensor::new(dims.to_vec());
+    let mut coord = vec![0u32; dims.len()];
+    let mut rounds = 0;
+    while t.nnz() < nnz && rounds < MAX_ROUNDS {
+        let need = nnz - t.nnz();
+        // Oversample a little to compensate for collisions.
+        let batch = need + need / 4 + 16;
+        for _ in 0..batch {
+            for (c, s) in coord.iter_mut().zip(&samplers) {
+                *c = s.sample(&mut rng);
+            }
+            t.push(&coord, draw_value(&mut rng));
+        }
+        t.sort_dedup();
+        truncate_to(&mut t, nnz);
+        rounds += 1;
+    }
+    t
+}
+
+/// Uniform-coordinate tensor — `power_law_tensor` with all skews 0.
+pub fn uniform_tensor(dims: &[usize], nnz: usize, seed: u64) -> CooTensor {
+    power_law_tensor(dims, nnz, &vec![0.0; dims.len()], seed)
+}
+
+/// Generates a tensor whose mode-0 has very few slices with a
+/// deliberately unbalanced non-zero split — the `vast-2015` pattern that
+/// starves slice-based schedulers. `hot_fraction` of the non-zeros land
+/// in slice 0; the rest spread over the remaining slices; other modes
+/// follow `skews`.
+pub fn split_root_tensor(
+    dims: &[usize],
+    nnz: usize,
+    hot_fraction: f64,
+    skews: &[f64],
+    seed: u64,
+) -> CooTensor {
+    assert!(dims[0] >= 2, "need at least two root slices");
+    assert!((0.0..=1.0).contains(&hot_fraction));
+    assert_eq!(dims.len(), skews.len());
+    let samplers: Vec<PowerLaw> = dims
+        .iter()
+        .zip(skews)
+        .map(|(&d, &a)| PowerLaw::new(d, a))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = CooTensor::new(dims.to_vec());
+    let mut coord = vec![0u32; dims.len()];
+    let mut rounds = 0;
+    while t.nnz() < nnz && rounds < MAX_ROUNDS {
+        let need = nnz - t.nnz();
+        let batch = need + need / 4 + 16;
+        for _ in 0..batch {
+            coord[0] = if rng.gen::<f64>() < hot_fraction {
+                0
+            } else {
+                1 + (rng.gen::<u64>() % (dims[0] as u64 - 1)) as u32
+            };
+            for m in 1..dims.len() {
+                coord[m] = samplers[m].sample(&mut rng);
+            }
+            t.push(&coord, draw_value(&mut rng));
+        }
+        t.sort_dedup();
+        truncate_to(&mut t, nnz);
+        rounds += 1;
+    }
+    t
+}
+
+/// Generates a tensor of dense-ish clusters: `n_clusters` random centers,
+/// each non-zero picks a center and offsets every coordinate by a
+/// geometric-ish spread. Produces long fibers and high index reuse —
+/// the `nell-2` / `nips` regime where memoization pays off.
+pub fn clustered_tensor(
+    dims: &[usize],
+    nnz: usize,
+    n_clusters: usize,
+    spread: usize,
+    seed: u64,
+) -> CooTensor {
+    assert!(n_clusters > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<u32>> = (0..n_clusters)
+        .map(|_| {
+            dims.iter()
+                .map(|&d| (rng.gen::<u64>() % d as u64) as u32)
+                .collect()
+        })
+        .collect();
+    let mut t = CooTensor::new(dims.to_vec());
+    let mut coord = vec![0u32; dims.len()];
+    let mut rounds = 0;
+    while t.nnz() < nnz && rounds < MAX_ROUNDS {
+        let need = nnz - t.nnz();
+        let batch = need + need / 4 + 16;
+        for _ in 0..batch {
+            let c = &centers[(rng.gen::<u64>() % n_clusters as u64) as usize];
+            for (m, (&d, &base)) in dims.iter().zip(c).enumerate() {
+                let off = (rng.gen::<u64>() % (2 * spread as u64 + 1)) as i64 - spread as i64;
+                let v = (base as i64 + off).rem_euclid(d as i64);
+                coord[m] = v as u32;
+            }
+            t.push(&coord, draw_value(&mut rng));
+        }
+        t.sort_dedup();
+        truncate_to(&mut t, nnz);
+        rounds += 1;
+    }
+    t
+}
+
+/// Keeps exactly `nnz` non-zeros by sampling evenly across the sorted
+/// entry list (keeping a lexicographic *prefix* would systematically drop
+/// the tail of the root mode and distort the distribution). Deterministic.
+fn truncate_to(t: &mut CooTensor, nnz: usize) {
+    let total = t.nnz();
+    if total <= nnz {
+        return;
+    }
+    let dims = t.dims().to_vec();
+    let mut out = CooTensor::new(dims);
+    for i in 0..nnz {
+        // Evenly spaced indices: floor(i * total / nnz) is strictly
+        // increasing because total > nnz.
+        let e = i * total / nnz;
+        out.push(&t.coord(e), t.values()[e]);
+    }
+    *t = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sptensor::{build_csf, TensorStats};
+
+    #[test]
+    fn uniform_hits_target_nnz() {
+        let t = uniform_tensor(&[50, 60, 70], 5_000, 1);
+        assert_eq!(t.nnz(), 5_000);
+        assert_eq!(t.dims(), &[50, 60, 70]);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = power_law_tensor(&[40, 40, 40], 2_000, &[1.0, 0.5, 0.0], 7);
+        let b = power_law_tensor(&[40, 40, 40], 2_000, &[1.0, 0.5, 0.0], 7);
+        assert_eq!(a.nnz(), b.nnz());
+        for e in (0..a.nnz()).step_by(97) {
+            assert_eq!(a.coord(e), b.coord(e));
+            assert_eq!(a.values()[e], b.values()[e]);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = uniform_tensor(&[30, 30, 30], 1_000, 1);
+        let b = uniform_tensor(&[30, 30, 30], 1_000, 2);
+        let same = (0..a.nnz().min(b.nnz())).all(|e| a.coord(e) == b.coord(e));
+        assert!(!same);
+    }
+
+    #[test]
+    fn small_index_space_saturates_gracefully() {
+        // Only 8 cells available but 100 requested.
+        let t = uniform_tensor(&[2, 2, 2], 100, 3);
+        assert!(t.nnz() <= 8);
+        assert!(
+            t.nnz() >= 6,
+            "should nearly fill the space, got {}",
+            t.nnz()
+        );
+    }
+
+    #[test]
+    fn split_root_concentrates_mass() {
+        let t = split_root_tensor(&[2, 100, 100], 4_000, 0.9, &[0.0, 0.0, 0.0], 5);
+        let slice0 = (0..t.nnz()).filter(|&e| t.indices()[0][e] == 0).count();
+        let frac = slice0 as f64 / t.nnz() as f64;
+        assert!(frac > 0.8, "hot slice fraction {frac}");
+        let csf = build_csf(&t, &[0, 1, 2]);
+        let s = TensorStats::from_csf(&csf, t.dims());
+        assert_eq!(s.root_slices, 2);
+        assert!(s.slice_imbalance > 1.5);
+    }
+
+    #[test]
+    fn clustered_has_longer_fibers_than_uniform() {
+        let dims = [200usize, 200, 200];
+        let nnz = 8_000;
+        let uni = uniform_tensor(&dims, nnz, 11);
+        let clu = clustered_tensor(&dims, nnz, 6, 8, 11);
+        let fib = |t: &CooTensor| {
+            let csf = build_csf(t, &[0, 1, 2]);
+            csf.nfibers(1)
+        };
+        // Fewer level-1 fibers = more non-zeros per fiber = longer fibers.
+        assert!(
+            fib(&clu) < fib(&uni),
+            "clustered {} should have fewer fibers than uniform {}",
+            fib(&clu),
+            fib(&uni)
+        );
+    }
+
+    #[test]
+    fn skew_shrinks_distinct_indices() {
+        let flat = power_law_tensor(&[1000, 50, 50], 3_000, &[0.0, 0.0, 0.0], 9);
+        let skew = power_law_tensor(&[1000, 50, 50], 3_000, &[2.0, 0.0, 0.0], 9);
+        let distinct = |t: &CooTensor| {
+            let mut ids: Vec<u32> = t.indices()[0].clone();
+            ids.sort_unstable();
+            ids.dedup();
+            ids.len()
+        };
+        assert!(distinct(&skew) < distinct(&flat) / 2);
+    }
+
+    #[test]
+    fn values_are_positive_and_finite() {
+        // Duplicate draws merge by summation, so values can exceed the
+        // per-draw range [0.5, 1.5) but must stay positive and finite.
+        let t = uniform_tensor(&[20, 20], 300, 13);
+        assert!(t.values().iter().all(|&v| v > 0.0 && v.is_finite()));
+    }
+}

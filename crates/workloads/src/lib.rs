@@ -1,0 +1,35 @@
+//! # stef-workloads — seeded sparse-tensor workload generators
+//!
+//! The paper evaluates on 16 FROSTT/HaTen2 tensors with up to 144 M
+//! non-zeros on 128 GB machines. Those inputs are not redistributable
+//! inside this repository and are far larger than a development host
+//! needs, so this crate generates *synthetic analogues*: same mode-count,
+//! same mode-length ratios, same qualitative sparsity structure (per-mode
+//! skew, root-slice starvation, fiber-length inversions), scaled down to
+//! at most a few million non-zeros.
+//!
+//! What the experiments actually depend on is preserved:
+//!
+//! * fiber-count profiles per level (what the data-movement model reads),
+//! * the number of root slices and their imbalance (what distinguishes
+//!   slice scheduling from nnz scheduling, e.g. the `vast-2015` tensors
+//!   keep their 2-slice root mode),
+//! * which of the last two modes compresses better (what Algorithm 9
+//!   decides, e.g. the `delicious-4d` analogue keeps "the longest mode
+//!   has the shortest fibers").
+//!
+//! Real FROSTT `.tns` files can be substituted at any time via
+//! `sptensor::io::read_tns_file`.
+//!
+//! All generators take an explicit seed and are deterministic across
+//! runs and thread counts.
+
+pub mod gen;
+pub mod lowrank;
+pub mod powerlaw;
+pub mod suite;
+
+pub use gen::{clustered_tensor, power_law_tensor, split_root_tensor, uniform_tensor};
+pub use lowrank::planted_lowrank_tensor;
+pub use powerlaw::PowerLaw;
+pub use suite::{paper_suite, suite_tensor, SuiteScale, SuiteSpec};

@@ -1,0 +1,241 @@
+//! Planted low-rank tensors.
+//!
+//! CPD correctness tests need tensors that *actually are* low-rank — not
+//! just sparse samples of a low-rank object (treating unobserved entries
+//! as zeros destroys low-rankness). The construction here guarantees
+//! exact rank ≤ `rank`: every component `r` gets a compactly supported
+//! factor column per mode (a positive bump inside a window, exactly zero
+//! outside), and the tensor enumerates **all** cells of each component's
+//! support box with the full CP model value. Outside the boxes the model
+//! is exactly zero, so the sparse tensor *is* the dense CP model, and an
+//! ALS solver with enough rank can drive the fit to ~1.
+
+use linalg::Mat;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sptensor::CooTensor;
+
+/// A planted low-rank tensor plus its ground-truth factors.
+pub struct PlantedTensor {
+    /// The sparse tensor (exact CP values on the union of support boxes).
+    pub tensor: CooTensor,
+    /// Ground-truth factor matrices, one per mode (`dims[m] × rank`).
+    pub factors: Vec<Mat>,
+    /// Ground-truth component weights.
+    pub lambda: Vec<f64>,
+}
+
+/// Generates an exactly rank-≤`rank` sparse tensor with roughly
+/// `target_nnz` non-zeros, with optional additive noise of amplitude
+/// `noise` (noise > 0 makes the tensor only approximately low-rank).
+///
+/// # Panics
+/// Panics if `rank == 0`, `target_nnz == 0`, or fewer than 2 modes.
+pub fn planted_lowrank_tensor(
+    dims: &[usize],
+    target_nnz: usize,
+    rank: usize,
+    noise: f64,
+    seed: u64,
+) -> PlantedTensor {
+    assert!(rank >= 1);
+    assert!(target_nnz > 0);
+    assert!(dims.len() >= 2);
+    let d = dims.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Box side per mode: the per-component box volume should be about
+    // target_nnz / rank, capped by each mode length.
+    let per_comp = (target_nnz as f64 / rank as f64).max(1.0);
+    let side = per_comp.powf(1.0 / d as f64).round().max(2.0);
+    let sides: Vec<usize> = dims.iter().map(|&n| (side as usize).min(n)).collect();
+
+    // Window starts per (mode, component); windows never wrap.
+    let mut starts = vec![vec![0usize; rank]; d];
+    for (m, &n) in dims.iter().enumerate() {
+        for slot in starts[m].iter_mut() {
+            let max_start = n - sides[m];
+            *slot = if max_start == 0 {
+                0
+            } else {
+                (rng.gen::<u64>() % (max_start as u64 + 1)) as usize
+            };
+        }
+    }
+
+    // Factors: a raised-cosine bump inside the window, zero outside —
+    // strictly positive on the window interior so components are
+    // genuinely rank-1 on their boxes.
+    let mut factors = Vec::with_capacity(d);
+    for (m, &n) in dims.iter().enumerate() {
+        let s = sides[m] as f64;
+        let col_starts = starts[m].clone();
+        let f = Mat::from_fn(n, rank, |i, r| {
+            let a = col_starts[r];
+            if i < a || i >= a + sides[m] {
+                0.0
+            } else {
+                let x = (i - a) as f64 / s; // in [0, 1)
+                0.2 + (std::f64::consts::PI * x).sin()
+            }
+        });
+        factors.push(f);
+    }
+    let lambda: Vec<f64> = (0..rank).map(|r| 1.0 + r as f64 * 0.25).collect();
+
+    // Enumerate every cell of every component's box; duplicates across
+    // overlapping boxes are collapsed (values identical: both are the
+    // full model value at that cell).
+    let model_value = |coord: &[u32]| -> f64 {
+        let mut v = 0.0;
+        for r in 0..rank {
+            let mut p = lambda[r];
+            for (m, f) in factors.iter().enumerate() {
+                p *= f[(coord[m] as usize, r)];
+                if p == 0.0 {
+                    break;
+                }
+            }
+            v += p;
+        }
+        v
+    };
+
+    let mut t = CooTensor::new(dims.to_vec());
+    let mut coord = vec![0u32; d];
+    let mut seen = std::collections::HashSet::new();
+    for anchor_of_mode in 0..rank {
+        let r = anchor_of_mode;
+        let volume: usize = sides.iter().product();
+        for flat in 0..volume {
+            let mut rem = flat;
+            for m in 0..d {
+                coord[m] = (starts[m][r] + rem % sides[m]) as u32;
+                rem /= sides[m];
+            }
+            if !seen.insert(coord.clone()) {
+                continue;
+            }
+            let mut v = model_value(&coord);
+            if noise > 0.0 {
+                v += noise * (rng.gen::<f64>() * 2.0 - 1.0);
+            }
+            t.push(&coord, v);
+        }
+    }
+    t.sort_dedup();
+    PlantedTensor {
+        tensor: t,
+        factors,
+        lambda,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_roughly_requested_nnz() {
+        let p = planted_lowrank_tensor(&[30, 40, 50], 2_000, 3, 0.0, 1);
+        assert_eq!(p.tensor.dims(), &[30, 40, 50]);
+        let nnz = p.tensor.nnz();
+        assert!(
+            (500..=8_000).contains(&nnz),
+            "nnz {nnz} far from the 2000 target"
+        );
+        assert_eq!(p.factors.len(), 3);
+        assert_eq!(p.factors[1].rows(), 40);
+        assert_eq!(p.factors[1].cols(), 3);
+        assert_eq!(p.lambda.len(), 3);
+    }
+
+    #[test]
+    fn noiseless_values_match_model_exactly() {
+        let p = planted_lowrank_tensor(&[20, 20, 20], 500, 2, 0.0, 2);
+        for e in (0..p.tensor.nnz()).step_by(13) {
+            let c = p.tensor.coord(e);
+            let mut expect = 0.0;
+            for r in 0..2 {
+                let mut prod = p.lambda[r];
+                for (m, f) in p.factors.iter().enumerate() {
+                    prod *= f[(c[m] as usize, r)];
+                }
+                expect += prod;
+            }
+            assert!((p.tensor.values()[e] - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tensor_is_exactly_the_dense_model() {
+        // Every cell NOT stored must have model value zero — the property
+        // that makes the sparse tensor exactly low-rank.
+        let dims = [8usize, 9, 7];
+        let p = planted_lowrank_tensor(&dims, 150, 2, 0.0, 3);
+        let mut stored = std::collections::HashSet::new();
+        for e in 0..p.tensor.nnz() {
+            stored.insert(p.tensor.coord(e));
+        }
+        for i in 0..dims[0] as u32 {
+            for j in 0..dims[1] as u32 {
+                for k in 0..dims[2] as u32 {
+                    let c = vec![i, j, k];
+                    if stored.contains(&c) {
+                        continue;
+                    }
+                    let mut v = 0.0;
+                    for r in 0..2 {
+                        let mut prod = p.lambda[r];
+                        for (m, f) in p.factors.iter().enumerate() {
+                            prod *= f[(c[m] as usize, r)];
+                        }
+                        v += prod;
+                    }
+                    assert!(v.abs() < 1e-12, "unstored cell {c:?} has model value {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn factors_are_compactly_supported() {
+        let p = planted_lowrank_tensor(&[50, 50, 50], 1_000, 3, 0.0, 4);
+        for f in &p.factors {
+            for r in 0..3 {
+                let nonzero = (0..f.rows()).filter(|&i| f[(i, r)] != 0.0).count();
+                assert!(nonzero > 0);
+                assert!(
+                    nonzero < f.rows(),
+                    "column {r} should have zeros outside its window"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_duplicate_coordinates() {
+        let p = planted_lowrank_tensor(&[15, 15, 15], 800, 2, 0.1, 5);
+        let mut coords: Vec<Vec<u32>> = (0..p.tensor.nnz()).map(|e| p.tensor.coord(e)).collect();
+        coords.sort();
+        let before = coords.len();
+        coords.dedup();
+        assert_eq!(coords.len(), before);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = planted_lowrank_tensor(&[25, 25, 25], 600, 2, 0.05, 9);
+        let b = planted_lowrank_tensor(&[25, 25, 25], 600, 2, 0.05, 9);
+        assert_eq!(a.tensor.nnz(), b.tensor.nnz());
+        assert_eq!(a.tensor.values(), b.tensor.values());
+    }
+
+    #[test]
+    fn noise_perturbs_values() {
+        let clean = planted_lowrank_tensor(&[20, 20, 20], 400, 2, 0.0, 4);
+        let noisy = planted_lowrank_tensor(&[20, 20, 20], 400, 2, 0.5, 4);
+        assert_eq!(clean.tensor.nnz(), noisy.tensor.nnz());
+        assert_ne!(clean.tensor.values(), noisy.tensor.values());
+    }
+}

@@ -1,0 +1,154 @@
+//! Discretized power-law index sampler.
+//!
+//! Real sparse tensors have heavily skewed per-mode index frequencies —
+//! a handful of users/words/IPs account for most non-zeros. We model this
+//! with a discretized Pareto: a continuous variable with density
+//! `∝ x^(−a)` on `[1, N+1)`, sampled by inverse CDF and floored to an
+//! integer in `[0, N)`. Exponent `a = 0` degenerates to the uniform
+//! distribution; larger `a` concentrates mass on low indices (which is
+//! harmless for structure, since tensor index identity is arbitrary).
+//!
+//! This is not an exact Zipf pmf, but the workloads only need a
+//! *controllable heavy tail*, and inverse-CDF sampling is branch-free,
+//! table-free and exactly reproducible.
+
+use rand::Rng;
+
+/// Inverse-CDF sampler for a discretized power law over `0..n`.
+#[derive(Clone, Debug)]
+pub struct PowerLaw {
+    n: usize,
+    exponent: f64,
+    /// `(N+1)^(1-a)` precomputed (or `ln(N+1)` when `a == 1`).
+    edge: f64,
+}
+
+impl PowerLaw {
+    /// Creates a sampler over `0..n` with skew exponent `a ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `a < 0` or `a` is not finite.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n > 0, "domain must be non-empty");
+        assert!(
+            exponent >= 0.0 && exponent.is_finite(),
+            "exponent must be finite and >= 0"
+        );
+        let edge = if (exponent - 1.0).abs() < 1e-12 {
+            ((n + 1) as f64).ln()
+        } else {
+            ((n + 1) as f64).powf(1.0 - exponent)
+        };
+        PowerLaw { n, exponent, edge }
+    }
+
+    /// Domain size.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Skew exponent.
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Draws one index in `[0, n)`.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let u: f64 = rng.gen::<f64>();
+        let x = if (self.exponent - 1.0).abs() < 1e-12 {
+            (u * self.edge).exp()
+        } else {
+            let p = 1.0 - self.exponent;
+            // Interpolate between 1^p = 1 and (N+1)^p, then invert.
+            ((1.0 - u) + u * self.edge).powf(1.0 / p)
+        };
+        // x ∈ [1, N+1); floor-1 gives [0, N); clamp guards the open edge.
+        ((x as usize).saturating_sub(1)).min(self.n - 1) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn histogram(n: usize, a: f64, draws: usize, seed: u64) -> Vec<usize> {
+        let pl = PowerLaw::new(n, a);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut h = vec![0usize; n];
+        for _ in 0..draws {
+            h[pl.sample(&mut rng) as usize] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let pl = PowerLaw::new(7, 2.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            assert!((pl.sample(&mut rng) as usize) < 7);
+        }
+    }
+
+    #[test]
+    fn zero_exponent_is_roughly_uniform() {
+        let h = histogram(10, 0.0, 100_000, 2);
+        let expect = 10_000.0;
+        for (i, &c) in h.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < expect * 0.1,
+                "bucket {i} count {c} too far from uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_mass_on_low_indices() {
+        let h = histogram(1000, 1.5, 100_000, 3);
+        let head: usize = h[..10].iter().sum();
+        let tail: usize = h[500..].iter().sum();
+        assert!(
+            head > 50 * tail.max(1),
+            "head {head} should dwarf tail {tail}"
+        );
+    }
+
+    #[test]
+    fn higher_exponent_means_more_skew() {
+        let mild: usize = histogram(1000, 0.5, 50_000, 4)[..10].iter().sum();
+        let steep: usize = histogram(1000, 2.0, 50_000, 4)[..10].iter().sum();
+        assert!(steep > 2 * mild);
+    }
+
+    #[test]
+    fn exponent_one_special_case_works() {
+        let h = histogram(100, 1.0, 50_000, 5);
+        assert!(h[0] > h[50], "log-uniform should still be decreasing");
+        assert_eq!(h.iter().sum::<usize>(), 50_000);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = histogram(64, 1.2, 1_000, 42);
+        let b = histogram(64, 1.2, 1_000, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_element_domain() {
+        let pl = PowerLaw::new(1, 3.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..100 {
+            assert_eq!(pl.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_domain() {
+        let _ = PowerLaw::new(0, 1.0);
+    }
+}

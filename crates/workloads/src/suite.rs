@@ -1,0 +1,378 @@
+//! Scaled synthetic analogues of the paper's tensor suite (Table I).
+//!
+//! Each entry mirrors one of the 16 FROSTT/HaTen2 tensors: same mode
+//! count, proportionally scaled mode lengths, and a generator chosen to
+//! reproduce the property that makes that tensor interesting in the
+//! paper's evaluation:
+//!
+//! * `vast-2015-mc1-*` keep a length-2 mode that becomes the CSF root
+//!   under the mode-length heuristic, with a hot/cold non-zero split —
+//!   the slice-scheduling worst case of §II-D;
+//! * `freebase_*` keep nearly-unique `(i, j)` pairs so that memoizing
+//!   `P^(1)` is as large as the tensor itself and the model declines to
+//!   memoize (Table II shows 0.00 for these);
+//! * `delicious-4d` keeps "the longest mode has the *shortest* average
+//!   fibers", the motivating example for last-two-mode switching (§II-E);
+//! * `nell-2` / `nips` / `uber` are dense-ish with long fibers, the
+//!   regime where memoization and kernel choice dominate.
+//!
+//! Generation is seeded per tensor, so the suite is identical across
+//! machines and runs.
+
+use crate::gen::{clustered_tensor, power_law_tensor, split_root_tensor};
+use sptensor::{inverse_permutation, CooTensor};
+
+/// How to synthesize a suite tensor.
+#[derive(Clone, Debug)]
+pub enum GenKind {
+    /// Independent per-mode power-law skews.
+    PowerLaw {
+        /// Skew exponent per mode (0 = uniform).
+        skews: Vec<f64>,
+    },
+    /// One mode has few, unevenly loaded slices.
+    SplitRoot {
+        /// Which original mode carries the hot/cold split.
+        hot_mode: usize,
+        /// Fraction of non-zeros in the hot slice.
+        hot: f64,
+        /// Skews for the remaining modes (entry `hot_mode` ignored).
+        skews: Vec<f64>,
+    },
+    /// Clustered blocks (long fibers, heavy index reuse).
+    Clustered {
+        /// Number of cluster centers.
+        clusters: usize,
+        /// Coordinate spread around each center.
+        spread: usize,
+    },
+}
+
+/// A named suite entry.
+#[derive(Clone, Debug)]
+pub struct SuiteSpec {
+    /// Paper tensor this entry is the analogue of.
+    pub name: &'static str,
+    /// Scaled mode lengths.
+    pub dims: Vec<usize>,
+    /// Non-zero count at [`SuiteScale::Small`].
+    pub base_nnz: usize,
+    /// Generator recipe.
+    pub kind: GenKind,
+    /// Generation seed (fixed per entry).
+    pub seed: u64,
+}
+
+/// Global size knob for the suite.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SuiteScale {
+    /// ~1/20 of Small — for unit/integration tests.
+    Tiny,
+    /// Default benchmarking scale (a few hundred thousand nnz each).
+    Small,
+    /// 4× Small, for longer benchmark runs.
+    Full,
+}
+
+impl SuiteScale {
+    fn apply(self, nnz: usize) -> usize {
+        match self {
+            SuiteScale::Tiny => (nnz / 20).max(500),
+            SuiteScale::Small => nnz,
+            SuiteScale::Full => nnz * 4,
+        }
+    }
+}
+
+impl SuiteSpec {
+    /// Generates the tensor at the given scale.
+    pub fn generate(&self, scale: SuiteScale) -> CooTensor {
+        let nnz = scale.apply(self.base_nnz);
+        match &self.kind {
+            GenKind::PowerLaw { skews } => power_law_tensor(&self.dims, nnz, skews, self.seed),
+            GenKind::Clustered { clusters, spread } => {
+                clustered_tensor(&self.dims, nnz, *clusters, *spread, self.seed)
+            }
+            GenKind::SplitRoot {
+                hot_mode,
+                hot,
+                skews,
+            } => {
+                // The split generator makes mode 0 hot; permute the hot
+                // mode to the front, generate, permute back.
+                let d = self.dims.len();
+                let mut perm = vec![*hot_mode];
+                perm.extend((0..d).filter(|m| m != hot_mode));
+                let gdims: Vec<usize> = perm.iter().map(|&m| self.dims[m]).collect();
+                let gskews: Vec<f64> = perm.iter().map(|&m| skews[m]).collect();
+                let t = split_root_tensor(&gdims, nnz, *hot, &gskews, self.seed);
+                t.permute_modes(&inverse_permutation(&perm))
+            }
+        }
+    }
+}
+
+/// The 16-entry suite mirroring the paper's Table I, scaled down.
+pub fn paper_suite() -> Vec<SuiteSpec> {
+    vec![
+        SuiteSpec {
+            name: "chicago-crime-comm",
+            dims: vec![6000, 24, 77, 32],
+            base_nnz: 120_000,
+            kind: GenKind::PowerLaw {
+                skews: vec![0.8, 0.2, 0.5, 0.3],
+            },
+            seed: 101,
+        },
+        SuiteSpec {
+            name: "chicago-crime-geo",
+            dims: vec![6000, 24, 380, 395, 32],
+            base_nnz: 120_000,
+            kind: GenKind::PowerLaw {
+                skews: vec![0.8, 0.2, 0.6, 0.6, 0.3],
+            },
+            seed: 102,
+        },
+        SuiteSpec {
+            name: "delicious-3d",
+            dims: vec![4160, 132_000, 15_600],
+            base_nnz: 400_000,
+            kind: GenKind::PowerLaw {
+                skews: vec![1.2, 2.0, 0.0],
+            },
+            seed: 103,
+        },
+        SuiteSpec {
+            // Longest mode (1) heavily skewed: excluding it leaves a
+            // high-entropy prefix, so its fibers are the *shortest* —
+            // the §II-E mode-switch motivator (real delicious-4d has
+            // average fiber 1.5 on the 17M mode vs 3 on the 2M mode).
+            name: "delicious-4d",
+            dims: vec![4160, 132_000, 15_600, 16],
+            base_nnz: 400_000,
+            kind: GenKind::PowerLaw {
+                skews: vec![1.2, 2.0, 0.0, 0.4],
+            },
+            seed: 104,
+        },
+        SuiteSpec {
+            name: "enron",
+            dims: vec![750, 750, 30_000, 128],
+            base_nnz: 300_000,
+            kind: GenKind::PowerLaw {
+                skews: vec![1.0, 1.0, 0.7, 0.5],
+            },
+            seed: 105,
+        },
+        SuiteSpec {
+            name: "flickr-3d",
+            dims: vec![2500, 219_000, 15_600],
+            base_nnz: 350_000,
+            kind: GenKind::PowerLaw {
+                skews: vec![1.2, 0.0, 0.6],
+            },
+            seed: 106,
+        },
+        SuiteSpec {
+            name: "flickr-4d",
+            dims: vec![2500, 219_000, 15_600, 92],
+            base_nnz: 350_000,
+            kind: GenKind::PowerLaw {
+                skews: vec![1.2, 0.0, 0.6, 0.4],
+            },
+            seed: 107,
+        },
+        SuiteSpec {
+            // Nearly-unique (i, j) pairs: memoization buys nothing.
+            name: "freebase_music",
+            dims: vec![90_000, 90_000, 166],
+            base_nnz: 350_000,
+            kind: GenKind::PowerLaw {
+                skews: vec![0.4, 0.4, 0.5],
+            },
+            seed: 108,
+        },
+        SuiteSpec {
+            name: "freebase_sampled",
+            dims: vec![150_000, 150_000, 533],
+            base_nnz: 350_000,
+            kind: GenKind::PowerLaw {
+                skews: vec![0.4, 0.4, 0.5],
+            },
+            seed: 109,
+        },
+        SuiteSpec {
+            name: "lbnl-network",
+            dims: vec![500, 1000, 500, 1000, 54_000],
+            base_nnz: 150_000,
+            kind: GenKind::PowerLaw {
+                skews: vec![0.9, 0.9, 0.9, 0.9, 0.4],
+            },
+            seed: 110,
+        },
+        SuiteSpec {
+            name: "nell-1",
+            dims: vec![23_000, 16_000, 195_000],
+            base_nnz: 400_000,
+            kind: GenKind::PowerLaw {
+                skews: vec![0.9, 0.9, 0.3],
+            },
+            seed: 111,
+        },
+        SuiteSpec {
+            // Long fibers / heavy reuse — the slow-leaf-MTTV case where
+            // STeF2's second CSF pays off.
+            name: "nell-2",
+            dims: vec![6000, 4500, 14_500],
+            base_nnz: 400_000,
+            kind: GenKind::Clustered {
+                clusters: 48,
+                spread: 70,
+            },
+            seed: 112,
+        },
+        SuiteSpec {
+            name: "nips",
+            dims: vec![2000, 3000, 14_000, 17],
+            base_nnz: 200_000,
+            kind: GenKind::PowerLaw {
+                skews: vec![0.7, 0.7, 0.7, 0.2],
+            },
+            seed: 113,
+        },
+        SuiteSpec {
+            // Small dense modes: saving the biggest partial hurts (§IV-A).
+            name: "uber",
+            dims: vec![183, 24, 1000, 2000],
+            base_nnz: 250_000,
+            kind: GenKind::PowerLaw {
+                skews: vec![0.5, 0.2, 0.7, 0.7],
+            },
+            seed: 114,
+        },
+        SuiteSpec {
+            // Length-2 mode becomes the CSF root: 2 slices, skewed.
+            name: "vast-2015-mc1-3d",
+            dims: vec![82_000, 5500, 2],
+            base_nnz: 400_000,
+            kind: GenKind::SplitRoot {
+                hot_mode: 2,
+                hot: 0.85,
+                skews: vec![0.5, 0.5, 0.0],
+            },
+            seed: 115,
+        },
+        SuiteSpec {
+            name: "vast-2015-mc1-5d",
+            dims: vec![82_000, 5500, 2, 100, 89],
+            base_nnz: 400_000,
+            kind: GenKind::SplitRoot {
+                hot_mode: 2,
+                hot: 0.85,
+                skews: vec![0.5, 0.5, 0.0, 0.3, 0.3],
+            },
+            seed: 116,
+        },
+    ]
+}
+
+/// Generates one suite tensor by name, or `None` for an unknown name.
+pub fn suite_tensor(name: &str, scale: SuiteScale) -> Option<CooTensor> {
+    paper_suite()
+        .into_iter()
+        .find(|s| s.name == name)
+        .map(|s| s.generate(scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sptensor::{build_csf, sort_modes_by_length, TensorStats};
+
+    #[test]
+    fn suite_has_all_sixteen_entries() {
+        let suite = paper_suite();
+        assert_eq!(suite.len(), 16);
+        let mut names: Vec<_> = suite.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 16, "names must be unique");
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(suite_tensor("not-a-tensor", SuiteScale::Tiny).is_none());
+    }
+
+    #[test]
+    fn tiny_scale_generates_quickly_and_correctly() {
+        let t = suite_tensor("uber", SuiteScale::Tiny).unwrap();
+        assert_eq!(t.dims(), &[183, 24, 1000, 2000]);
+        assert!(t.nnz() >= 500);
+    }
+
+    #[test]
+    fn vast_analogue_keeps_two_root_slices() {
+        let t = suite_tensor("vast-2015-mc1-3d", SuiteScale::Tiny).unwrap();
+        let order = sort_modes_by_length(t.dims());
+        assert_eq!(order[0], 2, "length-2 mode should sort to the root");
+        let csf = build_csf(&t, &order);
+        let stats = TensorStats::from_csf(&csf, t.dims());
+        assert_eq!(stats.root_slices, 2);
+        assert!(
+            stats.slice_imbalance > 1.3,
+            "imbalance {} should reflect the hot/cold split",
+            stats.slice_imbalance
+        );
+    }
+
+    #[test]
+    fn freebase_analogue_has_nearly_unique_pairs() {
+        let t = suite_tensor("freebase_music", SuiteScale::Tiny).unwrap();
+        let order = sort_modes_by_length(t.dims());
+        let csf = build_csf(&t, &order);
+        let d = csf.ndim();
+        // Fibers at the level above the leaves ≈ nnz means memoizing the
+        // largest partial is as big as the tensor itself.
+        let ratio = csf.nfibers(d - 2) as f64 / csf.nnz() as f64;
+        assert!(ratio > 0.7, "pair uniqueness ratio {ratio}");
+    }
+
+    #[test]
+    fn delicious_4d_longest_mode_has_short_fibers() {
+        let t = suite_tensor("delicious-4d", SuiteScale::Tiny).unwrap();
+        // Average fiber length along a mode = nnz / (# distinct prefixes
+        // excluding that mode). Compare the two longest modes by putting
+        // each at the leaf of a CSF and reading the leaf fanout.
+        let fiber_len = |leaf_mode: usize| {
+            let mut order: Vec<usize> = (0..t.ndim()).filter(|&m| m != leaf_mode).collect();
+            order.push(leaf_mode);
+            let csf = build_csf(&t, &order);
+            csf.nnz() as f64 / csf.nfibers(t.ndim() - 2) as f64
+        };
+        let longest = 1; // 132K mode
+        let second = 2; // 15.6K mode
+        assert!(
+            fiber_len(longest) < fiber_len(second),
+            "longest mode fibers ({:.2}) should be shorter than second-longest ({:.2})",
+            fiber_len(longest),
+            fiber_len(second)
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = suite_tensor("nips", SuiteScale::Tiny).unwrap();
+        let b = suite_tensor("nips", SuiteScale::Tiny).unwrap();
+        assert_eq!(a.nnz(), b.nnz());
+        assert_eq!(a.values(), b.values());
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        let spec = &paper_suite()[13]; // uber
+        let tiny = spec.generate(SuiteScale::Tiny);
+        let small = spec.generate(SuiteScale::Small);
+        assert!(tiny.nnz() < small.nnz());
+    }
+}

@@ -1,0 +1,74 @@
+//! Nonnegative factorization with locality reordering: a
+//! (document × word × timestamp) activity tensor is renumbered with
+//! Lexi-Order (Li et al., ICS'19 — discussed in the paper's §V as
+//! complementary to STeF), then decomposed with nonnegative
+//! multiplicative updates so the components read as additive topics.
+//!
+//! ```text
+//! cargo run --release --example topic_activity
+//! ```
+
+use sptensor::reorder::{lexi_order, mean_index_jump};
+use stef::{cpd_mu_nonneg, CpdOptions};
+use stef_repro::prelude::*;
+
+fn main() {
+    // Clustered activity: a few dozen topic blocks in a big index space,
+    // with the mode-1 (word) ids deliberately scattered.
+    let dims = [3_000usize, 8_000, 200];
+    let tensor = workloads::clustered_tensor(&dims, 80_000, 24, 40, 2024);
+    println!(
+        "activity tensor: {:?}, {} non-zeros (all values positive)",
+        tensor.dims(),
+        tensor.nnz()
+    );
+
+    // Locality before/after Lexi-Order.
+    let before = mean_index_jump(&tensor);
+    let (reordered, renumbering) = lexi_order(&tensor, 2);
+    let after = mean_index_jump(&reordered);
+    println!("mean index jump per mode (lower = better locality):");
+    for m in 0..dims.len() {
+        println!("  mode {m}: {:.1} -> {:.1}", before[m], after[m]);
+    }
+
+    // Nonnegative CP on the reordered tensor through the full STeF engine.
+    let rank = 8;
+    let mut engine = Stef::prepare(&reordered, StefOptions::new(rank));
+    let mut opts = CpdOptions::new(rank);
+    opts.max_iters = 40;
+    opts.tol = 1e-6;
+    let result = cpd_mu_nonneg(&mut engine, &opts);
+    println!(
+        "\nnonnegative CP rank-{rank}: fit {:.4} in {} iterations ({:?})",
+        result.final_fit(),
+        result.iterations,
+        result.total_time
+    );
+    assert!(
+        result
+            .factors
+            .iter()
+            .all(|f| f.as_slice().iter().all(|&v| v >= 0.0)),
+        "multiplicative updates must preserve nonnegativity"
+    );
+
+    // Map the word factor back to original ids and print a topic.
+    let words = &result.factors[1];
+    let rows: Vec<Vec<f64>> = (0..words.rows()).map(|i| words.row(i).to_vec()).collect();
+    let words_original = renumbering.unapply_factor_rows(1, &rows);
+    let topic = 0;
+    let mut scored: Vec<(usize, f64)> = words_original
+        .iter()
+        .enumerate()
+        .map(|(i, row)| (i, row[topic]))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let top: Vec<usize> = scored.iter().take(8).map(|&(i, _)| i).collect();
+    println!("topic {topic}: top original word ids {top:?}");
+    println!(
+        "(factor rows were computed in Lexi-Order numbering and mapped back\n\
+         through the renumbering — fiber counts, and hence the model's\n\
+         decisions, are invariant under the reordering)"
+    );
+}

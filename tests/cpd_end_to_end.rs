@@ -1,0 +1,146 @@
+//! End-to-end CPD-ALS: recovery of planted low-rank structure, identical
+//! iterates across engines, and graceful behaviour on the scaled paper
+//! suite.
+
+use stef::{cpd_als, CpdOptions, Stef, Stef2, StefOptions};
+use workloads::{planted_lowrank_tensor, suite_tensor, SuiteScale};
+
+#[test]
+fn planted_lowrank_is_recovered_by_stef() {
+    let planted = planted_lowrank_tensor(&[60, 50, 40], 6_000, 3, 0.0, 42);
+    let mut engine = Stef::prepare(&planted.tensor, StefOptions::new(5));
+    let mut opts = CpdOptions::new(5);
+    opts.max_iters = 60;
+    opts.tol = 1e-7;
+    let result = cpd_als(&mut engine, &opts);
+    assert!(
+        result.final_fit() > 0.9,
+        "noiseless planted rank-3 should fit well, got {}",
+        result.final_fit()
+    );
+}
+
+#[test]
+fn noisy_planted_lowrank_still_fits_reasonably() {
+    let planted = planted_lowrank_tensor(&[50, 40, 30], 5_000, 3, 0.05, 43);
+    let mut engine = Stef::prepare(&planted.tensor, StefOptions::new(4));
+    let mut opts = CpdOptions::new(4);
+    opts.max_iters = 40;
+    let result = cpd_als(&mut engine, &opts);
+    assert!(
+        result.final_fit() > 0.6,
+        "mild noise should not destroy the fit, got {}",
+        result.final_fit()
+    );
+}
+
+#[test]
+fn every_engine_reaches_the_same_fit() {
+    // Same seed + same sweep order per engine family; fits must agree
+    // closely because ALS iterates are determined by the MTTKRP results.
+    let planted = planted_lowrank_tensor(&[40, 35, 30], 4_000, 2, 0.0, 44);
+    let t = planted.tensor;
+    let opts = CpdOptions {
+        rank: 3,
+        max_iters: 8,
+        tol: 0.0,
+        seed: 5,
+    };
+    let mut fits = Vec::new();
+    for mut engine in baselines::all_engines(&t, 3, 2) {
+        let r = cpd_als(engine.as_mut(), &opts);
+        fits.push((engine.name(), r.final_fit()));
+    }
+    // Engines may sweep modes in different orders, which changes the ALS
+    // trajectory slightly — but all must converge to comparable fits.
+    let max = fits.iter().map(|&(_, f)| f).fold(f64::MIN, f64::max);
+    for (name, fit) in &fits {
+        assert!(
+            (max - fit).abs() < 0.05,
+            "engine {name} fit {fit} far from best {max}: {fits:?}"
+        );
+    }
+}
+
+#[test]
+fn fits_are_monotone_for_stef2() {
+    let planted = planted_lowrank_tensor(&[40, 30, 20, 10], 3_000, 2, 0.0, 45);
+    let mut engine = Stef2::prepare(&planted.tensor, StefOptions::new(3));
+    let mut opts = CpdOptions::new(3);
+    opts.max_iters = 15;
+    opts.tol = 0.0;
+    let result = cpd_als(&mut engine, &opts);
+    for w in result.fits.windows(2) {
+        assert!(w[1] >= w[0] - 1e-7, "fit decreased: {:?}", result.fits);
+    }
+}
+
+#[test]
+fn cpd_runs_on_every_suite_tensor_tiny() {
+    // Smoke across the whole suite: prepare + 2 iterations each.
+    for spec in workloads::paper_suite() {
+        let t = spec.generate(SuiteScale::Tiny);
+        let mut engine = Stef::prepare(&t, StefOptions::new(8));
+        let opts = CpdOptions {
+            rank: 8,
+            max_iters: 2,
+            tol: 0.0,
+            seed: 3,
+        };
+        let result = cpd_als(&mut engine, &opts);
+        assert_eq!(result.iterations, 2, "{}", spec.name);
+        assert!(
+            result.fits.iter().all(|f| f.is_finite()),
+            "{}: non-finite fit {:?}",
+            spec.name,
+            result.fits
+        );
+    }
+}
+
+#[test]
+fn cpd_is_deterministic_for_fixed_seed_and_threads() {
+    let t = suite_tensor("uber", SuiteScale::Tiny).unwrap();
+    let run = || {
+        let mut opts = StefOptions::new(4);
+        opts.num_threads = 2;
+        let mut engine = Stef::prepare(&t, opts);
+        let copts = CpdOptions {
+            rank: 4,
+            max_iters: 3,
+            tol: 0.0,
+            seed: 9,
+        };
+        cpd_als(&mut engine, &copts).fits
+    };
+    let a = run();
+    let b = run();
+    for (x, y) in a.iter().zip(&b) {
+        // Atomic boundary adds permit tiny nondeterminism; fits must
+        // agree to near machine precision regardless.
+        assert!((x - y).abs() < 1e-12, "{a:?} vs {b:?}");
+    }
+}
+
+#[test]
+fn rank_one_tensor_fits_perfectly() {
+    use sptensor::CooTensor;
+    let mut t = CooTensor::new(vec![8, 8, 8]);
+    for i in 0..4u32 {
+        for j in 0..4u32 {
+            for k in 0..4u32 {
+                // T = u ⊗ v ⊗ w with u_i = i+1 etc.
+                t.push(&[i, j, k], (i + 1) as f64 * (j + 1) as f64 * (k + 1) as f64);
+            }
+        }
+    }
+    let mut engine = Stef::prepare(&t, StefOptions::new(1));
+    let mut opts = CpdOptions::new(1);
+    opts.max_iters = 30;
+    let result = cpd_als(&mut engine, &opts);
+    assert!(
+        result.final_fit() > 0.9999,
+        "exact rank-1 tensor, fit {}",
+        result.final_fit()
+    );
+}

@@ -1,0 +1,124 @@
+//! Cross-engine consistency: every algorithm in the workspace — STeF,
+//! STeF2, SPLATT×3, AdaTM-like, ALTO-like, TACO-like — must compute the
+//! exact same MTTKRP as the naive COO reference, for every mode, on the
+//! same inputs. This is the repository's strongest correctness net: the
+//! engines share almost no code paths with the reference (different
+//! formats, different traversals, different parallelism), so agreement
+//! pins down all of them at once.
+
+use linalg::{assert_mat_approx_eq, Mat};
+use sptensor::CooTensor;
+use stef::{init_factors, MttkrpEngine, Stef, Stef2, StefOptions};
+use workloads::{clustered_tensor, power_law_tensor, split_root_tensor};
+
+const TOL: f64 = 1e-9;
+
+fn engines_for(t: &CooTensor, rank: usize) -> Vec<Box<dyn MttkrpEngine>> {
+    baselines::all_engines(t, rank, 3)
+}
+
+fn check_tensor(t: &CooTensor, rank: usize, seed: u64) {
+    let factors = init_factors(t.dims(), rank, seed);
+    let expected: Vec<Mat> = (0..t.ndim())
+        .map(|m| t.mttkrp_reference(&factors, m))
+        .collect();
+    for mut engine in engines_for(t, rank) {
+        // Respect each engine's sweep order so memoization is valid.
+        for mode in engine.sweep_order() {
+            let got = engine.mttkrp(&factors, mode);
+            assert_mat_approx_eq(&got, &expected[mode], TOL);
+        }
+        // A second sweep (memoized partials now warm) must agree too.
+        for mode in engine.sweep_order() {
+            let got = engine.mttkrp(&factors, mode);
+            assert_mat_approx_eq(&got, &expected[mode], TOL);
+        }
+    }
+}
+
+#[test]
+fn all_engines_agree_on_power_law_3d() {
+    let t = power_law_tensor(&[60, 45, 30], 3_000, &[1.0, 0.5, 0.0], 1);
+    check_tensor(&t, 8, 11);
+}
+
+#[test]
+fn all_engines_agree_on_power_law_4d() {
+    let t = power_law_tensor(&[25, 35, 20, 15], 3_000, &[0.8, 0.2, 0.5, 0.3], 2);
+    check_tensor(&t, 4, 12);
+}
+
+#[test]
+fn all_engines_agree_on_5d() {
+    let t = power_law_tensor(&[10, 12, 8, 9, 11], 2_000, &[0.5; 5], 3);
+    check_tensor(&t, 3, 13);
+}
+
+#[test]
+fn all_engines_agree_on_split_root() {
+    // The vast-like worst case: 2 root slices, heavy skew.
+    let t = split_root_tensor(&[2, 120, 80], 4_000, 0.9, &[0.0, 0.4, 0.4], 4);
+    check_tensor(&t, 8, 14);
+}
+
+#[test]
+fn all_engines_agree_on_clustered() {
+    let t = clustered_tensor(&[80, 80, 80], 4_000, 6, 10, 5);
+    check_tensor(&t, 8, 15);
+}
+
+#[test]
+fn all_engines_agree_on_matrix() {
+    let t = power_law_tensor(&[50, 70], 1_500, &[0.6, 0.0], 6);
+    check_tensor(&t, 4, 16);
+}
+
+#[test]
+fn stef_results_identical_across_thread_counts() {
+    let t = power_law_tensor(&[40, 50, 30], 5_000, &[0.7, 0.3, 0.0], 7);
+    let rank = 8;
+    let factors = init_factors(t.dims(), rank, 17);
+    let run = |threads: usize| -> Vec<Mat> {
+        let mut opts = StefOptions::new(rank);
+        opts.num_threads = threads;
+        let mut engine = Stef::prepare(&t, opts);
+        engine
+            .sweep_order()
+            .into_iter()
+            .map(|m| engine.mttkrp(&factors, m))
+            .collect()
+    };
+    let one = run(1);
+    for threads in [2, 5, 13] {
+        let many = run(threads);
+        for (a, b) in one.iter().zip(&many) {
+            assert_mat_approx_eq(a, b, TOL);
+        }
+    }
+}
+
+#[test]
+fn stef2_and_stef_agree_everywhere() {
+    let t = power_law_tensor(&[30, 40, 25, 12], 4_000, &[0.6, 0.2, 0.4, 0.1], 8);
+    let rank = 6;
+    let factors = init_factors(t.dims(), rank, 18);
+    let mut s1 = Stef::prepare(&t, StefOptions::new(rank));
+    let mut s2 = Stef2::prepare(&t, StefOptions::new(rank));
+    for mode in s1.sweep_order() {
+        let a = s1.mttkrp(&factors, mode);
+        let b = s2.mttkrp(&factors, mode);
+        assert_mat_approx_eq(&a, &b, TOL);
+    }
+}
+
+#[test]
+fn engine_names_are_distinct() {
+    let t = power_law_tensor(&[10, 10, 10], 200, &[0.0; 3], 9);
+    let engines = engines_for(&t, 2);
+    let mut names: Vec<String> = engines.iter().map(|e| e.name()).collect();
+    names.sort();
+    let before = names.len();
+    names.dedup();
+    assert_eq!(names.len(), before, "duplicate engine names: {names:?}");
+    assert_eq!(before, 8, "the paper compares 8 algorithms");
+}

@@ -1,0 +1,133 @@
+//! Cross-crate tests of the extension features: Lexi-Order feeding the
+//! engines, nonnegative CP over every engine, the instrumented traffic
+//! counter against engine-reported storage, and the typed CSF iterators
+//! against kernel results.
+
+use linalg::assert_mat_approx_eq;
+use sptensor::reorder::lexi_order;
+use sptensor::{build_csf, sort_modes_by_length};
+use stef::{
+    count_sweep, cpd_mu_nonneg, init_factors, CpdOptions, MttkrpEngine, Stef, StefOptions,
+};
+use workloads::{clustered_tensor, power_law_tensor};
+
+#[test]
+fn lexi_order_preserves_engine_results_up_to_renaming() {
+    let t = clustered_tensor(&[60, 80, 50], 3_000, 5, 8, 1);
+    let (reordered, renumbering) = lexi_order(&t, 2);
+    let rank = 4;
+
+    // Factors for the reordered tensor = original factors with rows
+    // permuted; then MTTKRP outputs must match under the same renaming.
+    let factors = init_factors(t.dims(), rank, 7);
+    let factors_reordered: Vec<linalg::Mat> = (0..t.ndim())
+        .map(|m| {
+            linalg::Mat::from_fn(t.dims()[m], rank, |new_row, r| {
+                let old = renumbering.inverse[m][new_row] as usize;
+                factors[m][(old, r)]
+            })
+        })
+        .collect();
+
+    let mut e1 = Stef::prepare(&t, StefOptions::new(rank));
+    let mut e2 = Stef::prepare(&reordered, StefOptions::new(rank));
+    for mode in e1.sweep_order() {
+        let a = e1.mttkrp(&factors, mode);
+        let b = e2.mttkrp(&factors_reordered, mode);
+        // b's rows are in new numbering; map back.
+        let b_unmapped = linalg::Mat::from_fn(a.rows(), rank, |old, r| {
+            b[(renumbering.forward[mode][old] as usize, r)]
+        });
+        assert_mat_approx_eq(&a, &b_unmapped, 1e-9);
+    }
+}
+
+#[test]
+fn nonneg_cp_works_on_every_engine() {
+    let t = power_law_tensor(&[40, 30, 20], 1_500, &[0.5, 0.3, 0.0], 2);
+    let opts = CpdOptions {
+        rank: 3,
+        max_iters: 5,
+        tol: 0.0,
+        seed: 3,
+    };
+    let mut final_fits = Vec::new();
+    for mut engine in baselines::all_engines(&t, 3, 2) {
+        let result = cpd_mu_nonneg(engine.as_mut(), &opts);
+        assert!(
+            result
+                .factors
+                .iter()
+                .all(|f| f.as_slice().iter().all(|&v| v >= 0.0 && v.is_finite())),
+            "{} produced negative/non-finite factors",
+            engine.name()
+        );
+        final_fits.push((engine.name(), result.final_fit()));
+    }
+    // All engines compute the same MTTKRPs, so MU trajectories coincide
+    // for engines with the same sweep order; at minimum, all fits must
+    // be finite and in [0, 1].
+    for (name, fit) in &final_fits {
+        assert!(
+            fit.is_finite() && *fit <= 1.0,
+            "{name} fit {fit} out of range"
+        );
+    }
+}
+
+#[test]
+fn counted_traffic_tracks_engine_storage_decisions() {
+    // The engine's chosen save set must count strictly more writes than
+    // save-none whenever it memoizes anything, and its partial_bytes
+    // must equal the counted extra write volume (rows × R × 8).
+    let t = clustered_tensor(&[50, 60, 400], 5_000, 8, 10, 4);
+    let rank = 16;
+    let engine = Stef::prepare(&t, StefOptions::new(rank));
+    let csf = engine.csf();
+    let save = engine.plan().save.clone();
+    let none = vec![false; csf.ndim()];
+    let with_save = count_sweep(csf, &save, rank);
+    let without = count_sweep(csf, &none, rank);
+    let extra_write_elems = with_save.writes - without.writes;
+    let expected_rows: usize = (0..csf.ndim())
+        .filter(|&l| save[l])
+        .map(|l| csf.nfibers(l))
+        .sum();
+    assert!(
+        (extra_write_elems - (expected_rows * rank) as f64).abs() < 1e-9,
+        "extra writes {} vs expected rows {}",
+        extra_write_elems,
+        expected_rows * rank
+    );
+    if save.iter().any(|&s| s) {
+        // partial_bytes covers the same rows (+T replicas).
+        let lower = expected_rows * rank * 8;
+        let saved_levels = save.iter().filter(|&&s| s).count();
+        assert!(engine.partial_bytes() >= lower);
+        // Slack: up to T replica rows per saved level (T <= 256 here).
+        assert!(engine.partial_bytes() <= lower + saved_levels * 256 * rank * 8);
+    }
+}
+
+#[test]
+fn typed_iterators_agree_with_mttkrp_row_support() {
+    // Rows of the mode-0 MTTKRP are nonzero exactly for fids that the
+    // slice iterator reports (generically — with random positive
+    // factors and values, cancellation is measure-zero).
+    let t = power_law_tensor(&[30, 25, 20], 800, &[0.8, 0.2, 0.0], 5);
+    let order = sort_modes_by_length(t.dims());
+    let csf = build_csf(&t, &order);
+    let rank = 3;
+    let mut engine = Stef::prepare(&t, StefOptions::new(rank));
+    let factors = init_factors(t.dims(), rank, 11); // strictly positive
+    let root_mode = engine.sweep_order()[0];
+    let out = engine.mttkrp(&factors, root_mode);
+    let mut support_from_iter = vec![false; out.rows()];
+    for slice in csf.slices() {
+        support_from_iter[slice.fid() as usize] = true;
+    }
+    for (i, &in_support) in support_from_iter.iter().enumerate() {
+        let row_nonzero = out.row(i).iter().any(|&v| v != 0.0);
+        assert_eq!(row_nonzero, in_support, "row {i} support mismatch");
+    }
+}
