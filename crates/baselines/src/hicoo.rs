@@ -293,12 +293,12 @@ mod tests {
         let t = pseudo_tensor(&[100, 90, 80], 1_000, 9);
         let mut engine = HiCoo::prepare(&t, 4, 2);
         let opts = stef::CpdOptions {
-            rank: 4,
             max_iters: 3,
             tol: 0.0,
             seed: 1,
+            ..stef::CpdOptions::new(4)
         };
-        let result = stef::cpd_als(&mut engine, &opts);
+        let result = stef::cpd_als(&mut engine, &opts).expect("cpd run");
         assert_eq!(result.iterations, 3);
         assert!(result.fits.iter().all(|f| f.is_finite()));
     }

@@ -12,12 +12,10 @@
 //! STEF_SCALE=full STEF_REPS=5 cargo run -p stef-bench --release --bin fig3_4
 //! ```
 
-use serde::Serialize;
 use stef_bench::{
     geomean, render_bar_chart, suite_selection, time_mttkrp_sweep, BenchConfig, Table,
 };
 
-#[derive(Serialize)]
 struct FigRow {
     tensor: String,
     rank: usize,
@@ -26,6 +24,7 @@ struct FigRow {
     /// speedup over splatt-all, keyed by algorithm name.
     relative: Vec<(String, f64)>,
 }
+stef_bench::impl_to_json!(FigRow { tensor, rank, seconds, relative });
 
 fn main() {
     let config = BenchConfig::from_env();

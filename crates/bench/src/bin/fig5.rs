@@ -9,12 +9,10 @@
 //! cargo run -p stef-bench --release --bin fig5
 //! ```
 
-use serde::Serialize;
 use sptensor::{build_csf, sort_modes_by_length};
 use stef::{LevelProfile, Stef, StefOptions};
 use stef_bench::{render_bar_chart, suite_selection, time_mttkrp_sweep, BenchConfig, Table};
 
-#[derive(Serialize)]
 struct Fig5Row {
     tensor: String,
     preprocess_seconds: f64,
@@ -23,6 +21,14 @@ struct Fig5Row {
     overhead_pct_r32: f64,
     overhead_pct_r64: f64,
 }
+stef_bench::impl_to_json!(Fig5Row {
+    tensor,
+    preprocess_seconds,
+    sweep_seconds_r32,
+    sweep_seconds_r64,
+    overhead_pct_r32,
+    overhead_pct_r64,
+});
 
 fn main() {
     let config = BenchConfig::from_env();

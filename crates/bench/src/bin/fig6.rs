@@ -17,17 +17,20 @@
 //! cargo run -p stef-bench --release --bin fig6
 //! ```
 
-use serde::Serialize;
 use stef::{LoadBalance, MemoPolicy, ModeSwitchPolicy, Stef, StefOptions};
 use stef_bench::{suite_selection, time_mttkrp_sweep, BenchConfig, Table};
 
-#[derive(Serialize)]
 struct Fig6Row {
     tensor: String,
     model_seconds: f64,
     /// (ablation label, seconds, percent of model-chosen performance)
     ablations: Vec<(String, f64, f64)>,
 }
+stef_bench::impl_to_json!(Fig6Row {
+    tensor,
+    model_seconds,
+    ablations,
+});
 
 const RANK: usize = 32;
 

@@ -8,11 +8,9 @@
 //! cargo run -p stef-bench --release --bin table1
 //! ```
 
-use serde::Serialize;
 use sptensor::{build_csf, sort_modes_by_length, TensorStats};
 use stef_bench::{suite_selection, BenchConfig, Table};
 
-#[derive(Serialize)]
 struct Table1Row {
     tensor: String,
     dims: Vec<usize>,
@@ -23,6 +21,16 @@ struct Table1Row {
     fiber_counts: Vec<usize>,
     mode_order: Vec<usize>,
 }
+stef_bench::impl_to_json!(Table1Row {
+    tensor,
+    dims,
+    dims_string,
+    nnz,
+    root_slices,
+    slice_imbalance,
+    fiber_counts,
+    mode_order,
+});
 
 fn main() {
     let config = BenchConfig::from_env();

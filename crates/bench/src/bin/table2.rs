@@ -9,11 +9,9 @@
 //! cargo run -p stef-bench --release --bin table2
 //! ```
 
-use serde::Serialize;
 use stef::{MemoPolicy, Stef, StefOptions};
 use stef_bench::{suite_selection, BenchConfig, Table};
 
-#[derive(Serialize)]
 struct Table2Row {
     tensor: String,
     rank: usize,
@@ -24,6 +22,16 @@ struct Table2Row {
     save_all_ratio: f64,
     saved_levels: Vec<bool>,
 }
+stef_bench::impl_to_json!(Table2Row {
+    tensor,
+    rank,
+    partial_bytes,
+    csf_and_factor_bytes,
+    ratio,
+    save_all_partial_bytes,
+    save_all_ratio,
+    saved_levels,
+});
 
 fn gb(bytes: usize) -> f64 {
     bytes as f64 / 1e9

@@ -1,7 +1,6 @@
 //! Plain-text tables, ASCII bar charts and JSON dumps for the bench
 //! binaries.
 
-use serde::Serialize;
 use std::path::PathBuf;
 
 /// A simple aligned text table.
@@ -81,29 +80,142 @@ pub fn render_bar_chart(items: &[(String, f64)], width: usize) -> String {
     out
 }
 
-/// Writes a serializable value to `target/stef-results/<name>.json`,
+/// Minimal JSON serialization for bench result rows. Hand-rolled because
+/// the build environment is offline and serde is unavailable; covers
+/// exactly the shapes the bench binaries dump.
+pub trait ToJson {
+    fn to_json(&self) -> String;
+}
+
+/// Escapes a string per JSON rules (quotes, backslashes, control chars).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> String {
+        format!("\"{}\"", json_escape(self))
+    }
+}
+
+impl ToJson for &str {
+    fn to_json(&self) -> String {
+        format!("\"{}\"", json_escape(self))
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> String {
+        // JSON has no NaN/Inf literals; null keeps the dump parseable.
+        if self.is_finite() {
+            format!("{self}")
+        } else {
+            "null".to_string()
+        }
+    }
+}
+
+impl ToJson for usize {
+    fn to_json(&self) -> String {
+        format!("{self}")
+    }
+}
+
+impl ToJson for u64 {
+    fn to_json(&self) -> String {
+        format!("{self}")
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> String {
+        format!("{self}")
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> String {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> String {
+        let items: Vec<String> = self.iter().map(|x| x.to_json()).collect();
+        format!("[{}]", items.join(", "))
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> String {
+        self.as_slice().to_json()
+    }
+}
+
+impl<A: ToJson, B: ToJson> ToJson for (A, B) {
+    fn to_json(&self) -> String {
+        format!("[{}, {}]", self.0.to_json(), self.1.to_json())
+    }
+}
+
+impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
+    fn to_json(&self) -> String {
+        format!(
+            "[{}, {}, {}]",
+            self.0.to_json(),
+            self.1.to_json(),
+            self.2.to_json()
+        )
+    }
+}
+
+/// Implements [`ToJson`] for a struct as a JSON object of its named
+/// fields, in declaration order.
+#[macro_export]
+macro_rules! impl_to_json {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::ToJson for $ty {
+            fn to_json(&self) -> String {
+                let fields: Vec<String> = vec![
+                    $(format!(
+                        "\"{}\": {}",
+                        stringify!($field),
+                        $crate::ToJson::to_json(&self.$field)
+                    ),)+
+                ];
+                format!("{{{}}}", fields.join(", "))
+            }
+        }
+    };
+}
+
+/// Writes a [`ToJson`] value to `target/stef-results/<name>.json`,
 /// returning the path. Errors are printed, not fatal — benchmarks should
 /// not die on a read-only filesystem.
-pub fn write_json<T: Serialize>(name: &str, value: &T) -> Option<PathBuf> {
+pub fn write_json<T: ToJson + ?Sized>(name: &str, value: &T) -> Option<PathBuf> {
     let dir = PathBuf::from("target/stef-results");
     if let Err(e) = std::fs::create_dir_all(&dir) {
         eprintln!("warning: cannot create {}: {e}", dir.display());
         return None;
     }
     let path = dir.join(format!("{name}.json"));
-    match serde_json::to_string_pretty(value) {
-        Ok(body) => {
-            if let Err(e) = std::fs::write(&path, body) {
-                eprintln!("warning: cannot write {}: {e}", path.display());
-                return None;
-            }
-            Some(path)
-        }
-        Err(e) => {
-            eprintln!("warning: serialization failed: {e}");
-            None
-        }
+    if let Err(e) = std::fs::write(&path, value.to_json()) {
+        eprintln!("warning: cannot write {}: {e}", path.display());
+        return None;
     }
+    Some(path)
 }
 
 #[cfg(test)]
@@ -144,5 +256,28 @@ mod tests {
     fn bar_chart_handles_zeroes() {
         let s = render_bar_chart(&[("z".to_string(), 0.0)], 10);
         assert!(s.contains("z"));
+    }
+
+    struct Row {
+        name: String,
+        nnz: usize,
+        seconds: Vec<(String, f64)>,
+    }
+    crate::impl_to_json!(Row { name, nnz, seconds });
+
+    #[test]
+    fn to_json_renders_structs_vecs_and_escapes() {
+        let r = Row {
+            name: "uber \"4d\"".to_string(),
+            nnz: 3,
+            seconds: vec![("stef".to_string(), 0.5)],
+        };
+        assert_eq!(
+            r.to_json(),
+            "{\"name\": \"uber \\\"4d\\\"\", \"nnz\": 3, \"seconds\": [[\"stef\", 0.5]]}"
+        );
+        assert_eq!(vec![r].to_json().chars().next(), Some('['));
+        assert_eq!(f64::NAN.to_json(), "null");
+        assert_eq!([1.0f64, 2.0].to_json(), "[1, 2]");
     }
 }

@@ -109,18 +109,20 @@ mod tests {
     }
 
     #[test]
-    fn positionals_and_flags_mix() {
-        let p = parse(&argv(&["file.tns", "--rank", "32", "-o", "out"]), &spec()).unwrap();
+    fn positionals_and_flags_mix() -> Result<(), String> {
+        let p = parse(&argv(&["file.tns", "--rank", "32", "-o", "out"]), &spec())?;
         assert_eq!(p.positionals, vec!["file.tns"]);
         assert_eq!(p.str_or("output", "x"), "out");
-        assert_eq!(p.num_or("rank", 8usize).unwrap(), 32);
+        assert_eq!(p.num_or("rank", 8usize)?, 32);
+        Ok(())
     }
 
     #[test]
-    fn alias_maps_to_canonical() {
-        let a = parse(&argv(&["--output", "a"]), &spec()).unwrap();
-        let b = parse(&argv(&["-o", "a"]), &spec()).unwrap();
+    fn alias_maps_to_canonical() -> Result<(), String> {
+        let a = parse(&argv(&["--output", "a"]), &spec())?;
+        let b = parse(&argv(&["-o", "a"]), &spec())?;
         assert_eq!(a.opt_str("output"), b.opt_str("output"));
+        Ok(())
     }
 
     #[test]
@@ -139,26 +141,29 @@ mod tests {
     }
 
     #[test]
-    fn bad_number_is_an_error() {
-        let p = parse(&argv(&["--rank", "abc"]), &spec()).unwrap();
+    fn bad_number_is_an_error() -> Result<(), String> {
+        let p = parse(&argv(&["--rank", "abc"]), &spec())?;
         assert!(p.num_or("rank", 1usize).is_err());
+        Ok(())
     }
 
     #[test]
-    fn one_positional_enforced() {
-        let p = parse(&argv(&[]), &spec()).unwrap();
+    fn one_positional_enforced() -> Result<(), String> {
+        let p = parse(&argv(&[]), &spec())?;
         assert!(p.one_positional("tensor").is_err());
-        let p2 = parse(&argv(&["a", "b"]), &spec()).unwrap();
+        let p2 = parse(&argv(&["a", "b"]), &spec())?;
         assert!(p2.one_positional("tensor").is_err());
-        let p3 = parse(&argv(&["a"]), &spec()).unwrap();
-        assert_eq!(p3.one_positional("tensor").unwrap(), "a");
+        let p3 = parse(&argv(&["a"]), &spec())?;
+        assert_eq!(p3.one_positional("tensor")?, "a");
+        Ok(())
     }
 
     #[test]
-    fn defaults_apply() {
-        let p = parse(&argv(&["x"]), &spec()).unwrap();
-        assert_eq!(p.num_or("rank", 16usize).unwrap(), 16);
+    fn defaults_apply() -> Result<(), String> {
+        let p = parse(&argv(&["x"]), &spec())?;
+        assert_eq!(p.num_or("rank", 16usize)?, 16);
         assert_eq!(p.str_or("output", "default"), "default");
         assert!(p.opt_str("output").is_none());
+        Ok(())
     }
 }

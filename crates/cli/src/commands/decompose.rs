@@ -6,14 +6,15 @@
 
 use crate::args::{parse, FlagSpec};
 use crate::commands::engine_by_name;
+use crate::error::CliError;
 use crate::tensor_source::load;
 use linalg::Mat;
 use std::io::Write;
 use std::path::Path;
-use stef::{cpd_als, CpdOptions};
+use stef::{cpd_als, Checkpoint, CheckpointPolicy, CpdOptions};
 use workloads::SuiteScale;
 
-pub fn run(argv: &[String]) -> Result<(), String> {
+pub fn run(argv: &[String]) -> Result<(), CliError> {
     let spec = FlagSpec::new(&[
         ("--rank", "rank"),
         ("-r", "rank"),
@@ -24,6 +25,9 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         ("--out", "out"),
         ("--seed", "seed"),
         ("--mode", "mode"),
+        ("--checkpoint", "checkpoint"),
+        ("--checkpoint-every", "checkpoint-every"),
+        ("--resume", "resume"),
     ]);
     let p = parse(argv, &spec)?;
     let tensor_spec = p.one_positional("tensor")?;
@@ -34,8 +38,23 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let threads: usize = p.num_or("threads", 0)?;
     let engine_name = p.str_or("engine", "stef");
     let update_mode = p.str_or("mode", "als");
+    let checkpoint_every: usize = p.num_or("checkpoint-every", 5)?;
+    let checkpoint = p
+        .opt_str("checkpoint")
+        .map(|path| CheckpointPolicy::new(path, checkpoint_every));
+    let resume = match p.opt_str("resume") {
+        Some(path) => {
+            let cp = Checkpoint::load(Path::new(path))?;
+            println!(
+                "resuming from {path} (iteration {}, engine '{}')",
+                cp.iteration, cp.engine
+            );
+            Some(cp)
+        }
+        None => None,
+    };
 
-    let (label, t) = load(tensor_spec, SuiteScale::Small)?;
+    let (label, t) = load(tensor_spec, SuiteScale::Small).map_err(CliError::Input)?;
     println!(
         "decomposing {label} ({} nnz) with engine '{engine_name}', rank {rank}",
         t.nnz()
@@ -46,10 +65,13 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         max_iters: iters,
         tol,
         seed,
+        checkpoint,
+        resume,
+        ..CpdOptions::new(rank)
     };
     match update_mode {
         "als" => {
-            let result = cpd_als(engine.as_mut(), &opts);
+            let result = cpd_als(engine.as_mut(), &opts)?;
             println!(
                 "fit {:.6} after {} iterations (converged: {}); {:?} total, {:?} in MTTKRP",
                 result.final_fit(),
@@ -64,9 +86,18 @@ pub fn run(argv: &[String]) -> Result<(), String> {
                     result.irregular_solves
                 );
             }
+            for ev in &result.recovery.events {
+                println!(
+                    "recovery: iteration {} {:?}: {}",
+                    ev.iteration, ev.action, ev.detail
+                );
+            }
+            if result.checkpoints_written > 0 {
+                println!("{} checkpoints written", result.checkpoints_written);
+            }
             if let Some(dir) = p.opt_str("out") {
                 write_factors(dir, &result.factors, &result.lambda)
-                    .map_err(|e| format!("cannot write factors to '{dir}': {e}"))?;
+                    .map_err(|e| CliError::Input(format!("cannot write factors to '{dir}': {e}")))?;
                 println!("factors written to {dir}/");
             }
         }
@@ -82,11 +113,15 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             if let Some(dir) = p.opt_str("out") {
                 let lambda = vec![1.0; rank];
                 write_factors(dir, &result.factors, &lambda)
-                    .map_err(|e| format!("cannot write factors to '{dir}': {e}"))?;
+                    .map_err(|e| CliError::Input(format!("cannot write factors to '{dir}': {e}")))?;
                 println!("factors written to {dir}/");
             }
         }
-        other => return Err(format!("unknown --mode '{other}' (als|nonneg)")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --mode '{other}' (als|nonneg)"
+            )))
+        }
     }
     Ok(())
 }
@@ -165,6 +200,54 @@ mod tests {
     #[test]
     fn rejects_unknown_engine() {
         assert!(super::run(&argv(&["suite:uber:tiny", "--engine", "hype"])).is_err());
+    }
+
+    #[test]
+    fn checkpoint_and_resume_flags_work() -> Result<(), String> {
+        let dir = std::env::temp_dir().join("stef-cli-ckpt");
+        std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+        let ckpt = dir.join("run.ckpt");
+        let ckpt_str = ckpt.to_str().ok_or("non-UTF-8 temp path")?;
+        super::run(&argv(&[
+            "suite:uber:tiny",
+            "--rank",
+            "3",
+            "--iters",
+            "4",
+            "--tol",
+            "0",
+            "--checkpoint",
+            ckpt_str,
+            "--checkpoint-every",
+            "2",
+        ]))
+        .map_err(|e| e.to_string())?;
+        assert!(ckpt.exists(), "checkpoint file not written");
+        super::run(&argv(&[
+            "suite:uber:tiny",
+            "--rank",
+            "3",
+            "--iters",
+            "6",
+            "--tol",
+            "0",
+            "--resume",
+            ckpt_str,
+        ]))
+        .map_err(|e| e.to_string())?;
+        // Resuming under a different rank must fail with the checkpoint
+        // exit class, not crash.
+        let err = super::run(&argv(&[
+            "suite:uber:tiny",
+            "--rank",
+            "5",
+            "--resume",
+            ckpt_str,
+        ]))
+        .expect_err("rank mismatch must fail");
+        assert_eq!(err.exit_code(), 5, "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
     }
 
     #[test]

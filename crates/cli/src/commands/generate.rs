@@ -45,15 +45,16 @@ mod tests {
     }
 
     #[test]
-    fn generates_a_file_and_round_trips() {
+    fn generates_a_file_and_round_trips() -> Result<(), String> {
         let dir = std::env::temp_dir().join("stef-cli-gen");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
         let out = dir.join("uber.tns");
-        let out_str = out.to_str().unwrap();
-        super::run(&argv(&["uber", "-o", out_str, "--scale", "tiny"])).unwrap();
-        let t = sptensor::io::read_tns_file(&out).unwrap();
+        let out_str = out.to_str().ok_or("non-UTF-8 temp path")?;
+        super::run(&argv(&["uber", "-o", out_str, "--scale", "tiny"]))?;
+        let t = sptensor::io::read_tns_file(&out).map_err(|e| e.to_string())?;
         assert!(t.nnz() >= 500);
         std::fs::remove_file(&out).ok();
+        Ok(())
     }
 
     #[test]
@@ -67,33 +68,22 @@ mod tests {
     }
 
     #[test]
-    fn custom_seed_changes_content() {
+    fn custom_seed_changes_content() -> Result<(), String> {
         let dir = std::env::temp_dir().join("stef-cli-gen-seed");
-        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
         let a = dir.join("a.tns");
         let b = dir.join("b.tns");
+        let a_str = a.to_str().ok_or("non-UTF-8 temp path")?;
+        let b_str = b.to_str().ok_or("non-UTF-8 temp path")?;
+        super::run(&argv(&["nips", "-o", a_str, "--scale", "tiny"]))?;
         super::run(&argv(&[
-            "nips",
-            "-o",
-            a.to_str().unwrap(),
-            "--scale",
-            "tiny",
-        ]))
-        .unwrap();
-        super::run(&argv(&[
-            "nips",
-            "-o",
-            b.to_str().unwrap(),
-            "--scale",
-            "tiny",
-            "--seed",
-            "999",
-        ]))
-        .unwrap();
-        let ta = std::fs::read_to_string(&a).unwrap();
-        let tb = std::fs::read_to_string(&b).unwrap();
+            "nips", "-o", b_str, "--scale", "tiny", "--seed", "999",
+        ]))?;
+        let ta = std::fs::read_to_string(&a).map_err(|e| e.to_string())?;
+        let tb = std::fs::read_to_string(&b).map_err(|e| e.to_string())?;
         assert_ne!(ta, tb);
         std::fs::remove_file(&a).ok();
         std::fs::remove_file(&b).ok();
+        Ok(())
     }
 }

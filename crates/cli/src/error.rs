@@ -1,0 +1,109 @@
+//! Typed CLI errors with distinct process exit codes, so scripts can
+//! tell "you called me wrong" from "your data is bad" from "the
+//! decomposition failed numerically" without parsing stderr.
+
+use stef::{CheckpointError, StefError};
+
+/// Everything the `stef` binary can fail with.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command line: unknown flag, missing argument, invalid value.
+    /// Exit code 2.
+    Usage(String),
+    /// The input tensor could not be loaded or is invalid. Exit code 3.
+    Input(String),
+    /// The decomposition failed numerically beyond recovery. Exit code 4.
+    Numerical(StefError),
+    /// A checkpoint could not be saved, loaded, or matched to the run.
+    /// Exit code 5.
+    Checkpoint(CheckpointError),
+}
+
+impl CliError {
+    /// The process exit code for this error class.
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Input(_) => 3,
+            CliError::Numerical(_) => 4,
+            CliError::Checkpoint(_) => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Input(msg) => write!(f, "{msg}"),
+            CliError::Numerical(e) => write!(f, "{e}"),
+            CliError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Usage(msg)
+    }
+}
+
+impl From<StefError> for CliError {
+    fn from(e: StefError) -> Self {
+        match e {
+            // Checkpoint trouble gets its own exit code even when it
+            // surfaces through the decomposition driver.
+            StefError::Checkpoint(c) => CliError::Checkpoint(c),
+            StefError::Input(msg) => CliError::Input(msg),
+            StefError::Tns(t) => CliError::Input(t.to_string()),
+            other => CliError::Numerical(other),
+        }
+    }
+}
+
+impl From<CheckpointError> for CliError {
+    fn from(e: CheckpointError) -> Self {
+        CliError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_distinct() {
+        let codes = [
+            CliError::Usage("u".into()).exit_code(),
+            CliError::Input("i".into()).exit_code(),
+            CliError::Numerical(StefError::Input("n".into())).exit_code(),
+            CliError::Checkpoint(CheckpointError::Corrupt {
+                reason: "c".into(),
+            })
+            .exit_code(),
+        ];
+        let mut unique = codes.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), codes.len(), "{codes:?}");
+        assert!(codes.iter().all(|&c| c != 0 && c != 1));
+    }
+
+    #[test]
+    fn stef_errors_map_to_the_right_class() {
+        let e: CliError = StefError::Diverged {
+            iteration: 3,
+            drops: 3,
+            last_fit: 0.1,
+        }
+        .into();
+        assert_eq!(e.exit_code(), 4);
+        let e: CliError = StefError::Checkpoint(CheckpointError::Corrupt {
+            reason: "truncated".into(),
+        })
+        .into();
+        assert_eq!(e.exit_code(), 5);
+        let e: CliError = StefError::Input("empty tensor".into()).into();
+        assert_eq!(e.exit_code(), 3);
+    }
+}

@@ -15,8 +15,10 @@
 
 mod args;
 mod commands;
+mod error;
 mod tensor_source;
 
+use error::CliError;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -25,31 +27,31 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }
 
-fn run(argv: &[String]) -> Result<(), String> {
+fn run(argv: &[String]) -> Result<(), CliError> {
     let Some(cmd) = argv.first() else {
         print_usage();
-        return Err("missing subcommand".into());
+        return Err(CliError::Usage("missing subcommand".into()));
     };
     let rest = &argv[1..];
     match cmd.as_str() {
-        "generate" => commands::generate::run(rest),
-        "analyze" => commands::analyze::run(rest),
+        "generate" => commands::generate::run(rest).map_err(CliError::from),
+        "analyze" => commands::analyze::run(rest).map_err(CliError::from),
         "decompose" => commands::decompose::run(rest),
-        "bench" => commands::bench::run(rest),
-        "list" => commands::list::run(rest),
-        "validate" => commands::validate::run(rest),
+        "bench" => commands::bench::run(rest).map_err(CliError::from),
+        "list" => commands::list::run(rest).map_err(CliError::from),
+        "validate" => commands::validate::run(rest).map_err(CliError::from),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
         }
         other => {
             print_usage();
-            Err(format!("unknown subcommand '{other}'"))
+            Err(CliError::Usage(format!("unknown subcommand '{other}'")))
         }
     }
 }
@@ -63,6 +65,7 @@ fn print_usage() {
          \u{20}stef analyze  <tensor> [--rank R] [--cache-mb N]\n\
          \u{20}stef decompose <tensor> [--rank R] [--iters N] [--tol T]\n\
          \u{20}                        [--engine NAME] [--threads N] [--out DIR] [--seed S]\n\
+         \u{20}                        [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n\
          \u{20}stef bench    <tensor> [--rank R] [--reps N] [--threads N]\n\
          \u{20}stef validate <tensor> [--rank R] [--engine NAME] [--tol T]\n\
          \u{20}stef list\n\

@@ -29,7 +29,10 @@ pub mod solve;
 pub use mat::Mat;
 pub use norms::{column_norms, normalize_columns};
 pub use ops::{gram, hadamard_inplace, matmul, transpose};
-pub use solve::{cholesky_factor, solve_gram_system, SolveMethod};
+pub use solve::{
+    cholesky_factor, solve_gram_system, try_solve_gram_system, try_solve_gram_system_ridged,
+    SolveError, SolveMethod,
+};
 
 /// Relative tolerance used by the crate's own tests when comparing
 /// floating-point matrices produced by different algorithms.

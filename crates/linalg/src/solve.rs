@@ -27,6 +27,37 @@ pub enum SolveMethod {
     Lu,
 }
 
+/// Why a normal-equations solve could not produce a usable solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolveError {
+    /// The Gram system `V` contains NaN or infinite entries.
+    NonFiniteSystem,
+    /// The right-hand side `B` contains NaN or infinite entries.
+    NonFiniteRhs,
+    /// Every factorization in the ladder failed (`V` is numerically
+    /// singular even after ridging).
+    Singular,
+    /// A factorization succeeded but the solution came out non-finite.
+    NonFiniteSolution,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::NonFiniteSystem => write!(f, "gram system contains non-finite entries"),
+            SolveError::NonFiniteRhs => write!(f, "right-hand side contains non-finite entries"),
+            SolveError::Singular => write!(f, "gram system is singular beyond ridge repair"),
+            SolveError::NonFiniteSolution => write!(f, "solve produced non-finite values"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+fn all_finite(xs: &[f64]) -> bool {
+    xs.iter().all(|x| x.is_finite())
+}
+
 /// Computes the lower-triangular Cholesky factor `L` with `V = L Lᵀ`.
 ///
 /// Returns `None` if `v` is not (numerically) positive definite.
@@ -97,7 +128,10 @@ fn lu_factor(v: &Mat) -> Option<(Mat, Vec<usize>)> {
                 piv = r;
             }
         }
-        if max < 1e-300 {
+        // The explicit NaN check matters: a NaN pivot would otherwise
+        // sail through (NaN comparisons are all false) and poison the
+        // whole factorization.
+        if max.is_nan() || max < 1e-300 {
             return None;
         }
         if piv != col {
@@ -123,14 +157,22 @@ fn lu_factor(v: &Mat) -> Option<(Mat, Vec<usize>)> {
 
 /// Inverts `v` via LU; used as the rank-deficient fallback. The tiny ridge
 /// added first makes this robust even when `v` is exactly singular.
-fn lu_inverse(v: &Mat) -> Mat {
+/// Ridging is bounded: returns `None` if the matrix still will not factor
+/// (only possible for non-finite input, where growing the diagonal can
+/// never help — the previous unbounded retry loop spun forever on NaN).
+fn lu_inverse(v: &Mat) -> Option<Mat> {
     let n = v.rows();
     let mut ridged = v.clone();
     let scale = (0..n).map(|i| v[(i, i)].abs()).fold(0.0_f64, f64::max);
     let eps = (scale * 1e-12).max(1e-300);
+    let mut attempts = 0;
     let (lu, perm) = loop {
         if let Some(ok) = lu_factor(&ridged) {
             break ok;
+        }
+        attempts += 1;
+        if attempts > 8 {
+            return None;
         }
         for i in 0..n {
             ridged[(i, i)] += eps.max(1e-8 * scale.max(1.0));
@@ -158,7 +200,7 @@ fn lu_inverse(v: &Mat) -> Mat {
             inv[(i, e)] = col[i];
         }
     }
-    inv
+    Some(inv)
 }
 
 /// Solves `X V = B` for `X` (i.e. `X = B · V⁻¹`) where `V` is the
@@ -167,13 +209,55 @@ fn lu_inverse(v: &Mat) -> Mat {
 ///
 /// Returns the factorization that was actually used, which the CPD driver
 /// surfaces in its per-iteration diagnostics.
+///
+/// Never fails: inputs that [`try_solve_gram_system`] would reject leave
+/// `b` unchanged and report [`SolveMethod::Lu`]. Callers that need to
+/// distinguish failure (the fault-tolerant CPD driver does) should use
+/// the `try_` variants instead.
 pub fn solve_gram_system(v: &Mat, b: &mut Mat) -> SolveMethod {
+    try_solve_gram_system_ridged(v, b, 0.0).unwrap_or(SolveMethod::Lu)
+}
+
+/// Fallible version of [`solve_gram_system`]: validates that both the
+/// system and the right-hand side are finite, runs the
+/// Cholesky → ridged-Cholesky → LU ladder, and verifies the solution is
+/// finite. On error `b` is left in an unspecified (but allocated) state;
+/// callers retry from a fresh copy of the right-hand side.
+pub fn try_solve_gram_system(v: &Mat, b: &mut Mat) -> Result<SolveMethod, SolveError> {
+    try_solve_gram_system_ridged(v, b, 0.0)
+}
+
+/// Like [`try_solve_gram_system`] but adds `extra_ridge` to the diagonal
+/// of `V` before solving — the escalating-ridge retry used by the CPD
+/// driver's numerical-failure recovery.
+pub fn try_solve_gram_system_ridged(
+    v: &Mat,
+    b: &mut Mat,
+    extra_ridge: f64,
+) -> Result<SolveMethod, SolveError> {
     assert_eq!(v.rows(), v.cols());
     assert_eq!(b.cols(), v.rows(), "rhs width must match system size");
+    if !all_finite(v.as_slice()) {
+        return Err(SolveError::NonFiniteSystem);
+    }
+    if !all_finite(b.as_slice()) {
+        return Err(SolveError::NonFiniteRhs);
+    }
     let n = v.rows();
+    let owned;
+    let v = if extra_ridge > 0.0 {
+        let mut r = v.clone();
+        for i in 0..n {
+            r[(i, i)] += extra_ridge;
+        }
+        owned = r;
+        &owned
+    } else {
+        v
+    };
     if let Some(l) = cholesky_factor(v) {
         apply_cholesky(&l, b);
-        return SolveMethod::Cholesky;
+        return finish_solve(SolveMethod::Cholesky, b);
     }
     // Ridge: scale-aware epsilon on the diagonal.
     let scale = (0..n).map(|i| v[(i, i)].abs()).fold(0.0_f64, f64::max);
@@ -183,12 +267,20 @@ pub fn solve_gram_system(v: &Mat, b: &mut Mat) -> SolveMethod {
     }
     if let Some(l) = cholesky_factor(&ridged) {
         apply_cholesky(&l, b);
-        return SolveMethod::RidgedCholesky;
+        return finish_solve(SolveMethod::RidgedCholesky, b);
     }
-    let inv = lu_inverse(v);
+    let inv = lu_inverse(v).ok_or(SolveError::Singular)?;
     let solved = crate::ops::matmul(b, &inv);
     *b = solved;
-    SolveMethod::Lu
+    finish_solve(SolveMethod::Lu, b)
+}
+
+fn finish_solve(method: SolveMethod, b: &Mat) -> Result<SolveMethod, SolveError> {
+    if all_finite(b.as_slice()) {
+        Ok(method)
+    } else {
+        Err(SolveError::NonFiniteSolution)
+    }
 }
 
 fn apply_cholesky(l: &Mat, b: &mut Mat) {
@@ -283,7 +375,7 @@ mod tests {
     #[test]
     fn lu_inverse_matches_identity() {
         let v = spd(4, 3);
-        let inv = lu_inverse(&v);
+        let inv = lu_inverse(&v).expect("SPD inverts");
         let prod = matmul(&v, &inv);
         assert_mat_approx_eq(&prod, &Mat::identity(4), 1e-8);
     }
@@ -292,8 +384,65 @@ mod tests {
     fn lu_inverse_handles_permutation() {
         // A matrix requiring pivoting (zero on the leading diagonal).
         let v = Mat::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]);
-        let inv = lu_inverse(&v);
+        let inv = lu_inverse(&v).expect("permutation inverts");
         let prod = matmul(&v, &inv);
         assert_mat_approx_eq(&prod, &Mat::identity(2), 1e-10);
+    }
+
+    #[test]
+    fn lu_inverse_refuses_nan_instead_of_spinning() {
+        // Regression: the retry loop used to be unbounded, so a NaN
+        // matrix (which no ridge can repair) hung forever.
+        let v = Mat::from_vec(2, 2, vec![f64::NAN, 0.0, 0.0, 1.0]);
+        assert!(lu_inverse(&v).is_none());
+    }
+
+    #[test]
+    fn try_solve_rejects_non_finite_system() {
+        let v = Mat::from_vec(2, 2, vec![1.0, 0.0, 0.0, f64::INFINITY]);
+        let mut b = Mat::from_fn(3, 2, |i, j| (i + j) as f64);
+        assert_eq!(
+            try_solve_gram_system(&v, &mut b),
+            Err(SolveError::NonFiniteSystem)
+        );
+    }
+
+    #[test]
+    fn try_solve_rejects_non_finite_rhs() {
+        let v = spd(2, 1);
+        let mut b = Mat::from_fn(3, 2, |i, j| if i == 1 && j == 0 { f64::NAN } else { 1.0 });
+        assert_eq!(
+            try_solve_gram_system(&v, &mut b),
+            Err(SolveError::NonFiniteRhs)
+        );
+    }
+
+    #[test]
+    fn try_solve_matches_infallible_path_on_good_input() {
+        let v = spd(4, 7);
+        let x_true = Mat::from_fn(6, 4, |i, j| (i as f64 - j as f64) * 0.5);
+        let mut b = matmul(&x_true, &v);
+        let method = try_solve_gram_system(&v, &mut b).expect("well-posed");
+        assert_eq!(method, SolveMethod::Cholesky);
+        assert_mat_approx_eq(&b, &x_true, 1e-8);
+    }
+
+    #[test]
+    fn ridged_solve_handles_singular_system() {
+        // Exactly rank-1: the plain ladder may fall to LU; a caller-supplied
+        // ridge makes the system definite and the solve clean.
+        let v = Mat::from_vec(2, 2, vec![1.0, 1.0, 1.0, 1.0]);
+        let mut b = Mat::from_fn(3, 2, |i, j| (i + j) as f64);
+        let method = try_solve_gram_system_ridged(&v, &mut b, 1e-6).expect("ridge repairs");
+        assert_ne!(method, SolveMethod::Lu);
+        assert!(b.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn solve_gram_system_never_panics_on_nan() {
+        let v = Mat::from_vec(2, 2, vec![f64::NAN, 0.0, 0.0, 1.0]);
+        let mut b = Mat::from_fn(3, 2, |_, _| 1.0);
+        // Legacy entry point stays total: reports Lu, leaves b allocated.
+        assert_eq!(solve_gram_system(&v, &mut b), SolveMethod::Lu);
     }
 }

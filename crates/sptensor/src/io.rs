@@ -19,6 +19,12 @@ pub enum TnsError {
     Parse { line: usize, msg: String },
     /// The file contained no non-zeros.
     Empty,
+    /// A NaN or infinite value (Rust's float parser accepts `NaN`/`inf`
+    /// spellings, but they would poison every downstream kernel).
+    NonFinite { line: usize },
+    /// The same coordinate appeared on two lines. Silently keeping both
+    /// would double-count the entry in every MTTKRP.
+    Duplicate { line: usize, first_line: usize },
 }
 
 impl std::fmt::Display for TnsError {
@@ -27,6 +33,15 @@ impl std::fmt::Display for TnsError {
             TnsError::Io(e) => write!(f, "I/O error: {e}"),
             TnsError::Parse { line, msg } => write!(f, "parse error on line {line}: {msg}"),
             TnsError::Empty => write!(f, "tensor file contains no non-zeros"),
+            TnsError::NonFinite { line } => {
+                write!(f, "non-finite value on line {line}")
+            }
+            TnsError::Duplicate { line, first_line } => {
+                write!(
+                    f,
+                    "duplicate coordinate on line {line} (first seen on line {first_line})"
+                )
+            }
         }
     }
 }
@@ -50,6 +65,7 @@ pub fn read_tns<R: Read>(reader: R) -> Result<CooTensor, TnsError> {
     let mut coords: Vec<Vec<u32>> = Vec::new();
     let mut vals: Vec<f64> = Vec::new();
     let mut maxes: Vec<u32> = Vec::new();
+    let mut seen: std::collections::HashMap<Vec<u32>, usize> = std::collections::HashMap::new();
 
     loop {
         buf.clear();
@@ -108,6 +124,17 @@ pub fn read_tns<R: Read>(reader: R) -> Result<CooTensor, TnsError> {
             line: lineno,
             msg: format!("bad value '{}'", toks[d]),
         })?;
+        if !v.is_finite() {
+            return Err(TnsError::NonFinite { line: lineno });
+        }
+        let key: Vec<u32> = coords.iter().map(|c| *c.last().unwrap()).collect();
+        if let Some(&first_line) = seen.get(&key) {
+            return Err(TnsError::Duplicate {
+                line: lineno,
+                first_line,
+            });
+        }
+        seen.insert(key, lineno);
         vals.push(v);
     }
 
@@ -207,5 +234,33 @@ mod tests {
         let t = read_tns("1 1 1e-3\n2 2 2.5E2\n".as_bytes()).unwrap();
         assert_eq!(t.get(&[0, 0]), 1e-3);
         assert_eq!(t.get(&[1, 1]), 250.0);
+    }
+
+    #[test]
+    fn rejects_nan_and_inf_values() {
+        // Rust's f64 parser happily accepts these spellings, so the
+        // loader must check explicitly.
+        for (bad, line) in [("1 1 NaN\n", 1), ("1 1 1.0\n2 2 inf\n", 2)] {
+            match read_tns(bad.as_bytes()) {
+                Err(TnsError::NonFinite { line: l }) => assert_eq!(l, line),
+                other => panic!("expected NonFinite, got {other:?}"),
+            }
+        }
+        assert!(matches!(
+            read_tns("1 1 -infinity\n".as_bytes()),
+            Err(TnsError::NonFinite { line: 1 })
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_coordinates() {
+        let data = "# dup below\n1 2 3 1.0\n2 2 2 4.0\n1 2 3 5.0\n";
+        match read_tns(data.as_bytes()) {
+            Err(TnsError::Duplicate { line, first_line }) => {
+                assert_eq!(line, 4);
+                assert_eq!(first_line, 2);
+            }
+            other => panic!("expected Duplicate, got {other:?}"),
+        }
     }
 }

@@ -34,6 +34,7 @@ pub mod swapcount;
 pub use build::build_csf;
 pub use coo::CooTensor;
 pub use csf::Csf;
+pub use io::TnsError;
 pub use iter::{NodeIter, NodeRef};
 pub use permute::{inverse_permutation, sort_modes_by_length};
 pub use stats::TensorStats;

@@ -1,4 +1,4 @@
-//! CPD-ALS driver (paper Algorithm 2).
+//! CPD-ALS driver (paper Algorithm 2), with fault tolerance.
 //!
 //! One ALS iteration updates every factor in the engine's sweep order:
 //! `Ā⁽ᵘ⁾ ← MTTKRP(T, factors ≠ u)`, then `A⁽ᵘ⁾ ← Ā⁽ᵘ⁾ V⁻¹` where `V` is
@@ -7,11 +7,24 @@
 //! `1 − ‖T − [[λ; A⁰…]]‖ / ‖T‖` is computed with the standard trick that
 //! reuses the last mode's MTTKRP result, so convergence checking costs
 //! one Frobenius inner product instead of a pass over the tensor.
+//!
+//! The driver never panics on numerical failure. Non-finite MTTKRP
+//! output, a singular Gram system, or a diverging fit walk the recovery
+//! escalation ladder described in [`crate::recover`]; if the ladder is
+//! exhausted the run ends with a typed [`StefError`]. With a
+//! [`CheckpointPolicy`] the complete ALS state is snapshotted every `N`
+//! iterations, and a run can restart from such a snapshot via
+//! [`CpdOptions::resume`] — the checkpoint stores exact float bit
+//! patterns, so the resumed trajectory is identical to an uninterrupted
+//! one.
 
+use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy, CHECKPOINT_VERSION};
 use crate::engine::MttkrpEngine;
+use crate::error::StefError;
+use crate::recover::{mat_is_finite, slice_is_finite, RecoveryAction, RecoveryEvents, RecoveryPolicy};
 use linalg::norms::{normalize_columns, ColumnNorm};
 use linalg::ops::{frob_inner, gram_full, hadamard_inplace};
-use linalg::solve::{solve_gram_system, SolveMethod};
+use linalg::solve::{try_solve_gram_system, try_solve_gram_system_ridged, SolveMethod};
 use linalg::Mat;
 use std::time::{Duration, Instant};
 
@@ -26,16 +39,27 @@ pub struct CpdOptions {
     pub tol: f64,
     /// Seed for the random factor initialization.
     pub seed: u64,
+    /// Numerical-failure recovery knobs.
+    pub recovery: RecoveryPolicy,
+    /// Periodic state snapshots (`None` = no checkpointing).
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Resume from a previously saved snapshot instead of a fresh
+    /// initialization. The checkpoint's dims and rank must match.
+    pub resume: Option<Checkpoint>,
 }
 
 impl CpdOptions {
-    /// Sensible defaults: 50 iterations, `1e-5` fit tolerance.
+    /// Sensible defaults: 50 iterations, `1e-5` fit tolerance, recovery
+    /// enabled, no checkpointing.
     pub fn new(rank: usize) -> Self {
         CpdOptions {
             rank,
             max_iters: 50,
             tol: 1e-5,
             seed: 42,
+            recovery: RecoveryPolicy::default(),
+            checkpoint: None,
+            resume: None,
         }
     }
 }
@@ -49,7 +73,8 @@ pub struct CpdResult {
     pub lambda: Vec<f64>,
     /// Fit after each completed iteration.
     pub fits: Vec<f64>,
-    /// Number of iterations executed.
+    /// Number of iterations executed (includes iterations replayed from
+    /// a resumed checkpoint).
     pub iterations: usize,
     /// Whether the tolerance was met before `max_iters`.
     pub converged: bool,
@@ -62,6 +87,12 @@ pub struct CpdResult {
     /// Cumulative MTTKRP seconds per original mode index — shows where
     /// the time goes (e.g. the slow leaf mode that motivates STeF2).
     pub mode_seconds: Vec<f64>,
+    /// Every recovery the driver performed, counted per rung.
+    pub recovery: RecoveryEvents,
+    /// Checkpoints written during this run.
+    pub checkpoints_written: usize,
+    /// The iteration a resumed run restarted from, if any.
+    pub resumed_from: Option<usize>,
 }
 
 impl CpdResult {
@@ -91,50 +122,299 @@ pub fn init_factors(dims: &[usize], rank: usize, seed: u64) -> Vec<Mat> {
         .collect()
 }
 
+/// Replaces factor `m` with a fresh deterministic initialization (a seed
+/// derived from the run seed and the reinit count, so repeated reinits
+/// differ) and resets `λ` — the FactorReinit recovery rung.
+#[allow(clippy::too_many_arguments)]
+fn reinit_factor(
+    factors: &mut [Mat],
+    grams: &mut [Mat],
+    lambda: &mut [f64],
+    m: usize,
+    rank: usize,
+    base_seed: u64,
+    reinits_used: &mut usize,
+    recovery: &mut RecoveryEvents,
+    iteration: usize,
+    detail: &str,
+) {
+    *reinits_used += 1;
+    let seed = base_seed ^ 0xA24BAED4963EE407u64.wrapping_mul(*reinits_used as u64);
+    let fresh = init_factors(&[factors[m].rows()], rank, seed)
+        .pop()
+        .expect("one factor requested");
+    grams[m] = gram_full(&fresh);
+    factors[m] = fresh;
+    // The old λ carried scale from the discarded factor; reset and let
+    // the next mode updates renormalize.
+    lambda.fill(1.0);
+    recovery.record(iteration, Some(m), RecoveryAction::FactorReinit, detail);
+}
+
 /// Runs CPD-ALS on `engine`.
-pub fn cpd_als<E: MttkrpEngine + ?Sized>(engine: &mut E, opts: &CpdOptions) -> CpdResult {
+///
+/// Numerical failures are recovered per [`CpdOptions::recovery`] or
+/// reported as a typed [`StefError`]; this function does not panic on
+/// bad numerics, singular systems, or corrupt checkpoints.
+pub fn cpd_als<E: MttkrpEngine + ?Sized>(
+    engine: &mut E,
+    opts: &CpdOptions,
+) -> Result<CpdResult, StefError> {
     let dims = engine.dims().to_vec();
     let d = dims.len();
     let r = opts.rank;
+    if r == 0 {
+        return Err(StefError::Input("rank must be at least 1".into()));
+    }
     let sweep = engine.sweep_order();
-    assert_eq!(sweep.len(), d, "sweep order must cover every mode");
+    if sweep.len() != d {
+        return Err(StefError::Input(format!(
+            "sweep order covers {} modes, tensor has {d}",
+            sweep.len()
+        )));
+    }
     let norm_t_sq = engine.norm_sq();
+    if !norm_t_sq.is_finite() || norm_t_sq <= 0.0 {
+        return Err(StefError::Input(format!(
+            "tensor squared norm must be positive and finite, got {norm_t_sq}"
+        )));
+    }
     let norm_t = norm_t_sq.sqrt();
 
-    let mut factors = init_factors(&dims, r, opts.seed);
-    let mut lambda = vec![1.0; r];
+    let mut recovery = RecoveryEvents::default();
+    let mut resumed_from = None;
+
+    let (mut factors, mut lambda, mut fits, start_iter) = match &opts.resume {
+        Some(cp) => {
+            if cp.dims != dims {
+                return Err(CheckpointError::Mismatch {
+                    reason: format!("checkpoint dims {:?}, tensor dims {:?}", cp.dims, dims),
+                }
+                .into());
+            }
+            if cp.rank != r {
+                return Err(CheckpointError::Mismatch {
+                    reason: format!("checkpoint rank {}, requested rank {r}", cp.rank),
+                }
+                .into());
+            }
+            if !cp.factors.iter().all(mat_is_finite) || !slice_is_finite(&cp.lambda) {
+                return Err(CheckpointError::Corrupt {
+                    reason: "non-finite values in checkpoint state".into(),
+                }
+                .into());
+            }
+            resumed_from = Some(cp.iteration);
+            (
+                cp.factors.clone(),
+                cp.lambda.clone(),
+                cp.fits.clone(),
+                cp.iteration,
+            )
+        }
+        None => (
+            init_factors(&dims, r, opts.seed),
+            vec![1.0; r],
+            Vec::new(),
+            0,
+        ),
+    };
     let mut grams: Vec<Mat> = factors.iter().map(gram_full).collect();
 
-    let mut fits = Vec::new();
     let mut converged = false;
     let mut irregular_solves = 0usize;
     let mut mttkrp_time = Duration::ZERO;
     let mut mode_seconds = vec![0.0f64; d];
     let start = Instant::now();
-    let mut iterations = 0usize;
+    let mut iterations = start_iter;
+    let mut checkpoints_written = 0usize;
+    let mut reinits_used = 0usize;
+    let mut consecutive_drops = 0usize;
+    let mut divergence_fallback_spent = false;
 
-    for it in 0..opts.max_iters {
+    for it in start_iter..opts.max_iters {
         iterations = it + 1;
         let mut last_mttkrp: Option<(usize, Mat)> = None;
         for &mode in &sweep {
             let t0 = Instant::now();
-            let ahat = engine.mttkrp(&factors, mode);
+            let mut ahat = engine.mttkrp(&factors, mode);
             let dt = t0.elapsed();
             mttkrp_time += dt;
             mode_seconds[mode] += dt.as_secs_f64();
 
-            // V = Hadamard of all Grams except `mode`.
-            let mut v = Mat::from_fn(r, r, |_, _| 1.0);
-            for (m, g) in grams.iter().enumerate() {
-                if m != mode {
-                    hadamard_inplace(&mut v, g);
+            if !mat_is_finite(&ahat) {
+                // Rung 3 first: a non-finite MTTKRP from finite factors
+                // points at corrupt memoized state.
+                let mut recovered = false;
+                if opts.recovery.enabled
+                    && opts.recovery.allow_engine_fallback
+                    && engine.degrade_to_unmemoized()
+                {
+                    recovery.record(
+                        iterations,
+                        Some(mode),
+                        RecoveryAction::EngineFallback,
+                        "non-finite MTTKRP output; disabled memoization and recomputed",
+                    );
+                    let t0 = Instant::now();
+                    ahat = engine.mttkrp(&factors, mode);
+                    let dt = t0.elapsed();
+                    mttkrp_time += dt;
+                    mode_seconds[mode] += dt.as_secs_f64();
+                    recovered = mat_is_finite(&ahat);
+                }
+                if !recovered && opts.recovery.enabled {
+                    // Rung 2: a poisoned *input* factor makes every
+                    // engine produce non-finite output; reinit them.
+                    let poisoned: Vec<usize> = (0..d)
+                        .filter(|&m| m != mode && !mat_is_finite(&factors[m]))
+                        .collect();
+                    if !poisoned.is_empty()
+                        && reinits_used + poisoned.len() <= opts.recovery.max_factor_reinits
+                    {
+                        for &m in &poisoned {
+                            reinit_factor(
+                                &mut factors,
+                                &mut grams,
+                                &mut lambda,
+                                m,
+                                r,
+                                opts.seed,
+                                &mut reinits_used,
+                                &mut recovery,
+                                iterations,
+                                "non-finite input factor to MTTKRP",
+                            );
+                        }
+                        // Saved partials derived from the discarded
+                        // factors are stale; drop memoization.
+                        if opts.recovery.allow_engine_fallback && engine.degrade_to_unmemoized() {
+                            recovery.record(
+                                iterations,
+                                Some(mode),
+                                RecoveryAction::EngineFallback,
+                                "memoized partials stale after factor re-init",
+                            );
+                        }
+                        let t0 = Instant::now();
+                        ahat = engine.mttkrp(&factors, mode);
+                        let dt = t0.elapsed();
+                        mttkrp_time += dt;
+                        mode_seconds[mode] += dt.as_secs_f64();
+                        recovered = mat_is_finite(&ahat);
+                    }
+                }
+                if !recovered {
+                    return Err(StefError::NonFinite {
+                        iteration: iterations,
+                        mode: Some(mode),
+                        what: "MTTKRP output",
+                    });
                 }
             }
-            let mut newf = ahat.clone();
-            let method = solve_gram_system(&v, &mut newf);
-            if method != SolveMethod::Cholesky {
-                irregular_solves += 1;
+
+            // V = Hadamard of all Grams except `mode`.
+            let build_v = |grams: &[Mat]| {
+                let mut v = Mat::from_fn(r, r, |_, _| 1.0);
+                for (m, g) in grams.iter().enumerate() {
+                    if m != mode {
+                        hadamard_inplace(&mut v, g);
+                    }
+                }
+                v
+            };
+            let mut v = build_v(&grams);
+            if !mat_is_finite(&v) {
+                let poisoned: Vec<usize> = (0..d)
+                    .filter(|&m| m != mode && !mat_is_finite(&grams[m]))
+                    .collect();
+                if opts.recovery.enabled
+                    && !poisoned.is_empty()
+                    && reinits_used + poisoned.len() <= opts.recovery.max_factor_reinits
+                {
+                    for &m in &poisoned {
+                        reinit_factor(
+                            &mut factors,
+                            &mut grams,
+                            &mut lambda,
+                            m,
+                            r,
+                            opts.seed,
+                            &mut reinits_used,
+                            &mut recovery,
+                            iterations,
+                            "non-finite Gram matrix",
+                        );
+                    }
+                    if opts.recovery.allow_engine_fallback && engine.degrade_to_unmemoized() {
+                        recovery.record(
+                            iterations,
+                            Some(mode),
+                            RecoveryAction::EngineFallback,
+                            "memoized partials stale after factor re-init",
+                        );
+                    }
+                    v = build_v(&grams);
+                }
+                if !mat_is_finite(&v) {
+                    return Err(StefError::NonFinite {
+                        iteration: iterations,
+                        mode: Some(mode),
+                        what: "Gram system",
+                    });
+                }
             }
+
+            let mut newf = ahat.clone();
+            match try_solve_gram_system(&v, &mut newf) {
+                Ok(method) => {
+                    if method != SolveMethod::Cholesky {
+                        irregular_solves += 1;
+                    }
+                }
+                Err(first_err) => {
+                    if !opts.recovery.enabled {
+                        return Err(StefError::Solve {
+                            iteration: iterations,
+                            mode,
+                            source: first_err,
+                        });
+                    }
+                    // Rung 1: retry with escalating extra ridge, scaled
+                    // to the system's diagonal magnitude.
+                    let diag_mean =
+                        (0..r).map(|i| v[(i, i)].abs()).sum::<f64>() / r as f64;
+                    let scale = if diag_mean > 0.0 { diag_mean } else { 1.0 };
+                    let mut last_err = first_err;
+                    let mut solved = false;
+                    for k in 1..=opts.recovery.max_ridge_retries {
+                        let ridge = scale * 1e-8 * 100f64.powi(k as i32);
+                        recovery.record(
+                            iterations,
+                            Some(mode),
+                            RecoveryAction::RidgeRetry,
+                            format!("solve failed ({last_err}); retrying with ridge {ridge:.3e}"),
+                        );
+                        newf = ahat.clone();
+                        match try_solve_gram_system_ridged(&v, &mut newf, ridge) {
+                            Ok(_) => {
+                                irregular_solves += 1;
+                                solved = true;
+                                break;
+                            }
+                            Err(e) => last_err = e,
+                        }
+                    }
+                    if !solved {
+                        return Err(StefError::Solve {
+                            iteration: iterations,
+                            mode,
+                            source: last_err,
+                        });
+                    }
+                }
+            }
+
             let norm_kind = if it == 0 {
                 ColumnNorm::Two
             } else {
@@ -170,8 +450,79 @@ pub fn cpd_als<E: MttkrpEngine + ?Sized>(engine: &mut E, opts: &CpdOptions) -> C
         };
         let resid_sq = (norm_t_sq + norm_model_sq - 2.0 * inner).max(0.0);
         let fit = 1.0 - resid_sq.sqrt() / norm_t;
+        if !fit.is_finite() {
+            return Err(StefError::NonFinite {
+                iteration: iterations,
+                mode: None,
+                what: "fit",
+            });
+        }
+
+        // Divergence watch: exact ALS never decreases the fit, so a
+        // sustained drop is always a numerical symptom.
         let prev = fits.last().copied();
+        if let Some(p) = prev {
+            if fit < p - 1e-9 {
+                consecutive_drops += 1;
+            } else {
+                consecutive_drops = 0;
+            }
+            if opts.recovery.divergence_window > 0
+                && consecutive_drops >= opts.recovery.divergence_window
+            {
+                recovery.record(
+                    iterations,
+                    None,
+                    RecoveryAction::DivergenceAlarm,
+                    format!("fit fell {consecutive_drops} consecutive iterations"),
+                );
+                let mut handled = false;
+                if opts.recovery.enabled
+                    && opts.recovery.allow_engine_fallback
+                    && !divergence_fallback_spent
+                {
+                    divergence_fallback_spent = true;
+                    if engine.degrade_to_unmemoized() {
+                        recovery.record(
+                            iterations,
+                            None,
+                            RecoveryAction::EngineFallback,
+                            "divergence; disabled memoization",
+                        );
+                        handled = true;
+                    }
+                }
+                if handled {
+                    consecutive_drops = 0;
+                } else {
+                    return Err(StefError::Diverged {
+                        iteration: iterations,
+                        drops: consecutive_drops,
+                        last_fit: fit,
+                    });
+                }
+            }
+        }
         fits.push(fit);
+
+        if let Some(policy) = &opts.checkpoint {
+            if policy.every > 0 && iterations % policy.every == 0 {
+                let cp = Checkpoint {
+                    version: CHECKPOINT_VERSION,
+                    iteration: iterations,
+                    seed: opts.seed,
+                    rank: r,
+                    dims: dims.clone(),
+                    engine: engine.name(),
+                    lambda: lambda.clone(),
+                    fits: fits.clone(),
+                    factors: factors.clone(),
+                };
+                cp.save(&policy.path)?;
+                checkpoints_written += 1;
+            }
+        }
+
         if let Some(p) = prev {
             if (fit - p).abs() < opts.tol {
                 converged = true;
@@ -180,7 +531,7 @@ pub fn cpd_als<E: MttkrpEngine + ?Sized>(engine: &mut E, opts: &CpdOptions) -> C
         }
     }
 
-    CpdResult {
+    Ok(CpdResult {
         factors,
         lambda,
         fits,
@@ -190,13 +541,17 @@ pub fn cpd_als<E: MttkrpEngine + ?Sized>(engine: &mut E, opts: &CpdOptions) -> C
         total_time: start.elapsed(),
         irregular_solves,
         mode_seconds,
-    }
+        recovery,
+        checkpoints_written,
+        resumed_from,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::engine::{ReferenceEngine, Stef};
+    use crate::fault::{Fault, FaultyEngine};
     use crate::options::StefOptions;
     use sptensor::CooTensor;
 
@@ -231,13 +586,16 @@ mod tests {
     fn fit_improves_monotonically_on_reference_engine() {
         let t = pseudo_tensor(&[10, 12, 8], 200, 1);
         let mut engine = ReferenceEngine::new(t);
-        let result = cpd_als(&mut engine, &CpdOptions::new(4));
+        let result = cpd_als(&mut engine, &CpdOptions::new(4)).expect("healthy run");
         assert!(result.iterations >= 2);
         // ALS fit is non-decreasing up to numerical noise.
         for w in result.fits.windows(2) {
             assert!(w[1] >= w[0] - 1e-8, "fit decreased: {:?}", result.fits);
         }
         assert!(result.final_fit() > 0.0, "fits {:?}", result.fits);
+        assert_eq!(result.recovery.total(), 0);
+        assert_eq!(result.checkpoints_written, 0);
+        assert_eq!(result.resumed_from, None);
     }
 
     #[test]
@@ -256,9 +614,10 @@ mod tests {
             max_iters: 5,
             tol: 0.0,
             seed: 11,
+            ..CpdOptions::new(4)
         };
-        let rs = cpd_als(&mut stef, &opts);
-        let rr = cpd_als(&mut reference, &opts);
+        let rs = cpd_als(&mut stef, &opts).expect("stef run");
+        let rr = cpd_als(&mut reference, &opts).expect("reference run");
         assert_eq!(rs.fits.len(), rr.fits.len());
         for (a, b) in rs.fits.iter().zip(&rr.fits) {
             assert!((a - b).abs() < 1e-8, "fits diverged: {a} vs {b}");
@@ -304,7 +663,7 @@ mod tests {
         let mut engine = ReferenceEngine::new(t);
         let mut opts = CpdOptions::new(2);
         opts.max_iters = 60;
-        let result = cpd_als(&mut engine, &opts);
+        let result = cpd_als(&mut engine, &opts).expect("healthy run");
         assert!(
             result.final_fit() > 0.999,
             "rank-1 block should be recovered, fit {}",
@@ -317,7 +676,7 @@ mod tests {
     fn result_reports_timing_and_counts() {
         let t = pseudo_tensor(&[8, 8, 8], 150, 3);
         let mut engine = ReferenceEngine::new(t);
-        let result = cpd_als(&mut engine, &CpdOptions::new(3));
+        let result = cpd_als(&mut engine, &CpdOptions::new(3)).expect("healthy run");
         assert!(result.total_time >= result.mttkrp_time);
         assert_eq!(result.fits.len(), result.iterations);
     }
@@ -326,7 +685,7 @@ mod tests {
     fn mode_seconds_cover_all_modes() {
         let t = pseudo_tensor(&[8, 8, 8], 150, 5);
         let mut engine = ReferenceEngine::new(t);
-        let result = cpd_als(&mut engine, &CpdOptions::new(3));
+        let result = cpd_als(&mut engine, &CpdOptions::new(3)).expect("healthy run");
         assert_eq!(result.mode_seconds.len(), 3);
         assert!(result.mode_seconds.iter().all(|&s| s >= 0.0));
         let sum: f64 = result.mode_seconds.iter().sum();
@@ -337,8 +696,205 @@ mod tests {
     fn lambda_matches_rank() {
         let t = pseudo_tensor(&[8, 8, 8], 150, 4);
         let mut engine = ReferenceEngine::new(t);
-        let result = cpd_als(&mut engine, &CpdOptions::new(5));
+        let result = cpd_als(&mut engine, &CpdOptions::new(5)).expect("healthy run");
         assert_eq!(result.lambda.len(), 5);
         assert!(result.lambda.iter().all(|&l| l > 0.0));
+    }
+
+    #[test]
+    fn zero_rank_is_a_typed_input_error() {
+        let t = pseudo_tensor(&[6, 6, 6], 50, 6);
+        let mut engine = ReferenceEngine::new(t);
+        let mut opts = CpdOptions::new(1);
+        opts.rank = 0;
+        match cpd_als(&mut engine, &opts) {
+            Err(StefError::Input(_)) => {}
+            other => panic!("expected Input error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_injection_recovers_via_engine_fallback() {
+        // One NaN in a memoized engine's MTTKRP output: the driver must
+        // degrade to the unmemoized path, recompute, and finish with the
+        // same fit as a clean run.
+        let t = pseudo_tensor(&[10, 9, 8], 300, 7);
+        let opts = CpdOptions {
+            max_iters: 6,
+            tol: 0.0,
+            ..CpdOptions::new(3)
+        };
+        // Force memoization on: the fallback rung only exists when the
+        // engine has a memoized path to give up.
+        let mut stef_opts = StefOptions::new(3);
+        stef_opts.memo = crate::options::MemoPolicy::SaveAll;
+        let mut clean = Stef::prepare(&t, stef_opts.clone());
+        let clean_fit = cpd_als(&mut clean, &opts).expect("clean run").final_fit();
+
+        let stef = Stef::prepare(&t, stef_opts);
+        let mut faulty = FaultyEngine::new(
+            stef,
+            vec![Fault::MttkrpOutputOnce {
+                at: 4,
+                row: 0,
+                col: 0,
+                value: f64::NAN,
+            }],
+        )
+        .with_clear_on_degrade();
+        let result = cpd_als(&mut faulty, &opts).expect("recovered run");
+        assert!(result.recovery.engine_fallbacks >= 1, "{:?}", result.recovery);
+        assert!(
+            (result.final_fit() - clean_fit).abs() < 1e-6,
+            "recovered fit {} vs clean fit {clean_fit}",
+            result.final_fit()
+        );
+    }
+
+    #[test]
+    fn persistent_fault_ends_in_typed_error_not_panic() {
+        let t = pseudo_tensor(&[8, 8, 8], 200, 8);
+        let mut faulty = FaultyEngine::new(
+            ReferenceEngine::new(t),
+            vec![Fault::MttkrpOutputAlways {
+                from: 0,
+                row: 0,
+                col: 0,
+                value: f64::NAN,
+            }],
+        );
+        match cpd_als(&mut faulty, &CpdOptions::new(3)) {
+            Err(StefError::NonFinite { iteration: 1, .. }) => {}
+            other => panic!("expected NonFinite at iteration 1, got {other:?}"),
+        }
+    }
+
+    /// Wraps the reference engine and, after `clean_calls` MTTKRP calls,
+    /// blends the output of every mode *except the last in sweep order*
+    /// toward a fixed junk matrix with a weight that grows per call. The
+    /// corrupted modes' factors drift away from the tensor's structure,
+    /// so the fit genuinely decreases; the last mode stays clean so the
+    /// driver's fit formula (which reuses the last mode's MTTKRP) keeps
+    /// reporting the true fit. Pure scaling would not work here: column
+    /// normalization absorbs it without ever moving the factors.
+    struct DriftEngine {
+        inner: ReferenceEngine,
+        calls: usize,
+        clean_calls: usize,
+    }
+
+    impl MttkrpEngine for DriftEngine {
+        fn dims(&self) -> &[usize] {
+            self.inner.dims()
+        }
+        fn name(&self) -> String {
+            "drift".into()
+        }
+        fn sweep_order(&self) -> Vec<usize> {
+            self.inner.sweep_order()
+        }
+        fn norm_sq(&self) -> f64 {
+            self.inner.norm_sq()
+        }
+        fn mttkrp(&mut self, factors: &[Mat], mode: usize) -> Mat {
+            self.calls += 1;
+            let mut out = self.inner.mttkrp(factors, mode);
+            let last = *self.inner.sweep_order().last().expect("nonempty sweep");
+            if self.calls > self.clean_calls && mode != last {
+                let e = (0.04 * (self.calls - self.clean_calls) as f64).min(0.95);
+                for i in 0..out.rows() {
+                    for j in 0..out.cols() {
+                        let junk = ((i * 31 + j * 17) % 13) as f64 - 6.0;
+                        out[(i, j)] = (1.0 - e) * out[(i, j)] + e * junk;
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    #[test]
+    fn divergence_is_a_typed_error_when_fallback_unavailable() {
+        let t = pseudo_tensor(&[8, 8, 8], 200, 9);
+        let mut engine = DriftEngine {
+            inner: ReferenceEngine::new(t),
+            calls: 0,
+            clean_calls: 9,
+        };
+        let mut opts = CpdOptions::new(3);
+        opts.max_iters = 30;
+        opts.tol = 0.0;
+        // DriftEngine has no memoization, so the fallback rung cannot
+        // fire and the run must end in a typed divergence error.
+        match cpd_als(&mut engine, &opts) {
+            Err(StefError::Diverged { drops, .. }) => {
+                assert!(drops >= opts.recovery.divergence_window);
+            }
+            other => panic!("expected Diverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_matches_uninterrupted_run() {
+        let dir = std::env::temp_dir().join("stef-cpd-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+
+        let t = pseudo_tensor(&[10, 9, 8], 300, 10);
+        let base = CpdOptions {
+            max_iters: 8,
+            tol: 0.0,
+            ..CpdOptions::new(3)
+        };
+
+        // Uninterrupted run.
+        let mut full_engine = Stef::prepare(&t, StefOptions::new(3));
+        let full = cpd_als(&mut full_engine, &base).expect("full run");
+
+        // Interrupted at iteration 4 (checkpoint every 2 keeps the last
+        // snapshot at 4), then resumed to completion.
+        let mut opts_a = base.clone();
+        opts_a.max_iters = 4;
+        opts_a.checkpoint = Some(CheckpointPolicy::new(&path, 2));
+        let mut engine_a = Stef::prepare(&t, StefOptions::new(3));
+        let partial = cpd_als(&mut engine_a, &opts_a).expect("partial run");
+        assert_eq!(partial.checkpoints_written, 2);
+
+        let cp = Checkpoint::load(&path).expect("load checkpoint");
+        assert_eq!(cp.iteration, 4);
+        let mut opts_b = base.clone();
+        opts_b.resume = Some(cp);
+        let mut engine_b = Stef::prepare(&t, StefOptions::new(3));
+        let resumed = cpd_als(&mut engine_b, &opts_b).expect("resumed run");
+
+        assert_eq!(resumed.resumed_from, Some(4));
+        assert_eq!(resumed.fits.len(), full.fits.len());
+        for (a, b) in resumed.fits.iter().zip(&full.fits) {
+            assert!((a - b).abs() < 1e-8, "fits diverged: {a} vs {b}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_with_wrong_rank_is_a_mismatch() {
+        let t = pseudo_tensor(&[8, 8, 8], 200, 11);
+        let mut engine = ReferenceEngine::new(t);
+        let cp = Checkpoint {
+            version: CHECKPOINT_VERSION,
+            iteration: 2,
+            seed: 42,
+            rank: 5,
+            dims: vec![8, 8, 8],
+            engine: "reference".into(),
+            lambda: vec![1.0; 5],
+            fits: vec![0.1, 0.2],
+            factors: (0..3).map(|_| Mat::from_fn(8, 5, |_, _| 0.5)).collect(),
+        };
+        let mut opts = CpdOptions::new(3);
+        opts.resume = Some(cp);
+        match cpd_als(&mut engine, &opts) {
+            Err(StefError::Checkpoint(CheckpointError::Mismatch { .. })) => {}
+            other => panic!("expected checkpoint mismatch, got {other:?}"),
+        }
     }
 }

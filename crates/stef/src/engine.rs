@@ -34,6 +34,16 @@ pub trait MttkrpEngine {
     /// Computes `Ā⁽ᵐᵒᵈᵉ⁾` = MTTKRP of the tensor with all factors except
     /// `factors[mode]`.
     fn mttkrp(&mut self, factors: &[Mat], mode: usize) -> Mat;
+
+    /// Asks the engine to permanently stop using memoized state and
+    /// recompute every MTTKRP from scratch — the CPD driver's last-resort
+    /// recovery when memoized partials may be corrupt. Returns `true` if
+    /// the engine actually changed behavior (so the driver knows a retry
+    /// is worthwhile); the default for engines without memoization is
+    /// `false`.
+    fn degrade_to_unmemoized(&mut self) -> bool {
+        false
+    }
 }
 
 /// The paper's STeF: one CSF in a model-chosen order, model-chosen
@@ -51,15 +61,47 @@ pub struct Stef {
     /// Set by a mode-0 (root level) call; consumed by deeper levels.
     /// Guards against reading partials that predate a factor update.
     partials_fresh: bool,
+    /// Set by [`MttkrpEngine::degrade_to_unmemoized`]: saved partials are
+    /// never read again (recovery from suspected corruption).
+    memo_disabled: bool,
 }
 
 impl Stef {
     /// Builds the engine: runs Algorithm 9 + the data-movement model to
     /// pick the order and memoization set, builds the CSF in that order,
     /// the schedule, and the partial store.
+    ///
+    /// # Panics
+    /// Panics on invalid input (zero rank, empty tensor). Callers that
+    /// must not panic — the CLI, services — use [`Stef::try_prepare`].
     pub fn prepare(coo: &CooTensor, opts: StefOptions) -> Self {
-        assert!(opts.rank >= 1, "rank must be positive");
-        assert!(coo.nnz() > 0, "empty tensors are not supported");
+        match Self::try_prepare(coo, opts) {
+            Ok(engine) => engine,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Stef::prepare`]: rejects invalid input with a typed
+    /// [`crate::error::StefError`] instead of panicking.
+    pub fn try_prepare(coo: &CooTensor, opts: StefOptions) -> Result<Self, crate::StefError> {
+        use crate::error::StefError;
+        if opts.rank < 1 {
+            return Err(StefError::Input("rank must be positive".into()));
+        }
+        if coo.nnz() == 0 {
+            return Err(StefError::Input("empty tensors are not supported".into()));
+        }
+        if coo.ndim() < 2 {
+            return Err(StefError::Input(format!(
+                "need at least 2 modes, got {}",
+                coo.ndim()
+            )));
+        }
+        if !crate::recover::slice_is_finite(coo.values()) {
+            return Err(StefError::Input(
+                "tensor contains non-finite values".into(),
+            ));
+        }
         let d = coo.ndim();
         let nthreads = opts.threads();
         let base_order = sort_modes_by_length(coo.dims());
@@ -172,7 +214,7 @@ impl Stef {
             PartialStore::empty(d, nthreads, opts.rank)
         };
         let level_of_mode = inverse_permutation(csf.mode_order());
-        Stef {
+        Ok(Stef {
             sched,
             partials,
             plan,
@@ -181,8 +223,9 @@ impl Stef {
             level_of_mode,
             norm_sq: coo.norm_sq(),
             partials_fresh: false,
+            memo_disabled: false,
             csf,
-        }
+        })
     }
 
     /// The chosen configuration (order swap + save flags + predictions).
@@ -251,7 +294,7 @@ impl Stef {
             out
         } else {
             let accum = self.resolved_accum(level);
-            let use_saved = self.partials_fresh;
+            let use_saved = self.partials_fresh && !self.memo_disabled;
             modeu_pass(&ctx, &mut self.partials, level, accum, use_saved)
         }
     }
@@ -260,6 +303,21 @@ impl Stef {
     /// a mode-0 pass). The next non-root MTTKRPs recompute from scratch.
     pub fn invalidate_partials(&mut self) {
         self.partials_fresh = false;
+    }
+
+    /// Whether memoization has been disabled by
+    /// [`MttkrpEngine::degrade_to_unmemoized`].
+    pub fn memo_disabled(&self) -> bool {
+        self.memo_disabled
+    }
+
+    /// **Fault-injection support** (tests only, but kept available in
+    /// release builds so the harness exercises real code): overwrites
+    /// every memoized partial with `value` while *leaving the freshness
+    /// flag set*, simulating silent in-memory corruption of `P^(i)` that
+    /// the kernels will consume on the next memoized read.
+    pub fn corrupt_partials_for_test(&mut self, value: f64) {
+        self.partials.poison_for_test(value);
     }
 }
 
@@ -296,6 +354,13 @@ impl MttkrpEngine for Stef {
             }
         }
         out
+    }
+
+    fn degrade_to_unmemoized(&mut self) -> bool {
+        let was_memoizing = !self.memo_disabled && self.partials.save_flags().iter().any(|&s| s);
+        self.memo_disabled = true;
+        self.partials_fresh = false;
+        was_memoizing
     }
 }
 

@@ -1,0 +1,162 @@
+//! The typed error hierarchy for STeF.
+//!
+//! Every fallible path in the crate — tensor ingestion, engine
+//! preparation, the ALS loop, checkpointing — reports a [`StefError`]
+//! instead of panicking, so callers (the CLI, long-running services, the
+//! fault-injection harness) can distinguish bad input from numerical
+//! failure from I/O trouble and react accordingly.
+
+use crate::checkpoint::CheckpointError;
+use linalg::solve::SolveError;
+use sptensor::TnsError;
+
+/// Anything that can go wrong inside stef-core.
+#[derive(Debug)]
+pub enum StefError {
+    /// Invalid input to engine preparation or the ALS driver (zero rank,
+    /// empty tensor, mismatched shapes, ...).
+    Input(String),
+    /// Tensor file ingestion failed.
+    Tns(TnsError),
+    /// A normal-equations solve failed beyond every recovery attempt.
+    Solve {
+        /// 1-based ALS iteration.
+        iteration: usize,
+        /// Mode being updated.
+        mode: usize,
+        source: SolveError,
+    },
+    /// Non-finite values survived the recovery ladder.
+    NonFinite {
+        /// 1-based ALS iteration (0 = before the first iteration).
+        iteration: usize,
+        /// Mode being updated, if mode-specific.
+        mode: Option<usize>,
+        /// What was non-finite ("MTTKRP output", "gram system", "fit", ...).
+        what: &'static str,
+    },
+    /// The fit fell for `drops` consecutive iterations and recovery was
+    /// disabled or already spent.
+    Diverged {
+        /// 1-based ALS iteration at which the run gave up.
+        iteration: usize,
+        /// Consecutive fit drops observed.
+        drops: usize,
+        /// The last fit value.
+        last_fit: f64,
+    },
+    /// Checkpoint save or load failed.
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for StefError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StefError::Input(msg) => write!(f, "invalid input: {msg}"),
+            StefError::Tns(e) => write!(f, "tensor ingestion failed: {e}"),
+            StefError::Solve {
+                iteration,
+                mode,
+                source,
+            } => write!(
+                f,
+                "normal-equations solve failed at iteration {iteration}, mode {mode}: {source}"
+            ),
+            StefError::NonFinite {
+                iteration,
+                mode: Some(mode),
+                what,
+            } => write!(
+                f,
+                "non-finite {what} at iteration {iteration}, mode {mode} (recovery exhausted)"
+            ),
+            StefError::NonFinite {
+                iteration,
+                mode: None,
+                what,
+            } => write!(
+                f,
+                "non-finite {what} at iteration {iteration} (recovery exhausted)"
+            ),
+            StefError::Diverged {
+                iteration,
+                drops,
+                last_fit,
+            } => write!(
+                f,
+                "fit diverged: dropped {drops} consecutive iterations \
+                 (iteration {iteration}, last fit {last_fit:.6})"
+            ),
+            StefError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StefError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StefError::Tns(e) => Some(e),
+            StefError::Solve { source, .. } => Some(source),
+            StefError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TnsError> for StefError {
+    fn from(e: TnsError) -> Self {
+        StefError::Tns(e)
+    }
+}
+
+impl From<CheckpointError> for StefError {
+    fn from(e: CheckpointError) -> Self {
+        StefError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = StefError::Solve {
+            iteration: 3,
+            mode: 1,
+            source: SolveError::Singular,
+        };
+        let s = e.to_string();
+        assert!(s.contains("iteration 3") && s.contains("mode 1"), "{s}");
+        assert!(e.source().is_some());
+
+        let e = StefError::NonFinite {
+            iteration: 2,
+            mode: None,
+            what: "fit",
+        };
+        assert!(e.to_string().contains("non-finite fit"));
+
+        let e = StefError::Diverged {
+            iteration: 9,
+            drops: 3,
+            last_fit: 0.5,
+        };
+        assert!(e.to_string().contains("3 consecutive"));
+    }
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let tns = TnsError::NonFinite { line: 4 };
+        let e: StefError = tns.into();
+        assert!(matches!(e, StefError::Tns(TnsError::NonFinite { line: 4 })));
+        assert!(e.source().is_some());
+
+        let ck = CheckpointError::Corrupt {
+            reason: "checksum".into(),
+        };
+        let e: StefError = ck.into();
+        assert!(e.to_string().contains("corrupt checkpoint"));
+    }
+}

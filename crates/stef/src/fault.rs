@@ -1,0 +1,240 @@
+//! Fault injection for the robustness test harness.
+//!
+//! [`FaultyEngine`] wraps any [`MttkrpEngine`] and injects configurable
+//! numerical faults into its outputs — NaN/Inf entries appearing at a
+//! chosen call, once or persistently. Combined with
+//! [`crate::engine::Stef::corrupt_partials_for_test`] (memoized-partial
+//! corruption) and truncated checkpoint files, this lets the test suite
+//! prove the CPD driver's contract: **recover or fail with a typed
+//! error, never panic, never return silently wrong results.**
+
+use crate::engine::MttkrpEngine;
+use linalg::Mat;
+
+/// What to inject, and when.
+#[derive(Clone, Debug)]
+pub enum Fault {
+    /// On the `at`-th MTTKRP call (0-based), overwrite output entry
+    /// `(row, col)` with `value`. Fires once.
+    MttkrpOutputOnce {
+        at: usize,
+        row: usize,
+        col: usize,
+        value: f64,
+    },
+    /// From the `from`-th MTTKRP call onward, overwrite output entry
+    /// `(row, col)` with `value` on every call. Models a persistent
+    /// fault (stuck bit, broken kernel) that no retry can outrun.
+    MttkrpOutputAlways {
+        from: usize,
+        row: usize,
+        col: usize,
+        value: f64,
+    },
+}
+
+/// An engine that misbehaves on demand.
+pub struct FaultyEngine<E> {
+    inner: E,
+    faults: Vec<Fault>,
+    calls: usize,
+    injected: usize,
+    /// When `true`, a successful `degrade_to_unmemoized` also clears
+    /// pending one-shot faults — modeling corruption that lived in the
+    /// memoized state the fallback just discarded.
+    clear_on_degrade: bool,
+}
+
+impl<E: MttkrpEngine> FaultyEngine<E> {
+    /// Wraps `inner` with a list of faults to inject.
+    pub fn new(inner: E, faults: Vec<Fault>) -> Self {
+        FaultyEngine {
+            inner,
+            faults,
+            calls: 0,
+            injected: 0,
+            clear_on_degrade: false,
+        }
+    }
+
+    /// See [`FaultyEngine::clear_on_degrade`] field docs.
+    pub fn with_clear_on_degrade(mut self) -> Self {
+        self.clear_on_degrade = true;
+        self
+    }
+
+    /// Total MTTKRP calls observed.
+    pub fn calls(&self) -> usize {
+        self.calls
+    }
+
+    /// Faults actually injected so far.
+    pub fn injected(&self) -> usize {
+        self.injected
+    }
+
+    /// The wrapped engine.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    fn apply_faults(&mut self, out: &mut Mat, call: usize) {
+        for fault in &self.faults {
+            let (row, col, value, fire) = match *fault {
+                Fault::MttkrpOutputOnce {
+                    at,
+                    row,
+                    col,
+                    value,
+                } => (row, col, value, call == at),
+                Fault::MttkrpOutputAlways {
+                    from,
+                    row,
+                    col,
+                    value,
+                } => (row, col, value, call >= from),
+            };
+            if fire && row < out.rows() && col < out.cols() {
+                out[(row, col)] = value;
+                self.injected += 1;
+            }
+        }
+    }
+}
+
+impl<E: MttkrpEngine> MttkrpEngine for FaultyEngine<E> {
+    fn dims(&self) -> &[usize] {
+        self.inner.dims()
+    }
+
+    fn name(&self) -> String {
+        format!("faulty({})", self.inner.name())
+    }
+
+    fn sweep_order(&self) -> Vec<usize> {
+        self.inner.sweep_order()
+    }
+
+    fn norm_sq(&self) -> f64 {
+        self.inner.norm_sq()
+    }
+
+    fn mttkrp(&mut self, factors: &[Mat], mode: usize) -> Mat {
+        let call = self.calls;
+        self.calls += 1;
+        let mut out = self.inner.mttkrp(factors, mode);
+        self.apply_faults(&mut out, call);
+        out
+    }
+
+    fn degrade_to_unmemoized(&mut self) -> bool {
+        let degraded = self.inner.degrade_to_unmemoized();
+        if degraded && self.clear_on_degrade {
+            self.faults
+                .retain(|f| !matches!(f, Fault::MttkrpOutputOnce { .. }));
+        }
+        degraded
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ReferenceEngine;
+    use sptensor::CooTensor;
+
+    fn tiny() -> CooTensor {
+        let mut t = CooTensor::new(vec![3, 3, 3]);
+        t.push(&[0, 1, 2], 1.0);
+        t.push(&[1, 2, 0], 2.0);
+        t.push(&[2, 0, 1], 3.0);
+        t.sort_dedup();
+        t
+    }
+
+    #[test]
+    fn injects_exactly_at_the_chosen_call() {
+        let t = tiny();
+        let mut eng = FaultyEngine::new(
+            ReferenceEngine::new(t.clone()),
+            vec![Fault::MttkrpOutputOnce {
+                at: 1,
+                row: 0,
+                col: 0,
+                value: f64::NAN,
+            }],
+        );
+        let factors = crate::cpd::init_factors(t.dims(), 2, 1);
+        let a = eng.mttkrp(&factors, 0); // call 0: clean
+        assert!(a.as_slice().iter().all(|x| x.is_finite()));
+        let b = eng.mttkrp(&factors, 1); // call 1: poisoned
+        assert!(b[(0, 0)].is_nan());
+        let c = eng.mttkrp(&factors, 2); // call 2: clean again
+        assert!(c.as_slice().iter().all(|x| x.is_finite()));
+        assert_eq!(eng.calls(), 3);
+        assert_eq!(eng.injected(), 1);
+    }
+
+    #[test]
+    fn persistent_fault_fires_on_every_call() {
+        let t = tiny();
+        let mut eng = FaultyEngine::new(
+            ReferenceEngine::new(t.clone()),
+            vec![Fault::MttkrpOutputAlways {
+                from: 0,
+                row: 1,
+                col: 0,
+                value: f64::INFINITY,
+            }],
+        );
+        let factors = crate::cpd::init_factors(t.dims(), 2, 1);
+        for mode in 0..3 {
+            let out = eng.mttkrp(&factors, mode);
+            assert!(out[(1, 0)].is_infinite());
+        }
+        assert_eq!(eng.injected(), 3);
+    }
+
+    #[test]
+    fn degrade_clears_one_shot_faults_when_asked() {
+        struct Memoish(ReferenceEngine);
+        impl MttkrpEngine for Memoish {
+            fn dims(&self) -> &[usize] {
+                self.0.dims()
+            }
+            fn name(&self) -> String {
+                "memoish".into()
+            }
+            fn sweep_order(&self) -> Vec<usize> {
+                self.0.sweep_order()
+            }
+            fn norm_sq(&self) -> f64 {
+                self.0.norm_sq()
+            }
+            fn mttkrp(&mut self, factors: &[Mat], mode: usize) -> Mat {
+                self.0.mttkrp(factors, mode)
+            }
+            fn degrade_to_unmemoized(&mut self) -> bool {
+                true
+            }
+        }
+        let t = tiny();
+        let mut eng = FaultyEngine::new(
+            Memoish(ReferenceEngine::new(t.clone())),
+            vec![Fault::MttkrpOutputOnce {
+                at: 5,
+                row: 0,
+                col: 0,
+                value: f64::NAN,
+            }],
+        )
+        .with_clear_on_degrade();
+        assert!(eng.degrade_to_unmemoized());
+        let factors = crate::cpd::init_factors(t.dims(), 2, 1);
+        for call in 0..8 {
+            let out = eng.mttkrp(&factors, call % 3);
+            assert!(out.as_slice().iter().all(|x| x.is_finite()));
+        }
+        assert_eq!(eng.injected(), 0);
+    }
+}

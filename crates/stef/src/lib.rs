@@ -31,31 +31,39 @@
 //! t.push(&[3, 4, 5], 2.0);
 //! t.push(&[0, 4, 2], 3.0);
 //!
-//! let mut engine = Stef::prepare(&t, StefOptions::new(2));
-//! let result = cpd_als(&mut engine, &CpdOptions::new(2));
+//! let mut engine = Stef::try_prepare(&t, StefOptions::new(2)).unwrap();
+//! let result = cpd_als(&mut engine, &CpdOptions::new(2)).unwrap();
 //! assert_eq!(result.factors.len(), 3);
 //! assert!(result.final_fit() <= 1.0);
 //! ```
 
 #![allow(clippy::needless_range_loop)] // index loops over parallel arrays are the clearest form in these kernels
 
+pub mod checkpoint;
 pub mod counters;
 pub mod cpd;
 pub mod engine;
+pub mod error;
+pub mod fault;
 pub mod kernels;
 pub mod model;
 pub mod nonneg;
 pub mod options;
 pub mod paper_kernels;
 pub mod partials;
+pub mod recover;
 pub mod schedule;
 pub mod stef2;
 pub mod sync;
 pub mod validate;
 
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy};
 pub use counters::{count_sweep, CountedTraffic};
 pub use cpd::{cpd_als, init_factors, CpdOptions, CpdResult};
 pub use engine::{MttkrpEngine, ReferenceEngine, Stef};
+pub use error::StefError;
+pub use fault::{Fault, FaultyEngine};
+pub use recover::{RecoveryAction, RecoveryEvent, RecoveryEvents, RecoveryPolicy};
 pub use model::{stef2_leaf_gain, LevelProfile, MemoPlan, RawTraffic};
 pub use nonneg::{cpd_mu_nonneg, NonnegCpdResult};
 pub use options::{AccumStrategy, LoadBalance, MemoPolicy, ModeSwitchPolicy, StefOptions};

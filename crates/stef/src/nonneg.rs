@@ -203,10 +203,10 @@ mod tests {
     fn stef_and_reference_mu_agree() {
         let t = nonneg_tensor(&[10, 9, 8], 300, 3);
         let opts = CpdOptions {
-            rank: 3,
             max_iters: 6,
             tol: 0.0,
             seed: 7,
+            ..CpdOptions::new(3)
         };
         let mut stef_engine = Stef::prepare(&t, StefOptions::new(3));
         let sweep = stef_engine.sweep_order();

@@ -109,6 +109,17 @@ impl PartialStore {
             .collect()
     }
 
+    /// **Fault-injection support**: fills every allocated buffer with
+    /// `value` (typically NaN or Inf), simulating in-memory corruption of
+    /// the memoized `P^(i)`. The store itself stays structurally valid —
+    /// only the numbers are poisoned — which is exactly what a bad DIMM
+    /// or a racing writer produces.
+    pub fn poison_for_test(&mut self, value: f64) {
+        for buf in self.bufs.iter_mut().flatten() {
+            buf.fill(value);
+        }
+    }
+
     /// Reads the *reduced* (summed over thread replicas) row of node
     /// `idx` at `level`. O(T·R); diagnostics and tests only — kernels
     /// read per-thread replicas directly.

@@ -105,6 +105,11 @@ impl MttkrpEngine for Stef2 {
         mode0_pass(&ctx, &mut self.partials2, &mut out);
         out
     }
+
+    fn degrade_to_unmemoized(&mut self) -> bool {
+        // Only the base engine memoizes; the second CSF is stateless.
+        self.base.degrade_to_unmemoized()
+    }
 }
 
 #[cfg(test)]
@@ -171,15 +176,15 @@ mod tests {
     fn cpd_matches_stef_iterates() {
         let t = pseudo_tensor(&[12, 9, 10], 400, 4);
         let opts = CpdOptions {
-            rank: 3,
             max_iters: 4,
             tol: 0.0,
             seed: 5,
+            ..CpdOptions::new(3)
         };
         let mut s1 = Stef::prepare(&t, StefOptions::new(3));
         let mut s2 = Stef2::prepare(&t, StefOptions::new(3));
-        let r1 = cpd_als(&mut s1, &opts);
-        let r2 = cpd_als(&mut s2, &opts);
+        let r1 = cpd_als(&mut s1, &opts).expect("stef run");
+        let r2 = cpd_als(&mut s2, &opts).expect("stef2 run");
         for (a, b) in r1.fits.iter().zip(&r2.fits) {
             assert!((a - b).abs() < 1e-8, "fits diverged: {a} vs {b}");
         }

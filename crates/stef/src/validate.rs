@@ -179,6 +179,65 @@ mod tests {
     }
 
     #[test]
+    fn engine_with_wrong_rows_on_one_mode_is_localized() {
+        /// An engine that returns entirely wrong rows (doubled) for a
+        /// band of output rows on one mode — the realistic bug class
+        /// where a scheduler assigns a fiber range to the wrong thread
+        /// or a scatter writes with a bad offset.
+        struct RowSaboteur {
+            inner: crate::engine::ReferenceEngine,
+            bad_mode: usize,
+            bad_rows: std::ops::Range<usize>,
+        }
+        impl MttkrpEngine for RowSaboteur {
+            fn dims(&self) -> &[usize] {
+                self.inner.dims()
+            }
+            fn name(&self) -> String {
+                "row-saboteur".into()
+            }
+            fn sweep_order(&self) -> Vec<usize> {
+                self.inner.sweep_order()
+            }
+            fn norm_sq(&self) -> f64 {
+                self.inner.norm_sq()
+            }
+            fn mttkrp(&mut self, factors: &[Mat], mode: usize) -> Mat {
+                let mut out = self.inner.mttkrp(factors, mode);
+                if mode == self.bad_mode {
+                    for i in self.bad_rows.clone() {
+                        for j in 0..out.cols() {
+                            out[(i, j)] *= 2.0;
+                        }
+                    }
+                }
+                out
+            }
+        }
+        let t = tensor(5);
+        let mut engine = RowSaboteur {
+            inner: crate::engine::ReferenceEngine::new(t.clone()),
+            bad_mode: 2,
+            bad_rows: 1..4,
+        };
+        let report = validate_engine(&mut engine, &t, 3, 1e-9, 10);
+        assert!(!report.is_ok());
+        // Every mismatch must be localized to the broken mode and lie in
+        // the corrupted row band; both sweeps must report it.
+        assert_eq!(report.mismatches.len(), 2, "{:?}", report.mismatches);
+        for m in &report.mismatches {
+            assert_eq!(m.mode, 2);
+            assert!((1..4).contains(&m.row), "row {} outside band", m.row);
+            assert!(
+                (m.got - 2.0 * m.expected).abs() < 1e-9 * m.expected.abs().max(1.0),
+                "worst element should come from the doubled band: {m:?}"
+            );
+        }
+        // Healthy modes stay clean.
+        assert!(report.mismatches.iter().all(|m| m.mode == 2));
+    }
+
+    #[test]
     #[should_panic(expected = "shapes differ")]
     fn shape_mismatch_panics() {
         let t = tensor(3);

@@ -30,7 +30,7 @@ fn main() {
     let mut opts = CpdOptions::new(rank);
     opts.max_iters = 40;
     opts.tol = 1e-6;
-    let result = cpd_als(&mut engine, &opts);
+    let result = cpd_als(&mut engine, &opts).expect("decomposition failed");
     println!(
         "rank-{rank} CPD: fit {:.4} in {} iterations ({:?})",
         result.final_fit(),

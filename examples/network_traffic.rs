@@ -95,7 +95,7 @@ fn main() {
     }
 
     // Full decomposition still works on this awkward structure.
-    let result = cpd_als(&mut stef_engine, &CpdOptions::new(rank));
+    let result = cpd_als(&mut stef_engine, &CpdOptions::new(rank)).expect("decomposition failed");
     println!(
         "CPD fit {:.4} in {} iterations",
         result.final_fit(),

@@ -44,7 +44,7 @@ fn main() {
     // Run CPD-ALS.
     let mut opts = CpdOptions::new(rank);
     opts.max_iters = 30;
-    let result = cpd_als(&mut engine, &opts);
+    let result = cpd_als(&mut engine, &opts).expect("decomposition failed");
     println!(
         "\nCPD rank-{rank}: fit {:.4} after {} iterations (converged: {})",
         result.final_fit(),

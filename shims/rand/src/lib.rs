@@ -1,0 +1,115 @@
+//! Offline stand-in for the subset of `rand` 0.8 this workspace uses.
+//!
+//! Provides [`rngs::StdRng`] (a splitmix64 generator — statistically fine
+//! for synthetic workload generation, *not* cryptographic), the
+//! [`SeedableRng::seed_from_u64`] constructor, and [`Rng::gen`] for the
+//! primitive types the workload generators draw.
+
+/// Raw 64-bit generator.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types drawable uniformly from an RNG (the `Standard` distribution of
+/// real rand).
+pub trait SampleStandard {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for u64 {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl SampleStandard for u32 {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl SampleStandard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample_from<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// High-level drawing interface, blanket-implemented for every RNG.
+pub trait Rng: RngCore {
+    fn gen<T: SampleStandard>(&mut self) -> T {
+        T::sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Splitmix64: tiny, fast, passes BigCrush on 64-bit outputs.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mean: f64 = (0..10_000).map(|_| rng.gen::<f64>()).sum::<f64>() / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,245 @@
+//! Offline stand-in for the subset of `rayon` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! patches `rayon` to this shim. It provides *real* parallelism via
+//! `std::thread::scope` — work is split into one contiguous batch per
+//! available core — but only for the combinators the workspace actually
+//! calls: `into_par_iter` on ranges, `par_chunks`/`par_chunks_mut` on
+//! slices, `par_sort_unstable_by`, and the `map`/`for_each`/`collect`/
+//! `sum`/`enumerate` adapters. Ordering guarantees match rayon where the
+//! callers rely on them (`map().collect()` preserves input order).
+
+use std::ops::Range;
+
+/// Number of worker threads a parallel region will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item, in parallel, preserving input order in the
+/// returned vector. The backbone of every adapter in this shim.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = current_num_threads().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<Vec<R>> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut iter = items.into_iter();
+        loop {
+            let batch: Vec<T> = iter.by_ref().take(chunk).collect();
+            if batch.is_empty() {
+                break;
+            }
+            let fr = &f;
+            handles.push(s.spawn(move || batch.into_iter().map(fr).collect::<Vec<R>>()));
+        }
+        for h in handles {
+            out.push(h.join().expect("parallel worker panicked"));
+        }
+    });
+    out.into_iter().flatten().collect()
+}
+
+/// Parallel iterator over owned items (materialized up front; the
+/// workspace only fans out over small index ranges).
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn for_each<F: Fn(T) + Sync>(self, f: F) {
+        par_map_vec(self.items, f);
+    }
+
+    pub fn map<R: Send, F: Fn(T) -> R + Sync>(self, f: F) -> ParMap<T, F> {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// The result of `ParIter::map`; consumed by `collect` or `sum`.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    pub fn collect<B, R>(self) -> B
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        B: FromIterator<R>,
+    {
+        par_map_vec(self.items, self.f).into_iter().collect()
+    }
+
+    pub fn sum<S, R>(self) -> S
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        S: std::iter::Sum<R>,
+    {
+        par_map_vec(self.items, self.f).into_iter().sum()
+    }
+
+    pub fn for_each<R, G>(self, g: G)
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        G: Fn(R) + Sync,
+    {
+        par_map_vec(self.items, |t| g((self.f)(t)));
+    }
+}
+
+/// `into_par_iter()` entry point.
+pub trait IntoParallelIterator {
+    type Item;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// `par_chunks` / `par_iter` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+    fn par_iter(&self) -> ParIter<&T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIter {
+            items: self.chunks(size).collect(),
+        }
+    }
+
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `par_chunks_mut` / `par_sort_unstable_by` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIterMut<'_, T>;
+    fn par_sort_unstable_by<F: Fn(&T, &T) -> std::cmp::Ordering + Sync>(&mut self, cmp: F);
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIterMut<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParIterMut {
+            chunks: self.chunks_mut(size).collect(),
+        }
+    }
+
+    fn par_sort_unstable_by<F: Fn(&T, &T) -> std::cmp::Ordering + Sync>(&mut self, cmp: F) {
+        // Sequential fallback: correctness over speed in the shim.
+        self.sort_unstable_by(cmp);
+    }
+}
+
+/// Parallel iterator over mutable chunks.
+pub struct ParIterMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    pub fn for_each<F: Fn(&mut [T]) + Sync>(self, f: F) {
+        par_map_vec(self.chunks, f);
+    }
+
+    pub fn enumerate(self) -> ParIter<(usize, &'a mut [T])> {
+        ParIter {
+            items: self.chunks.into_iter().enumerate().collect(),
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn range_for_each_covers_everything() {
+        let hits: Vec<std::sync::atomic::AtomicUsize> =
+            (0..100).map(|_| std::sync::atomic::AtomicUsize::new(0)).collect();
+        (0..100usize).into_par_iter().for_each(|i| {
+            hits[i].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert!(hits
+            .iter()
+            .all(|h| h.load(std::sync::atomic::Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn chunks_map_sum() {
+        let data: Vec<usize> = (0..997).collect();
+        let total: usize = data
+            .par_chunks(64)
+            .map(|c| c.iter().sum::<usize>())
+            .sum();
+        assert_eq!(total, 997 * 996 / 2);
+    }
+
+    #[test]
+    fn chunks_mut_enumerate_writes_disjoint() {
+        let mut data = vec![0usize; 512];
+        data.par_chunks_mut(8).enumerate().for_each(|(i, c)| {
+            for x in c.iter_mut() {
+                *x = i;
+            }
+        });
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, i / 8);
+        }
+    }
+
+    #[test]
+    fn par_sort_sorts() {
+        let mut v: Vec<u32> = (0..500).rev().collect();
+        v.par_sort_unstable_by(|a, b| a.cmp(b));
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

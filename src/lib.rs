@@ -30,8 +30,8 @@
 //! let mut engine = Stef::prepare(&tensor, StefOptions::new(16));
 //! println!("memoized levels: {:?}", engine.plan().save);
 //!
-//! // 3. Decompose.
-//! let result = cpd_als(&mut engine, &CpdOptions::new(16));
+//! // 3. Decompose. Numerical failures surface as typed errors, never panics.
+//! let result = cpd_als(&mut engine, &CpdOptions::new(16)).expect("decomposition failed");
 //! println!("fit = {:.4} after {} iterations", result.final_fit(), result.iterations);
 //! # assert!(result.final_fit() <= 1.0);
 //! ```
@@ -48,8 +48,8 @@ pub mod prelude {
     pub use linalg::Mat;
     pub use sptensor::{build_csf, CooTensor, Csf, TensorStats};
     pub use stef::{
-        cpd_als, CpdOptions, CpdResult, LoadBalance, MemoPolicy, ModeSwitchPolicy, MttkrpEngine,
-        Stef, Stef2, StefOptions,
+        cpd_als, Checkpoint, CheckpointPolicy, CpdOptions, CpdResult, LoadBalance, MemoPolicy,
+        ModeSwitchPolicy, MttkrpEngine, RecoveryPolicy, Stef, StefError, Stef2, StefOptions,
     };
     pub use workloads;
 }

@@ -12,7 +12,7 @@ fn planted_lowrank_is_recovered_by_stef() {
     let mut opts = CpdOptions::new(5);
     opts.max_iters = 60;
     opts.tol = 1e-7;
-    let result = cpd_als(&mut engine, &opts);
+    let result = cpd_als(&mut engine, &opts).expect("healthy run");
     assert!(
         result.final_fit() > 0.9,
         "noiseless planted rank-3 should fit well, got {}",
@@ -26,7 +26,7 @@ fn noisy_planted_lowrank_still_fits_reasonably() {
     let mut engine = Stef::prepare(&planted.tensor, StefOptions::new(4));
     let mut opts = CpdOptions::new(4);
     opts.max_iters = 40;
-    let result = cpd_als(&mut engine, &opts);
+    let result = cpd_als(&mut engine, &opts).expect("healthy run");
     assert!(
         result.final_fit() > 0.6,
         "mild noise should not destroy the fit, got {}",
@@ -41,14 +41,14 @@ fn every_engine_reaches_the_same_fit() {
     let planted = planted_lowrank_tensor(&[40, 35, 30], 4_000, 2, 0.0, 44);
     let t = planted.tensor;
     let opts = CpdOptions {
-        rank: 3,
         max_iters: 8,
         tol: 0.0,
         seed: 5,
+        ..CpdOptions::new(3)
     };
     let mut fits = Vec::new();
     for mut engine in baselines::all_engines(&t, 3, 2) {
-        let r = cpd_als(engine.as_mut(), &opts);
+        let r = cpd_als(engine.as_mut(), &opts).expect("healthy run");
         fits.push((engine.name(), r.final_fit()));
     }
     // Engines may sweep modes in different orders, which changes the ALS
@@ -69,7 +69,7 @@ fn fits_are_monotone_for_stef2() {
     let mut opts = CpdOptions::new(3);
     opts.max_iters = 15;
     opts.tol = 0.0;
-    let result = cpd_als(&mut engine, &opts);
+    let result = cpd_als(&mut engine, &opts).expect("healthy run");
     for w in result.fits.windows(2) {
         assert!(w[1] >= w[0] - 1e-7, "fit decreased: {:?}", result.fits);
     }
@@ -82,12 +82,12 @@ fn cpd_runs_on_every_suite_tensor_tiny() {
         let t = spec.generate(SuiteScale::Tiny);
         let mut engine = Stef::prepare(&t, StefOptions::new(8));
         let opts = CpdOptions {
-            rank: 8,
             max_iters: 2,
             tol: 0.0,
             seed: 3,
+            ..CpdOptions::new(8)
         };
-        let result = cpd_als(&mut engine, &opts);
+        let result = cpd_als(&mut engine, &opts).expect("healthy run");
         assert_eq!(result.iterations, 2, "{}", spec.name);
         assert!(
             result.fits.iter().all(|f| f.is_finite()),
@@ -106,12 +106,12 @@ fn cpd_is_deterministic_for_fixed_seed_and_threads() {
         opts.num_threads = 2;
         let mut engine = Stef::prepare(&t, opts);
         let copts = CpdOptions {
-            rank: 4,
             max_iters: 3,
             tol: 0.0,
             seed: 9,
+            ..CpdOptions::new(4)
         };
-        cpd_als(&mut engine, &copts).fits
+        cpd_als(&mut engine, &copts).expect("healthy run").fits
     };
     let a = run();
     let b = run();
@@ -137,7 +137,7 @@ fn rank_one_tensor_fits_perfectly() {
     let mut engine = Stef::prepare(&t, StefOptions::new(1));
     let mut opts = CpdOptions::new(1);
     opts.max_iters = 30;
-    let result = cpd_als(&mut engine, &opts);
+    let result = cpd_als(&mut engine, &opts).expect("healthy run");
     assert!(
         result.final_fit() > 0.9999,
         "exact rank-1 tensor, fit {}",

@@ -46,10 +46,10 @@ fn lexi_order_preserves_engine_results_up_to_renaming() {
 fn nonneg_cp_works_on_every_engine() {
     let t = power_law_tensor(&[40, 30, 20], 1_500, &[0.5, 0.3, 0.0], 2);
     let opts = CpdOptions {
-        rank: 3,
         max_iters: 5,
         tol: 0.0,
         seed: 3,
+        ..CpdOptions::new(3)
     };
     let mut final_fits = Vec::new();
     for mut engine in baselines::all_engines(&t, 3, 2) {

@@ -1,0 +1,262 @@
+//! Fault-injection harness: the CPD driver must survive injected
+//! numerical faults (NaN/Inf in MTTKRP outputs, corrupted memoized
+//! partials, truncated checkpoint files) by recovering or failing with a
+//! typed error — never by panicking — and recovered runs must reach the
+//! fit of an unfaulted reference run.
+
+use linalg::Mat;
+use stef::{
+    cpd_als, Checkpoint, CheckpointError, CheckpointPolicy, CpdOptions, Fault, FaultyEngine,
+    MemoPolicy, MttkrpEngine, Stef, StefError, StefOptions,
+};
+use workloads::power_law_tensor;
+
+fn test_tensor() -> sptensor::CooTensor {
+    power_law_tensor(&[40, 35, 30], 3_000, &[0.6, 0.3, 0.1], 17)
+}
+
+fn memoizing_options(rank: usize) -> StefOptions {
+    // Force memoization so the corrupt-partials path is actually live.
+    let mut o = StefOptions::new(rank);
+    o.memo = MemoPolicy::SaveAll;
+    o
+}
+
+fn base_opts(rank: usize) -> CpdOptions {
+    CpdOptions {
+        max_iters: 8,
+        tol: 0.0,
+        seed: 21,
+        ..CpdOptions::new(rank)
+    }
+}
+
+#[test]
+fn nan_in_mttkrp_output_recovers_to_reference_fit() {
+    let t = test_tensor();
+    let opts = base_opts(4);
+
+    let mut clean = Stef::prepare(&t, memoizing_options(4));
+    let reference = cpd_als(&mut clean, &opts).expect("clean run");
+
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let stef = Stef::prepare(&t, memoizing_options(4));
+        let mut faulty = FaultyEngine::new(
+            stef,
+            vec![Fault::MttkrpOutputOnce {
+                at: 5,
+                row: 2,
+                col: 1,
+                value: bad,
+            }],
+        )
+        .with_clear_on_degrade();
+        let result = cpd_als(&mut faulty, &opts).expect("recovered run");
+        assert!(
+            result.recovery.engine_fallbacks >= 1,
+            "fallback rung should fire for {bad}: {:?}",
+            result.recovery
+        );
+        assert!(
+            (result.final_fit() - reference.final_fit()).abs() < 1e-6,
+            "recovered fit {} vs reference {} (injected {bad})",
+            result.final_fit(),
+            reference.final_fit()
+        );
+    }
+}
+
+/// Wraps a concrete STeF engine and silently poisons its memoized
+/// partials `P^(i)` after the `corrupt_after`-th MTTKRP call — the
+/// in-memory-corruption scenario (bad DIMM, racing writer).
+struct PartialsCorruptor {
+    inner: Stef,
+    corrupt_after: usize,
+    calls: usize,
+    fired: bool,
+}
+
+impl MttkrpEngine for PartialsCorruptor {
+    fn dims(&self) -> &[usize] {
+        self.inner.dims()
+    }
+    fn name(&self) -> String {
+        "partials-corruptor".into()
+    }
+    fn sweep_order(&self) -> Vec<usize> {
+        self.inner.sweep_order()
+    }
+    fn norm_sq(&self) -> f64 {
+        self.inner.norm_sq()
+    }
+    fn mttkrp(&mut self, factors: &[Mat], mode: usize) -> Mat {
+        let out = self.inner.mttkrp(factors, mode);
+        self.calls += 1;
+        if !self.fired && self.calls == self.corrupt_after {
+            self.inner.corrupt_partials_for_test(f64::NAN);
+            self.fired = true;
+        }
+        out
+    }
+    fn degrade_to_unmemoized(&mut self) -> bool {
+        self.inner.degrade_to_unmemoized()
+    }
+}
+
+#[test]
+fn corrupted_memoized_partials_recover_to_reference_fit() {
+    let t = test_tensor();
+    let opts = base_opts(3);
+
+    let mut clean = Stef::prepare(&t, memoizing_options(3));
+    let reference = cpd_als(&mut clean, &opts).expect("clean run");
+
+    // Poison P^(i) right after the root-mode pass of iteration 2 wrote
+    // them; the next non-root mode consumes the poisoned rows.
+    let mut engine = PartialsCorruptor {
+        inner: Stef::prepare(&t, memoizing_options(3)),
+        corrupt_after: 4,
+        calls: 0,
+        fired: false,
+    };
+    let result = cpd_als(&mut engine, &opts).expect("recovered run");
+    assert!(engine.fired, "fault never fired");
+    assert!(
+        engine.inner.memo_disabled(),
+        "recovery should have disabled memoization"
+    );
+    assert!(
+        result.recovery.engine_fallbacks >= 1,
+        "{:?}",
+        result.recovery
+    );
+    assert!(
+        (result.final_fit() - reference.final_fit()).abs() < 1e-6,
+        "recovered fit {} vs reference {}",
+        result.final_fit(),
+        reference.final_fit()
+    );
+}
+
+#[test]
+fn truncated_checkpoints_fail_typed_at_every_cut_point() {
+    let dir = std::env::temp_dir().join("stef-fault-truncate");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.ckpt");
+
+    let t = test_tensor();
+    let mut opts = base_opts(3);
+    opts.max_iters = 4;
+    opts.checkpoint = Some(CheckpointPolicy::new(&path, 2));
+    let mut engine = Stef::prepare(&t, memoizing_options(3));
+    let result = cpd_als(&mut engine, &opts).expect("checkpointed run");
+    assert_eq!(result.checkpoints_written, 2);
+
+    let bytes = std::fs::read(&path).unwrap();
+    // A mid-write crash can leave any prefix; every prefix must load as
+    // a typed Corrupt error, never a panic or a silently wrong state.
+    for frac in [1, 3, 7, 9] {
+        let cut = bytes.len() * frac / 10;
+        let truncated = dir.join("truncated.ckpt");
+        std::fs::write(&truncated, &bytes[..cut]).unwrap();
+        match Checkpoint::load(&truncated) {
+            Err(CheckpointError::Corrupt { .. }) => {}
+            other => panic!("cut at {cut}/{}: expected Corrupt, got {other:?}", bytes.len()),
+        }
+    }
+    // The intact file still loads.
+    assert!(Checkpoint::load(&path).is_ok());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_with_poisoned_state_is_rejected_on_resume() {
+    let t = test_tensor();
+    let mut engine = Stef::prepare(&t, memoizing_options(3));
+    let dir = std::env::temp_dir().join("stef-fault-poisoned-resume");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.ckpt");
+    let mut opts = base_opts(3);
+    opts.max_iters = 2;
+    opts.checkpoint = Some(CheckpointPolicy::new(&path, 2));
+    cpd_als(&mut engine, &opts).expect("checkpointed run");
+
+    let mut cp = Checkpoint::load(&path).expect("load");
+    cp.factors[0][(0, 0)] = f64::NAN;
+    let mut resume_opts = base_opts(3);
+    resume_opts.resume = Some(cp);
+    let mut engine2 = Stef::prepare(&t, memoizing_options(3));
+    match cpd_als(&mut engine2, &resume_opts) {
+        Err(StefError::Checkpoint(CheckpointError::Corrupt { .. })) => {}
+        other => panic!("expected Corrupt on poisoned resume state, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn killed_and_resumed_run_matches_uninterrupted_fit() {
+    let dir = std::env::temp_dir().join("stef-fault-resume");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.ckpt");
+
+    let t = test_tensor();
+    let opts = base_opts(4); // 8 iterations
+
+    // The uninterrupted run.
+    let mut full_engine = Stef::prepare(&t, memoizing_options(4));
+    let full = cpd_als(&mut full_engine, &opts).expect("full run");
+
+    // "Kill" at iteration 5 (last checkpoint lands at 4), then resume in
+    // a brand-new process image (fresh engine, fresh driver state).
+    let mut opts_killed = opts.clone();
+    opts_killed.max_iters = 5;
+    opts_killed.checkpoint = Some(CheckpointPolicy::new(&path, 2));
+    let mut killed_engine = Stef::prepare(&t, memoizing_options(4));
+    cpd_als(&mut killed_engine, &opts_killed).expect("killed run");
+
+    let cp = Checkpoint::load(&path).expect("reload checkpoint");
+    assert_eq!(cp.iteration, 4);
+    let mut opts_resumed = opts.clone();
+    opts_resumed.resume = Some(cp);
+    let mut resumed_engine = Stef::prepare(&t, memoizing_options(4));
+    let resumed = cpd_als(&mut resumed_engine, &opts_resumed).expect("resumed run");
+
+    assert_eq!(resumed.resumed_from, Some(4));
+    assert_eq!(resumed.fits.len(), full.fits.len());
+    for (i, (a, b)) in resumed.fits.iter().zip(&full.fits).enumerate() {
+        assert!(
+            (a - b).abs() < 1e-8,
+            "iteration {i}: resumed fit {a} vs uninterrupted {b}"
+        );
+    }
+    assert!(
+        (resumed.final_fit() - full.final_fit()).abs() < 1e-8,
+        "final fits diverged: {} vs {}",
+        resumed.final_fit(),
+        full.final_fit()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn persistent_fault_yields_typed_error_and_counts_injections() {
+    let t = test_tensor();
+    let mut faulty = FaultyEngine::new(
+        Stef::prepare(&t, memoizing_options(3)),
+        vec![Fault::MttkrpOutputAlways {
+            from: 0,
+            row: 0,
+            col: 0,
+            value: f64::NAN,
+        }],
+    );
+    match cpd_als(&mut faulty, &base_opts(3)) {
+        Err(StefError::NonFinite {
+            iteration: 1,
+            mode: Some(_),
+            ..
+        }) => {}
+        other => panic!("expected NonFinite, got {other:?}"),
+    }
+    assert!(faulty.injected() >= 2, "retry paths should also be faulted");
+}
