@@ -48,8 +48,20 @@ pub fn all_engines(
     rank: usize,
     nthreads: usize,
 ) -> Vec<Box<dyn MttkrpEngine>> {
+    all_engines_with(coo, rank, nthreads, stef::AccumStrategy::Auto)
+}
+
+/// [`all_engines`] with an explicit accumulation strategy for the STeF
+/// engines (the baselines resolve conflicts their own way and ignore it).
+pub fn all_engines_with(
+    coo: &sptensor::CooTensor,
+    rank: usize,
+    nthreads: usize,
+    accum: stef::AccumStrategy,
+) -> Vec<Box<dyn MttkrpEngine>> {
     let mut opts = stef::StefOptions::new(rank);
     opts.num_threads = nthreads;
+    opts.accum = accum;
     vec![
         Box::new(Splatt::prepare(coo, SplattVariant::One, rank, nthreads)),
         Box::new(Splatt::prepare(coo, SplattVariant::Two, rank, nthreads)),

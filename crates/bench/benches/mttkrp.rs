@@ -1,75 +1,214 @@
-//! Kernel-level benchmarks: mode-0 (with and without memo stores), an
-//! internal mode consuming a memoized partial vs recomputing, and the
-//! leaf mode — the per-kernel costs behind Figures 3/4.
+//! Kernel-level A/B benchmark: the allocation-free vectorized MTTKRP
+//! path (`stef::kernels`) against the original recursive implementation
+//! (`stef::kernels_legacy`), per mode and per accumulation strategy.
+//!
+//! Besides the usual stderr table this bench writes the tracked
+//! trajectory file `BENCH_mttkrp.json` at the repo root so the speedup
+//! of the kernel rewrite is recorded alongside the code.
+//!
+//! Environment knobs:
+//!
+//! * `STEF_BENCH_NNZ`  — nonzeros in the synthetic tensor (default 200 000)
+//! * `STEF_BENCH_RANK` — factor rank (default 16)
+//! * `STEF_THREADS`    — logical threads in the schedule (default 8)
+//! * `STEF_REPS`       — timed repetitions, best-of (default 5)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use linalg::Mat;
+use sptensor::build_csf;
+use std::time::Instant;
+use stef::kernels::{mode0_with, modeu_with, KernelCtx, ResolvedAccum};
+use stef::kernels_legacy;
+use stef::{init_factors, LoadBalance, PartialStore, Schedule, Workspace};
+use stef_bench::{impl_to_json, write_json_at, Table};
+use workloads::power_law_tensor;
 
-fn bench_kernels(c: &mut Criterion) {
-    use linalg::Mat;
-    use sptensor::build_csf;
-    use stef::kernels::{mode0_pass, modeu_pass, KernelCtx, ResolvedAccum};
-    use stef::{init_factors, LoadBalance, PartialStore, Schedule};
-    use workloads::power_law_tensor;
+/// One mode × accumulation-strategy measurement (best-of-reps, ns).
+struct Record {
+    mode: usize,
+    accum: String,
+    use_saved: bool,
+    legacy_ns: f64,
+    vectorized_ns: f64,
+    speedup: f64,
+}
+impl_to_json!(Record {
+    mode,
+    accum,
+    use_saved,
+    legacy_ns,
+    vectorized_ns,
+    speedup
+});
 
+struct Report {
+    bench: String,
+    dims: Vec<usize>,
+    nnz: usize,
+    rank: usize,
+    threads: usize,
+    reps: usize,
+    records: Vec<Record>,
+}
+impl_to_json!(Report {
+    bench,
+    dims,
+    nnz,
+    rank,
+    threads,
+    reps,
+    records
+});
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+        .max(1)
+}
+
+/// Best-of-`reps` wall time in nanoseconds, after `warmups` untimed runs.
+fn best_ns(warmups: usize, reps: usize, mut f: impl FnMut()) -> f64 {
+    for _ in 0..warmups {
+        f();
+    }
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_nanos() as f64);
+    }
+    best
+}
+
+fn accum_name(a: ResolvedAccum) -> &'static str {
+    match a {
+        ResolvedAccum::Privatized => "privatized",
+        ResolvedAccum::Atomic => "atomic",
+    }
+}
+
+fn main() {
+    let nnz = env_usize("STEF_BENCH_NNZ", 200_000);
+    let rank = env_usize("STEF_BENCH_RANK", 16);
+    let nthreads = env_usize("STEF_THREADS", 8);
+    let reps = env_usize("STEF_REPS", 5);
     let dims = [2_000usize, 5_000, 8_000];
-    let nnz = 200_000;
-    let rank = 32;
+
     let t = power_law_tensor(&dims, nnz, &[0.8, 0.5, 0.3], 42);
     let csf = build_csf(&t, &[0, 1, 2]);
-    let nthreads = rayon::current_num_threads();
+    let d = csf.ndim();
     let sched = Schedule::build(&csf, nthreads, LoadBalance::NnzBalanced);
     let factors = init_factors(&dims, rank, 7);
     let refs: Vec<&Mat> = factors.iter().collect();
+    let ctx = KernelCtx::new(&csf, &sched, refs, rank);
 
-    let mut group = c.benchmark_group("mttkrp_kernels");
-    group.sample_size(10);
+    // Memoize P^(1) — the paper's standard 3-way configuration.
+    let save = [false, true, false];
+    let mut partials = PartialStore::allocate(&csf, &save, nthreads, rank);
+    let max_dim = *csf.level_dims().iter().max().unwrap();
+    let mut ws = Workspace::new(d, rank, nthreads, max_dim);
 
-    group.bench_function("mode0_no_memo", |b| {
-        let mut partials = PartialStore::empty(3, nthreads, rank);
-        let ctx = KernelCtx::new(&csf, &sched, refs.clone(), rank);
-        let mut out = Mat::zeros(dims[0], rank);
-        b.iter(|| mode0_pass(&ctx, &mut partials, &mut out));
-    });
+    eprintln!(
+        "mttkrp A/B: dims {dims:?}, {} nnz, rank {rank}, {nthreads} logical threads, \
+         best of {reps} (legacy = pre-rewrite recursive kernels)",
+        t.nnz()
+    );
 
-    group.bench_function("mode0_saving_p1", |b| {
-        let mut partials = PartialStore::allocate(&csf, &[false, true, false], nthreads, rank);
-        let ctx = KernelCtx::new(&csf, &sched, refs.clone(), rank);
-        let mut out = Mat::zeros(dims[0], rank);
-        b.iter(|| mode0_pass(&ctx, &mut partials, &mut out));
-    });
+    let mut records: Vec<Record> = Vec::new();
 
-    // Internal mode: memoized load vs full recompute.
-    let mut partials = PartialStore::allocate(&csf, &[false, true, false], nthreads, rank);
+    // Mode 0 (root pass, stores partials; output rows are disjoint per
+    // subtree so the accumulation strategy does not apply).
     {
-        let ctx = KernelCtx::new(&csf, &sched, refs.clone(), rank);
-        let mut out = Mat::zeros(dims[0], rank);
-        mode0_pass(&ctx, &mut partials, &mut out);
-    }
-    group.bench_function("mode1_from_memo", |b| {
-        let ctx = KernelCtx::new(&csf, &sched, refs.clone(), rank);
-        b.iter(|| modeu_pass(&ctx, &mut partials, 1, ResolvedAccum::Privatized, true));
-    });
-    group.bench_function("mode1_recompute", |b| {
-        let ctx = KernelCtx::new(&csf, &sched, refs.clone(), rank);
-        b.iter(|| modeu_pass(&ctx, &mut partials, 1, ResolvedAccum::Privatized, false));
-    });
-    group.bench_function("leaf_mode_scatter", |b| {
-        let ctx = KernelCtx::new(&csf, &sched, refs.clone(), rank);
-        b.iter(|| modeu_pass(&ctx, &mut partials, 2, ResolvedAccum::Privatized, false));
-    });
-
-    // Accumulation strategies at the leaf (scatter-heavy) mode.
-    for (label, accum) in [
-        ("leaf_privatized", ResolvedAccum::Privatized),
-        ("leaf_atomic", ResolvedAccum::Atomic),
-    ] {
-        group.bench_with_input(BenchmarkId::new("accum", label), &accum, |b, &accum| {
-            let ctx = KernelCtx::new(&csf, &sched, refs.clone(), rank);
-            b.iter(|| modeu_pass(&ctx, &mut partials, 2, accum, false));
+        let mut out = Mat::zeros(csf.level_dims()[0], rank);
+        let legacy = best_ns(2, reps, || {
+            kernels_legacy::mode0_pass(&ctx, &mut partials, &mut out);
+        });
+        let views = partials.shared_views();
+        let vectorized = {
+            let mut out = Mat::zeros(csf.level_dims()[0], rank);
+            best_ns(2, reps, || {
+                mode0_with(&ctx, &views, &mut ws, &mut out);
+            })
+        };
+        records.push(Record {
+            mode: 0,
+            accum: "n/a".into(),
+            use_saved: false,
+            legacy_ns: legacy,
+            vectorized_ns: vectorized,
+            speedup: legacy / vectorized,
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_kernels);
-criterion_main!(benches);
+    // Modes 1..d, both accumulation strategies. Partials are fresh: the
+    // mode-0 timing loop just rebuilt them with fixed factors.
+    for u in 1..d {
+        let use_saved = save[u];
+        for accum in [ResolvedAccum::Privatized, ResolvedAccum::Atomic] {
+            let legacy = best_ns(2, reps, || {
+                std::hint::black_box(kernels_legacy::modeu_pass(
+                    &ctx,
+                    &mut partials,
+                    u,
+                    accum,
+                    use_saved,
+                ));
+            });
+            let views = partials.shared_views();
+            let vectorized = {
+                let mut out = Mat::zeros(csf.level_dims()[u], rank);
+                best_ns(2, reps, || {
+                    modeu_with(&ctx, &views, use_saved, u, accum, &mut ws, &mut out);
+                })
+            };
+            records.push(Record {
+                mode: u,
+                accum: accum_name(accum).into(),
+                use_saved,
+                legacy_ns: legacy,
+                vectorized_ns: vectorized,
+                speedup: legacy / vectorized,
+            });
+        }
+    }
+
+    let mut table = Table::new(&[
+        "mode",
+        "accum",
+        "memo",
+        "legacy (ms)",
+        "vectorized (ms)",
+        "speedup",
+    ]);
+    for r in &records {
+        table.row(vec![
+            r.mode.to_string(),
+            r.accum.clone(),
+            if r.use_saved { "saved" } else { "-" }.to_string(),
+            format!("{:.3}", r.legacy_ns / 1e6),
+            format!("{:.3}", r.vectorized_ns / 1e6),
+            format!("{:.2}x", r.speedup),
+        ]);
+    }
+    eprintln!("{}", table.render());
+
+    let report = Report {
+        bench: "mttkrp_legacy_vs_vectorized".into(),
+        dims: dims.to_vec(),
+        nnz: t.nnz(),
+        rank,
+        threads: nthreads,
+        reps,
+        records,
+    };
+    // `cargo bench` runs benches from the crate dir; the repo root is
+    // two levels up from crates/bench.
+    let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| std::path::PathBuf::from("."));
+    if let Some(path) = write_json_at(root.join("BENCH_mttkrp.json"), &report) {
+        eprintln!("wrote {}", path.display());
+    }
+}

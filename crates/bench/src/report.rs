@@ -210,8 +210,16 @@ pub fn write_json<T: ToJson + ?Sized>(name: &str, value: &T) -> Option<PathBuf> 
         eprintln!("warning: cannot create {}: {e}", dir.display());
         return None;
     }
-    let path = dir.join(format!("{name}.json"));
-    if let Err(e) = std::fs::write(&path, value.to_json()) {
+    write_json_at(dir.join(format!("{name}.json")), value)
+}
+
+/// Writes a [`ToJson`] value to an explicit path (used for tracked
+/// trajectory files like `BENCH_mttkrp.json` at the repo root). Same
+/// non-fatal error policy as [`write_json`].
+pub fn write_json_at<T: ToJson + ?Sized>(path: PathBuf, value: &T) -> Option<PathBuf> {
+    let mut body = value.to_json();
+    body.push('\n');
+    if let Err(e) = std::fs::write(&path, body) {
         eprintln!("warning: cannot write {}: {e}", path.display());
         return None;
     }

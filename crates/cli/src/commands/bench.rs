@@ -2,6 +2,7 @@
 //! tensor (a single-tensor slice of the paper's Figures 3/4).
 
 use crate::args::{parse, FlagSpec};
+use crate::commands::accum_by_name;
 use crate::tensor_source::load;
 use std::time::Instant;
 use stef::init_factors;
@@ -13,12 +14,14 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         ("-r", "rank"),
         ("--reps", "reps"),
         ("--threads", "threads"),
+        ("--accum", "accum"),
     ]);
     let p = parse(argv, &spec)?;
     let tensor_spec = p.one_positional("tensor")?;
     let rank: usize = p.num_or("rank", 32)?;
     let reps: usize = p.num_or("reps", 3)?;
     let threads: usize = p.num_or("threads", 0)?;
+    let accum = accum_by_name(p.str_or("accum", "auto"))?;
 
     let (label, t) = load(tensor_spec, SuiteScale::Small)?;
     println!(
@@ -29,7 +32,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
 
     let factors = init_factors(t.dims(), rank, 7);
     let mut results: Vec<(String, f64, f64)> = Vec::new();
-    for mut engine in baselines::all_engines(&t, rank, threads) {
+    for mut engine in baselines::all_engines_with(&t, rank, threads, accum) {
         let prep_start = Instant::now();
         let sweep = engine.sweep_order();
         // Warm-up (auto-tuners settle here).
@@ -84,5 +87,24 @@ mod tests {
     #[test]
     fn rejects_missing_tensor() {
         assert!(super::run(&argv(&["--rank", "2"])).is_err());
+    }
+
+    #[test]
+    fn bench_accepts_accum_flag() {
+        super::run(&argv(&[
+            "suite:nips:tiny",
+            "--rank",
+            "2",
+            "--reps",
+            "1",
+            "--accum",
+            "atomic",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn rejects_unknown_accum() {
+        assert!(super::run(&argv(&["suite:nips:tiny", "--accum", "magic"])).is_err());
     }
 }

@@ -5,7 +5,7 @@
 //! loadable from numpy/Julia/R.
 
 use crate::args::{parse, FlagSpec};
-use crate::commands::engine_by_name;
+use crate::commands::{accum_by_name, engine_by_name};
 use crate::error::CliError;
 use crate::tensor_source::load;
 use linalg::Mat;
@@ -25,6 +25,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         ("--out", "out"),
         ("--seed", "seed"),
         ("--mode", "mode"),
+        ("--accum", "accum"),
         ("--checkpoint", "checkpoint"),
         ("--checkpoint-every", "checkpoint-every"),
         ("--resume", "resume"),
@@ -38,6 +39,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     let threads: usize = p.num_or("threads", 0)?;
     let engine_name = p.str_or("engine", "stef");
     let update_mode = p.str_or("mode", "als");
+    let accum = accum_by_name(p.str_or("accum", "auto")).map_err(CliError::Usage)?;
     let checkpoint_every: usize = p.num_or("checkpoint-every", 5)?;
     let checkpoint = p
         .opt_str("checkpoint")
@@ -59,7 +61,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "decomposing {label} ({} nnz) with engine '{engine_name}', rank {rank}",
         t.nnz()
     );
-    let mut engine = engine_by_name(engine_name, &t, rank, threads)?;
+    let mut engine = engine_by_name(engine_name, &t, rank, threads, accum)?;
     let opts = CpdOptions {
         rank,
         max_iters: iters,
@@ -200,6 +202,29 @@ mod tests {
     #[test]
     fn rejects_unknown_engine() {
         assert!(super::run(&argv(&["suite:uber:tiny", "--engine", "hype"])).is_err());
+    }
+
+    #[test]
+    fn explicit_accum_strategies_run() {
+        for accum in ["auto", "privatized", "atomic"] {
+            super::run(&argv(&[
+                "suite:uber:tiny",
+                "--rank",
+                "3",
+                "--iters",
+                "2",
+                "--accum",
+                accum,
+            ]))
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_accum_as_usage_error() {
+        let err = super::run(&argv(&["suite:uber:tiny", "--accum", "sometimes"]))
+            .expect_err("bad --accum must fail");
+        assert_eq!(err.exit_code(), 2, "{err}");
     }
 
     #[test]

@@ -7,17 +7,32 @@ pub mod generate;
 pub mod list;
 pub mod validate;
 
-use stef::MttkrpEngine;
+use stef::{AccumStrategy, MttkrpEngine};
 
-/// Builds an engine by CLI name.
+/// Parses a `--accum` value. Errors are usage errors (exit code 2).
+pub fn accum_by_name(name: &str) -> Result<AccumStrategy, String> {
+    match name {
+        "auto" => Ok(AccumStrategy::Auto),
+        "privatized" => Ok(AccumStrategy::Privatized),
+        "atomic" => Ok(AccumStrategy::Atomic),
+        other => Err(format!(
+            "unknown --accum '{other}' (auto|privatized|atomic)"
+        )),
+    }
+}
+
+/// Builds an engine by CLI name. `accum` applies to the STeF engines;
+/// baselines resolve output conflicts their own way and ignore it.
 pub fn engine_by_name(
     name: &str,
     tensor: &sptensor::CooTensor,
     rank: usize,
     threads: usize,
+    accum: AccumStrategy,
 ) -> Result<Box<dyn MttkrpEngine>, String> {
     let mut opts = stef::StefOptions::new(rank);
     opts.num_threads = threads;
+    opts.accum = accum;
     Ok(match name {
         "stef" => Box::new(stef::Stef::prepare(tensor, opts)),
         "stef2" => Box::new(stef::Stef2::prepare(tensor, opts)),
@@ -72,7 +87,7 @@ mod tests {
             "hicoo",
             "reference",
         ] {
-            let e = engine_by_name(name, &t, 2, 1).unwrap();
+            let e = engine_by_name(name, &t, 2, 1, AccumStrategy::Auto).unwrap();
             assert_eq!(e.dims(), t.dims());
         }
     }
@@ -80,6 +95,17 @@ mod tests {
     #[test]
     fn unknown_engine_errors() {
         let t = uniform_tensor(&[4, 4], 10, 2);
-        assert!(engine_by_name("magic", &t, 2, 1).is_err());
+        assert!(engine_by_name("magic", &t, 2, 1, AccumStrategy::Auto).is_err());
+    }
+
+    #[test]
+    fn accum_names_parse() {
+        assert_eq!(accum_by_name("auto").unwrap(), AccumStrategy::Auto);
+        assert_eq!(
+            accum_by_name("privatized").unwrap(),
+            AccumStrategy::Privatized
+        );
+        assert_eq!(accum_by_name("atomic").unwrap(), AccumStrategy::Atomic);
+        assert!(accum_by_name("magic").is_err());
     }
 }

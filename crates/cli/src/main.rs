@@ -5,7 +5,9 @@
 //! stef analyze  <tensor>     [--rank R] [--cache-mb N]
 //! stef decompose <tensor>    [--rank R] [--iters N] [--tol T]
 //!                            [--engine NAME] [--threads N] [--out DIR] [--seed S]
+//!                            [--accum auto|privatized|atomic]
 //! stef bench    <tensor>     [--rank R] [--reps N] [--threads N]
+//!                            [--accum auto|privatized|atomic]
 //! stef validate <tensor>    [--rank R] [--engine NAME] [--tol T]
 //! stef list
 //! ```
@@ -65,9 +67,10 @@ fn print_usage() {
          \u{20}stef analyze  <tensor> [--rank R] [--cache-mb N]\n\
          \u{20}stef decompose <tensor> [--rank R] [--iters N] [--tol T]\n\
          \u{20}                        [--engine NAME] [--threads N] [--out DIR] [--seed S]\n\
+         \u{20}                        [--accum auto|privatized|atomic]\n\
          \u{20}                        [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n\
-         \u{20}stef bench    <tensor> [--rank R] [--reps N] [--threads N]\n\
-         \u{20}stef validate <tensor> [--rank R] [--engine NAME] [--tol T]\n\
+         \u{20}stef bench    <tensor> [--rank R] [--reps N] [--threads N] [--accum auto|privatized|atomic]\n\
+         \u{20}stef validate <tensor> [--rank R] [--engine NAME] [--tol T] [--accum auto|privatized|atomic]\n\
          \u{20}stef list\n\
          \n\
          <tensor> = path to a .tns file, or suite:<name> (see `stef list`).\n\

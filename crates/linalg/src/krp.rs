@@ -49,12 +49,47 @@ pub fn khatri_rao_chain(mats: &[&Mat]) -> Mat {
     acc
 }
 
+/// Rank-block width of the row primitives: 8 f64 lanes cover one AVX-512
+/// register or two AVX2 registers, and give LLVM a fixed-trip inner loop
+/// it reliably turns into packed math.
+const LANES: usize = 8;
+
+/// Fused multiply-add `a·b + c` — a real `vfma` only when the target
+/// guarantees one. Without the `fma` feature, `f64::mul_add` lowers to a
+/// (slow, non-vectorizable) libm call, so we fall back to the plain
+/// two-rounding form, which also keeps results bit-identical with the
+/// pre-vectorization kernels.
+#[inline(always)]
+fn fmadd(a: f64, b: f64, c: f64) -> f64 {
+    #[cfg(target_feature = "fma")]
+    {
+        a.mul_add(b, c)
+    }
+    #[cfg(not(target_feature = "fma"))]
+    {
+        a * b + c
+    }
+}
+
 /// `out = x ⊙ y` for single rows — the `k_i ← k_{i-1} ⊙ A⁽ⁱ⁾[idx,:]` step.
 #[inline]
 pub fn krp_row(out: &mut [f64], x: &[f64], y: &[f64]) {
     debug_assert_eq!(out.len(), x.len());
     debug_assert_eq!(out.len(), y.len());
-    for ((o, &a), &b) in out.iter_mut().zip(x).zip(y) {
+    let head = out.len() - out.len() % LANES;
+    let (oh, ot) = out.split_at_mut(head);
+    let (xh, xt) = x.split_at(head);
+    let (yh, yt) = y.split_at(head);
+    for ((o, a), b) in oh
+        .chunks_exact_mut(LANES)
+        .zip(xh.chunks_exact(LANES))
+        .zip(yh.chunks_exact(LANES))
+    {
+        for l in 0..LANES {
+            o[l] = a[l] * b[l];
+        }
+    }
+    for ((o, &a), &b) in ot.iter_mut().zip(xt).zip(yt) {
         *o = a * b;
     }
 }
@@ -65,8 +100,21 @@ pub fn krp_row(out: &mut [f64], x: &[f64], y: &[f64]) {
 pub fn hadamard_row(acc: &mut [f64], x: &[f64], y: &[f64]) {
     debug_assert_eq!(acc.len(), x.len());
     debug_assert_eq!(acc.len(), y.len());
-    for ((a, &b), &c) in acc.iter_mut().zip(x).zip(y) {
-        *a += b * c;
+    let head = acc.len() - acc.len() % LANES;
+    let (ah, at) = acc.split_at_mut(head);
+    let (xh, xt) = x.split_at(head);
+    let (yh, yt) = y.split_at(head);
+    for ((a, b), c) in ah
+        .chunks_exact_mut(LANES)
+        .zip(xh.chunks_exact(LANES))
+        .zip(yh.chunks_exact(LANES))
+    {
+        for l in 0..LANES {
+            a[l] = fmadd(b[l], c[l], a[l]);
+        }
+    }
+    for ((a, &b), &c) in at.iter_mut().zip(xt).zip(yt) {
+        *a = fmadd(b, c, *a);
     }
 }
 
@@ -75,8 +123,60 @@ pub fn hadamard_row(acc: &mut [f64], x: &[f64], y: &[f64]) {
 #[inline]
 pub fn axpy_row(acc: &mut [f64], s: f64, x: &[f64]) {
     debug_assert_eq!(acc.len(), x.len());
-    for (a, &b) in acc.iter_mut().zip(x) {
-        *a += s * b;
+    let head = acc.len() - acc.len() % LANES;
+    let (ah, at) = acc.split_at_mut(head);
+    let (xh, xt) = x.split_at(head);
+    for (a, b) in ah.chunks_exact_mut(LANES).zip(xh.chunks_exact(LANES)) {
+        for l in 0..LANES {
+            a[l] = fmadd(s, b[l], a[l]);
+        }
+    }
+    for (a, &b) in at.iter_mut().zip(xt) {
+        *a = fmadd(s, b, *a);
+    }
+}
+
+/// `acc += (s · x) ⊙ y`, fused — a single-leaf fiber's contribution
+/// `t = s·x` followed immediately by `acc += t ⊙ y`, without
+/// materializing `t`. The product is associated as `(s·xᵢ)·yᵢ` so the
+/// roundings match the unfused two-step sequence exactly.
+#[inline]
+pub fn krp_axpy(acc: &mut [f64], s: f64, x: &[f64], y: &[f64]) {
+    debug_assert_eq!(acc.len(), x.len());
+    debug_assert_eq!(acc.len(), y.len());
+    let head = acc.len() - acc.len() % LANES;
+    let (ah, at) = acc.split_at_mut(head);
+    let (xh, xt) = x.split_at(head);
+    let (yh, yt) = y.split_at(head);
+    for ((a, b), c) in ah
+        .chunks_exact_mut(LANES)
+        .zip(xh.chunks_exact(LANES))
+        .zip(yh.chunks_exact(LANES))
+    {
+        for l in 0..LANES {
+            a[l] = fmadd(s * b[l], c[l], a[l]);
+        }
+    }
+    for ((a, &b), &c) in at.iter_mut().zip(xt).zip(yt) {
+        *a = fmadd(s * b, c, *a);
+    }
+}
+
+/// `out = s · x` — scales a row into a scratch buffer (the atomic
+/// emitters build their update row with this before the CAS loop).
+#[inline]
+pub fn scale_row_into(out: &mut [f64], s: f64, x: &[f64]) {
+    debug_assert_eq!(out.len(), x.len());
+    let head = out.len() - out.len() % LANES;
+    let (oh, ot) = out.split_at_mut(head);
+    let (xh, xt) = x.split_at(head);
+    for (o, b) in oh.chunks_exact_mut(LANES).zip(xh.chunks_exact(LANES)) {
+        for l in 0..LANES {
+            o[l] = s * b[l];
+        }
+    }
+    for (o, &b) in ot.iter_mut().zip(xt) {
+        *o = s * b;
     }
 }
 
@@ -147,6 +247,45 @@ mod tests {
         assert_eq!(acc2, [2.5, 4.5, 6.5]);
 
         assert_eq!(dot_row(&x, &y), 32.0);
+
+        let mut acc3 = [1.0, 1.0, 1.0];
+        krp_axpy(&mut acc3, 2.0, &x, &y);
+        // acc += (2·x) ⊙ y = [8, 20, 36] on top of ones.
+        assert_eq!(acc3, [9.0, 21.0, 37.0]);
+
+        let mut out2 = [0.0; 3];
+        scale_row_into(&mut out2, -0.5, &x);
+        assert_eq!(out2, [-0.5, -1.0, -1.5]);
+    }
+
+    #[test]
+    fn blocked_paths_match_scalar_tail_for_long_rows() {
+        // Rows longer than one block exercise the LANES-blocked loop and
+        // the remainder together; results must equal a naive loop.
+        for n in [1usize, 7, 8, 9, 16, 19, 32] {
+            let x: Vec<f64> = (0..n).map(|i| 0.25 * i as f64 - 1.0).collect();
+            let y: Vec<f64> = (0..n).map(|i| 1.0 - 0.125 * i as f64).collect();
+            let mut acc = vec![0.5; n];
+            hadamard_row(&mut acc, &x, &y);
+            for i in 0..n {
+                assert_eq!(acc[i], 0.5 + x[i] * y[i], "hadamard n={n} i={i}");
+            }
+            let mut acc = vec![0.5; n];
+            axpy_row(&mut acc, 3.0, &x);
+            for i in 0..n {
+                assert_eq!(acc[i], 0.5 + 3.0 * x[i], "axpy n={n} i={i}");
+            }
+            let mut acc = vec![0.5; n];
+            krp_axpy(&mut acc, 3.0, &x, &y);
+            for i in 0..n {
+                assert_eq!(acc[i], 0.5 + (3.0 * x[i]) * y[i], "krp_axpy n={n} i={i}");
+            }
+            let mut out = vec![0.0; n];
+            krp_row(&mut out, &x, &y);
+            for i in 0..n {
+                assert_eq!(out[i], x[i] * y[i], "krp n={n} i={i}");
+            }
+        }
     }
 
     #[test]

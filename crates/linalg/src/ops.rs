@@ -37,12 +37,23 @@ pub fn gram(a: &Mat) -> Mat {
             acc
         })
         .collect();
+    // Parallel element-wise reduction of the per-worker partials. Each
+    // output element sums its partials in worker order, so the result is
+    // bit-identical to the serial reduction regardless of how the chunks
+    // are distributed.
     let mut out = vec![0.0; r * r];
-    for p in partials {
-        for (o, v) in out.iter_mut().zip(p) {
-            *o += v;
-        }
-    }
+    let red_chunk = (r * r / rayon::current_num_threads().max(1)).max(64);
+    out.par_chunks_mut(red_chunk)
+        .enumerate()
+        .for_each(|(ci, dst)| {
+            let base = ci * red_chunk;
+            let len = dst.len();
+            for p in &partials {
+                for (o, &v) in dst.iter_mut().zip(&p[base..base + len]) {
+                    *o += v;
+                }
+            }
+        });
     let mut g = Mat::from_vec(r, r, out);
     symmetrize(&mut g);
     g
@@ -101,15 +112,22 @@ pub fn matmul(a: &Mat, b: &Mat) -> Mat {
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     let mut out = Mat::zeros(m, n);
     if m >= PAR_THRESHOLD {
+        // Row *blocks* rather than single rows: far fewer parallel tasks
+        // and each worker streams over a contiguous output range.
+        let block = (m / rayon::current_num_threads().max(1)).max(256);
         out.as_mut_slice()
-            .par_chunks_mut(n)
+            .par_chunks_mut(block * n)
             .enumerate()
-            .for_each(|(i, orow)| {
-                for p in 0..k {
-                    let aip = a[(i, p)];
-                    if aip != 0.0 {
-                        for (o, &bv) in orow.iter_mut().zip(b.row(p)) {
-                            *o += aip * bv;
+            .for_each(|(ci, oblock)| {
+                let row0 = ci * block;
+                for (local, orow) in oblock.chunks_exact_mut(n).enumerate() {
+                    let i = row0 + local;
+                    for p in 0..k {
+                        let aip = a[(i, p)];
+                        if aip != 0.0 {
+                            for (o, &bv) in orow.iter_mut().zip(b.row(p)) {
+                                *o += aip * bv;
+                            }
                         }
                     }
                 }

@@ -268,6 +268,37 @@ mod tests {
     }
 
     #[test]
+    fn accum_model_emit_term_matches_counted_update_stream() {
+        // The privatized accumulation cost is (2T+1)·n·R bookkeeping plus
+        // the m·R emit stream. That emit stream is exactly the per-mode
+        // write traffic the instrumented traversal counts, which pins the
+        // cost model's `m` to the updates the kernels actually perform.
+        let t = full_root_tensor(7);
+        let csf = build_csf(&t, &[0, 1, 2]);
+        let rank = 8;
+        let profile = LevelProfile {
+            dims: csf.level_dims().to_vec(),
+            fibers: csf.fiber_counts(),
+            rank,
+            cache_elems: 0,
+        };
+        let counted = count_sweep(&csf, &[false; 3], rank);
+        for nthreads in [1usize, 4] {
+            for u in 1..3 {
+                let c = crate::model::accum_costs(&profile, u, nthreads);
+                let bookkeeping =
+                    (2 * nthreads + 1) as f64 * (csf.level_dims()[u] * rank) as f64;
+                let emit = c.privatized - bookkeeping;
+                assert!(
+                    (emit - counted.per_mode[u].1).abs() < 1e-9,
+                    "level {u}, T={nthreads}: emit {emit} vs counted {}",
+                    counted.per_mode[u].1
+                );
+            }
+        }
+    }
+
+    #[test]
     fn per_node_traversal_matches_per_level_arithmetic() {
         let t = full_root_tensor(5);
         let csf = build_csf(&t, &[0, 1, 2]);

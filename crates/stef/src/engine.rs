@@ -3,11 +3,15 @@
 //! workspace (STeF, STeF2, all baselines, the COO reference) implements
 //! so that the CPD driver and the benchmark harness treat them uniformly.
 
-use crate::kernels::{mode0_pass, modeu_pass, KernelCtx, ResolvedAccum};
-use crate::model::{best_memo_set, choose_plan, op_count_memo_set, LevelProfile, MemoPlan};
-use crate::options::{AccumStrategy, MemoPolicy, ModeSwitchPolicy, StefOptions};
+use crate::kernels::{mode0_with, modeu_with, KernelCtx, ResolvedAccum};
+use crate::kernels_legacy;
+use crate::model::{
+    best_memo_set, choose_plan, op_count_memo_set, prefer_privatized, LevelProfile, MemoPlan,
+};
+use crate::options::{AccumStrategy, KernelPath, MemoPolicy, ModeSwitchPolicy, StefOptions};
 use crate::partials::PartialStore;
 use crate::schedule::Schedule;
+use crate::workspace::Workspace;
 use linalg::Mat;
 use sptensor::{build_csf, inverse_permutation, sort_modes_by_length, CooTensor, Csf};
 
@@ -64,6 +68,11 @@ pub struct Stef {
     /// Set by [`MttkrpEngine::degrade_to_unmemoized`]: saved partials are
     /// never read again (recovery from suspected corruption).
     memo_disabled: bool,
+    /// Conflict strategy per CSF level, resolved once at preparation
+    /// (index 0 is unused — the root pass owns its rows).
+    accum_by_level: Vec<ResolvedAccum>,
+    /// Kernel scratch, sized at preparation and reused by every pass.
+    ws: Workspace,
 }
 
 impl Stef {
@@ -214,6 +223,41 @@ impl Stef {
             PartialStore::empty(d, nthreads, opts.rank)
         };
         let level_of_mode = inverse_permutation(csf.mode_order());
+
+        // --- accumulation decision (one per consumer level) ---
+        let accum_by_level: Vec<ResolvedAccum> = (0..d)
+            .map(|level| {
+                if level == 0 {
+                    // Root rows are thread-owned; no strategy applies.
+                    return ResolvedAccum::Privatized;
+                }
+                match opts.accum {
+                    AccumStrategy::Privatized => ResolvedAccum::Privatized,
+                    AccumStrategy::Atomic => ResolvedAccum::Atomic,
+                    AccumStrategy::Auto => {
+                        let bytes = nthreads
+                            * csf.level_dims()[level]
+                            * opts.rank
+                            * std::mem::size_of::<f64>();
+                        if bytes > opts.privatize_cap_bytes {
+                            // Hard memory cap regardless of the model.
+                            ResolvedAccum::Atomic
+                        } else if prefer_privatized(&profile, level, nthreads) {
+                            ResolvedAccum::Privatized
+                        } else {
+                            ResolvedAccum::Atomic
+                        }
+                    }
+                }
+            })
+            .collect();
+        let max_priv_rows = (1..d)
+            .filter(|&l| accum_by_level[l] == ResolvedAccum::Privatized)
+            .map(|l| csf.level_dims()[l])
+            .max()
+            .unwrap_or(0);
+        let ws = Workspace::new(d, opts.rank, nthreads, max_priv_rows);
+
         Ok(Stef {
             sched,
             partials,
@@ -224,6 +268,8 @@ impl Stef {
             norm_sq: coo.norm_sq(),
             partials_fresh: false,
             memo_disabled: false,
+            accum_by_level,
+            ws,
             csf,
         })
     }
@@ -264,22 +310,21 @@ impl Stef {
         &self.opts
     }
 
-    fn resolved_accum(&self, level: usize) -> ResolvedAccum {
-        match self.opts.accum {
-            AccumStrategy::Privatized => ResolvedAccum::Privatized,
-            AccumStrategy::Atomic => ResolvedAccum::Atomic,
-            AccumStrategy::Auto => {
-                let bytes = self.sched.nthreads()
-                    * self.csf.level_dims()[level]
-                    * self.opts.rank
-                    * std::mem::size_of::<f64>();
-                if bytes <= self.opts.privatize_cap_bytes {
-                    ResolvedAccum::Privatized
-                } else {
-                    ResolvedAccum::Atomic
-                }
-            }
-        }
+    /// The conflict strategy preparation resolved for a CSF level (index
+    /// 0 reports `Privatized` but the root pass uses neither strategy).
+    pub fn resolved_accum(&self, level: usize) -> ResolvedAccum {
+        self.accum_by_level[level]
+    }
+
+    /// Workspace arena growths since preparation — 0 is the kernels'
+    /// no-steady-state-allocation guarantee.
+    pub fn workspace_alloc_events(&self) -> u64 {
+        self.ws.alloc_events()
+    }
+
+    /// Bytes held by the kernel workspace.
+    pub fn workspace_bytes(&self) -> usize {
+        self.ws.bytes()
     }
 
     /// MTTKRP for a CSF *level* with factors given in level order.
@@ -289,13 +334,30 @@ impl Stef {
         let ctx = KernelCtx::new(&self.csf, &self.sched, level_factors, self.opts.rank);
         if level == 0 {
             let mut out = Mat::zeros(self.csf.level_dims()[0], self.opts.rank);
-            mode0_pass(&ctx, &mut self.partials, &mut out);
+            match self.opts.kernel_path {
+                KernelPath::Vectorized => {
+                    let views = self.partials.shared_views();
+                    mode0_with(&ctx, &views, &mut self.ws, &mut out);
+                }
+                KernelPath::Legacy => {
+                    kernels_legacy::mode0_pass(&ctx, &mut self.partials, &mut out);
+                }
+            }
             self.partials_fresh = true;
-            out
-        } else {
-            let accum = self.resolved_accum(level);
-            let use_saved = self.partials_fresh && !self.memo_disabled;
-            modeu_pass(&ctx, &mut self.partials, level, accum, use_saved)
+            return out;
+        }
+        let accum = self.accum_by_level[level];
+        let use_saved = self.partials_fresh && !self.memo_disabled;
+        match self.opts.kernel_path {
+            KernelPath::Vectorized => {
+                let mut out = Mat::zeros(self.csf.level_dims()[level], self.opts.rank);
+                let views = self.partials.shared_views();
+                modeu_with(&ctx, &views, use_saved, level, accum, &mut self.ws, &mut out);
+                out
+            }
+            KernelPath::Legacy => {
+                kernels_legacy::modeu_pass(&ctx, &mut self.partials, level, accum, use_saved)
+            }
         }
     }
 
@@ -555,6 +617,89 @@ mod tests {
         let got = engine.mttkrp(&factors, 1);
         assert_mat_approx_eq(&got, &t.mttkrp_reference(&factors, 1), 0.0);
         assert!((engine.norm_sq() - t.norm_sq()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn legacy_kernel_path_matches_reference() {
+        let t = pseudo_tensor(&[14, 11, 9], 500, 16);
+        let mut opts = StefOptions::new(4);
+        opts.kernel_path = KernelPath::Legacy;
+        let engine = Stef::prepare(&t, opts);
+        check_engine_against_reference(engine, &t, 4, 17);
+    }
+
+    #[test]
+    fn kernel_paths_agree_closely() {
+        let t = pseudo_tensor(&[14, 11, 9, 7], 700, 18);
+        let factors = rand_factors(t.dims(), 5, 19);
+        let mut vec_opts = StefOptions::new(5);
+        vec_opts.memo = MemoPolicy::SaveAll;
+        let mut leg_opts = vec_opts.clone();
+        leg_opts.kernel_path = KernelPath::Legacy;
+        let mut a = Stef::prepare(&t, vec_opts);
+        let mut b = Stef::prepare(&t, leg_opts);
+        for mode in a.sweep_order() {
+            let ga = a.mttkrp(&factors, mode);
+            let gb = b.mttkrp(&factors, mode);
+            // Bit-identical without FMA codegen; approximately equal with.
+            let tol = if cfg!(target_feature = "fma") { 1e-12 } else { 0.0 };
+            assert_mat_approx_eq(&ga, &gb, tol);
+        }
+    }
+
+    #[test]
+    fn forced_accum_strategies_are_respected() {
+        let t = pseudo_tensor(&[10, 9, 8], 400, 20);
+        for (strategy, expect) in [
+            (AccumStrategy::Privatized, ResolvedAccum::Privatized),
+            (AccumStrategy::Atomic, ResolvedAccum::Atomic),
+        ] {
+            let mut opts = StefOptions::new(3);
+            opts.accum = strategy;
+            let engine = Stef::prepare(&t, opts);
+            for level in 1..3 {
+                assert_eq!(engine.resolved_accum(level), expect);
+            }
+            check_engine_against_reference(engine, &t, 3, 21);
+        }
+    }
+
+    #[test]
+    fn auto_accum_follows_model_and_cap() {
+        let t = pseudo_tensor(&[10, 9, 8], 400, 22);
+        // Generous cap: Auto should agree with the model's preference.
+        let mut opts = StefOptions::new(3);
+        opts.num_threads = 4;
+        let engine = Stef::prepare(&t, opts.clone());
+        let profile = LevelProfile::from_csf(engine.csf(), 3, opts.cache_bytes);
+        for level in 1..3 {
+            let expect = if prefer_privatized(&profile, level, 4) {
+                ResolvedAccum::Privatized
+            } else {
+                ResolvedAccum::Atomic
+            };
+            assert_eq!(engine.resolved_accum(level), expect, "level {level}");
+        }
+        // A 1-byte cap forces atomics no matter what the model says.
+        opts.privatize_cap_bytes = 1;
+        let capped = Stef::prepare(&t, opts);
+        for level in 1..3 {
+            assert_eq!(capped.resolved_accum(level), ResolvedAccum::Atomic);
+        }
+    }
+
+    #[test]
+    fn engine_sweeps_never_grow_the_workspace() {
+        let t = pseudo_tensor(&[16, 12, 10, 8], 900, 23);
+        let mut engine = Stef::prepare(&t, StefOptions::new(6));
+        let factors = rand_factors(t.dims(), 6, 24);
+        for _ in 0..3 {
+            for mode in engine.sweep_order() {
+                let _ = engine.mttkrp(&factors, mode);
+            }
+        }
+        assert_eq!(engine.workspace_alloc_events(), 0);
+        assert!(engine.workspace_bytes() > 0);
     }
 
     #[test]

@@ -2,12 +2,12 @@
 //!
 //! Two passes cover all modes of the CSF:
 //!
-//! * [`mode0_pass`] — the downward/upward traversal that computes the
+//! * [`mode0_with`] — the downward/upward traversal that computes the
 //!   root-mode MTTKRP `Ā⁽⁰⁾` *and* stores every flagged partial result
 //!   `P^(i)` on the way (TTM followed by a chain of mTTV operations,
 //!   Fig. 1a). Output rows are owned per thread; the ≤ 2 boundary rows
 //!   per thread are updated atomically (Algorithm 4, lines 8–12).
-//! * [`modeu_pass`] — MTTKRP for a non-root level `u`. The traversal
+//! * [`modeu_with`] — MTTKRP for a non-root level `u`. The traversal
 //!   builds the Khatri–Rao row `k_{u-1}` going down (Algorithm 5, line 7)
 //!   and at each level-`u` node obtains `t_u` either from the memoized
 //!   `P^(u)` (Fig. 1b / Algorithm 6), by recomputing from a deeper saved
@@ -16,16 +16,45 @@
 //!   level needs no `t`: it scatters `val · k_{d-2}` directly (the KRP
 //!   form of Algorithm 5, line 14).
 //!
-//! Both passes run one rayon task per *logical thread* of the
-//! [`Schedule`]; the schedule — not rayon — defines who owns what, so
-//! results are identical for any physical core count.
+//! Both passes run one task per *logical thread* of the [`Schedule`];
+//! the schedule — not the physical worker pool — defines who owns what,
+//! so results are identical for any physical core count.
+//!
+//! ## Execution strategy
+//!
+//! This is the hot path of every ALS iteration, engineered for zero
+//! steady-state overhead:
+//!
+//! * **No heap allocation inside a pass.** All scratch rows, traversal
+//!   cursors and privatized output copies live in an engine-owned
+//!   [`Workspace`]; the passes only slice into its arenas. (The
+//!   [`mode0_pass`]/[`modeu_pass`] convenience wrappers build a
+//!   throw-away workspace per call for baselines and tests — the engine
+//!   never goes through them.)
+//! * **Monomorphized emitters.** The output update is a generic
+//!   [`Emitter`] parameter — one fully inlined instantiation per
+//!   accumulation strategy — instead of the former `&mut dyn FnMut`
+//!   indirect call per emitted row.
+//! * **Iterative traversal.** The recursive `walk_down`/`walk_u` pair
+//!   became explicit-stack loops over per-level `cur`/`end` cursors,
+//!   with the two hottest shapes special-cased into tight loops: leaf
+//!   fibers (a run of `axpy_row`) and memoized children (a run of
+//!   `hadamard_row`); single-leaf fibers fuse into one `krp_axpy`.
+//! * **Deterministic parallel reduction.** Privatized outputs are
+//!   reduced chunk-parallel over the flat `n_u·R` range, each element
+//!   summed in logical-thread order — bit-identical to the old serial
+//!   reduction, without its `O(T·n_u·R)` single-core cost.
+//!
+//! All arithmetic orderings match the legacy kernels exactly (see
+//! `kernels_legacy.rs`), so without FMA codegen the two paths produce
+//! bit-identical results — a property the differential tests pin.
 
 use crate::partials::PartialStore;
 use crate::schedule::Schedule;
-use crate::sync::SharedRows;
-use linalg::krp::{axpy_row, hadamard_row, krp_row};
+use crate::sync::{fanout, SharedRows, SharedSlice};
+use crate::workspace::Workspace;
+use linalg::krp::{axpy_row, hadamard_row, krp_axpy, krp_row, scale_row_into};
 use linalg::Mat;
-use rayon::prelude::*;
 use sptensor::Csf;
 
 /// Everything a kernel invocation needs, borrowed for its duration.
@@ -72,88 +101,213 @@ pub enum ResolvedAccum {
 }
 
 // ---------------------------------------------------------------------
+// Emitters
+// ---------------------------------------------------------------------
+
+/// How a level-`u` contribution reaches the output matrix. Generic so
+/// each accumulation strategy gets its own fully inlined kernel body.
+trait Emitter {
+    /// `out[fid] += a ⊙ b`.
+    fn product(&mut self, fid: usize, a: &[f64], b: &[f64]);
+    /// `out[fid] += s · x`.
+    fn scaled(&mut self, fid: usize, s: f64, x: &[f64]);
+}
+
+/// Writes into this thread's private copy of the output — plain fused
+/// row updates, no intermediate `upd` row needed.
+struct PrivEmitter<'a> {
+    local: &'a mut [f64],
+    r: usize,
+}
+
+impl Emitter for PrivEmitter<'_> {
+    #[inline(always)]
+    fn product(&mut self, fid: usize, a: &[f64], b: &[f64]) {
+        let base = fid * self.r;
+        hadamard_row(&mut self.local[base..base + self.r], a, b);
+    }
+
+    #[inline(always)]
+    fn scaled(&mut self, fid: usize, s: f64, x: &[f64]) {
+        let base = fid * self.r;
+        axpy_row(&mut self.local[base..base + self.r], s, x);
+    }
+}
+
+/// Builds the update row in scratch, then atomically adds it into the
+/// shared output.
+struct AtomicEmitter<'a, 'b> {
+    shared: &'a SharedRows<'b>,
+    upd: &'a mut [f64],
+}
+
+impl Emitter for AtomicEmitter<'_, '_> {
+    #[inline(always)]
+    fn product(&mut self, fid: usize, a: &[f64], b: &[f64]) {
+        krp_row(self.upd, a, b);
+        self.shared.atomic_add_row(fid, self.upd);
+    }
+
+    #[inline(always)]
+    fn scaled(&mut self, fid: usize, s: f64, x: &[f64]) {
+        scale_row_into(self.upd, s, x);
+        self.shared.atomic_add_row(fid, self.upd);
+    }
+}
+
+// ---------------------------------------------------------------------
 // Mode-0 pass
 // ---------------------------------------------------------------------
 
-/// Computes `Ā⁽⁰⁾` and stores all partials flagged in `partials`.
-///
-/// `out` must be `level_dims[0] × R`; it is zeroed here.
-pub fn mode0_pass(ctx: &KernelCtx<'_>, partials: &mut PartialStore, out: &mut Mat) {
+/// Computes `Ā⁽⁰⁾` and stores all partials flagged in `views`, using the
+/// caller's workspace. `out` must be `level_dims[0] × R`; it is zeroed
+/// here. Allocation-free once `ws` is warm.
+pub fn mode0_with(
+    ctx: &KernelCtx<'_>,
+    views: &[Option<SharedRows<'_>>],
+    ws: &mut Workspace,
+    out: &mut Mat,
+) {
     let d = ctx.csf.ndim();
     let r = ctx.rank;
+    assert!(d >= 2, "tensors have at least 2 modes");
+    assert_eq!(views.len(), d);
     assert_eq!(out.rows(), ctx.csf.level_dims()[0]);
     assert_eq!(out.cols(), r);
-    assert_eq!(partials.nthreads(), ctx.sched.nthreads());
+    let nthreads = ctx.sched.nthreads();
+    ws.ensure(d, r, nthreads, 0);
     out.fill_zero();
 
-    let views = partials.shared_views();
+    let parts = ws.parts();
+    let (rs, astride, sstride) = (parts.row_stride, parts.arena_stride, parts.stack_stride);
+    let arena = SharedSlice::new(&mut parts.scratch[..nthreads * astride]);
+    let stackmem = SharedSlice::new(&mut parts.stacks[..nthreads * sstride]);
     let out_shared = SharedRows::new(out.as_mut_slice(), r);
-    let nthreads = ctx.sched.nthreads();
 
-    (0..nthreads).into_par_iter().for_each(|th| {
-        let mut scratch: Vec<Vec<f64>> = (0..d).map(|_| vec![0.0; r]).collect();
+    fanout(nthreads, |th| {
+        // SAFETY: each logical thread touches only its own arena span.
+        let scr = unsafe { arena.range_mut(th * astride, (th + 1) * astride) };
+        let stk = unsafe { stackmem.range_mut(th * sstride, (th + 1) * sstride) };
+        // Layout: `d` KRP rows (unused here), `d` accumulator rows, upd.
+        let tbuf = &mut scr[d * rs..2 * d * rs];
+        let (cur, end) = stk.split_at_mut(d);
+        let root_fids = ctx.csf.fids(0);
         let (rlo, rhi) = ctx.sched.root_range(th);
         for idx0 in rlo..rhi {
-            scratch[0].fill(0.0);
-            if d == 1 {
-                unreachable!("tensors have at least 2 modes");
-            }
-            walk_down(ctx, th, 1, idx0, &mut scratch, &views);
-            let fid = ctx.csf.fids(0)[idx0] as usize;
+            tbuf[..r].fill(0.0);
+            subtree_down(ctx, th, idx0, views, tbuf, rs, cur, end);
+            let fid = root_fids[idx0] as usize;
             if ctx.sched.is_boundary(th, 0, idx0) {
                 // Possibly shared with a neighbour: atomic accumulate.
-                out_shared.atomic_add_row(fid, &scratch[0]);
+                out_shared.atomic_add_row(fid, &tbuf[..r]);
             } else {
                 // SAFETY: a non-boundary root node — and hence its output
                 // row, since root fids are unique — is owned by exactly
                 // this thread.
-                let row = unsafe { out_shared.row_mut(fid) };
-                row.copy_from_slice(&scratch[0]);
+                unsafe { out_shared.row_mut(fid) }.copy_from_slice(&tbuf[..r]);
             }
         }
     });
 }
 
-/// Recursive worker of the mode-0 pass: accumulates the subtree
-/// contribution of node `pindex`'s children into `scratch[level-1]`,
-/// storing `t_level` rows into memoized buffers on the way up.
-fn walk_down(
+/// Accumulates the (thread-clamped) subtree contribution of root node
+/// `idx0` into `tbuf[0..r]`, storing flagged partials on the way up —
+/// the explicit-stack form of the old recursive `walk_down`.
+#[allow(clippy::too_many_arguments)]
+fn subtree_down(
     ctx: &KernelCtx<'_>,
     th: usize,
-    level: usize,
-    pindex: usize,
-    scratch: &mut [Vec<f64>],
+    idx0: usize,
     views: &[Option<SharedRows<'_>>],
+    tbuf: &mut [f64],
+    rs: usize,
+    cur: &mut [usize],
+    end: &mut [usize],
 ) {
     let d = ctx.csf.ndim();
-    let (lo, hi) = child_range(ctx.csf, level, pindex);
-    let (clo, chi) = ctx.sched.clamp(th, level, lo, hi);
-    if level == d - 1 {
-        let fids = ctx.csf.fids(level);
-        let vals = ctx.csf.vals();
-        let t_prev = &mut scratch[level - 1];
-        let leaf_factor = ctx.factors[level];
-        for idx in clo..chi {
-            axpy_row(t_prev, vals[idx], leaf_factor.row(fids[idx] as usize));
+    let r = ctx.rank;
+    let csf = ctx.csf;
+    let sched = ctx.sched;
+    let vals = csf.vals();
+    if d == 2 {
+        // Root children are leaves: one tight scatter-free loop.
+        let (lo, hi) = child_range(csf, 1, idx0);
+        let (clo, chi) = sched.clamp(th, 1, lo, hi);
+        let fids = csf.fids(1);
+        let leaf = ctx.factors[1];
+        let t0 = &mut tbuf[..r];
+        for c in clo..chi {
+            axpy_row(t0, vals[c], leaf.row(fids[c] as usize));
         }
         return;
     }
-    let fids = ctx.csf.fids(level);
-    for idx in clo..chi {
-        scratch[level].fill(0.0);
-        walk_down(ctx, th, level + 1, idx, scratch, views);
-        if let Some(view) = &views[level] {
-            // SAFETY: the shift-by-thread-id rule makes row `idx + th`
-            // exclusively this thread's (see partials.rs).
-            let dst = unsafe { view.row_mut(idx + th) };
-            dst.copy_from_slice(&scratch[level]);
+    let mut level = 1usize;
+    {
+        let (lo, hi) = child_range(csf, 1, idx0);
+        let (clo, chi) = sched.clamp(th, 1, lo, hi);
+        cur[1] = clo;
+        end[1] = chi;
+    }
+    loop {
+        if cur[level] < end[level] {
+            let idx = cur[level];
+            if level == d - 2 {
+                // This node's children are leaves: open + close inline.
+                let (lo, hi) = child_range(csf, d - 1, idx);
+                let (clo, chi) = sched.clamp(th, d - 1, lo, hi);
+                let frow = ctx.factors[level].row(csf.fids(level)[idx] as usize);
+                let leaf_fids = csf.fids(d - 1);
+                let leaf = ctx.factors[d - 1];
+                let (thead, ttail) = tbuf.split_at_mut(level * rs);
+                let tprev = &mut thead[(level - 1) * rs..(level - 1) * rs + r];
+                if chi - clo == 1 && views[level].is_none() {
+                    // Single leaf and nothing to memoize: fuse the zero +
+                    // axpy + hadamard triple into one krp_axpy.
+                    krp_axpy(tprev, vals[clo], leaf.row(leaf_fids[clo] as usize), frow);
+                } else {
+                    let tl = &mut ttail[..r];
+                    tl.fill(0.0);
+                    for c in clo..chi {
+                        axpy_row(tl, vals[c], leaf.row(leaf_fids[c] as usize));
+                    }
+                    if let Some(view) = &views[level] {
+                        // SAFETY: shift-by-thread-id makes row `idx + th`
+                        // exclusively this thread's (see partials.rs).
+                        unsafe { view.row_mut(idx + th) }.copy_from_slice(tl);
+                    }
+                    hadamard_row(tprev, tl, frow);
+                }
+                cur[level] += 1;
+            } else {
+                // Internal node: zero its accumulator and descend.
+                tbuf[level * rs..level * rs + r].fill(0.0);
+                let (lo, hi) = child_range(csf, level + 1, idx);
+                let (clo, chi) = sched.clamp(th, level + 1, lo, hi);
+                level += 1;
+                cur[level] = clo;
+                end[level] = chi;
+            }
+        } else {
+            // All children of the open node one level up are done.
+            level -= 1;
+            if level == 0 {
+                return;
+            }
+            let idx = cur[level];
+            if let Some(view) = &views[level] {
+                // SAFETY: see above.
+                unsafe { view.row_mut(idx + th) }
+                    .copy_from_slice(&tbuf[level * rs..level * rs + r]);
+            }
+            let frow = ctx.factors[level].row(csf.fids(level)[idx] as usize);
+            let (thead, ttail) = tbuf.split_at_mut(level * rs);
+            hadamard_row(
+                &mut thead[(level - 1) * rs..(level - 1) * rs + r],
+                &ttail[..r],
+                frow,
+            );
+            cur[level] += 1;
         }
-        let (head, tail) = scratch.split_at_mut(level);
-        hadamard_row(
-            &mut head[level - 1],
-            &tail[0],
-            ctx.factors[level].row(fids[idx] as usize),
-        );
     }
 }
 
@@ -161,8 +315,356 @@ fn walk_down(
 // Mode-u pass (u > 0)
 // ---------------------------------------------------------------------
 
+/// Computes `Ā⁽ᵘ⁾` for a non-root level `u` into `out` (`level_dims[u] ×
+/// R`), using memoized partials where available (`use_saved`) and the
+/// caller's workspace. Allocation-free once `ws` is warm.
+pub fn modeu_with(
+    ctx: &KernelCtx<'_>,
+    views: &[Option<SharedRows<'_>>],
+    use_saved: bool,
+    u: usize,
+    accum: ResolvedAccum,
+    ws: &mut Workspace,
+    out: &mut Mat,
+) {
+    let d = ctx.csf.ndim();
+    assert!(u >= 1 && u < d, "mode0 handles the root level");
+    assert_eq!(views.len(), d);
+    let r = ctx.rank;
+    let n_u = ctx.csf.level_dims()[u];
+    assert_eq!(out.rows(), n_u);
+    assert_eq!(out.cols(), r);
+    let nthreads = ctx.sched.nthreads();
+    let priv_rows = if accum == ResolvedAccum::Privatized {
+        n_u
+    } else {
+        0
+    };
+    ws.ensure(d, r, nthreads, priv_rows);
+
+    let parts = ws.parts();
+    let (rs, astride, sstride) = (parts.row_stride, parts.arena_stride, parts.stack_stride);
+    let arena = SharedSlice::new(&mut parts.scratch[..nthreads * astride]);
+    let stackmem = SharedSlice::new(&mut parts.stacks[..nthreads * sstride]);
+
+    match accum {
+        ResolvedAccum::Privatized => {
+            let pstride = parts.priv_stride;
+            let pool = SharedSlice::new(&mut parts.priv_buf[..nthreads * pstride]);
+            fanout(nthreads, |th| {
+                // SAFETY: per-thread spans are disjoint by construction.
+                let scr = unsafe { arena.range_mut(th * astride, (th + 1) * astride) };
+                let stk = unsafe { stackmem.range_mut(th * sstride, (th + 1) * sstride) };
+                let local = unsafe { pool.range_mut(th * pstride, th * pstride + n_u * r) };
+                local.fill(0.0);
+                let mut em = PrivEmitter { local, r };
+                modeu_thread(ctx, th, u, use_saved, views, &mut scr[..2 * d * rs], stk, rs, &mut em);
+            });
+            // Chunk-parallel reduction over the flat n_u·R range; each
+            // element sums its private copies in logical-thread order, so
+            // the result is bit-identical to a serial thread-order
+            // reduction for every worker count.
+            let total = n_u * r;
+            let out_slice = SharedSlice::new(out.as_mut_slice());
+            fanout(nthreads, |w| {
+                let lo = w * total / nthreads;
+                let hi = (w + 1) * total / nthreads;
+                // SAFETY: chunks [lo, hi) are disjoint across workers;
+                // the private pool is only read after the emit fanout
+                // joined.
+                let dst = unsafe { out_slice.range_mut(lo, hi) };
+                dst.copy_from_slice(unsafe { pool.range(lo, hi) });
+                for t in 1..nthreads {
+                    let src = unsafe { pool.range(t * pstride + lo, t * pstride + hi) };
+                    for (o, &v) in dst.iter_mut().zip(src) {
+                        *o += v;
+                    }
+                }
+            });
+        }
+        ResolvedAccum::Atomic => {
+            out.fill_zero();
+            let shared = SharedRows::new(out.as_mut_slice(), r);
+            fanout(nthreads, |th| {
+                // SAFETY: per-thread spans are disjoint by construction.
+                let scr = unsafe { arena.range_mut(th * astride, (th + 1) * astride) };
+                let stk = unsafe { stackmem.range_mut(th * sstride, (th + 1) * sstride) };
+                let (main, upd) = scr.split_at_mut(2 * d * rs);
+                let mut em = AtomicEmitter {
+                    shared: &shared,
+                    upd: &mut upd[..r],
+                };
+                modeu_thread(ctx, th, u, use_saved, views, main, stk, rs, &mut em);
+            });
+        }
+    }
+}
+
+/// One logical thread's mode-`u` traversal — the explicit-stack form of
+/// the old recursive `walk_u`, monomorphized over the emitter.
+#[allow(clippy::too_many_arguments)]
+fn modeu_thread<E: Emitter>(
+    ctx: &KernelCtx<'_>,
+    th: usize,
+    u: usize,
+    use_saved: bool,
+    views: &[Option<SharedRows<'_>>],
+    scr: &mut [f64],
+    stk: &mut [usize],
+    rs: usize,
+    em: &mut E,
+) {
+    let d = ctx.csf.ndim();
+    let r = ctx.rank;
+    let csf = ctx.csf;
+    let sched = ctx.sched;
+    let (kbuf, tbuf) = scr.split_at_mut(d * rs);
+    let (cur, end) = stk.split_at_mut(d);
+    let root_fids = csf.fids(0);
+    let (rlo, rhi) = sched.root_range(th);
+    for idx0 in rlo..rhi {
+        let fid0 = root_fids[idx0] as usize;
+        kbuf[..r].copy_from_slice(ctx.factors[0].row(fid0));
+        let (lo, hi) = child_range(csf, 1, idx0);
+        let (clo, chi) = sched.clamp(th, 1, lo, hi);
+        if u == 1 {
+            let kprev = &kbuf[..r];
+            process_at_u(ctx, th, u, clo, chi, use_saved, views, kprev, tbuf, rs, cur, end, em);
+            continue;
+        }
+        let mut level = 1usize;
+        cur[1] = clo;
+        end[1] = chi;
+        loop {
+            if level == u {
+                let kprev = &kbuf[(u - 1) * rs..(u - 1) * rs + r];
+                process_at_u(
+                    ctx, th, u, cur[u], end[u], use_saved, views, kprev, tbuf, rs, cur, end, em,
+                );
+                // Pop to the deepest level with an unvisited sibling.
+                loop {
+                    level -= 1;
+                    if level == 0 || cur[level] < end[level] {
+                        break;
+                    }
+                }
+                if level == 0 {
+                    break;
+                }
+                continue;
+            }
+            if cur[level] < end[level] {
+                let idx = cur[level];
+                cur[level] += 1;
+                // Extend the KRP row: k_level = k_{level-1} ⊙ A⁽ˡ⁾[fid,:].
+                let frow = ctx.factors[level].row(csf.fids(level)[idx] as usize);
+                let (kh, kt) = kbuf.split_at_mut(level * rs);
+                krp_row(&mut kt[..r], &kh[(level - 1) * rs..(level - 1) * rs + r], frow);
+                let (lo, hi) = child_range(csf, level + 1, idx);
+                let (clo, chi) = sched.clamp(th, level + 1, lo, hi);
+                level += 1;
+                cur[level] = clo;
+                end[level] = chi;
+            } else {
+                loop {
+                    level -= 1;
+                    if level == 0 || cur[level] < end[level] {
+                        break;
+                    }
+                }
+                if level == 0 {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Processes the clamped node range `[clo, chi)` at the output level
+/// `u`: a tight scatter loop (leaf mode), a tight memoized-read loop
+/// (Fig. 1b), or per-node recompute (Fig. 1c/1d).
+#[allow(clippy::too_many_arguments)]
+fn process_at_u<E: Emitter>(
+    ctx: &KernelCtx<'_>,
+    th: usize,
+    u: usize,
+    clo: usize,
+    chi: usize,
+    use_saved: bool,
+    views: &[Option<SharedRows<'_>>],
+    kprev: &[f64],
+    tbuf: &mut [f64],
+    rs: usize,
+    cur: &mut [usize],
+    end: &mut [usize],
+    em: &mut E,
+) {
+    let d = ctx.csf.ndim();
+    let r = ctx.rank;
+    let csf = ctx.csf;
+    let fids = csf.fids(u);
+    if u == d - 1 {
+        // Leaf mode: Ā⁽ᵈ⁻¹⁾[fid] += val · k_{d-2}  (KRP scatter).
+        let vals = csf.vals();
+        for idx in clo..chi {
+            em.scaled(fids[idx] as usize, vals[idx], kprev);
+        }
+        return;
+    }
+    if use_saved && views[u].is_some() {
+        // Fig. 1b: one memoized read per node.
+        let view = views[u].as_ref().unwrap();
+        for idx in clo..chi {
+            // SAFETY: row `idx + th` was written by this thread during
+            // the mode-0 pass under the same schedule, and no pass
+            // writes it concurrently with this read.
+            let t_u = unsafe { view.row(idx + th) };
+            em.product(fids[idx] as usize, kprev, t_u);
+        }
+        return;
+    }
+    for idx in clo..chi {
+        // Fig. 1c/1d: recompute t_u from the deepest usable saved level
+        // (or the leaves).
+        compute_t(ctx, th, u, idx, use_saved, views, tbuf, rs, cur, end);
+        em.product(fids[idx] as usize, kprev, &tbuf[u * rs..u * rs + r]);
+    }
+}
+
+/// Fills `tbuf[u·rs..]` with `t_u` for node `idx0` at level `base = u`:
+/// the partial MTTKRP of the node's (thread-clamped) subtree with
+/// factors `base+1..d-1` contracted — descending only until a memoized
+/// level or the leaves (Algorithms 7/8). Iterative; reuses the cursor
+/// levels `base+1..d-1`, which the caller's traversal never touches.
+#[allow(clippy::too_many_arguments)]
+fn compute_t(
+    ctx: &KernelCtx<'_>,
+    th: usize,
+    base: usize,
+    idx0: usize,
+    use_saved: bool,
+    views: &[Option<SharedRows<'_>>],
+    tbuf: &mut [f64],
+    rs: usize,
+    cur: &mut [usize],
+    end: &mut [usize],
+) {
+    let d = ctx.csf.ndim();
+    let r = ctx.rank;
+    let csf = ctx.csf;
+    let sched = ctx.sched;
+    let vals = csf.vals();
+    let is_saved = |l: usize| use_saved && views[l].is_some();
+    let (lo, hi) = child_range(csf, base + 1, idx0);
+    let (clo, chi) = sched.clamp(th, base + 1, lo, hi);
+    let tb = &mut tbuf[base * rs..base * rs + r];
+    tb.fill(0.0);
+    if base + 1 == d - 1 {
+        // Children are leaves: tight axpy run.
+        let leaf_fids = csf.fids(d - 1);
+        let leaf = ctx.factors[d - 1];
+        for c in clo..chi {
+            axpy_row(tb, vals[c], leaf.row(leaf_fids[c] as usize));
+        }
+        return;
+    }
+    if is_saved(base + 1) {
+        // Children are memoized: tight hadamard run (Fig. 1c).
+        let view = views[base + 1].as_ref().unwrap();
+        let cfids = csf.fids(base + 1);
+        let cfactor = ctx.factors[base + 1];
+        for c in clo..chi {
+            // SAFETY: same ownership argument as in `process_at_u`.
+            hadamard_row(tb, unsafe { view.row(c + th) }, cfactor.row(cfids[c] as usize));
+        }
+        return;
+    }
+    let mut level = base + 1;
+    cur[level] = clo;
+    end[level] = chi;
+    loop {
+        if cur[level] < end[level] {
+            let c = cur[level];
+            let (nlo, nhi) = child_range(csf, level + 1, c);
+            let (nclo, nchi) = sched.clamp(th, level + 1, nlo, nhi);
+            if level + 1 == d - 1 {
+                // Leaf children: open + close inline.
+                let leaf_fids = csf.fids(d - 1);
+                let leaf = ctx.factors[d - 1];
+                let frow = ctx.factors[level].row(csf.fids(level)[c] as usize);
+                let (thead, ttail) = tbuf.split_at_mut(level * rs);
+                let tprev = &mut thead[(level - 1) * rs..(level - 1) * rs + r];
+                if nchi - nclo == 1 {
+                    krp_axpy(tprev, vals[nclo], leaf.row(leaf_fids[nclo] as usize), frow);
+                } else {
+                    let tl = &mut ttail[..r];
+                    tl.fill(0.0);
+                    for cc in nclo..nchi {
+                        axpy_row(tl, vals[cc], leaf.row(leaf_fids[cc] as usize));
+                    }
+                    hadamard_row(tprev, tl, frow);
+                }
+                cur[level] += 1;
+            } else if is_saved(level + 1) {
+                // Memoized children: tight hadamard, then close.
+                let view = views[level + 1].as_ref().unwrap();
+                let cfids = csf.fids(level + 1);
+                let cfactor = ctx.factors[level + 1];
+                let frow = ctx.factors[level].row(csf.fids(level)[c] as usize);
+                let (thead, ttail) = tbuf.split_at_mut(level * rs);
+                let tprev = &mut thead[(level - 1) * rs..(level - 1) * rs + r];
+                let tl = &mut ttail[..r];
+                tl.fill(0.0);
+                for cc in nclo..nchi {
+                    // SAFETY: same ownership argument as above.
+                    hadamard_row(tl, unsafe { view.row(cc + th) }, cfactor.row(cfids[cc] as usize));
+                }
+                hadamard_row(tprev, tl, frow);
+                cur[level] += 1;
+            } else {
+                // Internal node: zero its accumulator and descend.
+                tbuf[level * rs..level * rs + r].fill(0.0);
+                level += 1;
+                cur[level] = nclo;
+                end[level] = nchi;
+            }
+        } else {
+            level -= 1;
+            if level == base {
+                return;
+            }
+            let c = cur[level];
+            let frow = ctx.factors[level].row(csf.fids(level)[c] as usize);
+            let (thead, ttail) = tbuf.split_at_mut(level * rs);
+            hadamard_row(
+                &mut thead[(level - 1) * rs..(level - 1) * rs + r],
+                &ttail[..r],
+                frow,
+            );
+            cur[level] += 1;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Convenience wrappers (allocating; baselines, STeF2, tests)
+// ---------------------------------------------------------------------
+
+/// Computes `Ā⁽⁰⁾` and stores all partials flagged in `partials`.
+///
+/// `out` must be `level_dims[0] × R`; it is zeroed here. This wrapper
+/// builds a throw-away [`Workspace`] per call — callers on a hot path
+/// (the engine) hold their own workspace and use [`mode0_with`].
+pub fn mode0_pass(ctx: &KernelCtx<'_>, partials: &mut PartialStore, out: &mut Mat) {
+    assert_eq!(partials.nthreads(), ctx.sched.nthreads());
+    let views = partials.shared_views();
+    let mut ws = Workspace::new(ctx.csf.ndim(), ctx.rank, ctx.sched.nthreads(), 0);
+    mode0_with(ctx, &views, &mut ws, out);
+}
+
 /// Computes `Ā⁽ᵘ⁾` for a non-root level `u`, using memoized partials
 /// where available (`use_saved`), and returns it (`level_dims[u] × R`).
+/// Allocating wrapper over [`modeu_with`]; see [`mode0_pass`].
 pub fn modeu_pass(
     ctx: &KernelCtx<'_>,
     partials: &mut PartialStore,
@@ -170,214 +672,18 @@ pub fn modeu_pass(
     accum: ResolvedAccum,
     use_saved: bool,
 ) -> Mat {
-    let d = ctx.csf.ndim();
-    assert!(u >= 1 && u < d, "mode0_pass handles the root level");
     assert_eq!(partials.nthreads(), ctx.sched.nthreads());
-    let r = ctx.rank;
     let n_u = ctx.csf.level_dims()[u];
-    let nthreads = ctx.sched.nthreads();
-    let saved: Vec<bool> = if use_saved {
-        partials.save_flags().to_vec()
+    let mut out = Mat::zeros(n_u, ctx.rank);
+    let priv_rows = if accum == ResolvedAccum::Privatized {
+        n_u
     } else {
-        vec![false; d]
+        0
     };
+    let mut ws = Workspace::new(ctx.csf.ndim(), ctx.rank, ctx.sched.nthreads(), priv_rows);
     let views = partials.shared_views();
-
-    match accum {
-        ResolvedAccum::Privatized => {
-            let mut locals: Vec<Mat> = (0..nthreads)
-                .into_par_iter()
-                .map(|th| {
-                    let mut local = Mat::zeros(n_u, r);
-                    run_thread(ctx, th, u, &saved, &views, &mut |fid, row| {
-                        hadd(local.row_mut(fid), row);
-                    });
-                    local
-                })
-                .collect();
-            // Reduce in thread order for determinism.
-            let mut out = locals.remove(0);
-            for l in locals {
-                out.add_assign(&l);
-            }
-            out
-        }
-        ResolvedAccum::Atomic => {
-            let mut out = Mat::zeros(n_u, r);
-            {
-                let shared = SharedRows::new(out.as_mut_slice(), r);
-                (0..nthreads).into_par_iter().for_each(|th| {
-                    run_thread(ctx, th, u, &saved, &views, &mut |fid, row| {
-                        shared.atomic_add_row(fid, row);
-                    });
-                });
-            }
-            out
-        }
-    }
-}
-
-/// One logical thread's traversal for mode `u`; `emit(fid, row)` receives
-/// each `Ā⁽ᵘ⁾` contribution.
-fn run_thread(
-    ctx: &KernelCtx<'_>,
-    th: usize,
-    u: usize,
-    saved: &[bool],
-    views: &[Option<SharedRows<'_>>],
-    emit: &mut dyn FnMut(usize, &[f64]),
-) {
-    let d = ctx.csf.ndim();
-    let r = ctx.rank;
-    let mut k_scratch: Vec<Vec<f64>> = (0..u.max(1)).map(|_| vec![0.0; r]).collect();
-    let mut t_scratch: Vec<Vec<f64>> = (0..d).map(|_| vec![0.0; r]).collect();
-    let mut upd = vec![0.0; r];
-    let (rlo, rhi) = ctx.sched.root_range(th);
-    for idx0 in rlo..rhi {
-        let fid0 = ctx.csf.fids(0)[idx0] as usize;
-        k_scratch[0].copy_from_slice(ctx.factors[0].row(fid0));
-        walk_u(
-            ctx,
-            th,
-            1,
-            idx0,
-            u,
-            saved,
-            views,
-            &mut k_scratch,
-            &mut t_scratch,
-            &mut upd,
-            emit,
-        );
-    }
-}
-
-/// Recursive descent for mode `u`: precondition — `k_scratch[level-1]`
-/// holds the KRP row of levels `0..level-1` on the current path.
-#[allow(clippy::too_many_arguments)]
-fn walk_u(
-    ctx: &KernelCtx<'_>,
-    th: usize,
-    level: usize,
-    pindex: usize,
-    u: usize,
-    saved: &[bool],
-    views: &[Option<SharedRows<'_>>],
-    k_scratch: &mut [Vec<f64>],
-    t_scratch: &mut [Vec<f64>],
-    upd: &mut [f64],
-    emit: &mut dyn FnMut(usize, &[f64]),
-) {
-    let d = ctx.csf.ndim();
-    let (lo, hi) = child_range(ctx.csf, level, pindex);
-    let (clo, chi) = ctx.sched.clamp(th, level, lo, hi);
-    let fids = ctx.csf.fids(level);
-    if level == u {
-        if u == d - 1 {
-            // Leaf mode: Ā⁽ᵈ⁻¹⁾[fid] += val · k_{d-2}  (KRP scatter).
-            let vals = ctx.csf.vals();
-            let k_prev = &k_scratch[u - 1];
-            for idx in clo..chi {
-                for (o, &kv) in upd.iter_mut().zip(k_prev.iter()) {
-                    *o = vals[idx] * kv;
-                }
-                emit(fids[idx] as usize, upd);
-            }
-        } else {
-            for idx in clo..chi {
-                if saved[u] {
-                    // Fig. 1b: load the memoized partial.
-                    // SAFETY: row `idx + th` was written by this thread
-                    // during the mode-0 pass under the same schedule, and
-                    // no pass writes it concurrently with this read.
-                    let t_u = unsafe { views[u].as_ref().unwrap().row(idx + th) };
-                    krp_row(upd, &k_scratch[u - 1], t_u);
-                } else {
-                    // Fig. 1c/1d: recompute t_u from the deepest usable
-                    // saved level (or the leaves).
-                    compute_t(ctx, th, u, idx, saved, views, t_scratch);
-                    krp_row(upd, &k_scratch[u - 1], &t_scratch[u]);
-                }
-                emit(fids[idx] as usize, upd);
-            }
-        }
-        return;
-    }
-    // level < u: extend the KRP row and descend.
-    for idx in clo..chi {
-        {
-            let (head, tail) = k_scratch.split_at_mut(level);
-            krp_row(
-                &mut tail[0],
-                &head[level - 1],
-                ctx.factors[level].row(fids[idx] as usize),
-            );
-        }
-        walk_u(
-            ctx,
-            th,
-            level + 1,
-            idx,
-            u,
-            saved,
-            views,
-            k_scratch,
-            t_scratch,
-            upd,
-            emit,
-        );
-    }
-}
-
-/// Fills `t_scratch[level]` with `t_level` for node `idx`: the partial
-/// MTTKRP of the node's (thread-clamped) subtree with factors
-/// `level+1..d-1` contracted — recursing only until a memoized level or
-/// the leaves (Algorithms 7/8).
-fn compute_t(
-    ctx: &KernelCtx<'_>,
-    th: usize,
-    level: usize,
-    idx: usize,
-    saved: &[bool],
-    views: &[Option<SharedRows<'_>>],
-    t_scratch: &mut [Vec<f64>],
-) {
-    let d = ctx.csf.ndim();
-    t_scratch[level].fill(0.0);
-    let (lo, hi) = child_range(ctx.csf, level + 1, idx);
-    let (clo, chi) = ctx.sched.clamp(th, level + 1, lo, hi);
-    if level + 1 == d - 1 {
-        let fids = ctx.csf.fids(d - 1);
-        let vals = ctx.csf.vals();
-        let leaf_factor = ctx.factors[d - 1];
-        let dst = &mut t_scratch[level];
-        for c in clo..chi {
-            axpy_row(dst, vals[c], leaf_factor.row(fids[c] as usize));
-        }
-        return;
-    }
-    let fids = ctx.csf.fids(level + 1);
-    for c in clo..chi {
-        let frow = ctx.factors[level + 1].row(fids[c] as usize);
-        if saved[level + 1] {
-            // SAFETY: same ownership argument as in walk_u.
-            let t_child = unsafe { views[level + 1].as_ref().unwrap().row(c + th) };
-            let (head, _) = t_scratch.split_at_mut(level + 1);
-            hadamard_row(&mut head[level], t_child, frow);
-        } else {
-            compute_t(ctx, th, level + 1, c, saved, views, t_scratch);
-            let (head, tail) = t_scratch.split_at_mut(level + 1);
-            hadamard_row(&mut head[level], &tail[0], frow);
-        }
-    }
-}
-
-/// `acc += row`, element-wise.
-#[inline]
-fn hadd(acc: &mut [f64], row: &[f64]) {
-    for (a, &b) in acc.iter_mut().zip(row) {
-        *a += b;
-    }
+    modeu_with(ctx, &views, use_saved, u, accum, &mut ws, &mut out);
+    out
 }
 
 /// Children of node `(level-1, pindex)` — the root "parent" is virtual.
@@ -656,5 +962,84 @@ mod tests {
             let got = modeu_pass(&ctx, &mut partials, u, ResolvedAccum::Privatized, true);
             assert_mat_approx_eq(&got, &t.mttkrp_reference(&factors, order[u]), 1e-9);
         }
+    }
+
+    #[test]
+    fn matches_legacy_kernels_bitwise() {
+        // The rewrite preserves every arithmetic ordering; without FMA
+        // codegen the two implementations must agree bit for bit (with
+        // FMA both paths change together, so compare approximately).
+        let tol = if cfg!(target_feature = "fma") {
+            1e-12
+        } else {
+            0.0
+        };
+        for (dims, save, nthreads) in [
+            (vec![8usize, 9, 10], vec![false, true, false], 1),
+            (vec![8, 9, 10], vec![false, false, false], 4),
+            (vec![6, 7, 8, 5], vec![false, true, true, false], 3),
+            (vec![4, 5, 6, 4, 5], vec![false, false, true, false, false], 5),
+        ] {
+            let t = pseudo_tensor(&dims, 420, 21);
+            let csf = build_csf(&t, &(0..dims.len()).collect::<Vec<_>>());
+            let rank = 5;
+            let sched = Schedule::nnz_balanced(&csf, nthreads);
+            let factors = rand_factors(&dims, rank, 22);
+            let refs: Vec<&Mat> = factors.iter().collect();
+            let ctx = KernelCtx::new(&csf, &sched, refs, rank);
+            let mk_partials = || {
+                if save.iter().any(|&s| s) {
+                    PartialStore::allocate(&csf, &save, nthreads, rank)
+                } else {
+                    PartialStore::empty(dims.len(), nthreads, rank)
+                }
+            };
+            let mut p_new = mk_partials();
+            let mut p_old = mk_partials();
+            let mut out_new = Mat::zeros(dims[0], rank);
+            let mut out_old = Mat::zeros(dims[0], rank);
+            mode0_pass(&ctx, &mut p_new, &mut out_new);
+            crate::kernels_legacy::mode0_pass(&ctx, &mut p_old, &mut out_old);
+            assert_mat_approx_eq(&out_new, &out_old, tol);
+            for u in 1..dims.len() {
+                for accum in [ResolvedAccum::Privatized, ResolvedAccum::Atomic] {
+                    let a = modeu_pass(&ctx, &mut p_new, u, accum, true);
+                    let b = crate::kernels_legacy::modeu_pass(&ctx, &mut p_old, u, accum, true);
+                    assert_mat_approx_eq(&a, &b, tol);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_never_reallocates() {
+        // Engine-style usage: one workspace across repeated passes over
+        // every mode and both accumulation strategies.
+        let t = pseudo_tensor(&[10, 12, 14, 9], 600, 31);
+        let dims = t.dims().to_vec();
+        let csf = build_csf(&t, &[0, 1, 2, 3]);
+        let rank = 6;
+        let nthreads = 4;
+        let sched = Schedule::nnz_balanced(&csf, nthreads);
+        let save = vec![false, true, false, false];
+        let mut partials = PartialStore::allocate(&csf, &save, nthreads, rank);
+        let factors = rand_factors(&dims, rank, 32);
+        let refs: Vec<&Mat> = factors.iter().collect();
+        let ctx = KernelCtx::new(&csf, &sched, refs, rank);
+        let max_n = *csf.level_dims().iter().max().unwrap();
+        let mut ws = Workspace::new(4, rank, nthreads, max_n);
+        let mut out0 = Mat::zeros(csf.level_dims()[0], rank);
+        for _round in 0..3 {
+            let views = partials.shared_views();
+            mode0_with(&ctx, &views, &mut ws, &mut out0);
+            for u in 1..4 {
+                let mut out = Mat::zeros(csf.level_dims()[u], rank);
+                for accum in [ResolvedAccum::Privatized, ResolvedAccum::Atomic] {
+                    modeu_with(&ctx, &views, true, u, accum, &mut ws, &mut out);
+                    assert_mat_approx_eq(&out, &t.mttkrp_reference(&factors, u), 1e-9);
+                }
+            }
+        }
+        assert_eq!(ws.alloc_events(), 0, "passes must not grow the workspace");
     }
 }

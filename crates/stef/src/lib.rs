@@ -46,6 +46,7 @@ pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod kernels;
+pub mod kernels_legacy;
 pub mod model;
 pub mod nonneg;
 pub mod options;
@@ -56,6 +57,7 @@ pub mod schedule;
 pub mod stef2;
 pub mod sync;
 pub mod validate;
+pub mod workspace;
 
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy};
 pub use counters::{count_sweep, CountedTraffic};
@@ -66,8 +68,11 @@ pub use fault::{Fault, FaultyEngine};
 pub use recover::{RecoveryAction, RecoveryEvent, RecoveryEvents, RecoveryPolicy};
 pub use model::{stef2_leaf_gain, LevelProfile, MemoPlan, RawTraffic};
 pub use nonneg::{cpd_mu_nonneg, NonnegCpdResult};
-pub use options::{AccumStrategy, LoadBalance, MemoPolicy, ModeSwitchPolicy, StefOptions};
+pub use options::{
+    AccumStrategy, KernelPath, LoadBalance, MemoPolicy, ModeSwitchPolicy, StefOptions,
+};
 pub use partials::PartialStore;
 pub use schedule::Schedule;
 pub use stef2::Stef2;
 pub use validate::{validate_engine, ValidationReport};
+pub use workspace::Workspace;

@@ -292,6 +292,55 @@ impl LevelProfile {
     }
 }
 
+/// Modeled cost (elements moved) of each output-conflict strategy for
+/// one non-root mode — see [`accum_costs`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AccumCosts {
+    /// Cost of per-thread privatized outputs + thread-order reduction.
+    pub privatized: f64,
+    /// Cost of a single shared output updated with atomic CAS adds.
+    pub atomic: f64,
+}
+
+/// Prices the two conflict-resolution strategies for the mode at
+/// `level` from the level profile.
+///
+/// Privatization pays for the replicated output regardless of how many
+/// updates land in it: `T` zeroed copies, one `m_level·R` emit stream,
+/// then a reduction that reads all `T` copies and writes the final one —
+/// `(2T + 1)·n_level·R + m_level·R` in total. Atomics pay only for the
+/// single output plus roughly three memory accesses per emitted element
+/// (load, failed/successful CAS), inflated by a contention factor that
+/// grows with the expected collision rate `m/n` but saturates at `T`.
+///
+/// The crossover this captures: a *short* mode (small `n`) with many
+/// updates amortizes the replicated copies and wants privatization; a
+/// *long* sparse mode (`n ≫ m/T`) would mostly zero and reduce untouched
+/// rows and wants atomics. The former bytes-only heuristic
+/// (`T·n·R·8 ≤ cap`) modeled memory footprint, not time, and always
+/// privatized small tensors even when `n ≫ m`.
+pub fn accum_costs(profile: &LevelProfile, level: usize, nthreads: usize) -> AccumCosts {
+    let t = nthreads.max(1) as f64;
+    let n = profile.dims[level].max(1) as f64;
+    let m = profile.fibers[level] as f64;
+    let r = profile.rank as f64;
+    let privatized = (2.0 * t + 1.0) * n * r + m * r;
+    let contention = ((t - 1.0) / t) * (m / n).min(t);
+    let atomic = n * r + 3.0 * m * r * (1.0 + contention);
+    AccumCosts {
+        privatized,
+        atomic,
+    }
+}
+
+/// `true` if the model prefers privatized accumulation for `level`.
+/// Ties go to privatization (deterministic reduction order, no CAS
+/// retries under contention).
+pub fn prefer_privatized(profile: &LevelProfile, level: usize, nthreads: usize) -> bool {
+    let c = accum_costs(profile, level, nthreads);
+    c.privatized <= c.atomic
+}
+
 /// Models STeF2's trade (paper §VI-B): replace the base CSF's leaf-mode
 /// MTTKRP (a full-tree traversal ending in a scatter) with a root-mode
 /// pass over a second CSF rooted at that mode. Returns the predicted
@@ -485,6 +534,46 @@ mod tests {
         let second = profile(&[2_000, 100, 1_000], &[2_000, 20_000, 20_000], 8, 1 << 30);
         let gain = stef2_leaf_gain(&base, &second);
         assert!(gain < 0.0, "gain {gain} should be negative");
+    }
+
+    #[test]
+    fn accum_model_prefers_privatized_for_short_hot_modes() {
+        // n = 50 rows, m = 100k updates, 8 threads: replicating 50 rows
+        // is nothing next to 100k atomic CAS adds.
+        let p = profile(&[1000, 50, 2000], &[1000, 100_000, 500_000], 16, 1);
+        assert!(prefer_privatized(&p, 1, 8));
+        let c = accum_costs(&p, 1, 8);
+        assert!(c.privatized < c.atomic);
+    }
+
+    #[test]
+    fn accum_model_prefers_atomics_for_long_sparse_modes() {
+        // n = 2M rows but only 10k updates: zeroing and reducing 8 × 2M
+        // rows dwarfs 10k mostly-uncontended atomic adds.
+        let p = profile(&[100, 2_000_000, 50], &[100, 10_000, 500_000], 16, 1);
+        assert!(!prefer_privatized(&p, 1, 8));
+    }
+
+    #[test]
+    fn accum_model_single_thread_prefers_privatized_when_dense() {
+        // T = 1: privatization degenerates to a plain local output; it
+        // wins whenever updates at least cover the rows.
+        let p = profile(&[100, 500, 50], &[100, 5_000, 20_000], 8, 1);
+        assert!(prefer_privatized(&p, 1, 1));
+        // ... and still loses when the mode is nearly all untouched rows.
+        let p2 = profile(&[100, 1_000_000, 50], &[100, 1_000, 20_000], 8, 1);
+        assert!(!prefer_privatized(&p2, 1, 1));
+    }
+
+    #[test]
+    fn accum_contention_penalizes_atomics_as_threads_grow() {
+        let p = profile(&[100, 200, 50], &[100, 50_000, 200_000], 16, 1);
+        let c1 = accum_costs(&p, 1, 1);
+        let c16 = accum_costs(&p, 1, 16);
+        assert!(c1.atomic < c16.atomic);
+        // Privatized cost also grows with T (more copies), but linearly
+        // in n rather than m.
+        assert!(c16.privatized > c1.privatized);
     }
 
     #[test]

@@ -52,14 +52,27 @@ pub enum ModeSwitchPolicy {
 /// How scatter conflicts on the output of non-root modes are resolved.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AccumStrategy {
-    /// Pick [`AccumStrategy::Privatized`] unless the replicated output
-    /// would exceed a memory cap, then fall back to atomics.
+    /// Let the cost model (`model::choose_accum`) price privatization
+    /// against atomics per level; privatization is additionally subject
+    /// to the [`StefOptions::privatize_cap_bytes`] memory cap.
     Auto,
     /// One output copy per logical thread, reduced after the join
     /// (paper Algorithm 4, lines 13–14).
     Privatized,
     /// A single shared output updated with atomic adds.
     Atomic,
+}
+
+/// Which MTTKRP kernel implementation the engine runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum KernelPath {
+    /// The allocation-free, monomorphized, iterative kernels with
+    /// rank-blocked row primitives (`kernels`). The default.
+    #[default]
+    Vectorized,
+    /// The original recursive, closure-based kernels kept verbatim in
+    /// `kernels_legacy` — the A/B baseline for the perf trajectory.
+    Legacy,
 }
 
 /// Full engine configuration.
@@ -83,6 +96,8 @@ pub struct StefOptions {
     /// Memory cap (bytes) for privatized outputs under
     /// [`AccumStrategy::Auto`].
     pub privatize_cap_bytes: usize,
+    /// Kernel implementation to run.
+    pub kernel_path: KernelPath,
 }
 
 /// Best-effort detection of the per-core cache the data-movement model
@@ -122,6 +137,7 @@ impl StefOptions {
             mode_switch: ModeSwitchPolicy::ModelChosen,
             accum: AccumStrategy::Auto,
             privatize_cap_bytes: 512 << 20,
+            kernel_path: KernelPath::Vectorized,
         }
     }
 

@@ -128,6 +128,119 @@ impl<'a> SharedRows<'a> {
     }
 }
 
+/// A flat buffer whose disjoint index ranges may be written concurrently
+/// by multiple tasks — the generic sibling of [`SharedRows`] used for the
+/// workspace arenas (`f64` scratch, `usize` traversal stacks) and for the
+/// chunked privatized-output reduction, where the natural unit is an
+/// arbitrary element range rather than a fixed-length row.
+pub struct SharedSlice<'a, T> {
+    data: &'a [UnsafeCell<T>],
+}
+
+// SAFETY: same argument as `SharedRows` — the caller owns the buffer for
+// the duration of the parallel region, all access goes through the unsafe
+// range accessors whose contract requires disjointness, and the join at
+// the end of the region provides the happens-before edge.
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wraps a mutable buffer.
+    pub fn new(buf: &'a mut [T]) -> Self {
+        // SAFETY: `UnsafeCell<T>` has the same layout as `T`, and we hold
+        // the unique `&mut` to the buffer.
+        let data = unsafe {
+            std::slice::from_raw_parts(buf.as_ptr() as *const UnsafeCell<T>, buf.len())
+        };
+        SharedSlice { data }
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Returns a mutable view of elements `lo..hi`.
+    ///
+    /// # Safety
+    /// The caller must guarantee that no other task accesses any element
+    /// of `lo..hi` (mutably or otherwise) while the returned slice is
+    /// alive.
+    #[inline]
+    #[allow(clippy::mut_from_ref)]
+    pub unsafe fn range_mut(&self, lo: usize, hi: usize) -> &mut [T] {
+        debug_assert!(lo <= hi && hi <= self.data.len());
+        // SAFETY: in-bounds by the assert; exclusivity is the caller's
+        // contract.
+        unsafe { std::slice::from_raw_parts_mut(self.data[lo].get(), hi - lo) }
+    }
+
+    /// Returns a read-only view of elements `lo..hi`.
+    ///
+    /// # Safety
+    /// No task may be writing any element of `lo..hi` concurrently.
+    #[inline]
+    pub unsafe fn range(&self, lo: usize, hi: usize) -> &[T] {
+        debug_assert!(lo <= hi && hi <= self.data.len());
+        // SAFETY: see above.
+        unsafe { std::slice::from_raw_parts(self.data[lo].get(), hi - lo) }
+    }
+}
+
+/// Runs `f(th)` for every logical thread `0..nthreads`, allocation-free
+/// when only one physical worker is available.
+///
+/// This is the kernels' replacement for `(0..nthreads).into_par_iter()`:
+/// the rayon shim materializes the range into a `Vec` on every call,
+/// which would violate the workspace's no-steady-state-allocation
+/// guarantee. With one worker (or one logical thread) the loop runs
+/// inline with zero overhead; otherwise contiguous blocks of logical
+/// threads are handed to scoped OS threads, matching the shim's own
+/// execution model.
+pub fn fanout<F: Fn(usize) + Sync>(nthreads: usize, f: F) {
+    if nthreads == 0 {
+        return;
+    }
+    let workers = physical_workers().clamp(1, nthreads);
+    if workers == 1 {
+        for th in 0..nthreads {
+            f(th);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        for w in 1..workers {
+            let lo = w * nthreads / workers;
+            let hi = (w + 1) * nthreads / workers;
+            scope.spawn(move || {
+                for th in lo..hi {
+                    f(th);
+                }
+            });
+        }
+        for th in 0..nthreads / workers {
+            f(th);
+        }
+    });
+}
+
+/// Available OS parallelism, probed once. `rayon::current_num_threads`
+/// re-reads `available_parallelism` (and, on Linux, the cgroup CPU
+/// quota files) on every call, which allocates — caching the answer
+/// keeps warm kernel passes off the allocator entirely.
+fn physical_workers() -> usize {
+    static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *WORKERS.get_or_init(rayon::current_num_threads)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,6 +291,38 @@ mod tests {
     fn rejects_ragged_buffer() {
         let mut buf = vec![0.0; 7];
         let _ = SharedRows::new(&mut buf, 2);
+    }
+
+    #[test]
+    fn fanout_covers_every_logical_thread_once() {
+        use std::sync::atomic::AtomicUsize;
+        for nthreads in [0usize, 1, 2, 3, 7, 16, 33] {
+            let hits: Vec<AtomicUsize> = (0..nthreads).map(|_| AtomicUsize::new(0)).collect();
+            fanout(nthreads, |th| {
+                hits[th].fetch_add(1, Ordering::Relaxed);
+            });
+            for (th, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "thread {th} of {nthreads}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_slice_disjoint_ranges() {
+        let mut buf = vec![0usize; 40];
+        {
+            let shared = SharedSlice::new(&mut buf);
+            fanout(4, |th| {
+                // SAFETY: each logical thread owns a disjoint 10-element range.
+                let part = unsafe { shared.range_mut(th * 10, (th + 1) * 10) };
+                for (i, x) in part.iter_mut().enumerate() {
+                    *x = th * 100 + i;
+                }
+            });
+            // SAFETY: writers joined before this read.
+            assert_eq!(unsafe { shared.range(10, 13) }, &[100, 101, 102]);
+        }
+        assert_eq!(buf[35], 305);
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Engine-owned scratch memory for the MTTKRP kernels.
+//!
+//! The hot path of every ALS iteration is `d` kernel passes; before this
+//! module existed each pass allocated per-thread `Vec<Vec<f64>>` scratch
+//! rows and — worse — one full `n_u × R` privatized output matrix *per
+//! logical thread per call*. A [`Workspace`] hoists all of that into
+//! three flat arenas sized once at engine preparation and reused for
+//! every mode of every iteration:
+//!
+//! * `scratch` — per-thread `f64` rows: `d` KRP rows (`k_l`), `d`
+//!   accumulator rows (`t_l`) and one update row, each padded to an
+//!   8-element boundary so neighbouring rows never share a cache line
+//!   *and* the row primitives in `linalg::krp` see block-aligned lengths;
+//! * `stacks` — per-thread `usize` cursor/end pairs for the explicit
+//!   iterative traversal (2 per CSF level);
+//! * `priv_buf` — the privatized output pool: one `max_n_u × R` block
+//!   per logical thread, zeroed and reduced inside the pass.
+//!
+//! After construction (or a single `ensure` growth, which counts as
+//! warm-up), the kernels perform **no heap allocation**: the
+//! [`Workspace::alloc_events`] counter — incremented on every arena
+//! (re)allocation — lets tests assert exactly that.
+
+/// Reusable kernel scratch. See the module docs.
+pub struct Workspace {
+    d: usize,
+    rank: usize,
+    nthreads: usize,
+    /// Row stride: `rank` rounded up to a multiple of 8.
+    row_stride: usize,
+    /// Per-thread scratch span: `(2d + 1) · row_stride`.
+    arena_stride: usize,
+    scratch: Vec<f64>,
+    /// Per-thread cursor span: `2d` (a `cur`/`end` pair per level).
+    stack_stride: usize,
+    stacks: Vec<usize>,
+    /// Privatized rows per thread the pool is sized for.
+    priv_rows: usize,
+    priv_stride: usize,
+    priv_buf: Vec<f64>,
+    alloc_events: u64,
+}
+
+/// Disjoint mutable views over the workspace arenas, so the kernels can
+/// borrow all three at once.
+pub(crate) struct WsParts<'a> {
+    pub scratch: &'a mut [f64],
+    pub stacks: &'a mut [usize],
+    pub priv_buf: &'a mut [f64],
+    pub row_stride: usize,
+    pub arena_stride: usize,
+    pub stack_stride: usize,
+    pub priv_stride: usize,
+}
+
+fn pad8(n: usize) -> usize {
+    (n + 7) & !7
+}
+
+impl Workspace {
+    /// Builds a workspace for `d`-level kernels at rank `rank` with
+    /// `nthreads` logical threads, able to privatize outputs of up to
+    /// `priv_rows` rows. Construction allocates; nothing after it does
+    /// (unless a later [`Workspace::ensure`] must grow — tracked by
+    /// [`Workspace::alloc_events`]).
+    pub fn new(d: usize, rank: usize, nthreads: usize, priv_rows: usize) -> Self {
+        let mut ws = Workspace {
+            d: 0,
+            rank: 0,
+            nthreads: 0,
+            row_stride: 0,
+            arena_stride: 0,
+            scratch: Vec::new(),
+            stack_stride: 0,
+            stacks: Vec::new(),
+            priv_rows: 0,
+            priv_stride: 0,
+            priv_buf: Vec::new(),
+            alloc_events: 0,
+        };
+        ws.ensure(d, rank, nthreads, priv_rows);
+        // Construction is warm-up by definition.
+        ws.alloc_events = 0;
+        ws
+    }
+
+    /// Makes the arenas large enough for the given configuration,
+    /// growing (and counting an allocation event) only when needed.
+    /// Shrinking never happens — a larger earlier configuration keeps
+    /// its arenas.
+    pub fn ensure(&mut self, d: usize, rank: usize, nthreads: usize, priv_rows: usize) {
+        let row_stride = pad8(rank.max(1));
+        let arena_stride = pad8((2 * d + 1) * row_stride);
+        let stack_stride = 2 * d.max(1);
+        let need_scratch = nthreads * arena_stride;
+        let need_stacks = nthreads * stack_stride;
+        let priv_stride = pad8(priv_rows * rank);
+        let need_priv = nthreads * priv_stride;
+        if self.scratch.len() < need_scratch {
+            self.scratch.resize(need_scratch, 0.0);
+            self.alloc_events += 1;
+        }
+        if self.stacks.len() < need_stacks {
+            self.stacks.resize(need_stacks, 0);
+            self.alloc_events += 1;
+        }
+        if self.priv_buf.len() < need_priv {
+            self.priv_buf.resize(need_priv, 0.0);
+            self.alloc_events += 1;
+        }
+        self.d = d;
+        self.rank = rank;
+        self.nthreads = nthreads;
+        self.row_stride = row_stride;
+        self.arena_stride = arena_stride;
+        self.stack_stride = stack_stride;
+        self.priv_rows = priv_rows;
+        self.priv_stride = priv_stride;
+    }
+
+    /// Number of arena (re)allocations since construction. Zero once the
+    /// workspace is warm — the kernels' no-allocation guarantee.
+    pub fn alloc_events(&self) -> u64 {
+        self.alloc_events
+    }
+
+    /// Total bytes held by the arenas.
+    pub fn bytes(&self) -> usize {
+        self.scratch.len() * std::mem::size_of::<f64>()
+            + self.stacks.len() * std::mem::size_of::<usize>()
+            + self.priv_buf.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Logical thread count the arenas are sized for.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Whether the privatized pool can hold `rows`-row outputs at the
+    /// current rank for every thread.
+    pub fn can_privatize(&self, rows: usize) -> bool {
+        self.priv_stride >= rows * self.rank
+    }
+
+    pub(crate) fn parts(&mut self) -> WsParts<'_> {
+        WsParts {
+            scratch: &mut self.scratch,
+            stacks: &mut self.stacks,
+            priv_buf: &mut self.priv_buf,
+            row_stride: self.row_stride,
+            arena_stride: self.arena_stride,
+            stack_stride: self.stack_stride,
+            priv_stride: self.priv_stride,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_counts_no_events() {
+        let ws = Workspace::new(3, 16, 4, 100);
+        assert_eq!(ws.alloc_events(), 0);
+        assert!(ws.bytes() > 0);
+        assert!(ws.can_privatize(100));
+        assert!(!ws.can_privatize(101));
+    }
+
+    #[test]
+    fn ensure_is_idempotent_and_grows_monotonically() {
+        let mut ws = Workspace::new(3, 16, 4, 50);
+        ws.ensure(3, 16, 4, 50);
+        ws.ensure(3, 16, 4, 10); // smaller: no growth
+        ws.ensure(2, 8, 2, 0); // strictly smaller config: no growth
+        assert_eq!(ws.alloc_events(), 0);
+        ws.ensure(5, 16, 4, 50); // deeper tensor: scratch + stacks grow
+        assert!(ws.alloc_events() > 0);
+        let events = ws.alloc_events();
+        ws.ensure(5, 16, 4, 50);
+        assert_eq!(ws.alloc_events(), events);
+    }
+
+    #[test]
+    fn rows_are_padded_to_blocks() {
+        let mut ws = Workspace::new(4, 5, 2, 7);
+        let parts = ws.parts();
+        assert_eq!(parts.row_stride, 8);
+        assert_eq!(parts.row_stride % 8, 0);
+        assert_eq!(parts.arena_stride % 8, 0);
+        assert!(parts.scratch.len() >= 2 * parts.arena_stride);
+        assert!(parts.stacks.len() >= 2 * parts.stack_stride);
+        assert!(parts.priv_buf.len() >= 2 * 7 * 5);
+    }
+}
