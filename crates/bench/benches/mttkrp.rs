@@ -12,6 +12,8 @@
 //! * `STEF_BENCH_RANK` — factor rank (default 16)
 //! * `STEF_THREADS`    — logical threads in the schedule (default 8)
 //! * `STEF_REPS`       — timed repetitions, best-of (default 5)
+//! * `STEF_RUNTIME`    — `pool` (persistent worker pool, default) or
+//!   `scoped` (per-dispatch `std::thread::scope`) for the vectorized path
 
 use linalg::Mat;
 use sptensor::build_csf;
@@ -47,6 +49,8 @@ struct Report {
     rank: usize,
     threads: usize,
     reps: usize,
+    runtime: String,
+    pool_workers: usize,
     records: Vec<Record>,
 }
 impl_to_json!(Report {
@@ -56,6 +60,8 @@ impl_to_json!(Report {
     rank,
     threads,
     reps,
+    runtime,
+    pool_workers,
     records
 });
 
@@ -93,6 +99,10 @@ fn main() {
     let rank = env_usize("STEF_BENCH_RANK", 16);
     let nthreads = env_usize("STEF_THREADS", 8);
     let reps = env_usize("STEF_REPS", 5);
+    let runtime = match std::env::var("STEF_RUNTIME").as_deref() {
+        Ok("scoped") => stef::Runtime::Scoped,
+        _ => stef::Runtime::Pool,
+    };
     let dims = [2_000usize, 5_000, 8_000];
 
     let t = power_law_tensor(&dims, nnz, &[0.8, 0.5, 0.3], 42);
@@ -108,11 +118,15 @@ fn main() {
     let mut partials = PartialStore::allocate(&csf, &save, nthreads, rank);
     let max_dim = *csf.level_dims().iter().max().unwrap();
     let mut ws = Workspace::new(d, rank, nthreads, max_dim);
+    let rt = stef::Executor::new(runtime, stef::runtime::resolve_workers(0));
 
     eprintln!(
         "mttkrp A/B: dims {dims:?}, {} nnz, rank {rank}, {nthreads} logical threads, \
-         best of {reps} (legacy = pre-rewrite recursive kernels)",
-        t.nnz()
+         {:?} runtime ({} workers), best of {reps} \
+         (legacy = pre-rewrite recursive kernels)",
+        t.nnz(),
+        rt.kind(),
+        rt.workers()
     );
 
     let mut records: Vec<Record> = Vec::new();
@@ -128,7 +142,7 @@ fn main() {
         let vectorized = {
             let mut out = Mat::zeros(csf.level_dims()[0], rank);
             best_ns(2, reps, || {
-                mode0_with(&ctx, &views, &mut ws, &mut out);
+                mode0_with(&ctx, &views, &rt, &mut ws, &mut out);
             })
         };
         records.push(Record {
@@ -159,7 +173,7 @@ fn main() {
             let vectorized = {
                 let mut out = Mat::zeros(csf.level_dims()[u], rank);
                 best_ns(2, reps, || {
-                    modeu_with(&ctx, &views, use_saved, u, accum, &mut ws, &mut out);
+                    modeu_with(&ctx, &views, use_saved, u, accum, &rt, &mut ws, &mut out);
                 })
             };
             records.push(Record {
@@ -200,6 +214,8 @@ fn main() {
         rank,
         threads: nthreads,
         reps,
+        runtime: format!("{:?}", rt.kind()).to_lowercase(),
+        pool_workers: rt.workers(),
         records,
     };
     // `cargo bench` runs benches from the crate dir; the repo root is

@@ -4,7 +4,7 @@
 use crate::args::{parse, FlagSpec};
 use crate::tensor_source::load;
 use sptensor::{build_csf, count_fibers_if_last_two_swapped, sort_modes_by_length, TensorStats};
-use stef::{LevelProfile, Stef, StefOptions};
+use stef::{LevelProfile, MttkrpEngine, Stef, StefOptions};
 use workloads::SuiteScale;
 
 pub fn run(argv: &[String]) -> Result<(), String> {
@@ -50,7 +50,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let mut opts = StefOptions::new(rank);
     opts.cache_bytes = cache_mb << 20;
     opts.num_threads = threads;
-    let engine = Stef::prepare(&t, opts.clone());
+    let mut engine = Stef::prepare(&t, opts.clone());
     let plan = engine.plan();
     println!("\nSTeF plan (R={rank}, cache {cache_mb} MiB):");
     println!("  swap last two modes: {}", plan.swap_last_two);
@@ -90,6 +90,29 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         none / 1e6,
         all_traffic / 1e6
     );
+
+    // One warm MTTKRP sweep on the engine's executor, then surface the
+    // worker-pool counters so imbalance is visible from the CLI.
+    let factors = stef::init_factors(t.dims(), rank, 1);
+    for mode in engine.sweep_order() {
+        std::hint::black_box(engine.mttkrp(&factors, mode));
+    }
+    let rc = engine.runtime_counters();
+    println!(
+        "\nruntime ({:?} executor, {} workers) after one warm sweep:",
+        engine.executor().kind(),
+        rc.workers
+    );
+    println!(
+        "  dispatches {} (inline {}), dispatcher claimed {} chunks",
+        rc.dispatches, rc.inline_runs, rc.dispatcher_chunks
+    );
+    for (i, w) in rc.per_worker.iter().enumerate() {
+        println!(
+            "  worker {i}: busy in {} dispatches, {} chunks claimed, {} parks",
+            w.busy, w.chunks, w.parks
+        );
+    }
     Ok(())
 }
 

@@ -5,7 +5,7 @@
 //! loadable from numpy/Julia/R.
 
 use crate::args::{parse, FlagSpec};
-use crate::commands::{accum_by_name, engine_by_name};
+use crate::commands::{accum_by_name, engine_by_name, runtime_by_name};
 use crate::error::CliError;
 use crate::tensor_source::load;
 use linalg::Mat;
@@ -26,6 +26,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         ("--seed", "seed"),
         ("--mode", "mode"),
         ("--accum", "accum"),
+        ("--runtime", "runtime"),
         ("--checkpoint", "checkpoint"),
         ("--checkpoint-every", "checkpoint-every"),
         ("--resume", "resume"),
@@ -40,6 +41,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     let engine_name = p.str_or("engine", "stef");
     let update_mode = p.str_or("mode", "als");
     let accum = accum_by_name(p.str_or("accum", "auto")).map_err(CliError::Usage)?;
+    let runtime = runtime_by_name(p.str_or("runtime", "pool")).map_err(CliError::Usage)?;
     let checkpoint_every: usize = p.num_or("checkpoint-every", 5)?;
     let checkpoint = p
         .opt_str("checkpoint")
@@ -61,7 +63,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "decomposing {label} ({} nnz) with engine '{engine_name}', rank {rank}",
         t.nnz()
     );
-    let mut engine = engine_by_name(engine_name, &t, rank, threads, accum)?;
+    let mut engine = engine_by_name(engine_name, &t, rank, threads, accum, runtime)?;
     let opts = CpdOptions {
         rank,
         max_iters: iters,

@@ -7,7 +7,7 @@ pub mod generate;
 pub mod list;
 pub mod validate;
 
-use stef::{AccumStrategy, MttkrpEngine};
+use stef::{AccumStrategy, MttkrpEngine, Runtime};
 
 /// Parses a `--accum` value. Errors are usage errors (exit code 2).
 pub fn accum_by_name(name: &str) -> Result<AccumStrategy, String> {
@@ -21,6 +21,15 @@ pub fn accum_by_name(name: &str) -> Result<AccumStrategy, String> {
     }
 }
 
+/// Parses a `--runtime` value. Errors are usage errors (exit code 2).
+pub fn runtime_by_name(name: &str) -> Result<Runtime, String> {
+    match name {
+        "pool" => Ok(Runtime::Pool),
+        "scoped" => Ok(Runtime::Scoped),
+        other => Err(format!("unknown --runtime '{other}' (pool|scoped)")),
+    }
+}
+
 /// Builds an engine by CLI name. `accum` applies to the STeF engines;
 /// baselines resolve output conflicts their own way and ignore it.
 pub fn engine_by_name(
@@ -29,10 +38,12 @@ pub fn engine_by_name(
     rank: usize,
     threads: usize,
     accum: AccumStrategy,
+    runtime: Runtime,
 ) -> Result<Box<dyn MttkrpEngine>, String> {
     let mut opts = stef::StefOptions::new(rank);
     opts.num_threads = threads;
     opts.accum = accum;
+    opts.runtime = runtime;
     Ok(match name {
         "stef" => Box::new(stef::Stef::prepare(tensor, opts)),
         "stef2" => Box::new(stef::Stef2::prepare(tensor, opts)),
@@ -87,7 +98,7 @@ mod tests {
             "hicoo",
             "reference",
         ] {
-            let e = engine_by_name(name, &t, 2, 1, AccumStrategy::Auto).unwrap();
+            let e = engine_by_name(name, &t, 2, 1, AccumStrategy::Auto, Runtime::Pool).unwrap();
             assert_eq!(e.dims(), t.dims());
         }
     }
@@ -95,7 +106,14 @@ mod tests {
     #[test]
     fn unknown_engine_errors() {
         let t = uniform_tensor(&[4, 4], 10, 2);
-        assert!(engine_by_name("magic", &t, 2, 1, AccumStrategy::Auto).is_err());
+        assert!(engine_by_name("magic", &t, 2, 1, AccumStrategy::Auto, Runtime::Pool).is_err());
+    }
+
+    #[test]
+    fn runtime_names_parse() {
+        assert_eq!(runtime_by_name("pool").unwrap(), Runtime::Pool);
+        assert_eq!(runtime_by_name("scoped").unwrap(), Runtime::Scoped);
+        assert!(runtime_by_name("magic").is_err());
     }
 
     #[test]

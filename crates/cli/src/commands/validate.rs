@@ -3,7 +3,7 @@
 //! `stef::validate::validate_engine`).
 
 use crate::args::{parse, FlagSpec};
-use crate::commands::{accum_by_name, engine_by_name};
+use crate::commands::{accum_by_name, engine_by_name, runtime_by_name};
 use crate::tensor_source::load;
 use workloads::SuiteScale;
 
@@ -15,6 +15,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         ("--threads", "threads"),
         ("--tol", "tol"),
         ("--accum", "accum"),
+        ("--runtime", "runtime"),
     ]);
     let p = parse(argv, &spec)?;
     let tensor_spec = p.one_positional("tensor")?;
@@ -32,7 +33,8 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     }
     println!("validating engine '{engine_name}' on {label} at rank {rank} (tol {tol:e})…");
     let accum = accum_by_name(p.str_or("accum", "auto"))?;
-    let mut engine = engine_by_name(engine_name, &t, rank, threads, accum)?;
+    let runtime = runtime_by_name(p.str_or("runtime", "pool"))?;
+    let mut engine = engine_by_name(engine_name, &t, rank, threads, accum, runtime)?;
     let report = stef::validate_engine(engine.as_mut(), &t, rank, tol, 42);
     if report.is_ok() {
         println!(

@@ -24,6 +24,7 @@ pub mod krp;
 pub mod mat;
 pub mod norms;
 pub mod ops;
+pub mod par;
 pub mod solve;
 
 pub use mat::Mat;

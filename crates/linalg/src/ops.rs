@@ -3,11 +3,13 @@
 //! The interesting one is [`gram`]: CP-ALS forms `V` as the Hadamard
 //! product of the Gram matrices `A⁽ⁱ⁾ᵀ A⁽ⁱ⁾` of every factor except the
 //! one being updated (paper Algorithm 2, lines 2/5/8/11). Grams of
-//! tall-skinny matrices are computed as a rayon-parallel sum of rank-1
-//! row outer products, which touches each factor row exactly once.
+//! tall-skinny matrices are computed as a parallel sum of rank-1 row
+//! outer products, which touches each factor row exactly once. The
+//! parallel loops fan out through [`crate::par`], so in a full engine
+//! build they run on the same persistent worker pool as the sparse
+//! kernels instead of spawning scoped threads per call.
 
-use crate::Mat;
-use rayon::prelude::*;
+use crate::{par, Mat};
 
 /// Minimum number of rows before [`gram`] and [`matmul`] bother spawning
 /// parallel work; tiny matrices are faster sequentially.
@@ -25,35 +27,47 @@ pub fn gram(a: &Mat) -> Mat {
         symmetrize(&mut g);
         return g;
     }
-    let chunk = (a.rows() / rayon::current_num_threads().max(1)).max(256);
-    let partials: Vec<Vec<f64>> = a
-        .as_slice()
-        .par_chunks(chunk * r)
-        .map(|block| {
-            let mut acc = vec![0.0; r * r];
-            for row in block.chunks_exact(r) {
-                accumulate_outer(&mut acc, row, r);
+    // Chunking depends only on the hardware worker count — never on the
+    // executor actually running the fan-out — so the summation order
+    // (and therefore every bit of the result) is identical whether the
+    // blocks run on the pool, on scoped threads, or inline.
+    let chunk = (a.rows() / par::workers().max(1)).max(256);
+    let nchunks = a.rows().div_ceil(chunk);
+    let data = a.as_slice();
+    let mut partials = vec![0.0; nchunks * r * r];
+    {
+        let shared = par::SharedSlice::new(&mut partials);
+        par::fanout(nchunks, &|ci| {
+            // SAFETY: each task owns exactly its own r×r partial block.
+            let acc = unsafe { shared.range_mut(ci * r * r, (ci + 1) * r * r) };
+            let lo = ci * chunk * r;
+            let hi = ((ci + 1) * chunk * r).min(data.len());
+            for row in data[lo..hi].chunks_exact(r) {
+                accumulate_outer(acc, row, r);
             }
-            acc
-        })
-        .collect();
-    // Parallel element-wise reduction of the per-worker partials. Each
-    // output element sums its partials in worker order, so the result is
-    // bit-identical to the serial reduction regardless of how the chunks
-    // are distributed.
+        });
+    }
+    // Parallel element-wise reduction of the per-block partials. Each
+    // output element sums its partials in block order, so the result is
+    // bit-identical to the serial reduction regardless of how the blocks
+    // are distributed across workers.
     let mut out = vec![0.0; r * r];
-    let red_chunk = (r * r / rayon::current_num_threads().max(1)).max(64);
-    out.par_chunks_mut(red_chunk)
-        .enumerate()
-        .for_each(|(ci, dst)| {
+    let red_chunk = (r * r / par::workers().max(1)).max(64);
+    let nred = (r * r).div_ceil(red_chunk);
+    {
+        let shared = par::SharedSlice::new(&mut out);
+        par::fanout(nred, &|ci| {
             let base = ci * red_chunk;
-            let len = dst.len();
-            for p in &partials {
-                for (o, &v) in dst.iter_mut().zip(&p[base..base + len]) {
+            let end = (base + red_chunk).min(r * r);
+            // SAFETY: each task owns a disjoint output element range.
+            let dst = unsafe { shared.range_mut(base, end) };
+            for p in partials.chunks_exact(r * r) {
+                for (o, &v) in dst.iter_mut().zip(&p[base..end]) {
                     *o += v;
                 }
             }
         });
+    }
     let mut g = Mat::from_vec(r, r, out);
     symmetrize(&mut g);
     g
@@ -113,25 +127,30 @@ pub fn matmul(a: &Mat, b: &Mat) -> Mat {
     let mut out = Mat::zeros(m, n);
     if m >= PAR_THRESHOLD {
         // Row *blocks* rather than single rows: far fewer parallel tasks
-        // and each worker streams over a contiguous output range.
-        let block = (m / rayon::current_num_threads().max(1)).max(256);
-        out.as_mut_slice()
-            .par_chunks_mut(block * n)
-            .enumerate()
-            .for_each(|(ci, oblock)| {
-                let row0 = ci * block;
-                for (local, orow) in oblock.chunks_exact_mut(n).enumerate() {
-                    let i = row0 + local;
-                    for p in 0..k {
-                        let aip = a[(i, p)];
-                        if aip != 0.0 {
-                            for (o, &bv) in orow.iter_mut().zip(b.row(p)) {
-                                *o += aip * bv;
-                            }
+        // and each worker streams over a contiguous output range. Every
+        // output element is computed by exactly one task with the same
+        // per-element summation order as the serial loop, so the result
+        // is bit-identical for any executor.
+        let block = (m / par::workers().max(1)).max(256);
+        let nblocks = m.div_ceil(block);
+        let shared = par::SharedSlice::new(out.as_mut_slice());
+        par::fanout(nblocks, &|ci| {
+            let row0 = ci * block;
+            let row1 = (row0 + block).min(m);
+            // SAFETY: each task owns a disjoint block of output rows.
+            let oblock = unsafe { shared.range_mut(row0 * n, row1 * n) };
+            for (local, orow) in oblock.chunks_exact_mut(n).enumerate() {
+                let i = row0 + local;
+                for p in 0..k {
+                    let aip = a[(i, p)];
+                    if aip != 0.0 {
+                        for (o, &bv) in orow.iter_mut().zip(b.row(p)) {
+                            *o += aip * bv;
                         }
                     }
                 }
-            });
+            }
+        });
     } else {
         for i in 0..m {
             for p in 0..k {

@@ -11,13 +11,15 @@
 //! leaf index `l` (Algorithm 9, lines 10–12). We exploit the CSF property
 //! that each level-(d−3) node's subtree is a contiguous leaf range:
 //! distinct `(prefix, leaf)` pairs = Σ over level-(d−3) nodes of the
-//! number of distinct leaf indices inside that node's range. Each rayon
-//! worker keeps its own `observed` buffer storing the *node id* as the
-//! marker, so buffers never need clearing between nodes — the same trick
-//! the paper uses with `(i, j)` pairs.
+//! number of distinct leaf indices inside that node's range. Each
+//! parallel task keeps its own `observed` buffer storing the *node id*
+//! as the marker, so buffers never need clearing between nodes — the
+//! same trick the paper uses with `(i, j)` pairs. The tasks fan out
+//! through `linalg::par`, so in an engine build they run on the shared
+//! persistent worker pool; the per-chunk counts land in disjoint slots
+//! and are summed afterwards (integer sum — order-independent).
 
 use crate::csf::Csf;
-use rayon::prelude::*;
 
 /// Minimum leaf count before the parallel path is taken.
 const PAR_THRESHOLD: usize = 1 << 14;
@@ -55,14 +57,20 @@ pub fn count_fibers_if_last_two_swapped(csf: &Csf) -> usize {
         return count_range(csf, anchor, 0, n_nodes, &mut observed);
     }
 
-    let node_ids: Vec<usize> = (0..n_nodes).collect();
-    node_ids
-        .par_chunks(NODE_CHUNK)
-        .map(|chunk| {
+    let nchunks = n_nodes.div_ceil(NODE_CHUNK);
+    let mut counts = vec![0usize; nchunks];
+    {
+        let shared = linalg::par::SharedSlice::new(&mut counts);
+        linalg::par::fanout(nchunks, &|ci| {
+            let lo = ci * NODE_CHUNK;
+            let hi = (lo + NODE_CHUNK).min(n_nodes);
             let mut observed = vec![u64::MAX; leaf_dim];
-            count_range(csf, anchor, chunk[0], chunk[0] + chunk.len(), &mut observed)
-        })
-        .sum()
+            // SAFETY: each task owns exactly its own count slot.
+            let slot = unsafe { shared.range_mut(ci, ci + 1) };
+            slot[0] = count_range(csf, anchor, lo, hi, &mut observed);
+        });
+    }
+    counts.iter().sum()
 }
 
 /// Counts distinct `(node, leaf-fid)` pairs for nodes `[lo, hi)` at

@@ -19,6 +19,8 @@
 use crate::model::RawTraffic;
 use sptensor::Csf;
 
+pub use crate::runtime::{RuntimeCounters, WorkerCounters};
+
 /// Per-mode and total counted traffic.
 #[derive(Clone, Debug)]
 pub struct CountedTraffic {

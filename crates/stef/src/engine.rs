@@ -10,6 +10,7 @@ use crate::model::{
 };
 use crate::options::{AccumStrategy, KernelPath, MemoPolicy, ModeSwitchPolicy, StefOptions};
 use crate::partials::PartialStore;
+use crate::runtime::{Executor, RuntimeCounters};
 use crate::schedule::Schedule;
 use crate::workspace::Workspace;
 use linalg::Mat;
@@ -73,6 +74,11 @@ pub struct Stef {
     accum_by_level: Vec<ResolvedAccum>,
     /// Kernel scratch, sized at preparation and reused by every pass.
     ws: Workspace,
+    /// Execution substrate, built once at preparation: a persistent
+    /// worker pool sized from `StefOptions::num_threads` (workers are
+    /// created here and parked between dispatches), or the scoped-spawn
+    /// fallback when `StefOptions::runtime` asks for it.
+    exec: Executor,
 }
 
 impl Stef {
@@ -257,6 +263,7 @@ impl Stef {
             .max()
             .unwrap_or(0);
         let ws = Workspace::new(d, opts.rank, nthreads, max_priv_rows);
+        let exec = Executor::new(opts.runtime, opts.workers());
 
         Ok(Stef {
             sched,
@@ -270,6 +277,7 @@ impl Stef {
             memo_disabled: false,
             accum_by_level,
             ws,
+            exec,
             csf,
         })
     }
@@ -327,6 +335,18 @@ impl Stef {
         self.ws.bytes()
     }
 
+    /// The engine's execution substrate (per-engine, honoring
+    /// `StefOptions::num_threads` and `StefOptions::runtime`).
+    pub fn executor(&self) -> &Executor {
+        &self.exec
+    }
+
+    /// Pool counters (dispatches, per-worker busy/steal/park) for the
+    /// engine's executor; all-zero under the scoped fallback.
+    pub fn runtime_counters(&self) -> RuntimeCounters {
+        self.exec.counters()
+    }
+
     /// MTTKRP for a CSF *level* with factors given in level order.
     /// Exposed for STeF2 and the benches; most callers want
     /// [`MttkrpEngine::mttkrp`].
@@ -337,7 +357,7 @@ impl Stef {
             match self.opts.kernel_path {
                 KernelPath::Vectorized => {
                     let views = self.partials.shared_views();
-                    mode0_with(&ctx, &views, &mut self.ws, &mut out);
+                    mode0_with(&ctx, &views, &self.exec, &mut self.ws, &mut out);
                 }
                 KernelPath::Legacy => {
                     kernels_legacy::mode0_pass(&ctx, &mut self.partials, &mut out);
@@ -352,7 +372,16 @@ impl Stef {
             KernelPath::Vectorized => {
                 let mut out = Mat::zeros(self.csf.level_dims()[level], self.opts.rank);
                 let views = self.partials.shared_views();
-                modeu_with(&ctx, &views, use_saved, level, accum, &mut self.ws, &mut out);
+                modeu_with(
+                    &ctx,
+                    &views,
+                    use_saved,
+                    level,
+                    accum,
+                    &self.exec,
+                    &mut self.ws,
+                    &mut out,
+                );
                 out
             }
             KernelPath::Legacy => {

@@ -50,8 +50,9 @@
 //! bit-identical results — a property the differential tests pin.
 
 use crate::partials::PartialStore;
+use crate::runtime::Executor;
 use crate::schedule::Schedule;
-use crate::sync::{fanout, SharedRows, SharedSlice};
+use crate::sync::{SharedRows, SharedSlice};
 use crate::workspace::Workspace;
 use linalg::krp::{axpy_row, hadamard_row, krp_axpy, krp_row, scale_row_into};
 use linalg::Mat;
@@ -160,11 +161,13 @@ impl Emitter for AtomicEmitter<'_, '_> {
 // ---------------------------------------------------------------------
 
 /// Computes `Ā⁽⁰⁾` and stores all partials flagged in `views`, using the
-/// caller's workspace. `out` must be `level_dims[0] × R`; it is zeroed
-/// here. Allocation-free once `ws` is warm.
+/// caller's workspace and fanning out on `rt`. `out` must be
+/// `level_dims[0] × R`; it is zeroed here. Allocation-free once `ws` is
+/// warm (the pool runtime dispatches without touching the allocator).
 pub fn mode0_with(
     ctx: &KernelCtx<'_>,
     views: &[Option<SharedRows<'_>>],
+    rt: &Executor,
     ws: &mut Workspace,
     out: &mut Mat,
 ) {
@@ -184,7 +187,7 @@ pub fn mode0_with(
     let stackmem = SharedSlice::new(&mut parts.stacks[..nthreads * sstride]);
     let out_shared = SharedRows::new(out.as_mut_slice(), r);
 
-    fanout(nthreads, |th| {
+    rt.fanout(nthreads, |th| {
         // SAFETY: each logical thread touches only its own arena span.
         let scr = unsafe { arena.range_mut(th * astride, (th + 1) * astride) };
         let stk = unsafe { stackmem.range_mut(th * sstride, (th + 1) * sstride) };
@@ -316,14 +319,17 @@ fn subtree_down(
 // ---------------------------------------------------------------------
 
 /// Computes `Ā⁽ᵘ⁾` for a non-root level `u` into `out` (`level_dims[u] ×
-/// R`), using memoized partials where available (`use_saved`) and the
-/// caller's workspace. Allocation-free once `ws` is warm.
+/// R`), using memoized partials where available (`use_saved`), the
+/// caller's workspace, and `rt` for the fan-outs. Allocation-free once
+/// `ws` is warm.
+#[allow(clippy::too_many_arguments)]
 pub fn modeu_with(
     ctx: &KernelCtx<'_>,
     views: &[Option<SharedRows<'_>>],
     use_saved: bool,
     u: usize,
     accum: ResolvedAccum,
+    rt: &Executor,
     ws: &mut Workspace,
     out: &mut Mat,
 ) {
@@ -351,7 +357,7 @@ pub fn modeu_with(
         ResolvedAccum::Privatized => {
             let pstride = parts.priv_stride;
             let pool = SharedSlice::new(&mut parts.priv_buf[..nthreads * pstride]);
-            fanout(nthreads, |th| {
+            rt.fanout(nthreads, |th| {
                 // SAFETY: per-thread spans are disjoint by construction.
                 let scr = unsafe { arena.range_mut(th * astride, (th + 1) * astride) };
                 let stk = unsafe { stackmem.range_mut(th * sstride, (th + 1) * sstride) };
@@ -366,7 +372,7 @@ pub fn modeu_with(
             // reduction for every worker count.
             let total = n_u * r;
             let out_slice = SharedSlice::new(out.as_mut_slice());
-            fanout(nthreads, |w| {
+            rt.fanout(nthreads, |w| {
                 let lo = w * total / nthreads;
                 let hi = (w + 1) * total / nthreads;
                 // SAFETY: chunks [lo, hi) are disjoint across workers;
@@ -385,7 +391,7 @@ pub fn modeu_with(
         ResolvedAccum::Atomic => {
             out.fill_zero();
             let shared = SharedRows::new(out.as_mut_slice(), r);
-            fanout(nthreads, |th| {
+            rt.fanout(nthreads, |th| {
                 // SAFETY: per-thread spans are disjoint by construction.
                 let scr = unsafe { arena.range_mut(th * astride, (th + 1) * astride) };
                 let stk = unsafe { stackmem.range_mut(th * sstride, (th + 1) * sstride) };
@@ -653,13 +659,14 @@ fn compute_t(
 /// Computes `Ā⁽⁰⁾` and stores all partials flagged in `partials`.
 ///
 /// `out` must be `level_dims[0] × R`; it is zeroed here. This wrapper
-/// builds a throw-away [`Workspace`] per call — callers on a hot path
-/// (the engine) hold their own workspace and use [`mode0_with`].
+/// builds a throw-away [`Workspace`] per call and fans out on the
+/// process-global runtime — callers on a hot path (the engine) hold
+/// their own workspace and executor and use [`mode0_with`].
 pub fn mode0_pass(ctx: &KernelCtx<'_>, partials: &mut PartialStore, out: &mut Mat) {
     assert_eq!(partials.nthreads(), ctx.sched.nthreads());
     let views = partials.shared_views();
     let mut ws = Workspace::new(ctx.csf.ndim(), ctx.rank, ctx.sched.nthreads(), 0);
-    mode0_with(ctx, &views, &mut ws, out);
+    mode0_with(ctx, &views, crate::runtime::global(), &mut ws, out);
 }
 
 /// Computes `Ā⁽ᵘ⁾` for a non-root level `u`, using memoized partials
@@ -682,7 +689,16 @@ pub fn modeu_pass(
     };
     let mut ws = Workspace::new(ctx.csf.ndim(), ctx.rank, ctx.sched.nthreads(), priv_rows);
     let views = partials.shared_views();
-    modeu_with(ctx, &views, use_saved, u, accum, &mut ws, &mut out);
+    modeu_with(
+        ctx,
+        &views,
+        use_saved,
+        u,
+        accum,
+        crate::runtime::global(),
+        &mut ws,
+        &mut out,
+    );
     out
 }
 
@@ -1028,14 +1044,15 @@ mod tests {
         let ctx = KernelCtx::new(&csf, &sched, refs, rank);
         let max_n = *csf.level_dims().iter().max().unwrap();
         let mut ws = Workspace::new(4, rank, nthreads, max_n);
+        let rt = crate::runtime::Executor::new(crate::runtime::Runtime::Pool, 2);
         let mut out0 = Mat::zeros(csf.level_dims()[0], rank);
         for _round in 0..3 {
             let views = partials.shared_views();
-            mode0_with(&ctx, &views, &mut ws, &mut out0);
+            mode0_with(&ctx, &views, &rt, &mut ws, &mut out0);
             for u in 1..4 {
                 let mut out = Mat::zeros(csf.level_dims()[u], rank);
                 for accum in [ResolvedAccum::Privatized, ResolvedAccum::Atomic] {
-                    modeu_with(&ctx, &views, true, u, accum, &mut ws, &mut out);
+                    modeu_with(&ctx, &views, true, u, accum, &rt, &mut ws, &mut out);
                     assert_mat_approx_eq(&out, &t.mttkrp_reference(&factors, u), 1e-9);
                 }
             }

@@ -53,6 +53,7 @@ pub mod options;
 pub mod paper_kernels;
 pub mod partials;
 pub mod recover;
+pub mod runtime;
 pub mod schedule;
 pub mod stef2;
 pub mod sync;
@@ -72,6 +73,7 @@ pub use options::{
     AccumStrategy, KernelPath, LoadBalance, MemoPolicy, ModeSwitchPolicy, StefOptions,
 };
 pub use partials::PartialStore;
+pub use runtime::{Executor, Runtime, RuntimeCounters, WorkerCounters, WorkerPool};
 pub use schedule::Schedule;
 pub use stef2::Stef2;
 pub use validate::{validate_engine, ValidationReport};

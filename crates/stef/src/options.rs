@@ -3,7 +3,11 @@
 //! The defaults reproduce the paper's STeF: nnz-balanced scheduling,
 //! model-chosen memoization, model-chosen last-two-mode switching. Every
 //! knob exists because the paper's ablation study (Fig. 6) turns exactly
-//! that optimization off.
+//! that optimization off — plus the [`Runtime`] knob, which selects the
+//! execution substrate (persistent pool vs scoped spawn) for A/B
+//! benchmarking of the runtime layer itself.
+
+pub use crate::runtime::Runtime;
 
 /// How non-zeros are distributed across logical threads.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -98,6 +102,10 @@ pub struct StefOptions {
     pub privatize_cap_bytes: usize,
     /// Kernel implementation to run.
     pub kernel_path: KernelPath,
+    /// Execution substrate for the parallel fan-outs: the persistent
+    /// worker pool (default) or per-call scoped spawning (the A/B
+    /// baseline).
+    pub runtime: Runtime,
 }
 
 /// Best-effort detection of the per-core cache the data-movement model
@@ -138,16 +146,25 @@ impl StefOptions {
             accum: AccumStrategy::Auto,
             privatize_cap_bytes: 512 << 20,
             kernel_path: KernelPath::Vectorized,
+            runtime: Runtime::default(),
         }
     }
 
-    /// Resolved logical thread count.
+    /// Resolved logical thread count: `num_threads`, or all hardware
+    /// workers when 0.
     pub fn threads(&self) -> usize {
         if self.num_threads == 0 {
-            rayon::current_num_threads()
+            crate::runtime::hardware_workers()
         } else {
             self.num_threads
         }
+    }
+
+    /// Resolved OS worker count for the engine's executor: honors
+    /// `num_threads` (capped at hardware parallelism) instead of the
+    /// process-global probe the old `sync::physical_workers` used.
+    pub fn workers(&self) -> usize {
+        crate::runtime::resolve_workers(self.num_threads)
     }
 }
 
@@ -172,11 +189,23 @@ mod tests {
     }
 
     #[test]
-    fn zero_threads_resolves_to_pool_size() {
+    fn zero_threads_resolves_to_hardware_size() {
         let o = StefOptions::new(8);
-        assert_eq!(o.threads(), rayon::current_num_threads());
+        assert_eq!(o.threads(), crate::runtime::hardware_workers());
         let mut o2 = o.clone();
         o2.num_threads = 3;
         assert_eq!(o2.threads(), 3);
+    }
+
+    #[test]
+    fn workers_honor_num_threads() {
+        let hw = crate::runtime::hardware_workers();
+        let o = StefOptions::new(8);
+        assert_eq!(o.workers(), hw);
+        let mut o2 = o.clone();
+        o2.num_threads = 1;
+        assert_eq!(o2.workers(), 1, "explicit --threads 1 must mean 1 worker");
+        o2.num_threads = 2;
+        assert_eq!(o2.workers(), 2.min(hw));
     }
 }

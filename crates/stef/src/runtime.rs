@@ -1,0 +1,672 @@
+//! Persistent worker-pool runtime: epoch-dispatched, work-stealing,
+//! allocation-free parallel fan-out.
+//!
+//! Every parallel region in this workspace has the same shape: run
+//! `f(th)` once for each *logical thread* `0..nthreads` of an
+//! nnz-balanced schedule, then join. The old substrate
+//! (`sync::fanout`) spawned fresh OS threads through
+//! `std::thread::scope` on every call — four call sites per MTTKRP
+//! pass, one pass per mode per ALS iteration — so a 50-iteration CPD
+//! paid hundreds of spawn/join round-trips, each with its own heap
+//! allocations, and then handed every worker a *static* contiguous
+//! block of logical threads, so one slow worker stalled the whole mode
+//! even though the logical-thread decomposition was perfectly balanced.
+//!
+//! [`WorkerPool`] replaces that with workers created **once** and
+//! parked between dispatches:
+//!
+//! * **Epoch dispatch.** A job is published as a raw function pointer
+//!   plus an opaque context pointer (the monomorphizing trampoline the
+//!   kernels already use for their `Emitter`s — no `&dyn Fn(usize)`
+//!   anywhere on the hot path), guarded by a seqlock-style `seq`
+//!   counter: odd while the dispatcher writes the slot, bumped to even
+//!   to publish. Workers that observe a torn window simply retry.
+//! * **Dynamic claiming (work stealing).** Workers claim logical
+//!   threads from a single atomic cursor in small chunks instead of
+//!   being assigned static ranges, so a straggler (NUMA, frequency
+//!   scaling, co-tenancy) only delays the chunks it actually holds.
+//!   The cursor word packs a 32-bit job id next to the 32-bit cursor,
+//!   so a stale worker waking up with a previous job's snapshot can
+//!   never claim work from the current one.
+//! * **Bounded spin-then-park.** Workers spin briefly (cheap when
+//!   dispatches arrive back-to-back inside one ALS sweep), then yield,
+//!   then park on a condvar. The dispatcher does the same while
+//!   waiting for completion. Mutex/condvar on Linux are futex-based:
+//!   steady-state dispatch performs **zero allocator calls**, which
+//!   `tests/alloc_free.rs` pins with a counting global allocator.
+//! * **Determinism.** Which OS worker runs which logical thread is
+//!   scheduling-dependent, but every combining step in the kernels
+//!   (privatized reduction, boundary-row handling, gram reduction)
+//!   already merges contributions in *logical-thread order*, never in
+//!   arrival order — so results are bitwise identical to the scoped
+//!   fallback for any worker count (`tests/determinism.rs`).
+//!
+//! [`Executor`] is the handle the engine and kernels carry: either a
+//! shared [`WorkerPool`] or the legacy [`scoped_fanout`] path
+//! (selectable via `StefOptions::runtime`) kept for A/B benchmarking.
+//! [`global`] is the process-wide default used by call sites that have
+//! no engine (the `sync::fanout` free function, and the
+//! `linalg::par` hook that routes `gram`/`matmul`/swap-count
+//! fan-outs through the same pool).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Spin iterations (with `spin_loop` hints) before a waiter starts
+/// yielding. Kept modest so oversubscribed pools cede the core quickly.
+const SPIN_HINTS: usize = 256;
+/// `yield_now` rounds after the spin phase before parking on a condvar.
+const YIELD_ROUNDS: usize = 64;
+
+/// Which execution substrate the engine fans out on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Runtime {
+    /// The persistent worker pool (the default).
+    #[default]
+    Pool,
+    /// `std::thread::scope` with static contiguous blocks per worker —
+    /// the pre-pool behavior, kept selectable for A/B benchmarks.
+    Scoped,
+}
+
+/// Counters one pool worker accumulates across its lifetime.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerCounters {
+    /// Dispatches in which this worker claimed at least one chunk.
+    pub busy: u64,
+    /// Chunks dynamically claimed from the shared cursor ("steals").
+    pub chunks: u64,
+    /// Times this worker gave up spinning and parked on the condvar.
+    pub parks: u64,
+}
+
+/// Aggregate runtime counters, surfaced through `stef::counters` and
+/// the `stef analyze` CLI.
+#[derive(Clone, Debug, Default)]
+pub struct RuntimeCounters {
+    /// Total workers (spawned pool threads + the dispatching caller).
+    pub workers: usize,
+    /// Jobs dispatched through the pool machinery.
+    pub dispatches: u64,
+    /// Fan-outs executed inline (single logical thread, reentrant
+    /// calls, or a contended dispatcher).
+    pub inline_runs: u64,
+    /// Chunks the dispatching thread claimed for itself.
+    pub dispatcher_chunks: u64,
+    /// Per spawned worker: busy/steal/park counts.
+    pub per_worker: Vec<WorkerCounters>,
+}
+
+/// One spawned worker's counter slab, cache-line padded so neighbours
+/// never false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct WorkerStat {
+    busy: AtomicU64,
+    chunks: AtomicU64,
+    parks: AtomicU64,
+}
+
+/// Shared dispatcher/worker state. All job fields are atomics: a worker
+/// waking mid-publish may read a torn *combination*, but never tears an
+/// individual field, and the seqlock validation below discards any
+/// inconsistent snapshot before it can be used.
+struct Shared {
+    /// Seqlock word: odd while the dispatcher writes the job slot,
+    /// even once published. `seq >> 1` is the job id.
+    seq: AtomicU64,
+    /// Trampoline `fn(*const (), usize)` stored as an address.
+    call: AtomicUsize,
+    /// Opaque context pointer (the borrowed closure) for the trampoline.
+    ctx: AtomicUsize,
+    nthreads: AtomicUsize,
+    chunk: AtomicUsize,
+    /// `(job_id << 32) | next_unclaimed_logical_thread`.
+    work: AtomicU64,
+    /// Logical threads fully executed for the current job.
+    completed: AtomicUsize,
+    shutdown: AtomicBool,
+    /// Parking lot for idle workers.
+    idle_lock: Mutex<()>,
+    idle_cv: Condvar,
+    /// Parking lot for a dispatcher waiting on completion.
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+    done_parked: AtomicBool,
+    stats: Vec<WorkerStat>,
+}
+
+// SAFETY: `ctx` is an address dereferenced only through the matching
+// trampoline while the dispatching call frame is alive — the dispatch
+// protocol (completion barrier + job-id-tagged cursor) guarantees no
+// claim outlives the dispatch that published it.
+unsafe impl Send for Shared {}
+unsafe impl Sync for Shared {}
+
+#[inline]
+fn pack(id: u32, cursor: u32) -> u64 {
+    (u64::from(id) << 32) | u64::from(cursor)
+}
+
+#[inline]
+fn unpack(w: u64) -> (u32, u32) {
+    ((w >> 32) as u32, w as u32)
+}
+
+thread_local! {
+    /// Set inside pool worker threads so reentrant fan-outs run inline
+    /// instead of deadlocking on their own pool.
+    static IN_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn in_pool_worker() -> bool {
+    IN_POOL_WORKER.with(|c| c.get())
+}
+
+/// Monomorphized per-closure entry point — the only indirect call per
+/// logical thread, same cost as the old closure-ref dispatch.
+fn trampoline<F: Fn(usize) + Sync>(ctx: usize, th: usize) {
+    // SAFETY: `ctx` was produced from `&F` by the `run::<F>` activation
+    // that published this job; the completion barrier keeps that borrow
+    // alive until every claimed logical thread has finished.
+    let f = unsafe { &*(ctx as *const F) };
+    f(th);
+}
+
+/// Claims chunks from the shared cursor and runs them until the job is
+/// drained (or superseded). Returns the number of chunks claimed.
+///
+/// The `notify_done` flag is set for workers (the dispatcher polls the
+/// `completed` counter itself and must not be woken by its own claims).
+fn drain_work(s: &Shared, id: u32, nthreads: usize, chunk: usize, run: impl Fn(usize), notify_done: bool) -> u64 {
+    let mut claimed = 0u64;
+    loop {
+        let cur = s.work.load(Ordering::Acquire);
+        let (wid, wc) = unpack(cur);
+        let lo = wc as usize;
+        if wid != id || lo >= nthreads {
+            return claimed;
+        }
+        let hi = (lo + chunk).min(nthreads);
+        if s
+            .work
+            .compare_exchange_weak(cur, pack(id, hi as u32), Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            continue;
+        }
+        for th in lo..hi {
+            run(th);
+        }
+        claimed += 1;
+        // SeqCst: release the work just done to the dispatcher's
+        // acquire load AND order against the `done_parked` handshake
+        // (see `run`): if the dispatcher parked before this add became
+        // visible, we observe `done_parked == true` and wake it.
+        let prev = s.completed.fetch_add(hi - lo, Ordering::SeqCst);
+        if notify_done && prev + (hi - lo) == nthreads && s.done_parked.load(Ordering::SeqCst) {
+            drop(s.done_lock.lock().unwrap());
+            s.done_cv.notify_one();
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, idx: usize) {
+    IN_POOL_WORKER.with(|c| c.set(true));
+    let stat = &shared.stats[idx];
+    // Last job id this worker fully processed (seq values are even when
+    // stable; `seen` stores the raw even seq).
+    let mut seen = 0u64;
+    loop {
+        // ---- wait for a new published job (spin → yield → park) ----
+        let mut rounds = 0usize;
+        let e1 = loop {
+            if shared.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let s = shared.seq.load(Ordering::Acquire);
+            if s != seen && s & 1 == 0 {
+                break s;
+            }
+            rounds += 1;
+            if rounds < SPIN_HINTS {
+                std::hint::spin_loop();
+            } else if rounds < SPIN_HINTS + YIELD_ROUNDS {
+                std::thread::yield_now();
+            } else {
+                stat.parks.fetch_add(1, Ordering::Relaxed);
+                let mut g = shared.idle_lock.lock().unwrap();
+                while shared.seq.load(Ordering::Acquire) == seen
+                    && !shared.shutdown.load(Ordering::Acquire)
+                {
+                    g = shared.idle_cv.wait(g).unwrap();
+                }
+                rounds = 0;
+            }
+        };
+        // ---- seqlock read of the job slot ----
+        let call_addr = shared.call.load(Ordering::Acquire);
+        let ctx = shared.ctx.load(Ordering::Acquire);
+        let nthreads = shared.nthreads.load(Ordering::Acquire);
+        let chunk = shared.chunk.load(Ordering::Acquire);
+        if shared.seq.load(Ordering::Acquire) != e1 {
+            // Publish raced our read: the snapshot may mix two jobs.
+            // Retry from the top; the cursor's job id would reject a
+            // stale snapshot anyway, but we never act on one.
+            continue;
+        }
+        seen = e1;
+        // SAFETY: fn pointers and `usize` are the same size on every
+        // supported target; `call_addr` was stored from a real
+        // `fn(usize, usize)` by `run` under the validated seqlock.
+        let call: fn(usize, usize) = unsafe { std::mem::transmute(call_addr) };
+        let id = (e1 >> 1) as u32;
+        let claimed = drain_work(&shared, id, nthreads, chunk, |th| call(ctx, th), true);
+        if claimed > 0 {
+            stat.busy.fetch_add(1, Ordering::Relaxed);
+            stat.chunks.fetch_add(claimed, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A persistent pool of parked OS workers, dispatched by epoch.
+///
+/// A pool of `workers` executes fan-outs on up to `workers` threads:
+/// `workers - 1` spawned pool threads plus the dispatching caller,
+/// matching the old scoped-spawn accounting. `workers <= 1` spawns
+/// nothing and runs every fan-out inline.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    workers: usize,
+    /// Serializes dispatchers; contended callers fall back to inline
+    /// execution rather than blocking (the fan-out contract is "each
+    /// logical thread exactly once", which inline trivially satisfies).
+    dispatch_lock: Mutex<()>,
+    dispatches: AtomicU64,
+    inline_runs: AtomicU64,
+    dispatcher_chunks: AtomicU64,
+}
+
+impl WorkerPool {
+    /// Creates a pool sized for `workers` concurrent executors
+    /// (spawning `workers - 1` OS threads, created once and parked).
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let spawned = workers - 1;
+        let shared = Arc::new(Shared {
+            seq: AtomicU64::new(0),
+            call: AtomicUsize::new(0),
+            ctx: AtomicUsize::new(0),
+            nthreads: AtomicUsize::new(0),
+            chunk: AtomicUsize::new(1),
+            work: AtomicU64::new(0),
+            completed: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            idle_lock: Mutex::new(()),
+            idle_cv: Condvar::new(),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
+            done_parked: AtomicBool::new(false),
+            stats: (0..spawned).map(|_| WorkerStat::default()).collect(),
+        });
+        let handles = (0..spawned)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("stef-pool-{idx}"))
+                    .spawn(move || worker_loop(shared, idx))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            shared,
+            handles,
+            workers,
+            dispatch_lock: Mutex::new(()),
+            dispatches: AtomicU64::new(0),
+            inline_runs: AtomicU64::new(0),
+            dispatcher_chunks: AtomicU64::new(0),
+        }
+    }
+
+    /// Total workers (spawned threads + the dispatching caller).
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f(th)` exactly once for every `th in 0..nthreads`,
+    /// returning after all logical threads completed (a full join
+    /// barrier: reads after `run` see every write the job performed).
+    ///
+    /// Steady-state calls perform no heap allocation.
+    pub fn run<F: Fn(usize) + Sync>(&self, nthreads: usize, f: &F) {
+        if nthreads == 0 {
+            return;
+        }
+        if nthreads == 1 || self.handles.is_empty() || in_pool_worker() {
+            self.inline_runs.fetch_add(1, Ordering::Relaxed);
+            for th in 0..nthreads {
+                f(th);
+            }
+            return;
+        }
+        // One dispatcher at a time; a second concurrent caller (e.g.
+        // two test threads sharing the global pool) runs inline.
+        let Ok(_guard) = self.dispatch_lock.try_lock() else {
+            self.inline_runs.fetch_add(1, Ordering::Relaxed);
+            for th in 0..nthreads {
+                f(th);
+            }
+            return;
+        };
+        assert!(nthreads < u32::MAX as usize, "fan-out width overflows the claim cursor");
+        self.dispatches.fetch_add(1, Ordering::Relaxed);
+        let s = &*self.shared;
+        let chunk = (nthreads / (4 * self.workers)).max(1);
+
+        // ---- publish the job (seqlock write) ----
+        let s0 = s.seq.load(Ordering::Relaxed);
+        s.seq.store(s0 + 1, Ordering::Relaxed); // odd: writer active
+        let id = ((s0 + 2) >> 1) as u32;
+        s.call.store(trampoline::<F> as *const () as usize, Ordering::Relaxed);
+        s.ctx.store(f as *const F as usize, Ordering::Relaxed);
+        s.nthreads.store(nthreads, Ordering::Relaxed);
+        s.chunk.store(chunk, Ordering::Relaxed);
+        s.completed.store(0, Ordering::Relaxed);
+        s.done_parked.store(false, Ordering::Relaxed);
+        s.work.store(pack(id, 0), Ordering::Relaxed);
+        s.seq.store(s0 + 2, Ordering::Release); // even: published
+
+        // Wake parked workers. The empty critical section pairs with
+        // the workers' check-under-lock: any worker that checked the
+        // old seq is now inside `wait`, so `notify_all` reaches it.
+        drop(s.idle_lock.lock().unwrap());
+        s.idle_cv.notify_all();
+
+        // ---- participate ----
+        let claimed = drain_work(s, id, nthreads, chunk, f, false);
+        self.dispatcher_chunks.fetch_add(claimed, Ordering::Relaxed);
+
+        // ---- completion barrier (spin → yield → park) ----
+        let mut rounds = 0usize;
+        while s.completed.load(Ordering::Acquire) < nthreads {
+            rounds += 1;
+            if rounds < SPIN_HINTS {
+                std::hint::spin_loop();
+            } else if rounds < SPIN_HINTS + YIELD_ROUNDS {
+                std::thread::yield_now();
+            } else {
+                s.done_parked.store(true, Ordering::SeqCst);
+                let mut g = s.done_lock.lock().unwrap();
+                while s.completed.load(Ordering::SeqCst) < nthreads {
+                    g = s.done_cv.wait(g).unwrap();
+                }
+                drop(g);
+                s.done_parked.store(false, Ordering::Relaxed);
+                break;
+            }
+        }
+    }
+
+    /// Snapshot of the pool's counters.
+    pub fn counters(&self) -> RuntimeCounters {
+        RuntimeCounters {
+            workers: self.workers,
+            dispatches: self.dispatches.load(Ordering::Relaxed),
+            inline_runs: self.inline_runs.load(Ordering::Relaxed),
+            dispatcher_chunks: self.dispatcher_chunks.load(Ordering::Relaxed),
+            per_worker: self
+                .shared
+                .stats
+                .iter()
+                .map(|w| WorkerCounters {
+                    busy: w.busy.load(Ordering::Relaxed),
+                    chunks: w.chunks.load(Ordering::Relaxed),
+                    parks: w.parks.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        drop(self.shared.idle_lock.lock().unwrap());
+        self.shared.idle_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The old execution model, kept verbatim for A/B benchmarking: fresh
+/// scoped OS threads per call, static contiguous logical-thread blocks.
+pub fn scoped_fanout<F: Fn(usize) + Sync>(workers: usize, nthreads: usize, f: &F) {
+    if nthreads == 0 {
+        return;
+    }
+    let workers = workers.clamp(1, nthreads);
+    if workers == 1 {
+        for th in 0..nthreads {
+            f(th);
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        for w in 1..workers {
+            let lo = w * nthreads / workers;
+            let hi = (w + 1) * nthreads / workers;
+            scope.spawn(move || {
+                for th in lo..hi {
+                    f(th);
+                }
+            });
+        }
+        for th in 0..nthreads / workers {
+            f(th);
+        }
+    });
+}
+
+/// The handle every fan-out site goes through: a shared persistent pool
+/// or the scoped-spawn fallback.
+#[derive(Clone)]
+pub enum Executor {
+    /// Dispatch on a persistent [`WorkerPool`].
+    Pool(Arc<WorkerPool>),
+    /// Spawn scoped threads per call (the pre-pool behavior).
+    Scoped {
+        /// Maximum concurrent executors per fan-out.
+        workers: usize,
+    },
+}
+
+impl Executor {
+    /// Builds an executor of the requested kind sized for `workers`
+    /// concurrent executors.
+    pub fn new(kind: Runtime, workers: usize) -> Self {
+        match kind {
+            Runtime::Pool => Executor::Pool(Arc::new(WorkerPool::new(workers))),
+            Runtime::Scoped => Executor::Scoped {
+                workers: workers.max(1),
+            },
+        }
+    }
+
+    /// Which [`Runtime`] this executor implements.
+    pub fn kind(&self) -> Runtime {
+        match self {
+            Executor::Pool(_) => Runtime::Pool,
+            Executor::Scoped { .. } => Runtime::Scoped,
+        }
+    }
+
+    /// Worker budget of this executor.
+    pub fn workers(&self) -> usize {
+        match self {
+            Executor::Pool(p) => p.workers(),
+            Executor::Scoped { workers } => *workers,
+        }
+    }
+
+    /// Runs `f(th)` for every logical thread `0..nthreads` and joins.
+    pub fn fanout<F: Fn(usize) + Sync>(&self, nthreads: usize, f: F) {
+        match self {
+            Executor::Pool(p) => p.run(nthreads, &f),
+            Executor::Scoped { workers } => scoped_fanout(*workers, nthreads, &f),
+        }
+    }
+
+    /// Counter snapshot (zeros for the scoped fallback, which has no
+    /// persistent state to count).
+    pub fn counters(&self) -> RuntimeCounters {
+        match self {
+            Executor::Pool(p) => p.counters(),
+            Executor::Scoped { workers } => RuntimeCounters {
+                workers: *workers,
+                ..RuntimeCounters::default()
+            },
+        }
+    }
+}
+
+/// Available hardware parallelism, probed once per process.
+pub fn hardware_workers() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Resolves an engine's worker budget from `StefOptions::num_threads`:
+/// `0` means "all hardware workers", an explicit logical-thread count
+/// caps the workers at that count (more OS workers than logical threads
+/// can never help).
+pub fn resolve_workers(num_threads: usize) -> usize {
+    if num_threads == 0 {
+        hardware_workers()
+    } else {
+        num_threads.min(hardware_workers())
+    }
+}
+
+/// Routes `linalg::par` fan-outs (gram/matmul reductions, the
+/// swap-count pass) through the global pool. Installed by [`global`].
+fn linalg_bridge(tasks: usize, f: &(dyn Fn(usize) + Sync)) {
+    global().fanout(tasks, f);
+}
+
+/// The process-wide default executor, used by call sites that have no
+/// engine: the `sync::fanout` free function, the kernel convenience
+/// wrappers, and (via [`linalg::par`]) the dense-algebra fan-outs.
+pub fn global() -> &'static Executor {
+    static GLOBAL: OnceLock<Executor> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        linalg::par::install_fanout(linalg_bridge);
+        Executor::new(Runtime::Pool, hardware_workers())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn coverage(exec: &Executor, nthreads: usize) {
+        let hits: Vec<AtomicUsize> = (0..nthreads).map(|_| AtomicUsize::new(0)).collect();
+        exec.fanout(nthreads, |th| {
+            hits[th].fetch_add(1, Ordering::Relaxed);
+        });
+        for (th, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "thread {th} of {nthreads}");
+        }
+    }
+
+    #[test]
+    fn pool_covers_every_logical_thread_once() {
+        for workers in [1usize, 2, 4, 8] {
+            let exec = Executor::new(Runtime::Pool, workers);
+            for nthreads in [0usize, 1, 2, 3, 7, 16, 33, 257] {
+                coverage(&exec, nthreads);
+            }
+        }
+    }
+
+    #[test]
+    fn scoped_covers_every_logical_thread_once() {
+        for workers in [1usize, 2, 4] {
+            let exec = Executor::new(Runtime::Scoped, workers);
+            for nthreads in [0usize, 1, 2, 3, 7, 16, 33] {
+                coverage(&exec, nthreads);
+            }
+        }
+    }
+
+    #[test]
+    fn join_barrier_publishes_writes() {
+        let exec = Executor::new(Runtime::Pool, 4);
+        let mut data = vec![0usize; 64];
+        {
+            let shared = crate::sync::SharedSlice::new(&mut data);
+            exec.fanout(64, |th| {
+                // SAFETY: each logical thread owns exactly one element.
+                let slot = unsafe { shared.range_mut(th, th + 1) };
+                slot[0] = th * 3;
+            });
+        }
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i * 3);
+        }
+    }
+
+    #[test]
+    fn reentrant_fanout_runs_inline() {
+        let exec = Executor::new(Runtime::Pool, 4);
+        let outer = AtomicUsize::new(0);
+        let inner = AtomicUsize::new(0);
+        let e2 = exec.clone();
+        exec.fanout(8, |_| {
+            outer.fetch_add(1, Ordering::Relaxed);
+            // From the dispatcher thread the dispatch lock is held; from
+            // a worker the thread-local guard trips — both run inline.
+            e2.fanout(4, |_| {
+                inner.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(outer.load(Ordering::Relaxed), 8);
+        assert_eq!(inner.load(Ordering::Relaxed), 32);
+    }
+
+    #[test]
+    fn counters_track_dispatches() {
+        let exec = Executor::new(Runtime::Pool, 4);
+        for _ in 0..10 {
+            exec.fanout(16, |_| {});
+        }
+        let c = exec.counters();
+        assert_eq!(c.workers, 4);
+        assert_eq!(c.dispatches, 10);
+        assert_eq!(c.per_worker.len(), 3);
+        let worker_chunks: u64 = c.per_worker.iter().map(|w| w.chunks).sum();
+        // Every chunk was claimed by somebody; 16 threads / chunk 1 = 16.
+        assert_eq!(c.dispatcher_chunks + worker_chunks, 160);
+    }
+
+    #[test]
+    fn resolve_workers_honors_explicit_counts() {
+        assert_eq!(resolve_workers(0), hardware_workers());
+        assert_eq!(resolve_workers(1), 1);
+        let want = 3usize.min(hardware_workers());
+        assert_eq!(resolve_workers(3), want);
+    }
+
+    #[test]
+    fn global_executor_is_a_pool() {
+        assert_eq!(global().kind(), Runtime::Pool);
+        coverage(global(), 9);
+    }
+}

@@ -194,51 +194,20 @@ impl<'a, T> SharedSlice<'a, T> {
     }
 }
 
-/// Runs `f(th)` for every logical thread `0..nthreads`, allocation-free
-/// when only one physical worker is available.
+/// Runs `f(th)` for every logical thread `0..nthreads` on the
+/// process-global persistent worker pool ([`crate::runtime::global`]),
+/// allocation-free in the steady state.
 ///
 /// This is the kernels' replacement for `(0..nthreads).into_par_iter()`:
 /// the rayon shim materializes the range into a `Vec` on every call,
 /// which would violate the workspace's no-steady-state-allocation
-/// guarantee. With one worker (or one logical thread) the loop runs
-/// inline with zero overhead; otherwise contiguous blocks of logical
-/// threads are handed to scoped OS threads, matching the shim's own
-/// execution model.
+/// guarantee. Callers with an engine-owned [`crate::runtime::Executor`]
+/// (which honors `StefOptions::num_threads` instead of the global
+/// hardware probe) should fan out on that executor directly; this free
+/// function exists for schedule-less call sites (validation scans,
+/// baselines, tests).
 pub fn fanout<F: Fn(usize) + Sync>(nthreads: usize, f: F) {
-    if nthreads == 0 {
-        return;
-    }
-    let workers = physical_workers().clamp(1, nthreads);
-    if workers == 1 {
-        for th in 0..nthreads {
-            f(th);
-        }
-        return;
-    }
-    std::thread::scope(|scope| {
-        let f = &f;
-        for w in 1..workers {
-            let lo = w * nthreads / workers;
-            let hi = (w + 1) * nthreads / workers;
-            scope.spawn(move || {
-                for th in lo..hi {
-                    f(th);
-                }
-            });
-        }
-        for th in 0..nthreads / workers {
-            f(th);
-        }
-    });
-}
-
-/// Available OS parallelism, probed once. `rayon::current_num_threads`
-/// re-reads `available_parallelism` (and, on Linux, the cgroup CPU
-/// quota files) on every call, which allocates — caching the answer
-/// keeps warm kernel passes off the allocator entirely.
-fn physical_workers() -> usize {
-    static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *WORKERS.get_or_init(rayon::current_num_threads)
+    crate::runtime::global().fanout(nthreads, f);
 }
 
 #[cfg(test)]

@@ -71,15 +71,45 @@ pub fn validate_engine<E: MttkrpEngine + ?Sized>(
             }
             let got = engine.mttkrp(&factors, mode);
             let expect = reference_tensor.mttkrp_reference(&factors, mode);
+            if let Some(w) = worst_mismatch(mode, &got, &expect, tol) {
+                mismatches.push(w);
+            }
+        }
+    }
+    ValidationReport {
+        mismatches,
+        modes_checked,
+        tol,
+    }
+}
+
+/// Scans `got` against `expect` for the worst out-of-tolerance element,
+/// fanning row blocks out on the global runtime. Each task records its
+/// block's worst (first-encountered on ties, like the serial scan) in a
+/// private slot; the slots are combined in task order with a strict
+/// comparison, so the result is identical to a serial row-major scan
+/// for any worker count.
+fn worst_mismatch(mode: usize, got: &linalg::Mat, expect: &linalg::Mat, tol: f64) -> Option<Mismatch> {
+    let rows = expect.rows();
+    if rows == 0 {
+        return None;
+    }
+    let ntasks = crate::runtime::global().workers().clamp(1, rows);
+    let mut slots: Vec<Option<Mismatch>> = vec![None; ntasks];
+    {
+        let shared = crate::sync::SharedSlice::new(&mut slots);
+        crate::sync::fanout(ntasks, |w| {
+            let lo = w * rows / ntasks;
+            let hi = (w + 1) * rows / ntasks;
             let mut worst: Option<Mismatch> = None;
-            for i in 0..expect.rows() {
+            for i in lo..hi {
                 for j in 0..expect.cols() {
                     let (g, e) = (got[(i, j)], expect[(i, j)]);
                     if !approx_eq(g, e, tol) {
                         let err = (g - e).abs();
                         let is_worse = worst
                             .as_ref()
-                            .map(|w| err > (w.got - w.expected).abs())
+                            .map(|m| err > (m.got - m.expected).abs())
                             .unwrap_or(true);
                         if is_worse {
                             worst = Some(Mismatch {
@@ -93,16 +123,18 @@ pub fn validate_engine<E: MttkrpEngine + ?Sized>(
                     }
                 }
             }
-            if let Some(w) = worst {
-                mismatches.push(w);
-            }
+            // SAFETY: each task owns exactly its own slot.
+            let slot = unsafe { shared.range_mut(w, w + 1) };
+            slot[0] = worst;
+        });
+    }
+    slots.into_iter().flatten().reduce(|a, b| {
+        if (b.got - b.expected).abs() > (a.got - a.expected).abs() {
+            b
+        } else {
+            a
         }
-    }
-    ValidationReport {
-        mismatches,
-        modes_checked,
-        tol,
-    }
+    })
 }
 
 #[cfg(test)]

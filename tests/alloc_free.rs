@@ -5,12 +5,14 @@
 //!
 //! This harness installs a counting `#[global_allocator]` (each `tests/`
 //! file is its own binary, so the hook is test-local) and asserts that a
-//! steady-state sweep performs **zero** allocator calls. The strict
-//! zero-count assertion needs single-worker execution — with more OS
-//! workers, `std::thread::scope` itself allocates — so it is asserted
-//! unconditionally for a 1-logical-thread schedule and, for wider
-//! schedules, whenever the machine runs the fan-out sequentially. The
-//! workspace's own `alloc_events` counter is asserted in every case.
+//! steady-state sweep performs **zero** allocator calls. The kernels run
+//! on an explicitly-sized persistent [`stef::WorkerPool`], whose
+//! dispatch path makes no allocator calls (workers are spawned once,
+//! before counting starts; a dispatch is a seqlock publish plus futex
+//! wakeups) — so the zero-count assertion holds for *any* worker count,
+//! unlike the old `std::thread::scope` fan-out which paid a per-spawn
+//! allocation. The workspace's own `alloc_events` counter is asserted
+//! as well, guarding kernel scratch independently of the runtime.
 
 use linalg::Mat;
 use sptensor::build_csf;
@@ -53,6 +55,7 @@ fn alloc_calls() -> u64 {
 fn count_sweep_allocs(
     ctx: &KernelCtx<'_>,
     partials: &mut PartialStore,
+    rt: &stef::Executor,
     ws: &mut Workspace,
     outs: &mut [Mat],
     rounds: usize,
@@ -60,19 +63,19 @@ fn count_sweep_allocs(
     let d = outs.len();
     let views = partials.shared_views();
     // Warm-up: sizes the workspace for every (mode, accum) combination.
-    mode0_with(ctx, &views, ws, &mut outs[0]);
+    mode0_with(ctx, &views, rt, ws, &mut outs[0]);
     for u in 1..d {
         for accum in [ResolvedAccum::Privatized, ResolvedAccum::Atomic] {
-            modeu_with(ctx, &views, true, u, accum, ws, &mut outs[u]);
+            modeu_with(ctx, &views, true, u, accum, rt, ws, &mut outs[u]);
         }
     }
     let before_events = ws.alloc_events();
     let before = alloc_calls();
     for _ in 0..rounds {
-        mode0_with(ctx, &views, ws, &mut outs[0]);
+        mode0_with(ctx, &views, rt, ws, &mut outs[0]);
         for u in 1..d {
             for accum in [ResolvedAccum::Privatized, ResolvedAccum::Atomic] {
-                modeu_with(ctx, &views, true, u, accum, ws, &mut outs[u]);
+                modeu_with(ctx, &views, true, u, accum, rt, ws, &mut outs[u]);
             }
         }
     }
@@ -101,20 +104,17 @@ fn run_case(dims: &[usize], nnz: usize, rank: usize, nthreads: usize, save: &[bo
         .map(|l| Mat::zeros(csf.level_dims()[l], rank))
         .collect();
 
-    let delta = count_sweep_allocs(&ctx, &mut partials, &mut ws, &mut outs, 3);
-    // With one worker the fan-out is a plain loop, so a single allocator
-    // call is a genuine kernel regression. Wider machines pay a
-    // per-spawn allocation inside `std::thread::scope`, which is harness
-    // overhead, not kernel scratch — the workspace counter (asserted
-    // above) still guards the kernels there.
-    let workers = rayon::current_num_threads().clamp(1, nthreads);
-    if workers == 1 {
-        assert_eq!(
-            delta, 0,
-            "steady-state sweeps allocated {delta} times (dims {dims:?}, \
-             {nthreads} logical threads)"
-        );
-    }
+    // A genuinely multi-worker pool (not the hardware probe): the
+    // zero-alloc claim must hold when dispatches actually cross OS
+    // threads, not just on the single-worker inline path.
+    let rt = stef::Executor::new(stef::Runtime::Pool, nthreads.clamp(1, 4));
+    let delta = count_sweep_allocs(&ctx, &mut partials, &rt, &mut ws, &mut outs, 3);
+    assert_eq!(
+        delta, 0,
+        "steady-state sweeps allocated {delta} times (dims {dims:?}, \
+         {nthreads} logical threads, {} pool workers)",
+        rt.workers()
+    );
 }
 
 #[test]

@@ -31,11 +31,21 @@ fn factor_bits(factors: &[Mat]) -> Vec<u64> {
 
 /// (factor bits, fit bits) of one seeded CPD run.
 fn run_cpd(nthreads: usize, path: KernelPath, accum: AccumStrategy) -> (Vec<u64>, Vec<u64>) {
+    run_cpd_on(nthreads, path, accum, stef::Runtime::Pool)
+}
+
+fn run_cpd_on(
+    nthreads: usize,
+    path: KernelPath,
+    accum: AccumStrategy,
+    runtime: stef::Runtime,
+) -> (Vec<u64>, Vec<u64>) {
     let t = power_law_tensor(&[25, 18, 30], 1_200, &[0.6, 0.4, 0.5], 9);
     let mut opts = StefOptions::new(4);
     opts.num_threads = nthreads;
     opts.kernel_path = path;
     opts.accum = accum;
+    opts.runtime = runtime;
     let mut engine = Stef::prepare(&t, opts);
     let cpd_opts = CpdOptions {
         max_iters: 4,
@@ -110,7 +120,7 @@ fn single_mttkrp_is_bitwise_reproducible() {
     let factors = stef::init_factors(t.dims(), 5, 21);
     for nthreads in [2usize, 7] {
         for accum in [AccumStrategy::Privatized, AccumStrategy::Atomic] {
-            let mut run = || -> Vec<u64> {
+            let run = || -> Vec<u64> {
                 let mut opts = StefOptions::new(5);
                 opts.num_threads = nthreads;
                 opts.accum = accum;
@@ -139,5 +149,87 @@ fn single_mttkrp_is_bitwise_reproducible() {
                 }
             }
         }
+    }
+}
+
+#[test]
+fn pool_and_scoped_runtimes_agree_at_cpd_level() {
+    // Switching the executor must not change the answer: the pool and
+    // the scoped fallback decompose work identically (same logical
+    // threads, same chunking, combination in logical-thread order), so
+    // the whole CPD trajectory matches bit for bit whenever the run is
+    // deterministic at all, for every kernel path.
+    for nthreads in [1usize, 2, 7, 16] {
+        for path in [KernelPath::Vectorized, KernelPath::Legacy] {
+            for accum in [AccumStrategy::Privatized, AccumStrategy::Atomic] {
+                let pool = run_cpd_on(nthreads, path, accum, stef::Runtime::Pool);
+                let scoped = run_cpd_on(nthreads, path, accum, stef::Runtime::Scoped);
+                assert_same_run(
+                    &pool,
+                    &scoped,
+                    &format!("pool vs scoped: {nthreads} threads, {path:?}, {accum:?}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn privatized_modeu_is_bitwise_identical_for_any_worker_count() {
+    // The strongest determinism claim the runtime makes: on the
+    // privatized (atomic-free) kernel path, the *number of pool workers*
+    // is invisible — workers claim chunks dynamically, but every chunk
+    // writes thread-private state keyed by logical thread, and the
+    // reduction always combines copies in logical-thread order. So the
+    // bits must match across executors and worker counts even when the
+    // fan-out genuinely runs on many OS threads.
+    use linalg::Mat;
+    use sptensor::build_csf;
+    use stef::kernels::{modeu_with, KernelCtx, ResolvedAccum};
+    use stef::{LoadBalance, PartialStore, Schedule, Workspace};
+
+    let t = power_law_tensor(&[22, 28, 17], 1_000, &[0.5, 0.5, 0.5], 31);
+    let csf = build_csf(&t, &[0, 1, 2]);
+    let d = csf.ndim();
+    let rank = 5;
+    let nthreads = 7;
+    let sched = Schedule::build(&csf, nthreads, LoadBalance::NnzBalanced);
+    let factors = stef::init_factors(t.dims(), rank, 3);
+    let refs: Vec<&Mat> = factors.iter().collect();
+    let ctx = KernelCtx::new(&csf, &sched, refs, rank);
+    let mut partials = PartialStore::allocate(&csf, &[false; 3], nthreads, rank);
+    let max_dim = *csf.level_dims().iter().max().unwrap();
+
+    let mut run = |rt: &stef::Executor| -> Vec<Vec<u64>> {
+        let mut ws = Workspace::new(d, rank, nthreads, max_dim);
+        let views = partials.shared_views();
+        (1..d)
+            .map(|u| {
+                let mut out = Mat::zeros(csf.level_dims()[u], rank);
+                modeu_with(
+                    &ctx,
+                    &views,
+                    false,
+                    u,
+                    ResolvedAccum::Privatized,
+                    rt,
+                    &mut ws,
+                    &mut out,
+                );
+                (0..out.rows())
+                    .flat_map(|i| out.row(i).iter().map(|v| v.to_bits()).collect::<Vec<_>>())
+                    .collect()
+            })
+            .collect()
+    };
+
+    let reference = run(&stef::Executor::new(stef::Runtime::Scoped, 4));
+    for workers in [1usize, 2, 4, 8] {
+        let pool = stef::Executor::new(stef::Runtime::Pool, workers);
+        assert_eq!(
+            run(&pool),
+            reference,
+            "pool({workers} workers) diverged from scoped"
+        );
     }
 }

@@ -95,7 +95,7 @@ proptest! {
         let mut out_new = Mat::zeros(csf.level_dims()[0], rank);
         {
             let views = p_new.shared_views();
-            mode0_with(&ctx, &views, &mut ws, &mut out_new);
+            mode0_with(&ctx, &views, stef::runtime::global(), &mut ws, &mut out_new);
         }
         let mut out_old = Mat::zeros(csf.level_dims()[0], rank);
         kernels_legacy::mode0_pass(&ctx, &mut p_old, &mut out_old);
@@ -112,7 +112,16 @@ proptest! {
                     let mut new = Mat::zeros(csf.level_dims()[u], rank);
                     {
                         let views = p_new.shared_views();
-                        modeu_with(&ctx, &views, use_saved, u, accum, &mut ws, &mut new);
+                        modeu_with(
+                            &ctx,
+                            &views,
+                            use_saved,
+                            u,
+                            accum,
+                            stef::runtime::global(),
+                            &mut ws,
+                            &mut new,
+                        );
                     }
                     assert_mat_approx_eq(&new, &old, 1e-12);
                     assert_mat_approx_eq(&new, &expect, 1e-9);
@@ -139,7 +148,7 @@ fn mode1_vectorized(
     let mut ws = Workspace::new(csf.ndim(), rank, nthreads, max_dim);
     let views = partials.shared_views();
     let mut out0 = Mat::zeros(csf.level_dims()[0], rank);
-    mode0_with(&ctx, &views, &mut ws, &mut out0);
+    mode0_with(&ctx, &views, stef::runtime::global(), &mut ws, &mut out0);
     let mut out = Mat::zeros(csf.level_dims()[1], rank);
     modeu_with(
         &ctx,
@@ -147,6 +156,7 @@ fn mode1_vectorized(
         use_saved,
         1,
         ResolvedAccum::Privatized,
+        stef::runtime::global(),
         &mut ws,
         &mut out,
     );
