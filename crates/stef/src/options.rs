@@ -84,7 +84,10 @@ pub enum KernelPath {
 pub struct StefOptions {
     /// Decomposition rank `R`.
     pub rank: usize,
-    /// Logical thread count; 0 means "rayon's current pool size".
+    /// Logical thread count; 0 means "resolve a default": the
+    /// `STEF_NUM_THREADS` env var if set, else `RAYON_NUM_THREADS`
+    /// (kept from the rayon-backed substrate so existing caps still
+    /// apply), else all hardware threads.
     pub num_threads: usize,
     /// Cache size parameter of the data-movement model, in bytes
     /// (paper §IV-C `cachesize`). Defaults to 16 MiB, a typical L3 share.
@@ -150,11 +153,12 @@ impl StefOptions {
         }
     }
 
-    /// Resolved logical thread count: `num_threads`, or all hardware
-    /// workers when 0.
+    /// Resolved logical thread count: `num_threads`, or — when 0 — the
+    /// `STEF_NUM_THREADS`/`RAYON_NUM_THREADS` env override, falling
+    /// back to all hardware workers (`runtime::default_threads`).
     pub fn threads(&self) -> usize {
         if self.num_threads == 0 {
-            crate::runtime::hardware_workers()
+            crate::runtime::default_threads()
         } else {
             self.num_threads
         }
@@ -189,9 +193,9 @@ mod tests {
     }
 
     #[test]
-    fn zero_threads_resolves_to_hardware_size() {
+    fn zero_threads_resolves_to_default() {
         let o = StefOptions::new(8);
-        assert_eq!(o.threads(), crate::runtime::hardware_workers());
+        assert_eq!(o.threads(), crate::runtime::default_threads());
         let mut o2 = o.clone();
         o2.num_threads = 3;
         assert_eq!(o2.threads(), 3);
@@ -201,7 +205,7 @@ mod tests {
     fn workers_honor_num_threads() {
         let hw = crate::runtime::hardware_workers();
         let o = StefOptions::new(8);
-        assert_eq!(o.workers(), hw);
+        assert_eq!(o.workers(), crate::runtime::resolve_workers(0));
         let mut o2 = o.clone();
         o2.num_threads = 1;
         assert_eq!(o2.workers(), 1, "explicit --threads 1 must mean 1 worker");

@@ -26,8 +26,9 @@
 //!   being assigned static ranges, so a straggler (NUMA, frequency
 //!   scaling, co-tenancy) only delays the chunks it actually holds.
 //!   The cursor word packs a 32-bit job id next to the 32-bit cursor,
-//!   so a stale worker waking up with a previous job's snapshot can
-//!   never claim work from the current one.
+//!   so a stale worker waking up with a previous job's snapshot cannot
+//!   claim work from the current one (ids wrap only after 2^32
+//!   dispatches — see [`pack`] for why that ABA window is accepted).
 //! * **Bounded spin-then-park.** Workers spin briefly (cheap when
 //!   dispatches arrive back-to-back inside one ALS sweep), then yield,
 //!   then park on a condvar. The dispatcher does the same while
@@ -143,6 +144,17 @@ struct Shared {
 unsafe impl Send for Shared {}
 unsafe impl Sync for Shared {}
 
+/// Packs the claim word: `(job_id << 32) | next_unclaimed_thread`.
+///
+/// The job id is the low 32 bits of `seq >> 1`, so it wraps after 2^32
+/// dispatches: a worker stalled with a snapshot *exactly* 2^32 jobs old
+/// whose cursor value also matches could in principle pass the CAS and
+/// claim stale work (classic ABA). This is an accepted, documented
+/// assumption rather than a widened id — at the measured sub-microsecond
+/// dispatch latency, 2^32 back-to-back dispatches take over an hour of
+/// nothing but dispatch, during which the stalled worker would have to
+/// stay descheduled between two adjacent loads without the OS ever
+/// running it; no realistic schedule produces that.
 #[inline]
 fn pack(id: u32, cursor: u32) -> u64 {
     (u64::from(id) << 32) | u64::from(cursor)
@@ -154,13 +166,17 @@ fn unpack(w: u64) -> (u32, u32) {
 }
 
 thread_local! {
-    /// Set inside pool worker threads so reentrant fan-outs run inline
-    /// instead of deadlocking on their own pool.
-    static IN_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
-}
-
-fn in_pool_worker() -> bool {
-    IN_POOL_WORKER.with(|c| c.get())
+    /// Address of the `Shared` block of the pool this thread serves as
+    /// a worker (0 on non-pool threads). Scoped *per pool* so a worker
+    /// of one pool can still dispatch on a different, idle pool — e.g.
+    /// a kernel closure running on an engine's pool calling
+    /// `linalg::par::fanout`, which routes to the global pool. Only a
+    /// fan-out back onto the worker's *own* pool is forced inline:
+    /// dispatching there would park on a completion barrier this very
+    /// thread is supposed to help drain. Cross-pool dispatch cycles
+    /// cannot deadlock because a pool's `dispatch_lock` is only ever
+    /// `try_lock`ed, failing over to inline execution.
+    static WORKER_OF: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
 }
 
 /// Monomorphized per-closure entry point — the only indirect call per
@@ -212,7 +228,7 @@ fn drain_work(s: &Shared, id: u32, nthreads: usize, chunk: usize, run: impl Fn(u
 }
 
 fn worker_loop(shared: Arc<Shared>, idx: usize) {
-    IN_POOL_WORKER.with(|c| c.set(true));
+    WORKER_OF.with(|c| c.set(Arc::as_ptr(&shared) as usize));
     let stat = &shared.stats[idx];
     // Last job id this worker fully processed (seq values are even when
     // stable; `seen` stores the raw even seq).
@@ -335,6 +351,12 @@ impl WorkerPool {
         self.workers
     }
 
+    /// Whether the current thread is one of *this* pool's workers (a
+    /// reentrant fan-out from it must run inline; see [`WORKER_OF`]).
+    fn on_own_worker(&self) -> bool {
+        WORKER_OF.with(|c| c.get()) == Arc::as_ptr(&self.shared) as usize
+    }
+
     /// Runs `f(th)` exactly once for every `th in 0..nthreads`,
     /// returning after all logical threads completed (a full join
     /// barrier: reads after `run` see every write the job performed).
@@ -344,7 +366,7 @@ impl WorkerPool {
         if nthreads == 0 {
             return;
         }
-        if nthreads == 1 || self.handles.is_empty() || in_pool_worker() {
+        if nthreads == 1 || self.handles.is_empty() || self.on_own_worker() {
             self.inline_runs.fetch_add(1, Ordering::Relaxed);
             for th in 0..nthreads {
                 f(th);
@@ -368,6 +390,16 @@ impl WorkerPool {
         // ---- publish the job (seqlock write) ----
         let s0 = s.seq.load(Ordering::Relaxed);
         s.seq.store(s0 + 1, Ordering::Relaxed); // odd: writer active
+        // Release fence between the odd store and the field stores
+        // (fence-then-store rule): if a reader's Acquire load observes
+        // any of the new field values below, the fence synchronizes-with
+        // that load, so the odd `seq` store above happens-before the
+        // reader's validating `seq` re-load — which therefore cannot
+        // still return the old even value and accept a mixed snapshot.
+        // Without this fence the Relaxed field stores may become visible
+        // *before* the odd store on weakly-ordered targets (aarch64);
+        // x86 TSO hides the bug.
+        std::sync::atomic::fence(Ordering::Release);
         let id = ((s0 + 2) >> 1) as u32;
         s.call.store(trampoline::<F> as *const () as usize, Ordering::Relaxed);
         s.ctx.store(f as *const F as usize, Ordering::Relaxed);
@@ -542,16 +574,40 @@ pub fn hardware_workers() -> usize {
     })
 }
 
+/// Parses a thread-count environment value: a positive integer, else
+/// `None` (empty, unparsable, and `0` all fall through to the probe).
+fn parse_thread_env(v: &str) -> Option<usize> {
+    v.trim().parse::<usize>().ok().filter(|&n| n > 0)
+}
+
+/// Default logical-thread count used when `num_threads == 0`:
+/// `STEF_NUM_THREADS` if set, else `RAYON_NUM_THREADS` (honored for
+/// continuity — the pre-pool substrate sized itself from rayon's global
+/// pool, so deployments that capped parallelism through rayon keep
+/// their cap instead of silently getting every logical CPU), else the
+/// hardware probe. Cached once per process.
+pub fn default_threads() -> usize {
+    static DEF: OnceLock<usize> = OnceLock::new();
+    *DEF.get_or_init(|| {
+        ["STEF_NUM_THREADS", "RAYON_NUM_THREADS"]
+            .iter()
+            .find_map(|var| std::env::var(var).ok().as_deref().and_then(parse_thread_env))
+            .unwrap_or_else(hardware_workers)
+    })
+}
+
 /// Resolves an engine's worker budget from `StefOptions::num_threads`:
-/// `0` means "all hardware workers", an explicit logical-thread count
-/// caps the workers at that count (more OS workers than logical threads
-/// can never help).
+/// `0` means "the [`default_threads`] resolution" (env override or all
+/// hardware workers), an explicit logical-thread count caps the workers
+/// at that count (more OS workers than logical threads can never help);
+/// either way the pool never exceeds the hardware probe.
 pub fn resolve_workers(num_threads: usize) -> usize {
-    if num_threads == 0 {
-        hardware_workers()
+    let n = if num_threads == 0 {
+        default_threads()
     } else {
-        num_threads.min(hardware_workers())
-    }
+        num_threads
+    };
+    n.min(hardware_workers())
 }
 
 /// Routes `linalg::par` fan-outs (gram/matmul reductions, the
@@ -567,7 +623,7 @@ pub fn global() -> &'static Executor {
     static GLOBAL: OnceLock<Executor> = OnceLock::new();
     GLOBAL.get_or_init(|| {
         linalg::par::install_fanout(linalg_bridge);
-        Executor::new(Runtime::Pool, hardware_workers())
+        Executor::new(Runtime::Pool, resolve_workers(0))
     })
 }
 
@@ -658,10 +714,43 @@ mod tests {
 
     #[test]
     fn resolve_workers_honors_explicit_counts() {
-        assert_eq!(resolve_workers(0), hardware_workers());
+        assert_eq!(resolve_workers(0), default_threads().min(hardware_workers()));
         assert_eq!(resolve_workers(1), 1);
         let want = 3usize.min(hardware_workers());
         assert_eq!(resolve_workers(3), want);
+    }
+
+    #[test]
+    fn thread_env_parsing() {
+        assert_eq!(parse_thread_env("4"), Some(4));
+        assert_eq!(parse_thread_env(" 12\n"), Some(12));
+        assert_eq!(parse_thread_env("0"), None);
+        assert_eq!(parse_thread_env(""), None);
+        assert_eq!(parse_thread_env("lots"), None);
+        assert_eq!(parse_thread_env("-2"), None);
+    }
+
+    #[test]
+    fn cross_pool_nested_fanout_dispatches() {
+        // A worker of pool `a` is NOT a worker of pool `b`: nested
+        // fan-outs onto the distinct (idle) pool must be allowed to
+        // dispatch there, not forced inline by a process-global guard.
+        let a = Executor::new(Runtime::Pool, 4);
+        let b = Executor::new(Runtime::Pool, 4);
+        let inner = AtomicUsize::new(0);
+        a.fanout(8, |_| {
+            b.fanout(16, |_| {
+                inner.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(inner.load(Ordering::Relaxed), 128);
+        let c = b.counters();
+        // All 8 nested fan-outs ran through b (dispatched or, under
+        // dispatch-lock contention, inline)...
+        assert_eq!(c.dispatches + c.inline_runs, 8);
+        // ...and at least the first to arrive found the lock free and
+        // actually dispatched on b's workers.
+        assert!(c.dispatches >= 1, "cross-pool fan-out never dispatched");
     }
 
     #[test]
