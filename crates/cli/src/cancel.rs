@@ -1,0 +1,96 @@
+//! Process-level cancellation plumbing: Ctrl-C and `--timeout`.
+//!
+//! The handler itself only flips an `AtomicBool` (the one operation
+//! that is async-signal-safe); a detached watchdog thread polls the
+//! flag and cancels whichever [`CancelToken`] is currently installed.
+//! Deadlines need no thread at all — the token carries its own expiry
+//! and every cooperative checkpoint in the library consults it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, Once, OnceLock};
+use std::time::Duration;
+use stef::CancelToken;
+
+/// Set from the signal handler; drained by the watchdog.
+static SIGINT_SEEN: AtomicBool = AtomicBool::new(false);
+
+/// The token the watchdog cancels when Ctrl-C arrives.
+static CURRENT: OnceLock<Mutex<Option<CancelToken>>> = OnceLock::new();
+
+/// One-time signal-handler + watchdog installation.
+static INSTALL: Once = Once::new();
+
+const SIGINT: i32 = 2;
+
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+extern "C" fn on_sigint(_signum: i32) {
+    SIGINT_SEEN.store(true, Ordering::Relaxed);
+}
+
+fn current() -> &'static Mutex<Option<CancelToken>> {
+    CURRENT.get_or_init(|| Mutex::new(None))
+}
+
+/// Guard that scopes a token as the process's interruptible run: while
+/// it lives, Ctrl-C cancels `token` (and `stef`'s global executor
+/// observes it for dense fan-outs). Dropping the guard detaches both,
+/// so later runs in the same process start clean.
+pub struct CancelScope {
+    _private: (),
+}
+
+impl Drop for CancelScope {
+    fn drop(&mut self) {
+        stef::set_global_cancel(None);
+        match current().lock() {
+            Ok(mut slot) => *slot = None,
+            Err(poisoned) => *poisoned.into_inner() = None,
+        }
+    }
+}
+
+/// Installs `token` as the run's cancellation token: registers the
+/// Ctrl-C handler (once per process), points the watchdog at the
+/// token, and mirrors it onto the global executor so `linalg::par`
+/// fan-outs also observe it. Returns a guard that undoes the
+/// installation on drop.
+pub fn install(token: &CancelToken) -> CancelScope {
+    match current().lock() {
+        Ok(mut slot) => *slot = Some(token.clone()),
+        Err(poisoned) => *poisoned.into_inner() = Some(token.clone()),
+    }
+    stef::set_global_cancel(Some(token.clone()));
+    INSTALL.call_once(|| {
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+        std::thread::Builder::new()
+            .name("stef-cancel-watchdog".into())
+            .spawn(watchdog)
+            .ok(); // if the spawn fails, --timeout still works
+    });
+    CancelScope { _private: () }
+}
+
+fn watchdog() {
+    loop {
+        std::thread::sleep(Duration::from_millis(50));
+        if SIGINT_SEEN.swap(false, Ordering::Relaxed) {
+            let token = match current().lock() {
+                Ok(slot) => slot.clone(),
+                Err(poisoned) => poisoned.into_inner().clone(),
+            };
+            match token {
+                Some(t) => {
+                    eprintln!("interrupt received; cancelling (checkpoint will be written if configured)");
+                    t.cancel();
+                }
+                // No run in flight: restore default Ctrl-C behavior.
+                None => std::process::exit(130),
+            }
+        }
+    }
+}

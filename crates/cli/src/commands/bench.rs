@@ -3,27 +3,36 @@
 
 use crate::args::{parse, FlagSpec};
 use crate::commands::accum_by_name;
+use crate::error::CliError;
 use crate::tensor_source::load;
-use std::time::Instant;
-use stef::init_factors;
+use std::time::{Duration, Instant};
+use stef::{init_factors, CancelToken};
 use workloads::SuiteScale;
 
-pub fn run(argv: &[String]) -> Result<(), String> {
+pub fn run(argv: &[String]) -> Result<(), CliError> {
     let spec = FlagSpec::new(&[
         ("--rank", "rank"),
         ("-r", "rank"),
         ("--reps", "reps"),
         ("--threads", "threads"),
         ("--accum", "accum"),
+        ("--timeout", "timeout"),
     ]);
     let p = parse(argv, &spec)?;
     let tensor_spec = p.one_positional("tensor")?;
     let rank: usize = p.num_or("rank", 32)?;
     let reps: usize = p.num_or("reps", 3)?;
     let threads: usize = p.num_or("threads", 0)?;
-    let accum = accum_by_name(p.str_or("accum", "auto"))?;
+    let timeout: f64 = p.num_or("timeout", 0.0)?;
+    let accum = accum_by_name(p.str_or("accum", "auto")).map_err(CliError::Usage)?;
 
-    let (label, t) = load(tensor_spec, SuiteScale::Small)?;
+    let token = CancelToken::new();
+    if timeout > 0.0 {
+        token.set_deadline(Duration::from_secs_f64(timeout));
+    }
+    let _cancel_scope = crate::cancel::install(&token);
+
+    let (label, t) = load(tensor_spec, SuiteScale::Small).map_err(CliError::Input)?;
     println!(
         "benchmarking {label}: {} nnz, rank {rank}, {reps} reps, {} rayon threads\n",
         t.nnz(),
@@ -32,7 +41,15 @@ pub fn run(argv: &[String]) -> Result<(), String> {
 
     let factors = init_factors(t.dims(), rank, 7);
     let mut results: Vec<(String, f64, f64)> = Vec::new();
-    for mut engine in baselines::all_engines_with(&t, rank, threads, accum) {
+    for (done, mut engine) in baselines::all_engines_with(&t, rank, threads, accum)
+        .into_iter()
+        .enumerate()
+    {
+        // Bench sweeps can run for minutes on large tensors; honor
+        // --timeout / Ctrl-C between engines and between sweeps.
+        if token.expired() {
+            return Err(cancelled(&token, done));
+        }
         let prep_start = Instant::now();
         let sweep = engine.sweep_order();
         // Warm-up (auto-tuners settle here).
@@ -44,6 +61,9 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         let warm = prep_start.elapsed().as_secs_f64();
         let mut best = f64::INFINITY;
         for _ in 0..reps {
+            if token.expired() {
+                return Err(cancelled(&token, done));
+            }
             let t0 = Instant::now();
             for &m in &sweep {
                 std::hint::black_box(engine.mttkrp(&factors, m));
@@ -71,6 +91,14 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+fn cancelled(token: &stef::CancelToken, engines_done: usize) -> CliError {
+    CliError::Cancelled(stef::StefError::Cancelled {
+        iteration: engines_done,
+        deadline: token.deadline_expired(),
+        checkpoint_iteration: None,
+    })
 }
 
 #[cfg(test)]
@@ -106,5 +134,20 @@ mod tests {
     #[test]
     fn rejects_unknown_accum() {
         assert!(super::run(&argv(&["suite:nips:tiny", "--accum", "magic"])).is_err());
+    }
+
+    #[test]
+    fn expired_timeout_exits_with_the_cancel_code() {
+        let err = super::run(&argv(&[
+            "suite:nips:tiny",
+            "--rank",
+            "2",
+            "--reps",
+            "1",
+            "--timeout",
+            "0.000001",
+        ]))
+        .expect_err("expired deadline must cancel the bench");
+        assert_eq!(err.exit_code(), 6, "{err}");
     }
 }

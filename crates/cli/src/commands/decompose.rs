@@ -5,14 +5,19 @@
 //! loadable from numpy/Julia/R.
 
 use crate::args::{parse, FlagSpec};
-use crate::commands::{accum_by_name, engine_by_name, runtime_by_name};
+use crate::commands::{accum_by_name, engine_by_name, runtime_by_name, EngineConfig};
 use crate::error::CliError;
 use crate::tensor_source::load;
 use linalg::Mat;
 use std::io::Write;
 use std::path::Path;
-use stef::{cpd_als, Checkpoint, CheckpointPolicy, CpdOptions};
+use std::time::Duration;
+use stef::{cpd_als, CancelToken, Checkpoint, CheckpointPolicy, CpdOptions};
 use workloads::SuiteScale;
+
+/// Checkpoint path used when a run is interruptible (`--timeout`) but
+/// the user gave no `--checkpoint`; interrupted runs stay resumable.
+const DEFAULT_INTERRUPT_CHECKPOINT: &str = "stef-interrupted.ckpt";
 
 pub fn run(argv: &[String]) -> Result<(), CliError> {
     let spec = FlagSpec::new(&[
@@ -30,6 +35,8 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         ("--checkpoint", "checkpoint"),
         ("--checkpoint-every", "checkpoint-every"),
         ("--resume", "resume"),
+        ("--timeout", "timeout"),
+        ("--memory-budget", "memory-budget"),
     ]);
     let p = parse(argv, &spec)?;
     let tensor_spec = p.one_positional("tensor")?;
@@ -38,14 +45,32 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     let tol: f64 = p.num_or("tol", 1e-5)?;
     let seed: u64 = p.num_or("seed", 42)?;
     let threads: usize = p.num_or("threads", 0)?;
+    let timeout: f64 = p.num_or("timeout", 0.0)?;
+    let memory_budget: usize = p.num_or("memory-budget", 0)?;
+    if !timeout.is_finite() || timeout < 0.0 {
+        return Err(CliError::Usage(format!(
+            "--timeout must be a non-negative number of seconds, got {timeout}"
+        )));
+    }
     let engine_name = p.str_or("engine", "stef");
     let update_mode = p.str_or("mode", "als");
     let accum = accum_by_name(p.str_or("accum", "auto")).map_err(CliError::Usage)?;
     let runtime = runtime_by_name(p.str_or("runtime", "pool")).map_err(CliError::Usage)?;
     let checkpoint_every: usize = p.num_or("checkpoint-every", 5)?;
-    let checkpoint = p
-        .opt_str("checkpoint")
-        .map(|path| CheckpointPolicy::new(path, checkpoint_every));
+    let checkpoint = match p.opt_str("checkpoint") {
+        Some(path) => Some(CheckpointPolicy::new(path, checkpoint_every)),
+        // An interruptible run must leave something to resume from.
+        None if timeout > 0.0 => {
+            println!(
+                "no --checkpoint given; an interrupted run will checkpoint to {DEFAULT_INTERRUPT_CHECKPOINT}"
+            );
+            Some(CheckpointPolicy::new(
+                DEFAULT_INTERRUPT_CHECKPOINT,
+                checkpoint_every,
+            ))
+        }
+        None => None,
+    };
     let resume = match p.opt_str("resume") {
         Some(path) => {
             let cp = Checkpoint::load(Path::new(path))?;
@@ -63,7 +88,25 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "decomposing {label} ({} nnz) with engine '{engine_name}', rank {rank}",
         t.nnz()
     );
-    let mut engine = engine_by_name(engine_name, &t, rank, threads, accum, runtime)?;
+
+    // One token serves --timeout, Ctrl-C, the engine's own kernels and
+    // the dense fan-outs; the scope guard detaches it when we return.
+    let token = CancelToken::new();
+    if timeout > 0.0 {
+        token.set_deadline(Duration::from_secs_f64(timeout));
+        println!("deadline armed: {timeout}s");
+    }
+    let _cancel_scope = crate::cancel::install(&token);
+
+    let cfg = EngineConfig {
+        rank,
+        threads,
+        accum,
+        runtime,
+        memory_budget,
+        cancel: Some(token.clone()),
+    };
+    let mut engine = engine_by_name(engine_name, &t, &cfg)?;
     let opts = CpdOptions {
         rank,
         max_iters: iters,
@@ -71,11 +114,32 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         seed,
         checkpoint,
         resume,
+        cancel: Some(token.clone()),
         ..CpdOptions::new(rank)
     };
     match update_mode {
         "als" => {
-            let result = cpd_als(engine.as_mut(), &opts)?;
+            let result = match cpd_als(engine.as_mut(), &opts) {
+                Ok(r) => r,
+                Err(e) => {
+                    if let stef::StefError::Cancelled {
+                        checkpoint_iteration: Some(it),
+                        ..
+                    } = &e
+                    {
+                        if let Some(policy) = &opts.checkpoint {
+                            println!(
+                                "cancelled; checkpoint at iteration {it} — resume with --resume {}",
+                                policy.path.display()
+                            );
+                        }
+                    }
+                    return Err(e.into());
+                }
+            };
+            for ev in &result.degradations {
+                println!("memory budget: {ev}");
+            }
             println!(
                 "fit {:.6} after {} iterations (converged: {}); {:?} total, {:?} in MTTKRP",
                 result.final_fit(),
@@ -275,6 +339,44 @@ mod tests {
         assert_eq!(err.exit_code(), 5, "{err}");
         std::fs::remove_dir_all(&dir).ok();
         Ok(())
+    }
+
+    #[test]
+    fn expired_timeout_exits_with_the_cancel_code() {
+        let err = super::run(&argv(&[
+            "suite:uber:tiny",
+            "--rank",
+            "3",
+            "--iters",
+            "50",
+            "--tol",
+            "0",
+            "--timeout",
+            "0.000001",
+        ]))
+        .expect_err("an already-expired deadline must cancel the run");
+        assert_eq!(err.exit_code(), 6, "{err}");
+    }
+
+    #[test]
+    fn non_finite_timeout_is_a_usage_error() {
+        let err = super::run(&argv(&["suite:uber:tiny", "--timeout", "nan"]))
+            .expect_err("nan timeout must be rejected");
+        assert_eq!(err.exit_code(), 2, "{err}");
+    }
+
+    #[test]
+    fn generous_memory_budget_still_decomposes() {
+        super::run(&argv(&[
+            "suite:uber:tiny",
+            "--rank",
+            "3",
+            "--iters",
+            "2",
+            "--memory-budget",
+            "100000000",
+        ]))
+        .unwrap();
     }
 
     #[test]

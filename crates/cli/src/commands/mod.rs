@@ -7,7 +7,8 @@ pub mod generate;
 pub mod list;
 pub mod validate;
 
-use stef::{AccumStrategy, MttkrpEngine, Runtime};
+use crate::error::CliError;
+use stef::{AccumStrategy, CancelToken, MttkrpEngine, Runtime};
 
 /// Parses a `--accum` value. Errors are usage errors (exit code 2).
 pub fn accum_by_name(name: &str) -> Result<AccumStrategy, String> {
@@ -30,23 +31,53 @@ pub fn runtime_by_name(name: &str) -> Result<Runtime, String> {
     }
 }
 
+/// Engine construction parameters shared by the subcommands. The
+/// budget and cancellation fields apply to the STeF engines; baselines
+/// manage their own memory and ignore them.
+pub struct EngineConfig {
+    pub rank: usize,
+    pub threads: usize,
+    pub accum: AccumStrategy,
+    pub runtime: Runtime,
+    /// Soft memory budget in bytes for workspace + memoized partials
+    /// (0 = unlimited). The engine degrades its plan to fit; only an
+    /// infeasible minimal plan is an error.
+    pub memory_budget: usize,
+    /// Cooperative cancellation token, installed on the engine's
+    /// executor so in-flight kernels observe `--timeout`/Ctrl-C.
+    pub cancel: Option<CancelToken>,
+}
+
+impl EngineConfig {
+    pub fn new(rank: usize, threads: usize) -> Self {
+        EngineConfig {
+            rank,
+            threads,
+            accum: AccumStrategy::Auto,
+            runtime: Runtime::Pool,
+            memory_budget: 0,
+            cancel: None,
+        }
+    }
+}
+
 /// Builds an engine by CLI name. `accum` applies to the STeF engines;
 /// baselines resolve output conflicts their own way and ignore it.
 pub fn engine_by_name(
     name: &str,
     tensor: &sptensor::CooTensor,
-    rank: usize,
-    threads: usize,
-    accum: AccumStrategy,
-    runtime: Runtime,
-) -> Result<Box<dyn MttkrpEngine>, String> {
+    cfg: &EngineConfig,
+) -> Result<Box<dyn MttkrpEngine>, CliError> {
+    let EngineConfig { rank, threads, .. } = *cfg;
     let mut opts = stef::StefOptions::new(rank);
     opts.num_threads = threads;
-    opts.accum = accum;
-    opts.runtime = runtime;
+    opts.accum = cfg.accum;
+    opts.runtime = cfg.runtime;
+    opts.memory_budget = cfg.memory_budget;
+    opts.cancel = cfg.cancel.clone();
     Ok(match name {
-        "stef" => Box::new(stef::Stef::prepare(tensor, opts)),
-        "stef2" => Box::new(stef::Stef2::prepare(tensor, opts)),
+        "stef" => Box::new(stef::Stef::try_prepare(tensor, opts)?),
+        "stef2" => Box::new(stef::Stef2::try_prepare(tensor, opts)?),
         "splatt-1" => Box::new(baselines::Splatt::prepare(
             tensor,
             baselines::SplattVariant::One,
@@ -71,9 +102,9 @@ pub fn engine_by_name(
         "hicoo" => Box::new(baselines::HiCoo::prepare(tensor, rank, threads)),
         "reference" => Box::new(stef::ReferenceEngine::new(tensor.clone())),
         other => {
-            return Err(format!(
+            return Err(CliError::Usage(format!(
                 "unknown engine '{other}' (stef stef2 splatt-1 splatt-2 splatt-all adatm alto taco hicoo reference)"
-            ))
+            )))
         }
     })
 }
@@ -98,7 +129,7 @@ mod tests {
             "hicoo",
             "reference",
         ] {
-            let e = engine_by_name(name, &t, 2, 1, AccumStrategy::Auto, Runtime::Pool).unwrap();
+            let e = engine_by_name(name, &t, &EngineConfig::new(2, 1)).unwrap();
             assert_eq!(e.dims(), t.dims());
         }
     }
@@ -106,7 +137,23 @@ mod tests {
     #[test]
     fn unknown_engine_errors() {
         let t = uniform_tensor(&[4, 4], 10, 2);
-        assert!(engine_by_name("magic", &t, 2, 1, AccumStrategy::Auto, Runtime::Pool).is_err());
+        let err = match engine_by_name("magic", &t, &EngineConfig::new(2, 1)) {
+            Err(e) => e,
+            Ok(_) => panic!("unknown engine must fail"),
+        };
+        assert_eq!(err.exit_code(), 2);
+    }
+
+    #[test]
+    fn infeasible_budget_is_an_input_error() {
+        let t = uniform_tensor(&[8, 8, 8], 100, 1);
+        let mut cfg = EngineConfig::new(4, 2);
+        cfg.memory_budget = 1; // nothing fits in one byte
+        let err = match engine_by_name("stef", &t, &cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("one-byte budget must be rejected"),
+        };
+        assert_eq!(err.exit_code(), 3, "{err}");
     }
 
     #[test]

@@ -3,11 +3,14 @@
 //! `stef::validate::validate_engine`).
 
 use crate::args::{parse, FlagSpec};
-use crate::commands::{accum_by_name, engine_by_name, runtime_by_name};
+use crate::commands::{accum_by_name, engine_by_name, runtime_by_name, EngineConfig};
+use crate::error::CliError;
 use crate::tensor_source::load;
+use std::time::Duration;
+use stef::CancelToken;
 use workloads::SuiteScale;
 
-pub fn run(argv: &[String]) -> Result<(), String> {
+pub fn run(argv: &[String]) -> Result<(), CliError> {
     let spec = FlagSpec::new(&[
         ("--rank", "rank"),
         ("-r", "rank"),
@@ -16,15 +19,17 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         ("--tol", "tol"),
         ("--accum", "accum"),
         ("--runtime", "runtime"),
+        ("--timeout", "timeout"),
     ]);
     let p = parse(argv, &spec)?;
     let tensor_spec = p.one_positional("tensor")?;
     let rank: usize = p.num_or("rank", 8)?;
     let threads: usize = p.num_or("threads", 0)?;
     let tol: f64 = p.num_or("tol", 1e-9)?;
+    let timeout: f64 = p.num_or("timeout", 0.0)?;
     let engine_name = p.str_or("engine", "stef");
 
-    let (label, t) = load(tensor_spec, SuiteScale::Tiny)?;
+    let (label, t) = load(tensor_spec, SuiteScale::Tiny).map_err(CliError::Input)?;
     if t.nnz() > 2_000_000 {
         eprintln!(
             "warning: the reference MTTKRP is O(nnz·d·R) per mode; {} nnz will be slow",
@@ -32,10 +37,29 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         );
     }
     println!("validating engine '{engine_name}' on {label} at rank {rank} (tol {tol:e})…");
-    let accum = accum_by_name(p.str_or("accum", "auto"))?;
-    let runtime = runtime_by_name(p.str_or("runtime", "pool"))?;
-    let mut engine = engine_by_name(engine_name, &t, rank, threads, accum, runtime)?;
+    let accum = accum_by_name(p.str_or("accum", "auto")).map_err(CliError::Usage)?;
+    let runtime = runtime_by_name(p.str_or("runtime", "pool")).map_err(CliError::Usage)?;
+
+    let token = CancelToken::new();
+    if timeout > 0.0 {
+        token.set_deadline(Duration::from_secs_f64(timeout));
+    }
+    let _cancel_scope = crate::cancel::install(&token);
+
+    let mut cfg = EngineConfig::new(rank, threads);
+    cfg.accum = accum;
+    cfg.runtime = runtime;
+    cfg.cancel = Some(token.clone());
+    let mut engine = engine_by_name(engine_name, &t, &cfg)?;
+    if token.expired() {
+        return Err(cancelled(&token, 0));
+    }
     let report = stef::validate_engine(engine.as_mut(), &t, rank, tol, 42);
+    // A cancelled sweep produces partial outputs; don't report those as
+    // mismatches.
+    if token.expired() {
+        return Err(cancelled(&token, report.modes_checked.len()));
+    }
     if report.is_ok() {
         println!(
             "OK: {} modes × 2 sweeps agree with the reference",
@@ -49,11 +73,19 @@ pub fn run(argv: &[String]) -> Result<(), String> {
                 m.mode, m.row, m.col, m.got, m.expected
             );
         }
-        Err(format!(
+        Err(CliError::Input(format!(
             "{} mismatching mode passes",
             report.mismatches.len()
-        ))
+        )))
     }
+}
+
+fn cancelled(token: &CancelToken, progress: usize) -> CliError {
+    CliError::Cancelled(stef::StefError::Cancelled {
+        iteration: progress,
+        deadline: token.deadline_expired(),
+        checkpoint_iteration: None,
+    })
 }
 
 #[cfg(test)]

@@ -17,6 +17,10 @@ pub enum CliError {
     /// A checkpoint could not be saved, loaded, or matched to the run.
     /// Exit code 5.
     Checkpoint(CheckpointError),
+    /// The run was cancelled cooperatively — deadline expiry (`--timeout`)
+    /// or Ctrl-C. Distinct from numerical failure so scripts can retry
+    /// with `--resume`. Exit code 6.
+    Cancelled(StefError),
 }
 
 impl CliError {
@@ -27,6 +31,7 @@ impl CliError {
             CliError::Input(_) => 3,
             CliError::Numerical(_) => 4,
             CliError::Checkpoint(_) => 5,
+            CliError::Cancelled(_) => 6,
         }
     }
 }
@@ -38,6 +43,7 @@ impl std::fmt::Display for CliError {
             CliError::Input(msg) => write!(f, "{msg}"),
             CliError::Numerical(e) => write!(f, "{e}"),
             CliError::Checkpoint(e) => write!(f, "{e}"),
+            CliError::Cancelled(e) => write!(f, "{e}"),
         }
     }
 }
@@ -56,6 +62,10 @@ impl From<StefError> for CliError {
             StefError::Checkpoint(c) => CliError::Checkpoint(c),
             StefError::Input(msg) => CliError::Input(msg),
             StefError::Tns(t) => CliError::Input(t.to_string()),
+            // A budget the minimal plan cannot fit is a configuration
+            // problem with the invocation, not a numerical failure.
+            e @ StefError::BudgetExceeded { .. } => CliError::Input(e.to_string()),
+            e @ StefError::Cancelled { .. } => CliError::Cancelled(e),
             other => CliError::Numerical(other),
         }
     }
@@ -81,6 +91,12 @@ mod tests {
                 reason: "c".into(),
             })
             .exit_code(),
+            CliError::Cancelled(StefError::Cancelled {
+                iteration: 1,
+                deadline: true,
+                checkpoint_iteration: None,
+            })
+            .exit_code(),
         ];
         let mut unique = codes.to_vec();
         unique.sort_unstable();
@@ -104,6 +120,26 @@ mod tests {
         .into();
         assert_eq!(e.exit_code(), 5);
         let e: CliError = StefError::Input("empty tensor".into()).into();
+        assert_eq!(e.exit_code(), 3);
+        let e: CliError = StefError::Cancelled {
+            iteration: 2,
+            deadline: false,
+            checkpoint_iteration: Some(2),
+        }
+        .into();
+        assert_eq!(e.exit_code(), 6);
+        let e: CliError = StefError::WorkerPanic {
+            iteration: 1,
+            mode: Some(0),
+            message: "boom".into(),
+        }
+        .into();
+        assert_eq!(e.exit_code(), 4);
+        let e: CliError = StefError::BudgetExceeded {
+            required: 4096,
+            budget: 100,
+        }
+        .into();
         assert_eq!(e.exit_code(), 3);
     }
 }

@@ -16,6 +16,7 @@
 //! synthetic analogue of the paper's tensor suite (see `stef list`).
 
 mod args;
+mod cancel;
 mod commands;
 mod error;
 mod tensor_source;
@@ -44,9 +45,9 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "generate" => commands::generate::run(rest).map_err(CliError::from),
         "analyze" => commands::analyze::run(rest).map_err(CliError::from),
         "decompose" => commands::decompose::run(rest),
-        "bench" => commands::bench::run(rest).map_err(CliError::from),
+        "bench" => commands::bench::run(rest),
         "list" => commands::list::run(rest).map_err(CliError::from),
-        "validate" => commands::validate::run(rest).map_err(CliError::from),
+        "validate" => commands::validate::run(rest),
         "help" | "--help" | "-h" => {
             print_usage();
             Ok(())
@@ -69,11 +70,16 @@ fn print_usage() {
          \u{20}                        [--engine NAME] [--threads N] [--out DIR] [--seed S]\n\
          \u{20}                        [--accum auto|privatized|atomic]\n\
          \u{20}                        [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n\
+         \u{20}                        [--timeout SECS] [--memory-budget BYTES]\n\
          \u{20}stef bench    <tensor> [--rank R] [--reps N] [--threads N] [--accum auto|privatized|atomic]\n\
+         \u{20}                       [--timeout SECS]\n\
          \u{20}stef validate <tensor> [--rank R] [--engine NAME] [--tol T] [--accum auto|privatized|atomic]\n\
+         \u{20}                       [--timeout SECS]\n\
          \u{20}stef list\n\
          \n\
          <tensor> = path to a .tns file, or suite:<name> (see `stef list`).\n\
-         engines: stef stef2 splatt-1 splatt-2 splatt-all adatm alto taco reference"
+         engines: stef stef2 splatt-1 splatt-2 splatt-all adatm alto taco reference\n\
+         exit codes: 0 ok, 2 usage, 3 input, 4 numerical, 5 checkpoint, 6 cancelled\n\
+         Ctrl-C and --timeout cancel cooperatively; decompose writes a checkpoint first."
     );
 }

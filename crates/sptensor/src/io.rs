@@ -114,7 +114,13 @@ pub fn read_tns<R: Read>(reader: R) -> Result<CooTensor, TnsError> {
                     msg: "coordinates are 1-based; found 0".into(),
                 });
             }
-            let c0 = (c - 1) as u32;
+            // Reject out-of-range coordinates instead of `as`-wrapping:
+            // a 1-based index above 2^32 would silently alias a small
+            // coordinate and corrupt the tensor.
+            let c0 = u32::try_from(c - 1).map_err(|_| TnsError::Parse {
+                line: lineno,
+                msg: format!("coordinate {c} exceeds the supported maximum of {}", u32::MAX),
+            })?;
             coords[m].push(c0);
             if c0 > maxes[m] {
                 maxes[m] = c0;

@@ -21,7 +21,9 @@
 use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy, CHECKPOINT_VERSION};
 use crate::engine::MttkrpEngine;
 use crate::error::StefError;
+use crate::model::DegradationEvent;
 use crate::recover::{mat_is_finite, slice_is_finite, RecoveryAction, RecoveryEvents, RecoveryPolicy};
+use crate::runtime::CancelToken;
 use linalg::norms::{normalize_columns, ColumnNorm};
 use linalg::ops::{frob_inner, gram_full, hadamard_inplace};
 use linalg::solve::{try_solve_gram_system, try_solve_gram_system_ridged, SolveMethod};
@@ -46,6 +48,12 @@ pub struct CpdOptions {
     /// Resume from a previously saved snapshot instead of a fresh
     /// initialization. The checkpoint's dims and rank must match.
     pub resume: Option<Checkpoint>,
+    /// Cooperative cancellation: the driver checks the token at
+    /// iteration start and after every mode update, aborts with
+    /// [`StefError::Cancelled`], and — when a [`CheckpointPolicy`] is
+    /// also configured — first writes a checkpoint of the last
+    /// *completed* iteration, so the interrupted run resumes bit-exactly.
+    pub cancel: Option<CancelToken>,
 }
 
 impl CpdOptions {
@@ -60,6 +68,7 @@ impl CpdOptions {
             recovery: RecoveryPolicy::default(),
             checkpoint: None,
             resume: None,
+            cancel: None,
         }
     }
 }
@@ -93,6 +102,10 @@ pub struct CpdResult {
     pub checkpoints_written: usize,
     /// The iteration a resumed run restarted from, if any.
     pub resumed_from: Option<usize>,
+    /// Plan relaxations the engine applied to fit its memory budget
+    /// (empty when unconstrained). Degraded runs compute the same
+    /// numbers — these events explain the performance, not the result.
+    pub degradations: Vec<DegradationEvent>,
 }
 
 impl CpdResult {
@@ -149,6 +162,45 @@ fn reinit_factor(
     // the next mode updates renormalize.
     lambda.fill(1.0);
     recovery.record(iteration, Some(m), RecoveryAction::FactorReinit, detail);
+}
+
+/// Runs one MTTKRP with panic isolation: a panic that escapes the
+/// engine (e.g. a worker panic surfaced by a pool fan-out) becomes a
+/// typed [`StefError::WorkerPanic`] instead of unwinding through the
+/// driver. The pool has already healed itself by the time the panic
+/// reaches this frame, so the same engine can run again.
+fn guarded_mttkrp<E: MttkrpEngine + ?Sized>(
+    engine: &mut E,
+    factors: &[Mat],
+    mode: usize,
+    iteration: usize,
+) -> Result<Mat, StefError> {
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.mttkrp(factors, mode)))
+        .map_err(|p| StefError::WorkerPanic {
+            iteration,
+            mode: Some(mode),
+            message: crate::runtime::payload_message(p.as_ref()),
+        })
+}
+
+/// Builds the [`StefError::Cancelled`] for an observed cancellation,
+/// first writing the last completed iteration's state as a checkpoint
+/// when both a policy and a snapshot exist.
+fn cancel_error(
+    token: &CancelToken,
+    iteration: usize,
+    checkpoint: &Option<CheckpointPolicy>,
+    last_good: &Option<Checkpoint>,
+) -> StefError {
+    let checkpoint_iteration = match (checkpoint, last_good) {
+        (Some(policy), Some(cp)) => cp.save(&policy.path).ok().map(|_| cp.iteration),
+        _ => None,
+    };
+    StefError::Cancelled {
+        iteration,
+        deadline: token.deadline_expired(),
+        checkpoint_iteration,
+    }
 }
 
 /// Runs CPD-ALS on `engine`.
@@ -231,13 +283,25 @@ pub fn cpd_als<E: MttkrpEngine + ?Sized>(
     let mut reinits_used = 0usize;
     let mut consecutive_drops = 0usize;
     let mut divergence_fallback_spent = false;
+    // Cancel-time checkpointing: snapshot the end of every completed
+    // iteration (only when both a token and a policy are configured —
+    // the clone is not free) so an interrupt mid-sweep can still leave
+    // a resumable, bit-exact snapshot behind.
+    let snapshot_for_cancel = opts.cancel.is_some() && opts.checkpoint.is_some();
+    let engine_name = engine.name();
+    let mut last_good: Option<Checkpoint> = None;
 
     for it in start_iter..opts.max_iters {
         iterations = it + 1;
+        if let Some(token) = &opts.cancel {
+            if token.expired() {
+                return Err(cancel_error(token, iterations, &opts.checkpoint, &last_good));
+            }
+        }
         let mut last_mttkrp: Option<(usize, Mat)> = None;
         for &mode in &sweep {
             let t0 = Instant::now();
-            let mut ahat = engine.mttkrp(&factors, mode);
+            let mut ahat = guarded_mttkrp(engine, &factors, mode, iterations)?;
             let dt = t0.elapsed();
             mttkrp_time += dt;
             mode_seconds[mode] += dt.as_secs_f64();
@@ -257,7 +321,7 @@ pub fn cpd_als<E: MttkrpEngine + ?Sized>(
                         "non-finite MTTKRP output; disabled memoization and recomputed",
                     );
                     let t0 = Instant::now();
-                    ahat = engine.mttkrp(&factors, mode);
+                    ahat = guarded_mttkrp(engine, &factors, mode, iterations)?;
                     let dt = t0.elapsed();
                     mttkrp_time += dt;
                     mode_seconds[mode] += dt.as_secs_f64();
@@ -297,7 +361,7 @@ pub fn cpd_als<E: MttkrpEngine + ?Sized>(
                             );
                         }
                         let t0 = Instant::now();
-                        ahat = engine.mttkrp(&factors, mode);
+                        ahat = guarded_mttkrp(engine, &factors, mode, iterations)?;
                         let dt = t0.elapsed();
                         mttkrp_time += dt;
                         mode_seconds[mode] += dt.as_secs_f64();
@@ -424,6 +488,21 @@ pub fn cpd_als<E: MttkrpEngine + ?Sized>(
             grams[mode] = gram_full(&newf);
             factors[mode] = newf;
             last_mttkrp = Some((mode, ahat));
+
+            // Chunk-granularity cancellation inside the kernels only
+            // stops the fan-outs; the sweep observes it here, after
+            // every mode update, so a mid-sweep cancel is bounded by
+            // one MTTKRP rather than one iteration.
+            if let Some(token) = &opts.cancel {
+                if token.expired() {
+                    return Err(cancel_error(
+                        token,
+                        iterations,
+                        &opts.checkpoint,
+                        &last_good,
+                    ));
+                }
+            }
         }
 
         // Fit via the last mode's MTTKRP result.
@@ -523,6 +602,20 @@ pub fn cpd_als<E: MttkrpEngine + ?Sized>(
             }
         }
 
+        if snapshot_for_cancel {
+            last_good = Some(Checkpoint {
+                version: CHECKPOINT_VERSION,
+                iteration: iterations,
+                seed: opts.seed,
+                rank: r,
+                dims: dims.clone(),
+                engine: engine_name.clone(),
+                lambda: lambda.clone(),
+                fits: fits.clone(),
+                factors: factors.clone(),
+            });
+        }
+
         if let Some(p) = prev {
             if (fit - p).abs() < opts.tol {
                 converged = true;
@@ -544,6 +637,7 @@ pub fn cpd_als<E: MttkrpEngine + ?Sized>(
         recovery,
         checkpoints_written,
         resumed_from,
+        degradations: engine.degradations(),
     })
 }
 

@@ -6,7 +6,8 @@
 use crate::kernels::{mode0_with, modeu_with, KernelCtx, ResolvedAccum};
 use crate::kernels_legacy;
 use crate::model::{
-    best_memo_set, choose_plan, op_count_memo_set, prefer_privatized, LevelProfile, MemoPlan,
+    best_memo_set, choose_plan, fit_memory_budget, op_count_memo_set, prefer_privatized,
+    DegradationEvent, LevelProfile, MemoPlan,
 };
 use crate::options::{AccumStrategy, KernelPath, MemoPolicy, ModeSwitchPolicy, StefOptions};
 use crate::partials::PartialStore;
@@ -49,6 +50,13 @@ pub trait MttkrpEngine {
     fn degrade_to_unmemoized(&mut self) -> bool {
         false
     }
+
+    /// Plan relaxations the engine applied to fit
+    /// `StefOptions::memory_budget` — empty for engines without budget
+    /// governance. The CPD driver copies these onto `CpdResult`.
+    fn degradations(&self) -> Vec<DegradationEvent> {
+        Vec::new()
+    }
 }
 
 /// The paper's STeF: one CSF in a model-chosen order, model-chosen
@@ -79,6 +87,9 @@ pub struct Stef {
     /// created here and parked between dispatches), or the scoped-spawn
     /// fallback when `StefOptions::runtime` asks for it.
     exec: Executor,
+    /// Plan relaxations applied at preparation to fit
+    /// `StefOptions::memory_budget` (empty when unconstrained).
+    degradations: Vec<DegradationEvent>,
 }
 
 impl Stef {
@@ -215,23 +226,8 @@ impl Stef {
             }
         };
 
-        let plan = MemoPlan {
-            swap_last_two: swap,
-            save: save.clone(),
-            predicted: profile.total_traffic(&save),
-            predicted_other_order: model_plan.predicted_other_order,
-        };
-
-        let sched = Schedule::build(&csf, nthreads, opts.load_balance);
-        let partials = if save.iter().any(|&s| s) {
-            PartialStore::allocate(&csf, &save, nthreads, opts.rank)
-        } else {
-            PartialStore::empty(d, nthreads, opts.rank)
-        };
-        let level_of_mode = inverse_permutation(csf.mode_order());
-
         // --- accumulation decision (one per consumer level) ---
-        let accum_by_level: Vec<ResolvedAccum> = (0..d)
+        let mut accum_by_level: Vec<ResolvedAccum> = (0..d)
             .map(|level| {
                 if level == 0 {
                     // Root rows are thread-owned; no strategy applies.
@@ -257,13 +253,68 @@ impl Stef {
                 }
             })
             .collect();
+
+        // --- memory-budget fit (degrade, don't die) ---
+        let fixed = Workspace::fixed_bytes(d, opts.rank, nthreads);
+        let privatized: Vec<bool> = accum_by_level
+            .iter()
+            .enumerate()
+            .map(|(l, &a)| l > 0 && a == ResolvedAccum::Privatized)
+            .collect();
+        let fit = fit_memory_budget(
+            &profile,
+            save,
+            privatized,
+            nthreads,
+            fixed,
+            opts.memory_budget,
+        )
+        .map_err(|required| StefError::BudgetExceeded {
+            required,
+            budget: opts.memory_budget,
+        })?;
+        let save = fit.save;
+        for (l, a) in accum_by_level.iter_mut().enumerate().skip(1) {
+            if !fit.privatized[l] && *a == ResolvedAccum::Privatized {
+                *a = ResolvedAccum::Atomic;
+            }
+        }
+        let degradations = fit.events;
+
+        let plan = MemoPlan {
+            swap_last_two: swap,
+            save: save.clone(),
+            predicted: profile.total_traffic(&save),
+            predicted_other_order: model_plan.predicted_other_order,
+        };
+
+        let sched = Schedule::build(&csf, nthreads, opts.load_balance);
+        let partials = if save.iter().any(|&s| s) {
+            PartialStore::try_allocate(&csf, &save, nthreads, opts.rank).map_err(|required| {
+                StefError::BudgetExceeded {
+                    required,
+                    budget: opts.memory_budget,
+                }
+            })?
+        } else {
+            PartialStore::empty(d, nthreads, opts.rank)
+        };
+        let level_of_mode = inverse_permutation(csf.mode_order());
         let max_priv_rows = (1..d)
             .filter(|&l| accum_by_level[l] == ResolvedAccum::Privatized)
             .map(|l| csf.level_dims()[l])
             .max()
             .unwrap_or(0);
-        let ws = Workspace::new(d, opts.rank, nthreads, max_priv_rows);
+        let ws = Workspace::try_new(d, opts.rank, nthreads, max_priv_rows).map_err(|required| {
+            StefError::BudgetExceeded {
+                required,
+                budget: opts.memory_budget,
+            }
+        })?;
         let exec = Executor::new(opts.runtime, opts.workers());
+        if opts.cancel.is_some() {
+            exec.set_cancel(opts.cancel.clone());
+        }
 
         Ok(Stef {
             sched,
@@ -279,6 +330,7 @@ impl Stef {
             ws,
             exec,
             csf,
+            degradations,
         })
     }
 
@@ -452,6 +504,10 @@ impl MttkrpEngine for Stef {
         self.memo_disabled = true;
         self.partials_fresh = false;
         was_memoizing
+    }
+
+    fn degradations(&self) -> Vec<DegradationEvent> {
+        self.degradations.clone()
     }
 }
 

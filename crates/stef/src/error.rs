@@ -47,6 +47,39 @@ pub enum StefError {
     },
     /// Checkpoint save or load failed.
     Checkpoint(CheckpointError),
+    /// A worker thread panicked during a pool-dispatched fan-out. The
+    /// pool isolated the panic (the join barrier resolved, the worker
+    /// was healed) and the run was abandoned with this typed error; the
+    /// same engine can run again on the healed pool.
+    WorkerPanic {
+        /// 1-based ALS iteration (0 = outside the iteration loop).
+        iteration: usize,
+        /// Mode being updated, if mode-specific.
+        mode: Option<usize>,
+        /// The recorded panic payload.
+        message: String,
+    },
+    /// The run was cancelled cooperatively — Ctrl-C, an explicit
+    /// [`crate::CancelToken::cancel`], or an expired `--timeout`
+    /// deadline.
+    Cancelled {
+        /// 1-based ALS iteration at which cancellation was observed.
+        iteration: usize,
+        /// Whether an armed deadline (rather than an explicit cancel)
+        /// triggered it.
+        deadline: bool,
+        /// Iteration of the checkpoint written on the way out, if any —
+        /// the run is resumable from there.
+        checkpoint_iteration: Option<usize>,
+    },
+    /// Even the minimal execution plan (no memoization, atomic
+    /// accumulation) does not fit in `StefOptions::memory_budget`.
+    BudgetExceeded {
+        /// Bytes the minimal plan requires.
+        required: usize,
+        /// The configured budget.
+        budget: usize,
+    },
 }
 
 impl std::fmt::Display for StefError {
@@ -88,6 +121,37 @@ impl std::fmt::Display for StefError {
                  (iteration {iteration}, last fit {last_fit:.6})"
             ),
             StefError::Checkpoint(e) => write!(f, "{e}"),
+            StefError::WorkerPanic {
+                iteration,
+                mode: Some(mode),
+                message,
+            } => write!(
+                f,
+                "worker panic at iteration {iteration}, mode {mode} (pool healed): {message}"
+            ),
+            StefError::WorkerPanic {
+                iteration,
+                mode: None,
+                message,
+            } => write!(f, "worker panic at iteration {iteration} (pool healed): {message}"),
+            StefError::Cancelled {
+                iteration,
+                deadline,
+                checkpoint_iteration,
+            } => {
+                let why = if *deadline { "deadline expired" } else { "cancelled" };
+                match checkpoint_iteration {
+                    Some(cp) => write!(
+                        f,
+                        "{why} at iteration {iteration}; checkpoint written at iteration {cp} (resumable)"
+                    ),
+                    None => write!(f, "{why} at iteration {iteration}; no checkpoint written"),
+                }
+            }
+            StefError::BudgetExceeded { required, budget } => write!(
+                f,
+                "memory budget exceeded: minimal plan needs {required} bytes, budget is {budget} bytes"
+            ),
         }
     }
 }

@@ -9,7 +9,9 @@
 //! error, never panic, never return silently wrong results.**
 
 use crate::engine::MttkrpEngine;
+use crate::runtime::{CancelToken, Executor};
 use linalg::Mat;
+use std::time::Duration;
 
 /// What to inject, and when.
 #[derive(Clone, Debug)]
@@ -31,6 +33,17 @@ pub enum Fault {
         col: usize,
         value: f64,
     },
+    /// On the `at`-th MTTKRP call, dispatch a fan-out on the attached
+    /// executor (see [`FaultyEngine::with_executor`]) in which logical
+    /// thread `thread` panics mid-chunk — the exact scenario that used
+    /// to strand the pool's dispatcher on its completion barrier. Fires
+    /// once; requires an executor, otherwise it is a no-op.
+    WorkerPanicOnce { at: usize, thread: usize },
+    /// On the `at`-th MTTKRP call, burn the attached cancel token's
+    /// deadline fuse (see [`FaultyEngine::with_cancel`]): arm a deadline
+    /// `fuse` from now, so the run cancels itself cooperatively shortly
+    /// after. Fires once; requires a token, otherwise it is a no-op.
+    DeadlineFuseOnce { at: usize, fuse: Duration },
 }
 
 /// An engine that misbehaves on demand.
@@ -43,6 +56,10 @@ pub struct FaultyEngine<E> {
     /// pending one-shot faults — modeling corruption that lived in the
     /// memoized state the fallback just discarded.
     clear_on_degrade: bool,
+    /// Executor for [`Fault::WorkerPanicOnce`] dispatches.
+    exec: Option<Executor>,
+    /// Token for [`Fault::DeadlineFuseOnce`].
+    cancel: Option<CancelToken>,
 }
 
 impl<E: MttkrpEngine> FaultyEngine<E> {
@@ -54,12 +71,30 @@ impl<E: MttkrpEngine> FaultyEngine<E> {
             calls: 0,
             injected: 0,
             clear_on_degrade: false,
+            exec: None,
+            cancel: None,
         }
     }
 
     /// See [`FaultyEngine::clear_on_degrade`] field docs.
     pub fn with_clear_on_degrade(mut self) -> Self {
         self.clear_on_degrade = true;
+        self
+    }
+
+    /// Attaches the executor [`Fault::WorkerPanicOnce`] dispatches its
+    /// panicking fan-out on — typically a clone of the wrapped engine's
+    /// own executor, so the panic lands in the very pool the engine's
+    /// kernels run on.
+    pub fn with_executor(mut self, exec: Executor) -> Self {
+        self.exec = Some(exec);
+        self
+    }
+
+    /// Attaches the token [`Fault::DeadlineFuseOnce`] arms — the same
+    /// token the CPD driver and the kernels observe.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
         self
     }
 
@@ -93,11 +128,44 @@ impl<E: MttkrpEngine> FaultyEngine<E> {
                     col,
                     value,
                 } => (row, col, value, call >= from),
+                Fault::WorkerPanicOnce { .. } | Fault::DeadlineFuseOnce { .. } => continue,
             };
             if fire && row < out.rows() && col < out.cols() {
                 out[(row, col)] = value;
                 self.injected += 1;
             }
+        }
+    }
+
+    /// Fires the runtime-layer faults scheduled for `call`: arms the
+    /// deadline fuse, then dispatches the panicking fan-out (which
+    /// unwinds out of this frame, exactly like a real worker panic
+    /// surfacing through `Executor::fanout`).
+    fn fire_runtime_faults(&mut self, call: usize) {
+        let mut panic_thread = None;
+        for fault in &self.faults {
+            match *fault {
+                Fault::WorkerPanicOnce { at, thread } if call == at && self.exec.is_some() => {
+                    panic_thread = Some(thread);
+                }
+                Fault::DeadlineFuseOnce { at, fuse } if call == at => {
+                    if let Some(token) = &self.cancel {
+                        token.set_deadline(fuse);
+                        self.injected += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(thread) = panic_thread {
+            self.injected += 1;
+            let exec = self.exec.as_ref().expect("checked above");
+            let nthreads = exec.workers().max(thread + 1);
+            exec.fanout(nthreads, |th| {
+                if th == thread {
+                    panic!("injected worker panic (fault harness, thread {th})");
+                }
+            });
         }
     }
 }
@@ -122,6 +190,7 @@ impl<E: MttkrpEngine> MttkrpEngine for FaultyEngine<E> {
     fn mttkrp(&mut self, factors: &[Mat], mode: usize) -> Mat {
         let call = self.calls;
         self.calls += 1;
+        self.fire_runtime_faults(call);
         let mut out = self.inner.mttkrp(factors, mode);
         self.apply_faults(&mut out, call);
         out
@@ -134,6 +203,10 @@ impl<E: MttkrpEngine> MttkrpEngine for FaultyEngine<E> {
                 .retain(|f| !matches!(f, Fault::MttkrpOutputOnce { .. }));
         }
         degraded
+    }
+
+    fn degradations(&self) -> Vec<crate::model::DegradationEvent> {
+        self.inner.degradations()
     }
 }
 

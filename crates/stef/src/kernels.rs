@@ -366,6 +366,13 @@ pub fn modeu_with(
                 let mut em = PrivEmitter { local, r };
                 modeu_thread(ctx, th, u, use_saved, views, &mut scr[..2 * d * rs], stk, rs, &mut em);
             });
+            // Cooperative cancellation boundary: if the token fired
+            // during the emit pass, part of the private pool was never
+            // written — skip the reduction; the caller abandons the
+            // output as soon as it observes the token.
+            if rt.cancelled() {
+                return;
+            }
             // Chunk-parallel reduction over the flat n_u·R range; each
             // element sums its private copies in logical-thread order, so
             // the result is bit-identical to a serial thread-order

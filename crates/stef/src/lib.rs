@@ -67,13 +67,16 @@ pub use engine::{MttkrpEngine, ReferenceEngine, Stef};
 pub use error::StefError;
 pub use fault::{Fault, FaultyEngine};
 pub use recover::{RecoveryAction, RecoveryEvent, RecoveryEvents, RecoveryPolicy};
-pub use model::{stef2_leaf_gain, LevelProfile, MemoPlan, RawTraffic};
+pub use model::{stef2_leaf_gain, BudgetFit, DegradationEvent, LevelProfile, MemoPlan, RawTraffic};
 pub use nonneg::{cpd_mu_nonneg, NonnegCpdResult};
 pub use options::{
     AccumStrategy, KernelPath, LoadBalance, MemoPolicy, ModeSwitchPolicy, StefOptions,
 };
 pub use partials::PartialStore;
-pub use runtime::{Executor, Runtime, RuntimeCounters, WorkerCounters, WorkerPool};
+pub use runtime::{
+    set_global_cancel, CancelToken, Executor, FanoutError, Runtime, RuntimeCounters,
+    WorkerCounters, WorkerPool,
+};
 pub use schedule::Schedule;
 pub use stef2::Stef2;
 pub use validate::{validate_engine, ValidationReport};

@@ -292,6 +292,145 @@ impl LevelProfile {
     }
 }
 
+/// One budget-driven relaxation of the execution plan, recorded on
+/// `CpdResult::degradations` so callers can see *why* a constrained run
+/// was slower than an unconstrained one (it is never less accurate —
+/// every degraded schedule computes the same numbers).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DegradationEvent {
+    /// The memoized partial `P^(level)` was dropped from the plan; its
+    /// consumers recompute from scratch. `bytes` is the arena freed.
+    MemoDropped {
+        /// CSF level whose partial was dropped.
+        level: usize,
+        /// Arena bytes the drop freed.
+        bytes: usize,
+    },
+    /// Privatized accumulation at `level` fell back to atomic adds on
+    /// the shared output. `bytes` is the per-plan reduction in the
+    /// privatized-output pool after the fallback.
+    PrivatizedToAtomic {
+        /// CSF level that fell back.
+        level: usize,
+        /// Pool bytes the fallback freed.
+        bytes: usize,
+    },
+}
+
+impl std::fmt::Display for DegradationEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradationEvent::MemoDropped { level, bytes } => {
+                write!(f, "dropped memoized P^({level}) ({bytes} bytes)")
+            }
+            DegradationEvent::PrivatizedToAtomic { level, bytes } => write!(
+                f,
+                "level {level} accumulation fell back privatized -> atomic ({bytes} bytes)"
+            ),
+        }
+    }
+}
+
+/// The memory-budget fit: possibly-degraded save flags and privatization
+/// flags, plus the events describing each relaxation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BudgetFit {
+    /// Per-level memoization flags after fitting.
+    pub save: Vec<bool>,
+    /// Per-level privatization flags after fitting (`false` = atomic).
+    pub privatized: Vec<bool>,
+    /// The relaxations applied, in order.
+    pub events: Vec<DegradationEvent>,
+}
+
+/// Arena bytes of the memoized partial `P^(level)` — matches
+/// `PartialStore::allocate` exactly: `(m_level + T)` rows of `R` f64s
+/// (the `+T` is the boundary-replication shift of §II-D).
+pub fn partial_arena_bytes(profile: &LevelProfile, level: usize, nthreads: usize) -> usize {
+    (profile.fibers[level] + nthreads) * profile.rank * std::mem::size_of::<f64>()
+}
+
+/// Bytes of the privatized-output pool for the given privatization
+/// flags — matches `Workspace`: one `max_n_u × R` block per logical
+/// thread, row-padded to 8 elements.
+pub fn priv_pool_bytes(profile: &LevelProfile, privatized: &[bool], nthreads: usize) -> usize {
+    let max_rows = profile
+        .dims
+        .iter()
+        .zip(privatized)
+        .skip(1) // level 0 owns its rows; no pool needed
+        .filter(|&(_, &p)| p)
+        .map(|(&n, _)| n)
+        .max()
+        .unwrap_or(0);
+    let stride = (max_rows * profile.rank + 7) & !7;
+    nthreads * stride * std::mem::size_of::<f64>()
+}
+
+/// Fits the plan into `budget` bytes by degrading it (§IV-C pricing
+/// applied in reverse): drop memoized partials largest-first, then flip
+/// privatized levels to atomic accumulation largest-first. `fixed_bytes`
+/// is the non-degradable floor (kernel scratch, traversal stacks).
+///
+/// Returns the degraded plan, or `Err(required)` — the floor in bytes —
+/// when even the minimal plan (no memoization, all-atomic) exceeds the
+/// budget. A `budget` of 0 means unlimited and returns the input
+/// unchanged.
+pub fn fit_memory_budget(
+    profile: &LevelProfile,
+    save: Vec<bool>,
+    privatized: Vec<bool>,
+    nthreads: usize,
+    fixed_bytes: usize,
+    budget: usize,
+) -> Result<BudgetFit, usize> {
+    let mut fit = BudgetFit {
+        save,
+        privatized,
+        events: Vec::new(),
+    };
+    if budget == 0 {
+        return Ok(fit);
+    }
+    let cost = |f: &BudgetFit| -> usize {
+        let partials: usize = (0..profile.dims.len())
+            .filter(|&l| f.save[l])
+            .map(|l| partial_arena_bytes(profile, l, nthreads))
+            .sum();
+        fixed_bytes + partials + priv_pool_bytes(profile, &f.privatized, nthreads)
+    };
+    while cost(&fit) > budget {
+        // Largest memoized partial first: biggest single win, and memo
+        // only costs traffic — correctness is unaffected.
+        if let Some(l) = (0..fit.save.len())
+            .filter(|&l| fit.save[l])
+            .max_by_key(|&l| partial_arena_bytes(profile, l, nthreads))
+        {
+            let bytes = partial_arena_bytes(profile, l, nthreads);
+            fit.save[l] = false;
+            fit.events.push(DegradationEvent::MemoDropped { level: l, bytes });
+            continue;
+        }
+        // Then privatization, largest mode first (the pool is sized by
+        // the largest privatized mode, so that flip shrinks it most).
+        if let Some(l) = (1..fit.privatized.len())
+            .filter(|&l| fit.privatized[l])
+            .max_by_key(|&l| profile.dims[l])
+        {
+            let before = priv_pool_bytes(profile, &fit.privatized, nthreads);
+            fit.privatized[l] = false;
+            let after = priv_pool_bytes(profile, &fit.privatized, nthreads);
+            fit.events.push(DegradationEvent::PrivatizedToAtomic {
+                level: l,
+                bytes: before - after,
+            });
+            continue;
+        }
+        return Err(cost(&fit));
+    }
+    Ok(fit)
+}
+
 /// Modeled cost (elements moved) of each output-conflict strategy for
 /// one non-root mode — see [`accum_costs`].
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -574,6 +713,66 @@ mod tests {
         // Privatized cost also grows with T (more copies), but linearly
         // in n rather than m.
         assert!(c16.privatized > c1.privatized);
+    }
+
+    #[test]
+    fn budget_fit_unlimited_is_identity() {
+        let p = profile(&[10, 20, 30], &[10, 200, 3_000], 4, 1);
+        let fit = fit_memory_budget(
+            &p,
+            vec![false, true, false],
+            vec![false, true, true],
+            4,
+            1024,
+            0,
+        )
+        .unwrap();
+        assert!(fit.events.is_empty());
+        assert_eq!(fit.save, vec![false, true, false]);
+    }
+
+    #[test]
+    fn budget_fit_drops_largest_memo_first() {
+        let p = profile(&[10, 20, 30, 40], &[10, 100, 5_000, 50_000], 4, 1);
+        let save = vec![false, true, true, false];
+        let small = partial_arena_bytes(&p, 1, 2);
+        let large = partial_arena_bytes(&p, 2, 2);
+        assert!(large > small);
+        // Budget admits the small partial but not both.
+        let budget = small + 64;
+        let fit = fit_memory_budget(&p, save, vec![false; 4], 2, 0, budget).unwrap();
+        assert_eq!(fit.save, vec![false, true, false, false]);
+        assert_eq!(
+            fit.events,
+            vec![DegradationEvent::MemoDropped {
+                level: 2,
+                bytes: large
+            }]
+        );
+    }
+
+    #[test]
+    fn budget_fit_flips_privatized_after_memo() {
+        let p = profile(&[10, 2_000, 30], &[10, 200, 3_000], 8, 1);
+        let save = vec![false, true, false];
+        let privatized = vec![false, true, true];
+        // Tiny budget: memo goes, then the big privatized mode, then the
+        // small one; floor is fixed_bytes = 100.
+        let fit = fit_memory_budget(&p, save, privatized, 4, 100, 128).unwrap();
+        assert!(!fit.save[1]);
+        assert!(!fit.privatized[1] && !fit.privatized[2]);
+        assert_eq!(fit.events.len(), 3);
+        assert!(matches!(
+            fit.events[1],
+            DegradationEvent::PrivatizedToAtomic { level: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn budget_fit_rejects_impossible_floor() {
+        let p = profile(&[10, 20, 30], &[10, 200, 3_000], 4, 1);
+        let err = fit_memory_budget(&p, vec![false; 3], vec![false; 3], 4, 4096, 100).unwrap_err();
+        assert_eq!(err, 4096);
     }
 
     #[test]

@@ -109,6 +109,17 @@ pub struct StefOptions {
     /// worker pool (default) or per-call scoped spawning (the A/B
     /// baseline).
     pub runtime: Runtime,
+    /// Memory budget (bytes) for the engine's own arenas — memoized
+    /// partials `P^(i)`, workspace scratch, privatized outputs. 0 means
+    /// unlimited. When a configuration does not fit, the engine
+    /// *degrades* (drops memoized tensors largest-first, then falls
+    /// back from privatized to atomic accumulation), recording
+    /// [`crate::DegradationEvent`]s; only a budget too small for even
+    /// the minimal plan yields `StefError::BudgetExceeded`.
+    pub memory_budget: usize,
+    /// Cooperative cancellation token, installed on the engine's
+    /// executor at preparation so every chunk claim observes it.
+    pub cancel: Option<crate::runtime::CancelToken>,
 }
 
 /// Best-effort detection of the per-core cache the data-movement model
@@ -150,6 +161,8 @@ impl StefOptions {
             privatize_cap_bytes: 512 << 20,
             kernel_path: KernelPath::Vectorized,
             runtime: Runtime::default(),
+            memory_budget: 0,
+            cancel: None,
         }
     }
 

@@ -32,6 +32,23 @@ impl PartialStore {
     /// Panics if `save` flags the root (`0`) or the leaf (`d-1`) level:
     /// `P^(0)` *is* the mode-0 output and `P^(d-1)` is the tensor itself.
     pub fn allocate(csf: &Csf, save: &[bool], nthreads: usize, rank: usize) -> Self {
+        match Self::try_allocate(csf, save, nthreads, rank) {
+            Ok(store) => store,
+            Err(bytes) => panic!("partial-store allocation of {bytes} bytes failed"),
+        }
+    }
+
+    /// Fallible [`PartialStore::allocate`]: asks the allocator for each
+    /// arena up front (`try_reserve`) and reports the failing request in
+    /// bytes instead of aborting on OOM — the memory-budget machinery's
+    /// last line of defense when the budget was set above what the
+    /// machine can actually provide.
+    pub fn try_allocate(
+        csf: &Csf,
+        save: &[bool],
+        nthreads: usize,
+        rank: usize,
+    ) -> Result<Self, usize> {
         let d = csf.ndim();
         assert_eq!(save.len(), d);
         assert!(
@@ -39,17 +56,25 @@ impl PartialStore {
             "P^(0) is the mode-0 output, not a memoized partial"
         );
         assert!(!save[d - 1], "P^(d-1) is the tensor itself");
-        let bufs = save
-            .iter()
-            .enumerate()
-            .map(|(l, &s)| s.then(|| vec![0.0; (csf.nfibers(l) + nthreads) * rank]))
-            .collect();
-        PartialStore {
+        let mut bufs = Vec::with_capacity(d);
+        for (l, &s) in save.iter().enumerate() {
+            if !s {
+                bufs.push(None);
+                continue;
+            }
+            let len = (csf.nfibers(l) + nthreads) * rank;
+            let mut buf: Vec<f64> = Vec::new();
+            buf.try_reserve_exact(len)
+                .map_err(|_| len * std::mem::size_of::<f64>())?;
+            buf.resize(len, 0.0);
+            bufs.push(Some(buf));
+        }
+        Ok(PartialStore {
             rank,
             nthreads,
             bufs,
             save: save.to_vec(),
-        }
+        })
     }
 
     /// An empty store (no level memoized) — used by the save-none

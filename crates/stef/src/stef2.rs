@@ -29,9 +29,19 @@ pub struct Stef2 {
 }
 
 impl Stef2 {
-    /// Prepares the base STeF engine and the auxiliary CSF.
+    /// Prepares the base STeF engine and the auxiliary CSF, panicking on
+    /// invalid inputs. See [`Stef2::try_prepare`] for the fallible form.
     pub fn prepare(coo: &CooTensor, opts: StefOptions) -> Self {
-        let base = Stef::prepare(coo, opts.clone());
+        match Self::try_prepare(coo, opts) {
+            Ok(engine) => engine,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible preparation: surfaces invalid options and memory-budget
+    /// rejections as typed errors instead of panicking.
+    pub fn try_prepare(coo: &CooTensor, opts: StefOptions) -> Result<Self, crate::StefError> {
+        let base = Stef::try_prepare(coo, opts.clone())?;
         let d = coo.ndim();
         let base_order = base.csf().mode_order().to_vec();
         let leaf_mode = base_order[d - 1];
@@ -43,13 +53,13 @@ impl Stef2 {
         let nthreads = base.schedule().nthreads();
         let sched2 = Schedule::build(&csf2, nthreads, opts.load_balance);
         let partials2 = PartialStore::empty(d, nthreads, opts.rank);
-        Stef2 {
+        Ok(Stef2 {
             base,
             csf2,
             sched2,
             partials2,
             leaf_mode,
-        }
+        })
     }
 
     /// The underlying base engine.
@@ -109,6 +119,10 @@ impl MttkrpEngine for Stef2 {
     fn degrade_to_unmemoized(&mut self) -> bool {
         // Only the base engine memoizes; the second CSF is stateless.
         self.base.degrade_to_unmemoized()
+    }
+
+    fn degradations(&self) -> Vec<crate::model::DegradationEvent> {
+        self.base.degradations()
     }
 }
 

@@ -21,6 +21,24 @@
 
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Acquires a mutex, recovering the guard if a previous holder panicked.
+///
+/// Every lock in the runtime protects state that stays consistent across
+/// a panic (empty critical sections used as wakeup fences, counters,
+/// join-handle slots), so poisoning carries no information here — and
+/// propagating it would let one worker panic take down every later
+/// dispatch. The hardened pool therefore never `unwrap()`s a lock.
+pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// `Condvar::wait` with the same poison-recovery policy as
+/// [`lock_unpoisoned`].
+pub fn wait_unpoisoned<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(g).unwrap_or_else(|e| e.into_inner())
+}
 
 /// A row-major buffer whose rows may be written concurrently by multiple
 /// tasks, provided each plain-access row has exactly one writer.

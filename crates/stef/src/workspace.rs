@@ -64,6 +64,33 @@ impl Workspace {
     /// (unless a later [`Workspace::ensure`] must grow — tracked by
     /// [`Workspace::alloc_events`]).
     pub fn new(d: usize, rank: usize, nthreads: usize, priv_rows: usize) -> Self {
+        match Self::try_new(d, rank, nthreads, priv_rows) {
+            Ok(ws) => ws,
+            Err(bytes) => panic!("workspace allocation of {bytes} bytes failed"),
+        }
+    }
+
+    /// Fallible [`Workspace::new`]: reserves each arena with
+    /// `try_reserve` and reports the failing request in bytes instead of
+    /// aborting on OOM.
+    pub fn try_new(
+        d: usize,
+        rank: usize,
+        nthreads: usize,
+        priv_rows: usize,
+    ) -> Result<Self, usize> {
+        let row_stride = pad8(rank.max(1));
+        let arena_stride = pad8((2 * d + 1) * row_stride);
+        let priv_stride = pad8(priv_rows * rank);
+        let mut scratch: Vec<f64> = Vec::new();
+        scratch
+            .try_reserve_exact(nthreads * arena_stride)
+            .map_err(|_| nthreads * arena_stride * std::mem::size_of::<f64>())?;
+        let mut priv_buf: Vec<f64> = Vec::new();
+        priv_buf
+            .try_reserve_exact(nthreads * priv_stride)
+            .map_err(|_| nthreads * priv_stride * std::mem::size_of::<f64>())?;
+        drop((scratch, priv_buf)); // `ensure` re-sizes; the reserve proved feasibility
         let mut ws = Workspace {
             d: 0,
             rank: 0,
@@ -81,7 +108,17 @@ impl Workspace {
         ws.ensure(d, rank, nthreads, priv_rows);
         // Construction is warm-up by definition.
         ws.alloc_events = 0;
-        ws
+        Ok(ws)
+    }
+
+    /// Bytes of the non-degradable arenas (scratch rows + traversal
+    /// stacks) for a configuration — the floor the memory budget can
+    /// never relax below.
+    pub fn fixed_bytes(d: usize, rank: usize, nthreads: usize) -> usize {
+        let arena_stride = pad8((2 * d + 1) * pad8(rank.max(1)));
+        let stack_stride = 2 * d.max(1);
+        nthreads * arena_stride * std::mem::size_of::<f64>()
+            + nthreads * stack_stride * std::mem::size_of::<usize>()
     }
 
     /// Makes the arenas large enough for the given configuration,

@@ -5,9 +5,11 @@
 //! fit of an unfaulted reference run.
 
 use linalg::Mat;
+use std::time::Duration;
 use stef::{
-    cpd_als, Checkpoint, CheckpointError, CheckpointPolicy, CpdOptions, Fault, FaultyEngine,
-    MemoPolicy, MttkrpEngine, Stef, StefError, StefOptions,
+    cpd_als, CancelToken, Checkpoint, CheckpointError, CheckpointPolicy, CpdOptions,
+    DegradationEvent, Fault, FaultyEngine, MemoPolicy, MttkrpEngine, Stef, StefError, StefOptions,
+    Workspace,
 };
 use workloads::power_law_tensor;
 
@@ -236,6 +238,184 @@ fn killed_and_resumed_run_matches_uninterrupted_fit() {
         full.final_fit()
     );
     std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn injected_worker_panic_is_typed_and_the_engine_survives() {
+    let t = test_tensor();
+    let opts = base_opts(3);
+
+    let mut clean = Stef::prepare(&t, memoizing_options(3));
+    let reference = cpd_als(&mut clean, &opts).expect("clean run");
+
+    // The panic is dispatched on a clone of the engine's own executor,
+    // so it lands in the very pool the MTTKRP kernels run on.
+    let stef = Stef::prepare(&t, memoizing_options(3));
+    let exec = stef.executor().clone();
+    let mut faulty = FaultyEngine::new(stef, vec![Fault::WorkerPanicOnce { at: 2, thread: 1 }])
+        .with_executor(exec);
+    match cpd_als(&mut faulty, &opts) {
+        Err(StefError::WorkerPanic {
+            iteration: 1,
+            mode: Some(_),
+            message,
+        }) => assert!(message.contains("injected worker panic"), "{message}"),
+        other => panic!("expected WorkerPanic, got {other:?}"),
+    }
+    assert_eq!(faulty.injected(), 1);
+
+    // The pool healed: the very same engine completes a clean CPD run
+    // and reaches the reference fit.
+    let result = cpd_als(&mut faulty, &opts).expect("post-panic run");
+    assert!(
+        (result.final_fit() - reference.final_fit()).abs() < 1e-8,
+        "post-panic fit {} vs reference {}",
+        result.final_fit(),
+        reference.final_fit()
+    );
+}
+
+#[test]
+fn deadline_fuse_cancels_with_checkpoint_and_resume_matches_uninterrupted() {
+    let dir = std::env::temp_dir().join("stef-fault-deadline-fuse");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.ckpt");
+
+    let t = test_tensor();
+    let opts = base_opts(4); // 8 iterations
+
+    let mut full_engine = Stef::prepare(&t, memoizing_options(4));
+    let full = cpd_als(&mut full_engine, &opts).expect("full run");
+
+    // Burn the fuse on call 9 = iteration 4's first MTTKRP; the driver
+    // observes the expired deadline after that mode update and exits
+    // through the cancel path, writing the end-of-iteration-3 snapshot.
+    let token = CancelToken::new();
+    let mut opts_fused = opts.clone();
+    opts_fused.cancel = Some(token.clone());
+    // `every` beyond max_iters: only the cancel path may write the file.
+    opts_fused.checkpoint = Some(CheckpointPolicy::new(&path, 100));
+    let stef = Stef::prepare(&t, memoizing_options(4));
+    let mut fused = FaultyEngine::new(
+        stef,
+        vec![Fault::DeadlineFuseOnce {
+            at: 9,
+            fuse: Duration::ZERO,
+        }],
+    )
+    .with_cancel(token.clone());
+    match cpd_als(&mut fused, &opts_fused) {
+        Err(StefError::Cancelled {
+            iteration: 4,
+            deadline: true,
+            checkpoint_iteration: Some(3),
+        }) => {}
+        other => panic!("expected Cancelled at iteration 4 with checkpoint, got {other:?}"),
+    }
+    assert!(token.is_cancelled(), "expiry must promote the sticky flag");
+
+    // Resume from the cancel-time checkpoint in a fresh process image;
+    // the completed run must match the uninterrupted one.
+    let cp = Checkpoint::load(&path).expect("cancel-time checkpoint loads");
+    assert_eq!(cp.iteration, 3);
+    let mut opts_resumed = opts.clone();
+    opts_resumed.resume = Some(cp);
+    let mut resumed_engine = Stef::prepare(&t, memoizing_options(4));
+    let resumed = cpd_als(&mut resumed_engine, &opts_resumed).expect("resumed run");
+    assert_eq!(resumed.resumed_from, Some(3));
+    assert_eq!(resumed.fits.len(), full.fits.len());
+    for (i, (a, b)) in resumed.fits.iter().zip(&full.fits).enumerate() {
+        assert!(
+            (a - b).abs() < 1e-8,
+            "iteration {i}: resumed fit {a} vs uninterrupted {b}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cancellation_lands_cleanly_in_every_mttkrp_mode() {
+    let t = test_tensor();
+    // Fuse calls 3, 4, 5 = iteration 2's three mode updates, so each
+    // sweep position (start, mid-sweep, end) observes the cancel.
+    for mode_pos in 0..3usize {
+        let token = CancelToken::new();
+        let mut opts = base_opts(3);
+        opts.cancel = Some(token.clone());
+        let stef = Stef::prepare(&t, memoizing_options(3));
+        let mut fused = FaultyEngine::new(
+            stef,
+            vec![Fault::DeadlineFuseOnce {
+                at: 3 + mode_pos,
+                fuse: Duration::ZERO,
+            }],
+        )
+        .with_cancel(token.clone());
+        match cpd_als(&mut fused, &opts) {
+            Err(StefError::Cancelled {
+                iteration: 2,
+                deadline: true,
+                // No checkpoint policy configured: nothing to write.
+                checkpoint_iteration: None,
+            }) => {}
+            other => panic!("sweep position {mode_pos}: expected Cancelled, got {other:?}"),
+        }
+        assert_eq!(fused.calls(), 4 + mode_pos, "sweep position {mode_pos}");
+    }
+}
+
+#[test]
+fn memory_budget_degrades_but_matches_unconstrained_fits() {
+    let t = test_tensor();
+    let opts = base_opts(3);
+    // Single-threaded so privatized->atomic degradation cannot reorder
+    // floating-point accumulation between the two runs.
+    let mut unconstrained = memoizing_options(3);
+    unconstrained.num_threads = 1;
+    let mut clean = Stef::prepare(&t, unconstrained.clone());
+    let reference = cpd_als(&mut clean, &opts).expect("unconstrained run");
+    assert!(clean.degradations().is_empty());
+
+    // A budget barely above the fixed workspace floor forces the fitter
+    // to shed every memoized partial (and any privatized pool), but the
+    // minimal plan still fits, so preparation must succeed.
+    let mut constrained = unconstrained.clone();
+    let floor = Workspace::fixed_bytes(t.ndim(), constrained.rank, constrained.threads());
+    constrained.memory_budget = floor + 64;
+    let mut engine = Stef::try_prepare(&t, constrained).expect("budget above floor is feasible");
+    let events = engine.degradations();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, DegradationEvent::MemoDropped { .. })),
+        "expected memoized partials to be dropped: {events:?}"
+    );
+
+    let result = cpd_als(&mut engine, &opts).expect("degraded run");
+    assert_eq!(result.degradations.len(), events.len());
+    assert_eq!(result.fits.len(), reference.fits.len());
+    for (i, (a, b)) in result.fits.iter().zip(&reference.fits).enumerate() {
+        assert!(
+            (a - b).abs() < 1e-8,
+            "iteration {i}: degraded fit {a} vs unconstrained {b}"
+        );
+    }
+}
+
+#[test]
+fn infeasible_budget_is_a_typed_error() {
+    let t = test_tensor();
+    let mut o = memoizing_options(3);
+    o.memory_budget = 1;
+    match Stef::try_prepare(&t, o) {
+        Err(StefError::BudgetExceeded { required, budget: 1 }) => {
+            assert!(required > 1, "required {required}");
+        }
+        other => panic!(
+            "expected BudgetExceeded, got {:?}",
+            other.as_ref().map(|_| "engine").map_err(|e| e.to_string())
+        ),
+    }
 }
 
 #[test]

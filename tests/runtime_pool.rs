@@ -7,9 +7,30 @@
 //! These run against explicitly-sized pools, so real multi-worker
 //! dispatch is exercised even on single-core CI runners.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Barrier;
-use stef::{Executor, Runtime, WorkerPool};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+use stef::{CancelToken, Executor, FanoutError, Runtime, WorkerPool};
+
+/// Aborts the whole test process if `f` does not finish within
+/// `secs` — a deadlocked completion barrier would otherwise hang the
+/// suite until the harness-level timeout with no indication of where.
+fn with_watchdog<F: FnOnce()>(secs: u64, f: F) {
+    let done = Arc::new(AtomicBool::new(false));
+    let observer = done.clone();
+    std::thread::spawn(move || {
+        for _ in 0..secs * 10 {
+            std::thread::sleep(Duration::from_millis(100));
+            if observer.load(Ordering::Relaxed) {
+                return;
+            }
+        }
+        eprintln!("watchdog: test exceeded {secs}s wall time — aborting");
+        std::process::abort();
+    });
+    f();
+    done.store(true, Ordering::Relaxed);
+}
 
 /// Fans out and asserts every logical thread ran exactly once.
 fn assert_exact_coverage(rt: &Executor, nthreads: usize) {
@@ -173,6 +194,86 @@ fn reentrant_fanout_from_a_pool_worker_runs_inline() {
         });
     });
     assert_eq!(hits.load(Ordering::Relaxed), 12);
+}
+
+#[test]
+fn worker_panic_yields_typed_error_in_bounded_time_and_pool_heals() {
+    with_watchdog(60, || {
+        let rt = Executor::new(Runtime::Pool, 4);
+        // Thread 3 panics mid-chunk; the completion barrier must still
+        // resolve (the panicked chunk counts as done) and the error must
+        // carry the payload.
+        match rt.try_fanout(8, |th| {
+            if th == 3 {
+                panic!("pool test boom");
+            }
+        }) {
+            Err(FanoutError::Panicked(msg)) => assert!(msg.contains("pool test boom"), "{msg}"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        // The same executor keeps working — repeatedly, so a worker that
+        // died without being respawned would eventually show up as lost
+        // coverage or a hang.
+        for _ in 0..100 {
+            assert_exact_coverage(&rt, 9);
+        }
+    });
+}
+
+#[test]
+fn repeated_panics_never_wedge_the_pool() {
+    with_watchdog(120, || {
+        let rt = Executor::new(Runtime::Pool, 3);
+        for round in 0..50 {
+            let res = rt.try_fanout(7, |th| {
+                if th == round % 7 {
+                    panic!("round {round}");
+                }
+            });
+            assert!(matches!(res, Err(FanoutError::Panicked(_))), "{res:?}");
+            assert_exact_coverage(&rt, 5);
+        }
+    });
+}
+
+#[test]
+fn cancelled_token_short_circuits_dispatch() {
+    with_watchdog(60, || {
+        let rt = Executor::new(Runtime::Pool, 4);
+        let token = CancelToken::new();
+        rt.set_cancel(Some(token.clone()));
+        token.cancel();
+        let ran = AtomicUsize::new(0);
+        let res = rt.try_fanout(64, |_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(matches!(res, Err(FanoutError::Cancelled)), "{res:?}");
+        // A cancelled dispatch may have run some chunks before the flag
+        // was observed, but never the full fan-out.
+        assert!(
+            ran.load(Ordering::Relaxed) < 64,
+            "cancellation did not cut the fan-out short"
+        );
+        // Detaching the token restores normal service.
+        rt.set_cancel(None);
+        assert_exact_coverage(&rt, 9);
+    });
+}
+
+#[test]
+fn expired_deadline_cancels_like_an_explicit_cancel() {
+    with_watchdog(60, || {
+        let rt = Executor::new(Runtime::Pool, 4);
+        let token = CancelToken::new();
+        token.set_deadline(Duration::ZERO);
+        rt.set_cancel(Some(token.clone()));
+        let res = rt.try_fanout(32, |_| {});
+        assert!(matches!(res, Err(FanoutError::Cancelled)), "{res:?}");
+        assert!(token.deadline_expired());
+        assert!(token.is_cancelled(), "expiry must promote the sticky flag");
+        rt.set_cancel(None);
+        assert_exact_coverage(&rt, 6);
+    });
 }
 
 #[test]
