@@ -43,6 +43,7 @@ impl_to_json!(Record {
 });
 
 struct Report {
+    schema: usize,
     bench: String,
     dims: Vec<usize>,
     nnz: usize,
@@ -54,6 +55,7 @@ struct Report {
     records: Vec<Record>,
 }
 impl_to_json!(Report {
+    schema,
     bench,
     dims,
     nnz,
@@ -208,6 +210,7 @@ fn main() {
     eprintln!("{}", table.render());
 
     let report = Report {
+        schema: 1,
         bench: "mttkrp_legacy_vs_vectorized".into(),
         dims: dims.to_vec(),
         nnz: t.nnz(),

@@ -52,6 +52,7 @@ impl_to_json!(ImbalanceRecord {
 });
 
 struct Report {
+    schema: usize,
     bench: String,
     workers: usize,
     reps: usize,
@@ -62,6 +63,7 @@ struct Report {
     imbalance: ImbalanceRecord,
 }
 impl_to_json!(Report {
+    schema,
     bench,
     workers,
     reps,
@@ -183,6 +185,7 @@ fn main() {
     let at8 = &latency[7];
     assert_eq!(at8.nthreads, 8);
     let report = Report {
+        schema: 1,
         bench: "runtime_dispatch".into(),
         workers: WORKERS,
         reps,

@@ -1,0 +1,140 @@
+//! `validate_telemetry` — CI gate for the telemetry export formats.
+//!
+//! Usage: `validate_telemetry <metrics.jsonl> <trace.json>`
+//!
+//! Checks, without jq or python, that the files a `stef decompose
+//! --metrics-out --trace-out` run produced are well-formed:
+//!
+//! * every JSONL line is a schema-1 iteration record with a finite fit,
+//!   a non-empty `modes` array, and per-mode measured/predicted traffic
+//!   whose `rel_err` is a finite number (the model-vs-measured audit
+//!   actually happened — `null` would mean one side was missing);
+//! * the trace is a Chrome `trace_event` JSON array with `thread_name`
+//!   metadata and at least one complete (`"ph":"X"`) span event.
+//!
+//! Exits nonzero with a description of the first violation.
+
+use std::process::ExitCode;
+use stef_bench::{parse_json, Json};
+
+fn check_metrics(path: &str) -> Result<(), String> {
+    let body =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut iterations = 0usize;
+    for (lineno, line) in body.lines().enumerate() {
+        let n = lineno + 1;
+        let rec = parse_json(line).map_err(|e| format!("{path}:{n}: {e}"))?;
+        if rec.get("schema").and_then(Json::as_u64) != Some(1) {
+            return Err(format!("{path}:{n}: missing or wrong \"schema\" (want 1)"));
+        }
+        rec.get("iteration")
+            .and_then(Json::as_u64)
+            .ok_or(format!("{path}:{n}: missing \"iteration\""))?;
+        let fit = rec
+            .get("fit")
+            .and_then(Json::as_f64)
+            .ok_or(format!("{path}:{n}: missing \"fit\""))?;
+        if !fit.is_finite() {
+            return Err(format!("{path}:{n}: non-finite fit"));
+        }
+        let modes = rec
+            .get("modes")
+            .and_then(Json::as_arr)
+            .ok_or(format!("{path}:{n}: missing \"modes\" array"))?;
+        if modes.is_empty() {
+            return Err(format!("{path}:{n}: empty \"modes\" array"));
+        }
+        for m in modes {
+            let mode = m
+                .get("mode")
+                .and_then(Json::as_u64)
+                .ok_or(format!("{path}:{n}: mode entry without \"mode\""))?;
+            for key in [
+                "seconds",
+                "measured_read_bytes",
+                "measured_write_bytes",
+                "predicted_read_bytes",
+                "predicted_write_bytes",
+                "rel_err",
+            ] {
+                let v = m
+                    .get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("{path}:{n}: mode {mode} \"{key}\" missing or null"))?;
+                if !v.is_finite() {
+                    return Err(format!("{path}:{n}: mode {mode} \"{key}\" not finite"));
+                }
+            }
+        }
+        iterations += 1;
+    }
+    if iterations == 0 {
+        return Err(format!("{path}: no iteration records"));
+    }
+    println!("{path}: OK ({iterations} iteration records, schema 1, finite rel_err)");
+    Ok(())
+}
+
+fn check_trace(path: &str) -> Result<(), String> {
+    let body =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let events = parse_json(&body)
+        .map_err(|e| format!("{path}: {e}"))?
+        .as_arr()
+        .ok_or(format!("{path}: top level is not an array"))?
+        .to_vec();
+    let mut named_threads = 0usize;
+    let mut spans = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or(format!("{path}: event {i} has no \"ph\""))?;
+        match ph {
+            "M" => {
+                if ev.get("name").and_then(Json::as_str) == Some("thread_name") {
+                    named_threads += 1;
+                }
+            }
+            "X" => {
+                for key in ["ts", "dur"] {
+                    let v = ev
+                        .get(key)
+                        .and_then(Json::as_f64)
+                        .ok_or(format!("{path}: span event {i} \"{key}\" missing"))?;
+                    if !v.is_finite() || v < 0.0 {
+                        return Err(format!("{path}: span event {i} \"{key}\" invalid"));
+                    }
+                }
+                ev.get("tid")
+                    .and_then(Json::as_u64)
+                    .ok_or(format!("{path}: span event {i} has no \"tid\""))?;
+                spans += 1;
+            }
+            other => return Err(format!("{path}: event {i} has unexpected ph {other:?}")),
+        }
+    }
+    if named_threads == 0 {
+        return Err(format!("{path}: no thread_name metadata (no worker tracks)"));
+    }
+    if spans == 0 {
+        return Err(format!("{path}: no complete (ph:X) span events"));
+    }
+    println!("{path}: OK ({named_threads} thread tracks, {spans} spans)");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let [metrics, trace] = argv.as_slice() else {
+        eprintln!("usage: validate_telemetry <metrics.jsonl> <trace.json>");
+        return ExitCode::from(2);
+    };
+    match check_metrics(metrics).and_then(|()| check_trace(trace)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("validate_telemetry: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

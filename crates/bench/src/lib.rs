@@ -27,4 +27,6 @@ pub mod report;
 pub use harness::{
     geomean, parse_scale, suite_selection, time_mttkrp_sweep, BenchConfig, SweepTiming,
 };
-pub use report::{json_escape, render_bar_chart, write_json, write_json_at, Table, ToJson};
+pub use report::{
+    json_escape, parse_json, render_bar_chart, write_json, write_json_at, Json, Table, ToJson,
+};

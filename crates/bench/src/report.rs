@@ -226,6 +226,217 @@ pub fn write_json_at<T: ToJson + ?Sized>(path: PathBuf, value: &T) -> Option<Pat
     Some(path)
 }
 
+/// A parsed JSON value. Minimal recursive-descent counterpart to
+/// [`ToJson`], used to read the tracked `BENCH_*.json` trajectory files
+/// and the telemetry exports back in tests and validators. Tolerant by
+/// construction: consumers look fields up by name ([`Json::get`]), so
+/// missing optional fields read as absent instead of failing the parse.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field by name (`None` for missing keys or non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON value from `input` (the whole string must be that
+/// value, modulo surrounding whitespace).
+pub fn parse_json(input: &str) -> Result<Json, String> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key must be a string, got {other:?}")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                fields.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut s = String::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err("unterminated string".into()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(Json::Str(s));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => s.push('"'),
+                            Some(b'\\') => s.push('\\'),
+                            Some(b'/') => s.push('/'),
+                            Some(b'n') => s.push('\n'),
+                            Some(b'r') => s.push('\r'),
+                            Some(b't') => s.push('\t'),
+                            Some(b'b') => s.push('\u{8}'),
+                            Some(b'f') => s.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex = b
+                                    .get(*pos + 1..*pos + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                    16,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                // Surrogate pairs are not emitted by our
+                                // writers; map lone surrogates to U+FFFD.
+                                s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                                *pos += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(_) => {
+                        // Multi-byte UTF-8 sequences pass through intact:
+                        // advance over the full character.
+                        let tail = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                        let c = tail.chars().next().ok_or("unterminated string")?;
+                        s.push(c);
+                        *pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("invalid number '{text}' at byte {start}"))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,5 +498,57 @@ mod tests {
         assert_eq!(vec![r].to_json().chars().next(), Some('['));
         assert_eq!(f64::NAN.to_json(), "null");
         assert_eq!([1.0f64, 2.0].to_json(), "[1, 2]");
+    }
+
+    #[test]
+    fn parse_json_round_trips_to_json_output() {
+        let r = Row {
+            name: "uber \"4d\"\nline2".to_string(),
+            nnz: 3,
+            seconds: vec![("stef".to_string(), 0.5)],
+        };
+        let v = parse_json(&r.to_json()).unwrap();
+        assert_eq!(v.get("name").unwrap().as_str(), Some("uber \"4d\"\nline2"));
+        assert_eq!(v.get("nnz").unwrap().as_u64(), Some(3));
+        let secs = v.get("seconds").unwrap().as_arr().unwrap();
+        assert_eq!(secs[0].as_arr().unwrap()[1].as_f64(), Some(0.5));
+    }
+
+    #[test]
+    fn parse_json_scalars_and_structure() {
+        assert_eq!(parse_json("null").unwrap(), Json::Null);
+        assert_eq!(parse_json(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse_json("-1.5e3").unwrap(), Json::Num(-1500.0));
+        assert_eq!(parse_json("[]").unwrap(), Json::Arr(vec![]));
+        assert_eq!(parse_json("{}").unwrap(), Json::Obj(vec![]));
+        let v = parse_json("{\"a\": [1, {\"b\": null}], \"c\": \"x\"}").unwrap();
+        assert_eq!(v.get("c").unwrap().as_str(), Some("x"));
+        assert_eq!(
+            v.get("a").unwrap().as_arr().unwrap()[1].get("b"),
+            Some(&Json::Null)
+        );
+    }
+
+    #[test]
+    fn parse_json_missing_fields_read_as_absent() {
+        // Schema tolerance: a reader asking for an optional field that an
+        // older writer never emitted gets None, not an error.
+        let v = parse_json("{\"schema\": 1, \"bench\": \"x\"}").unwrap();
+        assert_eq!(v.get("schema").unwrap().as_u64(), Some(1));
+        assert!(v.get("optional_new_field").is_none());
+        assert!(v.get("bench").unwrap().as_f64().is_none());
+    }
+
+    #[test]
+    fn parse_json_rejects_malformed_input() {
+        for bad in ["{", "[1,", "\"open", "{\"a\" 1}", "12ab", "[] []", "tru"] {
+            assert!(parse_json(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn parse_json_unicode_escapes_and_utf8() {
+        let v = parse_json("\"caf\u{e9} \\u00e9 \\t\"").unwrap();
+        assert_eq!(v.as_str(), Some("café é \t"));
     }
 }

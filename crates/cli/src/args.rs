@@ -12,9 +12,11 @@ pub struct Parsed {
 }
 
 /// Specification of the flags a subcommand accepts: maps every accepted
-/// spelling (e.g. `-o` and `--output`) to the canonical name.
+/// spelling (e.g. `-o` and `--output`) to the canonical name. Canonical
+/// names listed as *switches* take no value.
 pub struct FlagSpec {
     aliases: Vec<(&'static str, &'static str)>,
+    switches: Vec<&'static str>,
 }
 
 impl FlagSpec {
@@ -22,7 +24,15 @@ impl FlagSpec {
     pub fn new(aliases: &[(&'static str, &'static str)]) -> Self {
         FlagSpec {
             aliases: aliases.to_vec(),
+            switches: Vec::new(),
         }
+    }
+
+    /// Marks canonical names as boolean switches (present/absent, no
+    /// value consumed).
+    pub fn with_switches(mut self, switches: &[&'static str]) -> Self {
+        self.switches = switches.to_vec();
+        self
     }
 
     fn canonical(&self, spelling: &str) -> Option<&'static str> {
@@ -33,7 +43,8 @@ impl FlagSpec {
     }
 }
 
-/// Parses `argv` against `spec`. Every flag takes exactly one value.
+/// Parses `argv` against `spec`. Every flag takes exactly one value,
+/// except declared switches, which take none.
 pub fn parse(argv: &[String], spec: &FlagSpec) -> Result<Parsed, String> {
     let mut out = Parsed::default();
     let mut i = 0;
@@ -43,17 +54,20 @@ pub fn parse(argv: &[String], spec: &FlagSpec) -> Result<Parsed, String> {
             let canonical = spec
                 .canonical(a)
                 .ok_or_else(|| format!("unknown flag '{a}'"))?;
-            let value = argv
-                .get(i + 1)
-                .ok_or_else(|| format!("flag '{a}' needs a value"))?;
-            if out
-                .flags
-                .insert(canonical.to_string(), value.clone())
-                .is_some()
-            {
+            let value = if spec.switches.contains(&canonical) {
+                i += 1;
+                "true".to_string()
+            } else {
+                let value = argv
+                    .get(i + 1)
+                    .ok_or_else(|| format!("flag '{a}' needs a value"))?
+                    .clone();
+                i += 2;
+                value
+            };
+            if out.flags.insert(canonical.to_string(), value).is_some() {
                 return Err(format!("flag '{a}' given twice"));
             }
-            i += 2;
         } else {
             out.positionals.push(a.clone());
             i += 1;
@@ -85,6 +99,11 @@ impl Parsed {
         self.flags.get(key).map(|s| s.as_str())
     }
 
+    /// Whether a boolean switch was given.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+
     /// Parsed numeric flag with a default.
     pub fn num_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.flags.get(key) {
@@ -105,7 +124,14 @@ mod tests {
     }
 
     fn spec() -> FlagSpec {
-        FlagSpec::new(&[("-o", "output"), ("--output", "output"), ("--rank", "rank")])
+        FlagSpec::new(&[
+            ("-o", "output"),
+            ("--output", "output"),
+            ("--rank", "rank"),
+            ("--verbose", "verbose"),
+            ("-v", "verbose"),
+        ])
+        .with_switches(&["verbose"])
     }
 
     #[test]
@@ -123,6 +149,24 @@ mod tests {
         let b = parse(&argv(&["-o", "a"]), &spec())?;
         assert_eq!(a.opt_str("output"), b.opt_str("output"));
         Ok(())
+    }
+
+    #[test]
+    fn switches_consume_no_value() -> Result<(), String> {
+        let p = parse(&argv(&["--verbose", "file.tns", "--rank", "8"]), &spec())?;
+        assert!(p.flag("verbose"));
+        assert_eq!(p.positionals, vec!["file.tns"]);
+        assert_eq!(p.num_or("rank", 1usize)?, 8);
+        let q = parse(&argv(&["file.tns"]), &spec())?;
+        assert!(!q.flag("verbose"));
+        let short = parse(&argv(&["-v", "x"]), &spec())?;
+        assert!(short.flag("verbose"));
+        Ok(())
+    }
+
+    #[test]
+    fn duplicate_switch_is_an_error() {
+        assert!(parse(&argv(&["--verbose", "--verbose"]), &spec()).is_err());
     }
 
     #[test]

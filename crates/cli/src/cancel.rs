@@ -85,7 +85,10 @@ fn watchdog() {
             };
             match token {
                 Some(t) => {
-                    eprintln!("interrupt received; cancelling (checkpoint will be written if configured)");
+                    stef::telemetry::warn(|| {
+                        "interrupt received; cancelling (checkpoint will be written if configured)"
+                            .to_string()
+                    });
                     t.cancel();
                 }
                 // No run in flight: restore default Ctrl-C behavior.

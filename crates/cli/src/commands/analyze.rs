@@ -107,12 +107,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "  dispatches {} (inline {}), dispatcher claimed {} chunks",
         rc.dispatches, rc.inline_runs, rc.dispatcher_chunks
     );
-    for (i, w) in rc.per_worker.iter().enumerate() {
-        println!(
-            "  worker {i}: busy in {} dispatches, {} chunks claimed, {} parks",
-            w.busy, w.chunks, w.parks
-        );
-    }
+    print!("{}", stef::telemetry::render_load_balance(&rc));
     Ok(())
 }
 

@@ -37,7 +37,12 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         ("--resume", "resume"),
         ("--timeout", "timeout"),
         ("--memory-budget", "memory-budget"),
-    ]);
+        ("--metrics-out", "metrics-out"),
+        ("--trace-out", "trace-out"),
+        ("--verbose", "verbose"),
+        ("-v", "verbose"),
+    ])
+    .with_switches(&["verbose"]);
     let p = parse(argv, &spec)?;
     let tensor_spec = p.one_positional("tensor")?;
     let rank: usize = p.num_or("rank", 16)?;
@@ -82,6 +87,20 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         }
         None => None,
     };
+
+    let metrics_out = p.opt_str("metrics-out").map(String::from);
+    let trace_out = p.opt_str("trace-out").map(String::from);
+    let verbose = p.flag("verbose");
+    if (metrics_out.is_some() || trace_out.is_some()) && !stef::telemetry::COMPILED {
+        return Err(CliError::Usage(
+            "--metrics-out/--trace-out need the 'telemetry' cargo feature \
+             (this binary was built with --no-default-features)"
+            .into(),
+        ));
+    }
+    // Span capture must be armed before the engine (and its worker
+    // pool) dispatches anything we want on the trace.
+    stef::telemetry::set_trace_enabled(trace_out.is_some());
 
     let (label, t) = load(tensor_spec, SuiteScale::Small).map_err(CliError::Input)?;
     println!(
@@ -163,6 +182,31 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
             if result.checkpoints_written > 0 {
                 println!("{} checkpoints written", result.checkpoints_written);
             }
+            if let Some(path) = &metrics_out {
+                let body = stef::telemetry::render_metrics_jsonl(&result.telemetry);
+                std::fs::write(path, body)
+                    .map_err(|e| CliError::Input(format!("cannot write '{path}': {e}")))?;
+                println!(
+                    "metrics written to {path} ({} iteration records)",
+                    result.telemetry.records.len()
+                );
+            }
+            if let Some(path) = &trace_out {
+                stef::telemetry::set_trace_enabled(false);
+                let body = stef::telemetry::render_chrome_trace(&result.telemetry.spans);
+                std::fs::write(path, body)
+                    .map_err(|e| CliError::Input(format!("cannot write '{path}': {e}")))?;
+                println!(
+                    "trace written to {path} ({} spans) — load in Perfetto or chrome://tracing",
+                    result.telemetry.spans.len()
+                );
+            }
+            if verbose {
+                print!("{}", stef::telemetry::render_summary(&result.telemetry));
+                if let Some(counters) = engine.telemetry_runtime_counters() {
+                    print!("{}", stef::telemetry::render_load_balance(&counters));
+                }
+            }
             if let Some(dir) = p.opt_str("out") {
                 write_factors(dir, &result.factors, &result.lambda)
                     .map_err(|e| CliError::Input(format!("cannot write factors to '{dir}': {e}")))?;
@@ -170,6 +214,12 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
             }
         }
         "nonneg" => {
+            if metrics_out.is_some() || trace_out.is_some() {
+                println!(
+                    "note: --metrics-out/--trace-out only instrument --mode als; \
+                     the nonnegative driver records no telemetry"
+                );
+            }
             let result = stef::cpd_mu_nonneg(engine.as_mut(), &opts);
             println!(
                 "nonnegative fit {:.6} after {} iterations (converged: {}); {:?} total",
@@ -243,6 +293,42 @@ mod tests {
         }
         let lambda = std::fs::read_to_string(dir.join("lambda.txt")).unwrap();
         assert_eq!(lambda.lines().count(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn telemetry_sinks_are_written() {
+        if !stef::telemetry::COMPILED {
+            return;
+        }
+        let dir = std::env::temp_dir().join("stef-cli-telemetry");
+        std::fs::create_dir_all(&dir).unwrap();
+        let metrics = dir.join("metrics.jsonl");
+        let trace = dir.join("trace.json");
+        super::run(&argv(&[
+            "suite:uber:tiny",
+            "--rank",
+            "3",
+            "--iters",
+            "3",
+            "--tol",
+            "0",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+            "--verbose",
+        ]))
+        .unwrap();
+        let body = std::fs::read_to_string(&metrics).unwrap();
+        assert_eq!(body.lines().count(), 3, "one JSONL record per iteration");
+        for line in body.lines() {
+            assert!(line.starts_with("{\"schema\":1,"), "{line}");
+            assert!(line.contains("\"modes\":["), "{line}");
+        }
+        let trace_body = std::fs::read_to_string(&trace).unwrap();
+        assert!(trace_body.trim_start().starts_with('['));
+        assert!(trace_body.contains("\"thread_name\""));
         std::fs::remove_dir_all(&dir).ok();
     }
 

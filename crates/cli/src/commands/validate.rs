@@ -31,10 +31,12 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
 
     let (label, t) = load(tensor_spec, SuiteScale::Tiny).map_err(CliError::Input)?;
     if t.nnz() > 2_000_000 {
-        eprintln!(
-            "warning: the reference MTTKRP is O(nnz·d·R) per mode; {} nnz will be slow",
-            t.nnz()
-        );
+        stef::telemetry::warn(|| {
+            format!(
+                "the reference MTTKRP is O(nnz·d·R) per mode; {} nnz will be slow",
+                t.nnz()
+            )
+        });
     }
     println!("validating engine '{engine_name}' on {label} at rank {rank} (tol {tol:e})…");
     let accum = accum_by_name(p.str_or("accum", "auto")).map_err(CliError::Usage)?;
@@ -68,10 +70,12 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         Ok(())
     } else {
         for m in &report.mismatches {
-            eprintln!(
-                "MISMATCH mode {} at ({}, {}): engine {} vs reference {}",
-                m.mode, m.row, m.col, m.got, m.expected
-            );
+            stef::telemetry::warn(|| {
+                format!(
+                    "MISMATCH mode {} at ({}, {}): engine {} vs reference {}",
+                    m.mode, m.row, m.col, m.got, m.expected
+                )
+            });
         }
         Err(CliError::Input(format!(
             "{} mismatching mode passes",

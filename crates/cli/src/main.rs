@@ -71,6 +71,7 @@ fn print_usage() {
          \u{20}                        [--accum auto|privatized|atomic]\n\
          \u{20}                        [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n\
          \u{20}                        [--timeout SECS] [--memory-budget BYTES]\n\
+         \u{20}                        [--metrics-out FILE.jsonl] [--trace-out FILE.json] [--verbose]\n\
          \u{20}stef bench    <tensor> [--rank R] [--reps N] [--threads N] [--accum auto|privatized|atomic]\n\
          \u{20}                       [--timeout SECS]\n\
          \u{20}stef validate <tensor> [--rank R] [--engine NAME] [--tol T] [--accum auto|privatized|atomic]\n\
@@ -80,6 +81,9 @@ fn print_usage() {
          <tensor> = path to a .tns file, or suite:<name> (see `stef list`).\n\
          engines: stef stef2 splatt-1 splatt-2 splatt-all adatm alto taco reference\n\
          exit codes: 0 ok, 2 usage, 3 input, 4 numerical, 5 checkpoint, 6 cancelled\n\
-         Ctrl-C and --timeout cancel cooperatively; decompose writes a checkpoint first."
+         Ctrl-C and --timeout cancel cooperatively; decompose writes a checkpoint first.\n\
+         telemetry: --metrics-out writes one JSONL record per ALS iteration (schema 1),\n\
+         --trace-out writes a Chrome trace_event JSON (Perfetto / chrome://tracing),\n\
+         STEF_LOG=off|warn|info|debug controls library diagnostics (default warn)."
     );
 }

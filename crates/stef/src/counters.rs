@@ -43,60 +43,73 @@ impl CountedTraffic {
     }
 }
 
+/// Traffic of the mode-0 (root) saving pass alone: full traversal
+/// storing the `save`-flagged partials. Returns `(reads, writes)` in
+/// elements.
+pub fn count_mode0(csf: &Csf, save: &[bool], rank: usize) -> (f64, f64) {
+    let d = csf.ndim();
+    let r = rank as f64;
+    let mut reads = 0.0;
+    let mut writes = 0.0;
+    for l in 0..d {
+        let m = csf.nfibers(l) as f64;
+        reads += 2.0 * m; // index structure
+        reads += m * r; // factor rows
+        if save.get(l).copied().unwrap_or(false) {
+            writes += m * r; // stored partial rows
+        }
+    }
+    // Output rows (the paper charges the full matrix height n_0).
+    writes += (csf.level_dims()[0] * rank) as f64;
+    (reads, writes)
+}
+
+/// Traffic of one mode-`u` consumer pass (`1 <= u < d` in level
+/// order). `saved_at` is the level whose memoized partial the pass
+/// consumed — `None` means a full from-scratch traversal — so callers
+/// can count the path *actually executed*, not just the planned one.
+/// Returns `(reads, writes)` in elements.
+pub fn count_modeu(csf: &Csf, u: usize, saved_at: Option<usize>, rank: usize) -> (f64, f64) {
+    let d = csf.ndim();
+    let r = rank as f64;
+    let mut reads = 0.0;
+    match saved_at {
+        Some(k) => {
+            // Traverse levels 0..=k; KRP factors above u, recompute
+            // factors between u and k, partial rows at k.
+            for l in 0..=k {
+                reads += 2.0 * csf.nfibers(l) as f64;
+            }
+            for l in 0..u {
+                reads += csf.nfibers(l) as f64 * r;
+            }
+            for l in u + 1..=k {
+                reads += csf.nfibers(l) as f64 * r;
+            }
+            reads += csf.nfibers(k) as f64 * r;
+        }
+        None => {
+            for l in 0..d {
+                let m = csf.nfibers(l) as f64;
+                reads += 2.0 * m + m * r;
+            }
+        }
+    }
+    let writes = csf.nfibers(u) as f64 * r;
+    (reads, writes)
+}
+
 /// Counts the traffic of one full MTTKRP sweep (mode 0 storing the
 /// `save`-flagged partials, then every mode `1..d` consuming them) with
 /// the paper's unit conventions. `rank` is `R`.
 pub fn count_sweep(csf: &Csf, save: &[bool], rank: usize) -> CountedTraffic {
     let d = csf.ndim();
     assert_eq!(save.len(), d);
-    let r = rank as f64;
     let mut per_mode: Vec<(f64, f64)> = Vec::with_capacity(d);
-
-    // ---- mode 0: full traversal, stores flagged partials ----
-    {
-        let mut reads = 0.0;
-        let mut writes = 0.0;
-        for l in 0..d {
-            let m = csf.nfibers(l) as f64;
-            reads += 2.0 * m; // index structure
-            reads += m * r; // factor rows
-            if save[l] {
-                writes += m * r; // stored partial rows
-            }
-        }
-        // Output rows (the paper charges the full matrix height n_0).
-        writes += (csf.level_dims()[0] * rank) as f64;
-        per_mode.push((reads, writes));
-    }
-
-    // ---- modes 1..d ----
+    per_mode.push(count_mode0(csf, save, rank));
     for u in 1..d {
-        let mut reads = 0.0;
         let k = (u..=d.saturating_sub(2)).find(|&k| save[k]);
-        match k {
-            Some(k) => {
-                // Traverse levels 0..=k; KRP factors above u, recompute
-                // factors between u and k, partial rows at k.
-                for l in 0..=k {
-                    reads += 2.0 * csf.nfibers(l) as f64;
-                }
-                for l in 0..u {
-                    reads += csf.nfibers(l) as f64 * r;
-                }
-                for l in u + 1..=k {
-                    reads += csf.nfibers(l) as f64 * r;
-                }
-                reads += csf.nfibers(k) as f64 * r;
-            }
-            None => {
-                for l in 0..d {
-                    let m = csf.nfibers(l) as f64;
-                    reads += 2.0 * m + m * r;
-                }
-            }
-        }
-        let writes = csf.nfibers(u) as f64 * r;
-        per_mode.push((reads, writes));
+        per_mode.push(count_modeu(csf, u, k, rank));
     }
 
     CountedTraffic {

@@ -24,6 +24,7 @@ use crate::error::StefError;
 use crate::model::DegradationEvent;
 use crate::recover::{mat_is_finite, slice_is_finite, RecoveryAction, RecoveryEvents, RecoveryPolicy};
 use crate::runtime::CancelToken;
+use crate::telemetry::{Collector, TelemetryReport};
 use linalg::norms::{normalize_columns, ColumnNorm};
 use linalg::ops::{frob_inner, gram_full, hadamard_inplace};
 use linalg::solve::{try_solve_gram_system, try_solve_gram_system_ridged, SolveMethod};
@@ -106,6 +107,11 @@ pub struct CpdResult {
     /// (empty when unconstrained). Degraded runs compute the same
     /// numbers — these events explain the performance, not the result.
     pub degradations: Vec<DegradationEvent>,
+    /// Telemetry snapshot: one record per completed iteration (per-mode
+    /// wall time, measured vs model-predicted traffic, alloc events)
+    /// plus any worker spans captured while tracing was enabled. Empty
+    /// when the `telemetry` feature is compiled out.
+    pub telemetry: TelemetryReport,
 }
 
 impl CpdResult {
@@ -290,6 +296,7 @@ pub fn cpd_als<E: MttkrpEngine + ?Sized>(
     let snapshot_for_cancel = opts.cancel.is_some() && opts.checkpoint.is_some();
     let engine_name = engine.name();
     let mut last_good: Option<Checkpoint> = None;
+    let mut telem = Collector::new();
 
     for it in start_iter..opts.max_iters {
         iterations = it + 1;
@@ -305,6 +312,12 @@ pub fn cpd_als<E: MttkrpEngine + ?Sized>(
             let dt = t0.elapsed();
             mttkrp_time += dt;
             mode_seconds[mode] += dt.as_secs_f64();
+            telem.record_mode(
+                mode,
+                dt.as_secs_f64(),
+                engine.last_mode_stats(mode),
+                engine.predicted_mode_traffic(mode),
+            );
 
             if !mat_is_finite(&ahat) {
                 // Rung 3 first: a non-finite MTTKRP from finite factors
@@ -365,6 +378,12 @@ pub fn cpd_als<E: MttkrpEngine + ?Sized>(
                         let dt = t0.elapsed();
                         mttkrp_time += dt;
                         mode_seconds[mode] += dt.as_secs_f64();
+                        telem.record_mode(
+                            mode,
+                            dt.as_secs_f64(),
+                            engine.last_mode_stats(mode),
+                            engine.predicted_mode_traffic(mode),
+                        );
                         recovered = mat_is_finite(&ahat);
                     }
                 }
@@ -583,6 +602,7 @@ pub fn cpd_als<E: MttkrpEngine + ?Sized>(
             }
         }
         fits.push(fit);
+        telem.end_iteration(iterations, fit, engine.telemetry_alloc_events());
 
         if let Some(policy) = &opts.checkpoint {
             if policy.every > 0 && iterations % policy.every == 0 {
@@ -638,6 +658,7 @@ pub fn cpd_als<E: MttkrpEngine + ?Sized>(
         checkpoints_written,
         resumed_from,
         degradations: engine.degradations(),
+        telemetry: telem.finish(),
     })
 }
 

@@ -13,6 +13,7 @@ use crate::options::{AccumStrategy, KernelPath, MemoPolicy, ModeSwitchPolicy, St
 use crate::partials::PartialStore;
 use crate::runtime::{Executor, RuntimeCounters};
 use crate::schedule::Schedule;
+use crate::telemetry::ModeStats;
 use crate::workspace::Workspace;
 use linalg::Mat;
 use sptensor::{build_csf, inverse_permutation, sort_modes_by_length, CooTensor, Csf};
@@ -57,6 +58,35 @@ pub trait MttkrpEngine {
     fn degradations(&self) -> Vec<DegradationEvent> {
         Vec::new()
     }
+
+    /// Telemetry: measured traffic of the engine's most recent MTTKRP
+    /// for `mode`, in the `counters.rs` element conventions and
+    /// reflecting the path *actually executed* (memoized short-circuit
+    /// vs. full traversal). `None` for uninstrumented engines
+    /// (baselines, the reference).
+    fn last_mode_stats(&self, _mode: usize) -> Option<ModeStats> {
+        None
+    }
+
+    /// Telemetry: model-predicted `(reads, writes)` in elements for
+    /// `mode` under the engine's prepared plan (§IV-C). `None` for
+    /// unmodeled engines.
+    fn predicted_mode_traffic(&self, _mode: usize) -> Option<(f64, f64)> {
+        None
+    }
+
+    /// Telemetry: workspace arena growths since preparation (0 is the
+    /// steady-state allocation-free guarantee). Engines without a
+    /// tracked workspace report 0.
+    fn telemetry_alloc_events(&self) -> u64 {
+        0
+    }
+
+    /// Telemetry: runtime-pool counters for load-balance reporting.
+    /// `None` for engines that do not own an executor.
+    fn telemetry_runtime_counters(&self) -> Option<RuntimeCounters> {
+        None
+    }
 }
 
 /// The paper's STeF: one CSF in a model-chosen order, model-chosen
@@ -90,6 +120,13 @@ pub struct Stef {
     /// Plan relaxations applied at preparation to fit
     /// `StefOptions::memory_budget` (empty when unconstrained).
     degradations: Vec<DegradationEvent>,
+    /// Telemetry: measured stats of the most recent MTTKRP, indexed by
+    /// *original* mode. Fixed-size, filled analytically per call —
+    /// never on the kernel hot path.
+    last_stats: Vec<Option<ModeStats>>,
+    /// Telemetry: model-predicted `(reads, writes)` per CSF level for
+    /// the prepared plan, from `LevelProfile::traffic_by_level`.
+    predicted_by_level: Vec<(f64, f64)>,
 }
 
 impl Stef {
@@ -287,6 +324,7 @@ impl Stef {
             predicted: profile.total_traffic(&save),
             predicted_other_order: model_plan.predicted_other_order,
         };
+        let predicted_by_level = profile.traffic_by_level(&save);
 
         let sched = Schedule::build(&csf, nthreads, opts.load_balance);
         let partials = if save.iter().any(|&s| s) {
@@ -331,6 +369,8 @@ impl Stef {
             exec,
             csf,
             degradations,
+            last_stats: vec![None; d],
+            predicted_by_level,
         })
     }
 
@@ -416,11 +456,22 @@ impl Stef {
                 }
             }
             self.partials_fresh = true;
+            if crate::telemetry::COMPILED {
+                self.record_mode_stats(0, None);
+            }
             return out;
         }
         let accum = self.accum_by_level[level];
         let use_saved = self.partials_fresh && !self.memo_disabled;
-        match self.opts.kernel_path {
+        // The same first-saved-level lookup the kernels perform, so the
+        // telemetry count reflects the path this call actually takes.
+        let saved_at = if crate::telemetry::COMPILED && use_saved {
+            let d = self.csf.ndim();
+            (level..=d.saturating_sub(2)).find(|&k| self.partials.is_saved(k))
+        } else {
+            None
+        };
+        let out = match self.opts.kernel_path {
             KernelPath::Vectorized => {
                 let mut out = Mat::zeros(self.csf.level_dims()[level], self.opts.rank);
                 let views = self.partials.shared_views();
@@ -439,7 +490,49 @@ impl Stef {
             KernelPath::Legacy => {
                 kernels_legacy::modeu_pass(&ctx, &mut self.partials, level, accum, use_saved)
             }
+        };
+        if crate::telemetry::COMPILED {
+            self.record_mode_stats(level, saved_at);
         }
+        out
+    }
+
+    /// Telemetry: tallies the traffic of the pass just executed for the
+    /// mode at `level`, using the `counters.rs` counting rules
+    /// parameterized by the actually-taken path (`saved_at` = level
+    /// whose memoized partial was consumed; `None` = full traversal).
+    /// O(d) float math per MTTKRP — never on the kernel hot path.
+    fn record_mode_stats(&mut self, level: usize, saved_at: Option<usize>) {
+        let d = self.csf.ndim();
+        let rank = self.opts.rank;
+        let (reads, writes) = if level == 0 {
+            crate::counters::count_mode0(&self.csf, self.partials.save_flags(), rank)
+        } else {
+            crate::counters::count_modeu(&self.csf, level, saved_at, rank)
+        };
+        let deepest = if level == 0 {
+            d - 1
+        } else {
+            saved_at.unwrap_or(d - 1)
+        };
+        let fibers: u64 = (0..=deepest).map(|l| self.csf.nfibers(l) as u64).sum();
+        let nnz = if deepest == d - 1 {
+            self.csf.nnz() as u64
+        } else {
+            0
+        };
+        // 2 flops (one fused multiply-add) per non-structure element
+        // read; structure reads are 2 per visited fiber.
+        let structure_reads = 2.0 * fibers as f64;
+        let mode = self.csf.mode_order()[level];
+        self.last_stats[mode] = Some(ModeStats {
+            level,
+            nnz,
+            fibers,
+            flops: 2.0 * (reads - structure_reads).max(0.0),
+            reads,
+            writes,
+        });
     }
 
     /// Marks memoized partials stale (e.g. after factors changed without
@@ -508,6 +601,25 @@ impl MttkrpEngine for Stef {
 
     fn degradations(&self) -> Vec<DegradationEvent> {
         self.degradations.clone()
+    }
+
+    fn last_mode_stats(&self, mode: usize) -> Option<ModeStats> {
+        self.last_stats.get(mode).cloned().flatten()
+    }
+
+    fn predicted_mode_traffic(&self, mode: usize) -> Option<(f64, f64)> {
+        self.level_of_mode
+            .get(mode)
+            .and_then(|&l| self.predicted_by_level.get(l))
+            .copied()
+    }
+
+    fn telemetry_alloc_events(&self) -> u64 {
+        self.ws.alloc_events()
+    }
+
+    fn telemetry_runtime_counters(&self) -> Option<RuntimeCounters> {
+        Some(self.exec.counters())
     }
 }
 
@@ -785,6 +897,40 @@ mod tests {
         }
         assert_eq!(engine.workspace_alloc_events(), 0);
         assert!(engine.workspace_bytes() > 0);
+    }
+
+    #[test]
+    fn telemetry_stats_match_sweep_counters() {
+        if !crate::telemetry::COMPILED {
+            return;
+        }
+        let t = pseudo_tensor(&[12, 10, 8], 500, 30);
+        let mut opts = StefOptions::new(4);
+        opts.memo = MemoPolicy::SaveAll;
+        let mut engine = Stef::prepare(&t, opts);
+        let factors = rand_factors(t.dims(), 4, 31);
+        for mode in engine.sweep_order() {
+            let _ = engine.mttkrp(&factors, mode);
+        }
+        // A fresh CPD-style sweep takes exactly the paths count_sweep
+        // models, so the per-mode measurements must agree to the element.
+        let expected = crate::counters::count_sweep(engine.csf(), &engine.plan().save, 4);
+        let order = engine.csf().mode_order().to_vec();
+        for (level, &mode) in order.iter().enumerate() {
+            let stats = engine.last_mode_stats(mode).expect("stef is instrumented");
+            assert_eq!(stats.level, level);
+            assert!(
+                (stats.reads - expected.per_mode[level].0).abs() < 1e-9,
+                "mode {mode}: reads {} vs counted {}",
+                stats.reads,
+                expected.per_mode[level].0
+            );
+            assert!((stats.writes - expected.per_mode[level].1).abs() < 1e-9);
+            assert!(stats.fibers > 0);
+            let (pr, pw) = engine.predicted_mode_traffic(mode).expect("modeled");
+            assert!(pr.is_finite() && pw.is_finite() && pr > 0.0 && pw > 0.0);
+        }
+        assert!(engine.telemetry_runtime_counters().is_some());
     }
 
     #[test]

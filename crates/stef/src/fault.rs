@@ -208,6 +208,22 @@ impl<E: MttkrpEngine> MttkrpEngine for FaultyEngine<E> {
     fn degradations(&self) -> Vec<crate::model::DegradationEvent> {
         self.inner.degradations()
     }
+
+    fn last_mode_stats(&self, mode: usize) -> Option<crate::telemetry::ModeStats> {
+        self.inner.last_mode_stats(mode)
+    }
+
+    fn predicted_mode_traffic(&self, mode: usize) -> Option<(f64, f64)> {
+        self.inner.predicted_mode_traffic(mode)
+    }
+
+    fn telemetry_alloc_events(&self) -> u64 {
+        self.inner.telemetry_alloc_events()
+    }
+
+    fn telemetry_runtime_counters(&self) -> Option<crate::runtime::RuntimeCounters> {
+        self.inner.telemetry_runtime_counters()
+    }
 }
 
 #[cfg(test)]

@@ -57,6 +57,7 @@ pub mod runtime;
 pub mod schedule;
 pub mod stef2;
 pub mod sync;
+pub mod telemetry;
 pub mod validate;
 pub mod workspace;
 
@@ -79,5 +80,8 @@ pub use runtime::{
 };
 pub use schedule::Schedule;
 pub use stef2::Stef2;
+pub use telemetry::{
+    IterationRecord, LogLevel, ModeAudit, ModeSample, ModeStats, TelemetryReport, TraceSpan,
+};
 pub use validate::{validate_engine, ValidationReport};
 pub use workspace::Workspace;

@@ -136,6 +136,36 @@ impl LevelProfile {
         total
     }
 
+    /// Per-level breakdown of [`LevelProfile::total_traffic`]: entry
+    /// `l` is the modeled `(reads, writes)` in elements of the MTTKRP
+    /// for the mode at level `l` (index 0 = the root/mode-0 saving
+    /// pass, which carries the memo write-allocate traffic on both
+    /// sides). The component sums equal `total_traffic` exactly — the
+    /// telemetry model audit joins these against the measured
+    /// per-mode counts.
+    pub fn traffic_by_level(&self, saved: &[bool]) -> Vec<(f64, f64)> {
+        let d = self.d();
+        debug_assert_eq!(saved.len(), d);
+        let memo_rows: f64 = (0..d)
+            .filter(|&l| saved[l])
+            .map(|l| (self.fibers[l] * self.rank) as f64)
+            .sum();
+        let mut per_level = Vec::with_capacity(d);
+        per_level.push((
+            self.dm_no_mem_read() + memo_rows,
+            (self.dims[0] * self.rank) as f64 + memo_rows,
+        ));
+        for i in 1..d {
+            let k = (i..=d.saturating_sub(2)).find(|&k| saved[k]);
+            let read = match k {
+                Some(k) => self.dm_mem_read(i, k),
+                None => self.dm_no_mem_read(),
+            };
+            per_level.push((read, self.dm_factor(i, self.fibers[i])));
+        }
+        per_level
+    }
+
     /// Bytes of the memoized partials under `saved` (Table II's first
     /// column, excluding the `T` replica rows which are O(T·R)).
     pub fn partial_bytes(&self, saved: &[bool]) -> usize {
@@ -608,6 +638,43 @@ mod tests {
         // d-2 = 3 memoizable levels, ceil(sqrt(3)) = 2 kept.
         assert_eq!(count, 2);
         assert!(!save[0] && !save[4]);
+    }
+
+    #[test]
+    fn traffic_by_level_sums_to_total() {
+        for cache in [1usize, 100 * 8, 1 << 20] {
+            let p = profile(&[100, 1000, 2000], &[100, 1_000, 100_000], 16, cache);
+            for save in [
+                vec![false, false, false],
+                vec![false, true, false],
+            ] {
+                let per = p.traffic_by_level(&save);
+                assert_eq!(per.len(), 3);
+                let sum: f64 = per.iter().map(|&(r, w)| r + w).sum();
+                let total = p.total_traffic(&save);
+                assert!(
+                    (sum - total).abs() < 1e-6,
+                    "cache {cache}, save {save:?}: {sum} vs {total}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn traffic_by_level_matches_raw_when_cache_disabled() {
+        // With the clamp off, the per-level model breakdown and the raw
+        // read/write split describe the same traversal.
+        let p = profile(&[50, 60, 70, 80], &[50, 500, 5_000, 50_000], 8, 0);
+        let save = vec![false, true, false, false];
+        let per = p.traffic_by_level(&save);
+        let raw = p.raw_traffic(&save);
+        let reads: f64 = per.iter().map(|&(r, _)| r).sum();
+        let writes: f64 = per.iter().map(|&(_, w)| w).sum();
+        // Raw counts memo write-allocate only on the write side; the
+        // §IV-C model charges it on both. Subtract it back out.
+        let memo_rows = (500 * 8) as f64;
+        assert!((reads - memo_rows - raw.reads).abs() < 1e-9);
+        assert!((writes - raw.writes).abs() < 1e-9);
     }
 
     #[test]

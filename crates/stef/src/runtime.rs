@@ -537,10 +537,25 @@ fn worker_loop(shared: &Shared, idx: usize) {
         // `fn(usize, usize)` by `run` under the validated seqlock.
         let call: fn(usize, usize) = unsafe { std::mem::transmute(call_addr) };
         let id = (e1 >> 1) as u32;
+        // Span capture is behind a relaxed flag that is off by default;
+        // the timestamp reads and the span push only happen while a
+        // trace export was explicitly requested, so the steady-state
+        // hot path (and the zero-alloc invariant) are untouched.
+        let tracing = crate::telemetry::trace_enabled();
+        let t0 = if tracing { now_ns() } else { 0 };
         let claimed = drain_work(shared, id, nthreads, chunk, |th| call(ctx, th), true, false);
         if claimed > 0 {
             stat.busy.fetch_add(1, Ordering::Relaxed);
             stat.chunks.fetch_add(claimed, Ordering::Relaxed);
+            if tracing {
+                crate::telemetry::record_span(crate::telemetry::TraceSpan {
+                    tid: idx as u32 + 1,
+                    job: id,
+                    start_ns: t0,
+                    end_ns: now_ns(),
+                    chunks: claimed,
+                });
+            }
         }
     }
 }
@@ -624,11 +639,13 @@ impl WorkerPool {
                 Ok(h) => handles.push(Some(h)),
                 Err(e) => {
                     spawn_failures = (planned - idx) as u64;
-                    eprintln!(
-                        "stef: could not spawn pool worker {idx} of {planned} ({e}); \
-                         degrading to a {}-worker pool",
-                        idx + 1
-                    );
+                    crate::telemetry::warn(|| {
+                        format!(
+                            "could not spawn pool worker {idx} of {planned} ({e}); \
+                             degrading to a {}-worker pool",
+                            idx + 1
+                        )
+                    });
                     break;
                 }
             }
@@ -695,7 +712,9 @@ impl WorkerPool {
                     self.spawn_failures.fetch_add(1, Ordering::Relaxed);
                     let w = self.workers.load(Ordering::Relaxed).saturating_sub(1).max(1);
                     self.workers.store(w, Ordering::Relaxed);
-                    eprintln!("stef: could not respawn pool worker {idx} ({e}); degrading to {w} workers");
+                    crate::telemetry::warn(|| {
+                        format!("could not respawn pool worker {idx} ({e}); degrading to {w} workers")
+                    });
                 }
             }
         }
@@ -731,7 +750,7 @@ impl WorkerPool {
         let s = &*self.shared;
         if nthreads == 1 || self.workers() <= 1 || self.on_own_worker() {
             self.inline_runs.fetch_add(1, Ordering::Relaxed);
-            return inline_fanout(s, nthreads, f);
+            return traced_inline(s, nthreads, f);
         }
         // One dispatcher at a time; a second concurrent caller (e.g.
         // two test threads sharing the global pool) runs inline. A
@@ -741,7 +760,7 @@ impl WorkerPool {
             Err(TryLockError::Poisoned(p)) => p.into_inner(),
             Err(TryLockError::WouldBlock) => {
                 self.inline_runs.fetch_add(1, Ordering::Relaxed);
-                return inline_fanout(s, nthreads, f);
+                return traced_inline(s, nthreads, f);
             }
         };
         // Promote an armed deadline once per dispatch and refuse to
@@ -786,8 +805,19 @@ impl WorkerPool {
         s.idle_cv.notify_all();
 
         // ---- participate ----
+        let tracing = crate::telemetry::trace_enabled();
+        let t0 = if tracing { now_ns() } else { 0 };
         let claimed = drain_work(s, id, nthreads, chunk, f, false, true);
         self.dispatcher_chunks.fetch_add(claimed, Ordering::Relaxed);
+        if tracing && claimed > 0 {
+            crate::telemetry::record_span(crate::telemetry::TraceSpan {
+                tid: 0,
+                job: id,
+                start_ns: t0,
+                end_ns: now_ns(),
+                chunks: claimed,
+            });
+        }
 
         // ---- completion barrier (spin → yield → park) ----
         let mut rounds = 0usize;
@@ -860,6 +890,25 @@ impl Drop for WorkerPool {
             let _ = h.join();
         }
     }
+}
+
+/// [`inline_fanout`] with a dispatcher-track span when tracing is on,
+/// so traces stay informative on machines (or reentrant paths) where
+/// fan-outs never reach the spawned workers.
+fn traced_inline<F: Fn(usize)>(s: &Shared, nthreads: usize, f: &F) -> Result<(), FanoutError> {
+    let tracing = crate::telemetry::trace_enabled();
+    let t0 = if tracing { now_ns() } else { 0 };
+    let r = inline_fanout(s, nthreads, f);
+    if tracing {
+        crate::telemetry::record_span(crate::telemetry::TraceSpan {
+            tid: 0,
+            job: 0,
+            start_ns: t0,
+            end_ns: now_ns(),
+            chunks: 1,
+        });
+    }
+    r
 }
 
 /// Inline execution with the same typed-outcome contract as a pool

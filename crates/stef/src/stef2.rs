@@ -12,7 +12,9 @@ use crate::engine::{MttkrpEngine, Stef};
 use crate::kernels::{mode0_pass, KernelCtx};
 use crate::options::StefOptions;
 use crate::partials::PartialStore;
+use crate::runtime::RuntimeCounters;
 use crate::schedule::Schedule;
+use crate::telemetry::ModeStats;
 use linalg::Mat;
 use sptensor::{build_csf, CooTensor, Csf};
 
@@ -26,6 +28,12 @@ pub struct Stef2 {
     partials2: PartialStore,
     /// The original mode served by the second CSF.
     leaf_mode: usize,
+    /// Telemetry: measured stats of the most recent leaf-mode pass
+    /// (the base engine covers every other mode).
+    leaf_stats: Option<ModeStats>,
+    /// Telemetry: model-predicted `(reads, writes)` of the leaf mode
+    /// as a root pass over the second CSF.
+    leaf_predicted: (f64, f64),
 }
 
 impl Stef2 {
@@ -53,12 +61,16 @@ impl Stef2 {
         let nthreads = base.schedule().nthreads();
         let sched2 = Schedule::build(&csf2, nthreads, opts.load_balance);
         let partials2 = PartialStore::empty(d, nthreads, opts.rank);
+        let profile2 = crate::model::LevelProfile::from_csf(&csf2, opts.rank, opts.cache_bytes);
+        let leaf_predicted = profile2.traffic_by_level(&vec![false; d])[0];
         Ok(Stef2 {
             base,
             csf2,
             sched2,
             partials2,
             leaf_mode,
+            leaf_stats: None,
+            leaf_predicted,
         })
     }
 
@@ -113,6 +125,20 @@ impl MttkrpEngine for Stef2 {
         let ctx = KernelCtx::new(&self.csf2, &self.sched2, level_factors, rank);
         let mut out = Mat::zeros(self.csf2.level_dims()[0], rank);
         mode0_pass(&ctx, &mut self.partials2, &mut out);
+        if crate::telemetry::COMPILED {
+            // Root-style full traversal of the second CSF, no memo.
+            let d2 = self.csf2.ndim();
+            let (reads, writes) = crate::counters::count_mode0(&self.csf2, &[], rank);
+            let fibers: u64 = (0..d2).map(|l| self.csf2.nfibers(l) as u64).sum();
+            self.leaf_stats = Some(ModeStats {
+                level: d2 - 1, // the mode's level in the *base* order
+                nnz: self.csf2.nnz() as u64,
+                fibers,
+                flops: 2.0 * (reads - 2.0 * fibers as f64).max(0.0),
+                reads,
+                writes,
+            });
+        }
         out
     }
 
@@ -123,6 +149,30 @@ impl MttkrpEngine for Stef2 {
 
     fn degradations(&self) -> Vec<crate::model::DegradationEvent> {
         self.base.degradations()
+    }
+
+    fn last_mode_stats(&self, mode: usize) -> Option<ModeStats> {
+        if mode == self.leaf_mode {
+            self.leaf_stats.clone()
+        } else {
+            self.base.last_mode_stats(mode)
+        }
+    }
+
+    fn predicted_mode_traffic(&self, mode: usize) -> Option<(f64, f64)> {
+        if mode == self.leaf_mode {
+            Some(self.leaf_predicted)
+        } else {
+            self.base.predicted_mode_traffic(mode)
+        }
+    }
+
+    fn telemetry_alloc_events(&self) -> u64 {
+        self.base.telemetry_alloc_events()
+    }
+
+    fn telemetry_runtime_counters(&self) -> Option<RuntimeCounters> {
+        self.base.telemetry_runtime_counters()
     }
 }
 
