@@ -5,6 +5,11 @@
 //! flag and cancels whichever [`CancelToken`] is currently installed.
 //! Deadlines need no thread at all — the token carries its own expiry
 //! and every cooperative checkpoint in the library consults it.
+//!
+//! A **second** Ctrl-C escalates: once the watchdog has delivered a
+//! cooperative cancel, the next SIGINT calls `_exit(130)` straight from
+//! the handler — no flushing, no checkpointing, just out. This is the
+//! escape hatch for a run whose cancel path is itself wedged.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, Once, OnceLock};
@@ -13,6 +18,14 @@ use stef::CancelToken;
 
 /// Set from the signal handler; drained by the watchdog.
 static SIGINT_SEEN: AtomicBool = AtomicBool::new(false);
+
+/// Set by the watchdog after it delivers a cooperative cancel; a SIGINT
+/// arriving while this is up skips cooperation and exits immediately.
+static ESCALATE: AtomicBool = AtomicBool::new(false);
+
+/// The hard-interrupt exit code: 128 + SIGINT, the convention shells
+/// use for signal deaths.
+pub const HARD_INTERRUPT_EXIT: i32 = 130;
 
 /// The token the watchdog cancels when Ctrl-C arrives.
 static CURRENT: OnceLock<Mutex<Option<CancelToken>>> = OnceLock::new();
@@ -24,10 +37,18 @@ const SIGINT: i32 = 2;
 
 extern "C" {
     fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    /// Raw process exit — async-signal-safe, unlike `std::process::exit`
+    /// (which runs atexit handlers and may take locks).
+    fn _exit(code: i32) -> !;
 }
 
 extern "C" fn on_sigint(_signum: i32) {
-    SIGINT_SEEN.store(true, Ordering::Relaxed);
+    // Second interrupt (or one arriving after the watchdog already
+    // cancelled cooperatively): give up on cooperation and exit now.
+    // Both loads and `_exit` are async-signal-safe.
+    if SIGINT_SEEN.swap(true, Ordering::Relaxed) || ESCALATE.load(Ordering::Relaxed) {
+        unsafe { _exit(HARD_INTERRUPT_EXIT) }
+    }
 }
 
 fn current() -> &'static Mutex<Option<CancelToken>> {
@@ -49,6 +70,10 @@ impl Drop for CancelScope {
             Ok(mut slot) => *slot = None,
             Err(poisoned) => *poisoned.into_inner() = None,
         }
+        // A finished run resets the interrupt state so a later run in
+        // the same process gets a fresh two-stage Ctrl-C.
+        SIGINT_SEEN.store(false, Ordering::Relaxed);
+        ESCALATE.store(false, Ordering::Relaxed);
     }
 }
 
@@ -78,7 +103,7 @@ pub fn install(token: &CancelToken) -> CancelScope {
 fn watchdog() {
     loop {
         std::thread::sleep(Duration::from_millis(50));
-        if SIGINT_SEEN.swap(false, Ordering::Relaxed) {
+        if SIGINT_SEEN.load(Ordering::Relaxed) && !ESCALATE.load(Ordering::Relaxed) {
             let token = match current().lock() {
                 Ok(slot) => slot.clone(),
                 Err(poisoned) => poisoned.into_inner().clone(),
@@ -86,13 +111,18 @@ fn watchdog() {
             match token {
                 Some(t) => {
                     stef::telemetry::warn(|| {
-                        "interrupt received; cancelling (checkpoint will be written if configured)"
+                        "interrupt received; cancelling (checkpoint will be written if \
+                         configured) — press Ctrl-C again to exit immediately"
                             .to_string()
                     });
                     t.cancel();
+                    // From here on any further SIGINT hard-exits from
+                    // the handler itself; leave SIGINT_SEEN up so the
+                    // handler's swap also sees "already interrupted".
+                    ESCALATE.store(true, Ordering::Relaxed);
                 }
                 // No run in flight: restore default Ctrl-C behavior.
-                None => std::process::exit(130),
+                None => std::process::exit(HARD_INTERRUPT_EXIT),
             }
         }
     }

@@ -1,6 +1,7 @@
 //! Subcommand implementations.
 
 pub mod analyze;
+pub mod batch;
 pub mod bench;
 pub mod decompose;
 pub mod generate;

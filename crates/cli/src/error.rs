@@ -21,6 +21,11 @@ pub enum CliError {
     /// or Ctrl-C. Distinct from numerical failure so scripts can retry
     /// with `--resume`. Exit code 6.
     Cancelled(StefError),
+    /// The batch supervisor shed work at admission: the job's predicted
+    /// resource price did not fit the configured envelope. Distinct from
+    /// numerical failure so schedulers can resubmit when load drains.
+    /// Exit code 7.
+    Overloaded(StefError),
 }
 
 impl CliError {
@@ -32,6 +37,7 @@ impl CliError {
             CliError::Numerical(_) => 4,
             CliError::Checkpoint(_) => 5,
             CliError::Cancelled(_) => 6,
+            CliError::Overloaded(_) => 7,
         }
     }
 }
@@ -44,6 +50,7 @@ impl std::fmt::Display for CliError {
             CliError::Numerical(e) => write!(f, "{e}"),
             CliError::Checkpoint(e) => write!(f, "{e}"),
             CliError::Cancelled(e) => write!(f, "{e}"),
+            CliError::Overloaded(e) => write!(f, "{e}"),
         }
     }
 }
@@ -66,6 +73,18 @@ impl From<StefError> for CliError {
             // problem with the invocation, not a numerical failure.
             e @ StefError::BudgetExceeded { .. } => CliError::Input(e.to_string()),
             e @ StefError::Cancelled { .. } => CliError::Cancelled(e),
+            e @ StefError::Overloaded { .. } => CliError::Overloaded(e),
+            // A future-version or foreign-endianness file is checkpoint
+            // trouble — same exit class as corruption, different message.
+            StefError::CheckpointVersion {
+                found,
+                supported,
+                detail,
+            } => CliError::Checkpoint(CheckpointError::Version {
+                found,
+                supported,
+                detail,
+            }),
             other => CliError::Numerical(other),
         }
     }
@@ -95,6 +114,13 @@ mod tests {
                 iteration: 1,
                 deadline: true,
                 checkpoint_iteration: None,
+            })
+            .exit_code(),
+            CliError::Overloaded(StefError::Overloaded {
+                resource: "memory",
+                required: 1.0,
+                outstanding: 1.0,
+                envelope: 1.0,
             })
             .exit_code(),
         ];
@@ -141,5 +167,20 @@ mod tests {
         }
         .into();
         assert_eq!(e.exit_code(), 3);
+        let e: CliError = StefError::Overloaded {
+            resource: "traffic",
+            required: 2.0,
+            outstanding: 9.0,
+            envelope: 10.0,
+        }
+        .into();
+        assert_eq!(e.exit_code(), 7);
+        let e: CliError = StefError::CheckpointVersion {
+            found: 9,
+            supported: 1,
+            detail: "newer build".into(),
+        }
+        .into();
+        assert_eq!(e.exit_code(), 5);
     }
 }

@@ -45,6 +45,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "generate" => commands::generate::run(rest).map_err(CliError::from),
         "analyze" => commands::analyze::run(rest).map_err(CliError::from),
         "decompose" => commands::decompose::run(rest),
+        "batch" => commands::batch::run(rest),
         "bench" => commands::bench::run(rest),
         "list" => commands::list::run(rest).map_err(CliError::from),
         "validate" => commands::validate::run(rest),
@@ -72,6 +73,10 @@ fn print_usage() {
          \u{20}                        [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n\
          \u{20}                        [--timeout SECS] [--memory-budget BYTES]\n\
          \u{20}                        [--metrics-out FILE.jsonl] [--trace-out FILE.json] [--verbose]\n\
+         \u{20}stef batch    <jobs-list> [--journal FILE] [--ckpt-dir DIR] [--resume-journal]\n\
+         \u{20}                          [--max-concurrent N] [--threads N] [--max-retries N]\n\
+         \u{20}                          [--memory-envelope BYTES] [--traffic-envelope ELEMS]\n\
+         \u{20}                          [--checkpoint-every N] [--metrics-out FILE.jsonl] [--status]\n\
          \u{20}stef bench    <tensor> [--rank R] [--reps N] [--threads N] [--accum auto|privatized|atomic]\n\
          \u{20}                       [--timeout SECS]\n\
          \u{20}stef validate <tensor> [--rank R] [--engine NAME] [--tol T] [--accum auto|privatized|atomic]\n\
@@ -80,8 +85,13 @@ fn print_usage() {
          \n\
          <tensor> = path to a .tns file, or suite:<name> (see `stef list`).\n\
          engines: stef stef2 splatt-1 splatt-2 splatt-all adatm alto taco reference\n\
-         exit codes: 0 ok, 2 usage, 3 input, 4 numerical, 5 checkpoint, 6 cancelled\n\
+         exit codes: 0 ok, 2 usage, 3 input, 4 numerical, 5 checkpoint, 6 cancelled,\n\
+         \u{20}           7 overloaded (batch admission shed), 130 hard interrupt\n\
          Ctrl-C and --timeout cancel cooperatively; decompose writes a checkpoint first.\n\
+         A second Ctrl-C skips cooperation and exits immediately with code 130.\n\
+         batch: <jobs-list> holds one '<tensor> [rank=R] [iters=N] [tol=T] [seed=S]\n\
+         \u{20}[engine=NAME] [deadline=SECS]' job per line; outcomes are journaled and a\n\
+         \u{20}killed batch resumes from checkpoints with --resume-journal.\n\
          telemetry: --metrics-out writes one JSONL record per ALS iteration (schema 1),\n\
          --trace-out writes a Chrome trace_event JSON (Perfetto / chrome://tracing),\n\
          STEF_LOG=off|warn|info|debug controls library diagnostics (default warn)."

@@ -22,6 +22,14 @@ use std::path::{Path, PathBuf};
 /// Current on-disk format version.
 pub const CHECKPOINT_VERSION: u32 = 1;
 
+/// Endianness tag written into checkpoint/journal headers. The formats
+/// are text (floats as big-endian hex bit patterns), so `be` is the only
+/// tag this implementation ever produces or accepts; the token exists so
+/// a hypothetical binary sibling format written on a different
+/// convention is rejected with a typed [`CheckpointError::Version`]
+/// instead of a checksum mismatch masquerading as corruption.
+pub const CHECKPOINT_ENDIANNESS: &str = "be";
+
 /// Why a checkpoint could not be saved or loaded.
 #[derive(Debug)]
 pub enum CheckpointError {
@@ -30,8 +38,20 @@ pub enum CheckpointError {
     /// The file is truncated, checksum-mismatched, or malformed.
     Corrupt { reason: String },
     /// The file is valid but does not match the requested run (wrong
-    /// dims, rank, or a future format version).
+    /// dims or rank).
     Mismatch { reason: String },
+    /// The file declares a future format version or a foreign
+    /// endianness. Detected from the header *before* checksum
+    /// verification, so a file this build cannot read reports *why*
+    /// instead of a misleading checksum mismatch.
+    Version {
+        /// Version the file declares.
+        found: u32,
+        /// Newest version this build reads.
+        supported: u32,
+        /// Human-readable specifics (e.g. the offending endianness tag).
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -42,6 +62,14 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::Mismatch { reason } => {
                 write!(f, "checkpoint does not match this run: {reason}")
             }
+            CheckpointError::Version {
+                found,
+                supported,
+                detail,
+            } => write!(
+                f,
+                "unreadable format version: file declares v{found}, this build reads up to v{supported} ({detail})"
+            ),
         }
     }
 }
@@ -106,7 +134,7 @@ pub struct Checkpoint {
     pub factors: Vec<Mat>,
 }
 
-fn fnv64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
     let mut h = 0xcbf29ce484222325u64;
     for &b in bytes {
         h ^= b as u64;
@@ -115,11 +143,57 @@ fn fnv64(bytes: &[u8]) -> u64 {
     h
 }
 
-fn hex_f64(v: f64) -> String {
+pub(crate) fn hex_f64(v: f64) -> String {
     format!("{:016x}", v.to_bits())
 }
 
-fn parse_f64(tok: &str, what: &str) -> Result<f64, CheckpointError> {
+/// Parses a `<magic> v<N>[ <endianness>]` header line shared by the
+/// checkpoint and the job-journal formats. Returns the declared version,
+/// or a typed error: [`CheckpointError::Version`] for a future version
+/// or a foreign endianness (checked *before* any checksum, so those
+/// files fail with the real reason), [`CheckpointError::Corrupt`] for a
+/// line that is not a header at all.
+pub(crate) fn parse_versioned_header(
+    line: &str,
+    magic: &str,
+    supported: u32,
+) -> Result<u32, CheckpointError> {
+    let rest = line.strip_prefix(magic).and_then(|r| r.strip_prefix(" v")).ok_or_else(|| {
+        CheckpointError::Corrupt {
+            reason: format!("missing '{magic} v<N>' header"),
+        }
+    })?;
+    let (ver_tok, endian_tok) = match rest.split_once(' ') {
+        Some((v, e)) => (v, Some(e.trim())),
+        None => (rest, None),
+    };
+    let found: u32 = ver_tok.parse().map_err(|_| CheckpointError::Corrupt {
+        reason: format!("bad version token '{ver_tok}' in '{magic}' header"),
+    })?;
+    if found > supported {
+        return Err(CheckpointError::Version {
+            found,
+            supported,
+            detail: "written by a newer build".into(),
+        });
+    }
+    // Files from the pre-endianness-tag era carry no token; they are
+    // all this implementation's own big-endian-hex text format.
+    if let Some(endian) = endian_tok {
+        if endian != CHECKPOINT_ENDIANNESS {
+            return Err(CheckpointError::Version {
+                found,
+                supported,
+                detail: format!(
+                    "endianness tag '{endian}', this build reads '{CHECKPOINT_ENDIANNESS}'"
+                ),
+            });
+        }
+    }
+    Ok(found)
+}
+
+pub(crate) fn parse_f64(tok: &str, what: &str) -> Result<f64, CheckpointError> {
     let bits = u64::from_str_radix(tok, 16).map_err(|_| CheckpointError::Corrupt {
         reason: format!("bad {what} float '{tok}'"),
     })?;
@@ -136,7 +210,10 @@ impl Checkpoint {
     /// Serializes to the text format (including the trailing checksum).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut body = String::new();
-        body.push_str(&format!("stef-checkpoint v{}\n", self.version));
+        body.push_str(&format!(
+            "stef-checkpoint v{} {}\n",
+            self.version, CHECKPOINT_ENDIANNESS
+        ));
         body.push_str(&format!("iteration {}\n", self.iteration));
         body.push_str(&format!("seed {}\n", self.seed));
         body.push_str(&format!("rank {}\n", self.rank));
@@ -186,7 +263,14 @@ impl Checkpoint {
         let text = std::str::from_utf8(bytes).map_err(|_| CheckpointError::Corrupt {
             reason: "not UTF-8".into(),
         })?;
-        // Split off and verify the checksum line first.
+        // Validate the version header *before* the checksum: a file this
+        // build cannot read must report the real reason, not a checksum
+        // mismatch (a v2 file legitimately checksums differently).
+        let first = text.lines().next().ok_or(CheckpointError::Corrupt {
+            reason: "empty file".into(),
+        })?;
+        let version = parse_versioned_header(first, "stef-checkpoint", CHECKPOINT_VERSION)?;
+        // Split off and verify the checksum line.
         let trimmed = text.trim_end_matches('\n');
         let (body_end, checksum_line) =
             trimmed
@@ -218,18 +302,7 @@ impl Checkpoint {
             })
         };
 
-        let header = next_line("header")?;
-        let version = header
-            .strip_prefix("stef-checkpoint v")
-            .and_then(|v| v.parse::<u32>().ok())
-            .ok_or(CheckpointError::Corrupt {
-                reason: "missing 'stef-checkpoint v<N>' header".into(),
-            })?;
-        if version != CHECKPOINT_VERSION {
-            return Err(CheckpointError::Mismatch {
-                reason: format!("format version {version}, this build reads {CHECKPOINT_VERSION}"),
-            });
-        }
+        next_line("header")?; // already validated above
 
         let field = |line: &str, key: &str| -> Result<String, CheckpointError> {
             line.strip_prefix(key)
@@ -414,13 +487,46 @@ mod tests {
     }
 
     #[test]
-    fn future_version_is_a_mismatch() {
+    fn future_version_is_typed_not_corrupt() {
         let mut cp = sample();
         cp.version = CHECKPOINT_VERSION + 1;
-        assert!(matches!(
-            Checkpoint::from_bytes(&cp.to_bytes()),
-            Err(CheckpointError::Mismatch { .. })
-        ));
+        match Checkpoint::from_bytes(&cp.to_bytes()) {
+            Err(CheckpointError::Version {
+                found, supported, ..
+            }) => {
+                assert_eq!(found, CHECKPOINT_VERSION + 1);
+                assert_eq!(supported, CHECKPOINT_VERSION);
+            }
+            other => panic!("expected Version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_endianness_is_typed_not_corrupt() {
+        let text = String::from_utf8(sample().to_bytes()).unwrap();
+        let le = text.replacen("stef-checkpoint v1 be", "stef-checkpoint v1 le", 1);
+        match Checkpoint::from_bytes(le.as_bytes()) {
+            Err(CheckpointError::Version { detail, .. }) => {
+                assert!(detail.contains("le"), "detail should name the tag: {detail}");
+            }
+            other => panic!("expected Version error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_header_without_endianness_still_loads() {
+        // Pre-tag files say just "stef-checkpoint v1"; rebuild the
+        // checksum after rewriting the header so only the header differs.
+        let text = String::from_utf8(sample().to_bytes()).unwrap();
+        let legacy = text.replacen("stef-checkpoint v1 be", "stef-checkpoint v1", 1);
+        let body_end = legacy.trim_end_matches('\n').rfind('\n').unwrap() + 1;
+        let rebuilt = format!(
+            "{}checksum {:016x}\n",
+            &legacy[..body_end],
+            fnv64(legacy[..body_end].as_bytes())
+        );
+        let back = Checkpoint::from_bytes(rebuilt.as_bytes()).expect("legacy load");
+        assert_eq!(back, sample());
     }
 
     #[test]

@@ -29,7 +29,29 @@ use linalg::norms::{normalize_columns, ColumnNorm};
 use linalg::ops::{frob_inner, gram_full, hadamard_inplace};
 use linalg::solve::{try_solve_gram_system, try_solve_gram_system_ridged, SolveMethod};
 use linalg::Mat;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Observer invoked with the checkpoint's iteration number every time
+/// the driver successfully writes a checkpoint file — both periodic
+/// saves and the on-the-way-out save of a cancelled run. The supervisor
+/// hangs its journal `checkpointed` records off this, so the journal
+/// never claims a snapshot the filesystem does not hold.
+#[derive(Clone)]
+pub struct CheckpointHook(pub Arc<dyn Fn(usize) + Send + Sync>);
+
+impl CheckpointHook {
+    /// Wraps a closure.
+    pub fn new(f: impl Fn(usize) + Send + Sync + 'static) -> Self {
+        CheckpointHook(Arc::new(f))
+    }
+}
+
+impl std::fmt::Debug for CheckpointHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CheckpointHook(..)")
+    }
+}
 
 /// CPD-ALS configuration.
 #[derive(Clone, Debug)]
@@ -55,6 +77,9 @@ pub struct CpdOptions {
     /// also configured — first writes a checkpoint of the last
     /// *completed* iteration, so the interrupted run resumes bit-exactly.
     pub cancel: Option<CancelToken>,
+    /// Called after every successful checkpoint write (see
+    /// [`CheckpointHook`]).
+    pub on_checkpoint: Option<CheckpointHook>,
 }
 
 impl CpdOptions {
@@ -70,6 +95,7 @@ impl CpdOptions {
             checkpoint: None,
             resume: None,
             cancel: None,
+            on_checkpoint: None,
         }
     }
 }
@@ -197,11 +223,15 @@ fn cancel_error(
     iteration: usize,
     checkpoint: &Option<CheckpointPolicy>,
     last_good: &Option<Checkpoint>,
+    hook: &Option<CheckpointHook>,
 ) -> StefError {
     let checkpoint_iteration = match (checkpoint, last_good) {
         (Some(policy), Some(cp)) => cp.save(&policy.path).ok().map(|_| cp.iteration),
         _ => None,
     };
+    if let (Some(it), Some(hook)) = (checkpoint_iteration, hook) {
+        (hook.0)(it);
+    }
     StefError::Cancelled {
         iteration,
         deadline: token.deadline_expired(),
@@ -302,7 +332,13 @@ pub fn cpd_als<E: MttkrpEngine + ?Sized>(
         iterations = it + 1;
         if let Some(token) = &opts.cancel {
             if token.expired() {
-                return Err(cancel_error(token, iterations, &opts.checkpoint, &last_good));
+                return Err(cancel_error(
+                    token,
+                    iterations,
+                    &opts.checkpoint,
+                    &last_good,
+                    &opts.on_checkpoint,
+                ));
             }
         }
         let mut last_mttkrp: Option<(usize, Mat)> = None;
@@ -519,6 +555,7 @@ pub fn cpd_als<E: MttkrpEngine + ?Sized>(
                         iterations,
                         &opts.checkpoint,
                         &last_good,
+                        &opts.on_checkpoint,
                     ));
                 }
             }
@@ -619,6 +656,9 @@ pub fn cpd_als<E: MttkrpEngine + ?Sized>(
                 };
                 cp.save(&policy.path)?;
                 checkpoints_written += 1;
+                if let Some(hook) = &opts.on_checkpoint {
+                    (hook.0)(iterations);
+                }
             }
         }
 

@@ -89,6 +89,45 @@ pub trait MttkrpEngine {
     }
 }
 
+/// Boxed engines are engines too, so adapters generic over a sized
+/// `E: MttkrpEngine` (e.g. [`crate::fault::FaultyEngine`]) can wrap the
+/// `Box<dyn MttkrpEngine>` an engine registry hands out.
+impl<E: MttkrpEngine + ?Sized> MttkrpEngine for Box<E> {
+    fn dims(&self) -> &[usize] {
+        (**self).dims()
+    }
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn sweep_order(&self) -> Vec<usize> {
+        (**self).sweep_order()
+    }
+    fn norm_sq(&self) -> f64 {
+        (**self).norm_sq()
+    }
+    fn mttkrp(&mut self, factors: &[Mat], mode: usize) -> Mat {
+        (**self).mttkrp(factors, mode)
+    }
+    fn degrade_to_unmemoized(&mut self) -> bool {
+        (**self).degrade_to_unmemoized()
+    }
+    fn degradations(&self) -> Vec<DegradationEvent> {
+        (**self).degradations()
+    }
+    fn last_mode_stats(&self, mode: usize) -> Option<ModeStats> {
+        (**self).last_mode_stats(mode)
+    }
+    fn predicted_mode_traffic(&self, mode: usize) -> Option<(f64, f64)> {
+        (**self).predicted_mode_traffic(mode)
+    }
+    fn telemetry_alloc_events(&self) -> u64 {
+        (**self).telemetry_alloc_events()
+    }
+    fn telemetry_runtime_counters(&self) -> Option<RuntimeCounters> {
+        (**self).telemetry_runtime_counters()
+    }
+}
+
 /// The paper's STeF: one CSF in a model-chosen order, model-chosen
 /// memoization, nnz-balanced scheduling.
 pub struct Stef {

@@ -80,6 +80,41 @@ pub enum StefError {
         /// The configured budget.
         budget: usize,
     },
+    /// A checkpoint or journal file declares a format this build cannot
+    /// read (future version or foreign endianness). Unlike
+    /// [`StefError::Checkpoint`]-wrapped corruption, the file is
+    /// presumed intact — a newer build wrote it.
+    CheckpointVersion {
+        /// Version the file declares.
+        found: u32,
+        /// Newest version this build reads.
+        supported: u32,
+        /// Human-readable specifics (e.g. the offending endianness tag).
+        detail: String,
+    },
+    /// The supervisor refused to admit a job: its predicted resource
+    /// price does not fit the configured envelope alongside the jobs
+    /// already outstanding. Shedding at admission keeps admitted jobs
+    /// inside their envelope instead of letting everything thrash.
+    Overloaded {
+        /// Which envelope was exhausted ("memory" or "traffic").
+        resource: &'static str,
+        /// Predicted price of the rejected job, in the resource's units.
+        required: f64,
+        /// Aggregate price of the jobs already admitted and unfinished.
+        outstanding: f64,
+        /// The configured envelope.
+        envelope: f64,
+    },
+    /// One or more jobs in a supervised batch ended in a terminal
+    /// failure. The batch itself completed — every job has a journaled
+    /// outcome — but the run as a whole cannot report success.
+    BatchFailed {
+        /// Jobs whose final journaled state is failed.
+        failed: usize,
+        /// Jobs in the batch.
+        total: usize,
+    },
 }
 
 impl std::fmt::Display for StefError {
@@ -152,6 +187,27 @@ impl std::fmt::Display for StefError {
                 f,
                 "memory budget exceeded: minimal plan needs {required} bytes, budget is {budget} bytes"
             ),
+            StefError::CheckpointVersion {
+                found,
+                supported,
+                detail,
+            } => write!(
+                f,
+                "unreadable format version: file declares v{found}, this build reads up to v{supported} ({detail})"
+            ),
+            StefError::Overloaded {
+                resource,
+                required,
+                outstanding,
+                envelope,
+            } => write!(
+                f,
+                "overloaded: job needs {required:.3e} {resource} units but {outstanding:.3e} of the \
+                 {envelope:.3e} envelope is already committed (job shed, resubmit when load drains)"
+            ),
+            StefError::BatchFailed { failed, total } => {
+                write!(f, "batch finished with {failed} of {total} jobs failed")
+            }
         }
     }
 }
@@ -175,7 +231,18 @@ impl From<TnsError> for StefError {
 
 impl From<CheckpointError> for StefError {
     fn from(e: CheckpointError) -> Self {
-        StefError::Checkpoint(e)
+        match e {
+            CheckpointError::Version {
+                found,
+                supported,
+                detail,
+            } => StefError::CheckpointVersion {
+                found,
+                supported,
+                detail,
+            },
+            other => StefError::Checkpoint(other),
+        }
     }
 }
 
@@ -222,5 +289,36 @@ mod tests {
         };
         let e: StefError = ck.into();
         assert!(e.to_string().contains("corrupt checkpoint"));
+    }
+
+    #[test]
+    fn version_errors_convert_to_their_own_variant() {
+        let ck = CheckpointError::Version {
+            found: 9,
+            supported: 1,
+            detail: "written by a newer build".into(),
+        };
+        let e: StefError = ck.into();
+        match e {
+            StefError::CheckpointVersion { found, supported, .. } => {
+                assert_eq!((found, supported), (9, 1));
+            }
+            other => panic!("expected CheckpointVersion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overload_and_batch_displays_are_informative() {
+        let e = StefError::Overloaded {
+            resource: "memory",
+            required: 2.0e9,
+            outstanding: 7.5e9,
+            envelope: 8.0e9,
+        };
+        let s = e.to_string();
+        assert!(s.contains("overloaded") && s.contains("memory"), "{s}");
+
+        let e = StefError::BatchFailed { failed: 2, total: 8 };
+        assert!(e.to_string().contains("2 of 8"));
     }
 }

@@ -44,6 +44,56 @@ pub enum Fault {
     /// `fuse` from now, so the run cancels itself cooperatively shortly
     /// after. Fires once; requires a token, otherwise it is a no-op.
     DeadlineFuseOnce { at: usize, fuse: Duration },
+    /// On the `at`-th MTTKRP call, panic directly in the engine — the
+    /// driver's `catch_unwind` turns it into a *retryable*
+    /// [`crate::StefError::WorkerPanic`]. Models a spurious transient
+    /// failure for the supervisor's retry ladder; unlike
+    /// [`Fault::WorkerPanicOnce`] it needs no executor, so it works on
+    /// any engine. Fires once per engine instance.
+    TransientErrorOnce { at: usize },
+}
+
+/// Parses `STEF_BATCH_FAULT`-style directives into per-job faults:
+/// comma-separated `<job>:<kind>` items, where `<kind>` is
+/// `panic@<call>` ([`Fault::WorkerPanicOnce`] on thread 0),
+/// `transient@<call>` ([`Fault::TransientErrorOnce`]), or
+/// `fuse@<call>+<ms>` ([`Fault::DeadlineFuseOnce`]). Example:
+/// `2:panic@3,5:fuse@1+50`. Unknown or malformed items are errors — a
+/// fault harness that silently drops an injection proves nothing.
+pub fn parse_fault_directives(s: &str) -> Result<Vec<(usize, Fault)>, String> {
+    let mut out = Vec::new();
+    for item in s.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        let (job, kind) = item
+            .split_once(':')
+            .ok_or_else(|| format!("fault '{item}': expected '<job>:<kind>@<call>'"))?;
+        let job: usize = job.parse().map_err(|_| format!("fault '{item}': bad job index"))?;
+        let (name, rest) = kind
+            .split_once('@')
+            .ok_or_else(|| format!("fault '{item}': missing '@<call>'"))?;
+        let fault = match name {
+            "panic" => Fault::WorkerPanicOnce {
+                at: rest.parse().map_err(|_| format!("fault '{item}': bad call index"))?,
+                thread: 0,
+            },
+            "transient" => Fault::TransientErrorOnce {
+                at: rest.parse().map_err(|_| format!("fault '{item}': bad call index"))?,
+            },
+            "fuse" => {
+                let (at, ms) = rest
+                    .split_once('+')
+                    .ok_or_else(|| format!("fault '{item}': expected 'fuse@<call>+<ms>'"))?;
+                Fault::DeadlineFuseOnce {
+                    at: at.parse().map_err(|_| format!("fault '{item}': bad call index"))?,
+                    fuse: Duration::from_millis(
+                        ms.parse().map_err(|_| format!("fault '{item}': bad fuse ms"))?,
+                    ),
+                }
+            }
+            other => return Err(format!("fault '{item}': unknown kind '{other}'")),
+        };
+        out.push((job, fault));
+    }
+    Ok(out)
 }
 
 /// An engine that misbehaves on demand.
@@ -128,7 +178,9 @@ impl<E: MttkrpEngine> FaultyEngine<E> {
                     col,
                     value,
                 } => (row, col, value, call >= from),
-                Fault::WorkerPanicOnce { .. } | Fault::DeadlineFuseOnce { .. } => continue,
+                Fault::WorkerPanicOnce { .. }
+                | Fault::DeadlineFuseOnce { .. }
+                | Fault::TransientErrorOnce { .. } => continue,
             };
             if fire && row < out.rows() && col < out.cols() {
                 out[(row, col)] = value;
@@ -143,6 +195,7 @@ impl<E: MttkrpEngine> FaultyEngine<E> {
     /// surfacing through `Executor::fanout`).
     fn fire_runtime_faults(&mut self, call: usize) {
         let mut panic_thread = None;
+        let mut transient = false;
         for fault in &self.faults {
             match *fault {
                 Fault::WorkerPanicOnce { at, thread } if call == at && self.exec.is_some() => {
@@ -154,8 +207,15 @@ impl<E: MttkrpEngine> FaultyEngine<E> {
                         self.injected += 1;
                     }
                 }
+                Fault::TransientErrorOnce { at } if call == at => {
+                    transient = true;
+                }
                 _ => {}
             }
+        }
+        if transient {
+            self.injected += 1;
+            panic!("injected transient fault (fault harness, call {call})");
         }
         if let Some(thread) = panic_thread {
             self.injected += 1;
@@ -325,5 +385,43 @@ mod tests {
             assert!(out.as_slice().iter().all(|x| x.is_finite()));
         }
         assert_eq!(eng.injected(), 0);
+    }
+
+    #[test]
+    fn transient_fault_panics_exactly_once() {
+        let t = tiny();
+        let mut eng = FaultyEngine::new(
+            ReferenceEngine::new(t.clone()),
+            vec![Fault::TransientErrorOnce { at: 1 }],
+        );
+        let factors = crate::cpd::init_factors(t.dims(), 2, 1);
+        let _ = eng.mttkrp(&factors, 0); // call 0: clean
+        let hit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            eng.mttkrp(&factors, 1)
+        }));
+        assert!(hit.is_err(), "call 1 must panic");
+        let _ = eng.mttkrp(&factors, 2); // call 2: clean again
+        assert_eq!(eng.injected(), 1);
+    }
+
+    #[test]
+    fn fault_directives_parse() {
+        let faults = parse_fault_directives("2:panic@3, 5:fuse@1+50,0:transient@7").unwrap();
+        assert_eq!(faults.len(), 3);
+        assert!(matches!(
+            faults[0],
+            (2, Fault::WorkerPanicOnce { at: 3, thread: 0 })
+        ));
+        match faults[1] {
+            (5, Fault::DeadlineFuseOnce { at: 1, fuse }) => {
+                assert_eq!(fuse, Duration::from_millis(50));
+            }
+            ref other => panic!("bad fuse parse: {other:?}"),
+        }
+        assert!(matches!(faults[2], (0, Fault::TransientErrorOnce { at: 7 })));
+        assert!(parse_fault_directives("").unwrap().is_empty());
+        for bad in ["nope", "1:panic", "1:panic@x", "1:fuse@2", "1:magic@2"] {
+            assert!(parse_fault_directives(bad).is_err(), "{bad}");
+        }
     }
 }

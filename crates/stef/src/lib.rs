@@ -56,6 +56,7 @@ pub mod recover;
 pub mod runtime;
 pub mod schedule;
 pub mod stef2;
+pub mod supervisor;
 pub mod sync;
 pub mod telemetry;
 pub mod validate;
@@ -63,10 +64,10 @@ pub mod workspace;
 
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy};
 pub use counters::{count_sweep, CountedTraffic};
-pub use cpd::{cpd_als, init_factors, CpdOptions, CpdResult};
+pub use cpd::{cpd_als, init_factors, CheckpointHook, CpdOptions, CpdResult};
 pub use engine::{MttkrpEngine, ReferenceEngine, Stef};
 pub use error::StefError;
-pub use fault::{Fault, FaultyEngine};
+pub use fault::{parse_fault_directives, Fault, FaultyEngine};
 pub use recover::{RecoveryAction, RecoveryEvent, RecoveryEvents, RecoveryPolicy};
 pub use model::{stef2_leaf_gain, BudgetFit, DegradationEvent, LevelProfile, MemoPlan, RawTraffic};
 pub use nonneg::{cpd_mu_nonneg, NonnegCpdResult};
@@ -80,6 +81,10 @@ pub use runtime::{
 };
 pub use schedule::Schedule;
 pub use stef2::Stef2;
+pub use supervisor::{
+    is_retryable, price_job, scan_journal, BatchReport, EngineFactory, JobAttempt, JobPrice,
+    JobSpec, JobStatus, JournalRecord, JournalScan, Supervisor, SupervisorConfig, TensorLoader,
+};
 pub use telemetry::{
     IterationRecord, LogLevel, ModeAudit, ModeSample, ModeStats, TelemetryReport, TraceSpan,
 };

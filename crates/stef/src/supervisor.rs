@@ -1,0 +1,1815 @@
+//! Multi-job supervision: durable journal, retries, admission control.
+//!
+//! The CPD driver decomposes *one* tensor; a decomposition service runs
+//! *many*, unattended, over the shared worker pool. This module is the
+//! supervisory layer that makes that survivable:
+//!
+//! * **Crash-consistent job journal** — every job transition is an
+//!   append-only, FNV-checksummed record ([`JournalRecord`]) fsynced
+//!   before the transition takes effect, so a `kill -9` at any byte
+//!   leaves a journal from which [`Supervisor::resume`] reconstructs
+//!   exactly which jobs are unfinished and restarts them from their
+//!   latest checkpoints (the PR 1 bit-exact snapshot machinery), making
+//!   the resumed batch converge identically to an uninterrupted one.
+//! * **Retry ladder** — [`is_retryable`] classifies [`StefError`]s into
+//!   transient (worker panic, I/O hiccough) vs terminal (bad input,
+//!   infeasible budget), and transient failures are retried with capped
+//!   exponential backoff plus deterministic jitter, the budget consumed
+//!   recorded in the journal so a resumed batch does not forget how many
+//!   retries a job already burned.
+//! * **Admission control & shedding** — each submission is priced
+//!   up-front with the paper's §IV-C machinery (memoization plan from
+//!   [`crate::model::best_memo_set`], arena bytes from the same formulas
+//!   [`crate::model::fit_memory_budget`] degrades against) and admitted
+//!   only while the aggregate outstanding price fits the configured
+//!   envelope; everything else is shed *at the door* with a typed
+//!   [`StefError::Overloaded`] instead of letting the whole batch
+//!   thrash. The queue drains nearest-deadline-first.
+//!
+//! Per-job outcomes additionally stream into the PR 5 JSONL metrics
+//! sink (`kind:"batch_job"` records) when a metrics path is configured.
+
+use crate::checkpoint::{
+    fnv64, hex_f64, parse_f64, parse_versioned_header, Checkpoint, CheckpointError,
+    CheckpointPolicy, CHECKPOINT_ENDIANNESS,
+};
+use crate::cpd::{cpd_als, CheckpointHook, CpdOptions, CpdResult};
+use crate::engine::MttkrpEngine;
+use crate::error::StefError;
+use crate::model::{best_memo_set, partial_arena_bytes, priv_pool_bytes, LevelProfile};
+use crate::runtime::CancelToken;
+use crate::sync::lock_unpoisoned;
+use crate::workspace::Workspace;
+use sptensor::{build_csf, sort_modes_by_length, CooTensor};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Current journal format version (header `stef-journal v1 be`).
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// Loads a tensor from a job's `tensor` spec string. The supervisor is
+/// agnostic about what the string means — the CLI maps `suite:` specs
+/// and `.tns` paths, tests map synthetic generators.
+pub type TensorLoader = Arc<dyn Fn(&str) -> Result<CooTensor, StefError> + Send + Sync>;
+
+/// Builds the engine a job attempt runs on. Receives the spec, the
+/// loaded tensor, the job's cancel token, and the attempt coordinates —
+/// the job id lets a harness key injected faults to specific jobs, the
+/// attempt number lets it fault attempt 1 only.
+pub type EngineFactory = Arc<
+    dyn Fn(
+            &JobSpec,
+            &CooTensor,
+            &CancelToken,
+            JobAttempt,
+        ) -> Result<Box<dyn MttkrpEngine>, StefError>
+        + Send
+        + Sync,
+>;
+
+/// Which attempt of which job an [`EngineFactory`] call is building for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JobAttempt {
+    /// Job id (submission order).
+    pub job: usize,
+    /// 1-based attempt number, monotone across resumes.
+    pub attempt: usize,
+}
+
+/// One decomposition request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Tensor spec string, resolved by the [`TensorLoader`].
+    pub tensor: String,
+    /// Decomposition rank.
+    pub rank: usize,
+    /// ALS iteration cap.
+    pub max_iters: usize,
+    /// Convergence tolerance (journaled bit-exactly, so a resumed batch
+    /// replays the identical stopping rule).
+    pub tol: f64,
+    /// Factor-initialization seed.
+    pub seed: u64,
+    /// Engine name, resolved by the [`EngineFactory`].
+    pub engine: String,
+    /// Wall-clock deadline measured from the job's first start; expiry
+    /// is terminal (a retry cannot outrun a clock). `None` = none.
+    pub deadline: Option<Duration>,
+}
+
+impl JobSpec {
+    /// A spec with the driver defaults: 50 iterations, tol `1e-5`,
+    /// seed 42, the `stef` engine, no deadline.
+    pub fn new(tensor: impl Into<String>, rank: usize) -> Self {
+        JobSpec {
+            tensor: tensor.into(),
+            rank,
+            max_iters: 50,
+            tol: 1e-5,
+            seed: 42,
+            engine: "stef".into(),
+            deadline: None,
+        }
+    }
+}
+
+/// A job's predicted resource price (admission-control currency).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct JobPrice {
+    /// Predicted peak engine bytes: CSF + factors + kernel workspace +
+    /// memoized partial arenas + privatized-output pool, the same
+    /// formulas [`crate::model::fit_memory_budget`] degrades against.
+    pub mem_bytes: u64,
+    /// Predicted data movement (elements) of one full ALS sweep under
+    /// the traffic-optimal memoization plan (§IV-C model).
+    pub traffic: f64,
+}
+
+/// Prices a job with the §IV-C model: builds the CSF the engine would
+/// build (longest-mode-first order), profiles it, picks the
+/// traffic-optimal memoization set, and sums the arena formulas. The
+/// CSF is dropped before returning — pricing borrows memory only
+/// transiently.
+pub fn price_job(
+    tensor: &CooTensor,
+    rank: usize,
+    nthreads: usize,
+    cache_bytes: usize,
+) -> JobPrice {
+    let order = sort_modes_by_length(tensor.dims());
+    let csf = build_csf(tensor, &order);
+    let profile = LevelProfile::from_csf(&csf, rank, cache_bytes);
+    let (save, traffic) = best_memo_set(&profile);
+    let d = tensor.dims().len();
+    let nthreads = nthreads.max(1);
+    let partials: usize = (0..d)
+        .filter(|&l| save[l])
+        .map(|l| partial_arena_bytes(&profile, l, nthreads))
+        .sum();
+    let pool = priv_pool_bytes(&profile, &vec![true; d], nthreads);
+    let factor_bytes: usize = tensor
+        .dims()
+        .iter()
+        .map(|&n| n * rank * std::mem::size_of::<f64>())
+        .sum();
+    let mem = Workspace::fixed_bytes(d, rank, nthreads)
+        + partials
+        + pool
+        + csf.memory_bytes()
+        + factor_bytes;
+    JobPrice {
+        mem_bytes: mem as u64,
+        traffic,
+    }
+}
+
+/// Whether a failed attempt is worth retrying. Transient causes —
+/// a worker panic the pool already healed, an I/O hiccough reading the
+/// tensor or writing a checkpoint — may succeed on a clean attempt;
+/// everything else (bad input, infeasible budget, numerical divergence,
+/// cancellation) is deterministic or intentional and retrying would
+/// only burn the budget reproducing it.
+pub fn is_retryable(e: &StefError) -> bool {
+    matches!(
+        e,
+        StefError::WorkerPanic { .. }
+            | StefError::Checkpoint(CheckpointError::Io(_))
+            | StefError::Tns(sptensor::TnsError::Io(_))
+    )
+}
+
+/// Supervisor configuration.
+#[derive(Clone, Debug)]
+pub struct SupervisorConfig {
+    /// The append-only journal file. [`Supervisor::new`] refuses an
+    /// existing file (it holds a crashed batch's truth); use
+    /// [`Supervisor::resume`] to continue one.
+    pub journal_path: PathBuf,
+    /// Directory for per-job checkpoints (`job-<id>.ckpt`).
+    pub checkpoint_dir: PathBuf,
+    /// Checkpoint cadence in iterations (min 1 — the journal's
+    /// crash-consistency story needs snapshots to point at).
+    pub checkpoint_every: usize,
+    /// Jobs run concurrently by [`Supervisor::run_all`].
+    pub max_concurrent: usize,
+    /// Logical threads each job's engine is priced at (the factory
+    /// decides what the engine actually uses; keep them consistent).
+    pub threads_per_job: usize,
+    /// Cache-size parameter of the pricing model, in bytes.
+    pub cache_bytes: usize,
+    /// Aggregate predicted-memory envelope in bytes (0 = unlimited).
+    pub memory_envelope: u64,
+    /// Aggregate predicted-traffic envelope in elements (0 = unlimited).
+    pub traffic_envelope: f64,
+    /// Transient-failure retries per job.
+    pub max_retries: usize,
+    /// First backoff delay; doubles per retry.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Batch-level cancel: cancelling it interrupts running jobs
+    /// (resumable) and keeps queued ones from starting.
+    pub cancel: Option<CancelToken>,
+    /// PR 5 JSONL metrics sink for per-job outcome records (appended).
+    pub metrics_path: Option<PathBuf>,
+}
+
+impl SupervisorConfig {
+    /// Defaults: checkpoint every iteration, one job at a time, one
+    /// thread, 16 MiB cache model, unlimited envelopes, 2 retries,
+    /// 100 ms base / 5 s cap backoff.
+    pub fn new(journal_path: impl Into<PathBuf>, checkpoint_dir: impl Into<PathBuf>) -> Self {
+        SupervisorConfig {
+            journal_path: journal_path.into(),
+            checkpoint_dir: checkpoint_dir.into(),
+            checkpoint_every: 1,
+            max_concurrent: 1,
+            threads_per_job: 1,
+            cache_bytes: 16 << 20,
+            memory_envelope: 0,
+            traffic_envelope: 0.0,
+            max_retries: 2,
+            backoff_base: Duration::from_millis(100),
+            backoff_cap: Duration::from_secs(5),
+            cancel: None,
+            metrics_path: None,
+        }
+    }
+}
+
+/// A job's externally visible state.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobStatus {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// An attempt is executing.
+    Running {
+        /// 1-based attempt number.
+        attempt: usize,
+    },
+    /// Converged (or hit the iteration cap) successfully.
+    Done {
+        /// Total attempts used.
+        attempts: usize,
+        /// Iterations executed (including replayed ones on resume).
+        iterations: usize,
+        /// Final fit.
+        final_fit: f64,
+    },
+    /// Terminal failure; the error is in [`Supervisor::take_result`].
+    Failed {
+        /// Total attempts used.
+        attempts: usize,
+        /// Display form of the terminal error.
+        error: String,
+    },
+    /// Refused at admission ([`StefError::Overloaded`]).
+    Shed,
+    /// Stopped by batch cancel or [`Supervisor::cancel`]; resumable
+    /// from its journaled checkpoint via [`Supervisor::resume`].
+    Interrupted,
+}
+
+impl JobStatus {
+    /// Whether the job can never run again in this batch.
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            JobStatus::Done { .. } | JobStatus::Failed { .. } | JobStatus::Shed
+        )
+    }
+}
+
+/// One journal line (after the checksum is stripped and verified).
+#[derive(Clone, Debug, PartialEq)]
+pub enum JournalRecord {
+    /// Job admitted; carries everything needed to re-run it.
+    Submitted {
+        id: usize,
+        spec: JobSpec,
+        price: JobPrice,
+    },
+    /// Job refused at admission.
+    Shed {
+        id: usize,
+        resource: String,
+        required: f64,
+        outstanding: f64,
+        envelope: f64,
+    },
+    /// An attempt began.
+    Started { id: usize, attempt: usize },
+    /// A checkpoint for `iteration` is durably on disk.
+    Checkpointed { id: usize, iteration: usize },
+    /// The engine degraded its plan to fit its budget.
+    Degraded { id: usize, detail: String },
+    /// A transient failure consumed one retry; `attempt` is the attempt
+    /// about to run after `backoff_ms`.
+    Retrying {
+        id: usize,
+        attempt: usize,
+        backoff_ms: u64,
+        error: String,
+    },
+    /// Cancelled cooperatively — unfinished, resumable.
+    Interrupted { id: usize },
+    /// Terminal failure.
+    Failed {
+        id: usize,
+        attempts: usize,
+        error: String,
+    },
+    /// Success.
+    Done {
+        id: usize,
+        attempts: usize,
+        iterations: usize,
+        fit: f64,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Journal encoding
+// ---------------------------------------------------------------------
+
+/// Bytes that pass through percent-encoding unescaped. Space, `%`, `!`
+/// (the checksum sigil) and anything non-printable must be escaped so a
+/// record stays one whitespace-tokenizable line.
+fn is_plain(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b':' | b'/' | b',' | b'+' | b'-' | b'=')
+}
+
+fn pct_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        if is_plain(b) {
+            out.push(b as char);
+        } else {
+            out.push_str(&format!("%{b:02x}"));
+        }
+    }
+    out
+}
+
+fn pct_decode(s: &str) -> Result<String, String> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3).ok_or("truncated %-escape")?;
+            let hex = std::str::from_utf8(hex).map_err(|_| "bad %-escape")?;
+            out.push(u8::from_str_radix(hex, 16).map_err(|_| "bad %-escape")?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| "decoded bytes not UTF-8".into())
+}
+
+impl JournalRecord {
+    /// Renders the record body (no checksum suffix, no newline).
+    fn encode(&self) -> String {
+        match self {
+            JournalRecord::Submitted { id, spec, price } => {
+                let deadline = match spec.deadline {
+                    Some(d) => d.as_millis().to_string(),
+                    None => "-".into(),
+                };
+                format!(
+                    "submitted {id} tensor={} rank={} iters={} tol={} seed={} engine={} \
+                     deadline_ms={deadline} mem={} traffic={}",
+                    pct_encode(&spec.tensor),
+                    spec.rank,
+                    spec.max_iters,
+                    hex_f64(spec.tol),
+                    spec.seed,
+                    pct_encode(&spec.engine),
+                    price.mem_bytes,
+                    hex_f64(price.traffic),
+                )
+            }
+            JournalRecord::Shed {
+                id,
+                resource,
+                required,
+                outstanding,
+                envelope,
+            } => format!(
+                "shed {id} resource={} required={} outstanding={} envelope={}",
+                pct_encode(resource),
+                hex_f64(*required),
+                hex_f64(*outstanding),
+                hex_f64(*envelope),
+            ),
+            JournalRecord::Started { id, attempt } => format!("started {id} attempt={attempt}"),
+            JournalRecord::Checkpointed { id, iteration } => {
+                format!("checkpointed {id} iteration={iteration}")
+            }
+            JournalRecord::Degraded { id, detail } => {
+                format!("degraded {id} detail={}", pct_encode(detail))
+            }
+            JournalRecord::Retrying {
+                id,
+                attempt,
+                backoff_ms,
+                error,
+            } => format!(
+                "retrying {id} attempt={attempt} backoff_ms={backoff_ms} error={}",
+                pct_encode(error)
+            ),
+            JournalRecord::Interrupted { id } => format!("interrupted {id}"),
+            JournalRecord::Failed {
+                id,
+                attempts,
+                error,
+            } => format!("failed {id} attempts={attempts} error={}", pct_encode(error)),
+            JournalRecord::Done {
+                id,
+                attempts,
+                iterations,
+                fit,
+            } => format!(
+                "done {id} attempts={attempts} iterations={iterations} fit={}",
+                hex_f64(*fit)
+            ),
+        }
+    }
+
+    /// Parses a verified record body.
+    fn decode(body: &str) -> Result<JournalRecord, String> {
+        let mut toks = body.split_whitespace();
+        let kind = toks.next().ok_or("empty record")?;
+        let id: usize = toks
+            .next()
+            .ok_or("missing job id")?
+            .parse()
+            .map_err(|_| "bad job id")?;
+        let kvs: Vec<(&str, &str)> = toks
+            .map(|t| t.split_once('=').ok_or_else(|| format!("bad field '{t}'")))
+            .collect::<Result<_, _>>()?;
+        let get = |key: &str| -> Result<&str, String> {
+            kvs.iter()
+                .find(|(k, _)| *k == key)
+                .map(|&(_, v)| v)
+                .ok_or_else(|| format!("missing field '{key}'"))
+        };
+        let num = |key: &str| -> Result<usize, String> {
+            get(key)?.parse().map_err(|_| format!("bad '{key}'"))
+        };
+        let f = |key: &str| -> Result<f64, String> {
+            parse_f64(get(key)?, key).map_err(|e| e.to_string())
+        };
+        Ok(match kind {
+            "submitted" => JournalRecord::Submitted {
+                id,
+                spec: JobSpec {
+                    tensor: pct_decode(get("tensor")?)?,
+                    rank: num("rank")?,
+                    max_iters: num("iters")?,
+                    tol: f("tol")?,
+                    seed: get("seed")?.parse().map_err(|_| "bad 'seed'")?,
+                    engine: pct_decode(get("engine")?)?,
+                    deadline: match get("deadline_ms")? {
+                        "-" => None,
+                        ms => Some(Duration::from_millis(
+                            ms.parse().map_err(|_| "bad 'deadline_ms'")?,
+                        )),
+                    },
+                },
+                price: JobPrice {
+                    mem_bytes: get("mem")?.parse().map_err(|_| "bad 'mem'")?,
+                    traffic: f("traffic")?,
+                },
+            },
+            "shed" => JournalRecord::Shed {
+                id,
+                resource: pct_decode(get("resource")?)?,
+                required: f("required")?,
+                outstanding: f("outstanding")?,
+                envelope: f("envelope")?,
+            },
+            "started" => JournalRecord::Started {
+                id,
+                attempt: num("attempt")?,
+            },
+            "checkpointed" => JournalRecord::Checkpointed {
+                id,
+                iteration: num("iteration")?,
+            },
+            "degraded" => JournalRecord::Degraded {
+                id,
+                detail: pct_decode(get("detail")?)?,
+            },
+            "retrying" => JournalRecord::Retrying {
+                id,
+                attempt: num("attempt")?,
+                backoff_ms: get("backoff_ms")?.parse().map_err(|_| "bad 'backoff_ms'")?,
+                error: pct_decode(get("error")?)?,
+            },
+            "interrupted" => JournalRecord::Interrupted { id },
+            "failed" => JournalRecord::Failed {
+                id,
+                attempts: num("attempts")?,
+                error: pct_decode(get("error")?)?,
+            },
+            "done" => JournalRecord::Done {
+                id,
+                attempts: num("attempts")?,
+                iterations: num("iterations")?,
+                fit: f("fit")?,
+            },
+            other => return Err(format!("unknown record kind '{other}'")),
+        })
+    }
+}
+
+/// The result of reading a journal back.
+#[derive(Debug)]
+pub struct JournalScan {
+    /// Verified records in append order.
+    pub records: Vec<JournalRecord>,
+    /// Whether a torn final line (crash mid-append) was dropped. Only
+    /// the *last* line may be bad — a bad line with valid lines after
+    /// it is corruption, not a crash, and errors instead.
+    pub torn_tail: bool,
+}
+
+/// Reads and verifies a journal file. Future-version or wrong-endian
+/// headers fail with [`StefError::CheckpointVersion`]; checksum or
+/// grammar damage anywhere but the final line fails with a corrupt
+/// [`StefError::Checkpoint`].
+pub fn scan_journal(path: &Path) -> Result<JournalScan, StefError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| StefError::Checkpoint(CheckpointError::Io(e)))?;
+    let mut lines = text.lines();
+    let header = lines.next().ok_or(StefError::Checkpoint(CheckpointError::Corrupt {
+        reason: "journal is empty".into(),
+    }))?;
+    parse_versioned_header(header, "stef-journal", JOURNAL_VERSION).map_err(StefError::from)?;
+
+    let body_lines: Vec<&str> = lines.collect();
+    let mut records = Vec::with_capacity(body_lines.len());
+    let mut torn_tail = false;
+    for (i, line) in body_lines.iter().enumerate() {
+        let last = i + 1 == body_lines.len();
+        match verify_line(line) {
+            Ok(record) => records.push(record),
+            Err(reason) if last => {
+                // A crash mid-append can only tear the final line.
+                let _ = reason;
+                torn_tail = true;
+            }
+            Err(reason) => {
+                return Err(StefError::Checkpoint(CheckpointError::Corrupt {
+                    reason: format!("journal line {}: {reason}", i + 2),
+                }))
+            }
+        }
+    }
+    Ok(JournalScan { records, torn_tail })
+}
+
+/// Checks one journal line's ` !<fnv64>` suffix and parses the body.
+fn verify_line(line: &str) -> Result<JournalRecord, String> {
+    let (body, sum) = line.rsplit_once(" !").ok_or("missing checksum suffix")?;
+    let want = u64::from_str_radix(sum.trim(), 16).map_err(|_| "bad checksum value")?;
+    let got = fnv64(body.as_bytes());
+    if got != want {
+        return Err(format!("checksum mismatch (stored {want:016x}, computed {got:016x})"));
+    }
+    JournalRecord::decode(body)
+}
+
+/// Append-only journal writer; every record is flushed and fsynced
+/// before the caller proceeds, so the journal never claims less than
+/// what happened.
+struct JournalWriter {
+    file: std::fs::File,
+}
+
+impl JournalWriter {
+    fn create(path: &Path) -> Result<JournalWriter, StefError> {
+        let mut file = std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)
+            .map_err(|e| StefError::Checkpoint(CheckpointError::Io(e)))?;
+        file.write_all(
+            format!("stef-journal v{JOURNAL_VERSION} {CHECKPOINT_ENDIANNESS}\n").as_bytes(),
+        )
+        .and_then(|_| file.sync_data())
+        .map_err(|e| StefError::Checkpoint(CheckpointError::Io(e)))?;
+        Ok(JournalWriter { file })
+    }
+
+    fn open_append(path: &Path) -> Result<JournalWriter, StefError> {
+        let file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(path)
+            .map_err(|e| StefError::Checkpoint(CheckpointError::Io(e)))?;
+        Ok(JournalWriter { file })
+    }
+
+    fn append(&mut self, record: &JournalRecord) -> Result<(), StefError> {
+        let body = record.encode();
+        let line = format!("{body} !{:016x}\n", fnv64(body.as_bytes()));
+        self.file
+            .write_all(line.as_bytes())
+            .and_then(|_| self.file.sync_data())
+            .map_err(|e| StefError::Checkpoint(CheckpointError::Io(e)))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Supervisor
+// ---------------------------------------------------------------------
+
+struct Job {
+    spec: JobSpec,
+    price: JobPrice,
+    status: JobStatus,
+    token: CancelToken,
+    /// Loaded eagerly at submit (pricing needs it anyway); resumed jobs
+    /// reload lazily at run time.
+    tensor: Option<CooTensor>,
+    retries_used: usize,
+    result: Option<Result<CpdResult, StefError>>,
+}
+
+struct Inner {
+    jobs: Vec<Job>,
+    /// Admitted, not-yet-claimed job ids.
+    queue: Vec<usize>,
+    outstanding_mem: u64,
+    outstanding_traffic: f64,
+}
+
+/// Summary of a drained batch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchReport {
+    /// `(job id, final status)` for every submitted or shed job.
+    pub outcomes: Vec<(usize, JobStatus)>,
+}
+
+impl BatchReport {
+    fn count(&self, f: impl Fn(&JobStatus) -> bool) -> usize {
+        self.outcomes.iter().filter(|(_, s)| f(s)).count()
+    }
+
+    /// Jobs that finished successfully.
+    pub fn done(&self) -> usize {
+        self.count(|s| matches!(s, JobStatus::Done { .. }))
+    }
+
+    /// Jobs that failed terminally.
+    pub fn failed(&self) -> usize {
+        self.count(|s| matches!(s, JobStatus::Failed { .. }))
+    }
+
+    /// Jobs shed at admission.
+    pub fn shed(&self) -> usize {
+        self.count(|s| matches!(s, JobStatus::Shed))
+    }
+
+    /// Jobs interrupted (resumable).
+    pub fn interrupted(&self) -> usize {
+        self.count(|s| matches!(s, JobStatus::Interrupted))
+    }
+
+    /// The batch-level error a CLI should exit with, worst-first:
+    /// interruption (the batch is unfinished) beats shedding beats
+    /// terminal job failures; a fully successful batch returns `None`.
+    pub fn exit_error(&self) -> Option<StefError> {
+        if self.interrupted() > 0 {
+            return Some(StefError::Cancelled {
+                iteration: 0,
+                deadline: false,
+                checkpoint_iteration: None,
+            });
+        }
+        if let Some((_, JobStatus::Shed)) = self
+            .outcomes
+            .iter()
+            .find(|(_, s)| matches!(s, JobStatus::Shed))
+        {
+            return Some(StefError::Overloaded {
+                resource: "batch",
+                required: self.shed() as f64,
+                outstanding: 0.0,
+                envelope: 0.0,
+            });
+        }
+        if self.failed() > 0 {
+            return Some(StefError::BatchFailed {
+                failed: self.failed(),
+                total: self.outcomes.len(),
+            });
+        }
+        None
+    }
+}
+
+/// The multi-job runtime. All methods take `&self`; the supervisor is
+/// shared freely across threads.
+pub struct Supervisor {
+    cfg: SupervisorConfig,
+    loader: TensorLoader,
+    factory: EngineFactory,
+    inner: Mutex<Inner>,
+    /// `Arc` so checkpoint hooks (which must be `'static` for
+    /// `CpdOptions`) can journal without borrowing the supervisor.
+    journal: Arc<Mutex<JournalWriter>>,
+    metrics: Option<Mutex<std::fs::File>>,
+    /// Set while `run_all` drains, so `submit` after the drain starts
+    /// still works (jobs submitted mid-run are picked up by workers).
+    draining: AtomicBool,
+}
+
+impl Supervisor {
+    /// Starts a fresh batch. Fails if `journal_path` already exists —
+    /// an existing journal is a crashed batch's record of truth, and
+    /// silently truncating it would destroy the resume story; pass it
+    /// to [`Supervisor::resume`] or delete it explicitly.
+    pub fn new(
+        cfg: SupervisorConfig,
+        loader: TensorLoader,
+        factory: EngineFactory,
+    ) -> Result<Supervisor, StefError> {
+        if cfg.journal_path.exists() {
+            return Err(StefError::Input(format!(
+                "journal '{}' already exists; resume it or remove it first",
+                cfg.journal_path.display()
+            )));
+        }
+        std::fs::create_dir_all(&cfg.checkpoint_dir)
+            .map_err(|e| StefError::Checkpoint(CheckpointError::Io(e)))?;
+        if let Some(parent) = cfg.journal_path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| StefError::Checkpoint(CheckpointError::Io(e)))?;
+            }
+        }
+        let journal = JournalWriter::create(&cfg.journal_path)?;
+        Self::build(cfg, loader, factory, journal, Vec::new())
+    }
+
+    /// Reopens a crashed or interrupted batch: reads the journal,
+    /// treats every job without a terminal record (`done`, `failed`,
+    /// `shed`) as unfinished, and re-queues it to restart from its
+    /// latest on-disk checkpoint. Retry budgets already consumed stay
+    /// consumed. The journal is appended to, not rewritten.
+    pub fn resume(
+        cfg: SupervisorConfig,
+        loader: TensorLoader,
+        factory: EngineFactory,
+    ) -> Result<Supervisor, StefError> {
+        let scan = scan_journal(&cfg.journal_path)?;
+        std::fs::create_dir_all(&cfg.checkpoint_dir)
+            .map_err(|e| StefError::Checkpoint(CheckpointError::Io(e)))?;
+        let journal = JournalWriter::open_append(&cfg.journal_path)?;
+        Self::build(cfg, loader, factory, journal, scan.records)
+    }
+
+    fn build(
+        cfg: SupervisorConfig,
+        loader: TensorLoader,
+        factory: EngineFactory,
+        journal: JournalWriter,
+        history: Vec<JournalRecord>,
+    ) -> Result<Supervisor, StefError> {
+        let metrics = match &cfg.metrics_path {
+            Some(path) => Some(Mutex::new(
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| StefError::Checkpoint(CheckpointError::Io(e)))?,
+            )),
+            None => None,
+        };
+        let mut inner = Inner {
+            jobs: Vec::new(),
+            queue: Vec::new(),
+            outstanding_mem: 0,
+            outstanding_traffic: 0.0,
+        };
+        for record in history {
+            replay(&mut inner, record);
+        }
+        // Everything non-terminal is unfinished: re-queue it and
+        // re-commit its price against the envelope.
+        for (id, job) in inner.jobs.iter_mut().enumerate() {
+            if !job.status.is_terminal() {
+                job.status = JobStatus::Queued;
+                job.token = CancelToken::new();
+                inner.queue.push(id);
+                inner.outstanding_mem += job.price.mem_bytes;
+                inner.outstanding_traffic += job.price.traffic;
+            }
+        }
+        Ok(Supervisor {
+            cfg,
+            loader,
+            factory,
+            inner: Mutex::new(inner),
+            journal: Arc::new(Mutex::new(journal)),
+            metrics,
+            draining: AtomicBool::new(false),
+        })
+    }
+
+    /// Prices `spec`, checks it against the envelope, and either queues
+    /// it (returning its job id) or sheds it with
+    /// [`StefError::Overloaded`]. Both outcomes are journaled before
+    /// this returns.
+    pub fn submit(&self, spec: JobSpec) -> Result<usize, StefError> {
+        let tensor = (self.loader)(&spec.tensor)?;
+        let price = price_job(
+            &tensor,
+            spec.rank,
+            self.cfg.threads_per_job,
+            self.cfg.cache_bytes,
+        );
+        let mut inner = lock_unpoisoned(&self.inner);
+        let id = inner.jobs.len();
+        let over = |required: f64, outstanding: f64, envelope: f64| {
+            envelope > 0.0 && outstanding + required > envelope
+        };
+        let shed_as = if over(
+            price.mem_bytes as f64,
+            inner.outstanding_mem as f64,
+            self.cfg.memory_envelope as f64,
+        ) {
+            Some((
+                "memory",
+                price.mem_bytes as f64,
+                inner.outstanding_mem as f64,
+                self.cfg.memory_envelope as f64,
+            ))
+        } else if over(
+            price.traffic,
+            inner.outstanding_traffic,
+            self.cfg.traffic_envelope,
+        ) {
+            Some((
+                "traffic",
+                price.traffic,
+                inner.outstanding_traffic,
+                self.cfg.traffic_envelope,
+            ))
+        } else {
+            None
+        };
+        if let Some((resource, required, outstanding, envelope)) = shed_as {
+            self.journal_append(&JournalRecord::Shed {
+                id,
+                resource: resource.into(),
+                required,
+                outstanding,
+                envelope,
+            })?;
+            inner.jobs.push(Job {
+                spec,
+                price,
+                status: JobStatus::Shed,
+                token: CancelToken::new(),
+                tensor: None,
+                retries_used: 0,
+                result: None,
+            });
+            return Err(StefError::Overloaded {
+                resource,
+                required,
+                outstanding,
+                envelope,
+            });
+        }
+        self.journal_append(&JournalRecord::Submitted {
+            id,
+            spec: spec.clone(),
+            price,
+        })?;
+        inner.outstanding_mem += price.mem_bytes;
+        inner.outstanding_traffic += price.traffic;
+        inner.jobs.push(Job {
+            spec,
+            price,
+            status: JobStatus::Queued,
+            token: CancelToken::new(),
+            tensor: Some(tensor),
+            retries_used: 0,
+            result: None,
+        });
+        inner.queue.push(id);
+        Ok(id)
+    }
+
+    /// The job's current status, or `None` for an unknown id.
+    pub fn status(&self, id: usize) -> Option<JobStatus> {
+        lock_unpoisoned(&self.inner)
+            .jobs
+            .get(id)
+            .map(|j| j.status.clone())
+    }
+
+    /// Cancels one job: a queued job is marked interrupted without ever
+    /// starting; a running job's token is cancelled and the driver
+    /// checkpoints on its way out. Returns `false` for unknown or
+    /// already-terminal jobs.
+    pub fn cancel(&self, id: usize) -> bool {
+        let mut inner = lock_unpoisoned(&self.inner);
+        let status = match inner.jobs.get(id) {
+            Some(job) => job.status.clone(),
+            None => return false,
+        };
+        match status {
+            JobStatus::Queued => {
+                inner.jobs[id].status = JobStatus::Interrupted;
+                inner.queue.retain(|&q| q != id);
+                Self::release_price(&mut inner, id);
+                drop(inner);
+                let _ = self.journal_append(&JournalRecord::Interrupted { id });
+                true
+            }
+            JobStatus::Running { .. } => {
+                inner.jobs[id].token.cancel();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Moves the job's final result out, once it is terminal.
+    pub fn take_result(&self, id: usize) -> Option<Result<CpdResult, StefError>> {
+        lock_unpoisoned(&self.inner)
+            .jobs
+            .get_mut(id)
+            .and_then(|j| j.result.take())
+    }
+
+    /// Drains the queue: runs every admitted job to a journaled outcome
+    /// on up to `max_concurrent` worker threads, honoring the batch
+    /// cancel token, and reports the final per-job statuses.
+    pub fn run_all(&self) -> BatchReport {
+        self.draining.store(true, Ordering::Release);
+        let workers = self.cfg.max_concurrent.max(1);
+        let drained = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers).map(|_| s.spawn(|| self.worker_loop())).collect();
+            // Batch-cancel propagation: cancelling the batch token must
+            // reach jobs already running on their own tokens.
+            let propagator = self.cfg.cancel.clone().map(|batch| {
+                let drained = &drained;
+                s.spawn(move || {
+                    while !drained.load(Ordering::Acquire) {
+                        if batch.is_cancelled() {
+                            for job in lock_unpoisoned(&self.inner).jobs.iter() {
+                                if matches!(job.status, JobStatus::Running { .. }) {
+                                    job.token.cancel();
+                                }
+                            }
+                        }
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                })
+            });
+            for h in handles {
+                let _ = h.join();
+            }
+            drained.store(true, Ordering::Release);
+            if let Some(p) = propagator {
+                let _ = p.join();
+            }
+        });
+        self.draining.store(false, Ordering::Release);
+        self.report()
+    }
+
+    /// Final statuses for every job seen so far.
+    pub fn report(&self) -> BatchReport {
+        let inner = lock_unpoisoned(&self.inner);
+        BatchReport {
+            outcomes: inner
+                .jobs
+                .iter()
+                .enumerate()
+                .map(|(id, j)| (id, j.status.clone()))
+                .collect(),
+        }
+    }
+
+    fn batch_cancelled(&self) -> bool {
+        self.cfg.cancel.as_ref().is_some_and(|t| t.is_cancelled())
+    }
+
+    fn journal_append(&self, record: &JournalRecord) -> Result<(), StefError> {
+        lock_unpoisoned(&self.journal).append(record)
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            if self.batch_cancelled() {
+                self.interrupt_queued();
+                return;
+            }
+            let claimed = {
+                let mut inner = lock_unpoisoned(&self.inner);
+                claim_next(&mut inner)
+            };
+            match claimed {
+                Some(id) => self.run_job(id),
+                None => return,
+            }
+        }
+    }
+
+    /// Marks every still-queued job interrupted (batch cancel observed
+    /// before it started). Idempotent across racing workers: the queue
+    /// is drained under the lock.
+    fn interrupt_queued(&self) {
+        let ids: Vec<usize> = {
+            let mut inner = lock_unpoisoned(&self.inner);
+            let ids = std::mem::take(&mut inner.queue);
+            for &id in &ids {
+                let price = inner.jobs[id].price;
+                inner.jobs[id].status = JobStatus::Interrupted;
+                inner.outstanding_mem = inner.outstanding_mem.saturating_sub(price.mem_bytes);
+                inner.outstanding_traffic -= price.traffic;
+            }
+            ids
+        };
+        for id in ids {
+            let _ = self.journal_append(&JournalRecord::Interrupted { id });
+        }
+    }
+
+    fn checkpoint_path(&self, id: usize) -> PathBuf {
+        self.cfg.checkpoint_dir.join(format!("job-{id}.ckpt"))
+    }
+
+    fn run_job(&self, id: usize) {
+        let start = Instant::now();
+        let (spec, token, mut tensor, retries_already_used) = {
+            let mut inner = lock_unpoisoned(&self.inner);
+            let job = &mut inner.jobs[id];
+            (
+                job.spec.clone(),
+                job.token.clone(),
+                job.tensor.take(),
+                job.retries_used,
+            )
+        };
+        if tensor.is_none() {
+            // Resumed job: the tensor was never loaded in this process.
+            match (self.loader)(&spec.tensor) {
+                Ok(t) => tensor = Some(t),
+                Err(e) => {
+                    // Loading can itself be transiently unlucky, but
+                    // without a tensor there is nothing to retry against;
+                    // classify and finish.
+                    self.finish_failed(id, retries_already_used + 1, e, start);
+                    return;
+                }
+            }
+        }
+        let tensor = tensor.expect("loaded above");
+        if let Some(deadline) = spec.deadline {
+            if !token.deadline_armed() {
+                token.set_deadline(deadline);
+            }
+        }
+        let ckpt_path = self.checkpoint_path(id);
+        let mut attempt = retries_already_used + 1;
+        loop {
+            {
+                let mut inner = lock_unpoisoned(&self.inner);
+                inner.jobs[id].status = JobStatus::Running { attempt };
+            }
+            if self.journal_append(&JournalRecord::Started { id, attempt }).is_err() {
+                // A dead journal means no outcome can be made durable;
+                // stop rather than run unjournaled work.
+                self.finish_interrupted(id, start);
+                return;
+            }
+            let resume = match Checkpoint::load(&ckpt_path) {
+                Ok(cp) => Some(cp),
+                Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => None,
+                Err(e) => {
+                    // A damaged checkpoint costs the progress it held,
+                    // never the job: journal the downgrade, start fresh.
+                    let _ = self.journal_append(&JournalRecord::Degraded {
+                        id,
+                        detail: format!("checkpoint unusable, restarting from scratch: {e}"),
+                    });
+                    None
+                }
+            };
+            let outcome = (self.factory)(
+                &spec,
+                &tensor,
+                &token,
+                JobAttempt { job: id, attempt },
+            )
+            .and_then(|mut engine| {
+                let opts = CpdOptions {
+                    rank: spec.rank,
+                    max_iters: spec.max_iters,
+                    tol: spec.tol,
+                    seed: spec.seed,
+                    recovery: Default::default(),
+                    checkpoint: Some(CheckpointPolicy::new(
+                        &ckpt_path,
+                        self.cfg.checkpoint_every.max(1),
+                    )),
+                    resume,
+                    cancel: Some(token.clone()),
+                    on_checkpoint: Some(self.checkpoint_hook(id)),
+                };
+                cpd_als(engine.as_mut(), &opts)
+            });
+            match outcome {
+                Ok(result) => {
+                    for event in &result.degradations {
+                        let _ = self.journal_append(&JournalRecord::Degraded {
+                            id,
+                            detail: format!("{event:?}"),
+                        });
+                    }
+                    self.finish_done(id, attempt, result, start);
+                    return;
+                }
+                Err(StefError::Cancelled { deadline: false, .. }) => {
+                    // Batch cancel or explicit per-job cancel: the job
+                    // is unfinished and resumable from its checkpoint.
+                    self.finish_interrupted(id, start);
+                    return;
+                }
+                Err(e) => {
+                    let deadline_expired =
+                        matches!(e, StefError::Cancelled { deadline: true, .. });
+                    let retryable = !deadline_expired && is_retryable(&e);
+                    let retries_used = attempt - 1 + usize::from(retryable);
+                    if retryable && retries_used <= self.cfg.max_retries {
+                        let delay = backoff_delay(&self.cfg, id, attempt);
+                        {
+                            let mut inner = lock_unpoisoned(&self.inner);
+                            inner.jobs[id].retries_used = retries_used;
+                        }
+                        let _ = self.journal_append(&JournalRecord::Retrying {
+                            id,
+                            attempt: attempt + 1,
+                            backoff_ms: delay.as_millis() as u64,
+                            error: e.to_string(),
+                        });
+                        if !self.responsive_sleep(delay, &token) {
+                            self.finish_interrupted(id, start);
+                            return;
+                        }
+                        attempt += 1;
+                        continue;
+                    }
+                    self.finish_failed(id, attempt, e, start);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn checkpoint_hook(&self, id: usize) -> CheckpointHook {
+        let journal = Arc::clone(&self.journal);
+        CheckpointHook::new(move |iteration| {
+            let _ = lock_unpoisoned(&journal).append(&JournalRecord::Checkpointed { id, iteration });
+        })
+    }
+
+    /// Sleeps in small slices, returning `false` when the job's token or
+    /// the batch token fired (the backoff should not outlive a cancel).
+    fn responsive_sleep(&self, total: Duration, token: &CancelToken) -> bool {
+        let until = Instant::now() + total;
+        while Instant::now() < until {
+            if token.is_cancelled() || self.batch_cancelled() {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(10).min(until - Instant::now()));
+        }
+        true
+    }
+
+    fn release_price(inner: &mut Inner, id: usize) {
+        let price = inner.jobs[id].price;
+        inner.outstanding_mem = inner.outstanding_mem.saturating_sub(price.mem_bytes);
+        inner.outstanding_traffic -= price.traffic;
+    }
+
+    fn finish_done(&self, id: usize, attempts: usize, result: CpdResult, start: Instant) {
+        let iterations = result.iterations;
+        let fit = result.final_fit();
+        let _ = self.journal_append(&JournalRecord::Done {
+            id,
+            attempts,
+            iterations,
+            fit,
+        });
+        {
+            let mut inner = lock_unpoisoned(&self.inner);
+            Self::release_price(&mut inner, id);
+            inner.jobs[id].status = JobStatus::Done {
+                attempts,
+                iterations,
+                final_fit: fit,
+            };
+            inner.jobs[id].result = Some(Ok(result));
+        }
+        self.emit_metrics(id, "done", attempts, Some((iterations, fit)), None, start);
+    }
+
+    fn finish_failed(&self, id: usize, attempts: usize, error: StefError, start: Instant) {
+        let msg = error.to_string();
+        let _ = self.journal_append(&JournalRecord::Failed {
+            id,
+            attempts,
+            error: msg.clone(),
+        });
+        {
+            let mut inner = lock_unpoisoned(&self.inner);
+            Self::release_price(&mut inner, id);
+            inner.jobs[id].status = JobStatus::Failed {
+                attempts,
+                error: msg.clone(),
+            };
+            inner.jobs[id].result = Some(Err(error));
+        }
+        self.emit_metrics(id, "failed", attempts, None, Some(&msg), start);
+    }
+
+    fn finish_interrupted(&self, id: usize, start: Instant) {
+        let _ = self.journal_append(&JournalRecord::Interrupted { id });
+        let attempts = {
+            let mut inner = lock_unpoisoned(&self.inner);
+            Self::release_price(&mut inner, id);
+            let attempts = match inner.jobs[id].status {
+                JobStatus::Running { attempt } => attempt,
+                _ => 0,
+            };
+            inner.jobs[id].status = JobStatus::Interrupted;
+            attempts
+        };
+        self.emit_metrics(id, "interrupted", attempts, None, None, start);
+    }
+
+    /// Appends one `kind:"batch_job"` JSONL record to the PR 5 metrics
+    /// sink, best-effort (metrics never fail a job).
+    fn emit_metrics(
+        &self,
+        id: usize,
+        outcome: &str,
+        attempts: usize,
+        done: Option<(usize, f64)>,
+        error: Option<&str>,
+        start: Instant,
+    ) {
+        let Some(metrics) = &self.metrics else { return };
+        let inner = lock_unpoisoned(&self.inner);
+        let job = &inner.jobs[id];
+        let mut line = format!(
+            "{{\"schema\":1,\"kind\":\"batch_job\",\"id\":{id},\"tensor\":{},\"engine\":{},\
+             \"outcome\":\"{outcome}\",\"attempts\":{attempts},\"mem_price_bytes\":{},\
+             \"traffic_price\":{},\"wall_s\":{:.6}",
+            json_str(&job.spec.tensor),
+            json_str(&job.spec.engine),
+            job.price.mem_bytes,
+            json_num(job.price.traffic),
+            start.elapsed().as_secs_f64(),
+        );
+        if let Some((iterations, fit)) = done {
+            line.push_str(&format!(
+                ",\"iterations\":{iterations},\"final_fit\":{}",
+                json_num(fit)
+            ));
+        }
+        if let Some(e) = error {
+            line.push_str(&format!(",\"error\":{}", json_str(e)));
+        }
+        line.push_str("}\n");
+        drop(inner);
+        let mut file = lock_unpoisoned(metrics);
+        let _ = file.write_all(line.as_bytes());
+    }
+}
+
+/// Claims the next queued job, nearest deadline first (`None` last),
+/// submit order as the tiebreak.
+fn claim_next(inner: &mut Inner) -> Option<usize> {
+    let pos = inner
+        .queue
+        .iter()
+        .enumerate()
+        .min_by_key(|&(_, &id)| {
+            let d = inner.jobs[id]
+                .spec
+                .deadline
+                .map_or(u128::MAX, |d| d.as_nanos());
+            (d, id)
+        })
+        .map(|(pos, _)| pos)?;
+    Some(inner.queue.swap_remove(pos))
+}
+
+/// Capped exponential backoff with deterministic FNV-derived jitter:
+/// `min(cap, base·2^(attempt-1)) + fnv(id, attempt) mod base`. The
+/// jitter decorrelates jobs retrying in lockstep without pulling a
+/// clock or an RNG into the supervisor's determinism story.
+fn backoff_delay(cfg: &SupervisorConfig, id: usize, attempt: usize) -> Duration {
+    let base = (cfg.backoff_base.as_millis() as u64).max(1);
+    let cap = (cfg.backoff_cap.as_millis() as u64).max(base);
+    let exp = base.saturating_mul(1u64 << (attempt.min(16) - 1).min(63));
+    let jitter = fnv64(format!("{id}:{attempt}").as_bytes()) % base;
+    Duration::from_millis(exp.min(cap) + jitter)
+}
+
+/// Folds one journal record into the reconstructed state (resume path).
+fn replay(inner: &mut Inner, record: JournalRecord) {
+    let ensure = |inner: &mut Inner, id: usize| {
+        while inner.jobs.len() <= id {
+            inner.jobs.push(Job {
+                spec: JobSpec::new("", 1),
+                price: JobPrice {
+                    mem_bytes: 0,
+                    traffic: 0.0,
+                },
+                status: JobStatus::Queued,
+                token: CancelToken::new(),
+                tensor: None,
+                retries_used: 0,
+                result: None,
+            });
+        }
+    };
+    match record {
+        JournalRecord::Submitted { id, spec, price } => {
+            ensure(inner, id);
+            inner.jobs[id].spec = spec;
+            inner.jobs[id].price = price;
+            inner.jobs[id].status = JobStatus::Queued;
+        }
+        JournalRecord::Shed { id, .. } => {
+            ensure(inner, id);
+            inner.jobs[id].status = JobStatus::Shed;
+        }
+        JournalRecord::Started { id, attempt } => {
+            ensure(inner, id);
+            inner.jobs[id].status = JobStatus::Running { attempt };
+        }
+        JournalRecord::Checkpointed { .. } | JournalRecord::Degraded { .. } => {}
+        JournalRecord::Retrying { id, attempt, .. } => {
+            ensure(inner, id);
+            // `attempt` is the next attempt; attempts 1..attempt-1 burned
+            // attempt-1 retries... minus the free first attempt.
+            inner.jobs[id].retries_used = attempt.saturating_sub(1);
+        }
+        JournalRecord::Interrupted { id } => {
+            ensure(inner, id);
+            inner.jobs[id].status = JobStatus::Interrupted;
+        }
+        JournalRecord::Failed {
+            id,
+            attempts,
+            error,
+        } => {
+            ensure(inner, id);
+            inner.jobs[id].status = JobStatus::Failed { attempts, error };
+        }
+        JournalRecord::Done {
+            id,
+            attempts,
+            iterations,
+            fit,
+        } => {
+            ensure(inner, id);
+            inner.jobs[id].status = JobStatus::Done {
+                attempts,
+                iterations,
+                final_fit: fit,
+            };
+        }
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ReferenceEngine;
+    use crate::fault::{Fault, FaultyEngine};
+    use std::sync::atomic::AtomicUsize;
+    use workloads::power_law_tensor;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("stef-supervisor-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn test_loader() -> TensorLoader {
+        Arc::new(|spec: &str| {
+            // "pl:<d0>x<d1>x<d2>:<nnz>:<seed>"
+            let parts: Vec<&str> = spec.split(':').collect();
+            if parts.len() != 4 || parts[0] != "pl" {
+                return Err(StefError::Input(format!("bad test spec '{spec}'")));
+            }
+            let dims: Vec<usize> = parts[1].split('x').map(|t| t.parse().unwrap()).collect();
+            let nnz: usize = parts[2].parse().unwrap();
+            let seed: u64 = parts[3].parse().unwrap();
+            let skews = vec![0.5; dims.len()];
+            Ok(power_law_tensor(&dims, nnz, &skews, seed))
+        })
+    }
+
+    fn reference_factory() -> EngineFactory {
+        Arc::new(|_spec, tensor, _token, _attempt| {
+            Ok(Box::new(ReferenceEngine::new(tensor.clone())) as Box<dyn MttkrpEngine>)
+        })
+    }
+
+    fn cfg_in(dir: &Path) -> SupervisorConfig {
+        let mut cfg = SupervisorConfig::new(dir.join("batch.journal"), dir.join("ckpts"));
+        cfg.backoff_base = Duration::from_millis(1);
+        cfg.backoff_cap = Duration::from_millis(4);
+        cfg
+    }
+
+    #[test]
+    fn journal_records_round_trip() {
+        let records = vec![
+            JournalRecord::Submitted {
+                id: 0,
+                spec: JobSpec {
+                    tensor: "suite:amazon reviews.tns".into(),
+                    rank: 8,
+                    max_iters: 30,
+                    tol: 1e-6,
+                    seed: 7,
+                    engine: "stef2".into(),
+                    deadline: Some(Duration::from_millis(1500)),
+                },
+                price: JobPrice {
+                    mem_bytes: 123_456,
+                    traffic: 9.25e7,
+                },
+            },
+            JournalRecord::Shed {
+                id: 1,
+                resource: "memory".into(),
+                required: 2.0e9,
+                outstanding: 7.5e9,
+                envelope: 8.0e9,
+            },
+            JournalRecord::Started { id: 0, attempt: 1 },
+            JournalRecord::Checkpointed { id: 0, iteration: 12 },
+            JournalRecord::Degraded {
+                id: 0,
+                detail: "MemoDropped { level: 1, bytes: 640 }".into(),
+            },
+            JournalRecord::Retrying {
+                id: 0,
+                attempt: 2,
+                backoff_ms: 103,
+                error: "worker panic at iteration 3 (pool healed): boom!".into(),
+            },
+            JournalRecord::Interrupted { id: 0 },
+            JournalRecord::Failed {
+                id: 0,
+                attempts: 3,
+                error: "I/O error: no space % left !".into(),
+            },
+            JournalRecord::Done {
+                id: 0,
+                attempts: 2,
+                iterations: 30,
+                fit: 0.953,
+            },
+        ];
+        for r in &records {
+            let body = r.encode();
+            let back = JournalRecord::decode(&body).expect(&body);
+            assert_eq!(&back, r, "{body}");
+        }
+    }
+
+    #[test]
+    fn journal_file_scan_tolerates_torn_tail_only() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("j.journal");
+        let mut w = JournalWriter::create(&path).unwrap();
+        w.append(&JournalRecord::Started { id: 0, attempt: 1 }).unwrap();
+        w.append(&JournalRecord::Checkpointed { id: 0, iteration: 3 }).unwrap();
+        drop(w);
+
+        // Torn final line: scan succeeds, drops it, flags it.
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 7]).unwrap();
+        let scan = scan_journal(&path).unwrap();
+        assert!(scan.torn_tail);
+        assert_eq!(scan.records.len(), 1);
+
+        // The same damage mid-file (valid line after it) is corruption.
+        std::fs::write(&path, full.replace("started 0", "started 9")).unwrap();
+        match scan_journal(&path) {
+            Err(StefError::Checkpoint(CheckpointError::Corrupt { reason })) => {
+                assert!(reason.contains("line 2"), "{reason}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn journal_future_version_is_typed() {
+        let dir = tmp_dir("ver");
+        let path = dir.join("j.journal");
+        std::fs::write(&path, "stef-journal v99 be\n").unwrap();
+        match scan_journal(&path) {
+            Err(StefError::CheckpointVersion { found: 99, .. }) => {}
+            other => panic!("expected CheckpointVersion, got {other:?}"),
+        }
+        std::fs::write(&path, "stef-journal v1 le\n").unwrap();
+        assert!(matches!(
+            scan_journal(&path),
+            Err(StefError::CheckpointVersion { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_runs_to_done_and_results_are_takeable() {
+        let dir = tmp_dir("done");
+        let sup = Supervisor::new(cfg_in(&dir), test_loader(), reference_factory()).unwrap();
+        let a = sup.submit(JobSpec::new("pl:12x10x8:300:1", 3)).unwrap();
+        let b = sup.submit(JobSpec::new("pl:10x9x8:250:2", 2)).unwrap();
+        let report = sup.run_all();
+        assert_eq!(report.done(), 2, "{report:?}");
+        assert!(report.exit_error().is_none());
+        for id in [a, b] {
+            assert!(matches!(sup.status(id), Some(JobStatus::Done { .. })));
+            assert!(sup.take_result(id).unwrap().is_ok());
+            assert!(sup.take_result(id).is_none(), "result moves out once");
+        }
+        // The journal ends with terminal records for both jobs.
+        let scan = scan_journal(&dir.join("batch.journal")).unwrap();
+        let done_ids: Vec<usize> = scan
+            .records
+            .iter()
+            .filter_map(|r| match r {
+                JournalRecord::Done { id, .. } => Some(*id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(done_ids.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn over_envelope_submission_is_shed_and_admitted_jobs_finish() {
+        let dir = tmp_dir("shed");
+        let mut cfg = cfg_in(&dir);
+        let probe = power_law_tensor(&[12, 10, 8], 300, &[0.5, 0.5, 0.5], 1);
+        let price = price_job(&probe, 3, 1, cfg.cache_bytes);
+        // Room for exactly one copy of this job.
+        cfg.memory_envelope = price.mem_bytes + price.mem_bytes / 2;
+        let sup = Supervisor::new(cfg, test_loader(), reference_factory()).unwrap();
+        let admitted = sup.submit(JobSpec::new("pl:12x10x8:300:1", 3)).unwrap();
+        let err = sup.submit(JobSpec::new("pl:12x10x8:300:1", 3)).unwrap_err();
+        match &err {
+            StefError::Overloaded {
+                resource, envelope, ..
+            } => {
+                assert_eq!(*resource, "memory");
+                assert!(*envelope > 0.0);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        assert_eq!(sup.status(1), Some(JobStatus::Shed));
+        let report = sup.run_all();
+        assert_eq!(report.done(), 1);
+        assert_eq!(report.shed(), 1);
+        assert!(matches!(
+            report.exit_error(),
+            Some(StefError::Overloaded { .. })
+        ));
+        assert!(matches!(sup.status(admitted), Some(JobStatus::Done { .. })));
+        // Shedding is journaled.
+        let scan = scan_journal(&dir.join("batch.journal")).unwrap();
+        assert!(scan
+            .records
+            .iter()
+            .any(|r| matches!(r, JournalRecord::Shed { id: 1, .. })));
+        // The envelope drains with the batch: a resubmission now fits.
+        assert!(sup.submit(JobSpec::new("pl:12x10x8:300:1", 3)).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transient_failure_consumes_exactly_one_retry() {
+        let dir = tmp_dir("retry");
+        let built = Arc::new(AtomicUsize::new(0));
+        let b2 = built.clone();
+        let factory: EngineFactory = Arc::new(move |_spec, tensor, _token, at: JobAttempt| {
+            b2.fetch_add(1, Ordering::Relaxed);
+            let mut faults = Vec::new();
+            if at.attempt == 1 {
+                faults.push(Fault::TransientErrorOnce { at: 2 });
+            }
+            Ok(Box::new(FaultyEngine::new(ReferenceEngine::new(tensor.clone()), faults))
+                as Box<dyn MttkrpEngine>)
+        });
+        let sup = Supervisor::new(cfg_in(&dir), test_loader(), factory).unwrap();
+        let id = sup.submit(JobSpec::new("pl:12x10x8:300:3", 3)).unwrap();
+        let report = sup.run_all();
+        assert_eq!(report.done(), 1, "{report:?}");
+        match sup.status(id) {
+            Some(JobStatus::Done { attempts, .. }) => assert_eq!(attempts, 2),
+            other => panic!("expected Done after one retry, got {other:?}"),
+        }
+        assert_eq!(built.load(Ordering::Relaxed), 2, "one engine per attempt");
+        let scan = scan_journal(&dir.join("batch.journal")).unwrap();
+        let retries: Vec<&JournalRecord> = scan
+            .records
+            .iter()
+            .filter(|r| matches!(r, JournalRecord::Retrying { .. }))
+            .collect();
+        assert_eq!(retries.len(), 1, "exactly one retry journaled");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn terminal_errors_do_not_retry() {
+        let dir = tmp_dir("terminal");
+        let built = Arc::new(AtomicUsize::new(0));
+        let b2 = built.clone();
+        let factory: EngineFactory = Arc::new(move |_s, _t, _k, _a| {
+            b2.fetch_add(1, Ordering::Relaxed);
+            Err(StefError::Input("deliberately bad".into()))
+        });
+        let sup = Supervisor::new(cfg_in(&dir), test_loader(), factory).unwrap();
+        let id = sup.submit(JobSpec::new("pl:8x8x8:100:1", 2)).unwrap();
+        let report = sup.run_all();
+        assert_eq!(report.failed(), 1);
+        assert_eq!(built.load(Ordering::Relaxed), 1, "no retry for terminal errors");
+        assert!(matches!(
+            sup.take_result(id),
+            Some(Err(StefError::Input(_)))
+        ));
+        assert!(matches!(
+            report.exit_error(),
+            Some(StefError::BatchFailed { failed: 1, total: 1 })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_requeues_unfinished_jobs_and_completes() {
+        let dir = tmp_dir("resume");
+        let cfg = cfg_in(&dir);
+        {
+            let sup =
+                Supervisor::new(cfg.clone(), test_loader(), reference_factory()).unwrap();
+            sup.submit(JobSpec::new("pl:12x10x8:300:1", 3)).unwrap();
+            sup.submit(JobSpec::new("pl:10x9x8:250:2", 2)).unwrap();
+            // Simulate a crash: drop without running.
+        }
+        let sup = Supervisor::resume(cfg, test_loader(), reference_factory()).unwrap();
+        assert_eq!(sup.status(0), Some(JobStatus::Queued));
+        assert_eq!(sup.status(1), Some(JobStatus::Queued));
+        let report = sup.run_all();
+        assert_eq!(report.done(), 2, "{report:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fresh_supervisor_refuses_existing_journal() {
+        let dir = tmp_dir("refuse");
+        let cfg = cfg_in(&dir);
+        drop(Supervisor::new(cfg.clone(), test_loader(), reference_factory()).unwrap());
+        assert!(matches!(
+            Supervisor::new(cfg, test_loader(), reference_factory()),
+            Err(StefError::Input(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_cancel_interrupts_queued_jobs() {
+        let dir = tmp_dir("cancel");
+        let mut cfg = cfg_in(&dir);
+        let batch = CancelToken::new();
+        cfg.cancel = Some(batch.clone());
+        let sup = Supervisor::new(cfg, test_loader(), reference_factory()).unwrap();
+        sup.submit(JobSpec::new("pl:12x10x8:300:1", 3)).unwrap();
+        sup.submit(JobSpec::new("pl:10x9x8:250:2", 2)).unwrap();
+        batch.cancel();
+        let report = sup.run_all();
+        assert_eq!(report.interrupted(), 2, "{report:?}");
+        assert!(matches!(
+            report.exit_error(),
+            Some(StefError::Cancelled { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn deadline_orders_the_queue() {
+        let mut inner = Inner {
+            jobs: Vec::new(),
+            queue: Vec::new(),
+            outstanding_mem: 0,
+            outstanding_traffic: 0.0,
+        };
+        for deadline in [None, Some(Duration::from_secs(5)), Some(Duration::from_secs(1))] {
+            let mut spec = JobSpec::new("x", 1);
+            spec.deadline = deadline;
+            inner.jobs.push(Job {
+                spec,
+                price: JobPrice {
+                    mem_bytes: 0,
+                    traffic: 0.0,
+                },
+                status: JobStatus::Queued,
+                token: CancelToken::new(),
+                tensor: None,
+                retries_used: 0,
+                result: None,
+            });
+            inner.queue.push(inner.jobs.len() - 1);
+        }
+        assert_eq!(claim_next(&mut inner), Some(2), "1s deadline first");
+        assert_eq!(claim_next(&mut inner), Some(1), "5s next");
+        assert_eq!(claim_next(&mut inner), Some(0), "no deadline last");
+        assert_eq!(claim_next(&mut inner), None);
+    }
+
+    #[test]
+    fn backoff_is_capped_and_deterministic() {
+        let dir = tmp_dir("backoff");
+        let mut cfg = cfg_in(&dir);
+        cfg.backoff_base = Duration::from_millis(100);
+        cfg.backoff_cap = Duration::from_millis(400);
+        let d1 = backoff_delay(&cfg, 3, 1);
+        let d2 = backoff_delay(&cfg, 3, 1);
+        assert_eq!(d1, d2, "jitter is deterministic");
+        assert!(d1 >= Duration::from_millis(100) && d1 < Duration::from_millis(200));
+        // Attempt 10 hits the cap (+ jitter < base).
+        let big = backoff_delay(&cfg, 3, 10);
+        assert!(big >= Duration::from_millis(400) && big < Duration::from_millis(500));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_sink_gets_one_record_per_job() {
+        let dir = tmp_dir("metrics");
+        let mut cfg = cfg_in(&dir);
+        let metrics = dir.join("metrics.jsonl");
+        cfg.metrics_path = Some(metrics.clone());
+        let sup = Supervisor::new(cfg, test_loader(), reference_factory()).unwrap();
+        sup.submit(JobSpec::new("pl:12x10x8:300:1", 3)).unwrap();
+        sup.run_all();
+        let text = std::fs::read_to_string(&metrics).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("\"kind\":\"batch_job\""));
+        assert!(lines[0].contains("\"outcome\":\"done\""));
+        assert!(lines[0].contains("\"schema\":1"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -313,6 +313,51 @@ mod tests {
     }
 
     #[test]
+    fn lock_unpoisoned_recovers_a_poisoned_mutex() {
+        use std::sync::{Arc, Mutex};
+        let m = Arc::new(Mutex::new(41));
+        let m2 = Arc::clone(&m);
+        // Poison it: panic while holding the guard.
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(m.lock().is_err(), "mutex must actually be poisoned");
+        // The recovery path still hands out a usable guard...
+        *lock_unpoisoned(&m) += 1;
+        assert_eq!(*lock_unpoisoned(&m), 42);
+        // ...and keeps working on an unpoisoned mutex too.
+        let clean = Mutex::new(7);
+        assert_eq!(*lock_unpoisoned(&clean), 7);
+    }
+
+    #[test]
+    fn wait_unpoisoned_wakes_through_a_poisoned_pair() {
+        use std::sync::{Arc, Condvar, Mutex};
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        // Poison the mutex first, so the waiter's reacquire-after-wake
+        // goes down the recovery path.
+        let p3 = Arc::clone(&pair);
+        let _ = std::thread::spawn(move || {
+            let _g = p3.0.lock().unwrap();
+            panic!("poison the condvar's mutex");
+        })
+        .join();
+        let notifier = std::thread::spawn(move || {
+            *lock_unpoisoned(&p2.0) = true;
+            p2.1.notify_all();
+        });
+        let mut ready = lock_unpoisoned(&pair.0);
+        while !*ready {
+            ready = wait_unpoisoned(&pair.1, ready);
+        }
+        drop(ready);
+        notifier.join().unwrap();
+    }
+
+    #[test]
     fn row_read_back() {
         let mut buf = vec![1.0, 2.0, 3.0, 4.0];
         let shared = SharedRows::new(&mut buf, 2);

@@ -5,11 +5,14 @@
 //! fit of an unfaulted reference run.
 
 use linalg::Mat;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Duration;
 use stef::{
-    cpd_als, CancelToken, Checkpoint, CheckpointError, CheckpointPolicy, CpdOptions,
-    DegradationEvent, Fault, FaultyEngine, MemoPolicy, MttkrpEngine, Stef, StefError, StefOptions,
-    Workspace,
+    cpd_als, scan_journal, CancelToken, Checkpoint, CheckpointError, CheckpointPolicy, CpdOptions,
+    DegradationEvent, EngineFactory, Fault, FaultyEngine, JobSpec, JobStatus, JournalRecord,
+    MemoPolicy, MttkrpEngine, Stef, StefError, StefOptions, Supervisor, SupervisorConfig,
+    TensorLoader, Workspace,
 };
 use workloads::power_law_tensor;
 
@@ -439,4 +442,265 @@ fn persistent_fault_yields_typed_error_and_counts_injections() {
         other => panic!("expected NonFinite, got {other:?}"),
     }
     assert!(faulty.injected() >= 2, "retry paths should also be faulted");
+}
+
+// ---------------------------------------------------------------------
+// Supervised batches (stef::supervisor) under fault injection
+// ---------------------------------------------------------------------
+
+fn batch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("stef-fault-batch-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn batch_cfg(dir: &Path) -> SupervisorConfig {
+    let mut cfg = SupervisorConfig::new(dir.join("batch.journal"), dir.join("ckpts"));
+    cfg.backoff_base = Duration::from_millis(1);
+    cfg.backoff_cap = Duration::from_millis(2);
+    cfg
+}
+
+fn batch_loader() -> TensorLoader {
+    Arc::new(|_spec| Ok(test_tensor()))
+}
+
+/// Plain STeF factory matching `memoizing_options` + the job's token.
+fn stef_factory() -> EngineFactory {
+    Arc::new(|spec, tensor, token, _at| {
+        let mut o = memoizing_options(spec.rank);
+        o.cancel = Some(token.clone());
+        Ok(Box::new(Stef::try_prepare(tensor, o)?) as Box<dyn MttkrpEngine>)
+    })
+}
+
+/// Matches `base_opts(3)` so supervised results compare against plain
+/// `cpd_als` trajectories.
+fn batch_job() -> JobSpec {
+    let mut spec = JobSpec::new("fault:test", 3);
+    spec.max_iters = 8;
+    spec.tol = 0.0;
+    spec.seed = 21;
+    spec
+}
+
+/// Cancels its own job token right before MTTKRP call `at` — the
+/// in-process stand-in for a kill landing mid-sweep: the driver observes
+/// the token at the next boundary, checkpoints, and reports the job
+/// interrupted rather than failed.
+struct CancelAt<E> {
+    inner: E,
+    token: CancelToken,
+    at: usize,
+    calls: usize,
+}
+
+impl<E: MttkrpEngine> MttkrpEngine for CancelAt<E> {
+    fn dims(&self) -> &[usize] {
+        self.inner.dims()
+    }
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+    fn sweep_order(&self) -> Vec<usize> {
+        self.inner.sweep_order()
+    }
+    fn norm_sq(&self) -> f64 {
+        self.inner.norm_sq()
+    }
+    fn mttkrp(&mut self, factors: &[Mat], mode: usize) -> Mat {
+        if self.calls == self.at {
+            self.token.cancel();
+        }
+        self.calls += 1;
+        self.inner.mttkrp(factors, mode)
+    }
+    fn degrade_to_unmemoized(&mut self) -> bool {
+        self.inner.degrade_to_unmemoized()
+    }
+    fn degradations(&self) -> Vec<DegradationEvent> {
+        self.inner.degradations()
+    }
+}
+
+#[test]
+fn supervised_batch_interrupted_and_resumed_matches_uninterrupted() {
+    // Reference: the same job run by a supervisor nothing happens to.
+    let dir_clean = batch_dir("resume-clean");
+    let sup = Supervisor::new(batch_cfg(&dir_clean), batch_loader(), stef_factory()).unwrap();
+    let id = sup.submit(batch_job()).unwrap();
+    let report = sup.run_all();
+    assert_eq!(report.done(), 1, "{report:?}");
+    let clean = sup.take_result(id).unwrap().unwrap();
+
+    // Interrupted: the engine cancels its own token just before MTTKRP
+    // call 13 (mid-iteration 5 of 8), after several checkpoints exist.
+    let dir = batch_dir("resume-interrupted");
+    let cfg = batch_cfg(&dir);
+    let interrupting: EngineFactory = Arc::new(|spec, tensor, token, _at| {
+        let mut o = memoizing_options(spec.rank);
+        o.cancel = Some(token.clone());
+        Ok(Box::new(CancelAt {
+            inner: Stef::try_prepare(tensor, o)?,
+            token: token.clone(),
+            at: 13,
+            calls: 0,
+        }) as Box<dyn MttkrpEngine>)
+    });
+    let sup = Supervisor::new(cfg.clone(), batch_loader(), interrupting).unwrap();
+    let id = sup.submit(batch_job()).unwrap();
+    let report = sup.run_all();
+    assert_eq!(report.interrupted(), 1, "{report:?}");
+    assert_eq!(sup.status(id), Some(JobStatus::Interrupted));
+    match report.exit_error() {
+        Some(StefError::Cancelled { deadline: false, .. }) => {}
+        other => panic!("expected resumable Cancelled, got {other:?}"),
+    }
+    drop(sup);
+
+    // "New process": resume from the journal with a clean factory.
+    let sup = Supervisor::resume(cfg, batch_loader(), stef_factory()).unwrap();
+    assert_eq!(sup.status(id), Some(JobStatus::Queued), "re-queued on resume");
+    let report = sup.run_all();
+    assert_eq!(report.done(), 1, "{report:?}");
+    let resumed = sup.take_result(id).unwrap().unwrap();
+    assert!(resumed.resumed_from.is_some(), "must restart from a checkpoint");
+    assert_eq!(resumed.iterations, clean.iterations);
+    assert!(
+        (resumed.final_fit() - clean.final_fit()).abs() < 1e-8,
+        "resumed fit {} vs uninterrupted {}",
+        resumed.final_fit(),
+        clean.final_fit()
+    );
+    for (m, (a, b)) in resumed.factors.iter().zip(&clean.factors).enumerate() {
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() <= 1e-8, "factor {m} diverged: {x} vs {y}");
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&dir_clean);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_journal_mid_record_is_corrupt_but_torn_tail_resumes() {
+    let dir = batch_dir("journal-trunc");
+    let cfg = batch_cfg(&dir);
+    {
+        let sup = Supervisor::new(cfg.clone(), batch_loader(), stef_factory()).unwrap();
+        sup.submit(batch_job()).unwrap();
+        let report = sup.run_all();
+        assert_eq!(report.done(), 1, "{report:?}");
+    }
+    let journal = dir.join("batch.journal");
+    let pristine = std::fs::read_to_string(&journal).unwrap();
+    let lines: Vec<&str> = pristine.lines().collect();
+    assert!(lines.len() >= 4, "expected header + several records");
+
+    // Truncating a *middle* record cannot be a crash artifact (appends
+    // only ever tear the tail), so it is data corruption: the scan and
+    // any resume must refuse with a typed error.
+    let mid = lines.len() / 2;
+    let mut damaged: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+    let half = damaged[mid].len() / 2;
+    damaged[mid].truncate(half);
+    std::fs::write(&journal, format!("{}\n", damaged.join("\n"))).unwrap();
+    match scan_journal(&journal) {
+        Err(StefError::Checkpoint(CheckpointError::Corrupt { .. })) => {}
+        other => panic!("scan of mid-file damage must be Corrupt, got {other:?}"),
+    }
+    match Supervisor::resume(cfg.clone(), batch_loader(), stef_factory()) {
+        Err(StefError::Checkpoint(CheckpointError::Corrupt { .. })) => {}
+        Err(other) => panic!("expected Corrupt, got {other:?}"),
+        Ok(_) => panic!("resume must refuse a journal damaged mid-file"),
+    }
+
+    // A torn *final* line is exactly what a crash mid-append leaves
+    // behind. Here the tear eats the Done record, so the job no longer
+    // looks finished: resume re-queues it and runs it back to Done
+    // (from its final checkpoint, at worst replaying one iteration).
+    let last = lines.last().unwrap();
+    let torn = format!(
+        "{}\n{}",
+        lines[..lines.len() - 1].join("\n"),
+        &last[..last.len() - 9]
+    );
+    std::fs::write(&journal, torn).unwrap();
+    let scan = scan_journal(&journal).unwrap();
+    assert!(scan.torn_tail, "tail damage must be flagged, not fatal");
+    let sup = Supervisor::resume(cfg, batch_loader(), stef_factory()).unwrap();
+    assert_eq!(sup.status(0), Some(JobStatus::Queued));
+    let report = sup.run_all();
+    assert_eq!(report.done(), 1, "{report:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn supervised_transient_fault_consumes_exactly_one_retry() {
+    // Reference run with no fault, for the fit comparison.
+    let dir_clean = batch_dir("retry-clean");
+    let sup = Supervisor::new(batch_cfg(&dir_clean), batch_loader(), stef_factory()).unwrap();
+    let id = sup.submit(batch_job()).unwrap();
+    assert_eq!(sup.run_all().done(), 1);
+    let clean = sup.take_result(id).unwrap().unwrap();
+
+    // Faulted run: attempt 1 dies with a retryable error at MTTKRP call
+    // 7 (iteration 3); attempt 2 gets a clean engine and must resume
+    // from attempt 1's checkpoints onto the identical trajectory.
+    let dir = batch_dir("retry-transient");
+    let faulted: EngineFactory = Arc::new(|spec, tensor, token, at| {
+        let mut o = memoizing_options(spec.rank);
+        o.cancel = Some(token.clone());
+        let engine = Stef::try_prepare(tensor, o)?;
+        let faults = if at.attempt == 1 {
+            vec![Fault::TransientErrorOnce { at: 7 }]
+        } else {
+            Vec::new()
+        };
+        Ok(Box::new(FaultyEngine::new(engine, faults)) as Box<dyn MttkrpEngine>)
+    });
+    let sup = Supervisor::new(batch_cfg(&dir), batch_loader(), faulted).unwrap();
+    let id = sup.submit(batch_job()).unwrap();
+    let report = sup.run_all();
+    assert_eq!(report.done(), 1, "{report:?}");
+    match sup.status(id) {
+        Some(JobStatus::Done { attempts, .. }) => assert_eq!(attempts, 2, "exactly one retry"),
+        other => panic!("expected Done, got {other:?}"),
+    }
+    let result = sup.take_result(id).unwrap().unwrap();
+    assert!(
+        (result.final_fit() - clean.final_fit()).abs() < 1e-8,
+        "retried fit {} vs clean {}",
+        result.final_fit(),
+        clean.final_fit()
+    );
+
+    // The journal must show the whole story: one Retrying record, two
+    // Starteds, and a Done carrying attempts=2.
+    let scan = scan_journal(&dir.join("batch.journal")).unwrap();
+    assert!(!scan.torn_tail);
+    let retrying = scan
+        .records
+        .iter()
+        .filter(|r| matches!(r, JournalRecord::Retrying { .. }))
+        .count();
+    let started = scan
+        .records
+        .iter()
+        .filter(|r| matches!(r, JournalRecord::Started { .. }))
+        .count();
+    assert_eq!(retrying, 1, "{:?}", scan.records);
+    assert_eq!(started, 2, "{:?}", scan.records);
+    assert!(
+        scan.records
+            .iter()
+            .any(|r| matches!(r, JournalRecord::Done { attempts: 2, .. })),
+        "{:?}",
+        scan.records
+    );
+
+    let _ = std::fs::remove_dir_all(&dir_clean);
+    let _ = std::fs::remove_dir_all(&dir);
 }
