@@ -95,8 +95,11 @@ pub struct JobSpec {
     pub seed: u64,
     /// Engine name, resolved by the [`EngineFactory`].
     pub engine: String,
-    /// Wall-clock deadline measured from the job's first start; expiry
-    /// is terminal (a retry cannot outrun a clock). `None` = none.
+    /// Wall-clock deadline, armed when the job's first attempt starts
+    /// in a given process; expiry is terminal (a retry cannot outrun a
+    /// clock). Elapsed time is not journaled, so a crashed or
+    /// interrupted job re-arms the full deadline when it is resumed.
+    /// `None` = none.
     pub deadline: Option<Duration>,
 }
 
@@ -538,6 +541,13 @@ pub struct JournalScan {
     /// the *last* line may be bad — a bad line with valid lines after
     /// it is corruption, not a crash, and errors instead.
     pub torn_tail: bool,
+    /// Byte length of the verified prefix: the header plus every valid
+    /// record line, trailing newlines included. When `torn_tail` is
+    /// set, the bytes past this offset are the torn partial line;
+    /// [`Supervisor::resume`] truncates to here before appending so a
+    /// new record cannot fuse with the torn bytes into one line that
+    /// later scans reject as mid-file corruption.
+    pub valid_len: u64,
 }
 
 /// Reads and verifies a journal file. Future-version or wrong-endian
@@ -547,19 +557,37 @@ pub struct JournalScan {
 pub fn scan_journal(path: &Path) -> Result<JournalScan, StefError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| StefError::Checkpoint(CheckpointError::Io(e)))?;
-    let mut lines = text.lines();
-    let header = lines.next().ok_or(StefError::Checkpoint(CheckpointError::Corrupt {
+    let mut segments = text.split_inclusive('\n');
+    let header = segments.next().ok_or(StefError::Checkpoint(CheckpointError::Corrupt {
         reason: "journal is empty".into(),
     }))?;
-    parse_versioned_header(header, "stef-journal", JOURNAL_VERSION).map_err(StefError::from)?;
+    if !header.ends_with('\n') {
+        // `create` writes header + newline in one syscall and fsyncs
+        // before any record exists; a journal that ends inside the
+        // header never finished being created and holds nothing.
+        return Err(StefError::Checkpoint(CheckpointError::Corrupt {
+            reason: "journal header is not newline-terminated".into(),
+        }));
+    }
+    parse_versioned_header(header.trim_end(), "stef-journal", JOURNAL_VERSION)
+        .map_err(StefError::from)?;
 
-    let body_lines: Vec<&str> = lines.collect();
-    let mut records = Vec::with_capacity(body_lines.len());
+    let body_segments: Vec<&str> = segments.collect();
+    let mut records = Vec::with_capacity(body_segments.len());
     let mut torn_tail = false;
-    for (i, line) in body_lines.iter().enumerate() {
-        let last = i + 1 == body_lines.len();
-        match verify_line(line) {
-            Ok(record) => records.push(record),
+    let mut valid_len = header.len() as u64;
+    for (i, seg) in body_segments.iter().enumerate() {
+        let last = i + 1 == body_segments.len();
+        match verify_line(seg.trim_end_matches('\n')) {
+            // The newline is part of the record's single append write:
+            // a line whose content verifies but whose newline never
+            // landed is torn all the same (appending after it would
+            // fuse two records into one line).
+            Ok(record) if seg.ends_with('\n') => {
+                records.push(record);
+                valid_len += seg.len() as u64;
+            }
+            Ok(_) => torn_tail = true,
             Err(reason) if last => {
                 // A crash mid-append can only tear the final line.
                 let _ = reason;
@@ -572,7 +600,11 @@ pub fn scan_journal(path: &Path) -> Result<JournalScan, StefError> {
             }
         }
     }
-    Ok(JournalScan { records, torn_tail })
+    Ok(JournalScan {
+        records,
+        torn_tail,
+        valid_len,
+    })
 }
 
 /// Checks one journal line's ` !<fnv64>` suffix and parses the body.
@@ -683,10 +715,12 @@ impl BatchReport {
     }
 
     /// The batch-level error a CLI should exit with, worst-first:
-    /// interruption (the batch is unfinished) beats shedding beats
-    /// terminal job failures; a fully successful batch returns `None`.
+    /// unfinished work (interrupted, or a job somehow still queued or
+    /// running — the batch is incomplete either way) beats shedding
+    /// beats terminal job failures; a fully successful batch returns
+    /// `None`.
     pub fn exit_error(&self) -> Option<StefError> {
-        if self.interrupted() > 0 {
+        if self.count(|s| !s.is_terminal()) > 0 {
             return Some(StefError::Cancelled {
                 iteration: 0,
                 deadline: false,
@@ -726,8 +760,10 @@ pub struct Supervisor {
     /// `CpdOptions`) can journal without borrowing the supervisor.
     journal: Arc<Mutex<JournalWriter>>,
     metrics: Option<Mutex<std::fs::File>>,
-    /// Set while `run_all` drains, so `submit` after the drain starts
-    /// still works (jobs submitted mid-run are picked up by workers).
+    /// Set while `run_all` drains. Workers exit once the queue is
+    /// momentarily empty, so a job submitted mid-drain could be left
+    /// queued but never claimed; `submit` refuses while this is set
+    /// instead of silently stranding the job.
     draining: AtomicBool,
 }
 
@@ -770,6 +806,19 @@ impl Supervisor {
         factory: EngineFactory,
     ) -> Result<Supervisor, StefError> {
         let scan = scan_journal(&cfg.journal_path)?;
+        if scan.torn_tail {
+            // Cut the torn partial line (no trailing newline) off
+            // before reopening for append: the first new record would
+            // otherwise fuse with the torn bytes into one unverifiable
+            // line, which later scans reject as mid-file corruption.
+            let file = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&cfg.journal_path)
+                .map_err(|e| StefError::Checkpoint(CheckpointError::Io(e)))?;
+            file.set_len(scan.valid_len)
+                .and_then(|()| file.sync_data())
+                .map_err(|e| StefError::Checkpoint(CheckpointError::Io(e)))?;
+        }
         std::fs::create_dir_all(&cfg.checkpoint_dir)
             .map_err(|e| StefError::Checkpoint(CheckpointError::Io(e)))?;
         let journal = JournalWriter::open_append(&cfg.journal_path)?;
@@ -829,6 +878,13 @@ impl Supervisor {
     /// [`StefError::Overloaded`]. Both outcomes are journaled before
     /// this returns.
     pub fn submit(&self, spec: JobSpec) -> Result<usize, StefError> {
+        if self.draining.load(Ordering::Acquire) {
+            return Err(StefError::Input(
+                "cannot submit while run_all is draining; \
+                 submit before it starts or after it returns"
+                    .into(),
+            ));
+        }
         let tensor = (self.loader)(&spec.tensor)?;
         let price = price_job(
             &tensor,
@@ -958,35 +1014,44 @@ impl Supervisor {
     /// cancel token, and reports the final per-job statuses.
     pub fn run_all(&self) -> BatchReport {
         self.draining.store(true, Ordering::Release);
-        let workers = self.cfg.max_concurrent.max(1);
-        let drained = AtomicBool::new(false);
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers).map(|_| s.spawn(|| self.worker_loop())).collect();
-            // Batch-cancel propagation: cancelling the batch token must
-            // reach jobs already running on their own tokens.
-            let propagator = self.cfg.cancel.clone().map(|batch| {
-                let drained = &drained;
-                s.spawn(move || {
-                    while !drained.load(Ordering::Acquire) {
-                        if batch.is_cancelled() {
-                            for job in lock_unpoisoned(&self.inner).jobs.iter() {
-                                if matches!(job.status, JobStatus::Running { .. }) {
-                                    job.token.cancel();
+        loop {
+            let workers = self.cfg.max_concurrent.max(1);
+            let drained = AtomicBool::new(false);
+            std::thread::scope(|s| {
+                let handles: Vec<_> =
+                    (0..workers).map(|_| s.spawn(|| self.worker_loop())).collect();
+                // Batch-cancel propagation: cancelling the batch token must
+                // reach jobs already running on their own tokens.
+                let propagator = self.cfg.cancel.clone().map(|batch| {
+                    let drained = &drained;
+                    s.spawn(move || {
+                        while !drained.load(Ordering::Acquire) {
+                            if batch.is_cancelled() {
+                                for job in lock_unpoisoned(&self.inner).jobs.iter() {
+                                    if matches!(job.status, JobStatus::Running { .. }) {
+                                        job.token.cancel();
+                                    }
                                 }
                             }
+                            std::thread::sleep(Duration::from_millis(20));
                         }
-                        std::thread::sleep(Duration::from_millis(20));
-                    }
-                })
+                    })
+                });
+                for h in handles {
+                    let _ = h.join();
+                }
+                drained.store(true, Ordering::Release);
+                if let Some(p) = propagator {
+                    let _ = p.join();
+                }
             });
-            for h in handles {
-                let _ = h.join();
+            // A submit that passed the draining check just before it was
+            // set can land in the queue after the workers exited; sweep
+            // again so nothing is left silently queued.
+            if self.batch_cancelled() || lock_unpoisoned(&self.inner).queue.is_empty() {
+                break;
             }
-            drained.store(true, Ordering::Release);
-            if let Some(p) = propagator {
-                let _ = p.join();
-            }
-        });
+        }
         self.draining.store(false, Ordering::Release);
         self.report()
     }
@@ -1065,20 +1130,6 @@ impl Supervisor {
                 job.retries_used,
             )
         };
-        if tensor.is_none() {
-            // Resumed job: the tensor was never loaded in this process.
-            match (self.loader)(&spec.tensor) {
-                Ok(t) => tensor = Some(t),
-                Err(e) => {
-                    // Loading can itself be transiently unlucky, but
-                    // without a tensor there is nothing to retry against;
-                    // classify and finish.
-                    self.finish_failed(id, retries_already_used + 1, e, start);
-                    return;
-                }
-            }
-        }
-        let tensor = tensor.expect("loaded above");
         if let Some(deadline) = spec.deadline {
             if !token.deadline_armed() {
                 token.set_deadline(deadline);
@@ -1097,26 +1148,32 @@ impl Supervisor {
                 self.finish_interrupted(id, start);
                 return;
             }
-            let resume = match Checkpoint::load(&ckpt_path) {
-                Ok(cp) => Some(cp),
-                Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => None,
-                Err(e) => {
-                    // A damaged checkpoint costs the progress it held,
-                    // never the job: journal the downgrade, start fresh.
-                    let _ = self.journal_append(&JournalRecord::Degraded {
-                        id,
-                        detail: format!("checkpoint unusable, restarting from scratch: {e}"),
-                    });
-                    None
+            let outcome: Result<CpdResult, StefError> = (|| {
+                if tensor.is_none() {
+                    // Resumed job: the tensor was never loaded in this
+                    // process. A loader failure is an attempt failure
+                    // like any other — it flows into the retry
+                    // classification below, so a transient I/O error
+                    // reading the tensor burns a retry instead of
+                    // terminally failing the job.
+                    tensor = Some((self.loader)(&spec.tensor)?);
                 }
-            };
-            let outcome = (self.factory)(
-                &spec,
-                &tensor,
-                &token,
-                JobAttempt { job: id, attempt },
-            )
-            .and_then(|mut engine| {
+                let tensor = tensor.as_ref().expect("loaded above");
+                let resume = match Checkpoint::load(&ckpt_path) {
+                    Ok(cp) => Some(cp),
+                    Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => None,
+                    Err(e) => {
+                        // A damaged checkpoint costs the progress it held,
+                        // never the job: journal the downgrade, start fresh.
+                        let _ = self.journal_append(&JournalRecord::Degraded {
+                            id,
+                            detail: format!("checkpoint unusable, restarting from scratch: {e}"),
+                        });
+                        None
+                    }
+                };
+                let mut engine =
+                    (self.factory)(&spec, tensor, &token, JobAttempt { job: id, attempt })?;
                 let opts = CpdOptions {
                     rank: spec.rank,
                     max_iters: spec.max_iters,
@@ -1132,7 +1189,7 @@ impl Supervisor {
                     on_checkpoint: Some(self.checkpoint_hook(id)),
                 };
                 cpd_als(engine.as_mut(), &opts)
-            });
+            })();
             match outcome {
                 Ok(result) => {
                     for event in &result.degradations {
@@ -1537,9 +1594,18 @@ mod tests {
         w.append(&JournalRecord::Checkpointed { id: 0, iteration: 3 }).unwrap();
         drop(w);
 
-        // Torn final line: scan succeeds, drops it, flags it.
+        // Torn final line: scan succeeds, drops it, flags it, and
+        // reports the byte offset where the verified prefix ends.
         let full = std::fs::read_to_string(&path).unwrap();
         std::fs::write(&path, &full[..full.len() - 7]).unwrap();
+        let scan = scan_journal(&path).unwrap();
+        assert!(scan.torn_tail);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.valid_len as usize, full.find("checkpointed").unwrap());
+
+        // A content-complete final line missing only its newline is
+        // torn too: appending after it would fuse two records.
+        std::fs::write(&path, full.trim_end_matches('\n')).unwrap();
         let scan = scan_journal(&path).unwrap();
         assert!(scan.torn_tail);
         assert_eq!(scan.records.len(), 1);
@@ -1715,6 +1781,132 @@ mod tests {
         let report = sup.run_all();
         assert_eq!(report.done(), 2, "{report:?}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_truncates_torn_tail_so_the_journal_stays_scannable() {
+        let dir = tmp_dir("torn-resume");
+        let cfg = cfg_in(&dir);
+        {
+            let sup = Supervisor::new(cfg.clone(), test_loader(), reference_factory()).unwrap();
+            sup.submit(JobSpec::new("pl:12x10x8:300:1", 3)).unwrap();
+            sup.submit(JobSpec::new("pl:10x9x8:250:2", 2)).unwrap();
+            // Crash without running.
+        }
+        // Tear the tail of job 1's submitted record.
+        let journal = dir.join("batch.journal");
+        let full = std::fs::read_to_string(&journal).unwrap();
+        std::fs::write(&journal, &full[..full.len() - 9]).unwrap();
+        assert!(scan_journal(&journal).unwrap().torn_tail);
+
+        // Resume drops the torn record (job 1 was never durably
+        // admitted), truncates it away, and finishes job 0. The
+        // journal must stay cleanly scannable afterwards — without the
+        // truncation the first appended record fuses with the torn
+        // bytes and every later scan reports mid-file corruption.
+        let sup = Supervisor::resume(cfg, test_loader(), reference_factory()).unwrap();
+        assert_eq!(sup.status(0), Some(JobStatus::Queued));
+        assert_eq!(sup.status(1), None, "torn submitted record is dropped");
+        let report = sup.run_all();
+        assert_eq!(report.done(), 1, "{report:?}");
+        let scan = scan_journal(&journal).unwrap();
+        assert!(!scan.torn_tail, "truncation removed the torn bytes");
+        assert!(scan
+            .records
+            .iter()
+            .any(|r| matches!(r, JournalRecord::Done { id: 0, .. })));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resumed_job_loader_failure_uses_the_retry_ladder() {
+        let dir = tmp_dir("load-retry");
+        let cfg = cfg_in(&dir);
+        {
+            let sup = Supervisor::new(cfg.clone(), test_loader(), reference_factory()).unwrap();
+            sup.submit(JobSpec::new("pl:12x10x8:300:1", 3)).unwrap();
+            // Crash without running: the resumed process must reload.
+        }
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c2 = calls.clone();
+        let base = test_loader();
+        let flaky: TensorLoader = Arc::new(move |spec| {
+            if c2.fetch_add(1, Ordering::Relaxed) == 0 {
+                Err(StefError::Tns(sptensor::TnsError::Io(std::io::Error::new(
+                    std::io::ErrorKind::Interrupted,
+                    "transient read failure",
+                ))))
+            } else {
+                base(spec)
+            }
+        });
+        let sup = Supervisor::resume(cfg, flaky, reference_factory()).unwrap();
+        let report = sup.run_all();
+        assert_eq!(report.done(), 1, "{report:?}");
+        match sup.status(0) {
+            Some(JobStatus::Done { attempts, .. }) => {
+                assert_eq!(attempts, 2, "reload failure burns one retry, not the job")
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+        let scan = scan_journal(&dir.join("batch.journal")).unwrap();
+        assert!(
+            scan.records
+                .iter()
+                .any(|r| matches!(r, JournalRecord::Retrying { .. })),
+            "{:?}",
+            scan.records
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn submit_while_draining_is_rejected() {
+        let dir = tmp_dir("draining");
+        let slot: Arc<std::sync::OnceLock<Arc<Supervisor>>> = Arc::new(std::sync::OnceLock::new());
+        let observed: Arc<Mutex<Option<Result<usize, StefError>>>> = Arc::new(Mutex::new(None));
+        let (s2, o2) = (slot.clone(), observed.clone());
+        // The factory runs inside run_all's drain, so a submit issued
+        // from it exercises the mid-drain path deterministically.
+        let factory: EngineFactory = Arc::new(move |_spec, tensor, _token, _at| {
+            if let Some(sup) = s2.get() {
+                *o2.lock().unwrap() = Some(sup.submit(JobSpec::new("pl:8x8x8:100:1", 2)));
+            }
+            Ok(Box::new(ReferenceEngine::new(tensor.clone())) as Box<dyn MttkrpEngine>)
+        });
+        let sup = Arc::new(Supervisor::new(cfg_in(&dir), test_loader(), factory).unwrap());
+        slot.set(sup.clone()).ok().unwrap();
+        sup.submit(JobSpec::new("pl:12x10x8:300:1", 3)).unwrap();
+        let report = sup.run_all();
+        assert_eq!(report.done(), 1, "{report:?}");
+        match observed.lock().unwrap().take() {
+            Some(Err(StefError::Input(msg))) => assert!(msg.contains("draining"), "{msg}"),
+            other => panic!("mid-drain submit must be refused, got {other:?}"),
+        }
+        // After run_all returns, submits work again.
+        assert!(sup.submit(JobSpec::new("pl:10x9x8:250:2", 2)).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn exit_error_counts_unfinished_queued_jobs() {
+        let report = BatchReport {
+            outcomes: vec![
+                (
+                    0,
+                    JobStatus::Done {
+                        attempts: 1,
+                        iterations: 3,
+                        final_fit: 0.9,
+                    },
+                ),
+                (1, JobStatus::Queued),
+            ],
+        };
+        assert!(
+            matches!(report.exit_error(), Some(StefError::Cancelled { .. })),
+            "a queued-but-never-run job is not a clean batch"
+        );
     }
 
     #[test]

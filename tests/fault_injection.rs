@@ -629,10 +629,34 @@ fn truncated_journal_mid_record_is_corrupt_but_torn_tail_resumes() {
     std::fs::write(&journal, torn).unwrap();
     let scan = scan_journal(&journal).unwrap();
     assert!(scan.torn_tail, "tail damage must be flagged, not fatal");
-    let sup = Supervisor::resume(cfg, batch_loader(), stef_factory()).unwrap();
+    let sup = Supervisor::resume(cfg.clone(), batch_loader(), stef_factory()).unwrap();
     assert_eq!(sup.status(0), Some(JobStatus::Queued));
     let report = sup.run_all();
     assert_eq!(report.done(), 1, "{report:?}");
+
+    // The resume must have truncated the torn partial line before
+    // appending: re-scanning the journal has to succeed with no torn
+    // tail and the fresh Done record, or `--status` and any further
+    // resume of this batch would fail forever on mid-file corruption.
+    let scan = scan_journal(&journal).unwrap();
+    assert!(!scan.torn_tail, "torn bytes must be gone after resume");
+    assert!(
+        scan.records
+            .iter()
+            .any(|r| matches!(r, JournalRecord::Done { id: 0, .. })),
+        "{:?}",
+        scan.records
+    );
+    // And a second resume of the now-finished batch parses cleanly:
+    // the job replays as already terminal, nothing is re-queued.
+    let sup = Supervisor::resume(cfg, batch_loader(), stef_factory()).unwrap();
+    assert!(
+        matches!(sup.status(0), Some(JobStatus::Done { .. })),
+        "terminal status replayed, not re-queued"
+    );
+    let report = sup.run_all();
+    assert_eq!(report.done(), 1, "{report:?}");
+    assert!(report.exit_error().is_none(), "{report:?}");
 
     let _ = std::fs::remove_dir_all(&dir);
 }
