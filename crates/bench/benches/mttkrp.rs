@@ -1,10 +1,27 @@
 //! Kernel-level A/B benchmark: the allocation-free vectorized MTTKRP
 //! path (`stef::kernels`) against the original recursive implementation
-//! (`stef::kernels_legacy`), per mode and per accumulation strategy.
+//! (`stef::kernels_legacy`), per mode, per accumulation strategy and
+//! per SIMD dispatch path.
 //!
 //! Besides the usual stderr table this bench writes the tracked
 //! trajectory file `BENCH_mttkrp.json` at the repo root so the speedup
 //! of the kernel rewrite is recorded alongside the code.
+//!
+//! The legacy baseline is always measured with dispatch forced to
+//! `scalar` — that is bit- and instruction-identical to the pre-rewrite
+//! autovectorized kernels, so speedups stay comparable across the
+//! whole trajectory. The vectorized path is measured once per
+//! available SIMD variant (`scalar` plus the detected best ISA), one
+//! record per variant. Each lane of a cell is timed consecutively
+//! (warm caches — alternating lanes would evict each other's working
+//! set and penalize the cache-resident modes) with a best-of rep count
+//! high enough that every lane finds a quiet window on a shared box.
+//!
+//! Schema 2 additions: a top-level `simd` field (the detected path),
+//! a per-record `simd` field (the dispatch path of that measurement)
+//! and a per-record `bytes_per_ns` — the mode's counted kernel traffic
+//! (`stef::count_sweep`, elements × 8 bytes) over the vectorized time,
+//! i.e. the achieved effective bandwidth of that mode.
 //!
 //! Environment knobs:
 //!
@@ -14,32 +31,42 @@
 //! * `STEF_REPS`       — timed repetitions, best-of (default 5)
 //! * `STEF_RUNTIME`    — `pool` (persistent worker pool, default) or
 //!   `scoped` (per-dispatch `std::thread::scope`) for the vectorized path
+//! * `STEF_SIMD`       — forces a single dispatch path; the bench then
+//!   records only that variant
 
+use linalg::simd::{self, SimdPath, SimdPolicy};
 use linalg::Mat;
 use sptensor::build_csf;
 use std::time::Instant;
 use stef::kernels::{mode0_with, modeu_with, KernelCtx, ResolvedAccum};
 use stef::kernels_legacy;
-use stef::{init_factors, LoadBalance, PartialStore, Schedule, Workspace};
+use stef::{count_sweep, init_factors, LoadBalance, PartialStore, Schedule, Workspace};
 use stef_bench::{impl_to_json, write_json_at, Table};
 use workloads::power_law_tensor;
 
-/// One mode × accumulation-strategy measurement (best-of-reps, ns).
+/// One mode × accumulation-strategy × SIMD-path measurement
+/// (best-of-reps, ns). `legacy_ns` is the scalar-dispatch legacy
+/// baseline; `bytes_per_ns` is counted kernel traffic over
+/// `vectorized_ns`.
 struct Record {
     mode: usize,
     accum: String,
     use_saved: bool,
+    simd: String,
     legacy_ns: f64,
     vectorized_ns: f64,
     speedup: f64,
+    bytes_per_ns: f64,
 }
 impl_to_json!(Record {
     mode,
     accum,
     use_saved,
+    simd,
     legacy_ns,
     vectorized_ns,
-    speedup
+    speedup,
+    bytes_per_ns
 });
 
 struct Report {
@@ -52,6 +79,7 @@ struct Report {
     reps: usize,
     runtime: String,
     pool_workers: usize,
+    simd: String,
     records: Vec<Record>,
 }
 impl_to_json!(Report {
@@ -64,6 +92,7 @@ impl_to_json!(Report {
     reps,
     runtime,
     pool_workers,
+    simd,
     records
 });
 
@@ -75,16 +104,22 @@ fn env_usize(key: &str, default: usize) -> usize {
         .max(1)
 }
 
-/// Best-of-`reps` wall time in nanoseconds, after `warmups` untimed runs.
-fn best_ns(warmups: usize, reps: usize, mut f: impl FnMut()) -> f64 {
-    for _ in 0..warmups {
-        f();
-    }
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        f();
-        best = best.min(t0.elapsed().as_nanos() as f64);
+/// Best-of-`reps` wall time per lane in nanoseconds. Each lane runs its
+/// `warmups` untimed reps and then its timed reps *consecutively*:
+/// these kernels are cache-resident, and alternating lanes would make
+/// every rep a cold-cache run for both sides. Each lane is responsible
+/// for forcing its own dispatch path before doing work.
+fn race_ns(warmups: usize, reps: usize, lanes: &mut [Box<dyn FnMut() + '_>]) -> Vec<f64> {
+    let mut best = vec![f64::INFINITY; lanes.len()];
+    for (i, f) in lanes.iter_mut().enumerate() {
+        for _ in 0..warmups {
+            f();
+        }
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            f();
+            best[i] = best[i].min(t0.elapsed().as_nanos() as f64);
+        }
     }
     best
 }
@@ -107,6 +142,19 @@ fn main() {
     };
     let dims = [2_000usize, 5_000, 8_000];
 
+    // Dispatch variants to measure: scalar (the trajectory baseline)
+    // plus the detected best ISA when one exists. A `STEF_SIMD` env
+    // override narrows the bench to that single path.
+    let detected = simd::detect();
+    let variants: Vec<SimdPath> = match std::env::var("STEF_SIMD") {
+        Ok(name) => match SimdPath::parse(name.trim()) {
+            Some(p) if p.available() => vec![p],
+            _ => vec![detected],
+        },
+        Err(_) if detected != SimdPath::Scalar => vec![SimdPath::Scalar, detected],
+        Err(_) => vec![SimdPath::Scalar],
+    };
+
     let t = power_law_tensor(&dims, nnz, &[0.8, 0.5, 0.3], 42);
     let csf = build_csf(&t, &[0, 1, 2]);
     let d = csf.ndim();
@@ -115,102 +163,147 @@ fn main() {
     let refs: Vec<&Mat> = factors.iter().collect();
     let ctx = KernelCtx::new(&csf, &sched, refs, rank);
 
-    // Memoize P^(1) — the paper's standard 3-way configuration.
+    // Memoize P^(1) — the paper's standard 3-way configuration. Legacy
+    // and vectorized sides keep separate partial stores so lane order
+    // never affects inputs (the mode-0 lanes rebuild them every rep).
     let save = [false, true, false];
     let mut partials = PartialStore::allocate(&csf, &save, nthreads, rank);
+    let mut partials_legacy = PartialStore::allocate(&csf, &save, nthreads, rank);
     let max_dim = *csf.level_dims().iter().max().unwrap();
-    let mut ws = Workspace::new(d, rank, nthreads, max_dim);
+    let ws = std::cell::RefCell::new(Workspace::new(d, rank, nthreads, max_dim));
     let rt = stef::Executor::new(runtime, stef::runtime::resolve_workers(0));
+
+    // Counted kernel traffic per mode (elements), for the effective
+    // bandwidth column. Accumulation strategy does not enter the count.
+    let traffic = count_sweep(&csf, &save, rank);
 
     eprintln!(
         "mttkrp A/B: dims {dims:?}, {} nnz, rank {rank}, {nthreads} logical threads, \
-         {:?} runtime ({} workers), best of {reps} \
-         (legacy = pre-rewrite recursive kernels)",
+         {:?} runtime ({} workers), best of {reps}, simd variants {:?} \
+         (legacy = pre-rewrite recursive kernels, scalar dispatch)",
         t.nnz(),
         rt.kind(),
-        rt.workers()
+        rt.workers(),
+        variants.iter().map(|v| v.as_str()).collect::<Vec<_>>(),
     );
 
     let mut records: Vec<Record> = Vec::new();
+    let mode_bytes = |mode: usize| {
+        let (rd, wr) = traffic.per_mode[mode];
+        (rd + wr) * 8.0
+    };
+
+    let views = partials.shared_views();
 
     // Mode 0 (root pass, stores partials; output rows are disjoint per
     // subtree so the accumulation strategy does not apply).
     {
-        let mut out = Mat::zeros(csf.level_dims()[0], rank);
-        let legacy = best_ns(2, reps, || {
-            kernels_legacy::mode0_pass(&ctx, &mut partials, &mut out);
-        });
-        let views = partials.shared_views();
-        let vectorized = {
-            let mut out = Mat::zeros(csf.level_dims()[0], rank);
-            best_ns(2, reps, || {
-                mode0_with(&ctx, &views, &rt, &mut ws, &mut out);
-            })
-        };
-        records.push(Record {
-            mode: 0,
-            accum: "n/a".into(),
-            use_saved: false,
-            legacy_ns: legacy,
-            vectorized_ns: vectorized,
-            speedup: legacy / vectorized,
-        });
-    }
-
-    // Modes 1..d, both accumulation strategies. Partials are fresh: the
-    // mode-0 timing loop just rebuilt them with fixed factors.
-    for u in 1..d {
-        let use_saved = save[u];
-        for accum in [ResolvedAccum::Privatized, ResolvedAccum::Atomic] {
-            let legacy = best_ns(2, reps, || {
-                std::hint::black_box(kernels_legacy::modeu_pass(
-                    &ctx,
-                    &mut partials,
-                    u,
-                    accum,
-                    use_saved,
-                ));
-            });
-            let views = partials.shared_views();
-            let vectorized = {
-                let mut out = Mat::zeros(csf.level_dims()[u], rank);
-                best_ns(2, reps, || {
-                    modeu_with(&ctx, &views, use_saved, u, accum, &rt, &mut ws, &mut out);
-                })
-            };
+        let mut out_l = Mat::zeros(csf.level_dims()[0], rank);
+        let mut outs: Vec<Mat> = variants
+            .iter()
+            .map(|_| Mat::zeros(csf.level_dims()[0], rank))
+            .collect();
+        let mut lanes: Vec<Box<dyn FnMut()>> = Vec::new();
+        {
+            let (ctx, pl, out_l) = (&ctx, &mut partials_legacy, &mut out_l);
+            lanes.push(Box::new(move || {
+                simd::apply(SimdPolicy::Force(SimdPath::Scalar));
+                kernels_legacy::mode0_pass(ctx, pl, out_l);
+            }));
+        }
+        for (out, &path) in outs.iter_mut().zip(&variants) {
+            let (ctx, views, rt, ws) = (&ctx, &views, &rt, &ws);
+            lanes.push(Box::new(move || {
+                simd::apply(SimdPolicy::Force(path));
+                mode0_with(ctx, views, rt, &mut ws.borrow_mut(), out);
+            }));
+        }
+        let times = race_ns(2, reps, &mut lanes);
+        drop(lanes);
+        for (i, &path) in variants.iter().enumerate() {
+            let vectorized = times[i + 1];
             records.push(Record {
-                mode: u,
-                accum: accum_name(accum).into(),
-                use_saved,
-                legacy_ns: legacy,
+                mode: 0,
+                accum: "n/a".into(),
+                use_saved: false,
+                simd: path.as_str().into(),
+                legacy_ns: times[0],
                 vectorized_ns: vectorized,
-                speedup: legacy / vectorized,
+                speedup: times[0] / vectorized,
+                bytes_per_ns: mode_bytes(0) / vectorized,
             });
         }
     }
+
+    // Modes 1..d, both accumulation strategies. Partials are fresh: the
+    // mode-0 timing lanes just rebuilt both stores with fixed factors.
+    for u in 1..d {
+        let use_saved = save[u];
+        for accum in [ResolvedAccum::Privatized, ResolvedAccum::Atomic] {
+            let mut outs: Vec<Mat> = variants
+                .iter()
+                .map(|_| Mat::zeros(csf.level_dims()[u], rank))
+                .collect();
+            let mut lanes: Vec<Box<dyn FnMut()>> = Vec::new();
+            {
+                let (ctx, pl) = (&ctx, &mut partials_legacy);
+                lanes.push(Box::new(move || {
+                    simd::apply(SimdPolicy::Force(SimdPath::Scalar));
+                    std::hint::black_box(kernels_legacy::modeu_pass(ctx, pl, u, accum, use_saved));
+                }));
+            }
+            for (out, &path) in outs.iter_mut().zip(&variants) {
+                let (ctx, views, rt, ws) = (&ctx, &views, &rt, &ws);
+                lanes.push(Box::new(move || {
+                    simd::apply(SimdPolicy::Force(path));
+                    modeu_with(ctx, views, use_saved, u, accum, rt, &mut ws.borrow_mut(), out);
+                }));
+            }
+            let times = race_ns(2, reps, &mut lanes);
+            drop(lanes);
+            for (i, &path) in variants.iter().enumerate() {
+                let vectorized = times[i + 1];
+                records.push(Record {
+                    mode: u,
+                    accum: accum_name(accum).into(),
+                    use_saved,
+                    simd: path.as_str().into(),
+                    legacy_ns: times[0],
+                    vectorized_ns: vectorized,
+                    speedup: times[0] / vectorized,
+                    bytes_per_ns: mode_bytes(u) / vectorized,
+                });
+            }
+        }
+    }
+    simd::apply(SimdPolicy::Force(detected));
 
     let mut table = Table::new(&[
         "mode",
         "accum",
         "memo",
+        "simd",
         "legacy (ms)",
         "vectorized (ms)",
         "speedup",
+        "GB/s",
     ]);
     for r in &records {
         table.row(vec![
             r.mode.to_string(),
             r.accum.clone(),
             if r.use_saved { "saved" } else { "-" }.to_string(),
+            r.simd.clone(),
             format!("{:.3}", r.legacy_ns / 1e6),
             format!("{:.3}", r.vectorized_ns / 1e6),
             format!("{:.2}x", r.speedup),
+            format!("{:.2}", r.bytes_per_ns),
         ]);
     }
     eprintln!("{}", table.render());
 
     let report = Report {
-        schema: 1,
+        schema: 2,
         bench: "mttkrp_legacy_vs_vectorized".into(),
         dims: dims.to_vec(),
         nnz: t.nnz(),
@@ -219,6 +312,7 @@ fn main() {
         reps,
         runtime: format!("{:?}", rt.kind()).to_lowercase(),
         pool_workers: rt.workers(),
+        simd: detected.as_str().into(),
         records,
     };
     // `cargo bench` runs benches from the crate dir; the repo root is

@@ -1,6 +1,6 @@
 //! `validate_telemetry` — CI gate for the telemetry export formats.
 //!
-//! Usage: `validate_telemetry <metrics.jsonl> <trace.json>`
+//! Usage: `validate_telemetry <metrics.jsonl> <trace.json> [BENCH_mttkrp.json]`
 //!
 //! Checks, without jq or python, that the files a `stef decompose
 //! --metrics-out --trace-out` run produced are well-formed:
@@ -10,7 +10,10 @@
 //!   whose `rel_err` is a finite number (the model-vs-measured audit
 //!   actually happened — `null` would mean one side was missing);
 //! * the trace is a Chrome `trace_event` JSON array with `thread_name`
-//!   metadata and at least one complete (`"ph":"X"`) span event.
+//!   metadata and at least one complete (`"ph":"X"`) span event;
+//! * optionally, the tracked kernel-bench trajectory file is a schema-1
+//!   or schema-2 report with finite timings (schema 2 additionally
+//!   requires the per-record `simd` path and a finite `bytes_per_ns`).
 //!
 //! Exits nonzero with a description of the first violation.
 
@@ -124,13 +127,78 @@ fn check_trace(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates the tracked `BENCH_mttkrp.json` trajectory file. Both
+/// schema versions are accepted: schema 1 (pre-SIMD, one record per
+/// mode × accum) and schema 2 (per-SIMD-path records with `simd` and
+/// `bytes_per_ns` fields).
+fn check_bench(path: &str) -> Result<(), String> {
+    let body =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let rep = parse_json(&body).map_err(|e| format!("{path}: {e}"))?;
+    let schema = rep
+        .get("schema")
+        .and_then(Json::as_u64)
+        .ok_or(format!("{path}: missing \"schema\""))?;
+    if !(schema == 1 || schema == 2) {
+        return Err(format!("{path}: unknown schema {schema} (want 1 or 2)"));
+    }
+    if schema >= 2 {
+        rep.get("simd")
+            .and_then(Json::as_str)
+            .ok_or(format!("{path}: schema 2 report without \"simd\""))?;
+    }
+    let records = rep
+        .get("records")
+        .and_then(Json::as_arr)
+        .ok_or(format!("{path}: missing \"records\" array"))?;
+    if records.is_empty() {
+        return Err(format!("{path}: empty \"records\" array"));
+    }
+    for (i, r) in records.iter().enumerate() {
+        r.get("mode")
+            .and_then(Json::as_u64)
+            .ok_or(format!("{path}: record {i} without \"mode\""))?;
+        r.get("accum")
+            .and_then(Json::as_str)
+            .ok_or(format!("{path}: record {i} without \"accum\""))?;
+        let mut numeric = vec!["legacy_ns", "vectorized_ns", "speedup"];
+        if schema >= 2 {
+            numeric.push("bytes_per_ns");
+            r.get("simd")
+                .and_then(Json::as_str)
+                .ok_or(format!("{path}: schema 2 record {i} without \"simd\""))?;
+        }
+        for key in numeric {
+            let v = r
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("{path}: record {i} \"{key}\" missing or null"))?;
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("{path}: record {i} \"{key}\" not finite-positive"));
+            }
+        }
+    }
+    println!(
+        "{path}: OK ({} records, schema {schema})",
+        records.len()
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let [metrics, trace] = argv.as_slice() else {
-        eprintln!("usage: validate_telemetry <metrics.jsonl> <trace.json>");
-        return ExitCode::from(2);
+    let (metrics, trace, bench) = match argv.as_slice() {
+        [m, t] => (m, t, None),
+        [m, t, b] => (m, t, Some(b)),
+        _ => {
+            eprintln!("usage: validate_telemetry <metrics.jsonl> <trace.json> [BENCH_mttkrp.json]");
+            return ExitCode::from(2);
+        }
     };
-    match check_metrics(metrics).and_then(|()| check_trace(trace)) {
+    let result = check_metrics(metrics)
+        .and_then(|()| check_trace(trace))
+        .and_then(|()| bench.map_or(Ok(()), |b| check_bench(b)));
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("validate_telemetry: {e}");

@@ -2,6 +2,7 @@
 //! tensor: what Table I reports, plus what STeF would do with it.
 
 use crate::args::{parse, FlagSpec};
+use crate::commands::apply_simd_flag;
 use crate::tensor_source::load;
 use sptensor::{build_csf, count_fibers_if_last_two_swapped, sort_modes_by_length, TensorStats};
 use stef::{LevelProfile, MttkrpEngine, Stef, StefOptions};
@@ -13,12 +14,14 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         ("-r", "rank"),
         ("--cache-mb", "cache-mb"),
         ("--threads", "threads"),
+        ("--simd", "simd"),
     ]);
     let p = parse(argv, &spec)?;
     let tensor_spec = p.one_positional("tensor")?;
     let rank: usize = p.num_or("rank", 32)?;
     let cache_mb: usize = p.num_or("cache-mb", 16)?;
     let threads: usize = p.num_or("threads", 0)?;
+    apply_simd_flag(p.str_or("simd", "auto"))?;
 
     let (label, t) = load(tensor_spec, SuiteScale::Small)?;
     println!("tensor: {label}");
@@ -103,6 +106,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         engine.executor().kind(),
         rc.workers
     );
+    println!("  simd kernels: {}", linalg::simd::describe());
     println!(
         "  dispatches {} (inline {}), dispatcher claimed {} chunks",
         rc.dispatches, rc.inline_runs, rc.dispatcher_chunks
@@ -120,6 +124,11 @@ mod tests {
     #[test]
     fn analyzes_suite_tensor() {
         super::run(&argv(&["suite:uber:tiny", "--rank", "8"])).unwrap();
+    }
+
+    #[test]
+    fn analyzes_with_simd_flag() {
+        super::run(&argv(&["suite:uber:tiny", "--rank", "4", "--simd", "auto"])).unwrap();
     }
 
     #[test]

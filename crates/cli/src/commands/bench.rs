@@ -2,7 +2,7 @@
 //! tensor (a single-tensor slice of the paper's Figures 3/4).
 
 use crate::args::{parse, FlagSpec};
-use crate::commands::accum_by_name;
+use crate::commands::{accum_by_name, apply_simd_flag};
 use crate::error::CliError;
 use crate::tensor_source::load;
 use std::time::{Duration, Instant};
@@ -16,6 +16,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         ("--reps", "reps"),
         ("--threads", "threads"),
         ("--accum", "accum"),
+        ("--simd", "simd"),
         ("--timeout", "timeout"),
     ]);
     let p = parse(argv, &spec)?;
@@ -25,6 +26,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     let threads: usize = p.num_or("threads", 0)?;
     let timeout: f64 = p.num_or("timeout", 0.0)?;
     let accum = accum_by_name(p.str_or("accum", "auto")).map_err(CliError::Usage)?;
+    apply_simd_flag(p.str_or("simd", "auto")).map_err(CliError::Usage)?;
 
     let token = CancelToken::new();
     if timeout > 0.0 {
@@ -34,10 +36,11 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
 
     let (label, t) = load(tensor_spec, SuiteScale::Small).map_err(CliError::Input)?;
     println!(
-        "benchmarking {label}: {} nnz, rank {rank}, {reps} reps, {} rayon threads\n",
+        "benchmarking {label}: {} nnz, rank {rank}, {reps} reps, {} rayon threads",
         t.nnz(),
         rayon::current_num_threads()
     );
+    println!("simd kernels: {}\n", linalg::simd::describe());
 
     let factors = init_factors(t.dims(), rank, 7);
     let mut results: Vec<(String, f64, f64)> = Vec::new();
@@ -134,6 +137,11 @@ mod tests {
     #[test]
     fn rejects_unknown_accum() {
         assert!(super::run(&argv(&["suite:nips:tiny", "--accum", "magic"])).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_simd() {
+        assert!(super::run(&argv(&["suite:nips:tiny", "--simd", "sse9"])).is_err());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! loadable from numpy/Julia/R.
 
 use crate::args::{parse, FlagSpec};
-use crate::commands::{accum_by_name, engine_by_name, runtime_by_name, EngineConfig};
+use crate::commands::{accum_by_name, apply_simd_flag, engine_by_name, runtime_by_name, EngineConfig};
 use crate::error::CliError;
 use crate::tensor_source::load;
 use linalg::Mat;
@@ -32,6 +32,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         ("--mode", "mode"),
         ("--accum", "accum"),
         ("--runtime", "runtime"),
+        ("--simd", "simd"),
         ("--checkpoint", "checkpoint"),
         ("--checkpoint-every", "checkpoint-every"),
         ("--resume", "resume"),
@@ -61,6 +62,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     let update_mode = p.str_or("mode", "als");
     let accum = accum_by_name(p.str_or("accum", "auto")).map_err(CliError::Usage)?;
     let runtime = runtime_by_name(p.str_or("runtime", "pool")).map_err(CliError::Usage)?;
+    let simd = apply_simd_flag(p.str_or("simd", "auto")).map_err(CliError::Usage)?;
     let checkpoint_every: usize = p.num_or("checkpoint-every", 5)?;
     let checkpoint = match p.opt_str("checkpoint") {
         Some(path) => Some(CheckpointPolicy::new(path, checkpoint_every)),
@@ -124,6 +126,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         runtime,
         memory_budget,
         cancel: Some(token.clone()),
+        simd,
     };
     let mut engine = engine_by_name(engine_name, &t, &cfg)?;
     let opts = CpdOptions {
@@ -370,6 +373,31 @@ mod tests {
             ]))
             .unwrap();
         }
+    }
+
+    #[test]
+    fn explicit_simd_paths_run() {
+        for simd in ["auto", "scalar"] {
+            super::run(&argv(&[
+                "suite:uber:tiny",
+                "--rank",
+                "3",
+                "--iters",
+                "2",
+                "--simd",
+                simd,
+            ]))
+            .unwrap();
+        }
+        // Leave the process on the detected path for other tests.
+        linalg::simd::apply(stef::SimdPolicy::Force(linalg::simd::detect()));
+    }
+
+    #[test]
+    fn rejects_unknown_simd_as_usage_error() {
+        let err = super::run(&argv(&["suite:uber:tiny", "--simd", "sse9"]))
+            .expect_err("bad --simd must fail");
+        assert_eq!(err.exit_code(), 2, "{err}");
     }
 
     #[test]

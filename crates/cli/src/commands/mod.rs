@@ -9,7 +9,19 @@ pub mod list;
 pub mod validate;
 
 use crate::error::CliError;
-use stef::{AccumStrategy, CancelToken, MttkrpEngine, Runtime};
+use stef::{AccumStrategy, CancelToken, MttkrpEngine, Runtime, SimdPolicy};
+
+/// Parses a `--simd` value and applies it process-wide (all engines in
+/// the process share the kernel dispatch selection). A forced path that
+/// the CPU cannot run degrades to the detected one with a warning from
+/// the dispatch layer; an unrecognized name is a usage error (exit
+/// code 2).
+pub fn apply_simd_flag(name: &str) -> Result<SimdPolicy, String> {
+    let policy = SimdPolicy::parse(name)
+        .ok_or_else(|| format!("unknown --simd '{name}' (auto|scalar|avx2|neon)"))?;
+    linalg::simd::apply(policy);
+    Ok(policy)
+}
 
 /// Parses a `--accum` value. Errors are usage errors (exit code 2).
 pub fn accum_by_name(name: &str) -> Result<AccumStrategy, String> {
@@ -47,6 +59,9 @@ pub struct EngineConfig {
     /// Cooperative cancellation token, installed on the engine's
     /// executor so in-flight kernels observe `--timeout`/Ctrl-C.
     pub cancel: Option<CancelToken>,
+    /// SIMD kernel-path policy (`--simd`). Applied process-wide when a
+    /// STeF engine is prepared; `Auto` keeps the current selection.
+    pub simd: SimdPolicy,
 }
 
 impl EngineConfig {
@@ -58,6 +73,7 @@ impl EngineConfig {
             runtime: Runtime::Pool,
             memory_budget: 0,
             cancel: None,
+            simd: SimdPolicy::Auto,
         }
     }
 }
@@ -76,6 +92,7 @@ pub fn engine_by_name(
     opts.runtime = cfg.runtime;
     opts.memory_budget = cfg.memory_budget;
     opts.cancel = cfg.cancel.clone();
+    opts.simd = cfg.simd;
     Ok(match name {
         "stef" => Box::new(stef::Stef::try_prepare(tensor, opts)?),
         "stef2" => Box::new(stef::Stef2::try_prepare(tensor, opts)?),
@@ -162,6 +179,27 @@ mod tests {
         assert_eq!(runtime_by_name("pool").unwrap(), Runtime::Pool);
         assert_eq!(runtime_by_name("scoped").unwrap(), Runtime::Scoped);
         assert!(runtime_by_name("magic").is_err());
+    }
+
+    #[test]
+    fn simd_names_parse_and_apply() {
+        use stef::SimdPath;
+        assert_eq!(apply_simd_flag("auto").unwrap(), SimdPolicy::Auto);
+        assert_eq!(
+            apply_simd_flag("scalar").unwrap(),
+            SimdPolicy::Force(SimdPath::Scalar)
+        );
+        // Forcing an ISA always parses; an unavailable one degrades to
+        // the detected path inside the dispatch layer instead of
+        // erroring, so both spellings are accepted here.
+        assert_eq!(
+            apply_simd_flag("avx2").unwrap(),
+            SimdPolicy::Force(SimdPath::Avx2)
+        );
+        let err = apply_simd_flag("sse9").unwrap_err();
+        assert!(err.contains("unknown --simd"), "{err}");
+        // Leave the process on the detected path for other tests.
+        linalg::simd::apply(SimdPolicy::Force(linalg::simd::detect()));
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub fn khatri_rao(a: &Mat, b: &Mat) -> Mat {
     out
 }
 
-/// Chained KRP `M₀ ⊙ M₁ ⊙ … ⊙ Mₖ` (left-assosciated, matching the paper's
+/// Chained KRP `M₀ ⊙ M₁ ⊙ … ⊙ Mₖ` (left-associated, matching the paper's
 /// `K⁽ⁱ⁾ = K⁽ⁱ⁻¹⁾ ⊙ A⁽ⁱ⁾` recurrence).
 pub fn khatri_rao_chain(mats: &[&Mat]) -> Mat {
     assert!(!mats.is_empty(), "KRP chain needs at least one matrix");
@@ -49,91 +49,46 @@ pub fn khatri_rao_chain(mats: &[&Mat]) -> Mat {
     acc
 }
 
-/// Rank-block width of the row primitives: 8 f64 lanes cover one AVX-512
-/// register or two AVX2 registers, and give LLVM a fixed-trip inner loop
-/// it reliably turns into packed math.
-const LANES: usize = 8;
+// The row primitives below are thin dispatchers over the explicit-SIMD
+// implementations in [`crate::simd`]: one relaxed load of the cached
+// path selection and a predictable branch per *row*, hoisted out of all
+// lane loops. The scalar bodies (and the compile-time-gated `fmadd`
+// they use, now superseded by the runtime-dispatch layer) live in
+// `simd::scalar`; the AVX2+FMA and NEON variants are selected at
+// runtime regardless of what the build target enables.
 
-/// Fused multiply-add `a·b + c` — a real `vfma` only when the target
-/// guarantees one. Without the `fma` feature, `f64::mul_add` lowers to a
-/// (slow, non-vectorizable) libm call, so we fall back to the plain
-/// two-rounding form, which also keeps results bit-identical with the
-/// pre-vectorization kernels.
-#[inline(always)]
-fn fmadd(a: f64, b: f64, c: f64) -> f64 {
-    #[cfg(target_feature = "fma")]
-    {
-        a.mul_add(b, c)
-    }
-    #[cfg(not(target_feature = "fma"))]
-    {
-        a * b + c
-    }
+use crate::simd::{self, SimdPath};
+
+macro_rules! dispatch {
+    ($name:ident ( $($arg:expr),* )) => {
+        match simd::active() {
+            #[cfg(target_arch = "x86_64")]
+            SimdPath::Avx2 => simd::avx2::$name($($arg),*),
+            #[cfg(target_arch = "aarch64")]
+            SimdPath::Neon => simd::neon::$name($($arg),*),
+            _ => simd::scalar::$name($($arg),*),
+        }
+    };
 }
 
 /// `out = x ⊙ y` for single rows — the `k_i ← k_{i-1} ⊙ A⁽ⁱ⁾[idx,:]` step.
 #[inline]
 pub fn krp_row(out: &mut [f64], x: &[f64], y: &[f64]) {
-    debug_assert_eq!(out.len(), x.len());
-    debug_assert_eq!(out.len(), y.len());
-    let head = out.len() - out.len() % LANES;
-    let (oh, ot) = out.split_at_mut(head);
-    let (xh, xt) = x.split_at(head);
-    let (yh, yt) = y.split_at(head);
-    for ((o, a), b) in oh
-        .chunks_exact_mut(LANES)
-        .zip(xh.chunks_exact(LANES))
-        .zip(yh.chunks_exact(LANES))
-    {
-        for l in 0..LANES {
-            o[l] = a[l] * b[l];
-        }
-    }
-    for ((o, &a), &b) in ot.iter_mut().zip(xt).zip(yt) {
-        *o = a * b;
-    }
+    dispatch!(krp_row(out, x, y))
 }
 
 /// `acc += x ⊙ y` for single rows — the `Ā[idx,:] += k ⊙ t` update
 /// (paper Algorithm 5, line 18).
 #[inline]
 pub fn hadamard_row(acc: &mut [f64], x: &[f64], y: &[f64]) {
-    debug_assert_eq!(acc.len(), x.len());
-    debug_assert_eq!(acc.len(), y.len());
-    let head = acc.len() - acc.len() % LANES;
-    let (ah, at) = acc.split_at_mut(head);
-    let (xh, xt) = x.split_at(head);
-    let (yh, yt) = y.split_at(head);
-    for ((a, b), c) in ah
-        .chunks_exact_mut(LANES)
-        .zip(xh.chunks_exact(LANES))
-        .zip(yh.chunks_exact(LANES))
-    {
-        for l in 0..LANES {
-            a[l] = fmadd(b[l], c[l], a[l]);
-        }
-    }
-    for ((a, &b), &c) in at.iter_mut().zip(xt).zip(yt) {
-        *a = fmadd(b, c, *a);
-    }
+    dispatch!(hadamard_row(acc, x, y))
 }
 
 /// `acc += s · x` — the leaf-level `t += T[..] · A⁽ᵈ⁻¹⁾[l,:]` update
 /// (paper Algorithm 5, line 16) and the leaf-mode scatter (line 14).
 #[inline]
 pub fn axpy_row(acc: &mut [f64], s: f64, x: &[f64]) {
-    debug_assert_eq!(acc.len(), x.len());
-    let head = acc.len() - acc.len() % LANES;
-    let (ah, at) = acc.split_at_mut(head);
-    let (xh, xt) = x.split_at(head);
-    for (a, b) in ah.chunks_exact_mut(LANES).zip(xh.chunks_exact(LANES)) {
-        for l in 0..LANES {
-            a[l] = fmadd(s, b[l], a[l]);
-        }
-    }
-    for (a, &b) in at.iter_mut().zip(xt) {
-        *a = fmadd(s, b, *a);
-    }
+    dispatch!(axpy_row(acc, s, x))
 }
 
 /// `acc += (s · x) ⊙ y`, fused — a single-leaf fiber's contribution
@@ -142,42 +97,27 @@ pub fn axpy_row(acc: &mut [f64], s: f64, x: &[f64]) {
 /// roundings match the unfused two-step sequence exactly.
 #[inline]
 pub fn krp_axpy(acc: &mut [f64], s: f64, x: &[f64], y: &[f64]) {
-    debug_assert_eq!(acc.len(), x.len());
-    debug_assert_eq!(acc.len(), y.len());
-    let head = acc.len() - acc.len() % LANES;
-    let (ah, at) = acc.split_at_mut(head);
-    let (xh, xt) = x.split_at(head);
-    let (yh, yt) = y.split_at(head);
-    for ((a, b), c) in ah
-        .chunks_exact_mut(LANES)
-        .zip(xh.chunks_exact(LANES))
-        .zip(yh.chunks_exact(LANES))
-    {
-        for l in 0..LANES {
-            a[l] = fmadd(s * b[l], c[l], a[l]);
-        }
-    }
-    for ((a, &b), &c) in at.iter_mut().zip(xt).zip(yt) {
-        *a = fmadd(s * b, c, *a);
-    }
+    dispatch!(krp_axpy(acc, s, x, y))
 }
 
 /// `out = s · x` — scales a row into a scratch buffer (the atomic
 /// emitters build their update row with this before the CAS loop).
 #[inline]
 pub fn scale_row_into(out: &mut [f64], s: f64, x: &[f64]) {
-    debug_assert_eq!(out.len(), x.len());
-    let head = out.len() - out.len() % LANES;
-    let (oh, ot) = out.split_at_mut(head);
-    let (xh, xt) = x.split_at(head);
-    for (o, b) in oh.chunks_exact_mut(LANES).zip(xh.chunks_exact(LANES)) {
-        for l in 0..LANES {
-            o[l] = s * b[l];
-        }
-    }
-    for (o, &b) in ot.iter_mut().zip(xt) {
-        *o = s * b;
-    }
+    dispatch!(scale_row_into(out, s, x))
+}
+
+/// `acc += Σⱼ vals[j] · rows[fids[j]·stride ..][..R]` — a whole fiber's
+/// non-zero run gathered into one accumulator row (paper Algorithm 5,
+/// line 16, hoisted over the run). The SIMD variants keep the
+/// accumulator block in registers across the run and prefetch upcoming
+/// factor rows; per element the accumulation order is the per-nnz
+/// `axpy_row` order, so each path is bit-identical to the loop it
+/// replaces.
+#[inline]
+pub fn axpy_fiber(acc: &mut [f64], vals: &[f64], fids: &[u32], rows: &[f64], stride: usize) {
+    debug_assert_eq!(vals.len(), fids.len());
+    dispatch!(axpy_fiber(acc, vals, fids, rows, stride))
 }
 
 /// `out = x` then `out ⊙= y`, fused; convenience for kernels that own a

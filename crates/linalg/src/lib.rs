@@ -25,6 +25,7 @@ pub mod mat;
 pub mod norms;
 pub mod ops;
 pub mod par;
+pub mod simd;
 pub mod solve;
 
 pub use mat::Mat;

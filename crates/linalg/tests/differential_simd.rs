@@ -1,0 +1,174 @@
+//! Differential property tests for the explicit-SIMD row primitives.
+//!
+//! Every runtime-dispatchable variant (AVX2+FMA on x86-64, NEON on
+//! aarch64) is pitted against the scalar reference through the
+//! [`stef_linalg::simd::ops_for`] function-pointer tables — the same
+//! inputs, including ragged ranks (R 0..=33, so every 8/4-lane block
+//! boundary and scalar tail), deliberately unaligned slices and empty
+//! non-zero runs:
+//!
+//! * the multiply-only primitives (`krp_row`, `scale_row_into`) must be
+//!   **bit-identical** — one rounding per element on every path;
+//! * the accumulating primitives (`hadamard_row`, `axpy_row`,
+//!   `krp_axpy`, `axpy_fiber`, `gather_fiber`) may fuse their
+//!   multiply-adds, so they get the documented 1e-12 relative bound;
+//! * `gather_fiber` must additionally match `fill(0.0)` + `axpy_fiber`
+//!   of the *same* path bit for bit — that equivalence is what lets the
+//!   kernels skip the zero-fill round trip.
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use stef_linalg::simd::{ops_for, RowOps, SimdPath};
+
+/// All non-scalar paths this CPU can run, with their op tables.
+fn variants() -> Vec<(&'static str, &'static RowOps)> {
+    SimdPath::ALL
+        .iter()
+        .filter(|&&p| p != SimdPath::Scalar)
+        .filter_map(|&p| ops_for(p).map(|ops| (p.as_str(), ops)))
+        .collect()
+}
+
+fn scalar_ops() -> &'static RowOps {
+    ops_for(SimdPath::Scalar).expect("scalar is always available")
+}
+
+fn assert_close(tag: &str, what: &str, got: &[f64], want: &[f64]) {
+    assert_eq!(got.len(), want.len());
+    for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+        let tol = 1e-12 * w.abs().max(1.0);
+        assert!(
+            (g - w).abs() <= tol,
+            "{tag} {what}[{i}]: {g} vs scalar {w}"
+        );
+    }
+}
+
+fn assert_bitwise(tag: &str, what: &str, got: &[f64], want: &[f64]) {
+    for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            g.to_bits() == w.to_bits(),
+            "{tag} {what}[{i}]: {g} not bit-identical to {w}"
+        );
+    }
+}
+
+/// An `r`-element window starting `off` elements into a backing buffer,
+/// so the SIMD bodies see unaligned pointers for `off % 4 != 0`.
+fn window(buf: &[f64], off: usize, r: usize) -> Vec<f64> {
+    buf[off..off + r].to_vec()
+}
+
+const MAX_R: usize = 33;
+const PAD: usize = 4;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mul_only_primitives_are_bit_identical_to_scalar(
+        r in 0usize..=MAX_R,
+        off in 0usize..PAD,
+        x in pvec(-4.0f64..4.0, MAX_R + PAD),
+        y in pvec(-4.0f64..4.0, MAX_R + PAD),
+        s in -4.0f64..4.0,
+    ) {
+        let (xs, ys) = (window(&x, off, r), window(&y, off, r));
+        for (tag, ops) in variants() {
+            let mut got = vec![f64::NAN; r];
+            let mut want = vec![f64::NAN; r];
+            (ops.krp_row)(&mut got, &xs, &ys);
+            (scalar_ops().krp_row)(&mut want, &xs, &ys);
+            assert_bitwise(tag, "krp_row", &got, &want);
+
+            (ops.scale_row_into)(&mut got, s, &xs);
+            (scalar_ops().scale_row_into)(&mut want, s, &xs);
+            assert_bitwise(tag, "scale_row_into", &got, &want);
+        }
+    }
+
+    #[test]
+    fn accumulating_primitives_match_scalar_to_1e12(
+        r in 0usize..=MAX_R,
+        off in 0usize..PAD,
+        acc0 in pvec(-4.0f64..4.0, MAX_R + PAD),
+        x in pvec(-4.0f64..4.0, MAX_R + PAD),
+        y in pvec(-4.0f64..4.0, MAX_R + PAD),
+        s in -4.0f64..4.0,
+    ) {
+        let (a0, xs, ys) = (window(&acc0, off, r), window(&x, off, r), window(&y, off, r));
+        for (tag, ops) in variants() {
+            let mut got = a0.clone();
+            let mut want = a0.clone();
+            (ops.hadamard_row)(&mut got, &xs, &ys);
+            (scalar_ops().hadamard_row)(&mut want, &xs, &ys);
+            assert_close(tag, "hadamard_row", &got, &want);
+
+            let mut got = a0.clone();
+            let mut want = a0.clone();
+            (ops.axpy_row)(&mut got, s, &xs);
+            (scalar_ops().axpy_row)(&mut want, s, &xs);
+            assert_close(tag, "axpy_row", &got, &want);
+
+            let mut got = a0.clone();
+            let mut want = a0.clone();
+            (ops.krp_axpy)(&mut got, s, &xs, &ys);
+            (scalar_ops().krp_axpy)(&mut want, s, &xs, &ys);
+            assert_close(tag, "krp_axpy", &got, &want);
+        }
+    }
+
+    #[test]
+    fn fiber_gathers_match_scalar_across_ragged_runs(
+        r in 0usize..=MAX_R,
+        pad in 0usize..PAD,
+        nrows in 1usize..=9,
+        nnz in 0usize..=10,           // includes the empty run
+        acc0 in pvec(-4.0f64..4.0, MAX_R),
+        vals in pvec(-4.0f64..4.0, 10),
+        fid_seed in any::<u64>(),
+        rowdata in pvec(-4.0f64..4.0, (MAX_R + PAD) * 9),
+    ) {
+        let stride = r + pad;
+        let rows = &rowdata[..nrows * stride];
+        let mut x = fid_seed | 1;
+        let fids: Vec<u32> = (0..nnz)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((x >> 33) % nrows as u64) as u32
+            })
+            .collect();
+        let vals = &vals[..nnz];
+        let a0 = &acc0[..r];
+        for (tag, ops) in variants() {
+            let mut got = a0.to_vec();
+            let mut want = a0.to_vec();
+            (ops.axpy_fiber)(&mut got, vals, &fids, rows, stride);
+            (scalar_ops().axpy_fiber)(&mut want, vals, &fids, rows, stride);
+            assert_close(tag, "axpy_fiber", &got, &want);
+
+            let mut got = vec![f64::NAN; r];
+            let mut want = vec![f64::NAN; r];
+            (ops.gather_fiber)(&mut got, vals, &fids, rows, stride);
+            (scalar_ops().gather_fiber)(&mut want, vals, &fids, rows, stride);
+            assert_close(tag, "gather_fiber", &got, &want);
+
+            // The overwrite gather is exactly fill-then-accumulate of
+            // the same path, bit for bit.
+            let mut composed = vec![0.0f64; r];
+            (ops.axpy_fiber)(&mut composed, vals, &fids, rows, stride);
+            assert_bitwise(tag, "gather_fiber-vs-fill+axpy", &got, &composed);
+        }
+    }
+}
+
+/// The tables themselves must be consistent: the scalar row of
+/// `ops_for` is the reference implementation, and every available
+/// non-scalar path reports availability truthfully.
+#[test]
+fn ops_tables_match_availability() {
+    assert!(ops_for(SimdPath::Scalar).is_some());
+    for p in SimdPath::ALL {
+        assert_eq!(ops_for(p).is_some(), p.available(), "{}", p.as_str());
+    }
+}

@@ -204,6 +204,9 @@ impl Stef {
                 "tensor contains non-finite values".into(),
             ));
         }
+        // Select the SIMD kernel path for the process. `Auto` keeps any
+        // earlier explicit selection; `Force` pins one for A/B runs.
+        linalg::simd::apply(opts.simd);
         let d = coo.ndim();
         let nthreads = opts.threads();
         let base_order = sort_modes_by_length(coo.dims());
@@ -877,8 +880,11 @@ mod tests {
         for mode in a.sweep_order() {
             let ga = a.mttkrp(&factors, mode);
             let gb = b.mttkrp(&factors, mode);
-            // Bit-identical without FMA codegen; approximately equal with.
-            let tol = if cfg!(target_feature = "fma") { 1e-12 } else { 0.0 };
+            // Bit-identical when nothing fuses (scalar dispatch, no FMA
+            // codegen); approximately equal when multiply-adds fuse.
+            let fused = cfg!(target_feature = "fma")
+                || linalg::simd::active() != linalg::simd::SimdPath::Scalar;
+            let tol = if fused { 1e-12 } else { 0.0 };
             assert_mat_approx_eq(&ga, &gb, tol);
         }
     }

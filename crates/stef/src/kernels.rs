@@ -34,29 +34,51 @@
 //! * **Monomorphized emitters.** The output update is a generic
 //!   [`Emitter`] parameter — one fully inlined instantiation per
 //!   accumulation strategy — instead of the former `&mut dyn FnMut`
-//!   indirect call per emitted row.
+//!   indirect call per emitted row. The atomic emitter fuses each
+//!   contribution straight into its CAS sweep (no scratch `upd` row),
+//!   and both emitters expose a prefetch hint the scatter loops issue
+//!   a few non-zeros ahead.
 //! * **Iterative traversal.** The recursive `walk_down`/`walk_u` pair
 //!   became explicit-stack loops over per-level `cur`/`end` cursors,
-//!   with the two hottest shapes special-cased into tight loops: leaf
-//!   fibers (a run of `axpy_row`) and memoized children (a run of
-//!   `hadamard_row`); single-leaf fibers fuse into one `krp_axpy`.
+//!   with the two hottest shapes special-cased: leaf fibers collapse
+//!   into one `axpy_fiber` gather whose accumulator block stays in
+//!   registers across the run (and which prefetches upcoming factor
+//!   rows), memoized children into a run of `hadamard_row`;
+//!   single-leaf fibers fuse into one `krp_axpy`.
 //! * **Deterministic parallel reduction.** Privatized outputs are
 //!   reduced chunk-parallel over the flat `n_u·R` range, each element
 //!   summed in logical-thread order — bit-identical to the old serial
 //!   reduction, without its `O(T·n_u·R)` single-core cost.
 //!
 //! All arithmetic orderings match the legacy kernels exactly (see
-//! `kernels_legacy.rs`), so without FMA codegen the two paths produce
-//! bit-identical results — a property the differential tests pin.
+//! `kernels_legacy.rs`). Both paths use the same row primitives
+//! (`linalg::simd`), so for any one dispatch variant the two produce
+//! bit-identical results — a property the differential tests pin for
+//! every variant the CPU can run.
+//!
+//! ## SIMD dispatch
+//!
+//! The traversal bodies are generic over [`RowKernels`] — a zero-sized
+//! token naming one concrete kernel set — and are entered through a
+//! small per-thread dispatch on [`linalg::simd::active`]. The AVX2
+//! instantiations sit behind `#[target_feature(enable = "avx2,fma")]`
+//! wrappers, which is what lets the explicit-SIMD primitives inline
+//! into the scatter loops: dispatch happens once per pass per thread,
+//! not once per emitted row.
 
 use crate::partials::PartialStore;
 use crate::runtime::Executor;
 use crate::schedule::Schedule;
 use crate::sync::{SharedRows, SharedSlice};
 use crate::workspace::Workspace;
-use linalg::krp::{axpy_row, hadamard_row, krp_axpy, krp_row, scale_row_into};
+use linalg::simd::{self, RowKernels};
 use linalg::Mat;
 use sptensor::Csf;
+
+/// How many output rows ahead the scatter loops issue a prefetch hint.
+/// Far enough to cover an L2 miss at typical per-row work, near enough
+/// that the line is still resident when the row is touched.
+const SCATTER_PREFETCH: usize = 4;
 
 /// Everything a kernel invocation needs, borrowed for its duration.
 pub struct KernelCtx<'a> {
@@ -107,11 +129,15 @@ pub enum ResolvedAccum {
 
 /// How a level-`u` contribution reaches the output matrix. Generic so
 /// each accumulation strategy gets its own fully inlined kernel body.
+/// The row-kernel token rides along per call so the privatized emitter
+/// uses the same monomorphized primitives as the traversal around it.
 trait Emitter {
     /// `out[fid] += a ⊙ b`.
-    fn product(&mut self, fid: usize, a: &[f64], b: &[f64]);
+    fn product<K: RowKernels>(&mut self, k: K, fid: usize, a: &[f64], b: &[f64]);
     /// `out[fid] += s · x`.
-    fn scaled(&mut self, fid: usize, s: f64, x: &[f64]);
+    fn scaled<K: RowKernels>(&mut self, k: K, fid: usize, s: f64, x: &[f64]);
+    /// Hints that `out[fid]` will be emitted to shortly. Advisory.
+    fn prefetch(&self, fid: usize);
 }
 
 /// Writes into this thread's private copy of the output — plain fused
@@ -123,36 +149,46 @@ struct PrivEmitter<'a> {
 
 impl Emitter for PrivEmitter<'_> {
     #[inline(always)]
-    fn product(&mut self, fid: usize, a: &[f64], b: &[f64]) {
+    fn product<K: RowKernels>(&mut self, k: K, fid: usize, a: &[f64], b: &[f64]) {
         let base = fid * self.r;
-        hadamard_row(&mut self.local[base..base + self.r], a, b);
+        k.hadamard_row(&mut self.local[base..base + self.r], a, b);
     }
 
     #[inline(always)]
-    fn scaled(&mut self, fid: usize, s: f64, x: &[f64]) {
+    fn scaled<K: RowKernels>(&mut self, k: K, fid: usize, s: f64, x: &[f64]) {
         let base = fid * self.r;
-        axpy_row(&mut self.local[base..base + self.r], s, x);
+        k.axpy_row(&mut self.local[base..base + self.r], s, x);
+    }
+
+    #[inline(always)]
+    fn prefetch(&self, fid: usize) {
+        linalg::simd::prefetch_read(&self.local[fid * self.r]);
     }
 }
 
-/// Builds the update row in scratch, then atomically adds it into the
-/// shared output.
+/// Streams each contribution straight into the shared output's CAS
+/// sweep — the fused form of the old build-`upd`-then-`atomic_add_row`
+/// sequence, which paid a full scratch-row write *and* read-back per
+/// emitted row. The fused adds round identically (one multiply per
+/// element either way), so results are bit-for-bit the same.
 struct AtomicEmitter<'a, 'b> {
     shared: &'a SharedRows<'b>,
-    upd: &'a mut [f64],
 }
 
 impl Emitter for AtomicEmitter<'_, '_> {
     #[inline(always)]
-    fn product(&mut self, fid: usize, a: &[f64], b: &[f64]) {
-        krp_row(self.upd, a, b);
-        self.shared.atomic_add_row(fid, self.upd);
+    fn product<K: RowKernels>(&mut self, _k: K, fid: usize, a: &[f64], b: &[f64]) {
+        self.shared.atomic_add_product_row(fid, a, b);
     }
 
     #[inline(always)]
-    fn scaled(&mut self, fid: usize, s: f64, x: &[f64]) {
-        scale_row_into(self.upd, s, x);
-        self.shared.atomic_add_row(fid, self.upd);
+    fn scaled<K: RowKernels>(&mut self, _k: K, fid: usize, s: f64, x: &[f64]) {
+        self.shared.atomic_add_scaled_row(fid, s, x);
+    }
+
+    #[inline(always)]
+    fn prefetch(&self, fid: usize) {
+        self.shared.prefetch_row(fid);
     }
 }
 
@@ -191,33 +227,89 @@ pub fn mode0_with(
         // SAFETY: each logical thread touches only its own arena span.
         let scr = unsafe { arena.range_mut(th * astride, (th + 1) * astride) };
         let stk = unsafe { stackmem.range_mut(th * sstride, (th + 1) * sstride) };
-        // Layout: `d` KRP rows (unused here), `d` accumulator rows, upd.
+        // Layout: `d` KRP rows (unused here), `d` accumulator rows.
         let tbuf = &mut scr[d * rs..2 * d * rs];
         let (cur, end) = stk.split_at_mut(d);
-        let root_fids = ctx.csf.fids(0);
-        let (rlo, rhi) = ctx.sched.root_range(th);
-        for idx0 in rlo..rhi {
-            tbuf[..r].fill(0.0);
-            subtree_down(ctx, th, idx0, views, tbuf, rs, cur, end);
-            let fid = root_fids[idx0] as usize;
-            if ctx.sched.is_boundary(th, 0, idx0) {
-                // Possibly shared with a neighbour: atomic accumulate.
-                out_shared.atomic_add_row(fid, &tbuf[..r]);
-            } else {
-                // SAFETY: a non-boundary root node — and hence its output
-                // row, since root fids are unique — is owned by exactly
-                // this thread.
-                unsafe { out_shared.row_mut(fid) }.copy_from_slice(&tbuf[..r]);
+        // One ISA dispatch per thread; everything below it is
+        // monomorphized over the kernel set.
+        match simd::active() {
+            #[cfg(target_arch = "x86_64")]
+            simd::SimdPath::Avx2 => {
+                // SAFETY: `active()` never selects an unavailable path.
+                unsafe { mode0_thread_avx2(ctx, th, views, &out_shared, tbuf, rs, cur, end) }
             }
+            #[cfg(target_arch = "aarch64")]
+            simd::SimdPath::Neon => {
+                mode0_thread(simd::NeonK, ctx, th, views, &out_shared, tbuf, rs, cur, end)
+            }
+            _ => mode0_thread(simd::ScalarK, ctx, th, views, &out_shared, tbuf, rs, cur, end),
         }
     });
 }
 
-/// Accumulates the (thread-clamped) subtree contribution of root node
-/// `idx0` into `tbuf[0..r]`, storing flagged partials on the way up —
-/// the explicit-stack form of the old recursive `walk_down`.
+/// The AVX2 instantiation of [`mode0_thread`]. The `#[target_feature]`
+/// region is what lets the AVX2 row primitives inline into the
+/// traversal — a `#[target_feature]` function only inlines into
+/// callers that already guarantee its features.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
 #[allow(clippy::too_many_arguments)]
-fn subtree_down(
+unsafe fn mode0_thread_avx2(
+    ctx: &KernelCtx<'_>,
+    th: usize,
+    views: &[Option<SharedRows<'_>>],
+    out_shared: &SharedRows<'_>,
+    tbuf: &mut [f64],
+    rs: usize,
+    cur: &mut [usize],
+    end: &mut [usize],
+) {
+    // SAFETY: the caller dispatched on an available Avx2 path.
+    let k = unsafe { simd::Avx2K::new_unchecked() };
+    mode0_thread(k, ctx, th, views, out_shared, tbuf, rs, cur, end)
+}
+
+/// One logical thread's share of the mode-0 pass, monomorphized over
+/// the SIMD kernel set.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn mode0_thread<K: RowKernels>(
+    k: K,
+    ctx: &KernelCtx<'_>,
+    th: usize,
+    views: &[Option<SharedRows<'_>>],
+    out_shared: &SharedRows<'_>,
+    tbuf: &mut [f64],
+    rs: usize,
+    cur: &mut [usize],
+    end: &mut [usize],
+) {
+    let r = ctx.rank;
+    let root_fids = ctx.csf.fids(0);
+    let (rlo, rhi) = ctx.sched.root_range(th);
+    for idx0 in rlo..rhi {
+        subtree_down(k, ctx, th, idx0, views, tbuf, rs, cur, end);
+        let fid = root_fids[idx0] as usize;
+        if ctx.sched.is_boundary(th, 0, idx0) {
+            // Possibly shared with a neighbour: atomic accumulate.
+            out_shared.atomic_add_row(fid, &tbuf[..r]);
+        } else {
+            // SAFETY: a non-boundary root node — and hence its output
+            // row, since root fids are unique — is owned by exactly
+            // this thread.
+            unsafe { out_shared.row_mut(fid) }.copy_from_slice(&tbuf[..r]);
+        }
+    }
+}
+
+/// Computes the (thread-clamped) subtree contribution of root node
+/// `idx0` into `tbuf[0..r]` (overwriting it), storing flagged partials
+/// on the way up — the explicit-stack form of the old recursive
+/// `walk_down`.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn subtree_down<K: RowKernels>(
+    k: K,
     ctx: &KernelCtx<'_>,
     th: usize,
     idx0: usize,
@@ -233,17 +325,18 @@ fn subtree_down(
     let sched = ctx.sched;
     let vals = csf.vals();
     if d == 2 {
-        // Root children are leaves: one tight scatter-free loop.
+        // Root children are leaves: one fused streaming gather — the
+        // output row stays in registers across the whole non-zero run,
+        // starting from +0.0 (no zero-fill round trip).
         let (lo, hi) = child_range(csf, 1, idx0);
         let (clo, chi) = sched.clamp(th, 1, lo, hi);
         let fids = csf.fids(1);
         let leaf = ctx.factors[1];
         let t0 = &mut tbuf[..r];
-        for c in clo..chi {
-            axpy_row(t0, vals[c], leaf.row(fids[c] as usize));
-        }
+        k.gather_fiber(t0, &vals[clo..chi], &fids[clo..chi], leaf.as_slice(), leaf.cols());
         return;
     }
+    tbuf[..r].fill(0.0);
     let mut level = 1usize;
     {
         let (lo, hi) = child_range(csf, 1, idx0);
@@ -266,19 +359,22 @@ fn subtree_down(
                 if chi - clo == 1 && views[level].is_none() {
                     // Single leaf and nothing to memoize: fuse the zero +
                     // axpy + hadamard triple into one krp_axpy.
-                    krp_axpy(tprev, vals[clo], leaf.row(leaf_fids[clo] as usize), frow);
+                    k.krp_axpy(tprev, vals[clo], leaf.row(leaf_fids[clo] as usize), frow);
                 } else {
                     let tl = &mut ttail[..r];
-                    tl.fill(0.0);
-                    for c in clo..chi {
-                        axpy_row(tl, vals[c], leaf.row(leaf_fids[c] as usize));
-                    }
+                    k.gather_fiber(
+                        tl,
+                        &vals[clo..chi],
+                        &leaf_fids[clo..chi],
+                        leaf.as_slice(),
+                        leaf.cols(),
+                    );
                     if let Some(view) = &views[level] {
                         // SAFETY: shift-by-thread-id makes row `idx + th`
                         // exclusively this thread's (see partials.rs).
                         unsafe { view.row_mut(idx + th) }.copy_from_slice(tl);
                     }
-                    hadamard_row(tprev, tl, frow);
+                    k.hadamard_row(tprev, tl, frow);
                 }
                 cur[level] += 1;
             } else {
@@ -304,7 +400,7 @@ fn subtree_down(
             }
             let frow = ctx.factors[level].row(csf.fids(level)[idx] as usize);
             let (thead, ttail) = tbuf.split_at_mut(level * rs);
-            hadamard_row(
+            k.hadamard_row(
                 &mut thead[(level - 1) * rs..(level - 1) * rs + r],
                 &ttail[..r],
                 frow,
@@ -356,6 +452,46 @@ pub fn modeu_with(
     match accum {
         ResolvedAccum::Privatized => {
             let pstride = parts.priv_stride;
+            if rt.is_serial() {
+                // A serial executor runs logical threads in order —
+                // which is exactly the reduction's element-wise thread
+                // order. Thread 0 emits straight into `out` (`out = p0`,
+                // bit for bit), every later thread reuses one scratch
+                // copy that is folded in before the next starts
+                // (`out = (…(p0 + p1) + …) + pt`). Same sums in the
+                // same order as the chunk-parallel reduction below, at
+                // a live working set of two copies instead of
+                // `nthreads` — the copies stay cache-resident instead
+                // of thrashing each other out.
+                out.fill_zero();
+                let flat = SharedSlice::new(out.as_mut_slice());
+                let pool = SharedSlice::new(&mut parts.priv_buf[..pstride]);
+                rt.fanout(nthreads, |th| {
+                    // SAFETY: per-thread arena spans are disjoint; the
+                    // output and the single scratch copy are shared
+                    // across logical threads, but the serial executor
+                    // runs them sequentially, so no two `&mut` borrows
+                    // are live at once.
+                    let scr = unsafe { arena.range_mut(th * astride, (th + 1) * astride) };
+                    let stk = unsafe { stackmem.range_mut(th * sstride, (th + 1) * sstride) };
+                    if th == 0 {
+                        let local = unsafe { flat.range_mut(0, n_u * r) };
+                        let mut em = PrivEmitter { local, r };
+                        modeu_thread(ctx, th, u, use_saved, views, &mut scr[..2 * d * rs], stk, rs, &mut em);
+                    } else {
+                        let local = unsafe { pool.range_mut(0, n_u * r) };
+                        local.fill(0.0);
+                        let mut em = PrivEmitter { local, r };
+                        modeu_thread(ctx, th, u, use_saved, views, &mut scr[..2 * d * rs], stk, rs, &mut em);
+                        let dst = unsafe { flat.range_mut(0, n_u * r) };
+                        let src = unsafe { pool.range(0, n_u * r) };
+                        for (o, &v) in dst.iter_mut().zip(src) {
+                            *o += v;
+                        }
+                    }
+                });
+                return;
+            }
             let pool = SharedSlice::new(&mut parts.priv_buf[..nthreads * pstride]);
             rt.fanout(nthreads, |th| {
                 // SAFETY: per-thread spans are disjoint by construction.
@@ -397,26 +533,93 @@ pub fn modeu_with(
         }
         ResolvedAccum::Atomic => {
             out.fill_zero();
-            let shared = SharedRows::new(out.as_mut_slice(), r);
-            rt.fanout(nthreads, |th| {
-                // SAFETY: per-thread spans are disjoint by construction.
-                let scr = unsafe { arena.range_mut(th * astride, (th + 1) * astride) };
-                let stk = unsafe { stackmem.range_mut(th * sstride, (th + 1) * sstride) };
-                let (main, upd) = scr.split_at_mut(2 * d * rs);
-                let mut em = AtomicEmitter {
-                    shared: &shared,
-                    upd: &mut upd[..r],
-                };
-                modeu_thread(ctx, th, u, use_saved, views, main, stk, rs, &mut em);
-            });
+            if rt.is_serial() {
+                // A serial executor runs logical threads one after
+                // another, so the CAS sweeps' only job — surviving
+                // concurrent writers — is moot: plain fused row adds
+                // perform the same additions in the same order, bit
+                // for bit, at a fraction of the cost (a compare-and-
+                // swap per element becomes one load/fma/store).
+                let flat = SharedSlice::new(out.as_mut_slice());
+                rt.fanout(nthreads, |th| {
+                    // SAFETY: per-thread arena spans are disjoint. The
+                    // output range is shared across logical threads,
+                    // but the serial executor runs them sequentially,
+                    // so no two `&mut` borrows of it are live at once.
+                    let scr = unsafe { arena.range_mut(th * astride, (th + 1) * astride) };
+                    let stk = unsafe { stackmem.range_mut(th * sstride, (th + 1) * sstride) };
+                    let local = unsafe { flat.range_mut(0, n_u * r) };
+                    let mut em = PrivEmitter { local, r };
+                    modeu_thread(ctx, th, u, use_saved, views, &mut scr[..2 * d * rs], stk, rs, &mut em);
+                });
+            } else {
+                let shared = SharedRows::new(out.as_mut_slice(), r);
+                rt.fanout(nthreads, |th| {
+                    // SAFETY: per-thread spans are disjoint by construction.
+                    let scr = unsafe { arena.range_mut(th * astride, (th + 1) * astride) };
+                    let stk = unsafe { stackmem.range_mut(th * sstride, (th + 1) * sstride) };
+                    let mut em = AtomicEmitter { shared: &shared };
+                    modeu_thread(ctx, th, u, use_saved, views, &mut scr[..2 * d * rs], stk, rs, &mut em);
+                });
+            }
         }
     }
 }
 
-/// One logical thread's mode-`u` traversal — the explicit-stack form of
-/// the old recursive `walk_u`, monomorphized over the emitter.
+/// One logical thread's mode-`u` traversal: one ISA dispatch, then the
+/// body monomorphized over both the emitter and the kernel set.
 #[allow(clippy::too_many_arguments)]
 fn modeu_thread<E: Emitter>(
+    ctx: &KernelCtx<'_>,
+    th: usize,
+    u: usize,
+    use_saved: bool,
+    views: &[Option<SharedRows<'_>>],
+    scr: &mut [f64],
+    stk: &mut [usize],
+    rs: usize,
+    em: &mut E,
+) {
+    match simd::active() {
+        #[cfg(target_arch = "x86_64")]
+        simd::SimdPath::Avx2 => {
+            // SAFETY: `active()` never selects an unavailable path.
+            unsafe { modeu_thread_avx2(ctx, th, u, use_saved, views, scr, stk, rs, em) }
+        }
+        #[cfg(target_arch = "aarch64")]
+        simd::SimdPath::Neon => {
+            modeu_thread_body(simd::NeonK, ctx, th, u, use_saved, views, scr, stk, rs, em)
+        }
+        _ => modeu_thread_body(simd::ScalarK, ctx, th, u, use_saved, views, scr, stk, rs, em),
+    }
+}
+
+/// The AVX2 instantiation of [`modeu_thread_body`]; see
+/// [`mode0_thread_avx2`] for why the `#[target_feature]` region matters.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn modeu_thread_avx2<E: Emitter>(
+    ctx: &KernelCtx<'_>,
+    th: usize,
+    u: usize,
+    use_saved: bool,
+    views: &[Option<SharedRows<'_>>],
+    scr: &mut [f64],
+    stk: &mut [usize],
+    rs: usize,
+    em: &mut E,
+) {
+    // SAFETY: the caller dispatched on an available Avx2 path.
+    let k = unsafe { simd::Avx2K::new_unchecked() };
+    modeu_thread_body(k, ctx, th, u, use_saved, views, scr, stk, rs, em)
+}
+
+/// The explicit-stack form of the old recursive `walk_u`.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn modeu_thread_body<K: RowKernels, E: Emitter>(
+    k: K,
     ctx: &KernelCtx<'_>,
     th: usize,
     u: usize,
@@ -442,7 +645,7 @@ fn modeu_thread<E: Emitter>(
         let (clo, chi) = sched.clamp(th, 1, lo, hi);
         if u == 1 {
             let kprev = &kbuf[..r];
-            process_at_u(ctx, th, u, clo, chi, use_saved, views, kprev, tbuf, rs, cur, end, em);
+            process_at_u(k, ctx, th, u, clo, chi, use_saved, views, kprev, tbuf, rs, cur, end, em);
             continue;
         }
         let mut level = 1usize;
@@ -452,7 +655,7 @@ fn modeu_thread<E: Emitter>(
             if level == u {
                 let kprev = &kbuf[(u - 1) * rs..(u - 1) * rs + r];
                 process_at_u(
-                    ctx, th, u, cur[u], end[u], use_saved, views, kprev, tbuf, rs, cur, end, em,
+                    k, ctx, th, u, cur[u], end[u], use_saved, views, kprev, tbuf, rs, cur, end, em,
                 );
                 // Pop to the deepest level with an unvisited sibling.
                 loop {
@@ -472,7 +675,7 @@ fn modeu_thread<E: Emitter>(
                 // Extend the KRP row: k_level = k_{level-1} ⊙ A⁽ˡ⁾[fid,:].
                 let frow = ctx.factors[level].row(csf.fids(level)[idx] as usize);
                 let (kh, kt) = kbuf.split_at_mut(level * rs);
-                krp_row(&mut kt[..r], &kh[(level - 1) * rs..(level - 1) * rs + r], frow);
+                k.krp_row(&mut kt[..r], &kh[(level - 1) * rs..(level - 1) * rs + r], frow);
                 let (lo, hi) = child_range(csf, level + 1, idx);
                 let (clo, chi) = sched.clamp(th, level + 1, lo, hi);
                 level += 1;
@@ -497,7 +700,9 @@ fn modeu_thread<E: Emitter>(
 /// `u`: a tight scatter loop (leaf mode), a tight memoized-read loop
 /// (Fig. 1b), or per-node recompute (Fig. 1c/1d).
 #[allow(clippy::too_many_arguments)]
-fn process_at_u<E: Emitter>(
+#[inline(always)]
+fn process_at_u<K: RowKernels, E: Emitter>(
+    k: K,
     ctx: &KernelCtx<'_>,
     th: usize,
     u: usize,
@@ -517,30 +722,40 @@ fn process_at_u<E: Emitter>(
     let csf = ctx.csf;
     let fids = csf.fids(u);
     if u == d - 1 {
-        // Leaf mode: Ā⁽ᵈ⁻¹⁾[fid] += val · k_{d-2}  (KRP scatter).
+        // Leaf mode: Ā⁽ᵈ⁻¹⁾[fid] += val · k_{d-2}  (KRP scatter). The
+        // scattered-to rows have no locality, so pull each one toward
+        // L1 a few non-zeros ahead of its update.
         let vals = csf.vals();
         for idx in clo..chi {
-            em.scaled(fids[idx] as usize, vals[idx], kprev);
+            if idx + SCATTER_PREFETCH < chi {
+                em.prefetch(fids[idx + SCATTER_PREFETCH] as usize);
+            }
+            em.scaled(k, fids[idx] as usize, vals[idx], kprev);
         }
         return;
     }
     if use_saved && views[u].is_some() {
-        // Fig. 1b: one memoized read per node.
+        // Fig. 1b: one memoized read per node. The memoized rows are
+        // sequential (hardware prefetch covers them); only the output
+        // scatter needs a hint.
         let view = views[u].as_ref().unwrap();
         for idx in clo..chi {
+            if idx + SCATTER_PREFETCH < chi {
+                em.prefetch(fids[idx + SCATTER_PREFETCH] as usize);
+            }
             // SAFETY: row `idx + th` was written by this thread during
             // the mode-0 pass under the same schedule, and no pass
             // writes it concurrently with this read.
             let t_u = unsafe { view.row(idx + th) };
-            em.product(fids[idx] as usize, kprev, t_u);
+            em.product(k, fids[idx] as usize, kprev, t_u);
         }
         return;
     }
     for idx in clo..chi {
         // Fig. 1c/1d: recompute t_u from the deepest usable saved level
         // (or the leaves).
-        compute_t(ctx, th, u, idx, use_saved, views, tbuf, rs, cur, end);
-        em.product(fids[idx] as usize, kprev, &tbuf[u * rs..u * rs + r]);
+        compute_t(k, ctx, th, u, idx, use_saved, views, tbuf, rs, cur, end);
+        em.product(k, fids[idx] as usize, kprev, &tbuf[u * rs..u * rs + r]);
     }
 }
 
@@ -550,7 +765,9 @@ fn process_at_u<E: Emitter>(
 /// level or the leaves (Algorithms 7/8). Iterative; reuses the cursor
 /// levels `base+1..d-1`, which the caller's traversal never touches.
 #[allow(clippy::too_many_arguments)]
-fn compute_t(
+#[inline(always)]
+fn compute_t<K: RowKernels>(
+    k: K,
     ctx: &KernelCtx<'_>,
     th: usize,
     base: usize,
@@ -571,16 +788,16 @@ fn compute_t(
     let (lo, hi) = child_range(csf, base + 1, idx0);
     let (clo, chi) = sched.clamp(th, base + 1, lo, hi);
     let tb = &mut tbuf[base * rs..base * rs + r];
-    tb.fill(0.0);
     if base + 1 == d - 1 {
-        // Children are leaves: tight axpy run.
+        // Children are leaves: one streaming overwrite-gather — no
+        // zero-fill round trip, the accumulators start at +0.0 in
+        // registers.
         let leaf_fids = csf.fids(d - 1);
         let leaf = ctx.factors[d - 1];
-        for c in clo..chi {
-            axpy_row(tb, vals[c], leaf.row(leaf_fids[c] as usize));
-        }
+        k.gather_fiber(tb, &vals[clo..chi], &leaf_fids[clo..chi], leaf.as_slice(), leaf.cols());
         return;
     }
+    tb.fill(0.0);
     if is_saved(base + 1) {
         // Children are memoized: tight hadamard run (Fig. 1c).
         let view = views[base + 1].as_ref().unwrap();
@@ -588,7 +805,7 @@ fn compute_t(
         let cfactor = ctx.factors[base + 1];
         for c in clo..chi {
             // SAFETY: same ownership argument as in `process_at_u`.
-            hadamard_row(tb, unsafe { view.row(c + th) }, cfactor.row(cfids[c] as usize));
+            k.hadamard_row(tb, unsafe { view.row(c + th) }, cfactor.row(cfids[c] as usize));
         }
         return;
     }
@@ -608,14 +825,17 @@ fn compute_t(
                 let (thead, ttail) = tbuf.split_at_mut(level * rs);
                 let tprev = &mut thead[(level - 1) * rs..(level - 1) * rs + r];
                 if nchi - nclo == 1 {
-                    krp_axpy(tprev, vals[nclo], leaf.row(leaf_fids[nclo] as usize), frow);
+                    k.krp_axpy(tprev, vals[nclo], leaf.row(leaf_fids[nclo] as usize), frow);
                 } else {
                     let tl = &mut ttail[..r];
-                    tl.fill(0.0);
-                    for cc in nclo..nchi {
-                        axpy_row(tl, vals[cc], leaf.row(leaf_fids[cc] as usize));
-                    }
-                    hadamard_row(tprev, tl, frow);
+                    k.gather_fiber(
+                        tl,
+                        &vals[nclo..nchi],
+                        &leaf_fids[nclo..nchi],
+                        leaf.as_slice(),
+                        leaf.cols(),
+                    );
+                    k.hadamard_row(tprev, tl, frow);
                 }
                 cur[level] += 1;
             } else if is_saved(level + 1) {
@@ -630,9 +850,9 @@ fn compute_t(
                 tl.fill(0.0);
                 for cc in nclo..nchi {
                     // SAFETY: same ownership argument as above.
-                    hadamard_row(tl, unsafe { view.row(cc + th) }, cfactor.row(cfids[cc] as usize));
+                    k.hadamard_row(tl, unsafe { view.row(cc + th) }, cfactor.row(cfids[cc] as usize));
                 }
-                hadamard_row(tprev, tl, frow);
+                k.hadamard_row(tprev, tl, frow);
                 cur[level] += 1;
             } else {
                 // Internal node: zero its accumulator and descend.
@@ -649,7 +869,7 @@ fn compute_t(
             let c = cur[level];
             let frow = ctx.factors[level].row(csf.fids(level)[c] as usize);
             let (thead, ttail) = tbuf.split_at_mut(level * rs);
-            hadamard_row(
+            k.hadamard_row(
                 &mut thead[(level - 1) * rs..(level - 1) * rs + r],
                 &ttail[..r],
                 frow,
@@ -989,14 +1209,16 @@ mod tests {
 
     #[test]
     fn matches_legacy_kernels_bitwise() {
-        // The rewrite preserves every arithmetic ordering; without FMA
-        // codegen the two implementations must agree bit for bit (with
-        // FMA both paths change together, so compare approximately).
-        let tol = if cfg!(target_feature = "fma") {
-            1e-12
-        } else {
-            0.0
-        };
+        // The rewrite preserves every arithmetic ordering; when no
+        // multiply-add fuses — scalar dispatch without FMA codegen —
+        // the two implementations must agree bit for bit. Fused
+        // multiply-adds (compile-time FMA codegen, or the runtime AVX2/
+        // NEON paths) round once where legacy's mode-u emit (`krp_row`
+        // then a plain add) rounds twice, so only closeness can be
+        // required there.
+        let fused = cfg!(target_feature = "fma")
+            || linalg::simd::active() != linalg::simd::SimdPath::Scalar;
+        let tol = if fused { 1e-12 } else { 0.0 };
         for (dims, save, nthreads) in [
             (vec![8usize, 9, 10], vec![false, true, false], 1),
             (vec![8, 9, 10], vec![false, false, false], 4),

@@ -478,9 +478,12 @@ pub struct AccumCosts {
 /// updates land in it: `T` zeroed copies, one `m_level·R` emit stream,
 /// then a reduction that reads all `T` copies and writes the final one —
 /// `(2T + 1)·n_level·R + m_level·R` in total. Atomics pay only for the
-/// single output plus roughly three memory accesses per emitted element
-/// (load, failed/successful CAS), inflated by a contention factor that
-/// grows with the expected collision rate `m/n` but saturates at `T`.
+/// single output plus roughly two memory accesses per emitted element
+/// (the CAS read-modify-write; the fused emitters stream each
+/// contribution straight from registers into the sweep, so the former
+/// third access — the scratch update-row write and read-back — is
+/// gone), inflated by a contention factor that grows with the expected
+/// collision rate `m/n` but saturates at `T`.
 ///
 /// The crossover this captures: a *short* mode (small `n`) with many
 /// updates amortizes the replicated copies and wants privatization; a
@@ -495,7 +498,7 @@ pub fn accum_costs(profile: &LevelProfile, level: usize, nthreads: usize) -> Acc
     let r = profile.rank as f64;
     let privatized = (2.0 * t + 1.0) * n * r + m * r;
     let contention = ((t - 1.0) / t) * (m / n).min(t);
-    let atomic = n * r + 3.0 * m * r * (1.0 + contention);
+    let atomic = n * r + 2.0 * m * r * (1.0 + contention);
     AccumCosts {
         privatized,
         atomic,

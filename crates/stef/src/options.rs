@@ -8,6 +8,7 @@
 //! benchmarking of the runtime layer itself.
 
 pub use crate::runtime::Runtime;
+pub use linalg::simd::{SimdPath, SimdPolicy};
 
 /// How non-zeros are distributed across logical threads.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -120,6 +121,13 @@ pub struct StefOptions {
     /// Cooperative cancellation token, installed on the engine's
     /// executor at preparation so every chunk claim observes it.
     pub cancel: Option<crate::runtime::CancelToken>,
+    /// SIMD kernel-path policy, applied process-wide when the engine is
+    /// prepared. [`SimdPolicy::Auto`] (the default) keeps the current
+    /// selection — the `STEF_SIMD` env override or CPU detection at
+    /// first use; [`SimdPolicy::Force`] pins a specific ISA for A/B
+    /// benchmarking (an unavailable ISA degrades to the detected path
+    /// with a warning).
+    pub simd: linalg::simd::SimdPolicy,
 }
 
 /// Best-effort detection of the per-core cache the data-movement model
@@ -163,6 +171,7 @@ impl StefOptions {
             runtime: Runtime::default(),
             memory_budget: 0,
             cancel: None,
+            simd: linalg::simd::SimdPolicy::Auto,
         }
     }
 

@@ -314,6 +314,13 @@ struct Shared {
     job_cancelled: AtomicBool,
     /// Workers revived in place after an escaped panic.
     resurrections: AtomicU64,
+    /// Worker threads that have begun executing (ever; respawns count
+    /// again). [`WorkerPool::new`] waits for this to reach the spawn
+    /// count so per-thread runtime startup — the stack-overflow-handler
+    /// install and its thread-name allocation — happens before the
+    /// constructor returns, keeping post-construction dispatch
+    /// genuinely allocation-free.
+    started: AtomicUsize,
     stats: Vec<WorkerStat>,
 }
 
@@ -479,6 +486,7 @@ fn finish_chunk(s: &Shared, nthreads: usize, done: usize, notify_done: bool) {
 /// Completion accounting is panic-free outside the isolated region, so
 /// no dispatcher is ever stranded by the escape.
 fn worker_entry(shared: Arc<Shared>, idx: usize) {
+    shared.started.fetch_add(1, Ordering::Release);
     WORKER_OF.with(|c| c.set(Arc::as_ptr(&shared) as usize));
     loop {
         if catch_unwind(AssertUnwindSafe(|| worker_loop(&shared, idx))).is_ok() {
@@ -630,6 +638,7 @@ impl WorkerPool {
             panic_msg: Mutex::new(None),
             job_cancelled: AtomicBool::new(false),
             resurrections: AtomicU64::new(0),
+            started: AtomicUsize::new(0),
             stats: (0..planned).map(|_| WorkerStat::default()).collect(),
         });
         let mut handles: Vec<Option<std::thread::JoinHandle<()>>> = Vec::with_capacity(planned);
@@ -651,6 +660,16 @@ impl WorkerPool {
             }
         }
         let spawned = handles.len();
+        // Rendezvous: a freshly spawned OS thread performs one-time
+        // runtime setup (signal-stack handler, thread-name clone — a
+        // heap allocation) the first time the scheduler runs it, which
+        // on a loaded single-core box can be arbitrarily far after
+        // `spawn` returns. Waiting here pins those allocations inside
+        // construction, so steady-state dispatch stays allocation-free
+        // (asserted by `tests/alloc_free.rs`).
+        while shared.started.load(Ordering::Acquire) < spawned {
+            std::thread::yield_now();
+        }
         WorkerPool {
             shared,
             handles: Mutex::new(handles),
@@ -1051,6 +1070,19 @@ impl Executor {
             Executor::Pool(p) => p.workers(),
             Executor::Scoped { workers, .. } => *workers,
         }
+    }
+
+    /// Whether every fan-out through this executor runs its logical
+    /// threads sequentially on the calling thread. True for a worker
+    /// budget of ≤ 1: the pool then never publishes a job (every
+    /// `try_run` takes the inline path) and the scoped fallback loops
+    /// `0..nthreads` on the caller. Kernels use this to drop
+    /// synchronization whose only purpose is surviving *concurrent*
+    /// writers — notably the atomic accumulation sweep, which degrades
+    /// to plain fused row adds performing the same additions in the
+    /// same order, bit for bit.
+    pub fn is_serial(&self) -> bool {
+        self.workers() <= 1
     }
 
     /// Installs (or clears) the cancellation token checked by every

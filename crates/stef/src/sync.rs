@@ -122,25 +122,70 @@ impl<'a> SharedRows<'a> {
         debug_assert_eq!(vals.len(), self.row_len);
         let base = r * self.row_len;
         for (k, &v) in vals.iter().enumerate() {
-            if v == 0.0 {
-                continue;
-            }
-            // SAFETY: AtomicU64 has the same size/alignment as f64 and the
-            // cell is never accessed non-atomically during this phase
-            // (caller contract).
-            let cell = unsafe { &*(self.data[base + k].get() as *const AtomicU64) };
-            let mut cur = cell.load(Ordering::Relaxed);
-            loop {
-                let new = f64::from_bits(cur) + v;
-                match cell.compare_exchange_weak(
-                    cur,
-                    new.to_bits(),
-                    Ordering::Relaxed,
-                    Ordering::Relaxed,
-                ) {
-                    Ok(_) => break,
-                    Err(actual) => cur = actual,
-                }
+            self.cas_add(base + k, v);
+        }
+    }
+
+    /// Atomically adds `s · x` element-wise into row `r` — the fused
+    /// form of `scale_row_into` + [`atomic_add_row`], skipping the
+    /// scratch-row write and read-back entirely. `s·xₖ` rounds exactly
+    /// like the unfused sequence (one multiply either way, on every
+    /// SIMD path), so results are bit-identical to it.
+    pub fn atomic_add_scaled_row(&self, r: usize, s: f64, x: &[f64]) {
+        debug_assert!(r < self.rows());
+        debug_assert_eq!(x.len(), self.row_len);
+        let base = r * self.row_len;
+        for (k, &xv) in x.iter().enumerate() {
+            self.cas_add(base + k, s * xv);
+        }
+    }
+
+    /// Atomically adds `a ⊙ b` element-wise into row `r` — the fused
+    /// form of `krp_row` + [`atomic_add_row`], same rounding argument
+    /// as [`atomic_add_scaled_row`].
+    pub fn atomic_add_product_row(&self, r: usize, a: &[f64], b: &[f64]) {
+        debug_assert!(r < self.rows());
+        debug_assert_eq!(a.len(), self.row_len);
+        debug_assert_eq!(b.len(), self.row_len);
+        let base = r * self.row_len;
+        for (k, (&av, &bv)) in a.iter().zip(b).enumerate() {
+            self.cas_add(base + k, av * bv);
+        }
+    }
+
+    /// Hints that row `r` is about to be CAS-updated, pulling its cache
+    /// lines toward L1 so the atomic sweep's read-modify-write does not
+    /// stall on a cold load. Purely advisory.
+    #[inline]
+    pub fn prefetch_row(&self, r: usize) {
+        debug_assert!(r < self.rows());
+        let base = r * self.row_len;
+        let mut k = 0;
+        while k < self.row_len {
+            linalg::simd::prefetch_read(self.data[base + k].get());
+            k += 8; // one 64-byte line of f64s per hint
+        }
+    }
+
+    /// One relaxed CAS add, skipping exact zeros (adding 0.0 is an
+    /// identity for every finite accumulator value, and zero-valued
+    /// lanes are common after the Hadamard chain hits a pruned entry).
+    #[inline]
+    fn cas_add(&self, idx: usize, v: f64) {
+        if v == 0.0 {
+            return;
+        }
+        // SAFETY: AtomicU64 has the same size/alignment as f64 and the
+        // cell is never accessed non-atomically during this phase
+        // (caller contract).
+        let cell = unsafe { &*(self.data[idx].get() as *const AtomicU64) };
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let new = f64::from_bits(cur) + v;
+            match cell.compare_exchange_weak(cur, new.to_bits(), Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
             }
         }
     }

@@ -1,0 +1,87 @@
+//! Determinism under forced SIMD dispatch.
+//!
+//! The runtime-dispatched kernel layer must be a pure performance knob:
+//! for every path this CPU can run (`scalar` always, plus AVX2 or NEON
+//! when detected), forcing that path must give bit-identical results
+//! run to run, and the paths must agree with each other to numerical
+//! tolerance — fused multiply-adds round once where the scalar
+//! reference rounds twice, so cross-path equality is approximate by
+//! design.
+//!
+//! Everything lives in ONE `#[test]` on purpose: `simd::apply` mutates
+//! the process-wide dispatch state, and the default test harness runs
+//! `#[test]` functions concurrently — a second test in this binary
+//! could observe a half-forced configuration.
+
+use linalg::simd::{self, SimdPath, SimdPolicy};
+use linalg::Mat;
+use stef::{AccumStrategy, MttkrpEngine, Stef, StefOptions};
+use workloads::power_law_tensor;
+
+/// One full MTTKRP sweep (all modes, both accumulation strategies),
+/// flattened to bit patterns.
+fn sweep_bits(accum: AccumStrategy) -> Vec<u64> {
+    let t = power_law_tensor(&[24, 30, 18], 1_100, &[0.5, 0.5, 0.5], 17);
+    let factors = stef::init_factors(t.dims(), 5, 29);
+    let mut opts = StefOptions::new(5);
+    opts.num_threads = 6;
+    opts.accum = accum;
+    let mut engine = Stef::prepare(&t, opts);
+    engine
+        .sweep_order()
+        .into_iter()
+        .flat_map(|m| {
+            let out: Mat = engine.mttkrp(&factors, m);
+            (0..out.rows())
+                .flat_map(|i| out.row(i).iter().map(|v| v.to_bits()).collect::<Vec<_>>())
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+#[test]
+fn every_available_path_is_deterministic_and_paths_agree() {
+    let detected = simd::detect();
+    let available: Vec<SimdPath> = SimdPath::ALL
+        .iter()
+        .copied()
+        .filter(|p| p.available())
+        .collect();
+    assert!(available.contains(&SimdPath::Scalar));
+    assert!(available.contains(&detected));
+
+    let mut per_path: Vec<(SimdPath, Vec<u64>, Vec<u64>)> = Vec::new();
+    for &path in &available {
+        simd::apply(SimdPolicy::Force(path));
+        assert_eq!(simd::active(), path, "force did not stick");
+        let (p1, p2) = (sweep_bits(AccumStrategy::Privatized), sweep_bits(AccumStrategy::Privatized));
+        let (a1, a2) = (sweep_bits(AccumStrategy::Atomic), sweep_bits(AccumStrategy::Atomic));
+        // Run-to-run: bit-identical under a fixed forced path. The
+        // fan-out on a multi-worker pool commits atomic rows in
+        // scheduling order, so the atomic claim holds on serial
+        // executors only.
+        assert_eq!(p1, p2, "privatized not reproducible under {path:?}");
+        if stef::runtime::global().is_serial() {
+            assert_eq!(a1, a2, "atomic not reproducible under {path:?}");
+        }
+        per_path.push((path, p1, a1));
+    }
+    simd::apply(SimdPolicy::Auto);
+    assert_eq!(simd::active(), detected, "Auto must restore detection");
+
+    // Cross-path: all variants compute the same sweep to tolerance.
+    let (_, ref_priv, ref_atomic) = &per_path[0];
+    for (path, p, a) in &per_path[1..] {
+        for (bits, rbits, what) in [(p, ref_priv, "privatized"), (a, ref_atomic, "atomic")] {
+            assert_eq!(bits.len(), rbits.len());
+            for (&x, &y) in bits.iter().zip(rbits.iter()) {
+                let (fx, fy) = (f64::from_bits(x), f64::from_bits(y));
+                let tol = 1e-9 * fy.abs().max(1.0);
+                assert!(
+                    (fx - fy).abs() <= tol,
+                    "{what} sweep diverged between {path:?} and scalar: {fx} vs {fy}"
+                );
+            }
+        }
+    }
+}
