@@ -100,25 +100,42 @@ impl<T: LinWord> AltoStore<T> {
             }
         }
 
-        let mut dedup = coo.clone();
-        dedup.sort_dedup();
-        let mut pairs: Vec<(T, f64)> = (0..dedup.nnz())
-            .map(|e| {
-                let mut lin = T::zero();
-                for (m, mode_positions) in positions.iter().enumerate() {
-                    let c = dedup.indices()[m][e] as u64;
-                    for (b, &p) in mode_positions.iter().enumerate() {
-                        lin.or_bit(p, (c >> b) & 1);
-                    }
+        // Flat buffers end to end: encode every entry into one linear-
+        // index array, argsort a u32 permutation over it, then gather.
+        // Linearization is injective on coordinates, so equal linear
+        // indices are exactly the duplicate entries `sort_dedup` would
+        // merge — summing them during the gather deduplicates without
+        // cloning the tensor or staging (index, value) tuple pairs.
+        let nnz = coo.nnz();
+        let mut encoded: Vec<T> = Vec::with_capacity(nnz);
+        for e in 0..nnz {
+            let mut lin = T::zero();
+            for (m, mode_positions) in positions.iter().enumerate() {
+                let c = coo.indices()[m][e] as u64;
+                for (b, &p) in mode_positions.iter().enumerate() {
+                    lin.or_bit(p, (c >> b) & 1);
                 }
-                (lin, dedup.values()[e])
-            })
-            .collect();
-        pairs.sort_unstable_by_key(|&(l, _)| l.key());
+            }
+            encoded.push(lin);
+        }
+        let mut order: Vec<u32> = (0..nnz as u32).collect();
+        order.sort_unstable_by_key(|&e| encoded[e as usize].key());
+        let mut lin: Vec<T> = Vec::with_capacity(nnz);
+        let mut vals: Vec<f64> = Vec::with_capacity(nnz);
+        let src = coo.values();
+        for &eu in &order {
+            let e = eu as usize;
+            if lin.last().is_some_and(|l| l.key() == encoded[e].key()) {
+                *vals.last_mut().expect("lin and vals grow together") += src[e];
+            } else {
+                lin.push(encoded[e]);
+                vals.push(src[e]);
+            }
+        }
         AltoStore {
             positions,
-            lin: pairs.iter().map(|&(l, _)| l).collect(),
-            vals: pairs.iter().map(|&(_, v)| v).collect(),
+            lin,
+            vals,
         }
     }
 
@@ -274,7 +291,7 @@ impl MttkrpEngine for Alto {
     }
 
     fn name(&self) -> String {
-        "alto".into()
+        "alto-baseline".into()
     }
 
     fn sweep_order(&self) -> Vec<usize> {
@@ -410,6 +427,28 @@ mod tests {
             linalg::assert_mat_approx_eq(
                 &e1.mttkrp(&factors, mode),
                 &e8.mttkrp(&factors, mode),
+                1e-12,
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_entries_merge_during_the_gather() {
+        // prepare no longer clones + sort_dedups the tensor; duplicates
+        // must still collapse (summed) via equal linearized indices.
+        let mut t = CooTensor::new(vec![8, 8, 8]);
+        t.push(&[1, 2, 3], 1.5);
+        t.push(&[4, 5, 6], 2.0);
+        t.push(&[1, 2, 3], 0.5);
+        let mut engine = Alto::prepare(&t, 2, 1);
+        assert_eq!(engine.nnz(), 2);
+        let mut dedup = t.clone();
+        dedup.sort_dedup();
+        let factors = rand_factors(&[8, 8, 8], 2, 9);
+        for mode in 0..3 {
+            linalg::assert_mat_approx_eq(
+                &engine.mttkrp(&factors, mode),
+                &dedup.mttkrp_reference(&factors, mode),
                 1e-12,
             );
         }

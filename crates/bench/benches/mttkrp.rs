@@ -96,6 +96,51 @@ impl_to_json!(Report {
     records
 });
 
+/// One mode of the engine race: the CSF engine against the linearized
+/// (ALTO-style) engine, full-engine `mttkrp` calls (best-of-reps, ns).
+struct EngineRecord {
+    mode: usize,
+    csf_ns: f64,
+    alto_ns: f64,
+    speedup: f64,
+}
+impl_to_json!(EngineRecord {
+    mode,
+    csf_ns,
+    alto_ns,
+    speedup
+});
+
+/// The tracked `BENCH_alto.json` trajectory (schema 3): engine-level
+/// CSF vs ALTO on an irregular hypersparse tensor, plus which engine
+/// `--engine auto` (the §IV-C pricing) selects for it.
+struct EngineReport {
+    schema: usize,
+    bench: String,
+    dims: Vec<usize>,
+    nnz: usize,
+    rank: usize,
+    threads: usize,
+    reps: usize,
+    simd: String,
+    auto_pick: String,
+    sweep_speedup: f64,
+    records: Vec<EngineRecord>,
+}
+impl_to_json!(EngineReport {
+    schema,
+    bench,
+    dims,
+    nnz,
+    rank,
+    threads,
+    reps,
+    simd,
+    auto_pick,
+    sweep_speedup,
+    records
+});
+
 fn env_usize(key: &str, default: usize) -> usize {
     std::env::var(key)
         .ok()
@@ -322,6 +367,91 @@ fn main() {
         .canonicalize()
         .unwrap_or_else(|_| std::path::PathBuf::from("."));
     if let Some(path) = write_json_at(root.join("BENCH_mttkrp.json"), &report) {
+        eprintln!("wrote {}", path.display());
+    }
+
+    // --------------------------------------------------------------
+    // Engine dimension: the CSF engine vs the linearized (ALTO-style)
+    // engine, full `MttkrpEngine::mttkrp` calls on an irregular
+    // hypersparse tensor — huge mode lengths, almost no fiber
+    // collapse, the regime where the CSF pays its structure walk for
+    // nothing. Also records which engine `--engine auto` selects via
+    // the §IV-C pricing, so the model's pick is tracked alongside the
+    // measured outcome.
+    let alto_nnz = env_usize("STEF_BENCH_ALTO_NNZ", 100_000);
+    let hdims = vec![1usize << 16, 1 << 16, 1 << 16];
+    let ht = workloads::uniform_tensor(&hdims, alto_nnz, 97);
+    let mut opts = stef::StefOptions::new(rank);
+    opts.num_threads = nthreads;
+    let mut csf_engine = stef::Stef::prepare(&ht, opts.clone());
+    let mut alto_engine = stef::AltoEngine::prepare(&ht, opts.clone());
+    opts.engine = stef::EngineChoice::Auto;
+    let auto_pick = {
+        use stef::MttkrpEngine as _;
+        stef::build_engine(&ht, opts).expect("auto engine builds").name()
+    };
+    let hfactors = init_factors(&hdims, rank, 11);
+    let d_h = hdims.len();
+    let mut engine_records: Vec<EngineRecord> = Vec::new();
+    {
+        use stef::MttkrpEngine as _;
+        for mode in 0..d_h {
+            let mut lanes: Vec<Box<dyn FnMut()>> = Vec::new();
+            {
+                let (e, f) = (&mut csf_engine, &hfactors);
+                lanes.push(Box::new(move || {
+                    std::hint::black_box(e.mttkrp(f, mode));
+                }));
+            }
+            {
+                let (e, f) = (&mut alto_engine, &hfactors);
+                lanes.push(Box::new(move || {
+                    std::hint::black_box(e.mttkrp(f, mode));
+                }));
+            }
+            let times = race_ns(1, reps, &mut lanes);
+            engine_records.push(EngineRecord {
+                mode,
+                csf_ns: times[0],
+                alto_ns: times[1],
+                speedup: times[0] / times[1],
+            });
+        }
+    }
+    let csf_sweep: f64 = engine_records.iter().map(|r| r.csf_ns).sum();
+    let alto_sweep: f64 = engine_records.iter().map(|r| r.alto_ns).sum();
+
+    let mut etable = Table::new(&["mode", "csf (ms)", "alto (ms)", "speedup"]);
+    for r in &engine_records {
+        etable.row(vec![
+            r.mode.to_string(),
+            format!("{:.3}", r.csf_ns / 1e6),
+            format!("{:.3}", r.alto_ns / 1e6),
+            format!("{:.2}x", r.speedup),
+        ]);
+    }
+    eprintln!(
+        "engine race: dims {hdims:?}, {} nnz, auto picks '{auto_pick}', \
+         sweep speedup {:.2}x\n{}",
+        ht.nnz(),
+        csf_sweep / alto_sweep,
+        etable.render()
+    );
+
+    let engine_report = EngineReport {
+        schema: 3,
+        bench: "mttkrp_csf_vs_alto".into(),
+        dims: hdims,
+        nnz: ht.nnz(),
+        rank,
+        threads: nthreads,
+        reps,
+        simd: detected.as_str().into(),
+        auto_pick,
+        sweep_speedup: csf_sweep / alto_sweep,
+        records: engine_records,
+    };
+    if let Some(path) = write_json_at(root.join("BENCH_alto.json"), &engine_report) {
         eprintln!("wrote {}", path.display());
     }
 }

@@ -127,10 +127,12 @@ fn check_trace(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Validates the tracked `BENCH_mttkrp.json` trajectory file. Both
-/// schema versions are accepted: schema 1 (pre-SIMD, one record per
-/// mode × accum) and schema 2 (per-SIMD-path records with `simd` and
-/// `bytes_per_ns` fields).
+/// Validates a tracked kernel-bench trajectory file. Three schema
+/// versions are accepted: schema 1 (pre-SIMD, one record per mode ×
+/// accum), schema 2 (per-SIMD-path records with `simd` and
+/// `bytes_per_ns` fields), and schema 3 (the `BENCH_alto.json` engine
+/// race: per-mode `csf_ns`/`alto_ns`/`speedup` records plus a
+/// top-level `auto_pick` engine name and `sweep_speedup`).
 fn check_bench(path: &str) -> Result<(), String> {
     let body =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -139,13 +141,29 @@ fn check_bench(path: &str) -> Result<(), String> {
         .get("schema")
         .and_then(Json::as_u64)
         .ok_or(format!("{path}: missing \"schema\""))?;
-    if !(schema == 1 || schema == 2) {
-        return Err(format!("{path}: unknown schema {schema} (want 1 or 2)"));
+    if !(1..=3).contains(&schema) {
+        return Err(format!("{path}: unknown schema {schema} (want 1, 2 or 3)"));
     }
-    if schema >= 2 {
+    if schema == 2 {
         rep.get("simd")
             .and_then(Json::as_str)
             .ok_or(format!("{path}: schema 2 report without \"simd\""))?;
+    }
+    if schema == 3 {
+        let pick = rep
+            .get("auto_pick")
+            .and_then(Json::as_str)
+            .ok_or(format!("{path}: schema 3 report without \"auto_pick\""))?;
+        if pick.is_empty() {
+            return Err(format!("{path}: empty \"auto_pick\""));
+        }
+        let sweep = rep
+            .get("sweep_speedup")
+            .and_then(Json::as_f64)
+            .ok_or(format!("{path}: schema 3 report without \"sweep_speedup\""))?;
+        if !sweep.is_finite() || sweep <= 0.0 {
+            return Err(format!("{path}: \"sweep_speedup\" not finite-positive"));
+        }
     }
     let records = rep
         .get("records")
@@ -158,12 +176,17 @@ fn check_bench(path: &str) -> Result<(), String> {
         r.get("mode")
             .and_then(Json::as_u64)
             .ok_or(format!("{path}: record {i} without \"mode\""))?;
-        r.get("accum")
-            .and_then(Json::as_str)
-            .ok_or(format!("{path}: record {i} without \"accum\""))?;
-        let mut numeric = vec!["legacy_ns", "vectorized_ns", "speedup"];
-        if schema >= 2 {
-            numeric.push("bytes_per_ns");
+        let numeric: Vec<&str> = match schema {
+            1 => vec!["legacy_ns", "vectorized_ns", "speedup"],
+            2 => vec!["legacy_ns", "vectorized_ns", "speedup", "bytes_per_ns"],
+            _ => vec!["csf_ns", "alto_ns", "speedup"],
+        };
+        if schema <= 2 {
+            r.get("accum")
+                .and_then(Json::as_str)
+                .ok_or(format!("{path}: record {i} without \"accum\""))?;
+        }
+        if schema == 2 {
             r.get("simd")
                 .and_then(Json::as_str)
                 .ok_or(format!("{path}: schema 2 record {i} without \"simd\""))?;
@@ -187,17 +210,18 @@ fn check_bench(path: &str) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let (metrics, trace, bench) = match argv.as_slice() {
-        [m, t] => (m, t, None),
-        [m, t, b] => (m, t, Some(b)),
+    let (metrics, trace, benches) = match argv.as_slice() {
+        [m, t, rest @ ..] => (m, t, rest),
         _ => {
-            eprintln!("usage: validate_telemetry <metrics.jsonl> <trace.json> [BENCH_mttkrp.json]");
+            eprintln!(
+                "usage: validate_telemetry <metrics.jsonl> <trace.json> [BENCH_*.json ...]"
+            );
             return ExitCode::from(2);
         }
     };
     let result = check_metrics(metrics)
         .and_then(|()| check_trace(trace))
-        .and_then(|()| bench.map_or(Ok(()), |b| check_bench(b)));
+        .and_then(|()| benches.iter().try_for_each(|b| check_bench(b)));
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -107,6 +107,35 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         rc.workers
     );
     println!("  simd kernels: {}", linalg::simd::describe());
+    let topo = stef::NumaTopology::detect();
+    let cpus: Vec<usize> = topo.nodes().iter().map(|n| n.cpus.len()).collect();
+    println!(
+        "  numa topology: {} node{} (cpus per node {:?}), policy {}",
+        topo.num_nodes(),
+        if topo.num_nodes() == 1 { "" } else { "s" },
+        cpus,
+        opts.numa.as_str()
+    );
+    let placement = engine.executor().placement();
+    if placement.is_empty() {
+        println!("  numa placement: none (serial or scoped executor)");
+    } else {
+        let pinned = placement.iter().filter(|p| p.pinned).count();
+        let mut per_node = vec![0usize; topo.num_nodes().max(1)];
+        for p in &placement {
+            if let Some(c) = per_node.get_mut(p.node) {
+                *c += 1;
+            }
+        }
+        println!(
+            "  numa placement: {} workers over {} segment{} (per node {:?}), {} pinned",
+            placement.len(),
+            engine.executor().numa_nodes(),
+            if engine.executor().numa_nodes() == 1 { "" } else { "s" },
+            per_node,
+            pinned
+        );
+    }
     println!(
         "  dispatches {} (inline {}), dispatcher claimed {} chunks",
         rc.dispatches, rc.inline_runs, rc.dispatcher_chunks

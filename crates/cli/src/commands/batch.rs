@@ -189,6 +189,7 @@ fn cli_factory(threads: usize, faults: HashMap<usize, Vec<Fault>>) -> EngineFact
             memory_budget: 0,
             cancel: Some(token.clone()),
             simd: stef::SimdPolicy::Auto,
+            numa: stef::NumaPolicy::from_env(),
         };
         let engine = engine_by_name(&spec.engine, tensor, &cfg)
             .map_err(|e| StefError::Input(e.to_string()))?;

@@ -5,7 +5,9 @@
 //! loadable from numpy/Julia/R.
 
 use crate::args::{parse, FlagSpec};
-use crate::commands::{accum_by_name, apply_simd_flag, engine_by_name, runtime_by_name, EngineConfig};
+use crate::commands::{
+    accum_by_name, apply_simd_flag, engine_by_name, numa_by_name, runtime_by_name, EngineConfig,
+};
 use crate::error::CliError;
 use crate::tensor_source::load;
 use linalg::Mat;
@@ -33,6 +35,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         ("--accum", "accum"),
         ("--runtime", "runtime"),
         ("--simd", "simd"),
+        ("--numa", "numa"),
         ("--checkpoint", "checkpoint"),
         ("--checkpoint-every", "checkpoint-every"),
         ("--resume", "resume"),
@@ -63,6 +66,11 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     let accum = accum_by_name(p.str_or("accum", "auto")).map_err(CliError::Usage)?;
     let runtime = runtime_by_name(p.str_or("runtime", "pool")).map_err(CliError::Usage)?;
     let simd = apply_simd_flag(p.str_or("simd", "auto")).map_err(CliError::Usage)?;
+    // No flag → honor STEF_NUMA (defaults to auto).
+    let numa = match p.opt_str("numa") {
+        Some(name) => numa_by_name(name).map_err(CliError::Usage)?,
+        None => stef::NumaPolicy::from_env(),
+    };
     let checkpoint_every: usize = p.num_or("checkpoint-every", 5)?;
     let checkpoint = match p.opt_str("checkpoint") {
         Some(path) => Some(CheckpointPolicy::new(path, checkpoint_every)),
@@ -127,6 +135,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         memory_budget,
         cancel: Some(token.clone()),
         simd,
+        numa,
     };
     let mut engine = engine_by_name(engine_name, &t, &cfg)?;
     let opts = CpdOptions {
@@ -495,7 +504,7 @@ mod tests {
 
     #[test]
     fn every_engine_decomposes_a_tiny_tensor() {
-        for engine in ["stef2", "splatt-all", "alto", "adatm"] {
+        for engine in ["stef2", "splatt-all", "alto", "auto", "alto-baseline", "adatm"] {
             super::run(&argv(&[
                 "suite:nips:tiny",
                 "--rank",
@@ -507,5 +516,22 @@ mod tests {
             ]))
             .unwrap();
         }
+    }
+
+    #[test]
+    fn numa_flag_parses_and_off_runs() {
+        super::run(&argv(&[
+            "suite:uber:tiny",
+            "--rank",
+            "3",
+            "--iters",
+            "2",
+            "--numa",
+            "off",
+        ]))
+        .unwrap();
+        let err = super::run(&argv(&["suite:uber:tiny", "--numa", "maybe"]))
+            .expect_err("bad --numa must fail");
+        assert_eq!(err.exit_code(), 2, "{err}");
     }
 }

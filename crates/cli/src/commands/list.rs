@@ -27,7 +27,15 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         ("adatm", "op-count-model memoization, slice-parallel"),
         (
             "alto",
-            "bit-interleaved linearized format, recompute-always",
+            "bit-interleaved linearized engine, nnz-partitioned, model-priced",
+        ),
+        (
+            "auto",
+            "model-priced pick between stef (csf) and alto per tensor",
+        ),
+        (
+            "alto-baseline",
+            "serial linearized oracle, recompute-always",
         ),
         ("taco", "per-mode CSF with chunk-size auto-tuning"),
         (

@@ -9,7 +9,7 @@ pub mod list;
 pub mod validate;
 
 use crate::error::CliError;
-use stef::{AccumStrategy, CancelToken, MttkrpEngine, Runtime, SimdPolicy};
+use stef::{AccumStrategy, CancelToken, EngineChoice, MttkrpEngine, NumaPolicy, Runtime, SimdPolicy};
 
 /// Parses a `--simd` value and applies it process-wide (all engines in
 /// the process share the kernel dispatch selection). A forced path that
@@ -44,6 +44,11 @@ pub fn runtime_by_name(name: &str) -> Result<Runtime, String> {
     }
 }
 
+/// Parses a `--numa` value. Errors are usage errors (exit code 2).
+pub fn numa_by_name(name: &str) -> Result<NumaPolicy, String> {
+    NumaPolicy::parse(name).ok_or_else(|| format!("unknown --numa '{name}' (auto|off)"))
+}
+
 /// Engine construction parameters shared by the subcommands. The
 /// budget and cancellation fields apply to the STeF engines; baselines
 /// manage their own memory and ignore them.
@@ -62,6 +67,9 @@ pub struct EngineConfig {
     /// SIMD kernel-path policy (`--simd`). Applied process-wide when a
     /// STeF engine is prepared; `Auto` keeps the current selection.
     pub simd: SimdPolicy,
+    /// NUMA worker-placement policy (`--numa`) for the STeF-owned
+    /// executors; baselines run their own pools and ignore it.
+    pub numa: NumaPolicy,
 }
 
 impl EngineConfig {
@@ -74,6 +82,7 @@ impl EngineConfig {
             memory_budget: 0,
             cancel: None,
             simd: SimdPolicy::Auto,
+            numa: NumaPolicy::from_env(),
         }
     }
 }
@@ -93,8 +102,17 @@ pub fn engine_by_name(
     opts.memory_budget = cfg.memory_budget;
     opts.cancel = cfg.cancel.clone();
     opts.simd = cfg.simd;
+    opts.numa = cfg.numa;
     Ok(match name {
-        "stef" => Box::new(stef::Stef::try_prepare(tensor, opts)?),
+        "stef" | "csf" => Box::new(stef::Stef::try_prepare(tensor, opts)?),
+        "alto" => {
+            opts.engine = EngineChoice::Alto;
+            Box::new(stef::build_engine(tensor, opts)?)
+        }
+        "auto" => {
+            opts.engine = EngineChoice::Auto;
+            Box::new(stef::build_engine(tensor, opts)?)
+        }
         "stef2" => Box::new(stef::Stef2::try_prepare(tensor, opts)?),
         "splatt-1" => Box::new(baselines::Splatt::prepare(
             tensor,
@@ -115,13 +133,13 @@ pub fn engine_by_name(
             threads,
         )),
         "adatm" => Box::new(baselines::AdaTm::prepare(tensor, rank, threads)),
-        "alto" => Box::new(baselines::Alto::prepare(tensor, rank, threads)),
+        "alto-baseline" => Box::new(baselines::Alto::prepare(tensor, rank, threads)),
         "taco" => Box::new(baselines::TacoLike::prepare(tensor, rank, threads)),
         "hicoo" => Box::new(baselines::HiCoo::prepare(tensor, rank, threads)),
         "reference" => Box::new(stef::ReferenceEngine::new(tensor.clone())),
         other => {
             return Err(CliError::Usage(format!(
-                "unknown engine '{other}' (stef stef2 splatt-1 splatt-2 splatt-all adatm alto taco hicoo reference)"
+                "unknown engine '{other}' (stef csf stef2 alto auto splatt-1 splatt-2 splatt-all adatm alto-baseline taco hicoo reference)"
             )))
         }
     })
@@ -137,12 +155,15 @@ mod tests {
         let t = uniform_tensor(&[8, 8, 8], 100, 1);
         for name in [
             "stef",
+            "csf",
             "stef2",
+            "alto",
+            "auto",
             "splatt-1",
             "splatt-2",
             "splatt-all",
             "adatm",
-            "alto",
+            "alto-baseline",
             "taco",
             "hicoo",
             "reference",
@@ -179,6 +200,24 @@ mod tests {
         assert_eq!(runtime_by_name("pool").unwrap(), Runtime::Pool);
         assert_eq!(runtime_by_name("scoped").unwrap(), Runtime::Scoped);
         assert!(runtime_by_name("magic").is_err());
+    }
+
+    #[test]
+    fn numa_names_parse() {
+        assert_eq!(numa_by_name("auto").unwrap(), NumaPolicy::Auto);
+        assert_eq!(numa_by_name("off").unwrap(), NumaPolicy::Off);
+        assert!(numa_by_name("magic").is_err());
+    }
+
+    #[test]
+    fn alto_name_builds_the_linearized_engine() {
+        // "alto" is the first-class linearized engine; the differential
+        // oracle stays reachable as "alto-baseline".
+        let t = uniform_tensor(&[8, 8, 8], 100, 1);
+        let e = engine_by_name("alto", &t, &EngineConfig::new(2, 1)).unwrap();
+        assert_eq!(e.name(), "alto");
+        let b = engine_by_name("alto-baseline", &t, &EngineConfig::new(2, 1)).unwrap();
+        assert_ne!(b.name(), "alto");
     }
 
     #[test]

@@ -69,7 +69,7 @@ fn print_usage() {
          \u{20}stef analyze  <tensor> [--rank R] [--cache-mb N]\n\
          \u{20}stef decompose <tensor> [--rank R] [--iters N] [--tol T]\n\
          \u{20}                        [--engine NAME] [--threads N] [--out DIR] [--seed S]\n\
-         \u{20}                        [--accum auto|privatized|atomic]\n\
+         \u{20}                        [--accum auto|privatized|atomic] [--simd PATH] [--numa auto|off]\n\
          \u{20}                        [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]\n\
          \u{20}                        [--timeout SECS] [--memory-budget BYTES]\n\
          \u{20}                        [--metrics-out FILE.jsonl] [--trace-out FILE.json] [--verbose]\n\
@@ -84,7 +84,8 @@ fn print_usage() {
          \u{20}stef list\n\
          \n\
          <tensor> = path to a .tns file, or suite:<name> (see `stef list`).\n\
-         engines: stef stef2 splatt-1 splatt-2 splatt-all adatm alto taco reference\n\
+         engines: stef(=csf) alto auto stef2 splatt-1 splatt-2 splatt-all adatm\n\
+         \u{20}        alto-baseline taco reference (`stef list` describes each)\n\
          exit codes: 0 ok, 2 usage, 3 input, 4 numerical, 5 checkpoint, 6 cancelled,\n\
          \u{20}           7 overloaded (batch admission shed), 130 hard interrupt\n\
          Ctrl-C and --timeout cancel cooperatively; decompose writes a checkpoint first.\n\

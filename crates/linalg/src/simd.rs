@@ -228,9 +228,13 @@ pub struct RowOps {
     pub axpy_row: fn(&mut [f64], f64, &[f64]),
     pub krp_axpy: fn(&mut [f64], f64, &[f64], &[f64]),
     pub scale_row_into: fn(&mut [f64], f64, &[f64]),
-    pub axpy_fiber: fn(&mut [f64], &[f64], &[u32], &[f64], usize),
-    pub gather_fiber: fn(&mut [f64], &[f64], &[u32], &[f64], usize),
+    pub axpy_fiber: FiberFn,
+    pub gather_fiber: FiberFn,
 }
+
+/// Shared signature of the fiber primitives:
+/// `(acc, vals, fids, rows, stride)`.
+pub type FiberFn = fn(&mut [f64], &[f64], &[u32], &[f64], usize);
 
 /// The primitives of `path`, or `None` when the CPU cannot run it.
 pub fn ops_for(path: SimdPath) -> Option<&'static RowOps> {

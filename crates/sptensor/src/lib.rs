@@ -26,6 +26,7 @@ pub mod coo;
 pub mod csf;
 pub mod io;
 pub mod iter;
+pub mod linearize;
 pub mod permute;
 pub mod reorder;
 pub mod stats;
@@ -36,6 +37,7 @@ pub use coo::CooTensor;
 pub use csf::Csf;
 pub use io::TnsError;
 pub use iter::{NodeIter, NodeRef};
+pub use linearize::{index_bits_for, LinIndex, LinStore, Linearized, ModeMask};
 pub use permute::{inverse_permutation, sort_modes_by_length};
 pub use stats::TensorStats;
 pub use swapcount::count_fibers_if_last_two_swapped;

@@ -99,6 +99,22 @@ pub fn count_modeu(csf: &Csf, u: usize, saved_at: Option<usize>, rank: usize) ->
     (reads, writes)
 }
 
+/// Traffic of one mode-`u` linearized (ALTO-style) MTTKRP pass: per
+/// non-zero the kernel reads the packed index (`idx_elems` elements),
+/// the value, and one row from each of the `d-1` input factors, and
+/// updates one output row. Same raw (cache-oblivious) convention as
+/// [`count_modeu`]; with the clamp disabled
+/// (`cache_elems = 0`) this must equal
+/// [`crate::model::AltoProfile::mode_traffic`] exactly — the test below
+/// pins it. Returns `(reads, writes)` in elements.
+pub fn count_alto_mode(nnz: usize, ndim: usize, idx_elems: usize, rank: usize) -> (f64, f64) {
+    let n = nnz as f64;
+    let r = rank as f64;
+    let reads = n * (idx_elems as f64 + 1.0) + (ndim - 1) as f64 * n * r;
+    let writes = n * r;
+    (reads, writes)
+}
+
 /// Counts the traffic of one full MTTKRP sweep (mode 0 storing the
 /// `save`-flagged partials, then every mode `1..d` consuming them) with
 /// the paper's unit conventions. `rank` is `R`.
@@ -330,6 +346,27 @@ mod tests {
                 assert!((a.0 - b.0).abs() < 1e-9 && (a.1 - b.1).abs() < 1e-9);
             }
         }
+    }
+
+    #[test]
+    fn alto_count_equals_model_with_clamp_disabled() {
+        let p = crate::model::AltoProfile {
+            dims: vec![40, 70, 60, 25],
+            nnz: 5000,
+            rank: 8,
+            cache_elems: 0,
+            idx_elems: 1,
+        };
+        for u in 0..4 {
+            let model = p.mode_traffic(u);
+            let (reads, writes) = count_alto_mode(5000, 4, 1, 8);
+            assert!((model.reads - reads).abs() < 1e-9, "mode {u}");
+            assert!((model.writes - writes).abs() < 1e-9, "mode {u}");
+        }
+        // Wide store: one extra index element per non-zero.
+        let wide = crate::model::AltoProfile { idx_elems: 2, ..p };
+        let (reads, _) = count_alto_mode(5000, 4, 2, 8);
+        assert!((wide.mode_traffic(0).reads - reads).abs() < 1e-9);
     }
 
     #[test]

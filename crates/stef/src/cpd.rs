@@ -698,7 +698,12 @@ pub fn cpd_als<E: MttkrpEngine + ?Sized>(
         checkpoints_written,
         resumed_from,
         degradations: engine.degradations(),
-        telemetry: telem.finish(),
+        telemetry: {
+            let mut report = telem.finish();
+            report.engine = engine.name();
+            report.numa_nodes = engine.numa_nodes().max(1);
+            report
+        },
     })
 }
 

@@ -87,6 +87,12 @@ pub trait MttkrpEngine {
     fn telemetry_runtime_counters(&self) -> Option<RuntimeCounters> {
         None
     }
+
+    /// Telemetry: NUMA nodes the engine's executor spreads workers
+    /// over (1 = no placement, serial, or no executor).
+    fn numa_nodes(&self) -> usize {
+        1
+    }
 }
 
 /// Boxed engines are engines too, so adapters generic over a sized
@@ -125,6 +131,48 @@ impl<E: MttkrpEngine + ?Sized> MttkrpEngine for Box<E> {
     }
     fn telemetry_runtime_counters(&self) -> Option<RuntimeCounters> {
         (**self).telemetry_runtime_counters()
+    }
+    fn numa_nodes(&self) -> usize {
+        (**self).numa_nodes()
+    }
+}
+
+/// Builds the engine `opts.engine` selects.
+///
+/// `Csf` and `Alto` construct that engine directly. `Auto` prepares the
+/// CSF engine first (its plan carries the §IV-C predicted traffic for
+/// the model-chosen order + memoization), prices the linearized layout
+/// with [`crate::model::AltoProfile`], and keeps whichever the model
+/// says moves less data. Tensors whose interleaved index would exceed
+/// 128 bits are never eligible for the linearized engine — `Auto`
+/// silently keeps CSF for them.
+pub fn build_engine(
+    coo: &CooTensor,
+    opts: StefOptions,
+) -> Result<Box<dyn MttkrpEngine + Send>, crate::StefError> {
+    use crate::options::EngineChoice;
+    match opts.engine {
+        EngineChoice::Csf => Ok(Box::new(Stef::try_prepare(coo, opts)?)),
+        EngineChoice::Alto => Ok(Box::new(crate::alto::AltoEngine::try_prepare(coo, opts)?)),
+        EngineChoice::Auto => {
+            let stef = Stef::try_prepare(coo, opts.clone())?;
+            let bits = sptensor::index_bits_for(coo.dims());
+            if bits > 128 {
+                return Ok(Box::new(stef));
+            }
+            let alto_profile = crate::model::AltoProfile {
+                dims: coo.dims().to_vec(),
+                nnz: coo.nnz(),
+                rank: opts.rank,
+                cache_elems: opts.cache_bytes / std::mem::size_of::<f64>(),
+                idx_elems: if bits <= 64 { 1 } else { 2 },
+            };
+            if alto_profile.total_traffic() < stef.plan().predicted {
+                Ok(Box::new(crate::alto::AltoEngine::try_prepare(coo, opts)?))
+            } else {
+                Ok(Box::new(stef))
+            }
+        }
     }
 }
 
@@ -391,7 +439,7 @@ impl Stef {
                 budget: opts.memory_budget,
             }
         })?;
-        let exec = Executor::new(opts.runtime, opts.workers());
+        let exec = Executor::with_numa(opts.runtime, opts.workers(), opts.numa);
         if opts.cancel.is_some() {
             exec.set_cancel(opts.cancel.clone());
         }
@@ -662,6 +710,10 @@ impl MttkrpEngine for Stef {
 
     fn telemetry_runtime_counters(&self) -> Option<RuntimeCounters> {
         Some(self.exec.counters())
+    }
+
+    fn numa_nodes(&self) -> usize {
+        self.exec.numa_nodes()
     }
 }
 
@@ -976,6 +1028,85 @@ mod tests {
             assert!(pr.is_finite() && pw.is_finite() && pr > 0.0 && pw > 0.0);
         }
         assert!(engine.telemetry_runtime_counters().is_some());
+    }
+
+    #[test]
+    fn build_engine_honors_explicit_choices() {
+        let t = pseudo_tensor(&[12, 10, 8], 400, 50);
+        let mut opts = StefOptions::new(3);
+        opts.engine = crate::options::EngineChoice::Csf;
+        assert_eq!(build_engine(&t, opts.clone()).unwrap().name(), "stef");
+        opts.engine = crate::options::EngineChoice::Alto;
+        let mut engine = build_engine(&t, opts).unwrap();
+        assert_eq!(engine.name(), "alto");
+        let factors = rand_factors(t.dims(), 3, 51);
+        for mode in engine.sweep_order() {
+            let got = engine.mttkrp(&factors, mode);
+            assert_mat_approx_eq(&got, &t.mttkrp_reference(&factors, mode), 1e-9);
+        }
+    }
+
+    #[test]
+    fn auto_picks_alto_on_irregular_hypersparse() {
+        // Huge mode lengths, few nonzeros: fibers barely collapse, so
+        // the CSF pays its structure walk for nothing while the
+        // linearized stream reads 2 words per nnz. A small cache makes
+        // factor traffic demand-bound for both, isolating the
+        // structure-overhead difference the model prices.
+        let t = pseudo_tensor(&[1 << 17, 1 << 17, 1 << 17], 3000, 52);
+        let mut opts = StefOptions::new(8);
+        opts.engine = crate::options::EngineChoice::Auto;
+        opts.cache_bytes = (1 << 16) * 8;
+        let mut engine = build_engine(&t, opts).unwrap();
+        assert_eq!(engine.name(), "alto", "model should pick the linearized engine");
+        let factors = rand_factors(t.dims(), 8, 53);
+        let got = engine.mttkrp(&factors, 0);
+        assert_mat_approx_eq(&got, &t.mttkrp_reference(&factors, 0), 1e-9);
+    }
+
+    #[test]
+    fn auto_picks_csf_on_dense_regular() {
+        // Strong fiber collapse — a small pool of (i, j) pairs, each with
+        // many k entries — is exactly where memoized CSF traffic drops
+        // far below the per-nonzero linearized stream: the CSF reads one
+        // factor row per *fiber* while ALTO reads one per *nonzero*.
+        let mut t = CooTensor::new(vec![64, 64, 512]);
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut rng = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        for _ in 0..500 {
+            let i = (rng() % 64) as u32;
+            let j = (rng() % 64) as u32;
+            for _ in 0..64 {
+                let k = (rng() % 512) as u32;
+                t.push(&[i, j, k], (rng() % 9) as f64 * 0.3 + 0.4);
+            }
+        }
+        t.sort_dedup();
+        let mut opts = StefOptions::new(8);
+        opts.engine = crate::options::EngineChoice::Auto;
+        opts.cache_bytes = (1 << 13) * 8;
+        let engine = build_engine(&t, opts).unwrap();
+        assert_eq!(engine.name(), "stef", "model should keep the CSF engine");
+    }
+
+    #[test]
+    fn auto_falls_back_to_csf_past_128_index_bits() {
+        // 9 × 15-bit modes = 135 bits: the linearized layout cannot
+        // represent this tensor, so auto must keep CSF no matter what
+        // the model would have said.
+        let mut t = CooTensor::new(vec![1 << 15; 9]);
+        t.push(&[0, 5, 9, 2, 1, 6, 8, 3, 4], 1.0);
+        t.push(&[(1 << 15) - 1, 4, 3, 2, 1, 0, 0, 1, 2], 2.0);
+        t.push(&[7, (1 << 15) - 1, 0, 0, 3, 5, 2, 9, 9], 3.0);
+        t.sort_dedup();
+        let mut opts = StefOptions::new(2);
+        opts.engine = crate::options::EngineChoice::Auto;
+        assert_eq!(build_engine(&t, opts).unwrap().name(), "stef");
     }
 
     #[test]

@@ -131,7 +131,9 @@ pub enum ResolvedAccum {
 /// each accumulation strategy gets its own fully inlined kernel body.
 /// The row-kernel token rides along per call so the privatized emitter
 /// uses the same monomorphized primitives as the traversal around it.
-trait Emitter {
+/// Shared with the linearized kernels (`kernels_alto`), which emit
+/// through the same strategies.
+pub(crate) trait Emitter {
     /// `out[fid] += a ⊙ b`.
     fn product<K: RowKernels>(&mut self, k: K, fid: usize, a: &[f64], b: &[f64]);
     /// `out[fid] += s · x`.
@@ -142,9 +144,9 @@ trait Emitter {
 
 /// Writes into this thread's private copy of the output — plain fused
 /// row updates, no intermediate `upd` row needed.
-struct PrivEmitter<'a> {
-    local: &'a mut [f64],
-    r: usize,
+pub(crate) struct PrivEmitter<'a> {
+    pub(crate) local: &'a mut [f64],
+    pub(crate) r: usize,
 }
 
 impl Emitter for PrivEmitter<'_> {
@@ -171,8 +173,8 @@ impl Emitter for PrivEmitter<'_> {
 /// sequence, which paid a full scratch-row write *and* read-back per
 /// emitted row. The fused adds round identically (one multiply per
 /// element either way), so results are bit-for-bit the same.
-struct AtomicEmitter<'a, 'b> {
-    shared: &'a SharedRows<'b>,
+pub(crate) struct AtomicEmitter<'a, 'b> {
+    pub(crate) shared: &'a SharedRows<'b>,
 }
 
 impl Emitter for AtomicEmitter<'_, '_> {

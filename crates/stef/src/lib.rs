@@ -39,6 +39,7 @@
 
 #![allow(clippy::needless_range_loop)] // index loops over parallel arrays are the clearest form in these kernels
 
+pub mod alto;
 pub mod checkpoint;
 pub mod counters;
 pub mod cpd;
@@ -46,9 +47,11 @@ pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod kernels;
+pub mod kernels_alto;
 pub mod kernels_legacy;
 pub mod model;
 pub mod nonneg;
+pub mod numa;
 pub mod options;
 pub mod paper_kernels;
 pub mod partials;
@@ -62,23 +65,25 @@ pub mod telemetry;
 pub mod validate;
 pub mod workspace;
 
+pub use alto::AltoEngine;
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy};
 pub use counters::{count_sweep, CountedTraffic};
 pub use cpd::{cpd_als, init_factors, CheckpointHook, CpdOptions, CpdResult};
-pub use engine::{MttkrpEngine, ReferenceEngine, Stef};
+pub use engine::{build_engine, MttkrpEngine, ReferenceEngine, Stef};
+pub use numa::{NumaPolicy, NumaTopology};
 pub use error::StefError;
 pub use fault::{parse_fault_directives, Fault, FaultyEngine};
 pub use recover::{RecoveryAction, RecoveryEvent, RecoveryEvents, RecoveryPolicy};
 pub use model::{stef2_leaf_gain, BudgetFit, DegradationEvent, LevelProfile, MemoPlan, RawTraffic};
 pub use nonneg::{cpd_mu_nonneg, NonnegCpdResult};
 pub use options::{
-    AccumStrategy, KernelPath, LoadBalance, MemoPolicy, ModeSwitchPolicy, SimdPath, SimdPolicy,
-    StefOptions,
+    AccumStrategy, EngineChoice, KernelPath, LoadBalance, MemoPolicy, ModeSwitchPolicy, SimdPath,
+    SimdPolicy, StefOptions,
 };
 pub use partials::PartialStore;
 pub use runtime::{
     set_global_cancel, CancelToken, Executor, FanoutError, Runtime, RuntimeCounters,
-    WorkerCounters, WorkerPool,
+    WorkerCounters, WorkerPlacement, WorkerPool,
 };
 pub use schedule::Schedule;
 pub use stef2::Stef2;

@@ -532,6 +532,76 @@ pub fn stef2_leaf_gain(base: &LevelProfile, second: &LevelProfile) -> f64 {
     base_cost - second_cost
 }
 
+/// The §IV-C pricing extended to the linearized (ALTO-style) layout.
+///
+/// A linearized MTTKRP for mode `u` is one flat pass over the sorted
+/// non-zeros: per non-zero it reads the packed index (`idx_elems`
+/// elements — 1 for a `u64` store, 2 for `u128`) and the value, plus one
+/// row from each of the `d-1` input factors, and updates one output
+/// row. Factor and output traffic get the same `DM_factor`-style cache
+/// clamp as the CSF model: a matrix that fits in cache is charged at
+/// most one cold load. There is no index *structure* beyond the packed
+/// keys — that is the whole trade: ALTO pays `(idx_elems+1)·nnz` once
+/// per mode where CSF pays `2·m_l` per level but amortizes factor reads
+/// over fiber reuse. On irregular/hyper-sparse tensors where fiber
+/// counts collapse to `m_l ≈ nnz` at every level, CSF's structure and
+/// factor terms balloon past ALTO's flat cost, and
+/// [`AltoProfile::total_traffic`] prices the crossover.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AltoProfile {
+    /// Mode lengths (natural mode order — linearization does not
+    /// permute).
+    pub dims: Vec<usize>,
+    /// Number of stored non-zeros.
+    pub nnz: usize,
+    /// Decomposition rank `R`.
+    pub rank: usize,
+    /// Cache size in elements (`cache_bytes / 8`).
+    pub cache_elems: usize,
+    /// Index elements per non-zero (1 = `u64` store, 2 = `u128`).
+    pub idx_elems: usize,
+}
+
+impl AltoProfile {
+    /// `DM_factor` for the mode-`m` factor under `nnz` row accesses.
+    fn dm_factor(&self, m: usize) -> f64 {
+        let footprint = (self.dims[m] * self.rank) as f64;
+        let demand = (self.nnz * self.rank) as f64;
+        if footprint > self.cache_elems as f64 {
+            demand
+        } else {
+            footprint.min(demand)
+        }
+    }
+
+    /// Modeled `(reads, writes)` in elements of the mode-`u` linearized
+    /// MTTKRP.
+    pub fn mode_traffic(&self, u: usize) -> RawTraffic {
+        let mut reads = self.nnz as f64 * (self.idx_elems as f64 + 1.0);
+        for m in 0..self.dims.len() {
+            if m != u {
+                reads += self.dm_factor(m);
+            }
+        }
+        RawTraffic {
+            reads,
+            writes: self.dm_factor(u),
+        }
+    }
+
+    /// Total modeled traffic (elements) of one CPD iteration's worth of
+    /// linearized MTTKRPs — the number engine selection compares against
+    /// [`MemoPlan::predicted`].
+    pub fn total_traffic(&self) -> f64 {
+        (0..self.dims.len())
+            .map(|u| {
+                let t = self.mode_traffic(u);
+                t.reads + t.writes
+            })
+            .sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -850,5 +920,85 @@ mod tests {
         let p = profile(&[10, 20, 30], &[10, 200, 3_000], 4, 1);
         assert_eq!(p.partial_bytes(&[false, true, false]), 200 * 4 * 8);
         assert_eq!(p.factor_bytes(), (10 + 20 + 30) * 4 * 8);
+    }
+
+    #[test]
+    fn alto_mode_traffic_hand_computed() {
+        // d=3, nnz=100, R=2, narrow index, cache off (cache_elems=0:
+        // every footprint exceeds it, so factors charge nnz·R).
+        let p = AltoProfile {
+            dims: vec![4, 20, 50],
+            nnz: 100,
+            rank: 2,
+            cache_elems: 0,
+            idx_elems: 1,
+        };
+        let t = p.mode_traffic(1);
+        // reads: 100·(1+1) index+value + 2 factors · 100·2 = 600.
+        assert!((t.reads - 600.0).abs() < 1e-9, "reads {}", t.reads);
+        assert!((t.writes - 200.0).abs() < 1e-9, "writes {}", t.writes);
+        let total = p.total_traffic();
+        assert!((total - 3.0 * 800.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn alto_cache_clamp_caps_small_factors() {
+        // Factor 0 (4·2 = 8 elements) fits a cache of 16: charged a
+        // single cold load, not nnz·R.
+        let p = AltoProfile {
+            dims: vec![4, 20, 50],
+            nnz: 100,
+            rank: 2,
+            cache_elems: 16,
+            idx_elems: 1,
+        };
+        let t = p.mode_traffic(1);
+        // reads: 200 (index+value) + 8 (mode 0 clamped) + 200 (mode 2).
+        assert!((t.reads - 408.0).abs() < 1e-9, "reads {}", t.reads);
+    }
+
+    #[test]
+    fn alto_beats_csf_when_fibers_collapse() {
+        // Hyper-sparse: every level's fiber count ≈ nnz, so CSF pays
+        // full structure + factor traffic per level with no fiber
+        // reuse, while ALTO pays the flat 2·nnz index+value stream.
+        let nnz = 100_000;
+        let dims = vec![1 << 20, 1 << 20, 1 << 20];
+        let csf = profile(&dims, &[nnz - 50, nnz - 10, nnz], 16, 1 << 16);
+        let (_, csf_traffic) = best_memo_set(&csf);
+        let alto = AltoProfile {
+            dims,
+            nnz,
+            rank: 16,
+            cache_elems: 1 << 16,
+            idx_elems: 1,
+        };
+        assert!(
+            alto.total_traffic() < csf_traffic,
+            "alto {} vs csf {csf_traffic}",
+            alto.total_traffic()
+        );
+    }
+
+    #[test]
+    fn csf_beats_alto_on_dense_regular_tensors() {
+        // Strong fiber compression: m_0 ≪ m_1 ≪ nnz. CSF amortizes
+        // factor reads over fibers; ALTO re-reads per non-zero.
+        let nnz = 1_000_000;
+        let dims = vec![100, 1000, 2000];
+        let csf = profile(&dims, &[100, 20_000, nnz], 16, 1 << 16);
+        let (_, csf_traffic) = best_memo_set(&csf);
+        let alto = AltoProfile {
+            dims,
+            nnz,
+            rank: 16,
+            cache_elems: 1 << 16,
+            idx_elems: 1,
+        };
+        assert!(
+            alto.total_traffic() > csf_traffic,
+            "alto {} vs csf {csf_traffic}",
+            alto.total_traffic()
+        );
     }
 }

@@ -1,0 +1,333 @@
+//! NUMA topology detection and worker placement.
+//!
+//! Linux exposes the node layout under `/sys/devices/system/node/`:
+//! one `node<N>` directory per memory node, each with a `cpulist` file
+//! ("0-3,8-11" style). [`NumaTopology::detect`] parses that; on any
+//! other OS — or when sysfs is absent — it degrades to a single node
+//! covering every hardware CPU, which makes all placement logic a
+//! no-op.
+//!
+//! Pinning goes through a raw `sched_setaffinity` declaration
+//! (`std` already links libc, so no new dependency), gated to Linux
+//! with a portable no-op fallback. The policy knob ([`NumaPolicy`],
+//! `--numa {auto,off}` / `STEF_NUMA`) decides whether the worker pool
+//! pins at all; even under `Auto` a single-node machine is left
+//! untouched, so laptops and single-socket CI keep exactly the
+//! pre-NUMA behavior.
+
+/// Whether the worker pool applies NUMA placement.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum NumaPolicy {
+    /// Pin workers node-by-node when more than one NUMA node is
+    /// detected; no-op on single-node machines.
+    #[default]
+    Auto,
+    /// Never pin; ignore topology.
+    Off,
+}
+
+impl NumaPolicy {
+    /// Parses `auto` / `off` (case-insensitive).
+    pub fn parse(s: &str) -> Option<NumaPolicy> {
+        match s.to_ascii_lowercase().as_str() {
+            "auto" => Some(NumaPolicy::Auto),
+            "off" => Some(NumaPolicy::Off),
+            _ => None,
+        }
+    }
+
+    /// Reads `STEF_NUMA`, defaulting to [`NumaPolicy::Auto`]. An
+    /// unparsable value falls back to `Auto` (same forgiving convention
+    /// as `STEF_SIMD`).
+    pub fn from_env() -> NumaPolicy {
+        match std::env::var("STEF_NUMA") {
+            Ok(v) => NumaPolicy::parse(&v).unwrap_or(NumaPolicy::Auto),
+            Err(_) => NumaPolicy::Auto,
+        }
+    }
+
+    /// The canonical flag spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            NumaPolicy::Auto => "auto",
+            NumaPolicy::Off => "off",
+        }
+    }
+}
+
+/// One memory node and its CPUs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NumaNode {
+    /// Kernel node id (the `N` of `node<N>`).
+    pub id: usize,
+    /// Logical CPU ids on this node, ascending.
+    pub cpus: Vec<usize>,
+}
+
+/// The machine's memory-node layout.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NumaTopology {
+    nodes: Vec<NumaNode>,
+}
+
+impl NumaTopology {
+    /// Detects the topology from sysfs (Linux), degrading to a single
+    /// node covering every hardware CPU elsewhere or on parse failure.
+    pub fn detect() -> NumaTopology {
+        #[cfg(target_os = "linux")]
+        {
+            if let Some(t) = Self::from_sysfs(std::path::Path::new("/sys/devices/system/node")) {
+                return t;
+            }
+        }
+        Self::single_node()
+    }
+
+    /// A one-node topology covering every hardware CPU — the portable
+    /// fallback under which all placement logic is a no-op.
+    pub fn single_node() -> NumaTopology {
+        let ncpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        NumaTopology {
+            nodes: vec![NumaNode {
+                id: 0,
+                cpus: (0..ncpus).collect(),
+            }],
+        }
+    }
+
+    /// Builds a synthetic topology — test seam for exercising
+    /// multi-node placement logic on single-node hosts.
+    pub fn synthetic(cpus_per_node: Vec<Vec<usize>>) -> NumaTopology {
+        assert!(!cpus_per_node.is_empty());
+        NumaTopology {
+            nodes: cpus_per_node
+                .into_iter()
+                .enumerate()
+                .map(|(id, cpus)| NumaNode { id, cpus })
+                .collect(),
+        }
+    }
+
+    /// Parses `node*/cpulist` under `root`. Returns `None` when the
+    /// directory is missing or yields no node with CPUs.
+    pub fn from_sysfs(root: &std::path::Path) -> Option<NumaTopology> {
+        let entries = std::fs::read_dir(root).ok()?;
+        let mut nodes: Vec<NumaNode> = Vec::new();
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let Some(idstr) = name.strip_prefix("node") else {
+                continue;
+            };
+            let Ok(id) = idstr.parse::<usize>() else {
+                continue;
+            };
+            let Ok(list) = std::fs::read_to_string(entry.path().join("cpulist")) else {
+                continue;
+            };
+            let cpus = parse_cpulist(list.trim());
+            if !cpus.is_empty() {
+                nodes.push(NumaNode { id, cpus });
+            }
+        }
+        if nodes.is_empty() {
+            return None;
+        }
+        nodes.sort_by_key(|n| n.id);
+        Some(NumaTopology { nodes })
+    }
+
+    /// The nodes, ascending by id.
+    pub fn nodes(&self) -> &[NumaNode] {
+        &self.nodes
+    }
+
+    /// Number of memory nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Assigns `workers` pool workers to `(node_index, cpu)` slots:
+    /// contiguous worker blocks per node (worker `w` goes to node
+    /// `w·N/W`-style splits, so neighbouring workers share a node and
+    /// the pool's node-local chunk segments stay contiguous), cycling
+    /// through the node's CPUs when a block outnumbers them.
+    /// `node_index` is the position in [`NumaTopology::nodes`], not the
+    /// kernel id.
+    pub fn assign_workers(&self, workers: usize) -> Vec<(usize, usize)> {
+        let n = self.nodes.len();
+        let mut out = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let node = w * n / workers.max(1);
+            let node = node.min(n - 1);
+            let block_lo = node_block(workers, n, node).0;
+            let cpus = &self.nodes[node].cpus;
+            let cpu = cpus[(w - block_lo) % cpus.len()];
+            out.push((node, cpu));
+        }
+        out
+    }
+}
+
+/// The contiguous worker range `[lo, hi)` owned by `node` when
+/// `workers` workers are split over `n` nodes — the same arithmetic
+/// the pool uses to segment logical threads per node.
+pub fn node_block(workers: usize, n: usize, node: usize) -> (usize, usize) {
+    (node * workers / n, (node + 1) * workers / n)
+}
+
+/// Parses a sysfs cpulist ("0-3,8,10-11") into ascending CPU ids.
+/// Malformed pieces are skipped rather than failing the whole list.
+pub fn parse_cpulist(s: &str) -> Vec<usize> {
+    let mut cpus = Vec::new();
+    for piece in s.split(',') {
+        let piece = piece.trim();
+        if piece.is_empty() {
+            continue;
+        }
+        if let Some((lo, hi)) = piece.split_once('-') {
+            if let (Ok(lo), Ok(hi)) = (lo.trim().parse::<usize>(), hi.trim().parse::<usize>()) {
+                cpus.extend(lo..=hi);
+            }
+        } else if let Ok(c) = piece.parse::<usize>() {
+            cpus.push(c);
+        }
+    }
+    cpus.sort_unstable();
+    cpus.dedup();
+    cpus
+}
+
+/// Pins the calling thread to the given CPUs. Returns `true` when the
+/// affinity call succeeded; always `false` off Linux or with an empty
+/// CPU set (the portable no-op).
+pub fn pin_to_cpus(cpus: &[usize]) -> bool {
+    if cpus.is_empty() {
+        return false;
+    }
+    #[cfg(target_os = "linux")]
+    {
+        // std already links libc; declaring the symbol directly avoids a
+        // libc-crate dependency. glibc/musl signature:
+        // int sched_setaffinity(pid_t, size_t, const cpu_set_t *).
+        extern "C" {
+            fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+        }
+        let words = cpus.iter().max().unwrap() / 64 + 1;
+        let mut mask = vec![0u64; words];
+        for &c in cpus {
+            mask[c / 64] |= 1u64 << (c % 64);
+        }
+        // SAFETY: pid 0 = calling thread; the mask buffer is valid for
+        // `words * 8` bytes for the duration of the call.
+        unsafe { sched_setaffinity(0, mask.len() * 8, mask.as_ptr()) == 0 }
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpulist_parses_ranges_and_singles() {
+        assert_eq!(parse_cpulist("0-3,8,10-11"), vec![0, 1, 2, 3, 8, 10, 11]);
+        assert_eq!(parse_cpulist("5"), vec![5]);
+        assert_eq!(parse_cpulist(""), Vec::<usize>::new());
+        assert_eq!(parse_cpulist("2-2"), vec![2]);
+        // Malformed pieces skipped, duplicates collapsed.
+        assert_eq!(parse_cpulist("1,junk,1,0-1"), vec![0, 1]);
+    }
+
+    #[test]
+    fn policy_parse_and_env_spelling() {
+        assert_eq!(NumaPolicy::parse("auto"), Some(NumaPolicy::Auto));
+        assert_eq!(NumaPolicy::parse("OFF"), Some(NumaPolicy::Off));
+        assert_eq!(NumaPolicy::parse("bogus"), None);
+        assert_eq!(NumaPolicy::Auto.as_str(), "auto");
+        assert_eq!(NumaPolicy::Off.as_str(), "off");
+    }
+
+    #[test]
+    fn detect_always_yields_at_least_one_node_with_cpus() {
+        let t = NumaTopology::detect();
+        assert!(t.num_nodes() >= 1);
+        assert!(t.nodes().iter().all(|n| !n.cpus.is_empty()));
+    }
+
+    #[test]
+    fn synthetic_assignment_blocks_are_contiguous_per_node() {
+        let t = NumaTopology::synthetic(vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]]);
+        let placement = t.assign_workers(6);
+        assert_eq!(placement.len(), 6);
+        // Workers 0..3 on node 0, 3..6 on node 1 (6·{0..6}/2 splits).
+        assert_eq!(
+            placement.iter().map(|&(n, _)| n).collect::<Vec<_>>(),
+            vec![0, 0, 0, 1, 1, 1]
+        );
+        // CPUs come from the owning node's list.
+        for &(node, cpu) in &placement {
+            assert!(t.nodes()[node].cpus.contains(&cpu));
+        }
+    }
+
+    #[test]
+    fn assignment_cycles_cpus_when_workers_exceed_them() {
+        let t = NumaTopology::synthetic(vec![vec![0, 1]]);
+        let placement = t.assign_workers(5);
+        assert_eq!(
+            placement,
+            vec![(0, 0), (0, 1), (0, 0), (0, 1), (0, 0)]
+        );
+    }
+
+    #[test]
+    fn node_block_partitions_exactly() {
+        for workers in [1usize, 3, 7, 16] {
+            for n in [1usize, 2, 3, 4] {
+                let mut covered = 0;
+                for node in 0..n {
+                    let (lo, hi) = node_block(workers, n, node);
+                    assert_eq!(lo, covered);
+                    covered = hi;
+                }
+                assert_eq!(covered, workers);
+            }
+        }
+    }
+
+    #[test]
+    fn sysfs_parser_reads_fake_tree() {
+        let dir = std::env::temp_dir().join(format!("stef-numa-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("node0")).unwrap();
+        std::fs::create_dir_all(dir.join("node1")).unwrap();
+        std::fs::create_dir_all(dir.join("has_cpu")).unwrap(); // non-node entry
+        std::fs::write(dir.join("node0/cpulist"), "0-1\n").unwrap();
+        std::fs::write(dir.join("node1/cpulist"), "2-3\n").unwrap();
+        let t = NumaTopology::from_sysfs(&dir).unwrap();
+        assert_eq!(t.num_nodes(), 2);
+        assert_eq!(t.nodes()[0].cpus, vec![0, 1]);
+        assert_eq!(t.nodes()[1].cpus, vec![2, 3]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pin_to_cpus_empty_is_noop() {
+        assert!(!pin_to_cpus(&[]));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn pin_to_current_cpuset_succeeds() {
+        // Pinning to every CPU of the single-node fallback must succeed
+        // (it is a superset of the current affinity mask in CI).
+        let t = NumaTopology::single_node();
+        assert!(pin_to_cpus(&t.nodes()[0].cpus));
+    }
+}

@@ -68,6 +68,46 @@ pub enum AccumStrategy {
     Atomic,
 }
 
+/// Which MTTKRP engine backs the decomposition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EngineChoice {
+    /// The memoized CSF engine ([`crate::Stef`]). The default — it is
+    /// the paper's configuration and the right answer for tensors with
+    /// fiber reuse.
+    #[default]
+    Csf,
+    /// The adaptive linearized engine ([`crate::AltoEngine`]):
+    /// bit-interleaved indices, no fiber structure, privatized or
+    /// atomic scatter. Wins on irregular hypersparse tensors whose
+    /// fibers barely collapse.
+    Alto,
+    /// Prepare the CSF plan, price both engines with the §IV-C
+    /// data-movement model, and keep the cheaper one
+    /// (`engine::build_engine`).
+    Auto,
+}
+
+impl EngineChoice {
+    /// Parses `csf` / `alto` / `auto` (case-insensitive).
+    pub fn parse(s: &str) -> Option<EngineChoice> {
+        match s.to_ascii_lowercase().as_str() {
+            "csf" => Some(EngineChoice::Csf),
+            "alto" => Some(EngineChoice::Alto),
+            "auto" => Some(EngineChoice::Auto),
+            _ => None,
+        }
+    }
+
+    /// The canonical flag spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EngineChoice::Csf => "csf",
+            EngineChoice::Alto => "alto",
+            EngineChoice::Auto => "auto",
+        }
+    }
+}
+
 /// Which MTTKRP kernel implementation the engine runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum KernelPath {
@@ -128,6 +168,16 @@ pub struct StefOptions {
     /// benchmarking (an unavailable ISA degrades to the detected path
     /// with a warning).
     pub simd: linalg::simd::SimdPolicy,
+    /// Engine selection: memoized CSF, linearized ALTO-style, or
+    /// model-priced auto pick (only consulted by
+    /// [`crate::engine::build_engine`]; constructing [`crate::Stef`] or
+    /// [`crate::AltoEngine`] directly ignores it).
+    pub engine: EngineChoice,
+    /// NUMA worker-placement policy, defaulting to the `STEF_NUMA` env
+    /// override (else `auto`). Under `auto` the pool pins each worker
+    /// to its node's CPUs when more than one node is detected;
+    /// single-node machines are never touched.
+    pub numa: crate::numa::NumaPolicy,
 }
 
 /// Best-effort detection of the per-core cache the data-movement model
@@ -172,6 +222,8 @@ impl StefOptions {
             memory_budget: 0,
             cancel: None,
             simd: linalg::simd::SimdPolicy::Auto,
+            engine: EngineChoice::default(),
+            numa: crate::numa::NumaPolicy::from_env(),
         }
     }
 
@@ -205,6 +257,16 @@ mod tests {
         assert_eq!(o.load_balance, LoadBalance::NnzBalanced);
         assert_eq!(o.memo, MemoPolicy::DataMovementModel);
         assert_eq!(o.mode_switch, ModeSwitchPolicy::ModelChosen);
+    }
+
+    #[test]
+    fn engine_choice_parses_all_spellings() {
+        for e in [EngineChoice::Csf, EngineChoice::Alto, EngineChoice::Auto] {
+            assert_eq!(EngineChoice::parse(e.as_str()), Some(e));
+            assert_eq!(EngineChoice::parse(&e.as_str().to_uppercase()), Some(e));
+        }
+        assert_eq!(EngineChoice::parse("taco"), None);
+        assert_eq!(StefOptions::new(4).engine, EngineChoice::Csf);
     }
 
     #[test]

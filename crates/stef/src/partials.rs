@@ -63,11 +63,18 @@ impl PartialStore {
                 continue;
             }
             let len = (csf.nfibers(l) + nthreads) * rank;
-            let mut buf: Vec<f64> = Vec::new();
-            buf.try_reserve_exact(len)
+            // Probe with try_reserve for the typed-OOM contract, then
+            // allocate fresh: `vec![0.0; len]` goes through
+            // `alloc_zeroed`, whose lazily-mapped zero pages first-touch
+            // on whichever worker writes them during the mode-0 pass —
+            // NUMA-local placement — where `resize` on this (dispatching)
+            // thread would fault every page onto its own node.
+            let mut probe: Vec<f64> = Vec::new();
+            probe
+                .try_reserve_exact(len)
                 .map_err(|_| len * std::mem::size_of::<f64>())?;
-            buf.resize(len, 0.0);
-            bufs.push(Some(buf));
+            drop(probe);
+            bufs.push(Some(vec![0.0; len]));
         }
         Ok(PartialStore {
             rank,

@@ -50,6 +50,7 @@
 //! `linalg::par` hook that routes `gram`/`matmul`/swap-count
 //! fan-outs through the same pool).
 
+use crate::numa::{self, NumaPolicy, NumaTopology};
 use crate::sync::{lock_unpoisoned, wait_unpoisoned};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -274,6 +275,26 @@ struct WorkerStat {
     parks: AtomicU64,
 }
 
+/// One NUMA segment's claim cursor, cache-line padded so cursors of
+/// different nodes never false-share. Packs `(job_id << 32) | cursor`
+/// exactly like the single-cursor layout it generalizes.
+#[repr(align(64))]
+struct ClaimCursor {
+    cur: AtomicU64,
+}
+
+/// One spawned worker's NUMA placement, fixed at pool construction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerPlacement {
+    /// Claim-segment index (position in the pool's node list, not the
+    /// kernel node id). 0 when placement is off.
+    pub node: usize,
+    /// Whether `sched_setaffinity` to the node's CPUs succeeded on this
+    /// worker's thread. Always `false` when placement is off, off
+    /// Linux, or when the affinity call was rejected.
+    pub pinned: bool,
+}
+
 /// Shared dispatcher/worker state. All job fields are atomics: a worker
 /// waking mid-publish may read a torn *combination*, but never tears an
 /// individual field, and the seqlock validation below discards any
@@ -288,8 +309,21 @@ struct Shared {
     ctx: AtomicUsize,
     nthreads: AtomicUsize,
     chunk: AtomicUsize,
-    /// `(job_id << 32) | next_unclaimed_logical_thread`.
-    work: AtomicU64,
+    /// Per-NUMA-segment claim cursors, each
+    /// `(job_id << 32) | next_unclaimed_logical_thread` within its
+    /// segment. Segment `i` of a job covers logical threads
+    /// `[i·nthreads/N, (i+1)·nthreads/N)`; workers drain their own
+    /// node's segment first, then steal from the others. Length 1 when
+    /// NUMA placement is off — which degenerates to exactly the single
+    /// shared cursor this generalizes.
+    work: Vec<ClaimCursor>,
+    /// Home segment per spawned worker index (all zeros when placement
+    /// is off). The dispatching caller always homes at segment 0.
+    home_node: Vec<usize>,
+    /// CPUs each spawned worker pins to at startup (empty = no pin).
+    pin_cpus: Vec<Vec<usize>>,
+    /// Whether each spawned worker's affinity call succeeded.
+    pinned: Vec<AtomicBool>,
     /// Logical threads fully executed for the current job.
     completed: AtomicUsize,
     shutdown: AtomicBool,
@@ -398,6 +432,7 @@ fn trampoline<F: Fn(usize) + Sync>(ctx: usize, th: usize) {
 ///
 /// The `notify_done` flag is set for workers (the dispatcher polls the
 /// `completed` counter itself and must not be woken by its own claims).
+#[allow(clippy::too_many_arguments)]
 fn drain_work(
     s: &Shared,
     id: u32,
@@ -406,60 +441,70 @@ fn drain_work(
     run: impl Fn(usize),
     notify_done: bool,
     promote_deadline: bool,
+    home: usize,
 ) -> u64 {
+    let nsegs = s.work.len();
     let mut claimed = 0u64;
-    loop {
-        let cur = s.work.load(Ordering::Acquire);
-        let (wid, wc) = unpack(cur);
-        let lo = wc as usize;
-        if wid != id || lo >= nthreads {
-            return claimed;
-        }
-        // Cooperative cancellation, checked once per claim. Workers pay
-        // one relaxed load; the dispatcher (`promote_deadline`) also
-        // promotes an armed deadline, so it is the only thread that ever
-        // reads the clock. On cancel the claimant swallows the rest of
-        // the cursor and accounts the skipped logical threads as
-        // completed — the join barrier always resolves; already-claimed
-        // chunks run to completion (that is the chunk granularity of
-        // the cancellation contract).
-        let cancelled = if promote_deadline {
-            cancel_state(s).is_some_and(CancelState::expired_promote)
-        } else {
-            cancel_flag(s)
-        };
-        if cancelled {
-            if s
-                .work
-                .compare_exchange(cur, pack(id, nthreads as u32), Ordering::AcqRel, Ordering::Acquire)
-                .is_ok()
+    // Node-local preference: drain the home segment dry before touching
+    // the others (cross-node claims are the straggler insurance, not the
+    // steady state). With one segment this is the old single-cursor loop.
+    for off in 0..nsegs {
+        let i = (home + off) % nsegs;
+        let slot = &s.work[i].cur;
+        let (_, seg_hi) = numa::node_block(nthreads, nsegs, i);
+        loop {
+            let cur = slot.load(Ordering::Acquire);
+            let (wid, wc) = unpack(cur);
+            let lo = wc as usize;
+            if wid != id || lo >= seg_hi {
+                break;
+            }
+            // Cooperative cancellation, checked once per claim. Workers pay
+            // one relaxed load; the dispatcher (`promote_deadline`) also
+            // promotes an armed deadline, so it is the only thread that ever
+            // reads the clock. On cancel the claimant swallows the rest of
+            // the segment's cursor and accounts the skipped logical threads
+            // as completed — the join barrier always resolves (the sticky
+            // flag swallows every later segment the same way);
+            // already-claimed chunks run to completion (that is the chunk
+            // granularity of the cancellation contract).
+            let cancelled = if promote_deadline {
+                cancel_state(s).is_some_and(CancelState::expired_promote)
+            } else {
+                cancel_flag(s)
+            };
+            if cancelled {
+                if slot
+                    .compare_exchange(cur, pack(id, seg_hi as u32), Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    s.job_cancelled.store(true, Ordering::Release);
+                    finish_chunk(s, nthreads, seg_hi - lo, notify_done);
+                }
+                continue;
+            }
+            let hi = (lo + chunk).min(seg_hi);
+            if slot
+                .compare_exchange_weak(cur, pack(id, hi as u32), Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
             {
-                s.job_cancelled.store(true, Ordering::Release);
-                finish_chunk(s, nthreads, nthreads - lo, notify_done);
+                continue;
             }
-            continue;
-        }
-        let hi = (lo + chunk).min(nthreads);
-        if s
-            .work
-            .compare_exchange_weak(cur, pack(id, hi as u32), Ordering::AcqRel, Ordering::Acquire)
-            .is_err()
-        {
-            continue;
-        }
-        for th in lo..hi {
-            // Panic isolation: a panicking logical thread must still be
-            // counted as completed below, or the dispatcher sleeps on
-            // `done_cv` forever. The payload is recorded for the
-            // dispatcher to surface as a typed error after the barrier.
-            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(th))) {
-                s.panicked.fetch_add(1, Ordering::Relaxed);
-                *lock_unpoisoned(&s.panic_msg) = Some(payload_message(payload.as_ref()));
+            for th in lo..hi {
+                // Panic isolation: a panicking logical thread must still be
+                // counted as completed below, or the dispatcher sleeps on
+                // `done_cv` forever. The payload is recorded for the
+                // dispatcher to surface as a typed error after the barrier.
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| run(th))) {
+                    s.panicked.fetch_add(1, Ordering::Relaxed);
+                    *lock_unpoisoned(&s.panic_msg) = Some(payload_message(payload.as_ref()));
+                }
             }
+            claimed += 1;
+            finish_chunk(s, nthreads, hi - lo, notify_done);
         }
-        claimed += 1;
-        finish_chunk(s, nthreads, hi - lo, notify_done);
     }
+    claimed
 }
 
 /// Counts `done` logical threads as completed and wakes a parked
@@ -486,6 +531,14 @@ fn finish_chunk(s: &Shared, nthreads: usize, done: usize, notify_done: bool) {
 /// Completion accounting is panic-free outside the isolated region, so
 /// no dispatcher is ever stranded by the escape.
 fn worker_entry(shared: Arc<Shared>, idx: usize) {
+    // NUMA placement: pin this thread to its node's CPUs before serving
+    // any job, so every page its fills first-touch lands node-local.
+    // Affinity is sticky per OS thread — respawned workers re-pin here.
+    if let Some(cpus) = shared.pin_cpus.get(idx) {
+        if !cpus.is_empty() && numa::pin_to_cpus(cpus) {
+            shared.pinned[idx].store(true, Ordering::Release);
+        }
+    }
     shared.started.fetch_add(1, Ordering::Release);
     WORKER_OF.with(|c| c.set(Arc::as_ptr(&shared) as usize));
     loop {
@@ -498,6 +551,7 @@ fn worker_entry(shared: Arc<Shared>, idx: usize) {
 
 fn worker_loop(shared: &Shared, idx: usize) {
     let stat = &shared.stats[idx];
+    let home = shared.home_node.get(idx).copied().unwrap_or(0);
     // Last job id this worker fully processed (seq values are even when
     // stable; `seen` stores the raw even seq).
     let mut seen = 0u64;
@@ -551,7 +605,7 @@ fn worker_loop(shared: &Shared, idx: usize) {
         // hot path (and the zero-alloc invariant) are untouched.
         let tracing = crate::telemetry::trace_enabled();
         let t0 = if tracing { now_ns() } else { 0 };
-        let claimed = drain_work(shared, id, nthreads, chunk, |th| call(ctx, th), true, false);
+        let claimed = drain_work(shared, id, nthreads, chunk, |th| call(ctx, th), true, false, home);
         if claimed > 0 {
             stat.busy.fetch_add(1, Ordering::Relaxed);
             stat.chunks.fetch_add(claimed, Ordering::Relaxed);
@@ -617,15 +671,55 @@ impl WorkerPool {
     /// in [`RuntimeCounters::spawn_failures`]) — worst case a pool of
     /// one, which runs every fan-out inline.
     pub fn new(workers: usize) -> Self {
+        Self::with_numa(workers, NumaPolicy::from_env(), &NumaTopology::detect())
+    }
+
+    /// [`WorkerPool::new`] with an explicit NUMA policy and topology.
+    ///
+    /// Under [`NumaPolicy::Auto`] with more than one node, spawned
+    /// workers are split into contiguous per-node blocks, each worker
+    /// pins itself to its node's CPUs at startup, and the job cursor
+    /// becomes one cursor per node so workers claim node-local chunks
+    /// first and steal cross-node only when their own segment runs dry.
+    /// With one node (every laptop and most CI) or `Off`, nothing is
+    /// pinned and the single-cursor behavior is byte-for-byte the old
+    /// one. The topology is passed in (rather than probed) so tests can
+    /// exercise multi-node placement on single-node hosts.
+    pub fn with_numa(workers: usize, policy: NumaPolicy, topo: &NumaTopology) -> Self {
         let workers = workers.max(1);
         let planned = workers - 1;
+        let place = policy == NumaPolicy::Auto && topo.num_nodes() > 1 && planned > 1;
+        let nsegs = if place {
+            topo.num_nodes().min(planned)
+        } else {
+            1
+        };
+        let (home_node, pin_cpus): (Vec<usize>, Vec<Vec<usize>>) = (0..planned)
+            .map(|idx| {
+                if !place {
+                    return (0usize, Vec::new());
+                }
+                // Contiguous blocks: worker idx's node is the segment
+                // whose `node_block(planned, nsegs, ·)` range contains
+                // idx (closed-form inverse of the block partition).
+                let node = ((idx * nsegs + nsegs - 1) / planned).min(nsegs - 1);
+                debug_assert!({
+                    let (lo, hi) = numa::node_block(planned, nsegs, node);
+                    lo <= idx && idx < hi
+                });
+                (node, topo.nodes()[node].cpus.clone())
+            })
+            .unzip();
         let shared = Arc::new(Shared {
             seq: AtomicU64::new(0),
             call: AtomicUsize::new(0),
             ctx: AtomicUsize::new(0),
             nthreads: AtomicUsize::new(0),
             chunk: AtomicUsize::new(1),
-            work: AtomicU64::new(0),
+            work: (0..nsegs).map(|_| ClaimCursor { cur: AtomicU64::new(0) }).collect(),
+            home_node,
+            pin_cpus,
+            pinned: (0..planned).map(|_| AtomicBool::new(false)).collect(),
             completed: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             idle_lock: Mutex::new(()),
@@ -690,6 +784,26 @@ impl WorkerPool {
     /// smaller than requested after degraded spawns.
     pub fn workers(&self) -> usize {
         self.workers.load(Ordering::Relaxed)
+    }
+
+    /// Number of NUMA claim segments the pool partitions jobs into
+    /// (1 when placement is off or the machine has one node).
+    pub fn numa_nodes(&self) -> usize {
+        self.shared.work.len()
+    }
+
+    /// Per spawned worker: its claim segment and whether its affinity
+    /// pin succeeded. Empty for a pool of one (nothing is spawned).
+    pub fn placement(&self) -> Vec<WorkerPlacement> {
+        self.shared
+            .home_node
+            .iter()
+            .enumerate()
+            .map(|(i, &node)| WorkerPlacement {
+                node,
+                pinned: self.shared.pinned[i].load(Ordering::Acquire),
+            })
+            .collect()
     }
 
     /// Installs (or clears) the cancellation token checked by every
@@ -814,7 +928,10 @@ impl WorkerPool {
         s.done_parked.store(false, Ordering::Relaxed);
         s.panicked.store(0, Ordering::Relaxed);
         s.job_cancelled.store(false, Ordering::Relaxed);
-        s.work.store(pack(id, 0), Ordering::Relaxed);
+        for (i, c) in s.work.iter().enumerate() {
+            let (lo, _) = numa::node_block(nthreads, s.work.len(), i);
+            c.cur.store(pack(id, lo as u32), Ordering::Relaxed);
+        }
         s.seq.store(s0 + 2, Ordering::Release); // even: published
 
         // Wake parked workers. The empty critical section pairs with
@@ -826,7 +943,7 @@ impl WorkerPool {
         // ---- participate ----
         let tracing = crate::telemetry::trace_enabled();
         let t0 = if tracing { now_ns() } else { 0 };
-        let claimed = drain_work(s, id, nthreads, chunk, f, false, true);
+        let claimed = drain_work(s, id, nthreads, chunk, f, false, true, 0);
         self.dispatcher_chunks.fetch_add(claimed, Ordering::Relaxed);
         if tracing && claimed > 0 {
             crate::telemetry::record_span(crate::telemetry::TraceSpan {
@@ -1053,6 +1170,41 @@ impl Executor {
                 workers: workers.max(1),
                 cancel: Arc::new(Mutex::new(None)),
             },
+        }
+    }
+
+    /// [`Executor::new`] with an explicit NUMA policy (the engine path:
+    /// `StefOptions::numa` instead of the `STEF_NUMA` env default). The
+    /// scoped substrate spawns fresh threads per call, so placement
+    /// does not apply there and the policy is ignored.
+    pub fn with_numa(kind: Runtime, workers: usize, policy: NumaPolicy) -> Self {
+        match kind {
+            Runtime::Pool => Executor::Pool(Arc::new(WorkerPool::with_numa(
+                workers,
+                policy,
+                &NumaTopology::detect(),
+            ))),
+            Runtime::Scoped => Executor::Scoped {
+                workers: workers.max(1),
+                cancel: Arc::new(Mutex::new(None)),
+            },
+        }
+    }
+
+    /// NUMA claim segments of the underlying pool (1 for the scoped
+    /// substrate, which has no persistent workers to place).
+    pub fn numa_nodes(&self) -> usize {
+        match self {
+            Executor::Pool(p) => p.numa_nodes(),
+            Executor::Scoped { .. } => 1,
+        }
+    }
+
+    /// Per spawned worker placement (empty for the scoped substrate).
+    pub fn placement(&self) -> Vec<WorkerPlacement> {
+        match self {
+            Executor::Pool(p) => p.placement(),
+            Executor::Scoped { .. } => Vec::new(),
         }
     }
 
@@ -1463,6 +1615,97 @@ mod tests {
         // blocks start, so whether spawned blocks observe the flag is
         // timing-dependent — but the outcome must be typed either way.
         assert!(matches!(r, Ok(()) | Err(FanoutError::Cancelled)));
+    }
+
+    #[test]
+    fn synthetic_numa_pool_covers_every_thread_once() {
+        let topo = NumaTopology::synthetic(vec![vec![0, 1], vec![0, 1]]);
+        let pool = WorkerPool::with_numa(4, NumaPolicy::Auto, &topo);
+        assert_eq!(pool.numa_nodes(), 2);
+        let exec = Executor::Pool(Arc::new(pool));
+        for nthreads in [1usize, 2, 3, 7, 16, 33, 257] {
+            coverage(&exec, nthreads);
+        }
+    }
+
+    #[test]
+    fn numa_off_or_single_node_keeps_single_cursor() {
+        let two = NumaTopology::synthetic(vec![vec![0], vec![0]]);
+        let off = WorkerPool::with_numa(4, NumaPolicy::Off, &two);
+        assert_eq!(off.numa_nodes(), 1);
+        assert!(off.placement().iter().all(|p| p.node == 0 && !p.pinned));
+        let one = NumaTopology::synthetic(vec![vec![0, 1]]);
+        let single = WorkerPool::with_numa(4, NumaPolicy::Auto, &one);
+        assert_eq!(single.numa_nodes(), 1);
+        // A pool of two (one spawned worker) has nothing to split.
+        let tiny = WorkerPool::with_numa(2, NumaPolicy::Auto, &two);
+        assert_eq!(tiny.numa_nodes(), 1);
+    }
+
+    #[test]
+    fn numa_pool_chunk_accounting_stays_exact() {
+        let topo = NumaTopology::synthetic(vec![vec![0, 1], vec![0, 1]]);
+        let exec = Executor::Pool(Arc::new(WorkerPool::with_numa(4, NumaPolicy::Auto, &topo)));
+        for _ in 0..10 {
+            exec.fanout(16, |_| {});
+        }
+        let c = exec.counters();
+        assert_eq!(c.dispatches, 10);
+        let worker_chunks: u64 = c.per_worker.iter().map(|w| w.chunks).sum();
+        // Every logical thread claimed exactly once across both
+        // segments; 16 threads / chunk 1 = 16 chunks per dispatch.
+        assert_eq!(c.dispatcher_chunks + worker_chunks, 160);
+    }
+
+    #[test]
+    fn numa_pool_cancel_still_resolves_barrier() {
+        let topo = NumaTopology::synthetic(vec![vec![0, 1], vec![0, 1]]);
+        let exec = Executor::Pool(Arc::new(WorkerPool::with_numa(4, NumaPolicy::Auto, &topo)));
+        let token = CancelToken::new();
+        exec.set_cancel(Some(token.clone()));
+        let t2 = token.clone();
+        // Both segments' cursors must be swallowed or the barrier hangs.
+        let r = exec.try_fanout(1000, move |th| {
+            if th == 0 {
+                t2.cancel();
+            }
+        });
+        assert!(matches!(r, Ok(()) | Err(FanoutError::Cancelled)));
+        exec.set_cancel(None);
+        coverage(&exec, 64);
+    }
+
+    #[test]
+    fn numa_placement_blocks_are_contiguous() {
+        let topo = NumaTopology::synthetic(vec![vec![0, 1], vec![0, 1]]);
+        let pool = WorkerPool::with_numa(5, NumaPolicy::Auto, &topo);
+        let p = pool.placement();
+        assert_eq!(p.len(), 4);
+        assert!(p.windows(2).all(|w| w[0].node <= w[1].node), "{p:?}");
+        assert_eq!(p.first().unwrap().node, 0);
+        assert_eq!(p.last().unwrap().node, 1);
+    }
+
+    #[test]
+    fn numa_results_match_single_node_results() {
+        // The segmented cursor changes who computes what, never what is
+        // computed: summing th*th over claims must agree exactly.
+        let multi = Executor::Pool(Arc::new(WorkerPool::with_numa(
+            4,
+            NumaPolicy::Auto,
+            &NumaTopology::synthetic(vec![vec![0, 1], vec![0, 1]]),
+        )));
+        let plain = Executor::new(Runtime::Pool, 4);
+        for nthreads in [3usize, 17, 64] {
+            let total = |exec: &Executor| {
+                let acc = AtomicUsize::new(0);
+                exec.fanout(nthreads, |th| {
+                    acc.fetch_add(th * th + 1, Ordering::Relaxed);
+                });
+                acc.load(Ordering::Relaxed)
+            };
+            assert_eq!(total(&multi), total(&plain));
+        }
     }
 
     #[test]

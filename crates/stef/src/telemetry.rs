@@ -183,6 +183,12 @@ pub struct TelemetryReport {
     /// Worker spans drained at the end of the run (empty unless
     /// tracing was enabled).
     pub spans: Vec<TraceSpan>,
+    /// Name of the engine that ran the sweep (`"stef"`, `"alto"`, ...).
+    /// Empty when the driver did not stamp it.
+    pub engine: String,
+    /// NUMA nodes the engine's executor spread workers over (1 = no
+    /// placement or serial).
+    pub numa_nodes: usize,
 }
 
 /// Per-mode join of measured traffic against the model prediction,
@@ -295,6 +301,8 @@ impl Collector {
         TelemetryReport {
             records: self.records,
             spans: take_spans(),
+            engine: String::new(),
+            numa_nodes: 1,
         }
     }
 }
@@ -388,7 +396,8 @@ fn jopt(x: Option<f64>) -> String {
 /// version 1. Traffic is reported in **bytes** (8 per element).
 ///
 /// ```json
-/// {"schema":1,"iteration":0,"fit":0.91,"alloc_events":0,"modes":[
+/// {"schema":1,"iteration":0,"fit":0.91,"alloc_events":0,
+///  "engine":"stef","numa_nodes":1,"modes":[
 ///   {"mode":0,"seconds":1.2e-3,"nnz":1000,"fibers":1430,"flops":256000,
 ///    "measured_read_bytes":...,"measured_write_bytes":...,
 ///    "predicted_read_bytes":...,"predicted_write_bytes":...,"rel_err":0.02}]}
@@ -436,10 +445,13 @@ pub fn render_metrics_jsonl(report: &TelemetryReport) -> String {
         }
         let _ = writeln!(
             out,
-            "{{\"schema\":1,\"iteration\":{},\"fit\":{},\"alloc_events\":{},\"modes\":[{}]}}",
+            "{{\"schema\":1,\"iteration\":{},\"fit\":{},\"alloc_events\":{},\
+             \"engine\":\"{}\",\"numa_nodes\":{},\"modes\":[{}]}}",
             rec.iteration,
             jnum(rec.fit),
             rec.alloc_events,
+            report.engine,
+            report.numa_nodes.max(1),
             modes
         );
     }

@@ -133,16 +133,25 @@ impl Workspace {
         let need_stacks = nthreads * stack_stride;
         let priv_stride = pad8(priv_rows * rank);
         let need_priv = nthreads * priv_stride;
+        // Growth swaps in a *fresh* zeroed vector instead of `resize`:
+        // `vec![0; n]` goes through `alloc_zeroed`, which hands back
+        // lazily-mapped zero pages. The first write to each page — the
+        // per-pass `fill(0.0)` each worker performs on its own span —
+        // then faults the page in on the writing worker's NUMA node
+        // (first-touch placement), instead of inheriting whatever node
+        // a `resize` copy on the dispatching thread would have pinned.
+        // Nothing reads arena contents across an `ensure` growth, so
+        // dropping the old data is free.
         if self.scratch.len() < need_scratch {
-            self.scratch.resize(need_scratch, 0.0);
+            self.scratch = vec![0.0; need_scratch];
             self.alloc_events += 1;
         }
         if self.stacks.len() < need_stacks {
-            self.stacks.resize(need_stacks, 0);
+            self.stacks = vec![0; need_stacks];
             self.alloc_events += 1;
         }
         if self.priv_buf.len() < need_priv {
-            self.priv_buf.resize(need_priv, 0.0);
+            self.priv_buf = vec![0.0; need_priv];
             self.alloc_events += 1;
         }
         self.d = d;
