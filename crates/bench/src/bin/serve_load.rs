@@ -1,0 +1,258 @@
+//! `serve_load` — load generator for the `stef serve` daemon.
+//!
+//! Boots an in-process [`Server`] on a loopback port, publishes an
+//! initial model, then runs a timed phase in which client threads
+//! hammer the read path (factor-row and top-k queries over real HTTP
+//! connections) while the main thread keeps the write path busy with
+//! back-to-back refit submissions. The report answers the service
+//! question the ROADMAP poses: *what query latency does the read side
+//! hold while the supervisor is refitting underneath it?*
+//!
+//! Usage: `serve_load [--seconds N] [--clients N] [--out FILE]`
+//!
+//! Writes a schema-4 `BENCH_service.json`:
+//!
+//! ```json
+//! {"schema": 4, "bench": "serve_load", ...,
+//!  "jobs_per_sec": 3.1, "query_p50_us": 180.0, "query_p99_us": 950.0}
+//! ```
+//!
+//! `validate_telemetry` accepts the file as a non-gating CI artifact
+//! (numbers are hardware-dependent; the gate is only that they exist
+//! and are finite-positive).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use stef::{
+    outcome_hook, CancelToken, EngineFactory, MttkrpEngine, ReferenceEngine, ServeConfig, Server,
+    SnapshotStore, StefError, Supervisor, SupervisorConfig, TensorLoader,
+};
+use workloads::power_law_tensor;
+
+fn loader() -> TensorLoader {
+    Arc::new(|spec: &str| {
+        // "pl:<d0>x<d1>x<d2>:<nnz>:<seed>"
+        let parts: Vec<&str> = spec.split(':').collect();
+        if parts.len() != 4 || parts[0] != "pl" {
+            return Err(StefError::Input(format!("bad spec '{spec}'")));
+        }
+        let dims: Vec<usize> = parts[1]
+            .split('x')
+            .map(|t| t.parse().map_err(|_| StefError::Input("bad dim".into())))
+            .collect::<Result<_, _>>()?;
+        let nnz = parts[2]
+            .parse()
+            .map_err(|_| StefError::Input("bad nnz".into()))?;
+        let seed = parts[3]
+            .parse()
+            .map_err(|_| StefError::Input("bad seed".into()))?;
+        let skews = vec![0.5; dims.len()];
+        Ok(power_law_tensor(&dims, nnz, &skews, seed))
+    })
+}
+
+fn factory() -> EngineFactory {
+    Arc::new(|_spec, tensor, _token, _attempt| {
+        Ok(Box::new(ReferenceEngine::new(tensor.clone())) as Box<dyn MttkrpEngine>)
+    })
+}
+
+/// One HTTP request on a fresh connection; returns the response body.
+fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> Result<String, String> {
+    let mut s = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    s.set_read_timeout(Some(Duration::from_secs(10))).ok();
+    s.set_nodelay(true).ok();
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    s.write_all(req.as_bytes()).map_err(|e| e.to_string())?;
+    let mut response = String::new();
+    s.read_to_string(&mut response).map_err(|e| e.to_string())?;
+    match response.split("\r\n\r\n").nth(1) {
+        Some(payload) if response.starts_with("HTTP/1.1 200") => Ok(payload.to_string()),
+        _ => Err(response.lines().next().unwrap_or("no response").to_string()),
+    }
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx.min(sorted_us.len() - 1)] as f64
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut seconds = 3u64;
+    let mut clients = 4usize;
+    let mut out = "BENCH_service.json".to_string();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--seconds" => {
+                seconds = argv[i + 1].parse().expect("--seconds N");
+                i += 2;
+            }
+            "--clients" => {
+                clients = argv[i + 1].parse().expect("--clients N");
+                i += 2;
+            }
+            "--out" => {
+                out = argv[i + 1].clone();
+                i += 2;
+            }
+            other => {
+                eprintln!("usage: serve_load [--seconds N] [--clients N] [--out FILE] ({other}?)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let dir = std::env::temp_dir().join(format!("stef-serve-load-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    let store = Arc::new(SnapshotStore::new());
+    let mut scfg = SupervisorConfig::new(dir.join("load.journal"), dir.join("ckpts"));
+    scfg.max_concurrent = 2;
+    scfg.checkpoint_every = 4;
+    scfg.on_outcome = Some(outcome_hook(Arc::clone(&store)));
+    let sup = Arc::new(Supervisor::new(scfg, loader(), factory()).expect("supervisor"));
+    let stop = CancelToken::new();
+    let mut cfg = ServeConfig::new("127.0.0.1:0");
+    cfg.handler_threads = clients.max(2);
+    let server = Server::bind(cfg, sup, store, stop.clone()).expect("bind");
+    let addr = server.local_addr();
+
+    let running = AtomicBool::new(true);
+    let query_errors = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        let runner = scope.spawn(|| server.run());
+
+        // Seed the model the read side will query throughout.
+        let seed_job = "pl:48x40x32:4000:7 rank=8 iters=5 tol=0 model=served";
+        let resp = http(addr, "POST", "/jobs", seed_job).expect("seed submit");
+        assert!(resp.contains("\"id\":0"), "{resp}");
+        let t0 = Instant::now();
+        loop {
+            let s = http(addr, "GET", "/jobs/0", "").expect("poll");
+            if s.contains("\"status\":\"done\"") {
+                break;
+            }
+            assert!(
+                t0.elapsed() < Duration::from_secs(120),
+                "seed refit never finished: {s}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+
+        // Timed phase: read clients vs. continuous refits.
+        let deadline = Instant::now() + Duration::from_secs(seconds);
+        let latency_threads: Vec<_> = (0..clients)
+            .map(|c| {
+                let running = &running;
+                let query_errors = &query_errors;
+                scope.spawn(move || {
+                    let mut lat_us: Vec<u64> = Vec::new();
+                    let mut n = 0u64;
+                    while running.load(Ordering::Relaxed) {
+                        let (path, body, method) = match n % 3 {
+                            0 => (format!("/models/served/factor/0/{}", n % 48), String::new(), "GET"),
+                            1 => ("/models/served".to_string(), String::new(), "GET"),
+                            _ => (
+                                "/models/served/topk".to_string(),
+                                format!("mode=0 target=1 k=5 rows={},{}", n % 48, (n + c as u64) % 48),
+                                "POST",
+                            ),
+                        };
+                        let t = Instant::now();
+                        match http(addr, method, &path, &body) {
+                            Ok(_) => lat_us.push(t.elapsed().as_micros() as u64),
+                            Err(_) => {
+                                query_errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        n += 1;
+                    }
+                    lat_us
+                })
+            })
+            .collect();
+
+        // Write side: keep refits flowing until the deadline.
+        let mut submitted = 1u64; // the seed job
+        let mut refit_seed = 100u64;
+        while Instant::now() < deadline {
+            let job = format!(
+                "pl:48x40x32:4000:{refit_seed} rank=8 iters=5 tol=0 model=served"
+            );
+            match http(addr, "POST", "/jobs", &job) {
+                Ok(_) => submitted += 1,
+                Err(e) => panic!("refit submit failed: {e}"),
+            }
+            refit_seed += 1;
+            // Pace submissions so the queue stays short but never empty.
+            loop {
+                let h = http(addr, "GET", "/healthz", "").expect("healthz");
+                let backlogged = h.contains("\"queued\":2") || h.split("\"queued\":").nth(1)
+                    .and_then(|t| t.split(',').next())
+                    .and_then(|t| t.parse::<u64>().ok())
+                    .map(|q| q >= 2)
+                    .unwrap_or(false);
+                if !backlogged || Instant::now() >= deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+        let elapsed = t0.elapsed();
+        running.store(false, Ordering::Relaxed);
+        let mut lat_us: Vec<u64> = latency_threads
+            .into_iter()
+            .flat_map(|t| t.join().expect("client thread"))
+            .collect();
+        lat_us.sort_unstable();
+
+        // Completed refits over the whole measured window.
+        let done = {
+            let h = http(addr, "GET", "/healthz", "").expect("healthz");
+            h.split("\"installs\":")
+                .nth(1)
+                .and_then(|t| t.split(',').next())
+                .and_then(|t| t.parse::<u64>().ok())
+                .unwrap_or(0)
+        };
+
+        stop.cancel();
+        let report = runner.join().expect("server thread");
+
+        let jobs_per_sec = done as f64 / elapsed.as_secs_f64();
+        let p50 = percentile(&lat_us, 0.50);
+        let p99 = percentile(&lat_us, 0.99);
+        let errors = query_errors.load(Ordering::Relaxed);
+        assert!(!lat_us.is_empty(), "no successful queries — read path broken");
+        assert_eq!(errors, 0, "{errors} queries failed during concurrent refit");
+
+        let json = format!(
+            "{{\"schema\": 4, \"bench\": \"serve_load\", \"seconds\": {seconds}, \
+             \"clients\": {clients}, \"submitted\": {submitted}, \"refits_done\": {done}, \
+             \"queries\": {}, \"query_errors\": {errors}, \"jobs_per_sec\": {jobs_per_sec}, \
+             \"query_p50_us\": {p50}, \"query_p99_us\": {p99}}}\n",
+            lat_us.len(),
+        );
+        std::fs::write(&out, &json).expect("write report");
+        println!(
+            "serve_load: {done} refits in {:.1}s ({jobs_per_sec:.2} jobs/s), {} queries \
+             (p50 {p50:.0} µs, p99 {p99:.0} µs, {errors} errors) -> {out}",
+            elapsed.as_secs_f64(),
+            lat_us.len(),
+        );
+        let _ = report;
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -127,12 +127,15 @@ fn check_trace(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-/// Validates a tracked kernel-bench trajectory file. Three schema
+/// Validates a tracked kernel-bench trajectory file. Four schema
 /// versions are accepted: schema 1 (pre-SIMD, one record per mode ×
 /// accum), schema 2 (per-SIMD-path records with `simd` and
-/// `bytes_per_ns` fields), and schema 3 (the `BENCH_alto.json` engine
+/// `bytes_per_ns` fields), schema 3 (the `BENCH_alto.json` engine
 /// race: per-mode `csf_ns`/`alto_ns`/`speedup` records plus a
-/// top-level `auto_pick` engine name and `sweep_speedup`).
+/// top-level `auto_pick` engine name and `sweep_speedup`), and
+/// schema 4 (the `BENCH_service.json` daemon load report: refit
+/// throughput plus query latency percentiles under concurrent refit —
+/// no `records` array).
 fn check_bench(path: &str) -> Result<(), String> {
     let body =
         std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -141,8 +144,28 @@ fn check_bench(path: &str) -> Result<(), String> {
         .get("schema")
         .and_then(Json::as_u64)
         .ok_or(format!("{path}: missing \"schema\""))?;
-    if !(1..=3).contains(&schema) {
-        return Err(format!("{path}: unknown schema {schema} (want 1, 2 or 3)"));
+    if !(1..=4).contains(&schema) {
+        return Err(format!("{path}: unknown schema {schema} (want 1..4)"));
+    }
+    if schema == 4 {
+        for key in ["jobs_per_sec", "query_p50_us", "query_p99_us"] {
+            let v = rep
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or(format!("{path}: schema 4 report without \"{key}\""))?;
+            if !v.is_finite() || v <= 0.0 {
+                return Err(format!("{path}: \"{key}\" not finite-positive"));
+            }
+        }
+        let queries = rep
+            .get("queries")
+            .and_then(Json::as_u64)
+            .ok_or(format!("{path}: schema 4 report without \"queries\""))?;
+        if queries == 0 {
+            return Err(format!("{path}: schema 4 report with zero queries"));
+        }
+        println!("{path}: OK (service load report, schema 4, {queries} queries)");
+        return Ok(());
     }
     if schema == 2 {
         rep.get("simd")

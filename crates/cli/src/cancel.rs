@@ -1,4 +1,5 @@
-//! Process-level cancellation plumbing: Ctrl-C and `--timeout`.
+//! Process-level cancellation plumbing: Ctrl-C, SIGTERM and
+//! `--timeout`.
 //!
 //! The handler itself only flips an `AtomicBool` (the one operation
 //! that is async-signal-safe); a detached watchdog thread polls the
@@ -6,10 +7,14 @@
 //! Deadlines need no thread at all — the token carries its own expiry
 //! and every cooperative checkpoint in the library consults it.
 //!
-//! A **second** Ctrl-C escalates: once the watchdog has delivered a
-//! cooperative cancel, the next SIGINT calls `_exit(130)` straight from
-//! the handler — no flushing, no checkpointing, just out. This is the
-//! escape hatch for a run whose cancel path is itself wedged.
+//! SIGTERM rides the same ladder as SIGINT: the first signal of either
+//! kind cancels cooperatively (so a supervisor's `kill <pid>` gets the
+//! same checkpoint-and-drain behavior an interactive Ctrl-C does — this
+//! is how `stef serve` drains), and a **second** signal escalates: once
+//! the watchdog has delivered a cooperative cancel, the next
+//! SIGINT/SIGTERM calls `_exit(130)` straight from the handler — no
+//! flushing, no checkpointing, just out. This is the escape hatch for a
+//! run whose cancel path is itself wedged.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, Once, OnceLock};
@@ -17,9 +22,9 @@ use std::time::Duration;
 use stef::CancelToken;
 
 /// Set from the signal handler; drained by the watchdog.
-static SIGINT_SEEN: AtomicBool = AtomicBool::new(false);
+static SIGNAL_SEEN: AtomicBool = AtomicBool::new(false);
 
-/// Set by the watchdog after it delivers a cooperative cancel; a SIGINT
+/// Set by the watchdog after it delivers a cooperative cancel; a signal
 /// arriving while this is up skips cooperation and exits immediately.
 static ESCALATE: AtomicBool = AtomicBool::new(false);
 
@@ -34,6 +39,7 @@ static CURRENT: OnceLock<Mutex<Option<CancelToken>>> = OnceLock::new();
 static INSTALL: Once = Once::new();
 
 const SIGINT: i32 = 2;
+const SIGTERM: i32 = 15;
 
 extern "C" {
     fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
@@ -42,11 +48,12 @@ extern "C" {
     fn _exit(code: i32) -> !;
 }
 
-extern "C" fn on_sigint(_signum: i32) {
-    // Second interrupt (or one arriving after the watchdog already
-    // cancelled cooperatively): give up on cooperation and exit now.
+extern "C" fn on_signal(_signum: i32) {
+    // Second interrupt — in either order: SIGINT then SIGTERM, two
+    // SIGTERMs, etc. — or one arriving after the watchdog already
+    // cancelled cooperatively: give up on cooperation and exit now.
     // Both loads and `_exit` are async-signal-safe.
-    if SIGINT_SEEN.swap(true, Ordering::Relaxed) || ESCALATE.load(Ordering::Relaxed) {
+    if SIGNAL_SEEN.swap(true, Ordering::Relaxed) || ESCALATE.load(Ordering::Relaxed) {
         unsafe { _exit(HARD_INTERRUPT_EXIT) }
     }
 }
@@ -72,14 +79,14 @@ impl Drop for CancelScope {
         }
         // A finished run resets the interrupt state so a later run in
         // the same process gets a fresh two-stage Ctrl-C.
-        SIGINT_SEEN.store(false, Ordering::Relaxed);
+        SIGNAL_SEEN.store(false, Ordering::Relaxed);
         ESCALATE.store(false, Ordering::Relaxed);
     }
 }
 
 /// Installs `token` as the run's cancellation token: registers the
-/// Ctrl-C handler (once per process), points the watchdog at the
-/// token, and mirrors it onto the global executor so `linalg::par`
+/// SIGINT/SIGTERM handlers (once per process), points the watchdog at
+/// the token, and mirrors it onto the global executor so `linalg::par`
 /// fan-outs also observe it. Returns a guard that undoes the
 /// installation on drop.
 pub fn install(token: &CancelToken) -> CancelScope {
@@ -90,7 +97,8 @@ pub fn install(token: &CancelToken) -> CancelScope {
     stef::set_global_cancel(Some(token.clone()));
     INSTALL.call_once(|| {
         unsafe {
-            signal(SIGINT, on_sigint);
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
         }
         std::thread::Builder::new()
             .name("stef-cancel-watchdog".into())
@@ -103,7 +111,7 @@ pub fn install(token: &CancelToken) -> CancelScope {
 fn watchdog() {
     loop {
         std::thread::sleep(Duration::from_millis(50));
-        if SIGINT_SEEN.load(Ordering::Relaxed) && !ESCALATE.load(Ordering::Relaxed) {
+        if SIGNAL_SEEN.load(Ordering::Relaxed) && !ESCALATE.load(Ordering::Relaxed) {
             let token = match current().lock() {
                 Ok(slot) => slot.clone(),
                 Err(poisoned) => poisoned.into_inner().clone(),
@@ -112,13 +120,14 @@ fn watchdog() {
                 Some(t) => {
                     stef::telemetry::warn(|| {
                         "interrupt received; cancelling (checkpoint will be written if \
-                         configured) — press Ctrl-C again to exit immediately"
+                         configured) — signal again to exit immediately"
                             .to_string()
                     });
                     t.cancel();
-                    // From here on any further SIGINT hard-exits from
-                    // the handler itself; leave SIGINT_SEEN up so the
-                    // handler's swap also sees "already interrupted".
+                    // From here on any further SIGINT/SIGTERM
+                    // hard-exits from the handler itself; leave
+                    // SIGNAL_SEEN up so the handler's swap also sees
+                    // "already interrupted".
                     ESCALATE.store(true, Ordering::Relaxed);
                 }
                 // No run in flight: restore default Ctrl-C behavior.

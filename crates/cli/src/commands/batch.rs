@@ -30,9 +30,9 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 use stef::{
-    parse_fault_directives, scan_journal, AccumStrategy, CancelToken, EngineFactory, Fault,
-    FaultyEngine, JobAttempt, JobSpec, JobStatus, JournalRecord, Runtime, StefError, Supervisor,
-    SupervisorConfig, TensorLoader,
+    parse_fault_directives, parse_job_line, scan_journal, AccumStrategy, CancelToken,
+    EngineFactory, Fault, FaultyEngine, JobAttempt, JobSpec, JobStatus, JournalRecord, Runtime,
+    StefError, Supervisor, SupervisorConfig, TensorLoader,
 };
 use workloads::SuiteScale;
 
@@ -167,7 +167,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
 
 /// Maps jobs-file tensor specs through the shared `<tensor>` resolver
 /// (`suite:` names or `.tns` paths).
-fn cli_loader() -> TensorLoader {
+pub(crate) fn cli_loader() -> TensorLoader {
     Arc::new(|spec: &str| {
         tensor_source::load(spec, SuiteScale::Small)
             .map(|(_, t)| t)
@@ -179,7 +179,7 @@ fn cli_loader() -> TensorLoader {
 /// a [`FaultyEngine`] when `STEF_BATCH_FAULT` targets the job. Faults
 /// apply to attempt 1 only, so a transient injection consumes exactly
 /// one retry and the retry succeeds on a clean engine.
-fn cli_factory(threads: usize, faults: HashMap<usize, Vec<Fault>>) -> EngineFactory {
+pub(crate) fn cli_factory(threads: usize, faults: HashMap<usize, Vec<Fault>>) -> EngineFactory {
     Arc::new(move |spec: &JobSpec, tensor, token: &CancelToken, at: JobAttempt| {
         let cfg = EngineConfig {
             rank: spec.rank,
@@ -211,7 +211,7 @@ fn cli_factory(threads: usize, faults: HashMap<usize, Vec<Fault>>) -> EngineFact
 /// Parses `STEF_BATCH_FAULT` into per-job fault lists. Malformed
 /// directives are usage errors — a fault harness that silently drops an
 /// injection proves nothing.
-fn fault_directives_from_env() -> Result<HashMap<usize, Vec<Fault>>, CliError> {
+pub(crate) fn fault_directives_from_env() -> Result<HashMap<usize, Vec<Fault>>, CliError> {
     let raw = std::env::var("STEF_BATCH_FAULT").unwrap_or_default();
     let mut by_job: HashMap<usize, Vec<Fault>> = HashMap::new();
     for (job, fault) in parse_fault_directives(&raw)
@@ -222,8 +222,9 @@ fn fault_directives_from_env() -> Result<HashMap<usize, Vec<Fault>>, CliError> {
     Ok(by_job)
 }
 
-/// Parses the jobs file: one `<tensor-spec> key=value...` job per line;
-/// blank lines and `#` comments are skipped.
+/// Parses the jobs file: one `<tensor-spec> key=value...` job per line
+/// (the shared [`parse_job_line`] grammar, also spoken by the `stef
+/// serve` submit endpoint); blank lines and `#` comments are skipped.
 fn parse_jobs_file(path: &str) -> Result<Vec<JobSpec>, CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::Input(format!("cannot read '{path}': {e}")))?;
@@ -233,44 +234,8 @@ fn parse_jobs_file(path: &str) -> Result<Vec<JobSpec>, CliError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let mut toks = line.split_whitespace();
-        let tensor = toks.next().expect("non-empty line");
-        let mut job = JobSpec::new(tensor, 16);
-        for tok in toks {
-            let (key, value) = tok.split_once('=').ok_or_else(|| {
-                CliError::Input(format!(
-                    "{path}:{}: expected 'key=value', got '{tok}'",
-                    lineno + 1
-                ))
-            })?;
-            let bad = |what: &str| {
-                CliError::Input(format!(
-                    "{path}:{}: bad {what} '{value}'",
-                    lineno + 1
-                ))
-            };
-            match key {
-                "rank" => job.rank = value.parse().map_err(|_| bad("rank"))?,
-                "iters" => job.max_iters = value.parse().map_err(|_| bad("iters"))?,
-                "tol" => job.tol = value.parse().map_err(|_| bad("tol"))?,
-                "seed" => job.seed = value.parse().map_err(|_| bad("seed"))?,
-                "engine" => job.engine = value.to_string(),
-                "deadline" => {
-                    let secs: f64 = value.parse().map_err(|_| bad("deadline"))?;
-                    if !secs.is_finite() || secs <= 0.0 {
-                        return Err(bad("deadline"));
-                    }
-                    job.deadline = Some(Duration::from_secs_f64(secs));
-                }
-                other => {
-                    return Err(CliError::Input(format!(
-                        "{path}:{}: unknown job field '{other}' \
-                         (rank iters tol seed engine deadline)",
-                        lineno + 1
-                    )))
-                }
-            }
-        }
+        let job = parse_job_line(line, 16)
+            .map_err(|e| CliError::Input(format!("{path}:{}: {e}", lineno + 1)))?;
         jobs.push(job);
     }
     Ok(jobs)
@@ -452,6 +417,7 @@ mod tests {
                 seed: 42,
                 engine: "stef".into(),
                 deadline: None,
+                model: None,
             })
             .unwrap();
         }

@@ -6,6 +6,7 @@ pub mod bench;
 pub mod decompose;
 pub mod generate;
 pub mod list;
+pub mod serve;
 pub mod validate;
 
 use crate::error::CliError;

@@ -1,0 +1,127 @@
+//! `stef serve` — the self-healing decomposition daemon.
+//!
+//! Runs the HTTP service from `stef_core::serve` on top of the batch
+//! supervisor: `POST /jobs` admits refits (priced against the
+//! envelopes; over-envelope submits get 503), `GET /models/...` serves
+//! fitted factors from atomically-swapped snapshots, and the journal
+//! makes the whole thing crash-recoverable — if the journal already
+//! exists at startup the daemon **resumes** it, restarting every
+//! unfinished job from its latest checkpoint (bit-identically, by the
+//! supervisor's resume guarantee).
+//!
+//! SIGTERM or Ctrl-C drains gracefully: admission stops, in-flight
+//! jobs get `--drain-grace-ms` to finish (then checkpoint and journal
+//! `Interrupted`), the journal is compacted and fsynced, and the
+//! process exits 0. A second signal hard-exits with 130.
+
+use crate::args::{parse, FlagSpec};
+use crate::commands::batch::{cli_factory, cli_loader, fault_directives_from_env};
+use crate::error::CliError;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+use stef::{outcome_hook, CancelToken, ServeConfig, Server, SnapshotStore, Supervisor, SupervisorConfig};
+
+pub fn run(argv: &[String]) -> Result<(), CliError> {
+    let spec = FlagSpec::new(&[
+        ("--addr", "addr"),
+        ("--journal", "journal"),
+        ("--ckpt-dir", "ckpt-dir"),
+        ("--max-concurrent", "max-concurrent"),
+        ("--threads", "threads"),
+        ("--checkpoint-every", "checkpoint-every"),
+        ("--cache-mb", "cache-mb"),
+        ("--memory-envelope", "memory-envelope"),
+        ("--traffic-envelope", "traffic-envelope"),
+        ("--max-retries", "max-retries"),
+        ("--backoff-ms", "backoff-ms"),
+        ("--backoff-cap-ms", "backoff-cap-ms"),
+        ("--metrics-out", "metrics-out"),
+        ("--default-rank", "default-rank"),
+        ("--handler-threads", "handler-threads"),
+        ("--accept-backlog", "accept-backlog"),
+        ("--io-timeout-ms", "io-timeout-ms"),
+        ("--drain-grace-ms", "drain-grace-ms"),
+    ]);
+    let p = parse(argv, &spec)?;
+    if !p.positionals.is_empty() {
+        return Err(CliError::Usage(format!(
+            "serve takes no positional arguments, got {:?}",
+            p.positionals
+        )));
+    }
+    let addr = p.str_or("addr", "127.0.0.1:7464");
+    let journal: PathBuf = PathBuf::from(p.str_or("journal", "serve.journal"));
+    let ckpt_dir: PathBuf = PathBuf::from(p.str_or("ckpt-dir", "serve.ckpts"));
+    let threads: usize = p.num_or("threads", 1)?;
+
+    let store = Arc::new(SnapshotStore::new());
+    let mut cfg = SupervisorConfig::new(&journal, &ckpt_dir);
+    cfg.checkpoint_every = p.num_or("checkpoint-every", 1)?;
+    cfg.max_concurrent = p.num_or("max-concurrent", 1)?;
+    cfg.threads_per_job = threads.max(1);
+    cfg.cache_bytes = p.num_or::<usize>("cache-mb", 16)? << 20;
+    cfg.memory_envelope = p.num_or::<u64>("memory-envelope", 0)?;
+    cfg.traffic_envelope = p.num_or::<f64>("traffic-envelope", 0.0)?;
+    cfg.max_retries = p.num_or("max-retries", 2)?;
+    cfg.backoff_base = Duration::from_millis(p.num_or("backoff-ms", 100)?);
+    cfg.backoff_cap = Duration::from_millis(p.num_or("backoff-cap-ms", 5000)?);
+    cfg.metrics_path = p.opt_str("metrics-out").map(PathBuf::from);
+    cfg.on_outcome = Some(outcome_hook(Arc::clone(&store)));
+
+    // SIGTERM / first Ctrl-C cancels this token → graceful drain; a
+    // second signal hard-exits 130 from the handler.
+    let stop = CancelToken::new();
+    cfg.cancel = Some(stop.clone());
+    let _cancel_scope = crate::cancel::install(&stop);
+
+    let faults = fault_directives_from_env()?;
+
+    // Crash recovery: an existing journal is a crashed (or SIGKILLed)
+    // daemon's record of truth — resume it, re-running every job
+    // without a terminal record from its latest checkpoint.
+    let resumed = journal.exists();
+    let sup = if resumed {
+        Supervisor::resume(cfg, cli_loader(), cli_factory(threads, faults))?
+    } else {
+        Supervisor::new(cfg, cli_loader(), cli_factory(threads, faults))?
+    };
+    if resumed {
+        let (queued, _) = sup.load_counts();
+        println!(
+            "resuming journal {} ({queued} unfinished job(s) restarting from checkpoints)",
+            journal.display()
+        );
+    }
+
+    let mut serve_cfg = ServeConfig::new(addr);
+    serve_cfg.handler_threads = p.num_or("handler-threads", 4)?;
+    serve_cfg.accept_backlog = p.num_or("accept-backlog", 64)?;
+    let io_timeout = Duration::from_millis(p.num_or("io-timeout-ms", 5000)?);
+    serve_cfg.read_timeout = io_timeout;
+    serve_cfg.write_timeout = io_timeout;
+    serve_cfg.default_rank = p.num_or("default-rank", 16)?;
+    serve_cfg.drain_grace = Duration::from_millis(p.num_or("drain-grace-ms", 2000)?);
+
+    let server = Server::bind(serve_cfg, Arc::new(sup), store, stop)?;
+    // The kill-9 / drain tests (and anything scripting the daemon)
+    // parse this line to learn the bound port; keep it first and
+    // flushed.
+    println!("serving on {}", server.local_addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    let report = server.run();
+    println!(
+        "drained: {} done, {} failed, {} shed, {} interrupted (journal {})",
+        report.done(),
+        report.failed(),
+        report.shed(),
+        report.interrupted(),
+        journal.display()
+    );
+    // A drain is a *successful* daemon exit regardless of individual
+    // job outcomes — those are answered per-job over HTTP and recorded
+    // in the journal; interrupted jobs restart on the next launch.
+    Ok(())
+}

@@ -46,6 +46,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "analyze" => commands::analyze::run(rest).map_err(CliError::from),
         "decompose" => commands::decompose::run(rest),
         "batch" => commands::batch::run(rest),
+        "serve" => commands::serve::run(rest),
         "bench" => commands::bench::run(rest),
         "list" => commands::list::run(rest).map_err(CliError::from),
         "validate" => commands::validate::run(rest),
@@ -77,6 +78,10 @@ fn print_usage() {
          \u{20}                          [--max-concurrent N] [--threads N] [--max-retries N]\n\
          \u{20}                          [--memory-envelope BYTES] [--traffic-envelope ELEMS]\n\
          \u{20}                          [--checkpoint-every N] [--metrics-out FILE.jsonl] [--status]\n\
+         \u{20}stef serve    [--addr HOST:PORT] [--journal FILE] [--ckpt-dir DIR]\n\
+         \u{20}              [--max-concurrent N] [--threads N] [--memory-envelope BYTES]\n\
+         \u{20}              [--traffic-envelope ELEMS] [--default-rank R] [--handler-threads N]\n\
+         \u{20}              [--accept-backlog N] [--io-timeout-ms N] [--drain-grace-ms N]\n\
          \u{20}stef bench    <tensor> [--rank R] [--reps N] [--threads N] [--accum auto|privatized|atomic]\n\
          \u{20}                       [--timeout SECS]\n\
          \u{20}stef validate <tensor> [--rank R] [--engine NAME] [--tol T] [--accum auto|privatized|atomic]\n\
@@ -91,8 +96,12 @@ fn print_usage() {
          Ctrl-C and --timeout cancel cooperatively; decompose writes a checkpoint first.\n\
          A second Ctrl-C skips cooperation and exits immediately with code 130.\n\
          batch: <jobs-list> holds one '<tensor> [rank=R] [iters=N] [tol=T] [seed=S]\n\
-         \u{20}[engine=NAME] [deadline=SECS]' job per line; outcomes are journaled and a\n\
-         \u{20}killed batch resumes from checkpoints with --resume-journal.\n\
+         \u{20}[engine=NAME] [deadline=SECS] [model=NAME]' job per line; outcomes are journaled\n\
+         \u{20}and a killed batch resumes from checkpoints with --resume-journal.\n\
+         serve: long-running daemon; POST /jobs with a batch job line submits a refit,\n\
+         \u{20}GET /models/<name>[/factor/<mode>/<row>] serves fitted factors from atomic\n\
+         \u{20}snapshots. An existing --journal is auto-resumed (crash recovery); SIGTERM or\n\
+         \u{20}Ctrl-C drains gracefully and exits 0.\n\
          telemetry: --metrics-out writes one JSONL record per ALS iteration (schema 1),\n\
          --trace-out writes a Chrome trace_event JSON (Perfetto / chrome://tracing),\n\
          STEF_LOG=off|warn|info|debug controls library diagnostics (default warn)."

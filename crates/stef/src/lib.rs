@@ -58,6 +58,8 @@ pub mod partials;
 pub mod recover;
 pub mod runtime;
 pub mod schedule;
+pub mod serve;
+pub mod snapshot;
 pub mod stef2;
 pub mod supervisor;
 pub mod sync;
@@ -86,10 +88,13 @@ pub use runtime::{
     WorkerCounters, WorkerPlacement, WorkerPool,
 };
 pub use schedule::Schedule;
+pub use serve::{outcome_hook, ServeConfig, ServeHandle, Server};
+pub use snapshot::{FactorSnapshot, SnapshotStore};
 pub use stef2::Stef2;
 pub use supervisor::{
-    is_retryable, price_job, scan_journal, BatchReport, EngineFactory, JobAttempt, JobPrice,
-    JobSpec, JobStatus, JournalRecord, JournalScan, Supervisor, SupervisorConfig, TensorLoader,
+    compact_journal_file, is_retryable, parse_job_line, price_job, scan_journal, BatchReport,
+    EngineFactory, JobAttempt, JobHook, JobOutcome, JobPrice, JobSpec, JobStatus, JournalRecord,
+    JournalScan, Supervisor, SupervisorConfig, TensorLoader,
 };
 pub use telemetry::{
     IterationRecord, LogLevel, ModeAudit, ModeSample, ModeStats, TelemetryReport, TraceSpan,

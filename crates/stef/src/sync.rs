@@ -40,6 +40,20 @@ pub fn wait_unpoisoned<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<
     cv.wait(g).unwrap_or_else(|e| e.into_inner())
 }
 
+/// `Condvar::wait_timeout` with the same poison-recovery policy as
+/// [`lock_unpoisoned`]. The timeout-vs-notify distinction is dropped:
+/// callers that park on a heartbeat re-check their predicate either way.
+pub fn wait_timeout_unpoisoned<'a, T>(
+    cv: &Condvar,
+    g: MutexGuard<'a, T>,
+    timeout: std::time::Duration,
+) -> MutexGuard<'a, T> {
+    match cv.wait_timeout(g, timeout) {
+        Ok((g, _)) => g,
+        Err(e) => e.into_inner().0,
+    }
+}
+
 /// A row-major buffer whose rows may be written concurrently by multiple
 /// tasks, provided each plain-access row has exactly one writer.
 pub struct SharedRows<'a> {
