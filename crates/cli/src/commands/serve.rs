@@ -42,6 +42,8 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         ("--accept-backlog", "accept-backlog"),
         ("--io-timeout-ms", "io-timeout-ms"),
         ("--drain-grace-ms", "drain-grace-ms"),
+        ("--max-requests-per-conn", "max-requests-per-conn"),
+        ("--max-conn-lifetime-ms", "max-conn-lifetime-ms"),
     ]);
     let p = parse(argv, &spec)?;
     if !p.positionals.is_empty() {
@@ -102,6 +104,12 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     serve_cfg.write_timeout = io_timeout;
     serve_cfg.default_rank = p.num_or("default-rank", 16)?;
     serve_cfg.drain_grace = Duration::from_millis(p.num_or("drain-grace-ms", 2000)?);
+    // Keep-alive fairness: one connection serves at most this many
+    // requests / this long before it is closed, so a handful of
+    // slow-but-active clients cannot monopolize the handler pool.
+    serve_cfg.max_requests_per_conn = p.num_or("max-requests-per-conn", 32)?;
+    serve_cfg.max_conn_lifetime =
+        Duration::from_millis(p.num_or("max-conn-lifetime-ms", 30_000)?);
 
     let server = Server::bind(serve_cfg, Arc::new(sup), store, stop)?;
     // The kill-9 / drain tests (and anything scripting the daemon)

@@ -82,6 +82,7 @@ fn print_usage() {
          \u{20}              [--max-concurrent N] [--threads N] [--memory-envelope BYTES]\n\
          \u{20}              [--traffic-envelope ELEMS] [--default-rank R] [--handler-threads N]\n\
          \u{20}              [--accept-backlog N] [--io-timeout-ms N] [--drain-grace-ms N]\n\
+         \u{20}              [--max-requests-per-conn N] [--max-conn-lifetime-ms N]\n\
          \u{20}stef bench    <tensor> [--rank R] [--reps N] [--threads N] [--accum auto|privatized|atomic]\n\
          \u{20}                       [--timeout SECS]\n\
          \u{20}stef validate <tensor> [--rank R] [--engine NAME] [--tol T] [--accum auto|privatized|atomic]\n\

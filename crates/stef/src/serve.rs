@@ -84,11 +84,23 @@ pub struct ServeConfig {
     pub drain_grace: Duration,
     /// Request-body byte cap (larger submits answer 413).
     pub max_body_bytes: usize,
+    /// Requests served on one keep-alive connection before it is closed
+    /// (`Connection: close` on the last response). Handlers are a fixed
+    /// pool, so without a cap `handler_threads` slow-but-active
+    /// keep-alive clients would hold every handler forever and starve
+    /// queued connections (including `/healthz` probes).
+    pub max_requests_per_conn: usize,
+    /// Total lifetime bound for one connection; checked at request
+    /// boundaries, so together with [`ServeConfig::read_timeout`] a
+    /// handler is occupied by one connection for at most
+    /// `max_conn_lifetime + read_timeout`.
+    pub max_conn_lifetime: Duration,
 }
 
 impl ServeConfig {
     /// Defaults: 4 handler threads, 64-connection backlog, 5 s
-    /// read/write timeouts, rank 16, 2 s drain grace, 1 MiB bodies.
+    /// read/write timeouts, rank 16, 2 s drain grace, 1 MiB bodies,
+    /// 32 requests / 30 s per keep-alive connection.
     pub fn new(addr: impl Into<String>) -> ServeConfig {
         ServeConfig {
             addr: addr.into(),
@@ -99,6 +111,8 @@ impl ServeConfig {
             default_rank: 16,
             drain_grace: Duration::from_secs(2),
             max_body_bytes: 1 << 20,
+            max_requests_per_conn: 32,
+            max_conn_lifetime: Duration::from_secs(30),
         }
     }
 }
@@ -221,13 +235,19 @@ impl Server {
                 }
                 std::thread::sleep(Duration::from_millis(20));
             }
+            // Stop workers claiming anything further *before* cancelling
+            // the running tokens: in the other order a worker can claim
+            // a queued job in the gap and start it with an uncancelled
+            // token, delaying shutdown by a full refit after the grace
+            // already expired. `cancel_running` then covers both running
+            // jobs and the claimed-but-not-yet-started stragglers.
+            job_stop.cancel();
             let cancelled = self.sup.cancel_running();
             if cancelled > 0 {
                 telemetry::info(|| {
                     format!("serve: drain grace expired, cancelled {cancelled} running job(s)")
                 });
             }
-            job_stop.cancel();
             runner.join().unwrap_or_else(|_| self.sup.report())
         });
         // Compaction rewrites through a temp file, fsyncs it, and
@@ -304,6 +324,9 @@ impl Server {
     /// One persistent (keep-alive) connection. Timeouts bound every
     /// read and write; after a stop the connection closes at the next
     /// request boundary so a chatty client cannot hold the drain open.
+    /// Request-count and lifetime caps close the connection (with
+    /// `Connection: close`) so a fixed handler pool round-robins across
+    /// clients instead of being monopolized by whoever connected first.
     fn handle_conn(&self, stream: TcpStream) {
         let _ = stream.set_read_timeout(Some(self.cfg.read_timeout));
         let _ = stream.set_write_timeout(Some(self.cfg.write_timeout));
@@ -311,6 +334,8 @@ impl Server {
         let Ok(read_half) = stream.try_clone() else { return };
         let mut reader = BufReader::new(read_half);
         let mut writer = stream;
+        let opened = Instant::now();
+        let mut served = 0usize;
         loop {
             let req = match read_request(&mut reader, self.cfg.max_body_bytes) {
                 Ok(req) => req,
@@ -325,7 +350,11 @@ impl Server {
                     return;
                 }
             };
-            let close = req.close || self.stop.is_cancelled();
+            served += 1;
+            let close = req.close
+                || self.stop.is_cancelled()
+                || served >= self.cfg.max_requests_per_conn.max(1)
+                || opened.elapsed() >= self.cfg.max_conn_lifetime;
             let (status, body) = self.dispatch(&req);
             if write_response(&mut writer, status, &body, close).is_err() || close {
                 return;
@@ -334,14 +363,26 @@ impl Server {
     }
 
     fn dispatch(&self, req: &Request) -> (u16, String) {
-        let segs: Vec<&str> = req
+        // Split *before* decoding, so a model name containing '/'
+        // (legal at submit time — names default to the tensor spec) is
+        // reachable as a single `%2F`-escaped segment.
+        let mut decoded: Vec<String> = Vec::new();
+        for seg in req
             .path
             .split('?')
             .next()
             .unwrap_or("")
             .split('/')
             .filter(|s| !s.is_empty())
-            .collect();
+        {
+            match pct_decode_segment(seg) {
+                Some(s) => decoded.push(s),
+                None => {
+                    return (400, err_body(&format!("bad percent-escape in '{seg}'")));
+                }
+            }
+        }
+        let segs: Vec<&str> = decoded.iter().map(|s| s.as_str()).collect();
         match (req.method.as_str(), segs.as_slice()) {
             ("GET", ["healthz"]) => self.healthz(),
             ("POST", ["jobs"]) => self.submit(req.body.trim()),
@@ -680,10 +721,13 @@ fn read_request(
         };
         let header = header.trim_end();
         if header.is_empty() {
-            let mut body = vec![0u8; content_length];
+            // Cap check *before* the allocation: a hostile
+            // `Content-Length: 2^64-1` must answer 413, not abort the
+            // process on a failed multi-exabyte zeroed allocation.
             if content_length > max_body {
                 return Err(ReadError::TooLarge);
             }
+            let mut body = vec![0u8; content_length];
             reader.read_exact(&mut body).map_err(|_| ReadError::Io)?;
             let body =
                 String::from_utf8(body).map_err(|_| ReadError::Bad("body is not UTF-8".into()))?;
@@ -743,6 +787,27 @@ fn err_body(msg: &str) -> String {
     format!("{{\"error\":{}}}", json_str(msg))
 }
 
+/// Decodes one `%XX`-escaped URL path segment. `None` on a truncated or
+/// non-hex escape, or when the decoded bytes are not UTF-8.
+fn pct_decode_segment(seg: &str) -> Option<String> {
+    let bytes = seg.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = |b: u8| (b as char).to_digit(16);
+            let hi = hex(*bytes.get(i + 1)?)?;
+            let lo = hex(*bytes.get(i + 2)?)?;
+            out.push((hi * 16 + lo) as u8);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -752,7 +817,13 @@ mod tests {
     use workloads::power_law_tensor;
 
     fn tmp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("stef-serve-{tag}-{}", std::process::id()));
+        use std::sync::atomic::AtomicUsize;
+        static SEQ: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "stef-serve-{tag}-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
@@ -794,6 +865,13 @@ mod tests {
 
     impl TestServer {
         fn start(cfg_mut: impl FnOnce(&mut SupervisorConfig)) -> (TestServer, PathBuf) {
+            Self::start_with(cfg_mut, |_| {})
+        }
+
+        fn start_with(
+            cfg_mut: impl FnOnce(&mut SupervisorConfig),
+            serve_mut: impl FnOnce(&mut ServeConfig),
+        ) -> (TestServer, PathBuf) {
             let dir = tmp_dir("e2e");
             let store = Arc::new(SnapshotStore::new());
             let mut scfg = SupervisorConfig::new(dir.join("serve.journal"), dir.join("ckpts"));
@@ -805,6 +883,7 @@ mod tests {
             let mut cfg = ServeConfig::new("127.0.0.1:0");
             cfg.drain_grace = Duration::from_millis(500);
             cfg.handler_threads = 2;
+            serve_mut(&mut cfg);
             let server = Server::bind(cfg, sup, store, stop.clone()).unwrap();
             let addr = server.local_addr();
             let thread = std::thread::spawn(move || server.run());
@@ -1006,6 +1085,100 @@ mod tests {
         } else {
             assert_eq!(status, 400, "{body}");
         }
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn huge_content_length_is_rejected_before_allocation() {
+        let (server, dir) = TestServer::start(|_| {});
+        // u64::MAX parses as a valid usize on 64-bit targets; the cap
+        // check must fire before the body buffer is allocated, or this
+        // request aborts the process instead of answering 413.
+        let mut stream = TcpStream::connect(server.addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream
+            .write_all(
+                b"POST /jobs HTTP/1.1\r\nHost: t\r\n\
+                  Content-Length: 18446744073709551615\r\n\r\n",
+            )
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Reads one keep-alive response: headers to the blank line, then
+    /// exactly `Content-Length` body bytes.
+    fn read_one_response(stream: &mut TcpStream) -> String {
+        let mut head = Vec::new();
+        let mut byte = [0u8; 1];
+        while !head.ends_with(b"\r\n\r\n") {
+            assert_eq!(stream.read(&mut byte).unwrap(), 1, "eof inside headers");
+            head.push(byte[0]);
+        }
+        let head = String::from_utf8(head).unwrap();
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("Content-Length header")
+            .trim()
+            .parse()
+            .unwrap();
+        let mut body = vec![0u8; len];
+        stream.read_exact(&mut body).unwrap();
+        head + &String::from_utf8(body).unwrap()
+    }
+
+    #[test]
+    fn keep_alive_request_cap_closes_the_connection() {
+        let (server, dir) = TestServer::start_with(|_| {}, |cfg| {
+            cfg.max_requests_per_conn = 2;
+        });
+        let mut stream = TcpStream::connect(server.addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let req = b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n";
+        stream.write_all(req).unwrap();
+        let first = read_one_response(&mut stream);
+        assert!(first.contains("Connection: keep-alive"), "{first}");
+        // The capped request answers `Connection: close` and the server
+        // hangs up, so a slow-but-active client cannot hold a handler
+        // thread forever.
+        stream.write_all(req).unwrap();
+        let mut rest = String::new();
+        stream.read_to_string(&mut rest).unwrap();
+        assert!(rest.starts_with("HTTP/1.1 200"), "{rest}");
+        assert!(rest.contains("Connection: close"), "{rest}");
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn slash_in_model_name_is_reachable_via_percent_escapes() {
+        let (server, dir) = TestServer::start(|_| {});
+        let (status, body) = server.request(
+            "POST",
+            "/jobs",
+            "gen:12x10x8:300:7 rank=3 iters=4 tol=0 model=demo/v1",
+        );
+        assert_eq!(status, 200, "{body}");
+        server.wait_for_done(0);
+
+        let (status, body) = server.request("GET", "/models/demo%2Fv1", "");
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"model\":\"demo/v1\""), "{body}");
+        let (status, body) = server.request("GET", "/models/demo%2Fv1/factor/0/0", "");
+        assert_eq!(status, 200, "{body}");
+
+        // Malformed escapes answer 400, not a confusing 404.
+        let (status, _) = server.request("GET", "/models/%zz", "");
+        assert_eq!(status, 400);
         server.shutdown();
         std::fs::remove_dir_all(&dir).ok();
     }

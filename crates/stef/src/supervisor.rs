@@ -649,9 +649,12 @@ impl JournalRecord {
     }
 
     /// Whether this record by itself marks its job terminal. Compaction
-    /// keeps exactly these for finished jobs (dropping a terminal job's
-    /// records entirely would make [`Supervisor::replay`] resurrect it
-    /// as a queued placeholder).
+    /// keeps these plus the `Submitted` record for finished jobs
+    /// (dropping a terminal job's records entirely would make
+    /// [`Supervisor::replay`] resurrect it as a queued placeholder;
+    /// dropping just its `Submitted` record would leave it a terminal
+    /// placeholder with an empty spec, so a post-restart
+    /// `GET /jobs/<id>` would lose its model/tensor context).
     pub fn is_terminal_marker(&self) -> bool {
         matches!(
             self,
@@ -787,12 +790,17 @@ impl JournalWriter {
 }
 
 /// Compacts a journal: rewrites it keeping every record of unfinished
-/// jobs but only the single terminal marker (`done`/`failed`/`shed`) of
-/// finished ones, so a long-lived daemon's journal stays proportional
-/// to its *live* jobs instead of its history. The terminal markers must
+/// jobs but only the `submitted` + terminal marker
+/// (`done`/`failed`/`shed`) pair of finished ones, so a long-lived
+/// daemon's journal stays proportional to its job *count* instead of
+/// their attempt/checkpoint history. The terminal markers must
 /// survive — [`Supervisor::resume`]'s replay treats a job id it has
 /// never seen as an unfinished placeholder, so dropping a done job
-/// entirely would resurrect it with an empty spec.
+/// entirely would resurrect it with an empty spec — and the `submitted`
+/// records must survive with them so a restarted daemon still knows a
+/// finished job's spec (model name, tensor, rank) when asked for its
+/// status. (A shed job has no `submitted` record; its `shed` marker
+/// alone replays to the right state.)
 ///
 /// Durability: the compacted journal is written to a sibling temp file,
 /// fsynced, atomically renamed over the original, and the directory
@@ -815,7 +823,11 @@ pub fn compact_journal_file(path: &Path) -> Result<usize, StefError> {
     let keep: Vec<&JournalRecord> = scan
         .records
         .iter()
-        .filter(|r| r.is_terminal_marker() || !terminal.contains(&r.job_id()))
+        .filter(|r| {
+            r.is_terminal_marker()
+                || matches!(r, JournalRecord::Submitted { .. })
+                || !terminal.contains(&r.job_id())
+        })
         .collect();
     let dropped = scan.records.len() - keep.len();
     if dropped == 0 && !scan.torn_tail {
@@ -1326,12 +1338,18 @@ impl Supervisor {
 
     /// Cancels every running job's token (cooperative: each checkpoints
     /// on its way out and lands `Interrupted`, resumable after restart).
-    /// Returns how many jobs were signalled.
+    /// A job a worker has claimed off the queue but not yet marked
+    /// `Running` (status still `Queued`, id no longer queued) is
+    /// cancelled too — otherwise a drain racing a claim lets that job
+    /// start with an uncancelled token and run to completion after the
+    /// grace already expired. Returns how many jobs were signalled.
     pub fn cancel_running(&self) -> usize {
         let inner = lock_unpoisoned(&self.inner);
         let mut n = 0;
-        for job in inner.jobs.iter() {
-            if matches!(job.status, JobStatus::Running { .. }) {
+        for (id, job) in inner.jobs.iter().enumerate() {
+            let claimed_not_started =
+                matches!(job.status, JobStatus::Queued) && !inner.queue.contains(&id);
+            if matches!(job.status, JobStatus::Running { .. }) || claimed_not_started {
                 job.token.cancel();
                 n += 1;
             }
@@ -2124,6 +2142,34 @@ mod tests {
         assert_eq!(sup.status(1), Some(JobStatus::Queued));
         let report = sup.run_all();
         assert_eq!(report.done(), 2, "{report:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_keeps_terminal_jobs_specs_across_restart() {
+        let dir = tmp_dir("compact-spec");
+        let cfg = cfg_in(&dir);
+        {
+            let sup = Supervisor::new(cfg.clone(), test_loader(), reference_factory()).unwrap();
+            let mut spec = JobSpec::new("pl:12x10x8:300:1", 3);
+            spec.model = Some("named-model".into());
+            sup.submit(spec).unwrap();
+            let report = sup.run_all();
+            assert_eq!(report.done(), 1, "{report:?}");
+            assert!(sup.compact_journal().unwrap() > 0);
+        }
+        // The compacted journal holds exactly the submitted+done pair,
+        // so a restarted daemon still answers status queries for the
+        // finished job with its full spec, not an empty placeholder.
+        let scan = scan_journal(&cfg.journal_path).unwrap();
+        assert_eq!(scan.records.len(), 2, "{:?}", scan.records);
+        assert!(matches!(scan.records[0], JournalRecord::Submitted { id: 0, .. }));
+        assert!(matches!(scan.records[1], JournalRecord::Done { id: 0, .. }));
+        let sup = Supervisor::resume(cfg, test_loader(), reference_factory()).unwrap();
+        assert!(matches!(sup.status(0), Some(JobStatus::Done { .. })));
+        let spec = sup.job_spec(0).unwrap();
+        assert_eq!(spec.model_name(), "named-model");
+        assert_eq!(spec.tensor, "pl:12x10x8:300:1");
         std::fs::remove_dir_all(&dir).ok();
     }
 
