@@ -1,6 +1,7 @@
 //! `validate_telemetry` — CI gate for the telemetry export formats.
 //!
-//! Usage: `validate_telemetry <metrics.jsonl> <trace.json> [BENCH_mttkrp.json]`
+//! Usage: `validate_telemetry <metrics.jsonl> <trace.json>
+//!                            [BENCH_*.json | scrape.prom ...]`
 //!
 //! Checks, without jq or python, that the files a `stef decompose
 //! --metrics-out --trace-out` run produced are well-formed:
@@ -9,11 +10,20 @@
 //!   a non-empty `modes` array, and per-mode measured/predicted traffic
 //!   whose `rel_err` is a finite number (the model-vs-measured audit
 //!   actually happened — `null` would mean one side was missing);
+//!   schema-2 `"kind":"metrics_flush"` registry snapshots (the serve
+//!   daemon's periodic flushes) are allowed to interleave;
 //! * the trace is a Chrome `trace_event` JSON array with `thread_name`
 //!   metadata and at least one complete (`"ph":"X"`) span event;
 //! * optionally, the tracked kernel-bench trajectory file is a schema-1
 //!   or schema-2 report with finite timings (schema 2 additionally
-//!   requires the per-record `simd` path and a finite `bytes_per_ns`).
+//!   requires the per-record `simd` path and a finite `bytes_per_ns`);
+//!   schema 4/5 are the `BENCH_service.json` daemon load reports, and
+//!   schema 5 additionally gates the metrics overhead at < 2%;
+//! * a trailing argument ending in `.prom` is validated as a Prometheus
+//!   text exposition (a mid-soak `/metrics` scrape): it must parse,
+//!   carry the core runtime/supervisor/HTTP families, and every
+//!   histogram series must have monotonically non-decreasing
+//!   cumulative buckets ending in `+Inf`.
 //!
 //! Exits nonzero with a description of the first violation.
 
@@ -27,6 +37,14 @@ fn check_metrics(path: &str) -> Result<(), String> {
     for (lineno, line) in body.lines().enumerate() {
         let n = lineno + 1;
         let rec = parse_json(line).map_err(|e| format!("{path}:{n}: {e}"))?;
+        // The serve daemon's periodic registry flushes (schema 2)
+        // interleave with iteration records in the same sink.
+        if rec.get("kind").and_then(Json::as_str) == Some("metrics_flush") {
+            if rec.get("schema").and_then(Json::as_u64) != Some(2) {
+                return Err(format!("{path}:{n}: metrics_flush without schema 2"));
+            }
+            continue;
+        }
         if rec.get("schema").and_then(Json::as_u64) != Some(1) {
             return Err(format!("{path}:{n}: missing or wrong \"schema\" (want 1)"));
         }
@@ -144,15 +162,15 @@ fn check_bench(path: &str) -> Result<(), String> {
         .get("schema")
         .and_then(Json::as_u64)
         .ok_or(format!("{path}: missing \"schema\""))?;
-    if !(1..=4).contains(&schema) {
-        return Err(format!("{path}: unknown schema {schema} (want 1..4)"));
+    if !(1..=5).contains(&schema) {
+        return Err(format!("{path}: unknown schema {schema} (want 1..5)"));
     }
-    if schema == 4 {
+    if schema == 4 || schema == 5 {
         for key in ["jobs_per_sec", "query_p50_us", "query_p99_us"] {
             let v = rep
                 .get(key)
                 .and_then(Json::as_f64)
-                .ok_or(format!("{path}: schema 4 report without \"{key}\""))?;
+                .ok_or(format!("{path}: schema {schema} report without \"{key}\""))?;
             if !v.is_finite() || v <= 0.0 {
                 return Err(format!("{path}: \"{key}\" not finite-positive"));
             }
@@ -160,11 +178,37 @@ fn check_bench(path: &str) -> Result<(), String> {
         let queries = rep
             .get("queries")
             .and_then(Json::as_u64)
-            .ok_or(format!("{path}: schema 4 report without \"queries\""))?;
+            .ok_or(format!("{path}: schema {schema} report without \"queries\""))?;
         if queries == 0 {
-            return Err(format!("{path}: schema 4 report with zero queries"));
+            return Err(format!("{path}: schema {schema} report with zero queries"));
         }
-        println!("{path}: OK (service load report, schema 4, {queries} queries)");
+        if schema == 5 {
+            // The metrics-overhead fields are ratios/unit costs, so
+            // unlike raw latencies they gate portably: the registry
+            // must cost < 2% of a median query even on slow CI boxes.
+            for key in ["scrape_p99_us", "metrics_per_op_on_ns", "metrics_per_op_off_ns"] {
+                let v = rep
+                    .get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("{path}: schema 5 report without \"{key}\""))?;
+                if !v.is_finite() || v < 0.0 {
+                    return Err(format!("{path}: \"{key}\" not finite-nonnegative"));
+                }
+            }
+            let overhead = rep
+                .get("metrics_overhead_pct")
+                .and_then(Json::as_f64)
+                .ok_or(format!("{path}: schema 5 report without \"metrics_overhead_pct\""))?;
+            if !overhead.is_finite() || overhead < 0.0 {
+                return Err(format!("{path}: \"metrics_overhead_pct\" not finite-nonnegative"));
+            }
+            if overhead >= 2.0 {
+                return Err(format!(
+                    "{path}: metrics overhead {overhead}% breaches the 2% budget"
+                ));
+            }
+        }
+        println!("{path}: OK (service load report, schema {schema}, {queries} queries)");
         return Ok(());
     }
     if schema == 2 {
@@ -231,20 +275,116 @@ fn check_bench(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates a saved `/metrics` scrape: parses the Prometheus text
+/// exposition with the library's own strict parser, requires the core
+/// instrumentation families, and checks every histogram series for
+/// cumulative-bucket monotonicity ending in `+Inf`.
+fn check_prometheus(path: &str) -> Result<(), String> {
+    let body =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let samples =
+        stef::parse_prometheus_text(&body).map_err(|e| format!("{path}: {e}"))?;
+    if samples.is_empty() {
+        return Err(format!("{path}: no samples"));
+    }
+    let total = |name: &str| -> f64 {
+        samples
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.value)
+            .sum()
+    };
+    // Families one mid-soak scrape of a working daemon must carry:
+    // HTTP service, supervisor outcomes, kernel sweeps, uptime.
+    for family in [
+        "stef_uptime_seconds",
+        "stef_http_requests_total",
+        "stef_jobs_completed_total",
+        "stef_mttkrp_seconds_count",
+        "stef_snapshot_generations",
+    ] {
+        if !samples.iter().any(|s| s.name == family) {
+            return Err(format!("{path}: missing family \"{family}\""));
+        }
+    }
+    for family in ["stef_http_requests_total", "stef_jobs_completed_total"] {
+        if total(family) <= 0.0 {
+            return Err(format!("{path}: \"{family}\" is zero in a post-soak scrape"));
+        }
+    }
+    // Histogram sanity: group _bucket samples by (name, labels minus
+    // le); within a series, counts must be cumulative and end at +Inf.
+    let mut series: std::collections::BTreeMap<String, Vec<(f64, f64)>> =
+        std::collections::BTreeMap::new();
+    for s in samples.iter().filter(|s| s.name.ends_with("_bucket")) {
+        let le = s
+            .label("le")
+            .ok_or(format!("{path}: {} sample without \"le\"", s.name))?;
+        let le = if le == "+Inf" {
+            f64::INFINITY
+        } else {
+            le.parse::<f64>()
+                .map_err(|_| format!("{path}: {} has bad le \"{le}\"", s.name))?
+        };
+        let mut key = s.name.clone();
+        for (k, v) in &s.labels {
+            if k != "le" {
+                key.push_str(&format!(",{k}={v}"));
+            }
+        }
+        series.entry(key).or_default().push((le, s.value));
+    }
+    let mut histograms = 0usize;
+    for (key, mut buckets) in series {
+        buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut prev = 0.0;
+        for &(le, count) in &buckets {
+            if count < prev {
+                return Err(format!(
+                    "{path}: histogram {key} not cumulative at le={le} ({count} < {prev})"
+                ));
+            }
+            prev = count;
+        }
+        match buckets.last() {
+            Some(&(le, _)) if le.is_infinite() => {}
+            _ => return Err(format!("{path}: histogram {key} has no +Inf bucket")),
+        }
+        histograms += 1;
+    }
+    if histograms == 0 {
+        return Err(format!("{path}: no histogram series at all"));
+    }
+    println!(
+        "{path}: OK ({} samples, {histograms} histogram series, buckets cumulative)",
+        samples.len()
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let (metrics, trace, benches) = match argv.as_slice() {
         [m, t, rest @ ..] => (m, t, rest),
         _ => {
             eprintln!(
-                "usage: validate_telemetry <metrics.jsonl> <trace.json> [BENCH_*.json ...]"
+                "usage: validate_telemetry <metrics.jsonl> <trace.json> \
+                 [BENCH_*.json | scrape.prom ...]"
             );
             return ExitCode::from(2);
         }
     };
     let result = check_metrics(metrics)
         .and_then(|()| check_trace(trace))
-        .and_then(|()| benches.iter().try_for_each(|b| check_bench(b)));
+        .and_then(|()| {
+            benches.iter().try_for_each(|b| {
+                if b.ends_with(".prom") {
+                    check_prometheus(b)
+                } else {
+                    check_bench(b)
+                }
+            })
+        });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

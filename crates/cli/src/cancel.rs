@@ -39,6 +39,7 @@ static CURRENT: OnceLock<Mutex<Option<CancelToken>>> = OnceLock::new();
 static INSTALL: Once = Once::new();
 
 const SIGINT: i32 = 2;
+const SIGUSR1: i32 = 10;
 const SIGTERM: i32 = 15;
 
 extern "C" {
@@ -56,6 +57,13 @@ extern "C" fn on_signal(_signum: i32) {
     if SIGNAL_SEEN.swap(true, Ordering::Relaxed) || ESCALATE.load(Ordering::Relaxed) {
         unsafe { _exit(HARD_INTERRUPT_EXIT) }
     }
+}
+
+extern "C" fn on_sigusr1(_signum: i32) {
+    // One relaxed atomic store — async-signal-safe. The actual file
+    // write happens on a normal thread: the watchdog below, or the
+    // serve accept loop's idle poll, whichever sees the flag first.
+    stef::flight::request_dump();
 }
 
 fn current() -> &'static Mutex<Option<CancelToken>> {
@@ -99,6 +107,7 @@ pub fn install(token: &CancelToken) -> CancelScope {
         unsafe {
             signal(SIGINT, on_signal);
             signal(SIGTERM, on_signal);
+            signal(SIGUSR1, on_sigusr1);
         }
         std::thread::Builder::new()
             .name("stef-cancel-watchdog".into())
@@ -111,6 +120,16 @@ pub fn install(token: &CancelToken) -> CancelScope {
 fn watchdog() {
     loop {
         std::thread::sleep(Duration::from_millis(50));
+        // SIGUSR1 service for non-serve commands (the serve accept
+        // loop polls the same one-shot flag at a faster cadence, so
+        // under a running daemon it usually wins the swap).
+        if stef::flight::take_dump_request() {
+            if let Some(path) = stef::flight::dump("sigusr1") {
+                stef::telemetry::info("cancel", || {
+                    format!("flight recorder dumped to {}", path.display())
+                });
+            }
+        }
         if SIGNAL_SEEN.load(Ordering::Relaxed) && !ESCALATE.load(Ordering::Relaxed) {
             let token = match current().lock() {
                 Ok(slot) => slot.clone(),
@@ -118,7 +137,7 @@ fn watchdog() {
             };
             match token {
                 Some(t) => {
-                    stef::telemetry::warn(|| {
+                    stef::telemetry::warn("cancel", || {
                         "interrupt received; cancelling (checkpoint will be written if \
                          configured) — signal again to exit immediately"
                             .to_string()

@@ -7,6 +7,7 @@ pub mod decompose;
 pub mod generate;
 pub mod list;
 pub mod serve;
+pub mod top;
 pub mod validate;
 
 use crate::error::CliError;

@@ -44,6 +44,8 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         ("--drain-grace-ms", "drain-grace-ms"),
         ("--max-requests-per-conn", "max-requests-per-conn"),
         ("--max-conn-lifetime-ms", "max-conn-lifetime-ms"),
+        ("--metrics-flush-ms", "metrics-flush-ms"),
+        ("--drift-threshold", "drift-threshold"),
     ]);
     let p = parse(argv, &spec)?;
     if !p.positionals.is_empty() {
@@ -69,7 +71,13 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     cfg.backoff_base = Duration::from_millis(p.num_or("backoff-ms", 100)?);
     cfg.backoff_cap = Duration::from_millis(p.num_or("backoff-cap-ms", 5000)?);
     cfg.metrics_path = p.opt_str("metrics-out").map(PathBuf::from);
+    cfg.drift_warn_threshold = p.num_or("drift-threshold", cfg.drift_warn_threshold)?;
     cfg.on_outcome = Some(outcome_hook(Arc::clone(&store)));
+
+    // A daemon panic should leave the flight recorder's last events on
+    // disk even when the pool's catch_unwind later converts the panic
+    // into a job failure.
+    stef::flight::install_panic_hook();
 
     // SIGTERM / first Ctrl-C cancels this token → graceful drain; a
     // second signal hard-exits 130 from the handler.
@@ -110,6 +118,8 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     serve_cfg.max_requests_per_conn = p.num_or("max-requests-per-conn", 32)?;
     serve_cfg.max_conn_lifetime =
         Duration::from_millis(p.num_or("max-conn-lifetime-ms", 30_000)?);
+    // 0 disables the periodic registry flush into --metrics-out.
+    serve_cfg.metrics_flush = Duration::from_millis(p.num_or("metrics-flush-ms", 10_000)?);
 
     let server = Server::bind(serve_cfg, Arc::new(sup), store, stop)?;
     // The kill-9 / drain tests (and anything scripting the daemon)

@@ -1,0 +1,292 @@
+//! `stef top` — a terminal dashboard over a running daemon's
+//! `GET /metrics` endpoint.
+//!
+//! One-shot by default (scrape, render, exit 0); `--watch-ms N`
+//! re-scrapes every N milliseconds until Ctrl-C (or `--count` scrapes).
+//! Everything is computed client-side from the Prometheus text
+//! exposition, so `top` works against any historical daemon build that
+//! serves `/metrics` and needs no state on the server beyond the
+//! registry itself.
+
+use crate::args::{parse, FlagSpec};
+use crate::error::CliError;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+use stef::{parse_prometheus_text, quantile_from_buckets, PromSample};
+
+pub fn run(argv: &[String]) -> Result<(), CliError> {
+    let spec = FlagSpec::new(&[
+        ("--addr", "addr"),
+        ("--watch-ms", "watch-ms"),
+        ("--count", "count"),
+    ]);
+    let p = parse(argv, &spec)?;
+    if !p.positionals.is_empty() {
+        return Err(CliError::Usage(format!(
+            "top takes no positional arguments, got {:?}",
+            p.positionals
+        )));
+    }
+    let addr = p.str_or("addr", "127.0.0.1:7464").to_string();
+    let watch_ms: u64 = p.num_or("watch-ms", 0)?;
+    let count: usize = p.num_or("count", 0)?;
+    let mut shown = 0usize;
+    loop {
+        let text = scrape(&addr)?;
+        let samples = parse_prometheus_text(&text)
+            .map_err(|e| CliError::Input(format!("bad /metrics exposition from {addr}: {e}")))?;
+        if watch_ms > 0 && shown > 0 {
+            println!();
+        }
+        print!("{}", render(&addr, &samples));
+        shown += 1;
+        if watch_ms == 0 || (count > 0 && shown >= count) {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(watch_ms));
+    }
+}
+
+/// One `GET /metrics` over a fresh connection (the daemon caps
+/// keep-alive lifetimes anyway, and `top` scrapes at human timescales).
+fn scrape(addr: &str) -> Result<String, CliError> {
+    let mut stream = TcpStream::connect(addr)
+        .map_err(|e| CliError::Input(format!("cannot connect to '{addr}': {e}")))?;
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: stef-top\r\nConnection: close\r\n\r\n")
+        .map_err(|e| CliError::Input(format!("request to '{addr}' failed: {e}")))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| CliError::Input(format!("response from '{addr}' failed: {e}")))?;
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| CliError::Input(format!("malformed response from '{addr}'")))?;
+    if status != 200 {
+        return Err(CliError::Input(format!(
+            "'{addr}' answered {status} for GET /metrics"
+        )));
+    }
+    Ok(response
+        .split("\r\n\r\n")
+        .nth(1)
+        .unwrap_or_default()
+        .to_string())
+}
+
+/// Sum of every sample of `name` whose labels all match `want`.
+fn total(samples: &[PromSample], name: &str, want: &[(&str, &str)]) -> f64 {
+    // `+ 0.0` normalizes the empty sum: f64's additive identity is
+    // -0.0, which `{:.0}` would render as "-0".
+    samples
+        .iter()
+        .filter(|s| s.name == name && want.iter().all(|(k, v)| s.label(k) == Some(v)))
+        .map(|s| s.value)
+        .sum::<f64>()
+        + 0.0
+}
+
+/// Distinct values of `key` across every sample of `name`.
+fn label_values(samples: &[PromSample], name: &str, key: &str) -> Vec<String> {
+    let mut out: Vec<String> = samples
+        .iter()
+        .filter(|s| s.name == name)
+        .filter_map(|s| s.label(key).map(String::from))
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Cumulative `(le, count)` pairs for one histogram series, ready for
+/// [`quantile_from_buckets`].
+fn buckets(samples: &[PromSample], base: &str, want: &[(&str, &str)]) -> Vec<(f64, f64)> {
+    let bucket_name = format!("{base}_bucket");
+    let mut out: Vec<(f64, f64)> = samples
+        .iter()
+        .filter(|s| s.name == bucket_name && want.iter().all(|(k, v)| s.label(k) == Some(v)))
+        .filter_map(|s| {
+            let le = s.label("le")?;
+            let le = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse().ok()?
+            };
+            Some((le, s.value))
+        })
+        .collect();
+    out.sort_by(|a, b| a.0.total_cmp(&b.0));
+    out
+}
+
+fn fmt_secs(s: f64) -> String {
+    if !s.is_finite() {
+        "-".into()
+    } else if s < 1e-3 {
+        format!("{:.1}us", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+/// One histogram line: `label  count  p50  p99`.
+fn hist_line(out: &mut String, label: &str, samples: &[PromSample], base: &str, want: &[(&str, &str)]) {
+    let b = buckets(samples, base, want);
+    let n = total(samples, &format!("{base}_count"), want);
+    if n == 0.0 {
+        return;
+    }
+    let p50 = quantile_from_buckets(&b, 0.50);
+    let p99 = quantile_from_buckets(&b, 0.99);
+    out.push_str(&format!(
+        "  {label:<18} {n:>10}   p50 {:>9}   p99 {:>9}\n",
+        fmt_secs(p50),
+        fmt_secs(p99),
+    ));
+}
+
+fn render(addr: &str, samples: &[PromSample]) -> String {
+    let v = |name: &str| total(samples, name, &[]);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "stef daemon at {addr} — up {:.0}s\n",
+        v("stef_uptime_seconds")
+    ));
+    out.push_str(&format!(
+        "jobs   queued {:.0}  running {:.0}  | done {:.0}  failed {:.0}  interrupted {:.0}  \
+         shed {:.0}  retries {:.0}\n",
+        v("stef_jobs_queued"),
+        v("stef_jobs_running"),
+        total(samples, "stef_jobs_completed_total", &[("outcome", "done")]),
+        total(samples, "stef_jobs_completed_total", &[("outcome", "failed")]),
+        total(
+            samples,
+            "stef_jobs_completed_total",
+            &[("outcome", "interrupted")]
+        ),
+        v("stef_jobs_shed_total"),
+        v("stef_job_retries_total"),
+    ));
+    out.push_str(&format!(
+        "models {:.0} ({:.0} stale)  installs {:.0}  | http reqs {:.0}  queries {:.0}  \
+         busy-rejected {:.0}\n",
+        v("stef_snapshot_models"),
+        v("stef_snapshot_stale"),
+        v("stef_snapshot_generations"),
+        v("stef_http_requests_total"),
+        v("stef_serve_queries"),
+        v("stef_serve_busy_rejected"),
+    ));
+    out.push_str("latency              count\n");
+    hist_line(&mut out, "http request", samples, "stef_http_request_seconds", &[]);
+    hist_line(&mut out, "pool dispatch", samples, "stef_dispatch_seconds", &[]);
+    for mode in label_values(samples, "stef_mttkrp_seconds_bucket", "mode") {
+        hist_line(
+            &mut out,
+            &format!("mttkrp mode {mode}"),
+            samples,
+            "stef_mttkrp_seconds",
+            &[("mode", &mode)],
+        );
+    }
+    for outcome in label_values(samples, "stef_job_attempt_seconds_bucket", "outcome") {
+        hist_line(
+            &mut out,
+            &format!("attempt {outcome}"),
+            samples,
+            "stef_job_attempt_seconds",
+            &[("outcome", &outcome)],
+        );
+    }
+    let drift: Vec<&PromSample> = samples
+        .iter()
+        .filter(|s| s.name == "stef_model_drift_rel_err")
+        .collect();
+    if !drift.is_empty() {
+        out.push_str("model drift (|measured-predicted|/predicted traffic)\n");
+        for s in drift {
+            out.push_str(&format!(
+                "  engine {:<6} mode {:<3} rel_err {:.3}\n",
+                s.label("engine").unwrap_or("?"),
+                s.label("mode").unwrap_or("?"),
+                s.value,
+            ));
+        }
+    }
+    let workers = label_values(samples, "stef_worker_bursts_total", "worker");
+    if !workers.is_empty() {
+        out.push_str("workers  (bursts / chunks / parks)\n");
+        for w in workers {
+            let want: &[(&str, &str)] = &[("worker", &w)];
+            out.push_str(&format!(
+                "  w{w:<3} {:>10.0} {:>12.0} {:>10.0}\n",
+                total(samples, "stef_worker_bursts_total", want),
+                total(samples, "stef_worker_chunks_total", want),
+                total(samples, "stef_worker_parks_total", want),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIXTURE: &str = "\
+# TYPE stef_uptime_seconds gauge\n\
+stef_uptime_seconds 12.5\n\
+# TYPE stef_jobs_completed_total counter\n\
+stef_jobs_completed_total{outcome=\"done\"} 8\n\
+stef_jobs_completed_total{outcome=\"failed\"} 1\n\
+# TYPE stef_http_request_seconds histogram\n\
+stef_http_request_seconds_bucket{le=\"0.001\"} 90\n\
+stef_http_request_seconds_bucket{le=\"0.01\"} 99\n\
+stef_http_request_seconds_bucket{le=\"+Inf\"} 100\n\
+stef_http_request_seconds_sum 0.5\n\
+stef_http_request_seconds_count 100\n\
+# TYPE stef_model_drift_rel_err gauge\n\
+stef_model_drift_rel_err{engine=\"csf\",mode=\"0\"} 0.07\n";
+
+    #[test]
+    fn renders_the_fixture_scrape() {
+        let samples = parse_prometheus_text(FIXTURE).unwrap();
+        let out = render("127.0.0.1:7464", &samples);
+        assert!(out.contains("up 12s") || out.contains("up 13s"), "{out}");
+        assert!(out.contains("done 8"), "{out}");
+        assert!(out.contains("failed 1"), "{out}");
+        assert!(out.contains("http request"), "{out}");
+        assert!(out.contains("rel_err 0.070"), "{out}");
+    }
+
+    #[test]
+    fn bucket_extraction_orders_and_parses_inf() {
+        let samples = parse_prometheus_text(FIXTURE).unwrap();
+        let b = buckets(&samples, "stef_http_request_seconds", &[]);
+        assert_eq!(b.len(), 3);
+        assert!(b[2].0.is_infinite());
+        let p50 = quantile_from_buckets(&b, 0.5);
+        assert!(p50 <= 0.001, "{p50}");
+    }
+
+    #[test]
+    fn totals_filter_by_label() {
+        let samples = parse_prometheus_text(FIXTURE).unwrap();
+        assert_eq!(
+            total(&samples, "stef_jobs_completed_total", &[("outcome", "done")]),
+            8.0
+        );
+        assert_eq!(total(&samples, "stef_jobs_completed_total", &[]), 9.0);
+        // A family absent from the scrape must render "0", not "-0"
+        // (f64's empty-sum identity is negative zero).
+        let none = total(&samples, "stef_no_such_family", &[]);
+        assert_eq!(format!("{none:.0}"), "0");
+    }
+}

@@ -31,7 +31,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
 
     let (label, t) = load(tensor_spec, SuiteScale::Tiny).map_err(CliError::Input)?;
     if t.nnz() > 2_000_000 {
-        stef::telemetry::warn(|| {
+        stef::telemetry::warn("validate", || {
             format!(
                 "the reference MTTKRP is O(nnz·d·R) per mode; {} nnz will be slow",
                 t.nnz()
@@ -70,7 +70,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         Ok(())
     } else {
         for m in &report.mismatches {
-            stef::telemetry::warn(|| {
+            stef::telemetry::warn("validate", || {
                 format!(
                     "MISMATCH mode {} at ({}, {}): engine {} vs reference {}",
                     m.mode, m.row, m.col, m.got, m.expected

@@ -30,6 +30,14 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");
+            // Post-mortem breadcrumb: anything that actually *ran*
+            // (usage errors didn't) leaves the flight recorder's last
+            // events on disk next to the error. No events → no file.
+            if e.exit_code() != 2 {
+                if let Some(path) = stef::flight::dump("error") {
+                    eprintln!("flight recorder: {}", path.display());
+                }
+            }
             ExitCode::from(e.exit_code())
         }
     }
@@ -47,6 +55,7 @@ fn run(argv: &[String]) -> Result<(), CliError> {
         "decompose" => commands::decompose::run(rest),
         "batch" => commands::batch::run(rest),
         "serve" => commands::serve::run(rest),
+        "top" => commands::top::run(rest),
         "bench" => commands::bench::run(rest),
         "list" => commands::list::run(rest).map_err(CliError::from),
         "validate" => commands::validate::run(rest),
@@ -83,6 +92,8 @@ fn print_usage() {
          \u{20}              [--traffic-envelope ELEMS] [--default-rank R] [--handler-threads N]\n\
          \u{20}              [--accept-backlog N] [--io-timeout-ms N] [--drain-grace-ms N]\n\
          \u{20}              [--max-requests-per-conn N] [--max-conn-lifetime-ms N]\n\
+         \u{20}              [--metrics-flush-ms N] [--drift-threshold F]\n\
+         \u{20}stef top      [--addr HOST:PORT] [--watch-ms N] [--count N]\n\
          \u{20}stef bench    <tensor> [--rank R] [--reps N] [--threads N] [--accum auto|privatized|atomic]\n\
          \u{20}                       [--timeout SECS]\n\
          \u{20}stef validate <tensor> [--rank R] [--engine NAME] [--tol T] [--accum auto|privatized|atomic]\n\
@@ -101,10 +112,13 @@ fn print_usage() {
          \u{20}and a killed batch resumes from checkpoints with --resume-journal.\n\
          serve: long-running daemon; POST /jobs with a batch job line submits a refit,\n\
          \u{20}GET /models/<name>[/factor/<mode>/<row>] serves fitted factors from atomic\n\
-         \u{20}snapshots. An existing --journal is auto-resumed (crash recovery); SIGTERM or\n\
-         \u{20}Ctrl-C drains gracefully and exits 0.\n\
+         \u{20}snapshots, GET /metrics is a Prometheus scrape, GET /healthz answers 503 once\n\
+         \u{20}draining. An existing --journal is auto-resumed (crash recovery); SIGTERM or\n\
+         \u{20}Ctrl-C drains gracefully and exits 0; SIGUSR1 dumps the flight recorder.\n\
+         top: scrapes a daemon's /metrics and renders a compact dashboard.\n\
          telemetry: --metrics-out writes one JSONL record per ALS iteration (schema 1),\n\
          --trace-out writes a Chrome trace_event JSON (Perfetto / chrome://tracing),\n\
-         STEF_LOG=off|warn|info|debug controls library diagnostics (default warn)."
+         STEF_LOG=off|warn|info|debug controls library diagnostics (default warn);\n\
+         lines are stamped 'stef[<level> <elapsed>s <module>] <message>'."
     );
 }

@@ -167,7 +167,7 @@ fn sigkill(child: &Child) {
 /// engine, tol=0 so it always runs all iterations.
 fn job_line(tns: &Path) -> String {
     format!(
-        "{} rank=6 iters=300 tol=0 seed=9 engine=reference model=m",
+        "{} rank=6 iters=3000 tol=0 seed=9 engine=reference model=m",
         tns.display()
     )
 }
@@ -217,6 +217,15 @@ fn kill9_resume_is_bit_identical_and_sigterm_drains_exit_0() {
         std::thread::sleep(Duration::from_millis(10));
     }
     std::thread::sleep(Duration::from_millis(500));
+    // The refit must still be mid-flight when the plug is pulled — a
+    // job that already journaled `done` replays as done on restart
+    // without re-firing the snapshot hook (snapshots are in-memory),
+    // which would turn this into a test of nothing.
+    let r = http(&daemon.addr, "GET", "/jobs/0", "");
+    assert!(
+        r.contains("\"status\":\"running\""),
+        "job finished before the kill could land ({r}); enlarge the tensor or iters"
+    );
     sigkill(&daemon.child);
     daemon.child.wait().expect("killed daemon reaped");
 

@@ -327,6 +327,20 @@ pub fn cpd_als<E: MttkrpEngine + ?Sized>(
     let engine_name = engine.name();
     let mut last_good: Option<Checkpoint> = None;
     let mut telem = Collector::new();
+    // Per-mode MTTKRP latency histograms, resolved before the ALS loop
+    // (registration takes a lock and may allocate; the per-sweep
+    // `observe` below is a few relaxed fetch_adds, preserving the
+    // steady-state zero-alloc invariant).
+    let mode_hists: Vec<&'static crate::metrics::Histogram> = (0..d)
+        .map(|m| {
+            crate::metrics::histogram(
+                "stef_mttkrp_seconds",
+                "Wall time of one MTTKRP pass, by target mode",
+                &[("mode", crate::metrics::mode_label(m))],
+                crate::metrics::TIME_BUCKETS,
+            )
+        })
+        .collect();
 
     for it in start_iter..opts.max_iters {
         iterations = it + 1;
@@ -348,6 +362,12 @@ pub fn cpd_als<E: MttkrpEngine + ?Sized>(
             let dt = t0.elapsed();
             mttkrp_time += dt;
             mode_seconds[mode] += dt.as_secs_f64();
+            mode_hists[mode].observe(dt.as_secs_f64());
+            crate::flight::record(
+                crate::flight::FlightEvent::ModeSweep,
+                mode as u64,
+                dt.as_nanos() as u64,
+            );
             telem.record_mode(
                 mode,
                 dt.as_secs_f64(),
@@ -414,6 +434,7 @@ pub fn cpd_als<E: MttkrpEngine + ?Sized>(
                         let dt = t0.elapsed();
                         mttkrp_time += dt;
                         mode_seconds[mode] += dt.as_secs_f64();
+                        mode_hists[mode].observe(dt.as_secs_f64());
                         telem.record_mode(
                             mode,
                             dt.as_secs_f64(),
@@ -640,6 +661,11 @@ pub fn cpd_als<E: MttkrpEngine + ?Sized>(
         }
         fits.push(fit);
         telem.end_iteration(iterations, fit, engine.telemetry_alloc_events());
+        crate::flight::record(
+            crate::flight::FlightEvent::IterDone,
+            iterations as u64,
+            fit.to_bits(),
+        );
 
         if let Some(policy) = &opts.checkpoint {
             if policy.every > 0 && iterations % policy.every == 0 {

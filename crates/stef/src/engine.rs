@@ -155,9 +155,18 @@ pub fn build_engine(
         EngineChoice::Csf => Ok(Box::new(Stef::try_prepare(coo, opts)?)),
         EngineChoice::Alto => Ok(Box::new(crate::alto::AltoEngine::try_prepare(coo, opts)?)),
         EngineChoice::Auto => {
+            let choice = |picked: &'static str| {
+                crate::metrics::counter(
+                    "stef_engine_choice_total",
+                    "Engines picked by --engine auto's Sec. IV-C traffic bid",
+                    &[("engine", picked)],
+                )
+                .inc();
+            };
             let stef = Stef::try_prepare(coo, opts.clone())?;
             let bits = sptensor::index_bits_for(coo.dims());
             if bits > 128 {
+                choice("csf");
                 return Ok(Box::new(stef));
             }
             let alto_profile = crate::model::AltoProfile {
@@ -168,8 +177,10 @@ pub fn build_engine(
                 idx_elems: if bits <= 64 { 1 } else { 2 },
             };
             if alto_profile.total_traffic() < stef.plan().predicted {
+                choice("alto");
                 Ok(Box::new(crate::alto::AltoEngine::try_prepare(coo, opts)?))
             } else {
+                choice("csf");
                 Ok(Box::new(stef))
             }
         }
@@ -380,6 +391,18 @@ impl Stef {
                 }
             })
             .collect();
+        for accum in accum_by_level.iter().skip(1) {
+            let strategy = match accum {
+                ResolvedAccum::Privatized => "privatized",
+                ResolvedAccum::Atomic => "atomic",
+            };
+            crate::metrics::counter(
+                "stef_accum_resolved_total",
+                "Accumulation strategies resolved per consumer level at engine build",
+                &[("strategy", strategy)],
+            )
+            .inc();
+        }
 
         // --- memory-budget fit (degrade, don't die) ---
         let fixed = Workspace::fixed_bytes(d, opts.rank, nthreads);

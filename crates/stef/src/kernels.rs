@@ -202,6 +202,40 @@ impl Emitter for AtomicEmitter<'_, '_> {
 /// caller's workspace and fanning out on `rt`. `out` must be
 /// `level_dims[0] × R`; it is zeroed here. Allocation-free once `ws` is
 /// warm (the pool runtime dispatches without touching the allocator).
+#[derive(Clone, Copy)]
+enum KernelPassKind {
+    Mode0,
+    ModeuSaved,
+    ModeuRecompute,
+}
+
+/// Count one MTTKRP kernel entry in the metrics registry. The handle
+/// per kind is resolved once (the registration lock + allocation land
+/// on the first pass — warm-up territory); every later pass is a single
+/// relaxed `fetch_add`, keeping warm sweeps allocation-free.
+#[inline]
+fn kernel_pass(kind: KernelPassKind) {
+    use std::sync::OnceLock;
+    const NAME: &str = "stef_kernel_passes_total";
+    const HELP: &str = "MTTKRP kernel entries by variant (root, saved-partials, recompute)";
+    static MODE0: OnceLock<&'static crate::metrics::Counter> = OnceLock::new();
+    static SAVED: OnceLock<&'static crate::metrics::Counter> = OnceLock::new();
+    static RECOMPUTE: OnceLock<&'static crate::metrics::Counter> = OnceLock::new();
+    match kind {
+        KernelPassKind::Mode0 => MODE0
+            .get_or_init(|| crate::metrics::counter(NAME, HELP, &[("kernel", "mode0")]))
+            .inc(),
+        KernelPassKind::ModeuSaved => SAVED
+            .get_or_init(|| crate::metrics::counter(NAME, HELP, &[("kernel", "modeu_saved")]))
+            .inc(),
+        KernelPassKind::ModeuRecompute => RECOMPUTE
+            .get_or_init(|| {
+                crate::metrics::counter(NAME, HELP, &[("kernel", "modeu_recompute")])
+            })
+            .inc(),
+    }
+}
+
 pub fn mode0_with(
     ctx: &KernelCtx<'_>,
     views: &[Option<SharedRows<'_>>],
@@ -215,6 +249,7 @@ pub fn mode0_with(
     assert_eq!(views.len(), d);
     assert_eq!(out.rows(), ctx.csf.level_dims()[0]);
     assert_eq!(out.cols(), r);
+    kernel_pass(KernelPassKind::Mode0);
     let nthreads = ctx.sched.nthreads();
     ws.ensure(d, r, nthreads, 0);
     out.fill_zero();
@@ -434,6 +469,11 @@ pub fn modeu_with(
     let d = ctx.csf.ndim();
     assert!(u >= 1 && u < d, "mode0 handles the root level");
     assert_eq!(views.len(), d);
+    kernel_pass(if use_saved {
+        KernelPassKind::ModeuSaved
+    } else {
+        KernelPassKind::ModeuRecompute
+    });
     let r = ctx.rank;
     let n_u = ctx.csf.level_dims()[u];
     assert_eq!(out.rows(), n_u);

@@ -46,9 +46,11 @@ pub mod cpd;
 pub mod engine;
 pub mod error;
 pub mod fault;
+pub mod flight;
 pub mod kernels;
 pub mod kernels_alto;
 pub mod kernels_legacy;
+pub mod metrics;
 pub mod model;
 pub mod nonneg;
 pub mod numa;
@@ -96,6 +98,8 @@ pub use supervisor::{
     EngineFactory, JobAttempt, JobHook, JobOutcome, JobPrice, JobSpec, JobStatus, JournalRecord,
     JournalScan, Supervisor, SupervisorConfig, TensorLoader,
 };
+pub use flight::FlightEvent;
+pub use metrics::{parse_prometheus_text, quantile_from_buckets, PromSample};
 pub use telemetry::{
     IterationRecord, LogLevel, ModeAudit, ModeSample, ModeStats, TelemetryReport, TraceSpan,
 };

@@ -513,6 +513,20 @@ pub fn prefer_privatized(profile: &LevelProfile, level: usize, nthreads: usize) 
     c.privatized <= c.atomic
 }
 
+/// Relative error of a measured traffic total against this model's
+/// prediction: `|measured − predicted| / max(predicted, 1)`. The floor
+/// keeps a zero or degenerate prediction from dividing by zero. Shared
+/// by the per-run audit ([`crate::TelemetryReport::model_audit`]) and
+/// the daemon's continuous drift gauges so both report the same number.
+pub fn drift_rel_err(measured: f64, predicted: f64) -> f64 {
+    (measured - predicted).abs() / predicted.max(1.0)
+}
+
+/// Default cumulative relative error above which the continuous model
+/// audit warns that §IV-C pricing (admission envelopes, `--engine
+/// auto` bids) may be stale.
+pub const DEFAULT_DRIFT_WARN_THRESHOLD: f64 = 0.5;
+
 /// Models STeF2's trade (paper §VI-B): replace the base CSF's leaf-mode
 /// MTTKRP (a full-tree traversal ending in a scatter) with a root-mode
 /// pass over a second CSF rooted at that mode. Returns the predicted

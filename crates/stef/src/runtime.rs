@@ -76,7 +76,7 @@ pub enum Runtime {
 
 /// Monotonic nanoseconds since a process-wide anchor, for storing
 /// deadlines in an `AtomicU64` (0 is reserved for "no deadline").
-fn now_ns() -> u64 {
+pub(crate) fn now_ns() -> u64 {
     static ANCHOR: OnceLock<Instant> = OnceLock::new();
     let anchor = *ANCHOR.get_or_init(Instant::now);
     (anchor.elapsed().as_nanos() as u64).max(1)
@@ -356,6 +356,12 @@ struct Shared {
     /// genuinely allocation-free.
     started: AtomicUsize,
     stats: Vec<WorkerStat>,
+    /// Per-worker metrics-registry handles, resolved at construction
+    /// (registration locks and allocates; incrementing does neither),
+    /// so the worker loop can mirror parks/bursts into the registry
+    /// without breaking the zero-alloc dispatch invariant. Zero-sized
+    /// no-ops without the `telemetry` feature.
+    wmetrics: Vec<crate::metrics::WorkerHandles>,
 }
 
 /// The installed cancel state, if any. SAFETY: see `Shared::cancel_ptr`.
@@ -573,6 +579,7 @@ fn worker_loop(shared: &Shared, idx: usize) {
                 std::thread::yield_now();
             } else {
                 stat.parks.fetch_add(1, Ordering::Relaxed);
+                shared.wmetrics[idx].park();
                 let mut g = lock_unpoisoned(&shared.idle_lock);
                 while shared.seq.load(Ordering::Acquire) == seen
                     && !shared.shutdown.load(Ordering::Acquire)
@@ -609,6 +616,7 @@ fn worker_loop(shared: &Shared, idx: usize) {
         if claimed > 0 {
             stat.busy.fetch_add(1, Ordering::Relaxed);
             stat.chunks.fetch_add(claimed, Ordering::Relaxed);
+            shared.wmetrics[idx].burst(claimed);
             if tracing {
                 crate::telemetry::record_span(crate::telemetry::TraceSpan {
                     tid: idx as u32 + 1,
@@ -653,6 +661,11 @@ pub struct WorkerPool {
     cancelled_jobs: AtomicU64,
     respawns: AtomicU64,
     spawn_failures: AtomicU64,
+    /// Registry handles for pool-level metrics (dispatch count +
+    /// latency histogram, inline runs, panics, cancellations), resolved
+    /// at construction for the same zero-alloc reason as
+    /// `Shared::wmetrics`.
+    metrics: crate::metrics::PoolHandles,
 }
 
 fn spawn_worker(shared: &Arc<Shared>, idx: usize) -> std::io::Result<std::thread::JoinHandle<()>> {
@@ -734,6 +747,7 @@ impl WorkerPool {
             resurrections: AtomicU64::new(0),
             started: AtomicUsize::new(0),
             stats: (0..planned).map(|_| WorkerStat::default()).collect(),
+            wmetrics: (0..planned).map(crate::metrics::worker_handles).collect(),
         });
         let mut handles: Vec<Option<std::thread::JoinHandle<()>>> = Vec::with_capacity(planned);
         let mut spawn_failures = 0u64;
@@ -742,7 +756,7 @@ impl WorkerPool {
                 Ok(h) => handles.push(Some(h)),
                 Err(e) => {
                     spawn_failures = (planned - idx) as u64;
-                    crate::telemetry::warn(|| {
+                    crate::telemetry::warn("runtime", || {
                         format!(
                             "could not spawn pool worker {idx} of {planned} ({e}); \
                              degrading to a {}-worker pool",
@@ -777,6 +791,7 @@ impl WorkerPool {
             cancelled_jobs: AtomicU64::new(0),
             respawns: AtomicU64::new(0),
             spawn_failures: AtomicU64::new(spawn_failures),
+            metrics: crate::metrics::pool_handles(),
         }
     }
 
@@ -845,7 +860,7 @@ impl WorkerPool {
                     self.spawn_failures.fetch_add(1, Ordering::Relaxed);
                     let w = self.workers.load(Ordering::Relaxed).saturating_sub(1).max(1);
                     self.workers.store(w, Ordering::Relaxed);
-                    crate::telemetry::warn(|| {
+                    crate::telemetry::warn("runtime", || {
                         format!("could not respawn pool worker {idx} ({e}); degrading to {w} workers")
                     });
                 }
@@ -883,6 +898,7 @@ impl WorkerPool {
         let s = &*self.shared;
         if nthreads == 1 || self.workers() <= 1 || self.on_own_worker() {
             self.inline_runs.fetch_add(1, Ordering::Relaxed);
+            self.metrics.inline_run();
             return traced_inline(s, nthreads, f);
         }
         // One dispatcher at a time; a second concurrent caller (e.g.
@@ -893,6 +909,7 @@ impl WorkerPool {
             Err(TryLockError::Poisoned(p)) => p.into_inner(),
             Err(TryLockError::WouldBlock) => {
                 self.inline_runs.fetch_add(1, Ordering::Relaxed);
+                self.metrics.inline_run();
                 return traced_inline(s, nthreads, f);
             }
         };
@@ -904,6 +921,11 @@ impl WorkerPool {
         }
         assert!(nthreads < u32::MAX as usize, "fan-out width overflows the claim cursor");
         self.dispatches.fetch_add(1, Ordering::Relaxed);
+        // Dispatch-latency metric (publish → completion barrier). The
+        // enabled check precedes the clock read, mirroring the tracing
+        // gate, so a disabled registry costs one relaxed load here.
+        let m_on = crate::metrics::enabled();
+        let mt0 = if m_on { now_ns() } else { 0 };
         let chunk = (nthreads / (4 * self.workers())).max(1);
 
         // ---- publish the job (seqlock write) ----
@@ -975,15 +997,22 @@ impl WorkerPool {
             }
         }
 
+        if m_on {
+            self.metrics.dispatch(now_ns().saturating_sub(mt0));
+        }
+
         // ---- surface the job's outcome as a typed error ----
         if s.panicked.load(Ordering::Acquire) > 0 {
             self.panics.fetch_add(1, Ordering::Relaxed);
+            self.metrics.panic();
+            crate::flight::record(crate::flight::FlightEvent::WorkerPanic, 0, 0);
             let msg = lock_unpoisoned(&s.panic_msg).take().unwrap_or_default();
             self.heal();
             return Err(FanoutError::Panicked(msg));
         }
         if s.job_cancelled.load(Ordering::Acquire) {
             self.cancelled_jobs.fetch_add(1, Ordering::Relaxed);
+            self.metrics.cancelled();
             return Err(FanoutError::Cancelled);
         }
         Ok(())

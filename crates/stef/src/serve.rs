@@ -35,7 +35,8 @@
 //! grammar for submits); responses are JSON. Endpoints:
 //!
 //! ```text
-//! GET  /healthz                              state + queue/model counters
+//! GET  /healthz                              state + queue/model counters (503 once draining)
+//! GET  /metrics                              Prometheus text exposition of the metrics registry
 //! POST /jobs                                 body: <tensor> [rank=..] [model=..] ...
 //! GET  /jobs/<id>                            job status
 //! POST /jobs/<id>/cancel                     cooperative cancel
@@ -95,12 +96,19 @@ pub struct ServeConfig {
     /// handler is occupied by one connection for at most
     /// `max_conn_lifetime + read_timeout`.
     pub max_conn_lifetime: Duration,
+    /// Interval between periodic [`crate::metrics`] flushes into the
+    /// supervisor's JSONL metrics sink (`Duration::ZERO` disables the
+    /// flusher). Each flush is one `"kind":"metrics_flush"` line, so a
+    /// long-running daemon leaves a coarse time series behind even if
+    /// nobody ever scrapes `/metrics`.
+    pub metrics_flush: Duration,
 }
 
 impl ServeConfig {
     /// Defaults: 4 handler threads, 64-connection backlog, 5 s
     /// read/write timeouts, rank 16, 2 s drain grace, 1 MiB bodies,
-    /// 32 requests / 30 s per keep-alive connection.
+    /// 32 requests / 30 s per keep-alive connection, 10 s metrics
+    /// flushes.
     pub fn new(addr: impl Into<String>) -> ServeConfig {
         ServeConfig {
             addr: addr.into(),
@@ -113,6 +121,7 @@ impl ServeConfig {
             max_body_bytes: 1 << 20,
             max_requests_per_conn: 32,
             max_conn_lifetime: Duration::from_secs(30),
+            metrics_flush: Duration::from_secs(10),
         }
     }
 }
@@ -127,14 +136,15 @@ pub fn outcome_hook(store: Arc<SnapshotStore>) -> JobHook {
         match outcome {
             JobOutcome::Done(result) => {
                 let generation = store.install(model, id, result);
-                telemetry::info(|| {
-                    format!("serve: model '{model}' generation {generation} published by job {id}")
+                crate::flight::record(crate::flight::FlightEvent::SnapshotInstall, id as u64, generation);
+                telemetry::info("serve", || {
+                    format!("model '{model}' generation {generation} published by job {id}")
                 });
             }
             JobOutcome::Failed(e) => {
                 let reason = format!("refit failed: {e}");
                 if store.mark_stale(model, &reason) {
-                    telemetry::warn(|| format!("serve: model '{model}' now stale ({reason})"));
+                    telemetry::warn("serve", || format!("model '{model}' now stale ({reason})"));
                 }
             }
             JobOutcome::Interrupted => {
@@ -169,6 +179,7 @@ pub struct Server {
     listener: TcpListener,
     addr: SocketAddr,
     stats: ServeStats,
+    started: Instant,
 }
 
 /// Alias kept for the public re-export; the server *is* the handle.
@@ -197,6 +208,7 @@ impl Server {
             listener,
             addr,
             stats: ServeStats::default(),
+            started: Instant::now(),
         })
     }
 
@@ -221,12 +233,16 @@ impl Server {
             for _ in 0..self.cfg.handler_threads.max(1) {
                 s.spawn(|| self.handler_loop(&conns));
             }
+            if crate::metrics::COMPILED && !self.cfg.metrics_flush.is_zero() {
+                s.spawn(|| self.flusher_loop());
+            }
             self.accept_loop(&conns);
 
             // --- drain ---
             self.sup.begin_drain();
+            crate::flight::record(crate::flight::FlightEvent::Drain, 0, 0);
             conns.cv.notify_all();
-            telemetry::info(|| "serve: draining (admission stopped)".into());
+            telemetry::info("serve", || "draining (admission stopped)".into());
             let deadline = Instant::now() + self.cfg.drain_grace;
             loop {
                 let (queued, running) = self.sup.load_counts();
@@ -244,8 +260,8 @@ impl Server {
             job_stop.cancel();
             let cancelled = self.sup.cancel_running();
             if cancelled > 0 {
-                telemetry::info(|| {
-                    format!("serve: drain grace expired, cancelled {cancelled} running job(s)")
+                telemetry::info("serve", || {
+                    format!("drain grace expired, cancelled {cancelled} running job(s)")
                 });
             }
             runner.join().unwrap_or_else(|_| self.sup.report())
@@ -255,10 +271,10 @@ impl Server {
         // journal fsync and the unbounded-growth fix in one step.
         match self.sup.compact_journal() {
             Ok(dropped) if dropped > 0 => {
-                telemetry::info(|| format!("serve: journal compacted, {dropped} record(s) dropped"))
+                telemetry::info("serve", || format!("journal compacted, {dropped} record(s) dropped"))
             }
             Ok(_) => {}
-            Err(e) => telemetry::warn(|| format!("serve: drain compaction failed: {e}")),
+            Err(e) => telemetry::warn("serve", || format!("drain compaction failed: {e}")),
         }
         report
     }
@@ -279,6 +295,7 @@ impl Server {
                         let _ = write_response(
                             &mut stream,
                             503,
+                            CT_JSON,
                             &err_body("accept queue full"),
                             true,
                         );
@@ -289,13 +306,47 @@ impl Server {
                     }
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    self.poll_dump_request();
                     std::thread::sleep(Duration::from_millis(5));
                 }
                 Err(e) => {
-                    telemetry::debug(|| format!("serve: accept error: {e}"));
+                    telemetry::debug("serve", || format!("accept error: {e}"));
                     std::thread::sleep(Duration::from_millis(5));
                 }
             }
+        }
+    }
+
+    /// Services a pending flight-recorder dump request (the CLI's
+    /// SIGUSR1 handler merely sets a flag; the actual file write has to
+    /// happen on a normal thread, and the accept loop's idle poll is
+    /// the one place guaranteed to run regularly while serving).
+    fn poll_dump_request(&self) {
+        if crate::flight::take_dump_request() {
+            match crate::flight::dump("sigusr1") {
+                Some(path) => telemetry::info("serve", || {
+                    format!("flight recorder dumped to {}", path.display())
+                }),
+                None => telemetry::info("serve", || {
+                    "flight recorder dump requested, but the buffer is empty".into()
+                }),
+            }
+        }
+    }
+
+    /// Periodic registry flush into the supervisor's JSONL metrics
+    /// sink. Exits when the stop token fires; the short sleep keeps the
+    /// drain from waiting on a full flush interval.
+    fn flusher_loop(&self) {
+        let mut next = Instant::now() + self.cfg.metrics_flush;
+        while !self.stop.is_cancelled() {
+            std::thread::sleep(Duration::from_millis(50));
+            if Instant::now() < next {
+                continue;
+            }
+            next = Instant::now() + self.cfg.metrics_flush;
+            let line = crate::metrics::render_flush_jsonl(telemetry::uptime_seconds());
+            self.sup.append_metrics_line(&line);
         }
     }
 
@@ -341,12 +392,19 @@ impl Server {
                 Ok(req) => req,
                 Err(ReadError::Eof) | Err(ReadError::Io) => return,
                 Err(ReadError::TooLarge) => {
-                    let _ =
-                        write_response(&mut writer, 413, &err_body("request body too large"), true);
+                    self.observe_http("POST", 413, Instant::now());
+                    let _ = write_response(
+                        &mut writer,
+                        413,
+                        CT_JSON,
+                        &err_body("request body too large"),
+                        true,
+                    );
                     return;
                 }
                 Err(ReadError::Bad(reason)) => {
-                    let _ = write_response(&mut writer, 400, &err_body(&reason), true);
+                    self.observe_http("GET", 400, Instant::now());
+                    let _ = write_response(&mut writer, 400, CT_JSON, &err_body(&reason), true);
                     return;
                 }
             };
@@ -355,11 +413,59 @@ impl Server {
                 || self.stop.is_cancelled()
                 || served >= self.cfg.max_requests_per_conn.max(1)
                 || opened.elapsed() >= self.cfg.max_conn_lifetime;
+            let t0 = Instant::now();
             let (status, body) = self.dispatch(&req);
-            if write_response(&mut writer, status, &body, close).is_err() || close {
+            self.observe_http(&req.method, status, t0);
+            // `/metrics` is the one non-JSON endpoint: Prometheus'
+            // text exposition format, version-tagged per convention.
+            let ctype = if status == 200
+                && req.path.split('?').next() == Some("/metrics")
+            {
+                CT_PROMETHEUS
+            } else {
+                CT_JSON
+            };
+            if write_response(&mut writer, status, ctype, &body, close).is_err() || close {
                 return;
             }
         }
+    }
+
+    /// One relaxed counter bump + histogram observe per request; the
+    /// label set is bounded (3 methods × the fixed status table), and
+    /// when the registry is disabled or compiled out both calls are
+    /// no-ops after a single relaxed load.
+    fn observe_http(&self, method: &str, status: u16, t0: Instant) {
+        if !crate::metrics::enabled() {
+            return;
+        }
+        let dt = t0.elapsed();
+        let method = match method {
+            "GET" => "GET",
+            "POST" => "POST",
+            _ => "other",
+        };
+        crate::metrics::counter(
+            "stef_http_requests_total",
+            "HTTP requests served, by method and status.",
+            &[
+                ("method", method),
+                ("status", crate::metrics::status_label(status)),
+            ],
+        )
+        .inc();
+        crate::metrics::histogram(
+            "stef_http_request_seconds",
+            "HTTP request handling latency (read excluded, dispatch + encode).",
+            &[],
+            crate::metrics::TIME_BUCKETS,
+        )
+        .observe(dt.as_secs_f64());
+        crate::flight::record(
+            crate::flight::FlightEvent::Http,
+            status as u64,
+            dt.as_nanos() as u64,
+        );
     }
 
     fn dispatch(&self, req: &Request) -> (u16, String) {
@@ -385,6 +491,7 @@ impl Server {
         let segs: Vec<&str> = decoded.iter().map(|s| s.as_str()).collect();
         match (req.method.as_str(), segs.as_slice()) {
             ("GET", ["healthz"]) => self.healthz(),
+            ("GET", ["metrics"]) => self.metrics_text(),
             ("POST", ["jobs"]) => self.submit(req.body.trim()),
             ("GET", ["jobs", id]) => self.job_status(id),
             ("POST", ["jobs", id, "cancel"]) => self.job_cancel(id),
@@ -398,25 +505,83 @@ impl Server {
 
     fn healthz(&self) -> (u16, String) {
         let (queued, running) = self.sup.load_counts();
-        let state = if self.stop.is_cancelled() || self.sup.is_draining() {
-            "draining"
-        } else {
-            "serving"
-        };
+        let draining = self.stop.is_cancelled() || self.sup.is_draining();
+        let state = if draining { "draining" } else { "serving" };
+        // A draining daemon answers 503 so load balancers and probe
+        // loops stop routing to it the moment the drain begins — the
+        // body still carries the full counter set for post-mortems.
+        let status = if draining { 503 } else { 200 };
         (
-            200,
+            status,
             format!(
-                "{{\"state\":\"{state}\",\"queued\":{queued},\"running\":{running},\
-                 \"models\":{},\"installs\":{},\"submits\":{},\"shed\":{},\"queries\":{},\
+                "{{\"state\":\"{state}\",\"draining\":{draining},\"queued\":{queued},\
+                 \"queue_depth\":{queued},\"running\":{running},\
+                 \"models\":{},\"installs\":{},\"snapshot_generations\":{},\
+                 \"uptime_s\":{},\"submits\":{},\"shed\":{},\"queries\":{},\
                  \"busy_rejected\":{}}}",
                 self.store.models().len(),
                 self.store.installs(),
+                self.store.installs(),
+                json_num(self.started.elapsed().as_secs_f64()),
                 self.stats.submits.load(Ordering::Relaxed),
                 self.stats.sheds.load(Ordering::Relaxed),
                 self.stats.queries.load(Ordering::Relaxed),
                 self.stats.busy_rejected.load(Ordering::Relaxed),
             ),
         )
+    }
+
+    /// `GET /metrics` — the whole registry in Prometheus text format.
+    /// Point-in-time state (queue depth, snapshot ages, uptime, the
+    /// `/healthz` counter quartet) is folded into gauges at scrape time
+    /// so one scrape carries both the hot-path counters and the current
+    /// picture.
+    fn metrics_text(&self) -> (u16, String) {
+        use crate::metrics as m;
+        if !m::COMPILED {
+            return (
+                200,
+                "# stef built without the 'telemetry' feature; registry compiled out\n".into(),
+            );
+        }
+        let (queued, running) = self.sup.load_counts();
+        m::gauge("stef_jobs_queued", "Jobs waiting in the supervisor queue.", &[])
+            .set(queued as f64);
+        m::gauge("stef_jobs_running", "Jobs currently refitting.", &[]).set(running as f64);
+        m::gauge("stef_uptime_seconds", "Seconds since the daemon bound its socket.", &[])
+            .set(self.started.elapsed().as_secs_f64());
+        let models = self.store.models();
+        let stale = models
+            .iter()
+            .filter(|n| self.store.get(n).is_some_and(|s| s.stale))
+            .count();
+        m::gauge("stef_snapshot_models", "Models with an installed snapshot.", &[])
+            .set(models.len() as f64);
+        m::gauge(
+            "stef_snapshot_generations",
+            "Total snapshot installs since start (monotonic generation counter).",
+            &[],
+        )
+        .set(self.store.installs() as f64);
+        m::gauge(
+            "stef_snapshot_stale",
+            "Models whose latest snapshot is marked stale (degraded serving).",
+            &[],
+        )
+        .set(stale as f64);
+        m::gauge("stef_serve_submits", "Submit requests accepted for pricing.", &[])
+            .set(self.stats.submits.load(Ordering::Relaxed) as f64);
+        m::gauge("stef_serve_sheds", "Submits refused by admission pricing.", &[])
+            .set(self.stats.sheds.load(Ordering::Relaxed) as f64);
+        m::gauge("stef_serve_queries", "Read-side queries answered from snapshots.", &[])
+            .set(self.stats.queries.load(Ordering::Relaxed) as f64);
+        m::gauge(
+            "stef_serve_busy_rejected",
+            "Connections 503'd because the accept backlog was full.",
+            &[],
+        )
+        .set(self.stats.busy_rejected.load(Ordering::Relaxed) as f64);
+        (200, m::render_prometheus())
     }
 
     fn submit(&self, line: &str) -> (u16, String) {
@@ -765,15 +930,21 @@ fn status_reason(status: u16) -> &'static str {
     }
 }
 
+/// Default (JSON) response content type.
+const CT_JSON: &str = "application/json";
+/// `/metrics` content type — Prometheus text exposition format 0.0.4.
+const CT_PROMETHEUS: &str = "text/plain; version=0.0.4";
+
 fn write_response(
     stream: &mut TcpStream,
     status: u16,
+    content_type: &str,
     body: &str,
     close: bool,
 ) -> std::io::Result<()> {
     let connection = if close { "close" } else { "keep-alive" };
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\n\
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\n\
          Content-Length: {}\r\nConnection: {connection}\r\n\r\n",
         status_reason(status),
         body.len(),
@@ -1155,6 +1326,77 @@ mod tests {
         stream.read_to_string(&mut rest).unwrap();
         assert!(rest.starts_with("HTTP/1.1 200"), "{rest}");
         assert!(rest.contains("Connection: close"), "{rest}");
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn healthz_reports_draining_with_503() {
+        let dir = tmp_dir("hz");
+        let store = Arc::new(SnapshotStore::new());
+        let mut scfg = SupervisorConfig::new(dir.join("serve.journal"), dir.join("ckpts"));
+        scfg.on_outcome = Some(outcome_hook(Arc::clone(&store)));
+        let sup = Arc::new(Supervisor::new(scfg, loader(), factory()).unwrap());
+        let stop = CancelToken::new();
+        let server =
+            Server::bind(ServeConfig::new("127.0.0.1:0"), sup, store, stop.clone()).unwrap();
+        let (status, body) = server.healthz();
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains("\"draining\":false"), "{body}");
+        assert!(body.contains("\"queue_depth\":0"), "{body}");
+        assert!(body.contains("\"snapshot_generations\":0"), "{body}");
+        assert!(body.contains("\"uptime_s\":"), "{body}");
+        stop.cancel();
+        let (status, body) = server.healthz();
+        assert_eq!(status, 503, "{body}");
+        assert!(body.contains("\"state\":\"draining\""), "{body}");
+        assert!(body.contains("\"draining\":true"), "{body}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        let (server, dir) = TestServer::start(|_| {});
+        let (status, body) = server.request(
+            "POST",
+            "/jobs",
+            "gen:12x10x8:300:7 rank=3 iters=4 tol=0 model=prom",
+        );
+        assert_eq!(status, 200, "{body}");
+        server.wait_for_done(0);
+
+        // Raw request so the Content-Type header stays visible.
+        let mut stream = TcpStream::connect(server.addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert!(
+            response.contains("Content-Type: text/plain; version=0.0.4"),
+            "{response}"
+        );
+        let text = response.split("\r\n\r\n").nth(1).unwrap_or_default();
+        let samples = crate::metrics::parse_prometheus_text(text).expect("valid exposition");
+        let value = |name: &str| {
+            samples
+                .iter()
+                .filter(|s| s.name == name)
+                .map(|s| s.value)
+                .sum::<f64>()
+        };
+        assert!(value("stef_uptime_seconds") > 0.0, "{text}");
+        assert!(value("stef_snapshot_generations") >= 1.0, "{text}");
+        // The wait_for_done poll loop above went through HTTP, so the
+        // request counter must be hot by scrape time. (The registry is
+        // process-global, so >= not ==: parallel tests also count.)
+        assert!(value("stef_http_requests_total") >= 1.0, "{text}");
+        assert!(value("stef_jobs_completed_total") >= 1.0, "{text}");
         server.shutdown();
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -309,6 +309,9 @@ pub struct SupervisorConfig {
     pub metrics_path: Option<PathBuf>,
     /// Per-job outcome observer (snapshot publication, staleness).
     pub on_outcome: Option<JobHook>,
+    /// Cumulative relative error above which the continuous
+    /// measured-vs-predicted traffic audit logs a drift warning.
+    pub drift_warn_threshold: f64,
 }
 
 impl SupervisorConfig {
@@ -331,6 +334,7 @@ impl SupervisorConfig {
             cancel: None,
             metrics_path: None,
             on_outcome: None,
+            drift_warn_threshold: crate::model::DEFAULT_DRIFT_WARN_THRESHOLD,
         }
     }
 }
@@ -1139,6 +1143,13 @@ impl Supervisor {
             None
         };
         if let Some((resource, required, outstanding, envelope)) = shed_as {
+            crate::metrics::counter(
+                "stef_jobs_shed_total",
+                "Jobs refused at admission, by exhausted envelope resource",
+                &[("resource", resource)],
+            )
+            .inc();
+            crate::flight::record(crate::flight::FlightEvent::JobShed, id as u64, 0);
             self.journal_append(&JournalRecord::Shed {
                 id,
                 resource: resource.into(),
@@ -1162,6 +1173,12 @@ impl Supervisor {
                 envelope,
             });
         }
+        crate::metrics::counter(
+            "stef_jobs_submitted_total",
+            "Jobs admitted past envelope pricing",
+            &[],
+        )
+        .inc();
         self.journal_append(&JournalRecord::Submitted {
             id,
             spec: spec.clone(),
@@ -1474,7 +1491,17 @@ impl Supervisor {
         }
         let ckpt_path = self.checkpoint_path(id);
         let mut attempt = retries_already_used + 1;
+        let attempt_hist = |outcome: &'static str| {
+            crate::metrics::histogram(
+                "stef_job_attempt_seconds",
+                "Wall time of one job attempt, by how the attempt ended",
+                &[("outcome", outcome)],
+                crate::metrics::JOB_BUCKETS,
+            )
+        };
         loop {
+            let attempt_t0 = Instant::now();
+            crate::flight::record(crate::flight::FlightEvent::JobStart, id as u64, attempt as u64);
             {
                 let mut inner = lock_unpoisoned(&self.inner);
                 if let Some(job) = inner.jobs.get_mut(id) {
@@ -1533,6 +1560,7 @@ impl Supervisor {
             })();
             match outcome {
                 Ok(result) => {
+                    attempt_hist("done").observe(attempt_t0.elapsed().as_secs_f64());
                     for event in &result.degradations {
                         let _ = self.journal_append(&JournalRecord::Degraded {
                             id,
@@ -1545,6 +1573,7 @@ impl Supervisor {
                 Err(StefError::Cancelled { deadline: false, .. }) => {
                     // Batch cancel or explicit per-job cancel: the job
                     // is unfinished and resumable from its checkpoint.
+                    attempt_hist("interrupted").observe(attempt_t0.elapsed().as_secs_f64());
                     self.finish_interrupted(id, start);
                     return;
                 }
@@ -1554,6 +1583,18 @@ impl Supervisor {
                     let retryable = !deadline_expired && is_retryable(&e);
                     let retries_used = attempt - 1 + usize::from(retryable);
                     if retryable && retries_used <= self.cfg.max_retries {
+                        attempt_hist("retried").observe(attempt_t0.elapsed().as_secs_f64());
+                        crate::metrics::counter(
+                            "stef_job_retries_total",
+                            "Attempts re-queued up the retry ladder after transient failures",
+                            &[],
+                        )
+                        .inc();
+                        crate::flight::record(
+                            crate::flight::FlightEvent::JobRetry,
+                            id as u64,
+                            (attempt + 1) as u64,
+                        );
                         let delay = backoff_delay(&self.cfg, id, attempt);
                         {
                             let mut inner = lock_unpoisoned(&self.inner);
@@ -1574,6 +1615,7 @@ impl Supervisor {
                         attempt += 1;
                         continue;
                     }
+                    attempt_hist("failed").observe(attempt_t0.elapsed().as_secs_f64());
                     self.finish_failed(id, attempt, e, start);
                     return;
                 }
@@ -1618,6 +1660,17 @@ impl Supervisor {
         }
     }
 
+    /// One `stef_jobs_completed_total{outcome=...}` series per terminal
+    /// state; the integration soak cross-checks these against the drain
+    /// report.
+    fn outcome_counter(outcome: &'static str) -> &'static crate::metrics::Counter {
+        crate::metrics::counter(
+            "stef_jobs_completed_total",
+            "Jobs reaching a terminal state, by outcome",
+            &[("outcome", outcome)],
+        )
+    }
+
     fn finish_done(&self, id: usize, attempts: usize, result: CpdResult, start: Instant) {
         let iterations = result.iterations;
         let fit = result.final_fit();
@@ -1627,6 +1680,20 @@ impl Supervisor {
             iterations,
             fit,
         });
+        Self::outcome_counter("done").inc();
+        crate::flight::record(crate::flight::FlightEvent::JobDone, id as u64, attempts as u64);
+        // Continuous §IV-C audit: fold this job's measured-vs-predicted
+        // traffic into the per-(engine, mode) drift gauges.
+        for audit in result.telemetry.model_audit() {
+            crate::metrics::record_model_drift(
+                &result.telemetry.engine,
+                audit.mode,
+                audit.measured_elems,
+                audit.predicted_elems,
+                self.cfg.drift_warn_threshold,
+            );
+        }
+        self.emit_iteration_metrics(id, attempts, &result.telemetry);
         self.notify_outcome(id, JobOutcome::Done(&result));
         {
             let mut inner = lock_unpoisoned(&self.inner);
@@ -1649,6 +1716,8 @@ impl Supervisor {
             attempts,
             error: msg.clone(),
         });
+        Self::outcome_counter("failed").inc();
+        crate::flight::record(crate::flight::FlightEvent::JobFailed, id as u64, attempts as u64);
         self.notify_outcome(id, JobOutcome::Failed(&error));
         {
             let mut inner = lock_unpoisoned(&self.inner);
@@ -1665,6 +1734,8 @@ impl Supervisor {
 
     fn finish_interrupted(&self, id: usize, start: Instant) {
         let _ = self.journal_append(&JournalRecord::Interrupted { id });
+        Self::outcome_counter("interrupted").inc();
+        crate::flight::record(crate::flight::FlightEvent::JobInterrupted, id as u64, 0);
         self.notify_outcome(id, JobOutcome::Interrupted);
         let attempts = {
             let mut inner = lock_unpoisoned(&self.inner);
@@ -1715,6 +1786,35 @@ impl Supervisor {
         }
         line.push_str("}\n");
         drop(inner);
+        let mut file = lock_unpoisoned(metrics);
+        let _ = file.write_all(line.as_bytes());
+    }
+
+    /// Appends the finished job's per-iteration schema-1 records to the
+    /// metrics sink, stamped with the HTTP-visible job id and the
+    /// attempt that produced them (so a retried job's iterations stay
+    /// distinguishable across attempts). Best-effort, like
+    /// [`Supervisor::emit_metrics`].
+    fn emit_iteration_metrics(
+        &self,
+        id: usize,
+        attempt: usize,
+        report: &crate::telemetry::TelemetryReport,
+    ) {
+        let Some(metrics) = &self.metrics else { return };
+        if report.records.is_empty() {
+            return;
+        }
+        let text = crate::telemetry::render_metrics_jsonl_tagged(report, Some((id, attempt)));
+        let mut file = lock_unpoisoned(metrics);
+        let _ = file.write_all(text.as_bytes());
+    }
+
+    /// Appends one raw pre-rendered line to the metrics sink (used by
+    /// the serve layer's periodic registry flush). No-op without a
+    /// configured sink.
+    pub(crate) fn append_metrics_line(&self, line: &str) {
+        let Some(metrics) = &self.metrics else { return };
         let mut file = lock_unpoisoned(metrics);
         let _ = file.write_all(line.as_bytes());
     }
@@ -2388,10 +2488,25 @@ mod tests {
         sup.run_all();
         let text = std::fs::read_to_string(&metrics).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 1);
-        assert!(lines[0].contains("\"kind\":\"batch_job\""));
-        assert!(lines[0].contains("\"outcome\":\"done\""));
-        assert!(lines[0].contains("\"schema\":1"));
+        // Exactly one batch_job summary record per job, preceded by the
+        // job's per-iteration records, each tagged with job id and
+        // attempt number.
+        let summaries: Vec<&&str> = lines
+            .iter()
+            .filter(|l| l.contains("\"kind\":\"batch_job\""))
+            .collect();
+        assert_eq!(summaries.len(), 1, "{text}");
+        assert!(summaries[0].contains("\"outcome\":\"done\""));
+        assert!(summaries[0].contains("\"schema\":1"));
+        assert_eq!(*summaries[0], *lines.last().unwrap(), "summary must come last");
+        let iterations: Vec<&&str> = lines
+            .iter()
+            .filter(|l| l.contains("\"iteration\":"))
+            .collect();
+        assert!(!iterations.is_empty(), "{text}");
+        for line in iterations {
+            assert!(line.contains("\"job\":0,\"attempt\":1,"), "{line}");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }

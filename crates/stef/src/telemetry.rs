@@ -95,32 +95,45 @@ pub fn log_enabled(level: LogLevel) -> bool {
     level != LogLevel::Off && level <= log_level()
 }
 
-/// Emits a diagnostic at `level`. The message closure runs only when
-/// the level is enabled, so disabled logging costs one branch and no
-/// formatting or allocation.
+/// Seconds elapsed since the process's telemetry anchor (first call
+/// wins). Every log line carries this stamp, so daemon logs line up
+/// with traces, journal records and flight-recorder dumps, which all
+/// use the same monotonic clock family.
+pub fn uptime_seconds() -> f64 {
+    use std::sync::OnceLock;
+    use std::time::Instant;
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    ANCHOR.get_or_init(Instant::now).elapsed().as_secs_f64()
+}
+
+/// Emits a diagnostic at `level` for module `target`, formatted as
+/// `stef[warn 12.034s supervisor] message` — level tag, monotonic
+/// elapsed-time stamp, module target. The message closure runs only
+/// when the level is enabled, so disabled logging costs one branch and
+/// no formatting or allocation.
 #[inline]
-pub fn log(level: LogLevel, msg: impl FnOnce() -> String) {
+pub fn log(level: LogLevel, target: &'static str, msg: impl FnOnce() -> String) {
     if log_enabled(level) {
-        eprintln!("stef[{}] {}", level.tag(), msg());
+        eprintln!("stef[{} {:.3}s {target}] {}", level.tag(), uptime_seconds(), msg());
     }
 }
 
 /// [`log`] at `Warn`.
 #[inline]
-pub fn warn(msg: impl FnOnce() -> String) {
-    log(LogLevel::Warn, msg);
+pub fn warn(target: &'static str, msg: impl FnOnce() -> String) {
+    log(LogLevel::Warn, target, msg);
 }
 
 /// [`log`] at `Info`.
 #[inline]
-pub fn info(msg: impl FnOnce() -> String) {
-    log(LogLevel::Info, msg);
+pub fn info(target: &'static str, msg: impl FnOnce() -> String) {
+    log(LogLevel::Info, target, msg);
 }
 
 /// [`log`] at `Debug`.
 #[inline]
-pub fn debug(msg: impl FnOnce() -> String) {
-    log(LogLevel::Debug, msg);
+pub fn debug(target: &'static str, msg: impl FnOnce() -> String) {
+    log(LogLevel::Debug, target, msg);
 }
 
 // ---------------------------------------------------------------------------
@@ -242,7 +255,7 @@ impl TelemetryReport {
         }
         for a in &mut audits {
             a.abs_err = (a.measured_elems - a.predicted_elems).abs();
-            a.rel_err = a.abs_err / a.predicted_elems.max(1.0);
+            a.rel_err = crate::model::drift_rel_err(a.measured_elems, a.predicted_elems);
         }
         audits.sort_by_key(|a| a.mode);
         audits
@@ -403,7 +416,23 @@ fn jopt(x: Option<f64>) -> String {
 ///    "predicted_read_bytes":...,"predicted_write_bytes":...,"rel_err":0.02}]}
 /// ```
 pub fn render_metrics_jsonl(report: &TelemetryReport) -> String {
+    render_metrics_jsonl_tagged(report, None)
+}
+
+/// [`render_metrics_jsonl`] with an optional `(job, attempt)` stamp on
+/// every iteration record. The serve/batch supervisor passes the
+/// HTTP-visible job id and the attempt number so a multi-attempt job's
+/// iteration records stay distinguishable across retries; extra keys
+/// are ignored by schema-1 consumers.
+pub fn render_metrics_jsonl_tagged(
+    report: &TelemetryReport,
+    job_attempt: Option<(usize, usize)>,
+) -> String {
     use std::fmt::Write as _;
+    let tag = match job_attempt {
+        Some((job, attempt)) => format!("\"job\":{job},\"attempt\":{attempt},"),
+        None => String::new(),
+    };
     let mut out = String::new();
     for rec in &report.records {
         let mut modes = String::new();
@@ -414,9 +443,7 @@ pub fn render_metrics_jsonl(report: &TelemetryReport) -> String {
             let measured = s.stats.as_ref().map(|st| (st.reads, st.writes));
             let rel_err = match (measured, s.predicted) {
                 (Some((mr, mw)), Some((pr, pw))) => {
-                    let m = mr + mw;
-                    let p = pr + pw;
-                    Some((m - p).abs() / p.max(1.0))
+                    Some(crate::model::drift_rel_err(mr + mw, pr + pw))
                 }
                 _ => None,
             };
@@ -445,7 +472,7 @@ pub fn render_metrics_jsonl(report: &TelemetryReport) -> String {
         }
         let _ = writeln!(
             out,
-            "{{\"schema\":1,\"iteration\":{},\"fit\":{},\"alloc_events\":{},\
+            "{{\"schema\":1,{tag}\"iteration\":{},\"fit\":{},\"alloc_events\":{},\
              \"engine\":\"{}\",\"numa_nodes\":{},\"modes\":[{}]}}",
             rec.iteration,
             jnum(rec.fit),
